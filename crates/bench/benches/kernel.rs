@@ -1,0 +1,91 @@
+//! Micro-benchmarks of the simulator's hot paths: event queue churn,
+//! per-listener channel sampling, reception tracking, the deterministic
+//! retry function, monitor bookkeeping, and whole-simulation event rate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use airguard_core::retry_fn;
+use airguard_mac::MacTiming;
+use airguard_phy::{Medium, PhyConfig, Position};
+use airguard_sim::{MasterSeed, NodeId, Scheduler, SimDuration};
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("push_pop_10k", |b| {
+        b.iter(|| {
+            let mut s = Scheduler::new();
+            for i in 0..10_000u64 {
+                s.schedule_at(
+                    airguard_sim::SimTime::from_micros((i * 7919) % 100_000),
+                    i,
+                );
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = s.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+    g.bench_function("schedule_cancel_10k", |b| {
+        b.iter(|| {
+            let mut s = Scheduler::new();
+            let ids: Vec<_> = (0..10_000u64)
+                .map(|i| s.schedule_in(SimDuration::from_micros(i + 1), i))
+                .collect();
+            for id in ids {
+                s.cancel(id);
+            }
+            s.len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_medium(c: &mut Criterion) {
+    let mut g = c.benchmark_group("medium");
+    // 64 listeners scattered across sense range.
+    let positions: Vec<Position> = (0..65)
+        .map(|i| Position::new(f64::from(i) * 12.0, 0.0))
+        .collect();
+    let mut medium = Medium::new(
+        PhyConfig::paper_default(),
+        positions,
+        MasterSeed::new(1).stream("bench", 0),
+    );
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("start_tx_64_listeners", |b| {
+        b.iter(|| medium.start_tx(NodeId::new(0)).listeners.len())
+    });
+    g.finish();
+}
+
+fn bench_retry_fn(c: &mut Criterion) {
+    let timing = MacTiming::dsss_2mbps();
+    c.bench_function("retry_fn/expected_total_attempt7", |b| {
+        b.iter(|| retry_fn::expected_total_backoff(17, NodeId::new(5), 7, &timing))
+    });
+}
+
+fn bench_full_sim(c: &mut Criterion) {
+    use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+    let mut g = c.benchmark_group("full_sim");
+    g.sample_size(10);
+    // ~45k scheduler events per simulated second in this configuration.
+    g.bench_function("two_flow_correct_1s", |b| {
+        b.iter(|| {
+            ScenarioConfig::new(StandardScenario::TwoFlow)
+                .protocol(Protocol::Correct)
+                .misbehavior_percent(50.0)
+                .sim_time_secs(1)
+                .seed(1)
+                .run()
+                .events
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(kernel, bench_scheduler, bench_medium, bench_retry_fn, bench_full_sim);
+criterion_main!(kernel);

@@ -1,0 +1,34 @@
+//! Extension experiment: the *delay* side of selfish misbehavior (§3.1
+//! defines it as seeking "higher throughput or lower delay"). Reports
+//! mean MAC delay of the cheater vs honest senders, 802.11 vs CORRECT.
+//!
+//! Regenerate with: `cargo run --release -p airguard-bench --bin delay_report`
+
+use airguard_bench::{f2, mean_of, pm_sweep, run_seeds, seed_set, sim_secs, Table};
+use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+
+fn main() {
+    let seeds = seed_set();
+    let secs = sim_secs();
+    let mut t = Table::new(
+        "Extension: mean MAC delay (ms) vs PM, ZERO-FLOW",
+        &["PM%", "802.11-MSB", "802.11-AVG", "CORRECT-MSB", "CORRECT-AVG"],
+    );
+    for pm in pm_sweep() {
+        let mut cells = vec![format!("{pm:.0}")];
+        for proto in [Protocol::Dot11, Protocol::Correct] {
+            let reports = run_seeds(
+                &ScenarioConfig::new(StandardScenario::ZeroFlow)
+                    .protocol(proto)
+                    .misbehavior_percent(pm)
+                    .sim_time_secs(secs),
+                &seeds,
+            );
+            cells.push(f2(mean_of(&reports, |r| r.msb_delay_ms())));
+            cells.push(f2(mean_of(&reports, |r| r.avg_delay_ms())));
+        }
+        t.row(&cells);
+    }
+    t.print();
+    t.write_csv("delay_report");
+}

@@ -1,0 +1,35 @@
+//! Fig. 4: diagnosis accuracy vs magnitude of misbehavior (PM), for the
+//! ZERO-FLOW and TWO-FLOW scenarios under the proposed protocol.
+//!
+//! Regenerate with: `cargo run --release -p airguard-bench --bin fig4`
+
+use airguard_bench::{f2, mean_of, pm_sweep, run_seeds, seed_set, sim_secs, Table};
+use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+
+fn main() {
+    let seeds = seed_set();
+    let secs = sim_secs();
+    let mut t = Table::new(
+        "Fig. 4: correct diagnosis % and misdiagnosis % vs PM",
+        &["PM%", "zero:correct%", "zero:misdiag%", "two:correct%", "two:misdiag%"],
+    );
+    for pm in pm_sweep() {
+        let mut cells = vec![format!("{pm:.0}")];
+        for sc in [StandardScenario::ZeroFlow, StandardScenario::TwoFlow] {
+            let cfg = ScenarioConfig::new(sc)
+                .protocol(Protocol::Correct)
+                .misbehavior_percent(pm)
+                .sim_time_secs(secs);
+            let reports = run_seeds(&cfg, &seeds);
+            cells.push(f2(mean_of(&reports, |r| {
+                r.diagnosis().correct_diagnosis_percent()
+            })));
+            cells.push(f2(mean_of(&reports, |r| {
+                r.diagnosis().misdiagnosis_percent()
+            })));
+        }
+        t.row(&cells);
+    }
+    t.print();
+    t.write_csv("fig4");
+}

@@ -1,0 +1,44 @@
+//! The paper's contribution: detection and handling of MAC-layer
+//! misbehavior via receiver-assigned backoff.
+//!
+//! Kyasanur & Vaidya (DSN 2003) modify IEEE 802.11 DCF so that the
+//! *receiver* of a flow dictates the sender's backoff and can therefore
+//! tell, within a handful of packets, whether the sender actually waited.
+//! The scheme has three cooperating parts, all implemented here:
+//!
+//! 1. **Deviation identification** ([`retry_fn`], [`monitor`]): the
+//!    receiver assigns backoff `B_exp ∈ [0, CWmin]` in each CTS/ACK;
+//!    retry backoffs come from the public deterministic function
+//!    [`retry_fn::retry_backoff`], so the RTS `attempt` field lets the
+//!    receiver reconstruct the sender's total expected backoff. Comparing
+//!    against the observed idle-slot count `B_act`, the sender *deviated*
+//!    if `B_act < α·B_exp` (Eq. 1).
+//! 2. **Correction** ([`correction`]): each deviation draws a penalty
+//!    proportional to its magnitude `D = max(α·B_exp − B_act, 0)`, added
+//!    to the next assigned backoff, so cheaters gain nothing.
+//! 3. **Diagnosis** ([`diagnosis`]): the signed differences
+//!    `B_exp − B_act` of the last `W` packets are summed; a sender whose
+//!    sum exceeds `THRESH` is flagged as misbehaving.
+//!
+//! [`CorrectPolicy`] packages all three behind the
+//! [`airguard_mac::BackoffPolicy`] trait so the unmodified DCF engine
+//! runs the modified protocol. The §4.1 attempt-verification probe and the
+//! §4.4 receiver-misbehavior check (deterministic assignment function `g`)
+//! are included as configurable extensions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod correction;
+pub mod diagnosis;
+pub mod monitor;
+pub mod observer;
+pub mod policy;
+pub mod receiver_check;
+pub mod retry_fn;
+
+pub use correction::CorrectionConfig;
+pub use diagnosis::{DiagnosisConfig, DiagnosisWindow};
+pub use monitor::{Monitor, MonitorConfig, MonitorReport, SenderStats};
+pub use observer::{PairStats, ThirdPartyObserver};
+pub use policy::{AssignmentSource, CorrectConfig, CorrectPolicy};

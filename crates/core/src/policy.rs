@@ -1,0 +1,317 @@
+//! [`CorrectPolicy`]: the paper's modified protocol as a
+//! [`BackoffPolicy`].
+//!
+//! One policy instance serves both roles a node can play:
+//!
+//! * **as a sender**, it uses the backoff assigned by each receiver
+//!   (latched from ACK frames), derives retry backoffs from the public
+//!   function `f`, and — optionally — verifies the receiver's assignments
+//!   against the deterministic lower bound `g` (§4.4);
+//! * **as a receiver**, it delegates to the [`Monitor`]: measures
+//!   `B_act` vs `B_exp`, applies the correction penalty, classifies
+//!   packets with the diagnosis window, and optionally probes attempt
+//!   numbers.
+
+use std::collections::HashMap;
+
+use airguard_mac::policy::uniform_backoff;
+use airguard_mac::{BackoffPolicy, MacTiming, PacketVerdict, Slots};
+use airguard_sim::{NodeId, RngStream};
+use serde::{Deserialize, Serialize};
+
+use crate::monitor::{Monitor, MonitorConfig, MonitorReport};
+use crate::observer::{PairStats, ThirdPartyObserver};
+use crate::receiver_check::ReceiverCheck;
+
+pub use crate::monitor::AssignmentSource;
+
+/// Configuration of the full modified protocol for one node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorrectConfig {
+    /// Receiver-side monitor parameters.
+    pub monitor: MonitorConfig,
+    /// Sender-side verification of receiver assignments against `g`
+    /// (§4.4). Only meaningful when the network's receivers use
+    /// [`AssignmentSource::DeterministicG`]; enabling it against random
+    /// assignments would flag honest receivers.
+    pub verify_receiver: bool,
+    /// Run a passive third-party observer over all overheard exchanges
+    /// (§4.4/§6 collusion-watch extension).
+    pub observe_third_party: bool,
+}
+
+impl CorrectConfig {
+    /// The paper's configuration (no extensions enabled).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        CorrectConfig {
+            monitor: MonitorConfig::paper_default(),
+            verify_receiver: false,
+            observe_third_party: false,
+        }
+    }
+}
+
+impl Default for CorrectConfig {
+    fn default() -> Self {
+        CorrectConfig::paper_default()
+    }
+}
+
+/// The modified-protocol policy for one node.
+///
+/// ```
+/// use airguard_core::{CorrectConfig, CorrectPolicy};
+/// use airguard_mac::{BackoffPolicy, MacTiming, Slots};
+/// use airguard_sim::{MasterSeed, NodeId};
+///
+/// let timing = MacTiming::dsss_2mbps();
+/// let mut rng = MasterSeed::new(1).stream("node", 3);
+/// let mut p = CorrectPolicy::new(NodeId::new(3), CorrectConfig::paper_default());
+///
+/// // Before any assignment: an arbitrary (random) initial backoff.
+/// let b0 = p.fresh_backoff(NodeId::new(0), &timing, &mut rng);
+/// assert!(b0.count() <= timing.cw_min);
+///
+/// // After an ACK assigns 12 slots, the next packet uses exactly that.
+/// p.observe_assignment(NodeId::new(0), 0, Some(Slots::new(12)), &timing);
+/// assert_eq!(p.fresh_backoff(NodeId::new(0), &timing, &mut rng), Slots::new(12));
+/// ```
+#[derive(Debug)]
+pub struct CorrectPolicy {
+    id: NodeId,
+    cfg: CorrectConfig,
+    monitor: Monitor,
+    /// Assignment latched from the most recent ACK per receiver; consumed
+    /// by the next packet's fresh backoff.
+    next_base: HashMap<NodeId, u32>,
+    /// The base in force for the packet currently being transmitted
+    /// (feeds the retry function `f`).
+    current_base: HashMap<NodeId, u32>,
+    receiver_check: ReceiverCheck,
+    observer: Option<ThirdPartyObserver>,
+}
+
+impl CorrectPolicy {
+    /// Creates the policy for node `id`.
+    #[must_use]
+    pub fn new(id: NodeId, cfg: CorrectConfig) -> Self {
+        CorrectPolicy {
+            id,
+            cfg,
+            monitor: Monitor::new(id, cfg.monitor),
+            next_base: HashMap::new(),
+            current_base: HashMap::new(),
+            receiver_check: ReceiverCheck::new(),
+            observer: cfg.observe_third_party.then(|| {
+                ThirdPartyObserver::new(cfg.monitor.correction, cfg.monitor.diagnosis)
+            }),
+        }
+    }
+
+    /// End-of-run monitor statistics (receiver role).
+    #[must_use]
+    pub fn monitor_report(&self) -> MonitorReport {
+        self.monitor.report()
+    }
+
+    /// Number of receiver assignments that violated the `g` lower bound
+    /// (sender role; only counts when `verify_receiver` is on).
+    #[must_use]
+    pub fn receiver_violations(&self) -> u64 {
+        self.receiver_check.violations()
+    }
+
+    /// Third-party observation report, when the extension is enabled.
+    #[must_use]
+    pub fn observer_report(&self) -> Option<Vec<PairStats>> {
+        self.observer.as_ref().map(ThirdPartyObserver::report)
+    }
+}
+
+impl BackoffPolicy for CorrectPolicy {
+    fn uses_protocol_extensions(&self) -> bool {
+        true
+    }
+
+    fn fresh_backoff(&mut self, dst: NodeId, timing: &MacTiming, rng: &mut RngStream) -> Slots {
+        // "The first time a sender S sends a packet to a receiver R, S may
+        // use an arbitrarily selected backoff value. For all subsequent
+        // transmissions, the sender has to use the backoff values provided
+        // by the receiver." (§4.1)
+        let base = self
+            .next_base
+            .get(&dst)
+            .copied()
+            .unwrap_or_else(|| uniform_backoff(timing.cw_min, rng).count());
+        self.current_base.insert(dst, base);
+        Slots::new(base)
+    }
+
+    fn retry_backoff(
+        &mut self,
+        dst: NodeId,
+        attempt: u8,
+        timing: &MacTiming,
+        _rng: &mut RngStream,
+    ) -> Slots {
+        let base = self.current_base.get(&dst).copied().unwrap_or(0);
+        crate::retry_fn::retry_backoff(base, self.id, attempt, timing)
+    }
+
+    fn observe_assignment(
+        &mut self,
+        from: NodeId,
+        seq: u64,
+        assigned: Option<Slots>,
+        timing: &MacTiming,
+    ) {
+        let Some(assigned) = assigned else {
+            return;
+        };
+        let mut value = assigned.count();
+        if self.cfg.verify_receiver {
+            value = self
+                .receiver_check
+                .verify(from, self.id, seq, value, timing);
+        }
+        self.next_base.insert(from, value);
+    }
+
+    fn observe_rts(
+        &mut self,
+        src: NodeId,
+        seq: u64,
+        attempt: u8,
+        idle_reading: u64,
+        timing: &MacTiming,
+        rng: &mut RngStream,
+    ) {
+        self.monitor
+            .on_rts(src, seq, attempt, idle_reading, timing, rng);
+    }
+
+    fn assignment_for(&mut self, dst: NodeId, timing: &MacTiming) -> Option<Slots> {
+        Some(self.monitor.assignment(dst, timing))
+    }
+
+    fn observe_ack_sent(&mut self, dst: NodeId, idle_reading: u64) {
+        self.monitor.on_ack_sent(dst, idle_reading);
+    }
+
+    fn observe_data(&mut self, src: NodeId) -> Option<PacketVerdict> {
+        Some(self.monitor.on_data(src))
+    }
+
+    fn should_respond_rts(
+        &mut self,
+        src: NodeId,
+        seq: u64,
+        attempt: u8,
+        rng: &mut RngStream,
+    ) -> bool {
+        self.monitor.should_respond(src, seq, attempt, rng)
+    }
+
+    fn observe_overheard(
+        &mut self,
+        frame: &airguard_mac::frames::Frame,
+        idle_reading: u64,
+        timing: &MacTiming,
+    ) {
+        if let Some(obs) = &mut self.observer {
+            obs.observe(frame, idle_reading, timing);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receiver_check::g_value;
+
+    fn timing() -> MacTiming {
+        MacTiming::dsss_2mbps()
+    }
+
+    fn rng() -> RngStream {
+        airguard_sim::MasterSeed::new(21).stream("correct-policy-test", 0)
+    }
+
+    const R: NodeId = NodeId::new(0);
+
+    #[test]
+    fn extensions_are_on() {
+        let p = CorrectPolicy::new(NodeId::new(1), CorrectConfig::paper_default());
+        assert!(p.uses_protocol_extensions());
+    }
+
+    #[test]
+    fn assignments_govern_fresh_backoff_per_receiver() {
+        let t = timing();
+        let mut r = rng();
+        let mut p = CorrectPolicy::new(NodeId::new(1), CorrectConfig::paper_default());
+        p.observe_assignment(R, 0, Some(Slots::new(7)), &t);
+        p.observe_assignment(NodeId::new(9), 0, Some(Slots::new(29)), &t);
+        assert_eq!(p.fresh_backoff(R, &t, &mut r), Slots::new(7));
+        assert_eq!(p.fresh_backoff(NodeId::new(9), &t, &mut r), Slots::new(29));
+    }
+
+    #[test]
+    fn assignment_persists_until_replaced() {
+        // The same assignment governs subsequent packets until a new ACK
+        // replaces it — penalties degrade gracefully even if an ACK is the
+        // last frame a sender ever decodes.
+        let t = timing();
+        let mut r = rng();
+        let mut p = CorrectPolicy::new(NodeId::new(1), CorrectConfig::paper_default());
+        p.observe_assignment(R, 0, Some(Slots::new(13)), &t);
+        assert_eq!(p.fresh_backoff(R, &t, &mut r), Slots::new(13));
+        assert_eq!(p.fresh_backoff(R, &t, &mut r), Slots::new(13));
+    }
+
+    #[test]
+    fn retry_backoff_matches_receiver_reconstruction() {
+        let t = timing();
+        let mut r = rng();
+        let me = NodeId::new(4);
+        let mut p = CorrectPolicy::new(me, CorrectConfig::paper_default());
+        p.observe_assignment(R, 0, Some(Slots::new(11)), &t);
+        let fresh = p.fresh_backoff(R, &t, &mut r);
+        assert_eq!(fresh.count(), 11);
+        let r2 = p.retry_backoff(R, 2, &t, &mut r);
+        let r3 = p.retry_backoff(R, 3, &t, &mut r);
+        assert_eq!(r2, crate::retry_fn::retry_backoff(11, me, 2, &t));
+        assert_eq!(r3, crate::retry_fn::retry_backoff(11, me, 3, &t));
+        let total = u64::from(fresh.count()) + u64::from(r2.count()) + u64::from(r3.count());
+        assert_eq!(total, crate::retry_fn::expected_total_backoff(11, me, 3, &t));
+    }
+
+    #[test]
+    fn receiver_verification_counts_lowballs() {
+        let t = timing();
+        let cfg = CorrectConfig {
+            verify_receiver: true,
+            ..CorrectConfig::paper_default()
+        };
+        let me = NodeId::new(2);
+        let mut p = CorrectPolicy::new(me, cfg);
+        let g = g_value(R, me, 6, &t);
+        // A selfish receiver assigns below the g bound for seq 5's ACK.
+        p.observe_assignment(R, 5, Some(Slots::new(g.saturating_sub(1))), &t);
+        if g > 0 {
+            assert_eq!(p.receiver_violations(), 1);
+            // And the sender substitutes the honest bound.
+            let mut r = rng();
+            assert_eq!(p.fresh_backoff(R, &t, &mut r).count(), g);
+        }
+    }
+
+    #[test]
+    fn missing_assignment_field_is_ignored() {
+        let t = timing();
+        let mut p = CorrectPolicy::new(NodeId::new(1), CorrectConfig::paper_default());
+        p.observe_assignment(R, 0, None, &t);
+        assert_eq!(p.receiver_violations(), 0);
+    }
+}

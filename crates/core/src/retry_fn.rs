@@ -1,0 +1,189 @@
+//! The deterministic retry-backoff function `f` (§4.1) and `B_exp`
+//! reconstruction.
+//!
+//! After a collision, a sender running the modified protocol does not pick
+//! a fresh random backoff — it derives one from public inputs so the
+//! receiver can replay the computation:
+//!
+//! ```text
+//! X = (backoff + nodeId) mod (CWmin + 1)
+//! f(backoff, nodeId, attempt) = (5·X + 2·attempt + 1) mod (CWmin + 1)   — then scaled by CW_i / CWmin
+//! ```
+//!
+//! which is the linear-congruential form given in the paper (a = 5,
+//! c = 2·attempt + 1). Dividing by CWmin maps it into `[0, 1]`; the retry
+//! backoff is that fraction of the attempt's contention window
+//! `CW_i = min((CWmin+1)·2^(i−1) − 1, CWmax)`.
+//!
+//! On receiving an RTS with attempt number `a`, the receiver reconstructs
+//! the total backoff the sender *should* have waited since the last ACK:
+//!
+//! ```text
+//! B_exp = backoff + Σ_{i=2}^{a} f(backoff, nodeId, i) · CW_i
+//! ```
+
+use airguard_mac::{MacTiming, Slots};
+use airguard_sim::NodeId;
+
+/// The raw LCG value of `f` before scaling, in `[0, CWmin]`.
+///
+/// ```
+/// use airguard_core::retry_fn::f_value;
+/// use airguard_sim::NodeId;
+///
+/// // X = (10 + 3) mod 32 = 13; (5·13 + 2·2 + 1) mod 32 = 70 mod 32 = 6.
+/// assert_eq!(f_value(10, NodeId::new(3), 2, 31), 6);
+/// ```
+#[must_use]
+pub fn f_value(backoff: u32, node: NodeId, attempt: u8, cw_min: u32) -> u32 {
+    let modulus = cw_min + 1;
+    let x = (backoff + node.value()) % modulus;
+    (5 * x + 2 * u32::from(attempt) + 1) % modulus
+}
+
+/// The retry backoff (in slots) for the given attempt, per the paper:
+/// `f` as a fraction of CWmin, scaled by the attempt's contention window
+/// and rounded to the nearest slot.
+///
+/// # Panics
+///
+/// Panics if `attempt < 2` — attempt 1 uses the receiver-assigned value,
+/// not `f`.
+#[must_use]
+pub fn retry_backoff(backoff: u32, node: NodeId, attempt: u8, timing: &MacTiming) -> Slots {
+    assert!(attempt >= 2, "retry backoff applies from attempt 2 onward");
+    let val = f_value(backoff, node, attempt, timing.cw_min);
+    let cw = timing.cw_for_attempt(attempt);
+    let scaled = (f64::from(val) / f64::from(timing.cw_min)) * f64::from(cw);
+    Slots::new(scaled.round() as u32)
+}
+
+/// The total backoff (in slots) a compliant sender accumulates from the
+/// end of the previous exchange to the RTS of attempt `attempt`:
+/// the assigned base plus every `f`-derived retry backoff.
+#[must_use]
+pub fn expected_total_backoff(
+    backoff: u32,
+    node: NodeId,
+    attempt: u8,
+    timing: &MacTiming,
+) -> u64 {
+    let mut total = u64::from(backoff);
+    for i in 2..=attempt {
+        total += u64::from(retry_backoff(backoff, node, i, timing).count());
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> MacTiming {
+        MacTiming::dsss_2mbps()
+    }
+
+    #[test]
+    fn f_value_stays_in_range() {
+        for backoff in 0..=31 {
+            for node in 0..50 {
+                for attempt in 1..=7 {
+                    let v = f_value(backoff, NodeId::new(node), attempt, 31);
+                    assert!(v <= 31);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f_is_deterministic_and_attempt_sensitive() {
+        let n = NodeId::new(4);
+        assert_eq!(f_value(9, n, 2, 31), f_value(9, n, 2, 31));
+        // Consecutive attempts differ by 2 (mod 32) by construction.
+        let a2 = f_value(9, n, 2, 31);
+        let a3 = f_value(9, n, 3, 31);
+        assert_eq!((a2 + 2) % 32, a3);
+    }
+
+    #[test]
+    fn colliding_nodes_usually_diverge() {
+        // The paper chose f so that two nodes that collided (same attempt,
+        // possibly different assigned backoff) select different values with
+        // high probability. Different node ids with the same backoff always
+        // diverge unless the ids are congruent mod 32.
+        let mut same = 0;
+        let mut total = 0;
+        for backoff in 0..=31 {
+            for a in 0..8u32 {
+                for b in (a + 1)..8 {
+                    total += 1;
+                    let fa = retry_backoff(backoff, NodeId::new(a), 2, &timing());
+                    let fb = retry_backoff(backoff, NodeId::new(b), 2, &timing());
+                    if fa == fb {
+                        same += 1;
+                    }
+                }
+            }
+        }
+        let rate = f64::from(same) / f64::from(total);
+        assert!(rate < 0.05, "collision rate after retry too high: {rate}");
+    }
+
+    #[test]
+    fn retry_backoff_scales_with_the_window() {
+        let n = NodeId::new(3);
+        // Same f fraction, wider window ⇒ proportionally larger backoff.
+        let v2 = f_value(10, n, 2, 31);
+        let b2 = retry_backoff(10, n, 2, &timing());
+        let expect = (f64::from(v2) / 31.0 * 63.0).round() as u32;
+        assert_eq!(b2.count(), expect);
+        // And the value never exceeds the attempt's window.
+        for backoff in 0..=31 {
+            for attempt in 2..=7 {
+                let b = retry_backoff(backoff, n, attempt, &timing());
+                assert!(b.count() <= timing().cw_for_attempt(attempt));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "attempt 2 onward")]
+    fn retry_backoff_rejects_first_attempt() {
+        let _ = retry_backoff(5, NodeId::new(1), 1, &timing());
+    }
+
+    #[test]
+    fn expected_total_accumulates() {
+        let n = NodeId::new(3);
+        let t = timing();
+        let base = 12u32;
+        assert_eq!(expected_total_backoff(base, n, 1, &t), 12);
+        let b2 = expected_total_backoff(base, n, 2, &t);
+        assert_eq!(
+            b2,
+            12 + u64::from(retry_backoff(base, n, 2, &t).count())
+        );
+        let b3 = expected_total_backoff(base, n, 3, &t);
+        assert_eq!(
+            b3,
+            b2 + u64::from(retry_backoff(base, n, 3, &t).count())
+        );
+        assert!(b3 >= b2 && b2 >= 12);
+    }
+
+    #[test]
+    fn receiver_and_sender_agree_by_construction() {
+        // The property the whole scheme rests on: replaying f with the
+        // same inputs gives the same schedule.
+        let t = timing();
+        for node in [0u32, 3, 17, 40] {
+            for base in [0u32, 7, 31] {
+                for attempt in 2..=7u8 {
+                    let sender = retry_backoff(base, NodeId::new(node), attempt, &t);
+                    let receiver = retry_backoff(base, NodeId::new(node), attempt, &t);
+                    assert_eq!(sender, receiver);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! The adaptive-THRESH extension (§6 future work): the effective
+//! threshold follows the channel-noise estimate of unflagged senders.
+
+use airguard_core::monitor::{AdaptiveConfig, Monitor, MonitorConfig};
+use airguard_mac::MacTiming;
+use airguard_sim::{MasterSeed, NodeId, RngStream};
+
+const S: NodeId = NodeId::new(3);
+
+fn rng() -> RngStream {
+    MasterSeed::new(50).stream("adaptive-test", 0)
+}
+
+fn adaptive_monitor() -> Monitor {
+    Monitor::new(
+        NodeId::new(0),
+        MonitorConfig {
+            adaptive: Some(AdaptiveConfig::default()),
+            ..MonitorConfig::paper_default()
+        },
+    )
+}
+
+/// One exchange where the observed idle count differs from the
+/// assignment by `noise` slots (positive = waited longer).
+fn noisy_exchange(m: &mut Monitor, r: &mut RngStream, idle: &mut u64, seq: u64, noise: i64) {
+    let t = MacTiming::dsss_2mbps();
+    let assigned = m.assignment(S, &t).count();
+    let waited = (i64::from(assigned) + noise).max(0) as u64;
+    *idle += waited;
+    m.on_rts(S, seq, 1, *idle, &t, r);
+    m.on_data(S);
+    m.on_ack_sent(S, *idle);
+}
+
+#[test]
+fn threshold_starts_at_the_static_value() {
+    let m = adaptive_monitor();
+    assert_eq!(m.effective_thresh(), 20.0);
+}
+
+#[test]
+fn quiet_channels_keep_the_static_threshold() {
+    let t = MacTiming::dsss_2mbps();
+    let mut m = adaptive_monitor();
+    let mut r = rng();
+    let mut idle = 0u64;
+    m.on_rts(S, 0, 1, idle, &t, &mut r);
+    m.on_data(S);
+    m.on_ack_sent(S, idle);
+    for seq in 1..40 {
+        noisy_exchange(&mut m, &mut r, &mut idle, seq, 0);
+    }
+    assert_eq!(m.effective_thresh(), 20.0, "zero noise keeps THRESH");
+}
+
+#[test]
+fn noisy_channels_raise_the_threshold() {
+    let t = MacTiming::dsss_2mbps();
+    let mut m = adaptive_monitor();
+    let mut r = rng();
+    let mut idle = 0u64;
+    m.on_rts(S, 0, 1, idle, &t, &mut r);
+    m.on_data(S);
+    m.on_ack_sent(S, idle);
+    // Honest sender over a channel with ±6-slot observation noise.
+    for seq in 1..120 {
+        let noise = if seq % 2 == 0 { 6 } else { -6 };
+        noisy_exchange(&mut m, &mut r, &mut idle, seq, noise);
+    }
+    // EMA of |diff| approaches 6; factor 2 × W 5 × 6 = 60 > 20.
+    assert!(
+        m.effective_thresh() > 40.0,
+        "threshold stuck at {}",
+        m.effective_thresh()
+    );
+}
+
+#[test]
+fn flagged_senders_do_not_poison_the_noise_estimate() {
+    let t = MacTiming::dsss_2mbps();
+    let mut m = adaptive_monitor();
+    let mut r = rng();
+    let mut idle = 0u64;
+    m.on_rts(S, 0, 1, idle, &t, &mut r);
+    m.on_data(S);
+    m.on_ack_sent(S, idle);
+    // A heavy cheater: huge positive diffs, flagged almost immediately.
+    for seq in 1..120 {
+        let assigned = m.assignment(S, &t).count();
+        idle += u64::from(assigned) / 10; // waits 10 %
+        m.on_rts(S, seq, 1, idle, &t, &mut r);
+        m.on_data(S);
+        m.on_ack_sent(S, idle);
+    }
+    // The cheater's own diffs must not have raised the threshold to
+    // where it escapes: it stays flagged.
+    let report = m.report();
+    let stats = report.sender(S).unwrap();
+    assert!(
+        stats.flagged_packets * 10 >= stats.packets * 8,
+        "cheater escaped adaptive threshold: {stats:?}"
+    );
+}

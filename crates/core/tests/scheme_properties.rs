@@ -1,0 +1,142 @@
+//! Property-based tests of the whole detection scheme, driven through
+//! the monitor exactly as the MAC would drive it.
+
+use airguard_core::monitor::{Monitor, MonitorConfig};
+use airguard_core::retry_fn;
+use airguard_mac::MacTiming;
+use airguard_sim::{MasterSeed, NodeId, RngStream};
+use proptest::prelude::*;
+
+const S: NodeId = NodeId::new(7);
+
+fn rng(seed: u64) -> RngStream {
+    MasterSeed::new(seed).stream("scheme-prop", 0)
+}
+
+/// Drives `packets` full exchanges where the sender waits exactly
+/// `compliance`× its expected backoff and experiences the given retry
+/// counts; returns (flagged packet count, deviation count).
+fn drive(
+    compliance: f64,
+    retries: &[u8],
+    packets: usize,
+    seed: u64,
+) -> (u64, u64) {
+    let timing = MacTiming::dsss_2mbps();
+    let mut r = rng(seed);
+    let mut m = Monitor::new(NodeId::new(0), MonitorConfig::paper_default());
+    let mut idle: u64 = 0;
+    // Bootstrap exchange (no measurement possible).
+    m.on_rts(S, 0, 1, idle, &timing, &mut r);
+    m.on_data(S);
+    let mut assigned = m.assignment(S, &timing).count();
+    m.on_ack_sent(S, idle);
+
+    let mut flagged = 0;
+    let mut deviations = 0;
+    for i in 0..packets {
+        let seq = (i + 1) as u64;
+        let attempt = 1 + retries[i % retries.len()];
+        let expected = retry_fn::expected_total_backoff(assigned, S, attempt, &timing);
+        idle += (expected as f64 * compliance).round() as u64;
+        m.on_rts(S, seq, attempt, idle, &timing, &mut r);
+        let v = m.on_data(S);
+        if v.flagged {
+            flagged += 1;
+        }
+        if v.deviation_slots > 0.0 {
+            deviations += 1;
+        }
+        assigned = m.assignment(S, &timing).count();
+        m.on_ack_sent(S, idle);
+    }
+    (flagged, deviations)
+}
+
+proptest! {
+    #[test]
+    fn fully_compliant_senders_are_never_flagged(
+        seed in 1u64..10_000,
+        retries in proptest::collection::vec(0u8..4, 1..6),
+    ) {
+        let (flagged, deviations) = drive(1.0, &retries, 60, seed);
+        prop_assert_eq!(flagged, 0);
+        prop_assert_eq!(deviations, 0);
+    }
+
+    #[test]
+    fn overwaiting_senders_are_never_flagged(
+        seed in 1u64..10_000,
+        slack in 1.0f64..2.0,
+    ) {
+        let (flagged, deviations) = drive(slack, &[0], 60, seed);
+        prop_assert_eq!(flagged, 0);
+        prop_assert_eq!(deviations, 0);
+    }
+
+    #[test]
+    fn heavy_cheaters_are_flagged_quickly(
+        seed in 1u64..10_000,
+        pm in 0.5f64..1.0,
+    ) {
+        let compliance = 1.0 - pm;
+        let (flagged, _) = drive(compliance, &[0], 40, seed);
+        // With W = 5, at most the first handful of packets escape.
+        prop_assert!(
+            flagged >= 30,
+            "pm={pm}: only {flagged}/40 packets flagged"
+        );
+    }
+
+    #[test]
+    fn flagging_increases_with_misbehavior(
+        seed in 1u64..5_000,
+    ) {
+        let (mild, _) = drive(0.9, &[0], 60, seed);
+        let (heavy, _) = drive(0.2, &[0], 60, seed);
+        prop_assert!(heavy >= mild, "heavy {heavy} < mild {mild}");
+    }
+
+    #[test]
+    fn b_exp_reconstruction_is_additive_and_monotonic(
+        base in 0u32..32,
+        node in 0u32..64,
+        attempt in 2u8..8,
+    ) {
+        let timing = MacTiming::dsss_2mbps();
+        let n = NodeId::new(node);
+        let prev = retry_fn::expected_total_backoff(base, n, attempt - 1, &timing);
+        let cur = retry_fn::expected_total_backoff(base, n, attempt, &timing);
+        prop_assert_eq!(
+            cur - prev,
+            u64::from(retry_fn::retry_backoff(base, n, attempt, &timing).count())
+        );
+        prop_assert!(cur >= prev);
+    }
+
+    #[test]
+    fn assignments_stay_within_configured_bounds(
+        seed in 1u64..10_000,
+        compliance in 0.0f64..1.0,
+    ) {
+        let timing = MacTiming::dsss_2mbps();
+        let cfg = MonitorConfig::paper_default();
+        let mut r = rng(seed);
+        let mut m = Monitor::new(NodeId::new(0), cfg);
+        let mut idle: u64 = 0;
+        m.on_rts(S, 0, 1, idle, &timing, &mut r);
+        m.on_data(S);
+        m.on_ack_sent(S, idle);
+        for seq in 1..60u64 {
+            let assigned = m.assignment(S, &timing).count();
+            prop_assert!(
+                assigned <= cfg.correction.max_assignment,
+                "assignment {assigned} over cap"
+            );
+            idle += (f64::from(assigned) * compliance).round() as u64;
+            m.on_rts(S, seq, 1, idle, &timing, &mut r);
+            m.on_data(S);
+            m.on_ack_sent(S, idle);
+        }
+    }
+}

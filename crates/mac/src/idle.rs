@@ -1,0 +1,176 @@
+//! DIFS-gated idle-slot counting.
+//!
+//! Both sides of the paper's protocol count time the same way a DCF
+//! backoff counter does: after the channel goes idle, a DIFS must elapse,
+//! and only then do whole slot times count. The sender's backoff counter
+//! *is* this rule; the receiver's `B_act` observation ("the number of idle
+//! slots observed on the channel between sending an ACK and receiving the
+//! next RTS", §4.1) must apply the identical rule or the comparison
+//! `B_act < α·B_exp` would be biased even for honest senders.
+//!
+//! [`IdleSlotCounter`] therefore implements the rule once, and both the
+//! MAC's backoff engine and the receiver-side monitor consume it.
+
+use airguard_sim::{SimDuration, SimTime};
+
+/// Cumulative count of post-DIFS idle slots, fed by busy/idle edges.
+///
+/// ```
+/// use airguard_mac::IdleSlotCounter;
+/// use airguard_sim::SimTime;
+///
+/// let timing = airguard_mac::MacTiming::dsss_2mbps();
+/// let mut c = IdleSlotCounter::new(&timing);
+/// // Channel goes idle at t=0; DIFS is 50 µs, slots are 20 µs.
+/// c.on_idle(SimTime::from_micros(0));
+/// // At t=130 µs: 80 µs past the DIFS = 4 whole slots.
+/// assert_eq!(c.reading(SimTime::from_micros(130)), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IdleSlotCounter {
+    difs: SimDuration,
+    slot: SimDuration,
+    total: u64,
+    idle_since: Option<SimTime>,
+}
+
+impl IdleSlotCounter {
+    /// Creates a counter for the given timing parameters. The channel is
+    /// assumed busy until the first [`IdleSlotCounter::on_idle`].
+    #[must_use]
+    pub fn new(timing: &crate::timing::MacTiming) -> Self {
+        IdleSlotCounter {
+            difs: timing.difs,
+            slot: timing.slot,
+            total: 0,
+            idle_since: None,
+        }
+    }
+
+    /// Records that the channel became idle at `now`.
+    ///
+    /// Redundant idle edges are ignored (the first one wins, which is the
+    /// conservative reading: the DIFS gate restarts only on a busy edge).
+    pub fn on_idle(&mut self, now: SimTime) {
+        if self.idle_since.is_none() {
+            self.idle_since = Some(now);
+        }
+    }
+
+    /// Records that the channel became busy at `now`, banking the slots of
+    /// the idle period that just ended.
+    pub fn on_busy(&mut self, now: SimTime) {
+        self.total += self.pending_slots(now);
+        self.idle_since = None;
+    }
+
+    /// The cumulative idle-slot count as of `now`.
+    #[must_use]
+    pub fn reading(&self, now: SimTime) -> u64 {
+        self.total + self.pending_slots(now)
+    }
+
+    /// Whether the counter currently believes the channel is idle.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.idle_since.is_some()
+    }
+
+    fn pending_slots(&self, now: SimTime) -> u64 {
+        match self.idle_since {
+            Some(since) => {
+                let countable = now.saturating_since(since).saturating_sub(self.difs);
+                countable / self.slot
+            }
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::MacTiming;
+
+    fn counter() -> IdleSlotCounter {
+        IdleSlotCounter::new(&MacTiming::dsss_2mbps())
+    }
+
+    fn t(micros: u64) -> SimTime {
+        SimTime::from_micros(micros)
+    }
+
+    #[test]
+    fn starts_busy_and_counts_nothing() {
+        let c = counter();
+        assert!(!c.is_idle());
+        assert_eq!(c.reading(t(10_000)), 0);
+    }
+
+    #[test]
+    fn difs_gates_the_count() {
+        let mut c = counter();
+        c.on_idle(t(0));
+        assert_eq!(c.reading(t(49)), 0, "inside DIFS");
+        assert_eq!(c.reading(t(50)), 0, "DIFS boundary: no slot yet");
+        assert_eq!(c.reading(t(69)), 0, "first slot incomplete");
+        assert_eq!(c.reading(t(70)), 1, "first slot complete");
+        assert_eq!(c.reading(t(170)), 6);
+    }
+
+    #[test]
+    fn busy_banks_completed_slots() {
+        let mut c = counter();
+        c.on_idle(t(0));
+        c.on_busy(t(75)); // 25 µs past DIFS → 1 slot
+        assert_eq!(c.reading(t(1_000)), 1, "busy channel accrues nothing");
+        c.on_idle(t(1_000));
+        assert_eq!(c.reading(t(1_090)), 3, "1 banked + 2 new");
+    }
+
+    #[test]
+    fn short_gaps_count_zero() {
+        // A SIFS-sized gap (10 µs) never produces a slot: the DIFS gate
+        // filters the intra-exchange gaps out of B_act, matching the
+        // sender's frozen backoff counter.
+        let mut c = counter();
+        c.on_idle(t(0));
+        c.on_busy(t(10));
+        assert_eq!(c.reading(t(10)), 0);
+    }
+
+    #[test]
+    fn redundant_idle_edges_do_not_restart_gate() {
+        let mut c = counter();
+        c.on_idle(t(0));
+        c.on_idle(t(60)); // ignored
+        assert_eq!(c.reading(t(70)), 1);
+    }
+
+    #[test]
+    fn interleaved_busy_periods_accumulate() {
+        let mut c = counter();
+        let mut expect = 0;
+        let mut clock = 0;
+        for _ in 0..10 {
+            c.on_idle(t(clock));
+            clock += 50 + 20 * 3; // DIFS + 3 slots
+            c.on_busy(t(clock));
+            expect += 3;
+            clock += 500; // busy period
+        }
+        assert_eq!(c.reading(t(clock)), expect);
+    }
+
+    #[test]
+    fn reading_is_monotonic() {
+        let mut c = counter();
+        c.on_idle(t(0));
+        let mut last = 0;
+        for micros in (0..2_000).step_by(7) {
+            let r = c.reading(t(micros));
+            assert!(r >= last);
+            last = r;
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! IEEE 802.11 DCF MAC layer with pluggable backoff policies and selfish
+//! misbehavior strategies.
+//!
+//! This crate implements the Distributed Coordination Function as the
+//! paper's evaluation requires it: slotted backoff with freeze/resume,
+//! DIFS/SIFS interframe spacing, the RTS → CTS → DATA → ACK exchange,
+//! virtual carrier sense (NAV), CTS/ACK timeouts, the binary-exponential
+//! contention-window ladder, retry limits, and duplicate filtering.
+//!
+//! Two design decisions make the rest of the study possible:
+//!
+//! * **Effect style.** [`Mac`] is a pure state machine: it consumes typed
+//!   [`MacInput`]s (channel busy/idle edges, decoded frames, timers) and
+//!   emits [`MacEffect`]s (start a transmission, set a timer, deliver a
+//!   packet). The simulation runner in `airguard-net` owns the event loop
+//!   and applies effects; tests drive the machine directly with no
+//!   simulator at all.
+//! * **Pluggable backoff.** Everything the paper changes about 802.11 is
+//!   behind the [`policy::BackoffPolicy`] trait: where fresh and retry
+//!   backoff values come from, what gets embedded in CTS/ACK frames, and
+//!   what the receiver observes. [`policy::Dcf80211`] is the faithful
+//!   baseline; the paper's receiver-assigned scheme lives in
+//!   `airguard-core`; selfish strategies are decorators in
+//!   [`misbehavior`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod dcf;
+pub mod frames;
+pub mod idle;
+pub mod misbehavior;
+pub mod policy;
+pub mod timing;
+
+pub use analytic::ExchangeModel;
+pub use dcf::{AccessMode, Mac, MacConfig, MacEffect, MacInput, TimerKind};
+pub use frames::{Frame, FrameKind};
+pub use idle::IdleSlotCounter;
+pub use misbehavior::{Misbehavior, Selfish};
+pub use policy::{BackoffPolicy, Dcf80211, PacketVerdict};
+pub use timing::{MacTiming, Slots};

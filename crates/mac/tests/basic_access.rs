@@ -1,0 +1,138 @@
+//! Unit-level tests of the basic (two-way) access state machine, driven
+//! without a simulator.
+
+use airguard_mac::dcf::{AccessMode, Mac, MacConfig, MacEffect, MacInput, TimerKind};
+use airguard_mac::frames::{ExchangeDurations, Frame, FrameKind};
+use airguard_mac::{Dcf80211, MacTiming};
+use airguard_sim::{MasterSeed, NodeId, SimDuration, SimTime};
+
+fn t(micros: u64) -> SimTime {
+    SimTime::from_micros(micros)
+}
+
+fn basic_mac() -> Mac<Dcf80211> {
+    Mac::new(
+        NodeId::new(1),
+        MacConfig {
+            access: AccessMode::Basic,
+            ..MacConfig::default()
+        },
+        Dcf80211::new(),
+        MasterSeed::new(8).stream("basic-test", 0),
+    )
+}
+
+fn started(fx: &[MacEffect]) -> Option<&Frame> {
+    fx.iter().find_map(|e| match e {
+        MacEffect::StartTx(f) => Some(f),
+        _ => None,
+    })
+}
+
+fn timer(fx: &[MacEffect], kind: TimerKind) -> Option<SimDuration> {
+    fx.iter().find_map(|e| match e {
+        MacEffect::SetTimer { kind: k, after } if *k == kind => Some(*after),
+        _ => None,
+    })
+}
+
+#[test]
+fn backoff_expiry_transmits_data_directly() {
+    let mut m = basic_mac();
+    let fx = m.handle(
+        t(0),
+        MacInput::Enqueue {
+            dst: NodeId::new(0),
+            bytes: 512,
+        },
+    );
+    let after = timer(&fx, TimerKind::Backoff).expect("backoff armed");
+    let fx = m.handle(t(after.as_micros()), MacInput::Timer(TimerKind::Backoff));
+    let frame = started(&fx).expect("frame transmitted");
+    assert_eq!(frame.kind, FrameKind::Data, "no RTS under basic access");
+    assert_eq!(frame.payload_bytes, 512);
+    // Duration field reserves SIFS + ACK.
+    let timing = MacTiming::dsss_2mbps();
+    let d = ExchangeDurations::compute(&timing, 512, false);
+    assert_eq!(frame.duration_field, d.data);
+    assert_eq!(m.counters().rts_sent, 0);
+}
+
+#[test]
+fn data_tx_end_arms_ack_timeout() {
+    let mut m = basic_mac();
+    let fx = m.handle(
+        t(0),
+        MacInput::Enqueue {
+            dst: NodeId::new(0),
+            bytes: 512,
+        },
+    );
+    let after = timer(&fx, TimerKind::Backoff).unwrap();
+    m.handle(t(after.as_micros()), MacInput::Timer(TimerKind::Backoff));
+    m.handle(t(after.as_micros()), MacInput::ChannelBusy);
+    let end = after.as_micros() + 2352;
+    let fx = m.handle(t(end), MacInput::OwnTxEnd);
+    assert!(timer(&fx, TimerKind::AckTimeout).is_some());
+    assert!(timer(&fx, TimerKind::CtsTimeout).is_none());
+}
+
+#[test]
+fn ack_completes_the_two_way_exchange() {
+    let mut m = basic_mac();
+    let fx = m.handle(
+        t(0),
+        MacInput::Enqueue {
+            dst: NodeId::new(0),
+            bytes: 512,
+        },
+    );
+    let after = timer(&fx, TimerKind::Backoff).unwrap();
+    m.handle(t(after.as_micros()), MacInput::Timer(TimerKind::Backoff));
+    m.handle(t(after.as_micros()), MacInput::ChannelBusy);
+    let end = after.as_micros() + 2352;
+    m.handle(t(end), MacInput::OwnTxEnd);
+    m.handle(t(end), MacInput::ChannelIdle);
+    let ack = Frame {
+        kind: FrameKind::Ack,
+        src: NodeId::new(0),
+        dst: NodeId::new(1),
+        duration_field: SimDuration::ZERO,
+        attempt: 0,
+        assigned_backoff: None,
+        payload_bytes: 0,
+        seq: 0,
+    };
+    let fx = m.handle(t(end + 260), MacInput::Decoded(ack));
+    assert!(fx.iter().any(|e| matches!(
+        e,
+        MacEffect::SendComplete { seq: 0, attempts: 1, .. }
+    )));
+    assert_eq!(m.queue_len(), 0);
+}
+
+#[test]
+fn ack_timeout_retries_the_data_frame() {
+    let mut m = basic_mac();
+    let fx = m.handle(
+        t(0),
+        MacInput::Enqueue {
+            dst: NodeId::new(0),
+            bytes: 512,
+        },
+    );
+    let after = timer(&fx, TimerKind::Backoff).unwrap();
+    m.handle(t(after.as_micros()), MacInput::Timer(TimerKind::Backoff));
+    m.handle(t(after.as_micros()), MacInput::ChannelBusy);
+    let end = after.as_micros() + 2352;
+    m.handle(t(end), MacInput::OwnTxEnd);
+    m.handle(t(end), MacInput::ChannelIdle);
+    let fx = m.handle(t(end + 300), MacInput::Timer(TimerKind::AckTimeout));
+    assert_eq!(m.counters().ack_timeouts, 1);
+    assert!(timer(&fx, TimerKind::Backoff).is_some(), "re-enters backoff");
+    // The retry transmits DATA again, not an RTS.
+    let retry_at = end + 300 + timer(&fx, TimerKind::Backoff).unwrap().as_micros();
+    let fx = m.handle(t(retry_at), MacInput::Timer(TimerKind::Backoff));
+    assert_eq!(started(&fx).unwrap().kind, FrameKind::Data);
+    assert_eq!(started(&fx).unwrap().seq, 0, "same packet");
+}

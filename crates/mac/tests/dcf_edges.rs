@@ -1,0 +1,240 @@
+//! Edge-path tests of the DCF machine driven through a recording stub
+//! policy: protocol-extension serialization, monitor hook timing, NAV
+//! reset, and response-conflict handling.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use airguard_mac::dcf::{Mac, MacConfig, MacEffect, MacInput, TimerKind};
+use airguard_mac::frames::{ExchangeDurations, Frame, FrameKind};
+use airguard_mac::policy::{uniform_backoff, BackoffPolicy};
+use airguard_mac::timing::{MacTiming, Slots};
+use airguard_sim::{MasterSeed, NodeId, RngStream, SimTime};
+
+/// A policy that uses protocol extensions, assigns a fixed backoff, and
+/// records every hook invocation.
+#[derive(Debug, Clone, Default)]
+struct RecordingPolicy {
+    log: Rc<RefCell<Vec<String>>>,
+    assign: u32,
+}
+
+impl BackoffPolicy for RecordingPolicy {
+    fn uses_protocol_extensions(&self) -> bool {
+        true
+    }
+
+    fn fresh_backoff(&mut self, _: NodeId, timing: &MacTiming, rng: &mut RngStream) -> Slots {
+        uniform_backoff(timing.cw_min, rng)
+    }
+
+    fn retry_backoff(&mut self, _: NodeId, a: u8, timing: &MacTiming, rng: &mut RngStream) -> Slots {
+        uniform_backoff(timing.cw_for_attempt(a), rng)
+    }
+
+    fn observe_rts(
+        &mut self,
+        src: NodeId,
+        seq: u64,
+        attempt: u8,
+        idle_reading: u64,
+        _: &MacTiming,
+        _: &mut RngStream,
+    ) {
+        self.log
+            .borrow_mut()
+            .push(format!("rts src={src} seq={seq} attempt={attempt} idle={idle_reading}"));
+    }
+
+    fn assignment_for(&mut self, _: NodeId, _: &MacTiming) -> Option<Slots> {
+        Some(Slots::new(self.assign))
+    }
+
+    fn observe_ack_sent(&mut self, dst: NodeId, idle_reading: u64) {
+        self.log
+            .borrow_mut()
+            .push(format!("ack-sent dst={dst} idle={idle_reading}"));
+    }
+}
+
+fn t(micros: u64) -> SimTime {
+    SimTime::from_micros(micros)
+}
+
+fn mac_with(assign: u32) -> (Mac<RecordingPolicy>, Rc<RefCell<Vec<String>>>) {
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let policy = RecordingPolicy {
+        log: Rc::clone(&log),
+        assign,
+    };
+    (
+        Mac::new(
+            NodeId::new(0),
+            MacConfig::default(),
+            policy,
+            MasterSeed::new(3).stream("edges", 0),
+        ),
+        log,
+    )
+}
+
+fn rts(src: u32, dst: u32, seq: u64, attempt: u8) -> Frame {
+    let timing = MacTiming::dsss_2mbps();
+    let d = ExchangeDurations::compute(&timing, 512, true);
+    Frame {
+        kind: FrameKind::Rts,
+        src: NodeId::new(src),
+        dst: NodeId::new(dst),
+        duration_field: d.rts,
+        attempt,
+        assigned_backoff: None,
+        payload_bytes: 0,
+        seq,
+    }
+}
+
+fn started(fx: &[MacEffect]) -> Option<&Frame> {
+    fx.iter().find_map(|e| match e {
+        MacEffect::StartTx(f) => Some(f),
+        _ => None,
+    })
+}
+
+#[test]
+fn cts_carries_the_policy_assignment() {
+    let (mut m, _) = mac_with(23);
+    m.handle(t(100), MacInput::Decoded(rts(5, 0, 0, 1)));
+    let fx = m.handle(t(110), MacInput::Timer(TimerKind::Response));
+    let cts = started(&fx).expect("CTS sent");
+    assert_eq!(cts.kind, FrameKind::Cts);
+    assert_eq!(cts.assigned_backoff, Some(Slots::new(23)));
+    // Extension bytes are accounted in the air time.
+    assert_eq!(cts.bytes(), 16);
+}
+
+#[test]
+fn ack_carries_assignment_and_hook_fires_at_tx_end() {
+    let (mut m, log) = mac_with(12);
+    let timing = MacTiming::dsss_2mbps();
+    let mut data = rts(5, 0, 7, 0);
+    data.kind = FrameKind::Data;
+    data.payload_bytes = 512;
+    data.duration_field = ExchangeDurations::compute(&timing, 512, true).data;
+    m.handle(t(1_000), MacInput::Decoded(data));
+    let fx = m.handle(t(1_010), MacInput::Timer(TimerKind::Response));
+    let ack = started(&fx).expect("ACK sent");
+    assert_eq!(ack.kind, FrameKind::Ack);
+    assert_eq!(ack.assigned_backoff, Some(Slots::new(12)));
+    assert!(
+        !log.borrow().iter().any(|l| l.starts_with("ack-sent")),
+        "hook must not fire before the ACK leaves the air"
+    );
+    m.handle(t(1_010), MacInput::ChannelBusy);
+    m.handle(t(1_268), MacInput::OwnTxEnd);
+    assert!(log.borrow().iter().any(|l| l.starts_with("ack-sent dst=n5")));
+}
+
+#[test]
+fn observe_rts_gets_seq_attempt_and_idle_reading() {
+    let (mut m, log) = mac_with(9);
+    // 100 idle µs beyond DIFS at t=150: floor((150-50)/20) = 5 slots.
+    m.handle(t(150), MacInput::Decoded(rts(5, 0, 42, 3)));
+    let entries = log.borrow();
+    assert_eq!(entries.len(), 1);
+    assert_eq!(entries[0], "rts src=n5 seq=42 attempt=3 idle=5");
+}
+
+#[test]
+fn second_rts_during_pending_response_is_ignored() {
+    let (mut m, log) = mac_with(9);
+    m.handle(t(100), MacInput::Decoded(rts(5, 0, 0, 1)));
+    let fx = m.handle(t(102), MacInput::Decoded(rts(6, 0, 0, 1)));
+    assert!(started(&fx).is_none());
+    assert_eq!(
+        log.borrow().len(),
+        1,
+        "the ignored RTS must not reach the monitor"
+    );
+}
+
+#[test]
+fn nav_reset_clears_stale_reservation() {
+    let (mut m, _) = mac_with(9);
+    // Overhear an RTS for someone else: NAV armed for the full exchange.
+    m.handle(t(0), MacInput::Decoded(rts(5, 9, 0, 1)));
+    assert!(m.channel_busy(), "NAV set");
+    // No CTS ever starts; the NavReset check fires (SIFS + CTS-air +
+    // 2 slots = 306 µs later) with the channel idle since before the RTS
+    // decode.
+    let fx = m.handle(t(310), MacInput::Timer(TimerKind::NavReset));
+    assert!(
+        fx.contains(&MacEffect::CancelTimer(TimerKind::NavExpire)),
+        "NAV expiry timer dropped"
+    );
+    assert!(!m.channel_busy(), "stale NAV cleared");
+}
+
+#[test]
+fn nav_reset_keeps_reservation_when_exchange_proceeds() {
+    let (mut m, _) = mac_with(9);
+    m.handle(t(0), MacInput::Decoded(rts(5, 9, 0, 1)));
+    // The CTS (someone transmitting) makes the channel busy before the
+    // reset check.
+    m.handle(t(20), MacInput::ChannelBusy);
+    m.handle(t(270), MacInput::ChannelIdle);
+    m.handle(t(310), MacInput::Timer(TimerKind::NavReset));
+    assert!(m.channel_busy(), "NAV must survive a live exchange");
+}
+
+#[test]
+fn rts_attempt_field_reflects_policy_report() {
+    let (mut m, _) = mac_with(9);
+    let fx = m.handle(
+        t(0),
+        MacInput::Enqueue {
+            dst: NodeId::new(5),
+            bytes: 512,
+        },
+    );
+    let after = fx
+        .iter()
+        .find_map(|e| match e {
+            MacEffect::SetTimer {
+                kind: TimerKind::Backoff,
+                after,
+            } => Some(*after),
+            _ => None,
+        })
+        .expect("backoff armed");
+    let fx = m.handle(t(after.as_micros()), MacInput::Timer(TimerKind::Backoff));
+    let frame = started(&fx).expect("RTS");
+    assert_eq!(frame.attempt, 1, "extensions serialize the attempt number");
+    assert_eq!(frame.bytes(), 21, "RTS grows by the attempt byte");
+}
+
+#[test]
+fn duplicate_data_still_reaches_no_monitor_classification() {
+    let (mut m, _) = mac_with(9);
+    let timing = MacTiming::dsss_2mbps();
+    let mut data = rts(5, 0, 3, 0);
+    data.kind = FrameKind::Data;
+    data.payload_bytes = 512;
+    data.duration_field = ExchangeDurations::compute(&timing, 512, true).data;
+
+    let fx = m.handle(t(0), MacInput::Decoded(data.clone()));
+    assert!(fx.iter().any(|e| matches!(e, MacEffect::Delivered { .. })));
+    m.handle(t(10), MacInput::Timer(TimerKind::Response));
+    m.handle(t(10), MacInput::ChannelBusy);
+    m.handle(t(300), MacInput::OwnTxEnd);
+    m.handle(t(300), MacInput::ChannelIdle);
+
+    let fx = m.handle(t(5_000), MacInput::Decoded(data));
+    assert!(
+        !fx.iter().any(|e| matches!(e, MacEffect::Delivered { .. })),
+        "duplicate must not deliver"
+    );
+    assert!(
+        !fx.iter().any(|e| matches!(e, MacEffect::Classified { .. })),
+        "duplicate must not classify"
+    );
+}

@@ -1,0 +1,70 @@
+//! Property tests of timing arithmetic and the idle-slot counter.
+
+use airguard_mac::{IdleSlotCounter, MacTiming};
+use airguard_sim::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn air_time_is_monotonic_in_bytes(a in 0u32..4096, b in 0u32..4096) {
+        let t = MacTiming::dsss_2mbps();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(t.air_time(lo) <= t.air_time(hi));
+    }
+
+    #[test]
+    fn cw_ladder_is_monotonic_and_bounded(a in 1u8..30, b in 1u8..30) {
+        let t = MacTiming::dsss_2mbps();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(t.cw_for_attempt(lo) <= t.cw_for_attempt(hi));
+        prop_assert!(t.cw_for_attempt(hi) <= t.cw_max);
+        prop_assert!(t.cw_for_attempt(lo) >= t.cw_min);
+    }
+
+    #[test]
+    fn idle_counter_equals_brute_force(
+        // Alternating idle/busy segment lengths in microseconds.
+        segments in proptest::collection::vec(1u64..3_000, 1..24),
+    ) {
+        let timing = MacTiming::dsss_2mbps();
+        let mut counter = IdleSlotCounter::new(&timing);
+        let slot = timing.slot.as_micros();
+        let difs = timing.difs.as_micros();
+
+        let mut clock = 0u64;
+        let mut expected = 0u64;
+        // Even segments are idle, odd are busy.
+        for (i, &len) in segments.iter().enumerate() {
+            if i % 2 == 0 {
+                counter.on_idle(SimTime::from_micros(clock));
+                clock += len;
+                counter.on_busy(SimTime::from_micros(clock));
+                expected += len.saturating_sub(difs) / slot;
+            } else {
+                clock += len; // stay busy
+            }
+        }
+        prop_assert_eq!(counter.reading(SimTime::from_micros(clock)), expected);
+    }
+
+    #[test]
+    fn idle_counter_never_decreases(
+        segments in proptest::collection::vec(1u64..2_000, 2..16),
+    ) {
+        let timing = MacTiming::dsss_2mbps();
+        let mut counter = IdleSlotCounter::new(&timing);
+        let mut clock = 0u64;
+        let mut last = 0u64;
+        for (i, &len) in segments.iter().enumerate() {
+            if i % 2 == 0 {
+                counter.on_idle(SimTime::from_micros(clock));
+            } else {
+                counter.on_busy(SimTime::from_micros(clock));
+            }
+            clock += len;
+            let r = counter.reading(SimTime::from_micros(clock));
+            prop_assert!(r >= last);
+            last = r;
+        }
+    }
+}

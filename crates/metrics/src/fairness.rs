@@ -1,0 +1,83 @@
+//! Jain's fairness index.
+
+/// Jain's fairness index over per-flow throughputs (§5, citing Jain et
+/// al.):
+///
+/// ```text
+/// FI = (Σ T_f)² / (N · Σ T_f²)
+/// ```
+///
+/// The index is 1 when all flows are equal, and `1/N` when one flow takes
+/// everything. An empty slice, or one where every flow is zero, yields 0
+/// (no traffic means no fairness to speak of).
+///
+/// ```
+/// use airguard_metrics::jain_index;
+///
+/// assert_eq!(jain_index(&[100.0, 100.0, 100.0]), 1.0);
+/// assert!((jain_index(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn jain_index(throughputs: &[f64]) -> f64 {
+    let n = throughputs.len() as f64;
+    let sum: f64 = throughputs.iter().sum();
+    let sum_sq: f64 = throughputs.iter().map(|t| t * t).sum();
+    if n == 0.0 || sum_sq == 0.0 {
+        0.0
+    } else {
+        (sum * sum) / (n * sum_sq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn equal_flows_are_perfectly_fair() {
+        assert!((jain_index(&[5.0; 8]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[0.001; 3]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monopolized_channel_scores_one_over_n() {
+        let mut t = vec![0.0; 10];
+        t[3] = 42.0;
+        assert!((jain_index(&t) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_score_zero() {
+        assert_eq!(jain_index(&[]), 0.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn mild_unfairness_scores_below_one() {
+        let fi = jain_index(&[100.0, 100.0, 100.0, 100.0, 100.0, 100.0, 100.0, 50.0]);
+        assert!(fi > 0.9 && fi < 1.0, "got {fi}");
+    }
+
+    proptest! {
+        #[test]
+        fn index_is_bounded(t in proptest::collection::vec(0.0f64..1e6, 1..64)) {
+            let fi = jain_index(&t);
+            let n = t.len() as f64;
+            prop_assert!(fi >= 0.0);
+            prop_assert!(fi <= 1.0 + 1e-9);
+            if t.iter().any(|&x| x > 0.0) {
+                prop_assert!(fi >= 1.0 / n - 1e-9);
+            }
+        }
+
+        #[test]
+        fn index_is_scale_invariant(
+            t in proptest::collection::vec(0.1f64..1e3, 2..32),
+            k in 0.1f64..100.0,
+        ) {
+            let scaled: Vec<f64> = t.iter().map(|x| x * k).collect();
+            prop_assert!((jain_index(&t) - jain_index(&scaled)).abs() < 1e-9);
+        }
+    }
+}

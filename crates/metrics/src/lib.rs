@@ -1,0 +1,32 @@
+//! Measurement machinery for the paper's evaluation metrics.
+//!
+//! The paper evaluates four quantities (§5):
+//!
+//! 1. **Correct diagnosis** — % of packets from misbehaving senders that
+//!    the receiver classifies as misbehaving ([`diagnosis`]);
+//! 2. **Misdiagnosis** — % of packets from well-behaved senders wrongly
+//!    classified ([`diagnosis`]);
+//! 3. **Per-node throughput** — average of well-behaved senders ("AVG")
+//!    and of misbehaving senders ("MSB") ([`throughput`]);
+//! 4. **Jain's fairness index** over flow throughputs ([`fairness`]).
+//!
+//! Fig. 8 additionally needs diagnosis accuracy *over time*, provided by
+//! [`series::TimeBinned`]. Every figure averages 30 seeded runs;
+//! [`aggregate`] supplies the mean/std/CI machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod delay;
+pub mod diagnosis;
+pub mod fairness;
+pub mod series;
+pub mod throughput;
+
+pub use aggregate::Summary;
+pub use delay::DelayAccount;
+pub use diagnosis::DiagnosisTally;
+pub use fairness::jain_index;
+pub use series::TimeBinned;
+pub use throughput::ThroughputAccount;

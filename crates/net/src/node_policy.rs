@@ -1,0 +1,216 @@
+//! The concrete per-node policy: either baseline 802.11 or the paper's
+//! modified protocol, each optionally wrapped in a selfish strategy.
+//!
+//! An enum (rather than `Box<dyn BackoffPolicy>`) keeps end-of-run
+//! introspection simple: the runner can pattern-match to pull the
+//! [`MonitorReport`] out of a `Correct` node without downcasting.
+
+use airguard_core::{CorrectConfig, CorrectPolicy, PairStats};
+use airguard_mac::{BackoffPolicy, Dcf80211, MacTiming, Misbehavior, PacketVerdict, Selfish, Slots};
+use airguard_core::monitor::MonitorReport;
+use airguard_sim::{NodeId, RngStream};
+
+/// The policy stack of one simulated node.
+///
+/// The variants differ greatly in size (the modified protocol carries
+/// per-sender monitor state), but nodes are created once per run and
+/// never moved, so boxing the large variant would only add indirection
+/// to the per-frame hot path.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
+pub enum NodePolicy {
+    /// Plain IEEE 802.11 DCF (optionally selfish).
+    Dot11(Misbehavior<Dcf80211>),
+    /// The paper's receiver-assigned-backoff protocol (optionally
+    /// selfish as a sender; always honest as a receiver).
+    Correct(Misbehavior<CorrectPolicy>),
+}
+
+impl NodePolicy {
+    /// Builds a baseline-protocol node with the given strategy.
+    #[must_use]
+    pub fn dot11(strategy: Selfish) -> Self {
+        NodePolicy::Dot11(Misbehavior::new(Dcf80211::new(), strategy))
+    }
+
+    /// Builds a modified-protocol node with the given strategy.
+    #[must_use]
+    pub fn correct(id: NodeId, cfg: CorrectConfig, strategy: Selfish) -> Self {
+        NodePolicy::Correct(Misbehavior::new(CorrectPolicy::new(id, cfg), strategy))
+    }
+
+    /// The monitor report, when this node runs the modified protocol.
+    #[must_use]
+    pub fn monitor_report(&self) -> Option<MonitorReport> {
+        match self {
+            NodePolicy::Dot11(_) => None,
+            NodePolicy::Correct(p) => Some(p.inner().monitor_report()),
+        }
+    }
+
+    /// Third-party observation report, when this node runs the modified
+    /// protocol with the observer extension enabled.
+    #[must_use]
+    pub fn observer_report(&self) -> Option<Vec<PairStats>> {
+        match self {
+            NodePolicy::Dot11(_) => None,
+            NodePolicy::Correct(p) => p.inner().observer_report(),
+        }
+    }
+
+    /// Receiver-assignment violations this node detected via the `g`
+    /// check (modified protocol with `verify_receiver` only).
+    #[must_use]
+    pub fn receiver_violations(&self) -> Option<u64> {
+        match self {
+            NodePolicy::Dot11(_) => None,
+            NodePolicy::Correct(p) => Some(p.inner().receiver_violations()),
+        }
+    }
+
+    /// The selfish strategy this node runs.
+    #[must_use]
+    pub fn strategy(&self) -> Selfish {
+        match self {
+            NodePolicy::Dot11(p) => p.strategy(),
+            NodePolicy::Correct(p) => p.strategy(),
+        }
+    }
+}
+
+impl BackoffPolicy for NodePolicy {
+    fn uses_protocol_extensions(&self) -> bool {
+        match self {
+            NodePolicy::Dot11(p) => p.uses_protocol_extensions(),
+            NodePolicy::Correct(p) => p.uses_protocol_extensions(),
+        }
+    }
+
+    fn fresh_backoff(&mut self, dst: NodeId, timing: &MacTiming, rng: &mut RngStream) -> Slots {
+        match self {
+            NodePolicy::Dot11(p) => p.fresh_backoff(dst, timing, rng),
+            NodePolicy::Correct(p) => p.fresh_backoff(dst, timing, rng),
+        }
+    }
+
+    fn retry_backoff(
+        &mut self,
+        dst: NodeId,
+        attempt: u8,
+        timing: &MacTiming,
+        rng: &mut RngStream,
+    ) -> Slots {
+        match self {
+            NodePolicy::Dot11(p) => p.retry_backoff(dst, attempt, timing, rng),
+            NodePolicy::Correct(p) => p.retry_backoff(dst, attempt, timing, rng),
+        }
+    }
+
+    fn observe_assignment(
+        &mut self,
+        from: NodeId,
+        seq: u64,
+        assigned: Option<Slots>,
+        timing: &MacTiming,
+    ) {
+        match self {
+            NodePolicy::Dot11(p) => p.observe_assignment(from, seq, assigned, timing),
+            NodePolicy::Correct(p) => p.observe_assignment(from, seq, assigned, timing),
+        }
+    }
+
+    fn observe_rts(
+        &mut self,
+        src: NodeId,
+        seq: u64,
+        attempt: u8,
+        idle_reading: u64,
+        timing: &MacTiming,
+        rng: &mut RngStream,
+    ) {
+        match self {
+            NodePolicy::Dot11(p) => p.observe_rts(src, seq, attempt, idle_reading, timing, rng),
+            NodePolicy::Correct(p) => p.observe_rts(src, seq, attempt, idle_reading, timing, rng),
+        }
+    }
+
+    fn assignment_for(&mut self, dst: NodeId, timing: &MacTiming) -> Option<Slots> {
+        match self {
+            NodePolicy::Dot11(p) => p.assignment_for(dst, timing),
+            NodePolicy::Correct(p) => p.assignment_for(dst, timing),
+        }
+    }
+
+    fn observe_ack_sent(&mut self, dst: NodeId, idle_reading: u64) {
+        match self {
+            NodePolicy::Dot11(p) => p.observe_ack_sent(dst, idle_reading),
+            NodePolicy::Correct(p) => p.observe_ack_sent(dst, idle_reading),
+        }
+    }
+
+    fn observe_data(&mut self, src: NodeId) -> Option<PacketVerdict> {
+        match self {
+            NodePolicy::Dot11(p) => p.observe_data(src),
+            NodePolicy::Correct(p) => p.observe_data(src),
+        }
+    }
+
+    fn should_respond_rts(
+        &mut self,
+        src: NodeId,
+        seq: u64,
+        attempt: u8,
+        rng: &mut RngStream,
+    ) -> bool {
+        match self {
+            NodePolicy::Dot11(p) => p.should_respond_rts(src, seq, attempt, rng),
+            NodePolicy::Correct(p) => p.should_respond_rts(src, seq, attempt, rng),
+        }
+    }
+
+    fn report_attempt(&mut self, actual: u8) -> u8 {
+        match self {
+            NodePolicy::Dot11(p) => p.report_attempt(actual),
+            NodePolicy::Correct(p) => p.report_attempt(actual),
+        }
+    }
+
+    fn observe_overheard(
+        &mut self,
+        frame: &airguard_mac::frames::Frame,
+        idle_reading: u64,
+        timing: &MacTiming,
+    ) {
+        match self {
+            NodePolicy::Dot11(p) => p.observe_overheard(frame, idle_reading, timing),
+            NodePolicy::Correct(p) => p.observe_overheard(frame, idle_reading, timing),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_extension_flag_tracks_variant() {
+        let d = NodePolicy::dot11(Selfish::None);
+        let c = NodePolicy::correct(NodeId::new(1), CorrectConfig::paper_default(), Selfish::None);
+        assert!(!d.uses_protocol_extensions());
+        assert!(c.uses_protocol_extensions());
+    }
+
+    #[test]
+    fn monitor_report_only_for_correct_nodes() {
+        let d = NodePolicy::dot11(Selfish::None);
+        let c = NodePolicy::correct(NodeId::new(1), CorrectConfig::paper_default(), Selfish::None);
+        assert!(d.monitor_report().is_none());
+        assert!(c.monitor_report().is_some());
+    }
+
+    #[test]
+    fn strategy_is_preserved() {
+        let p = NodePolicy::dot11(Selfish::BackoffScale { pm: 40.0 });
+        assert_eq!(p.strategy(), Selfish::BackoffScale { pm: 40.0 });
+    }
+}

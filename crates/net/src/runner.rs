@@ -1,0 +1,571 @@
+//! The simulation runner: the event loop that connects MACs, the medium,
+//! reception trackers, traffic, and metrics.
+//!
+//! The runner owns one [`Scheduler`] and dispatches five event kinds:
+//!
+//! * `Traffic` — a CBR generator enqueues a packet and re-arms itself;
+//! * `MacTimer` — a timer the MAC armed fires;
+//! * `TxEnd` — a node's own transmission leaves the air;
+//! * `RxStart` / `RxEnd` — a transmission's leading/trailing edge reaches
+//!   a listener, as sampled by the [`Medium`].
+//!
+//! MAC effects are applied inline: `StartTx` samples listener outcomes
+//! from the medium and schedules their arrival events; timer effects
+//! update the per-node timer table; delivery/classification effects feed
+//! the metric accumulators. Inputs generated while applying effects (e.g.
+//! the busy edge caused by a node's own transmission) are queued and
+//! processed before the next scheduler pop, so the system is always
+//! consistent at each instant.
+
+use std::collections::{HashMap, VecDeque};
+
+use airguard_mac::dcf::MacCounters;
+use airguard_mac::{Frame, Mac, MacConfig, MacEffect, MacInput, TimerKind};
+use airguard_metrics::{jain_index, DelayAccount, DiagnosisTally, ThroughputAccount, TimeBinned};
+use airguard_phy::reception::DecodeOutcome;
+use airguard_phy::{Dbm, Fading, Medium, PhyConfig, RxTracker, TransmissionId};
+use airguard_core::monitor::MonitorReport;
+use airguard_core::PairStats;
+use airguard_sim::trace::Trace;
+use airguard_sim::{EventId, MasterSeed, NodeId, Scheduler, SimDuration, SimTime};
+
+use crate::node_policy::NodePolicy;
+use crate::topology::Topology;
+use crate::traffic::CbrState;
+
+/// Global knobs of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationConfig {
+    /// Radio configuration.
+    pub phy: PhyConfig,
+    /// MAC configuration shared by all nodes.
+    pub mac: MacConfig,
+    /// Simulated time to run.
+    pub horizon: SimDuration,
+    /// Bin width of the diagnosis time series (Fig. 8 uses 1 s).
+    pub diag_bin: SimDuration,
+    /// Temporal behaviour of the shadowing deviate (the paper redraws
+    /// per transmission).
+    pub fading: Fading,
+    /// Master seed for all randomness in the run.
+    pub seed: MasterSeed,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            phy: PhyConfig::paper_default(),
+            mac: MacConfig::default(),
+            horizon: SimDuration::from_secs(50),
+            diag_bin: SimDuration::from_secs(1),
+            fading: Fading::PerTransmission,
+            seed: MasterSeed::new(1),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    Traffic { flow: usize },
+    MacTimer { node: usize, kind: TimerKind },
+    TxEnd { node: usize },
+    RxStart {
+        listener: usize,
+        tx: TransmissionId,
+        power: Dbm,
+        receivable: bool,
+    },
+    RxEnd {
+        listener: usize,
+        tx: TransmissionId,
+        frame: Frame,
+    },
+}
+
+struct SimNode {
+    mac: Mac<NodePolicy>,
+    tracker: RxTracker,
+    timers: HashMap<TimerKind, EventId>,
+}
+
+/// Everything measured in one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Simulated time covered.
+    pub elapsed: SimDuration,
+    /// Per-flow delivery accounting.
+    pub throughput: ThroughputAccount,
+    /// Per-packet diagnosis outcomes vs ground truth.
+    pub tally: DiagnosisTally,
+    /// Diagnosis outcomes of misbehaving senders over time (Fig. 8).
+    pub series: TimeBinned,
+    /// Per-sender MAC delay (enqueue to ACK) of acknowledged packets.
+    pub delays: DelayAccount,
+    /// Senders of measured flows.
+    pub measured_senders: Vec<NodeId>,
+    /// Measured (src, dst) flow pairs.
+    pub measured_flows: Vec<(NodeId, NodeId)>,
+    /// Ground-truth misbehaving nodes.
+    pub misbehaving: Vec<NodeId>,
+    /// Per-node MAC counters (indexed by node id).
+    pub counters: Vec<MacCounters>,
+    /// Monitor reports of modified-protocol nodes.
+    pub monitors: Vec<(NodeId, MonitorReport)>,
+    /// Per-node receiver-assignment violations detected by the §4.4
+    /// `g` check (modified-protocol nodes with verification enabled).
+    pub receiver_violations: Vec<(NodeId, u64)>,
+    /// Third-party observation reports (nodes with the observer
+    /// extension enabled).
+    pub observers: Vec<(NodeId, Vec<PairStats>)>,
+    /// Total scheduler events processed.
+    pub events: u64,
+}
+
+impl RunReport {
+    /// The diagnosis tally (correct-diagnosis % and misdiagnosis %).
+    #[must_use]
+    pub fn diagnosis(&self) -> &DiagnosisTally {
+        &self.tally
+    }
+
+    /// Mean throughput of misbehaving measured senders, bit/s ("MSB").
+    #[must_use]
+    pub fn msb_throughput_bps(&self) -> f64 {
+        let msb: Vec<NodeId> = self
+            .measured_senders
+            .iter()
+            .copied()
+            .filter(|s| self.misbehaving.contains(s))
+            .collect();
+        self.throughput.mean_sender_throughput_bps(&msb, self.elapsed)
+    }
+
+    /// Mean throughput of well-behaved measured senders, bit/s ("AVG").
+    #[must_use]
+    pub fn avg_throughput_bps(&self) -> f64 {
+        let wb: Vec<NodeId> = self
+            .measured_senders
+            .iter()
+            .copied()
+            .filter(|s| !self.misbehaving.contains(s))
+            .collect();
+        self.throughput.mean_sender_throughput_bps(&wb, self.elapsed)
+    }
+
+    /// Mean MAC delay (ms) of misbehaving measured senders.
+    #[must_use]
+    pub fn msb_delay_ms(&self) -> f64 {
+        let msb: Vec<NodeId> = self
+            .measured_senders
+            .iter()
+            .copied()
+            .filter(|s| self.misbehaving.contains(s))
+            .collect();
+        self.delays.mean_ms_over(&msb)
+    }
+
+    /// Mean MAC delay (ms) of well-behaved measured senders.
+    #[must_use]
+    pub fn avg_delay_ms(&self) -> f64 {
+        let wb: Vec<NodeId> = self
+            .measured_senders
+            .iter()
+            .copied()
+            .filter(|s| !self.misbehaving.contains(s))
+            .collect();
+        self.delays.mean_ms_over(&wb)
+    }
+
+    /// Jain's fairness index over the measured flows.
+    #[must_use]
+    pub fn fairness_index(&self) -> f64 {
+        let t = self
+            .throughput
+            .flow_throughputs_bps(&self.measured_flows, self.elapsed);
+        jain_index(&t)
+    }
+}
+
+/// One wired-up simulation, ready to run.
+pub struct Simulation {
+    cfg: SimulationConfig,
+    sched: Scheduler<Event>,
+    medium: Medium,
+    nodes: Vec<SimNode>,
+    cbr: Vec<CbrState>,
+    misbehaving: Vec<NodeId>,
+    measured_senders: Vec<NodeId>,
+    measured_flows: Vec<(NodeId, NodeId)>,
+    throughput: ThroughputAccount,
+    tally: DiagnosisTally,
+    series: TimeBinned,
+    delays: DelayAccount,
+    trace: Trace,
+    pending: VecDeque<(usize, MacInput)>,
+}
+
+impl Simulation {
+    /// Wires up a simulation over `topology`, with `policies[i]` the
+    /// policy of node `i` and `misbehaving` the ground-truth cheater set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policies` does not have one entry per topology node.
+    #[must_use]
+    pub fn new(
+        cfg: SimulationConfig,
+        topology: &Topology,
+        policies: Vec<NodePolicy>,
+        misbehaving: Vec<NodeId>,
+    ) -> Self {
+        assert_eq!(
+            policies.len(),
+            topology.node_count(),
+            "one policy per node required"
+        );
+        let mut medium = Medium::new(
+            cfg.phy,
+            topology.positions.clone(),
+            cfg.seed.stream("phy", 0),
+        );
+        medium.set_fading(cfg.fading);
+        let nodes: Vec<SimNode> = policies
+            .into_iter()
+            .enumerate()
+            .map(|(i, policy)| SimNode {
+                mac: Mac::new(
+                    NodeId::new(i as u32),
+                    cfg.mac.clone(),
+                    policy,
+                    cfg.seed.stream("mac", i as u64),
+                ),
+                tracker: RxTracker::new(cfg.phy.capture),
+                timers: HashMap::new(),
+            })
+            .collect();
+        let mut sched = Scheduler::new();
+        let cbr: Vec<CbrState> = topology
+            .flows
+            .iter()
+            .enumerate()
+            .map(|(i, &flow)| CbrState::new(flow, i, cfg.seed))
+            .collect();
+        for (i, state) in cbr.iter().enumerate() {
+            sched.schedule_at(SimTime::ZERO + state.start, Event::Traffic { flow: i });
+        }
+        // For sub-second horizons the series degenerates to a single bin.
+        let series = TimeBinned::new(cfg.diag_bin.min(cfg.horizon), cfg.horizon);
+        Simulation {
+            medium,
+            nodes,
+            sched,
+            cbr,
+            misbehaving: misbehaving.clone(),
+            measured_senders: topology.measured_senders(),
+            measured_flows: topology.measured_flow_pairs(),
+            throughput: ThroughputAccount::new(),
+            tally: DiagnosisTally::new(misbehaving),
+            series,
+            delays: DelayAccount::new(),
+            trace: Trace::new(),
+            pending: VecDeque::new(),
+            cfg,
+        }
+    }
+
+    /// Attaches a trace sink to the runner and every node.
+    pub fn set_trace(&mut self, trace: Trace) {
+        for node in &mut self.nodes {
+            node.mac.set_trace(trace.clone());
+        }
+        self.trace = trace;
+    }
+
+    /// Runs to the configured horizon and reports.
+    #[must_use]
+    pub fn run(mut self) -> RunReport {
+        let horizon = SimTime::ZERO + self.cfg.horizon;
+        while let Some(t) = self.sched.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (now, event) = self.sched.pop().expect("peeked event exists");
+            self.dispatch(now, event);
+            self.drain_pending(now);
+        }
+        let events = self.sched.events_processed();
+        RunReport {
+            elapsed: self.cfg.horizon,
+            throughput: self.throughput,
+            tally: self.tally,
+            series: self.series,
+            delays: self.delays,
+            measured_senders: self.measured_senders,
+            measured_flows: self.measured_flows,
+            misbehaving: self.misbehaving,
+            counters: self.nodes.iter().map(|n| n.mac.counters()).collect(),
+            monitors: self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, n)| {
+                    n.mac
+                        .policy()
+                        .monitor_report()
+                        .map(|r| (NodeId::new(i as u32), r))
+                })
+                .collect(),
+            receiver_violations: self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, n)| {
+                    n.mac
+                        .policy()
+                        .receiver_violations()
+                        .map(|v| (NodeId::new(i as u32), v))
+                })
+                .collect(),
+            observers: self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, n)| {
+                    n.mac
+                        .policy()
+                        .observer_report()
+                        .map(|r| (NodeId::new(i as u32), r))
+                })
+                .collect(),
+            events,
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::Traffic { flow } => {
+                let state = self.cbr[flow];
+                self.pending.push_back((
+                    state.flow.src.index(),
+                    MacInput::Enqueue {
+                        dst: state.flow.dst,
+                        bytes: state.flow.payload,
+                    },
+                ));
+                self.sched
+                    .schedule_in(state.interval, Event::Traffic { flow });
+            }
+            Event::MacTimer { node, kind } => {
+                self.nodes[node].timers.remove(&kind);
+                self.pending.push_back((node, MacInput::Timer(kind)));
+            }
+            Event::TxEnd { node } => {
+                // Deliver the protocol event before the channel edge so
+                // e.g. the ACK-end monitor snapshot is taken while the
+                // counter still shows the banked (pre-idle) reading.
+                self.pending.push_back((node, MacInput::OwnTxEnd));
+                if self.nodes[node].tracker.on_self_tx_end(now).is_some() {
+                    self.pending.push_back((node, MacInput::ChannelIdle));
+                }
+            }
+            Event::RxStart {
+                listener,
+                tx,
+                power,
+                receivable,
+            } => {
+                if self.nodes[listener]
+                    .tracker
+                    .on_arrival(now, tx, power, receivable)
+                    .is_some()
+                {
+                    self.pending.push_back((listener, MacInput::ChannelBusy));
+                }
+            }
+            Event::RxEnd {
+                listener,
+                tx,
+                frame,
+            } => {
+                let (edge, decode) = self.nodes[listener].tracker.on_departure(now, tx);
+                if decode == Some(DecodeOutcome::Decoded) {
+                    self.pending.push_back((listener, MacInput::Decoded(frame)));
+                }
+                if edge.is_some() {
+                    self.pending.push_back((listener, MacInput::ChannelIdle));
+                }
+            }
+        }
+    }
+
+    fn drain_pending(&mut self, now: SimTime) {
+        while let Some((node, input)) = self.pending.pop_front() {
+            let effects = self.nodes[node].mac.handle(now, input);
+            for effect in effects {
+                self.apply(now, node, effect);
+            }
+        }
+    }
+
+    fn apply(&mut self, now: SimTime, node: usize, effect: MacEffect) {
+        match effect {
+            MacEffect::StartTx(frame) => {
+                let air = frame.air_time(&self.cfg.mac.timing);
+                let outcome = self.medium.start_tx(NodeId::new(node as u32));
+                if self.nodes[node].tracker.on_self_tx_start(now).is_some() {
+                    self.pending.push_back((node, MacInput::ChannelBusy));
+                }
+                self.sched
+                    .schedule_at(now + air, Event::TxEnd { node });
+                for l in outcome.listeners {
+                    self.sched.schedule_at(
+                        now + l.delay,
+                        Event::RxStart {
+                            listener: l.listener.index(),
+                            tx: outcome.id,
+                            power: l.power,
+                            receivable: l.receivable,
+                        },
+                    );
+                    self.sched.schedule_at(
+                        now + l.delay + air,
+                        Event::RxEnd {
+                            listener: l.listener.index(),
+                            tx: outcome.id,
+                            frame: frame.clone(),
+                        },
+                    );
+                }
+            }
+            MacEffect::SetTimer { kind, after } => {
+                let id = self
+                    .sched
+                    .schedule_at(now + after, Event::MacTimer { node, kind });
+                if let Some(old) = self.nodes[node].timers.insert(kind, id) {
+                    self.sched.cancel(old);
+                }
+            }
+            MacEffect::CancelTimer(kind) => {
+                if let Some(id) = self.nodes[node].timers.remove(&kind) {
+                    self.sched.cancel(id);
+                }
+            }
+            MacEffect::Delivered { src, bytes, .. } => {
+                self.throughput
+                    .record(src, NodeId::new(node as u32), bytes);
+            }
+            MacEffect::Classified { src, verdict } => {
+                self.tally.record(src, verdict.flagged);
+                if self.tally.is_misbehaving(src) {
+                    self.series.record(now, verdict.flagged);
+                }
+            }
+            MacEffect::SendComplete { delay, .. } => {
+                self.delays.record(NodeId::new(node as u32), delay);
+            }
+            MacEffect::Dropped { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Flow;
+    use airguard_mac::Selfish;
+
+    fn single_sender_topology() -> Topology {
+        Topology {
+            positions: vec![
+                airguard_phy::Position::new(0.0, 0.0),
+                airguard_phy::Position::new(150.0, 0.0),
+            ],
+            flows: vec![Flow {
+                src: NodeId::new(1),
+                dst: NodeId::new(0),
+                rate_bps: 2_000_000,
+                payload: 512,
+                measured: true,
+            }],
+        }
+    }
+
+    fn quick_cfg(seed: u64, secs: u64) -> SimulationConfig {
+        SimulationConfig {
+            phy: PhyConfig::deterministic(),
+            horizon: SimDuration::from_secs(secs),
+            seed: MasterSeed::new(seed),
+            ..SimulationConfig::default()
+        }
+    }
+
+    fn dot11_policies(n: usize) -> Vec<NodePolicy> {
+        (0..n).map(|_| NodePolicy::dot11(Selfish::None)).collect()
+    }
+
+    #[test]
+    fn single_sender_saturates_the_channel() {
+        let topo = single_sender_topology();
+        let sim = Simulation::new(quick_cfg(1, 5), &topo, dot11_policies(2), vec![]);
+        let report = sim.run();
+        let bps = report
+            .throughput
+            .sender_throughput_bps(NodeId::new(1), report.elapsed);
+        // Analytic saturation throughput of one RTS/CTS sender at 2 Mb/s:
+        // DIFS + E[backoff]·slot + RTS + SIFS + CTS + SIFS + DATA + SIFS
+        // + ACK ≈ 3510 µs per 512-byte packet ⇒ ≈ 1.17 Mb/s.
+        assert!(
+            (1.0e6..1.3e6).contains(&bps),
+            "single-sender throughput {bps} b/s out of expected band"
+        );
+    }
+
+    #[test]
+    fn two_senders_share_roughly_equally() {
+        let topo = Topology::star(2, 2_000_000, 512, false);
+        let sim = Simulation::new(quick_cfg(2, 5), &topo, dot11_policies(3), vec![]);
+        let report = sim.run();
+        let t1 = report
+            .throughput
+            .sender_throughput_bps(NodeId::new(1), report.elapsed);
+        let t2 = report
+            .throughput
+            .sender_throughput_bps(NodeId::new(2), report.elapsed);
+        assert!(t1 > 0.0 && t2 > 0.0);
+        let ratio = t1.max(t2) / t1.min(t2);
+        assert!(ratio < 1.3, "unfair split {t1} vs {t2}");
+        assert!(report.fairness_index() > 0.95);
+    }
+
+    #[test]
+    fn eight_senders_split_the_channel() {
+        let topo = Topology::star(8, 2_000_000, 512, false);
+        let sim = Simulation::new(quick_cfg(3, 5), &topo, dot11_policies(9), vec![]);
+        let report = sim.run();
+        let avg = report.avg_throughput_bps();
+        // 8-way split of ~1.1-1.2 Mb/s aggregate, minus collision losses.
+        assert!(
+            (90_000.0..190_000.0).contains(&avg),
+            "avg per-sender throughput {avg}"
+        );
+        assert!(report.fairness_index() > 0.9, "fi={}", report.fairness_index());
+    }
+
+    #[test]
+    fn runs_are_reproducible_per_seed() {
+        let topo = Topology::star(4, 2_000_000, 512, false);
+        let a = Simulation::new(quick_cfg(7, 2), &topo, dot11_policies(5), vec![]).run();
+        let b = Simulation::new(quick_cfg(7, 2), &topo, dot11_policies(5), vec![]).run();
+        assert_eq!(a.throughput, b.throughput);
+        assert_eq!(a.events, b.events);
+        let c = Simulation::new(quick_cfg(8, 2), &topo, dot11_policies(5), vec![]).run();
+        assert_ne!(a.throughput, c.throughput, "different seed, different run");
+    }
+
+    #[test]
+    #[should_panic(expected = "one policy per node")]
+    fn policy_count_must_match() {
+        let topo = single_sender_topology();
+        let _ = Simulation::new(quick_cfg(1, 1), &topo, dot11_policies(1), vec![]);
+    }
+}

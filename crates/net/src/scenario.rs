@@ -1,0 +1,330 @@
+//! Canned scenarios reproducing the paper's evaluation settings.
+
+use airguard_core::CorrectConfig;
+use airguard_mac::{AccessMode, MacConfig, Selfish};
+use airguard_phy::{Fading, PhyConfig};
+use airguard_sim::{MasterSeed, NodeId, SimDuration};
+use rand::RngExt;
+
+use crate::node_policy::NodePolicy;
+use crate::runner::{RunReport, Simulation, SimulationConfig};
+use crate::topology::Topology;
+
+/// Which of the paper's evaluation settings to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StandardScenario {
+    /// Fig. 3 with flows A–B and C–D turned off: 8 (configurable)
+    /// senders around one receiver.
+    ZeroFlow,
+    /// Fig. 3 with both interferer flows on: the carrier-sense asymmetry
+    /// setting.
+    TwoFlow,
+    /// Fig. 9: 40 nodes at random positions in 1500 m × 700 m, each with
+    /// a CBR flow to a neighbor, 5 random misbehavers.
+    Random,
+}
+
+/// Which protocol the whole network runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Unmodified IEEE 802.11 DCF.
+    Dot11,
+    /// The paper's receiver-assigned-backoff protocol ("CORRECT").
+    Correct,
+}
+
+/// Builder for one simulation run of a standard scenario.
+///
+/// Defaults follow §5: 8 senders, 512-byte packets at 2 Mb/s (backlogged),
+/// 50 s simulated time, node 3 misbehaving (when a strategy is set),
+/// W = 5, THRESH = 20, α = 0.9.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    scenario: StandardScenario,
+    protocol: Protocol,
+    n_senders: usize,
+    strategy: Selfish,
+    misbehaving_override: Option<Vec<NodeId>>,
+    sim_time: SimDuration,
+    seed: u64,
+    payload: u32,
+    rate_bps: u64,
+    correct_cfg: CorrectConfig,
+    mac: MacConfig,
+    phy: PhyConfig,
+    random_nodes: usize,
+    random_area: (f64, f64),
+    random_misbehaving: usize,
+    fading: Fading,
+}
+
+impl ScenarioConfig {
+    /// Creates the default configuration for `scenario`.
+    #[must_use]
+    pub fn new(scenario: StandardScenario) -> Self {
+        ScenarioConfig {
+            scenario,
+            protocol: Protocol::Correct,
+            n_senders: 8,
+            strategy: Selfish::None,
+            misbehaving_override: None,
+            sim_time: SimDuration::from_secs(50),
+            seed: 1,
+            payload: 512,
+            rate_bps: 2_000_000,
+            correct_cfg: CorrectConfig::paper_default(),
+            mac: MacConfig::default(),
+            phy: PhyConfig::paper_default(),
+            random_nodes: 40,
+            random_area: (1500.0, 700.0),
+            random_misbehaving: 5,
+            fading: Fading::PerTransmission,
+        }
+    }
+
+    /// Selects the protocol the network runs.
+    #[must_use]
+    pub fn protocol(mut self, protocol: Protocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Sets the paper's PM knob: misbehaving nodes count down only
+    /// `(100 − pm) %` of each backoff. `pm = 0` means fully compliant.
+    #[must_use]
+    pub fn misbehavior_percent(mut self, pm: f64) -> Self {
+        self.strategy = if pm <= 0.0 {
+            Selfish::None
+        } else {
+            Selfish::BackoffScale { pm }
+        };
+        self
+    }
+
+    /// Sets an arbitrary selfish strategy for the misbehaving nodes.
+    #[must_use]
+    pub fn strategy(mut self, strategy: Selfish) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Overrides which nodes misbehave (default: node 3 in star
+    /// scenarios, 5 random flow sources in the random scenario).
+    #[must_use]
+    pub fn misbehaving_nodes(mut self, nodes: Vec<NodeId>) -> Self {
+        self.misbehaving_override = Some(nodes);
+        self
+    }
+
+    /// Number of senders in the star scenarios (Fig. 6/7 sweeps 1–64).
+    #[must_use]
+    pub fn n_senders(mut self, n: usize) -> Self {
+        self.n_senders = n;
+        self
+    }
+
+    /// Simulated seconds (the paper runs 50 s).
+    #[must_use]
+    pub fn sim_time_secs(mut self, secs: u64) -> Self {
+        self.sim_time = SimDuration::from_secs(secs);
+        self
+    }
+
+    /// The run's master seed (the paper uses a common seed set of 30).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the modified-protocol configuration (monitor parameters,
+    /// extensions).
+    #[must_use]
+    pub fn correct_config(mut self, cfg: CorrectConfig) -> Self {
+        self.correct_cfg = cfg;
+        self
+    }
+
+    /// Replaces the radio configuration.
+    #[must_use]
+    pub fn phy(mut self, phy: PhyConfig) -> Self {
+        self.phy = phy;
+        self
+    }
+
+    /// Replaces the MAC configuration.
+    #[must_use]
+    pub fn mac(mut self, mac: MacConfig) -> Self {
+        self.mac = mac;
+        self
+    }
+
+    /// Selects the channel-access mode (RTS/CTS handshake or basic
+    /// two-way access).
+    #[must_use]
+    pub fn access(mut self, access: AccessMode) -> Self {
+        self.mac.access = access;
+        self
+    }
+
+    /// Selects the shadowing fading behaviour (per-transmission, the
+    /// paper's choice, or coherent per link).
+    #[must_use]
+    pub fn fading(mut self, fading: Fading) -> Self {
+        self.fading = fading;
+        self
+    }
+
+    /// Sets the number of nodes in the random scenario.
+    #[must_use]
+    pub fn random_nodes(mut self, n: usize, misbehaving: usize) -> Self {
+        self.random_nodes = n;
+        self.random_misbehaving = misbehaving;
+        self
+    }
+
+    /// Builds the topology this configuration will run.
+    #[must_use]
+    pub fn build_topology(&self) -> Topology {
+        match self.scenario {
+            StandardScenario::ZeroFlow => {
+                Topology::star(self.n_senders, self.rate_bps, self.payload, false)
+            }
+            StandardScenario::TwoFlow => {
+                Topology::star(self.n_senders, self.rate_bps, self.payload, true)
+            }
+            StandardScenario::Random => Topology::random(
+                self.random_nodes,
+                self.random_area.0,
+                self.random_area.1,
+                self.rate_bps,
+                self.payload,
+                MasterSeed::new(self.seed),
+            ),
+        }
+    }
+
+    /// The ground-truth misbehaving set this configuration produces.
+    #[must_use]
+    pub fn misbehaving_set(&self, topology: &Topology) -> Vec<NodeId> {
+        if self.strategy.is_none() {
+            return Vec::new();
+        }
+        if let Some(nodes) = &self.misbehaving_override {
+            return nodes.clone();
+        }
+        match self.scenario {
+            StandardScenario::ZeroFlow | StandardScenario::TwoFlow => {
+                // The paper's Fig. 3: node 3 misbehaves.
+                vec![NodeId::new(3.min(self.n_senders as u32))]
+            }
+            StandardScenario::Random => {
+                let mut rng = MasterSeed::new(self.seed).stream("misbehaving", 0);
+                let mut senders = topology.measured_senders();
+                let mut chosen = Vec::new();
+                for _ in 0..self.random_misbehaving.min(senders.len()) {
+                    let i = rng.random_range(0..senders.len());
+                    chosen.push(senders.swap_remove(i));
+                }
+                chosen.sort();
+                chosen
+            }
+        }
+    }
+
+    /// Runs the scenario once and reports.
+    #[must_use]
+    pub fn run(&self) -> RunReport {
+        let topology = self.build_topology();
+        let misbehaving = self.misbehaving_set(&topology);
+        let policies: Vec<NodePolicy> = (0..topology.node_count())
+            .map(|i| {
+                let id = NodeId::new(i as u32);
+                let strategy = if misbehaving.contains(&id) {
+                    self.strategy
+                } else {
+                    Selfish::None
+                };
+                match self.protocol {
+                    Protocol::Dot11 => NodePolicy::dot11(strategy),
+                    Protocol::Correct => NodePolicy::correct(id, self.correct_cfg, strategy),
+                }
+            })
+            .collect();
+        let cfg = SimulationConfig {
+            phy: self.phy,
+            mac: self.mac.clone(),
+            horizon: self.sim_time,
+            diag_bin: SimDuration::from_secs(1),
+            fading: self.fading,
+            seed: MasterSeed::new(self.seed),
+        };
+        Simulation::new(cfg, &topology, policies, misbehaving).run()
+    }
+
+    /// Runs once per seed (the paper's 30-run averaging), serially.
+    #[must_use]
+    pub fn run_seeds(&self, seeds: &[u64]) -> Vec<RunReport> {
+        seeds
+            .iter()
+            .map(|&s| self.clone().seed(s).run())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_flow_has_no_interferers() {
+        let t = ScenarioConfig::new(StandardScenario::ZeroFlow).build_topology();
+        assert_eq!(t.node_count(), 9);
+        assert!(t.flows.iter().all(|f| f.measured));
+    }
+
+    #[test]
+    fn two_flow_has_interferers() {
+        let t = ScenarioConfig::new(StandardScenario::TwoFlow).build_topology();
+        assert_eq!(t.node_count(), 13);
+        assert_eq!(t.flows.iter().filter(|f| !f.measured).count(), 2);
+    }
+
+    #[test]
+    fn default_misbehaver_is_node_3() {
+        let cfg = ScenarioConfig::new(StandardScenario::ZeroFlow).misbehavior_percent(50.0);
+        let t = cfg.build_topology();
+        assert_eq!(cfg.misbehaving_set(&t), vec![NodeId::new(3)]);
+    }
+
+    #[test]
+    fn pm_zero_means_no_misbehavers() {
+        let cfg = ScenarioConfig::new(StandardScenario::ZeroFlow).misbehavior_percent(0.0);
+        let t = cfg.build_topology();
+        assert!(cfg.misbehaving_set(&t).is_empty());
+    }
+
+    #[test]
+    fn random_scenario_draws_five_senders() {
+        let cfg = ScenarioConfig::new(StandardScenario::Random).misbehavior_percent(60.0);
+        let t = cfg.build_topology();
+        let m = cfg.misbehaving_set(&t);
+        assert_eq!(m.len(), 5);
+        let distinct: std::collections::HashSet<_> = m.iter().collect();
+        assert_eq!(distinct.len(), 5, "misbehaving nodes are distinct");
+        // Reproducible for the same seed.
+        assert_eq!(m, cfg.misbehaving_set(&t));
+    }
+
+    #[test]
+    fn short_zero_flow_run_delivers_traffic() {
+        let report = ScenarioConfig::new(StandardScenario::ZeroFlow)
+            .protocol(Protocol::Dot11)
+            .n_senders(2)
+            .sim_time_secs(2)
+            .seed(3)
+            .run();
+        assert!(report.throughput.total_bytes() > 0);
+        assert_eq!(report.measured_senders.len(), 2);
+    }
+}

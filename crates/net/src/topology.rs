@@ -1,0 +1,256 @@
+//! Topology builders for the paper's three evaluation settings.
+
+use airguard_phy::Position;
+use airguard_sim::{MasterSeed, NodeId};
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// One CBR flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flow {
+    /// Traffic source.
+    pub src: NodeId,
+    /// Traffic sink.
+    pub dst: NodeId,
+    /// Offered rate in bits per second.
+    pub rate_bps: u64,
+    /// Payload bytes per packet.
+    pub payload: u32,
+    /// Whether this flow's senders are part of the measured population
+    /// (interferer flows are not).
+    pub measured: bool,
+}
+
+/// A fully specified node placement plus traffic matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Node positions; node id = index.
+    pub positions: Vec<Position>,
+    /// All flows (measured and interferer).
+    pub flows: Vec<Flow>,
+}
+
+impl Topology {
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Sources of measured flows, in id order.
+    #[must_use]
+    pub fn measured_senders(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .flows
+            .iter()
+            .filter(|f| f.measured)
+            .map(|f| f.src)
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// The (src, dst) pairs of measured flows, for fairness computations.
+    #[must_use]
+    pub fn measured_flow_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        self.flows
+            .iter()
+            .filter(|f| f.measured)
+            .map(|f| (f.src, f.dst))
+            .collect()
+    }
+
+    /// The paper's Fig. 3 star: receiver R (node 0) at the origin,
+    /// `n_senders` senders on a 150 m circle, each with a backlogged
+    /// CBR flow of `rate_bps` to R. With `with_interferers`, the flows
+    /// A→B and C→D (500 Kb/s) are placed 500 m on either side of R
+    /// (nodes `n+1..n+4`), giving the TWO-FLOW scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_senders` is zero.
+    #[must_use]
+    pub fn star(n_senders: usize, rate_bps: u64, payload: u32, with_interferers: bool) -> Self {
+        assert!(n_senders > 0, "a star needs at least one sender");
+        let mut positions = vec![Position::new(0.0, 0.0)];
+        let mut flows = Vec::new();
+        for k in 0..n_senders {
+            let angle = std::f64::consts::TAU * k as f64 / n_senders as f64;
+            positions.push(Position::new(0.0, 0.0).offset_polar(150.0, angle));
+            flows.push(Flow {
+                src: NodeId::new((k + 1) as u32),
+                dst: NodeId::new(0),
+                rate_bps,
+                payload,
+                measured: true,
+            });
+        }
+        if with_interferers {
+            let base = (n_senders + 1) as u32;
+            // A and B sit 500 m west of R; C and D 500 m east. Each pair is
+            // 100 m apart (reliable in-pair delivery), both ≈ 502 m from R:
+            // R senses their transmissions with high probability while the
+            // far-side senders mostly do not — the §5 carrier-sense
+            // asymmetry.
+            let quad = [
+                Position::new(-500.0, -50.0), // A
+                Position::new(-500.0, 50.0),  // B
+                Position::new(500.0, -50.0),  // C
+                Position::new(500.0, 50.0),   // D
+            ];
+            positions.extend_from_slice(&quad);
+            for (s, d) in [(0u32, 1u32), (2, 3)] {
+                flows.push(Flow {
+                    src: NodeId::new(base + s),
+                    dst: NodeId::new(base + d),
+                    rate_bps: 500_000,
+                    payload,
+                    measured: false,
+                });
+            }
+        }
+        Topology { positions, flows }
+    }
+
+    /// The Fig. 9 random setting: `n` nodes placed uniformly in a
+    /// `width × height` m² area, each setting up a backlogged CBR flow to
+    /// its nearest neighbor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn random(n: usize, width: f64, height: f64, rate_bps: u64, payload: u32, seed: MasterSeed) -> Self {
+        assert!(n >= 2, "a random topology needs at least two nodes");
+        let mut rng = seed.stream("topology", 0);
+        let positions: Vec<Position> = (0..n)
+            .map(|_| {
+                Position::new(
+                    rng.random_range(0.0..width),
+                    rng.random_range(0.0..height),
+                )
+            })
+            .collect();
+        // "Each node sets up a CBR connection with one of its neighbors":
+        // prefer a random node within plausible delivery range (200 m);
+        // fall back to the nearest node when isolated.
+        let mut flows = Vec::new();
+        for (i, &pos) in positions.iter().enumerate() {
+            let neighbors: Vec<usize> = positions
+                .iter()
+                .enumerate()
+                .filter(|&(j, &p)| j != i && pos.distance_to(p).value() <= 200.0)
+                .map(|(j, _)| j)
+                .collect();
+            let dst = if neighbors.is_empty() {
+                positions
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .min_by(|a, b| {
+                        pos.distance_to(*a.1)
+                            .partial_cmp(&pos.distance_to(*b.1))
+                            .expect("distances are not NaN")
+                    })
+                    .map(|(j, _)| j)
+                    .expect("n >= 2 guarantees another node")
+            } else {
+                neighbors[rng.random_range(0..neighbors.len())]
+            };
+            flows.push(Flow {
+                src: NodeId::new(i as u32),
+                dst: NodeId::new(dst as u32),
+                rate_bps,
+                payload,
+                measured: true,
+            });
+        }
+        Topology { positions, flows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_geometry_matches_the_paper() {
+        let t = Topology::star(8, 2_000_000, 512, false);
+        assert_eq!(t.node_count(), 9);
+        let r = t.positions[0];
+        for k in 1..=8 {
+            let d = r.distance_to(t.positions[k]).value();
+            assert!((d - 150.0).abs() < 1e-9, "sender {k} at {d} m");
+        }
+        assert_eq!(t.measured_senders().len(), 8);
+        assert!(t.flows.iter().all(|f| f.dst == NodeId::new(0)));
+    }
+
+    #[test]
+    fn interferers_sit_500m_out() {
+        let t = Topology::star(8, 2_000_000, 512, true);
+        assert_eq!(t.node_count(), 13);
+        let r = t.positions[0];
+        for k in 9..13 {
+            let d = r.distance_to(t.positions[k]).value();
+            assert!((d - 502.5).abs() < 1.0, "interferer {k} at {d} m");
+        }
+        // A-B pair distance is 100 m.
+        assert!((t.positions[9].distance_to(t.positions[10]).value() - 100.0).abs() < 1e-9);
+        // Interferer flows are unmeasured and slower.
+        let unmeasured: Vec<&Flow> = t.flows.iter().filter(|f| !f.measured).collect();
+        assert_eq!(unmeasured.len(), 2);
+        assert!(unmeasured.iter().all(|f| f.rate_bps == 500_000));
+    }
+
+    #[test]
+    fn senders_are_equidistant_neighbors() {
+        let t = Topology::star(8, 2_000_000, 512, false);
+        // Adjacent senders on the circle: 2·150·sin(π/8) ≈ 114.8 m.
+        let d = t.positions[1].distance_to(t.positions[2]).value();
+        assert!((d - 114.8).abs() < 0.5, "adjacent distance {d}");
+    }
+
+    #[test]
+    fn random_topology_is_reproducible_and_in_bounds() {
+        let a = Topology::random(40, 1500.0, 700.0, 2_000_000, 512, MasterSeed::new(5));
+        let b = Topology::random(40, 1500.0, 700.0, 2_000_000, 512, MasterSeed::new(5));
+        assert_eq!(a, b, "same seed, same topology");
+        let c = Topology::random(40, 1500.0, 700.0, 2_000_000, 512, MasterSeed::new(6));
+        assert_ne!(a, c, "different seed, different topology");
+        for p in &a.positions {
+            assert!((0.0..=1500.0).contains(&p.x));
+            assert!((0.0..=700.0).contains(&p.y));
+        }
+        assert_eq!(a.flows.len(), 40, "every node originates a flow");
+        for f in &a.flows {
+            assert_ne!(f.src, f.dst);
+        }
+    }
+
+    #[test]
+    fn random_flows_prefer_close_neighbors() {
+        let t = Topology::random(40, 1500.0, 700.0, 2_000_000, 512, MasterSeed::new(7));
+        let close = t
+            .flows
+            .iter()
+            .filter(|f| {
+                t.positions[f.src.index()]
+                    .distance_to(t.positions[f.dst.index()])
+                    .value()
+                    <= 200.0
+            })
+            .count();
+        assert!(
+            close * 10 >= t.flows.len() * 7,
+            "most flows should be within delivery range, got {close}/40"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sender")]
+    fn empty_star_rejected() {
+        let _ = Topology::star(0, 1, 512, false);
+    }
+}

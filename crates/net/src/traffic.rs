@@ -1,0 +1,103 @@
+//! CBR traffic generation.
+//!
+//! The paper's workload: every sender is backlogged with a constant
+//! bit-rate flow (2 Mb/s, 512-byte packets, which saturates the 2 Mb/s
+//! channel). A generator computes the inter-packet interval from the
+//! flow's rate and packet size; the runner enqueues one packet per tick.
+//! Flow starts are jittered within one interval so that generators do not
+//! fire in lockstep.
+
+use airguard_sim::{MasterSeed, SimDuration};
+use rand::RngExt;
+
+use crate::topology::Flow;
+
+/// Per-flow traffic pacing state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CbrState {
+    /// The flow being generated.
+    pub flow: Flow,
+    /// Interval between packets.
+    pub interval: SimDuration,
+    /// First enqueue time (jittered).
+    pub start: SimDuration,
+}
+
+impl CbrState {
+    /// Builds the pacing state for `flow`; `index` keys the jitter
+    /// stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow's rate or payload is zero.
+    #[must_use]
+    pub fn new(flow: Flow, index: usize, seed: MasterSeed) -> Self {
+        assert!(flow.rate_bps > 0, "CBR flow needs a positive rate");
+        assert!(flow.payload > 0, "CBR flow needs a positive payload");
+        let bits = u64::from(flow.payload) * 8;
+        let interval_micros = (bits * 1_000_000).div_ceil(flow.rate_bps);
+        let interval = SimDuration::from_micros(interval_micros.max(1));
+        let mut rng = seed.stream("traffic", index as u64);
+        let start = SimDuration::from_micros(rng.random_range(0..interval_micros.max(2)));
+        CbrState {
+            flow,
+            interval,
+            start,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airguard_sim::NodeId;
+
+    fn flow(rate_bps: u64, payload: u32) -> Flow {
+        Flow {
+            src: NodeId::new(1),
+            dst: NodeId::new(0),
+            rate_bps,
+            payload,
+            measured: true,
+        }
+    }
+
+    #[test]
+    fn paper_rate_interval() {
+        // 512 B at 2 Mb/s: 4096 bits / 2e6 bps = 2048 µs.
+        let s = CbrState::new(flow(2_000_000, 512), 0, MasterSeed::new(1));
+        assert_eq!(s.interval, SimDuration::from_micros(2048));
+        assert!(s.start < s.interval);
+    }
+
+    #[test]
+    fn interferer_rate_interval() {
+        // 512 B at 500 Kb/s: 8192 µs.
+        let s = CbrState::new(flow(500_000, 512), 0, MasterSeed::new(1));
+        assert_eq!(s.interval, SimDuration::from_micros(8192));
+    }
+
+    #[test]
+    fn interval_rounds_up() {
+        // 3 bytes at 7 bps: 24e6/7 ≈ 3428571.43 µs → rounds up.
+        let s = CbrState::new(flow(7, 3), 0, MasterSeed::new(1));
+        assert_eq!(s.interval, SimDuration::from_micros(3_428_572));
+    }
+
+    #[test]
+    fn jitter_differs_across_flows() {
+        let seed = MasterSeed::new(2);
+        let starts: Vec<SimDuration> = (0..8)
+            .map(|i| CbrState::new(flow(2_000_000, 512), i, seed).start)
+            .collect();
+        let distinct: std::collections::HashSet<u64> =
+            starts.iter().map(|d| d.as_micros()).collect();
+        assert!(distinct.len() > 1, "jitter must desynchronize flows");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive rate")]
+    fn zero_rate_rejected() {
+        let _ = CbrState::new(flow(0, 512), 0, MasterSeed::new(1));
+    }
+}

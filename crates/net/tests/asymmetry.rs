@@ -1,0 +1,156 @@
+//! Statistical validation of the §5 carrier-sense asymmetry — the very
+//! mechanism the TWO-FLOW scenario exists to create — plus scenario-level
+//! consequences.
+
+use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+use airguard_phy::{Medium, PhyConfig};
+use airguard_sim::{MasterSeed, NodeId};
+
+#[test]
+fn interferer_transmissions_reach_r_more_often_than_far_senders() {
+    // Build the TWO-FLOW topology and measure, over many sampled
+    // transmissions from interferer A (node 9), how often R (node 0)
+    // senses them vs how often the *far-side* senders do.
+    let topo = ScenarioConfig::new(StandardScenario::TwoFlow).build_topology();
+    let mut medium = Medium::new(
+        PhyConfig::paper_default(),
+        topo.positions.clone(),
+        MasterSeed::new(77).stream("asym", 0),
+    );
+    let a = NodeId::new(9); // interferer A, 500 m west of R
+    let r = NodeId::new(0);
+    // Far-side senders: the ones whose distance to A exceeds 600 m.
+    let far: Vec<NodeId> = (1..=8u32)
+        .map(NodeId::new)
+        .filter(|&s| {
+            medium.position(a).distance_to(medium.position(s)).value() > 600.0
+        })
+        .collect();
+    assert!(!far.is_empty(), "geometry must produce far-side senders");
+
+    let n = 4_000;
+    let mut r_sensed = 0u32;
+    let mut far_sensed = 0u32;
+    let mut far_total = 0u32;
+    for _ in 0..n {
+        let out = medium.start_tx(a);
+        if out.listeners.iter().any(|l| l.listener == r) {
+            r_sensed += 1;
+        }
+        for &s in &far {
+            far_total += 1;
+            if out.listeners.iter().any(|l| l.listener == s) {
+                far_sensed += 1;
+            }
+        }
+    }
+    let p_r = f64::from(r_sensed) / f64::from(n);
+    let p_far = f64::from(far_sensed) / f64::from(far_total);
+    assert!(p_r > 0.7, "R should sense A with high probability: {p_r}");
+    assert!(p_far < 0.2, "far senders should rarely sense A: {p_far}");
+}
+
+#[test]
+fn two_flow_creates_misdiagnosis_zero_flow_does_not() {
+    let zero = ScenarioConfig::new(StandardScenario::ZeroFlow)
+        .protocol(Protocol::Correct)
+        .sim_time_secs(5)
+        .seed(5)
+        .run();
+    let two = ScenarioConfig::new(StandardScenario::TwoFlow)
+        .protocol(Protocol::Correct)
+        .sim_time_secs(5)
+        .seed(5)
+        .run();
+    assert_eq!(
+        zero.diagnosis().misdiagnosis_percent(),
+        0.0,
+        "symmetric channel must not misdiagnose"
+    );
+    assert!(
+        two.diagnosis().misdiagnosis_percent() > 2.0,
+        "interferer flows must create false deviations, got {}",
+        two.diagnosis().misdiagnosis_percent()
+    );
+}
+
+#[test]
+fn two_flow_lowers_aggregate_throughput() {
+    let zero = ScenarioConfig::new(StandardScenario::ZeroFlow)
+        .protocol(Protocol::Dot11)
+        .sim_time_secs(5)
+        .seed(6)
+        .run();
+    let two = ScenarioConfig::new(StandardScenario::TwoFlow)
+        .protocol(Protocol::Dot11)
+        .sim_time_secs(5)
+        .seed(6)
+        .run();
+    assert!(
+        two.avg_throughput_bps() < zero.avg_throughput_bps(),
+        "interferers must cost capacity: {} vs {}",
+        two.avg_throughput_bps(),
+        zero.avg_throughput_bps()
+    );
+}
+
+#[test]
+fn interferer_flows_do_not_count_as_measured() {
+    let report = ScenarioConfig::new(StandardScenario::TwoFlow)
+        .protocol(Protocol::Dot11)
+        .sim_time_secs(3)
+        .seed(7)
+        .run();
+    assert_eq!(report.measured_senders.len(), 8);
+    assert!(report
+        .measured_senders
+        .iter()
+        .all(|s| s.value() >= 1 && s.value() <= 8));
+    // The interferer flows delivered traffic but are excluded from AVG.
+    let a_to_b = report
+        .throughput
+        .flow(NodeId::new(9), NodeId::new(10))
+        .expect("interferer flow ran");
+    assert!(a_to_b.packets > 0);
+}
+
+#[test]
+fn simulator_matches_analytic_saturation_model() {
+    use airguard_mac::{ExchangeModel, MacTiming};
+    use airguard_net::topology::Flow;
+    use airguard_net::{NodePolicy, Simulation, SimulationConfig, Topology};
+    use airguard_phy::Position;
+    use airguard_sim::SimDuration;
+
+    let topo = Topology {
+        positions: vec![Position::new(0.0, 0.0), Position::new(150.0, 0.0)],
+        flows: vec![Flow {
+            src: NodeId::new(1),
+            dst: NodeId::new(0),
+            rate_bps: 2_000_000,
+            payload: 512,
+            measured: true,
+        }],
+    };
+    let cfg = SimulationConfig {
+        phy: PhyConfig::deterministic(),
+        horizon: SimDuration::from_secs(10),
+        seed: MasterSeed::new(3),
+        ..SimulationConfig::default()
+    };
+    let policies = vec![
+        NodePolicy::dot11(airguard_mac::Selfish::None),
+        NodePolicy::dot11(airguard_mac::Selfish::None),
+    ];
+    let report = Simulation::new(cfg, &topo, policies, vec![]).run();
+    let measured = report
+        .throughput
+        .sender_throughput_bps(NodeId::new(1), report.elapsed);
+    let analytic =
+        ExchangeModel::new(&MacTiming::dsss_2mbps(), 512, false).saturation_bps(512);
+    let ratio = measured / analytic;
+    assert!(
+        (0.95..=1.02).contains(&ratio),
+        "simulated {measured} vs analytic {analytic} (ratio {ratio})"
+    );
+}

@@ -1,0 +1,98 @@
+//! Basic (two-way) channel access: the paper's footnote 2 claims the
+//! scheme applies without RTS/CTS; these tests exercise it end-to-end.
+
+use airguard_mac::AccessMode;
+use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+use airguard_phy::PhyConfig;
+use airguard_sim::NodeId;
+
+#[test]
+fn basic_access_outperforms_four_way_for_one_sender() {
+    let run = |access| {
+        ScenarioConfig::new(StandardScenario::ZeroFlow)
+            .protocol(Protocol::Dot11)
+            .n_senders(1)
+            .access(access)
+            .phy(PhyConfig::deterministic())
+            .sim_time_secs(5)
+            .seed(1)
+            .run()
+    };
+    let four_way = run(AccessMode::RtsCts)
+        .throughput
+        .sender_throughput_bps(NodeId::new(1), airguard_sim::SimDuration::from_secs(5));
+    let basic = run(AccessMode::Basic)
+        .throughput
+        .sender_throughput_bps(NodeId::new(1), airguard_sim::SimDuration::from_secs(5));
+    assert!(
+        basic > 1.15 * four_way,
+        "basic {basic} should beat four-way {four_way} without contention"
+    );
+    // And match the analytic model.
+    let analytic = airguard_mac::ExchangeModel::with_access(
+        &airguard_mac::MacTiming::dsss_2mbps(),
+        512,
+        false,
+        AccessMode::Basic,
+    )
+    .saturation_bps(512);
+    let ratio = basic / analytic;
+    assert!((0.95..=1.02).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn detection_works_without_rts_cts() {
+    let report = ScenarioConfig::new(StandardScenario::ZeroFlow)
+        .protocol(Protocol::Correct)
+        .access(AccessMode::Basic)
+        .misbehavior_percent(80.0)
+        .sim_time_secs(5)
+        .seed(2)
+        .run();
+    assert!(
+        report.diagnosis().correct_diagnosis_percent() > 80.0,
+        "basic-access detection: {}",
+        report.diagnosis().correct_diagnosis_percent()
+    );
+    assert!(
+        report.diagnosis().misdiagnosis_percent() < 2.0,
+        "basic-access misdiagnosis: {}",
+        report.diagnosis().misdiagnosis_percent()
+    );
+}
+
+#[test]
+fn correction_works_without_rts_cts() {
+    let fair = ScenarioConfig::new(StandardScenario::ZeroFlow)
+        .protocol(Protocol::Correct)
+        .access(AccessMode::Basic)
+        .sim_time_secs(5)
+        .seed(3)
+        .run()
+        .avg_throughput_bps();
+    let cheat = ScenarioConfig::new(StandardScenario::ZeroFlow)
+        .protocol(Protocol::Correct)
+        .access(AccessMode::Basic)
+        .misbehavior_percent(60.0)
+        .sim_time_secs(5)
+        .seed(3)
+        .run();
+    assert!(
+        cheat.msb_throughput_bps() < 1.5 * fair,
+        "basic-access correction: MSB {} vs fair {fair}",
+        cheat.msb_throughput_bps()
+    );
+}
+
+#[test]
+fn honest_basic_access_network_has_no_flags() {
+    let report = ScenarioConfig::new(StandardScenario::ZeroFlow)
+        .protocol(Protocol::Correct)
+        .access(AccessMode::Basic)
+        .sim_time_secs(5)
+        .seed(4)
+        .run();
+    assert_eq!(report.diagnosis().misdiagnosis_percent(), 0.0);
+    assert_eq!(report.counters[1..].iter().map(|c| c.rts_sent).sum::<u64>(), 0,
+        "no RTS frames under basic access");
+}

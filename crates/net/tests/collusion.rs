@@ -1,0 +1,116 @@
+//! §4.4 collusion end-to-end: a cheating sender paired with a receiver
+//! that strips penalties. The receiver's own monitor is useless by
+//! construction; the third-party observer catches the pair.
+
+use airguard_core::CorrectConfig;
+use airguard_mac::Selfish;
+use airguard_net::topology::Flow;
+use airguard_net::{NodePolicy, RunReport, Simulation, SimulationConfig, Topology};
+use airguard_phy::{PhyConfig, Position};
+use airguard_sim::{MasterSeed, NodeId, SimDuration};
+
+/// R(0) colludes with cheating S(1); honest H(2) also sends to R; O(3)
+/// observes.
+fn run(colluding: bool, seed: u64) -> RunReport {
+    let topology = Topology {
+        positions: vec![
+            Position::new(0.0, 0.0),
+            Position::new(120.0, 0.0),
+            Position::new(0.0, 120.0),
+            Position::new(60.0, 60.0),
+        ],
+        flows: vec![
+            Flow {
+                src: NodeId::new(1),
+                dst: NodeId::new(0),
+                rate_bps: 2_000_000,
+                payload: 512,
+                measured: true,
+            },
+            Flow {
+                src: NodeId::new(2),
+                dst: NodeId::new(0),
+                rate_bps: 2_000_000,
+                payload: 512,
+                measured: true,
+            },
+        ],
+    };
+    let observer_cfg = CorrectConfig {
+        observe_third_party: true,
+        ..CorrectConfig::paper_default()
+    };
+    let receiver_strategy = if colluding {
+        Selfish::NoPenalty
+    } else {
+        Selfish::None
+    };
+    let policies = vec![
+        NodePolicy::correct(NodeId::new(0), CorrectConfig::paper_default(), receiver_strategy),
+        NodePolicy::correct(
+            NodeId::new(1),
+            CorrectConfig::paper_default(),
+            Selfish::BackoffScale { pm: 80.0 },
+        ),
+        NodePolicy::correct(NodeId::new(2), CorrectConfig::paper_default(), Selfish::None),
+        NodePolicy::correct(NodeId::new(3), observer_cfg, Selfish::None),
+    ];
+    Simulation::new(
+        SimulationConfig {
+            phy: PhyConfig::paper_default(),
+            horizon: SimDuration::from_secs(5),
+            seed: MasterSeed::new(seed),
+            ..SimulationConfig::default()
+        },
+        &topology,
+        policies,
+        vec![NodeId::new(1)],
+    )
+    .run()
+}
+
+fn cheater_pair(report: &RunReport) -> airguard_core::PairStats {
+    report.observers[0]
+        .1
+        .iter()
+        .find(|p| p.sender == NodeId::new(1))
+        .copied()
+        .expect("cheater pair observed")
+}
+
+#[test]
+fn collusion_preserves_the_cheaters_advantage() {
+    let honest_rx = run(false, 1);
+    let colluding_rx = run(true, 1);
+    assert!(
+        colluding_rx.msb_throughput_bps() > 1.5 * colluding_rx.avg_throughput_bps(),
+        "with a colluding receiver the cheat must pay: MSB {} vs AVG {}",
+        colluding_rx.msb_throughput_bps(),
+        colluding_rx.avg_throughput_bps()
+    );
+    assert!(
+        honest_rx.msb_throughput_bps() < 1.5 * honest_rx.avg_throughput_bps(),
+        "an honest receiver corrects the same cheat"
+    );
+}
+
+#[test]
+fn observer_suspects_the_colluding_pair() {
+    let report = run(true, 2);
+    let pair = cheater_pair(&report);
+    assert!(pair.deviations > 20, "observer measured {pair:?}");
+    assert!(
+        pair.collusion_suspected(),
+        "unpunished deviations must implicate the pair: {pair:?}"
+    );
+}
+
+#[test]
+fn observer_clears_an_honest_receiver_of_collusion() {
+    let report = run(false, 3);
+    let pair = cheater_pair(&report);
+    assert!(
+        !pair.collusion_suspected(),
+        "honest receiver penalizes, so no collusion: {pair:?}"
+    );
+}

@@ -1,0 +1,50 @@
+//! MAC-delay consequences of misbehavior: the paper's "lower delay"
+//! incentive and its correction.
+
+use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+
+#[test]
+fn cheater_steals_delay_under_dot11() {
+    let report = ScenarioConfig::new(StandardScenario::ZeroFlow)
+        .protocol(Protocol::Dot11)
+        .misbehavior_percent(70.0)
+        .sim_time_secs(5)
+        .seed(1)
+        .run();
+    // Under saturation the measured delay is dominated by queueing, so
+    // the cheater's edge shows up as its (faster) service rate.
+    assert!(
+        report.msb_delay_ms() < 0.85 * report.avg_delay_ms(),
+        "cheater delay {} should undercut honest {}",
+        report.msb_delay_ms(),
+        report.avg_delay_ms()
+    );
+}
+
+#[test]
+fn correction_takes_the_delay_advantage_back() {
+    let report = ScenarioConfig::new(StandardScenario::ZeroFlow)
+        .protocol(Protocol::Correct)
+        .misbehavior_percent(70.0)
+        .sim_time_secs(5)
+        .seed(1)
+        .run();
+    assert!(
+        report.msb_delay_ms() > 0.8 * report.avg_delay_ms(),
+        "corrected cheater delay {} vs honest {}",
+        report.msb_delay_ms(),
+        report.avg_delay_ms()
+    );
+}
+
+#[test]
+fn delays_are_positive_and_bounded_by_the_run() {
+    let report = ScenarioConfig::new(StandardScenario::ZeroFlow)
+        .protocol(Protocol::Correct)
+        .sim_time_secs(5)
+        .seed(2)
+        .run();
+    let avg = report.avg_delay_ms();
+    assert!(avg > 0.0);
+    assert!(avg < 5_000.0, "mean delay {avg} ms exceeds the horizon");
+}

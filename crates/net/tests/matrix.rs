@@ -1,0 +1,57 @@
+//! Smoke matrix: every scenario × protocol × access-mode × strategy
+//! combination must run, deliver traffic, and keep its invariants.
+
+use airguard_mac::{AccessMode, Selfish};
+use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+
+#[test]
+fn every_combination_runs_and_delivers() {
+    let scenarios = [
+        StandardScenario::ZeroFlow,
+        StandardScenario::TwoFlow,
+        StandardScenario::Random,
+    ];
+    let protocols = [Protocol::Dot11, Protocol::Correct];
+    let access_modes = [AccessMode::RtsCts, AccessMode::Basic];
+    let strategies = [
+        Selfish::None,
+        Selfish::BackoffScale { pm: 60.0 },
+        Selfish::QuarterWindow,
+        Selfish::NoDoubling,
+        Selfish::AttemptSpoof { pm: 60.0 },
+    ];
+    let mut seed = 100;
+    for scenario in scenarios {
+        for protocol in protocols {
+            for access in access_modes {
+                for strategy in strategies {
+                    seed += 1;
+                    let label = format!("{scenario:?}/{protocol:?}/{access:?}/{strategy:?}");
+                    let report = ScenarioConfig::new(scenario)
+                        .protocol(protocol)
+                        .strategy(strategy)
+                        .access(access)
+                        .random_nodes(12, 2)
+                        .sim_time_secs(1)
+                        .seed(seed)
+                        .run();
+                    assert!(
+                        report.throughput.total_bytes() > 0,
+                        "{label}: nothing delivered"
+                    );
+                    let cd = report.diagnosis().correct_diagnosis_percent();
+                    let md = report.diagnosis().misdiagnosis_percent();
+                    assert!((0.0..=100.0).contains(&cd), "{label}: correct% {cd}");
+                    assert!((0.0..=100.0).contains(&md), "{label}: misdiag% {md}");
+                    let fi = report.fairness_index();
+                    assert!((0.0..=1.0 + 1e-9).contains(&fi), "{label}: fi {fi}");
+                    if protocol == Protocol::Dot11 {
+                        assert!(report.monitors.is_empty(), "{label}: baseline monitors");
+                    } else {
+                        assert!(!report.monitors.is_empty(), "{label}: missing monitors");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! End-to-end third-party observation: a bystander node independently
+//! detects a cheating sender from overheard frames only.
+
+use airguard_core::CorrectConfig;
+use airguard_mac::Selfish;
+use airguard_net::topology::Flow;
+use airguard_net::{NodePolicy, Simulation, SimulationConfig, Topology};
+use airguard_phy::{PhyConfig, Position};
+use airguard_sim::{MasterSeed, NodeId, SimDuration};
+
+/// R at origin, cheating sender S, honest sender H, and a silent
+/// observer O — all within reliable decode range of each other.
+fn topology() -> Topology {
+    Topology {
+        positions: vec![
+            Position::new(0.0, 0.0),    // R
+            Position::new(120.0, 0.0),  // S (cheater)
+            Position::new(0.0, 120.0),  // H
+            Position::new(60.0, 60.0),  // O (observer, no traffic)
+        ],
+        flows: vec![
+            Flow {
+                src: NodeId::new(1),
+                dst: NodeId::new(0),
+                rate_bps: 2_000_000,
+                payload: 512,
+                measured: true,
+            },
+            Flow {
+                src: NodeId::new(2),
+                dst: NodeId::new(0),
+                rate_bps: 2_000_000,
+                payload: 512,
+                measured: true,
+            },
+        ],
+    }
+}
+
+fn run(pm: f64, seed: u64) -> airguard_net::RunReport {
+    let observer_cfg = CorrectConfig {
+        observe_third_party: true,
+        ..CorrectConfig::paper_default()
+    };
+    let policies = vec![
+        NodePolicy::correct(NodeId::new(0), CorrectConfig::paper_default(), Selfish::None),
+        NodePolicy::correct(
+            NodeId::new(1),
+            CorrectConfig::paper_default(),
+            if pm > 0.0 {
+                Selfish::BackoffScale { pm }
+            } else {
+                Selfish::None
+            },
+        ),
+        NodePolicy::correct(NodeId::new(2), CorrectConfig::paper_default(), Selfish::None),
+        NodePolicy::correct(NodeId::new(3), observer_cfg, Selfish::None),
+    ];
+    Simulation::new(
+        SimulationConfig {
+            phy: PhyConfig::paper_default(),
+            horizon: SimDuration::from_secs(5),
+            seed: MasterSeed::new(seed),
+            ..SimulationConfig::default()
+        },
+        &topology(),
+        policies,
+        if pm > 0.0 { vec![NodeId::new(1)] } else { vec![] },
+    )
+    .run()
+}
+
+#[test]
+fn observer_sees_the_pairs() {
+    let report = run(0.0, 1);
+    let (_, pairs) = report
+        .observers
+        .iter()
+        .find(|(n, _)| *n == NodeId::new(3))
+        .expect("observer node reports");
+    // Both sender→receiver pairs were overheard.
+    assert!(pairs
+        .iter()
+        .any(|p| p.sender == NodeId::new(1) && p.receiver == NodeId::new(0)));
+    assert!(pairs
+        .iter()
+        .any(|p| p.sender == NodeId::new(2) && p.receiver == NodeId::new(0)));
+}
+
+#[test]
+fn observer_exonerates_honest_senders() {
+    let report = run(0.0, 2);
+    let (_, pairs) = &report.observers[0];
+    for p in pairs {
+        let flag_rate = p.flagged as f64 / p.measured.max(1) as f64;
+        assert!(
+            flag_rate < 0.05,
+            "honest pair {}->{} flagged at {flag_rate}",
+            p.sender,
+            p.receiver
+        );
+        assert!(!p.collusion_suspected());
+    }
+}
+
+#[test]
+fn observer_flags_the_cheater_from_outside() {
+    let report = run(80.0, 3);
+    let (_, pairs) = &report.observers[0];
+    let cheat = pairs
+        .iter()
+        .find(|p| p.sender == NodeId::new(1))
+        .expect("cheater pair observed");
+    let honest = pairs
+        .iter()
+        .find(|p| p.sender == NodeId::new(2))
+        .expect("honest pair observed");
+    assert!(cheat.measured > 50, "too few measurements: {}", cheat.measured);
+    let cheat_rate = cheat.flagged as f64 / cheat.measured as f64;
+    let honest_rate = honest.flagged as f64 / honest.measured.max(1) as f64;
+    assert!(
+        cheat_rate > 0.6,
+        "observer flag rate on cheater only {cheat_rate}"
+    );
+    assert!(honest_rate < 0.1, "observer flags honest at {honest_rate}");
+    // The receiver *is* punishing (honest receiver), so no collusion.
+    assert!(!cheat.collusion_suspected());
+}

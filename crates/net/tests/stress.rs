@@ -1,0 +1,131 @@
+//! Stress and degenerate-geometry tests: the runner must survive
+//! pathological placements and extreme parameters without panicking or
+//! violating conservation.
+
+use airguard_mac::Selfish;
+use airguard_net::topology::Flow;
+use airguard_net::{NodePolicy, Simulation, SimulationConfig, Topology};
+use airguard_phy::{PhyConfig, Position};
+use airguard_sim::{MasterSeed, NodeId, SimDuration};
+use airguard_core::CorrectConfig;
+
+fn correct(n: u32) -> Vec<NodePolicy> {
+    (0..n)
+        .map(|i| NodePolicy::correct(NodeId::new(i), CorrectConfig::paper_default(), Selfish::None))
+        .collect()
+}
+
+fn run(topology: &Topology, seed: u64) -> airguard_net::RunReport {
+    let n = topology.node_count() as u32;
+    Simulation::new(
+        SimulationConfig {
+            phy: PhyConfig::paper_default(),
+            horizon: SimDuration::from_secs(1),
+            seed: MasterSeed::new(seed),
+            ..SimulationConfig::default()
+        },
+        topology,
+        correct(n),
+        vec![],
+    )
+    .run()
+}
+
+#[test]
+fn co_located_nodes_do_not_panic() {
+    let topology = Topology {
+        positions: vec![Position::new(10.0, 10.0); 4],
+        flows: vec![
+            Flow { src: NodeId::new(1), dst: NodeId::new(0), rate_bps: 2_000_000, payload: 512, measured: true },
+            Flow { src: NodeId::new(2), dst: NodeId::new(0), rate_bps: 2_000_000, payload: 512, measured: true },
+            Flow { src: NodeId::new(3), dst: NodeId::new(0), rate_bps: 2_000_000, payload: 512, measured: true },
+        ],
+    };
+    let report = run(&topology, 1);
+    assert!(report.throughput.total_bytes() > 0);
+}
+
+#[test]
+fn nodes_far_out_of_range_simply_starve() {
+    let topology = Topology {
+        positions: vec![Position::new(0.0, 0.0), Position::new(5_000.0, 0.0)],
+        flows: vec![Flow {
+            src: NodeId::new(1),
+            dst: NodeId::new(0),
+            rate_bps: 2_000_000,
+            payload: 512,
+            measured: true,
+        }],
+    };
+    let report = run(&topology, 2);
+    assert_eq!(report.throughput.total_bytes(), 0, "5 km link must fail");
+    // The sender burned its retries, nothing crashed.
+    assert!(report.counters[1].retry_drops > 0);
+}
+
+#[test]
+fn tiny_payloads_and_many_flows() {
+    // 12 nodes in a tight cluster, everyone sends tiny packets to
+    // everyone's neighbor; exercises queue churn and dense contention.
+    let positions: Vec<Position> = (0..12)
+        .map(|i| Position::new(f64::from(i % 4) * 40.0, f64::from(i / 4) * 40.0))
+        .collect();
+    let flows: Vec<Flow> = (0..12u32)
+        .map(|i| Flow {
+            src: NodeId::new(i),
+            dst: NodeId::new((i + 1) % 12),
+            rate_bps: 500_000,
+            payload: 32,
+            measured: true,
+        })
+        .collect();
+    let topology = Topology { positions, flows };
+    let report = run(&topology, 3);
+    assert!(report.throughput.total_bytes() > 0);
+    // Duplicate filtering and retry limits stayed consistent for all.
+    for c in &report.counters {
+        assert!(c.queue_drops < 100_000);
+    }
+}
+
+#[test]
+fn bidirectional_flows_between_two_nodes() {
+    // Both nodes are simultaneously sender and receiver — the dual-role
+    // path (responding while backing off) gets heavy exercise.
+    let topology = Topology {
+        positions: vec![Position::new(0.0, 0.0), Position::new(100.0, 0.0)],
+        flows: vec![
+            Flow { src: NodeId::new(0), dst: NodeId::new(1), rate_bps: 2_000_000, payload: 512, measured: true },
+            Flow { src: NodeId::new(1), dst: NodeId::new(0), rate_bps: 2_000_000, payload: 512, measured: true },
+        ],
+    };
+    let report = run(&topology, 4);
+    let a = report.throughput.flow(NodeId::new(0), NodeId::new(1)).map_or(0, |f| f.packets);
+    let b = report.throughput.flow(NodeId::new(1), NodeId::new(0)).map_or(0, |f| f.packets);
+    assert!(a > 50 && b > 50, "both directions must flow: {a}/{b}");
+    // Neither side misdiagnoses the other.
+    for (_, m) in &report.monitors {
+        for s in &m.senders {
+            assert_eq!(s.flagged_packets, 0, "false flag on {}", s.node);
+        }
+    }
+}
+
+#[test]
+fn long_horizon_many_senders_is_stable() {
+    let topology = Topology::star(24, 2_000_000, 512, false);
+    let report = Simulation::new(
+        SimulationConfig {
+            phy: PhyConfig::paper_default(),
+            horizon: SimDuration::from_secs(3),
+            seed: MasterSeed::new(5),
+            ..SimulationConfig::default()
+        },
+        &topology,
+        correct(25),
+        vec![],
+    )
+    .run();
+    assert!(report.fairness_index() > 0.85, "fi={}", report.fairness_index());
+    assert_eq!(report.diagnosis().misdiagnosis_percent(), 0.0);
+}

@@ -1,0 +1,192 @@
+//! PHY configuration and threshold calibration.
+
+use crate::pathloss::{PathLoss, Shadowing, DEFAULT_TX_POWER_MW, SPEED_OF_LIGHT};
+use crate::units::{Db, Dbm, Meters};
+
+/// Complete radio configuration for a simulation.
+///
+/// The paper calibrates its ns-2 radios indirectly: "the Carrier Sense and
+/// Receive Thresholds are selected such that a transmission is received
+/// with 50 % probability at a distance of 250 m, and sensed with 50 %
+/// probability at a distance of 550 m". [`PhyConfig::calibrated`] performs
+/// exactly that calibration: with zero-mean shadowing, the 50 % point is
+/// where the *mean* received power equals the threshold.
+///
+/// ```
+/// use airguard_phy::PhyConfig;
+/// use airguard_phy::units::Meters;
+///
+/// let cfg = PhyConfig::paper_default();
+/// // Reception is 50/50 exactly at 250 m...
+/// assert!((cfg.prob_receive(Meters::new(250.0)) - 0.5).abs() < 1e-9);
+/// // ...and carrier sense is 50/50 exactly at 550 m.
+/// assert!((cfg.prob_sense(Meters::new(550.0)) - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhyConfig {
+    /// The propagation model (log-distance mean + Gaussian shadowing).
+    pub model: Shadowing,
+    /// Transmit power used by every node.
+    pub tx_power: Dbm,
+    /// Minimum received power for a frame to be decodable.
+    pub rx_threshold: Dbm,
+    /// Minimum received power for the channel to appear busy.
+    pub cs_threshold: Dbm,
+    /// Capture margin: an earlier frame survives an overlapping one if it
+    /// is at least this much stronger (ns-2 uses 10 dB).
+    pub capture: Db,
+}
+
+impl PhyConfig {
+    /// Calibrates thresholds from 50 %-probability distances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rx_50` is not closer than `cs_50` — carrier sensing must
+    /// reach at least as far as reception or the MAC would decode frames it
+    /// cannot even sense.
+    #[must_use]
+    pub fn calibrated(model: Shadowing, tx_power: Dbm, rx_50: Meters, cs_50: Meters) -> Self {
+        assert!(
+            rx_50 <= cs_50,
+            "receive range ({rx_50}) cannot exceed carrier-sense range ({cs_50})"
+        );
+        PhyConfig {
+            model,
+            tx_power,
+            rx_threshold: tx_power - model.mean_loss(rx_50),
+            cs_threshold: tx_power - model.mean_loss(cs_50),
+            capture: Db::new(10.0),
+        }
+    }
+
+    /// The exact configuration of the paper's simulations: shadowing with
+    /// β = 2 and σ = 1 dB, ns-2 default transmit power, reception 50 % at
+    /// 250 m, carrier sense 50 % at 550 m, 10 dB capture.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        PhyConfig::calibrated(
+            Shadowing::new(2.0, 1.0),
+            Dbm::from_milliwatts(DEFAULT_TX_POWER_MW),
+            Meters::new(250.0),
+            Meters::new(550.0),
+        )
+    }
+
+    /// A deterministic (σ = 0) variant with the same ranges, used by tests
+    /// that need exact unit-disk behaviour.
+    #[must_use]
+    pub fn deterministic() -> Self {
+        PhyConfig::calibrated(
+            Shadowing::new(2.0, 0.0),
+            Dbm::from_milliwatts(DEFAULT_TX_POWER_MW),
+            Meters::new(250.0),
+            Meters::new(550.0),
+        )
+    }
+
+    /// Analytic probability that a frame transmitted at `d` meters is
+    /// decodable at the listener.
+    #[must_use]
+    pub fn prob_receive(&self, d: Meters) -> f64 {
+        self.model.prob_above(self.tx_power, d, self.rx_threshold)
+    }
+
+    /// Analytic probability that a transmission at `d` meters makes the
+    /// listener's channel appear busy.
+    #[must_use]
+    pub fn prob_sense(&self, d: Meters) -> f64 {
+        self.model.prob_above(self.tx_power, d, self.cs_threshold)
+    }
+
+    /// One-way propagation delay over `d` meters, in whole microseconds
+    /// (rounded up so a propagated signal never arrives at the instant it
+    /// was sent).
+    #[must_use]
+    pub fn propagation_delay(&self, d: Meters) -> airguard_sim::SimDuration {
+        let micros = (d.value() / SPEED_OF_LIGHT * 1e6).ceil() as u64;
+        airguard_sim::SimDuration::from_micros(micros.max(1))
+    }
+}
+
+impl Default for PhyConfig {
+    fn default() -> Self {
+        PhyConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_are_ordered() {
+        let cfg = PhyConfig::paper_default();
+        // Farther 50 % distance ⇒ lower threshold.
+        assert!(cfg.cs_threshold < cfg.rx_threshold);
+    }
+
+    #[test]
+    fn probabilities_decrease_with_distance() {
+        let cfg = PhyConfig::paper_default();
+        let near = cfg.prob_receive(Meters::new(150.0));
+        let mid = cfg.prob_receive(Meters::new(250.0));
+        let far = cfg.prob_receive(Meters::new(400.0));
+        assert!(near > mid && mid > far);
+        assert!(near > 0.999, "150 m delivery should be near-certain: {near}");
+        assert!(far < 0.001, "400 m delivery should be near-impossible: {far}");
+    }
+
+    #[test]
+    fn paper_geometry_sense_probabilities() {
+        // The Fig. 3 asymmetry: R (500 m from flow A) senses it with high
+        // probability; the far-side sender (650 m) rarely does; the
+        // near-side sender (350 m) always does.
+        let cfg = PhyConfig::paper_default();
+        let at_r = cfg.prob_sense(Meters::new(500.0));
+        let far_sender = cfg.prob_sense(Meters::new(650.0));
+        let near_sender = cfg.prob_sense(Meters::new(350.0));
+        assert!(at_r > 0.75, "sense at 500 m: {at_r}");
+        assert!(far_sender < 0.15, "sense at 650 m: {far_sender}");
+        assert!(near_sender > 0.999, "sense at 350 m: {near_sender}");
+    }
+
+    #[test]
+    fn deterministic_config_is_unit_disk() {
+        let cfg = PhyConfig::deterministic();
+        assert_eq!(cfg.prob_receive(Meters::new(249.0)), 1.0);
+        assert_eq!(cfg.prob_receive(Meters::new(251.0)), 0.0);
+        assert_eq!(cfg.prob_sense(Meters::new(549.0)), 1.0);
+        assert_eq!(cfg.prob_sense(Meters::new(551.0)), 0.0);
+    }
+
+    #[test]
+    fn propagation_delay_rounds_up_and_is_positive() {
+        let cfg = PhyConfig::paper_default();
+        // 250 m ≈ 0.83 µs → 1 µs.
+        assert_eq!(
+            cfg.propagation_delay(Meters::new(250.0)),
+            airguard_sim::SimDuration::from_micros(1)
+        );
+        assert_eq!(
+            cfg.propagation_delay(Meters::new(0.0)),
+            airguard_sim::SimDuration::from_micros(1)
+        );
+        // 600 m ≈ 2.0 µs → 2 µs.
+        assert_eq!(
+            cfg.propagation_delay(Meters::new(600.0)),
+            airguard_sim::SimDuration::from_micros(3)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn rejects_inverted_ranges() {
+        let _ = PhyConfig::calibrated(
+            Shadowing::new(2.0, 1.0),
+            Dbm::new(24.5),
+            Meters::new(550.0),
+            Meters::new(250.0),
+        );
+    }
+}

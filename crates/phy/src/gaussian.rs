@@ -1,0 +1,136 @@
+//! Gaussian sampling and the normal CDF.
+//!
+//! The approved dependency set has `rand` but not `rand_distr`, so the
+//! handful of normal-distribution primitives the shadowing model needs are
+//! implemented here: a Box–Muller sampler and Φ/Q functions built on a
+//! high-accuracy `erf` approximation (Abramowitz & Stegun 7.1.26,
+//! |error| < 1.5e-7 — far below the 1 dB shadowing σ it is compared with).
+
+use rand::RngExt;
+
+/// Draws one standard-normal deviate using the Box–Muller transform.
+///
+/// Statistically this wastes the second deviate of each pair; the medium
+/// samples at most a few deviates per transmission, so simplicity and
+/// statelessness win over caching.
+pub fn standard_normal<R: rand::Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so ln(u1) is finite.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws a normal deviate with the given mean and standard deviation.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative or NaN.
+pub fn normal<R: rand::Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    assert!(
+        sigma >= 0.0 && !sigma.is_nan(),
+        "standard deviation must be non-negative, got {sigma}"
+    );
+    mean + sigma * standard_normal(rng)
+}
+
+/// The error function, via Abramowitz & Stegun formula 7.1.26.
+#[must_use]
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// The standard normal CDF Φ(x).
+#[must_use]
+pub fn phi(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// The standard normal tail probability Q(x) = 1 − Φ(x).
+#[must_use]
+pub fn q(x: f64) -> f64 {
+    1.0 - phi(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airguard_sim::MasterSeed;
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from tables of erf.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.520_499_878),
+            (1.0, 0.842_700_793),
+            (2.0, 0.995_322_265),
+            (-1.0, -0.842_700_793),
+        ];
+        for (x, want) in cases {
+            assert!(
+                (erf(x) - want).abs() < 2e-7,
+                "erf({x}) = {}, want {want}",
+                erf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn phi_reference_values() {
+        assert!((phi(0.0) - 0.5).abs() < 1e-9);
+        assert!((phi(1.0) - 0.841_344_746).abs() < 2e-7);
+        assert!((phi(-1.0) - 0.158_655_254).abs() < 2e-7);
+        assert!((phi(1.96) - 0.975_002_105).abs() < 2e-6);
+    }
+
+    #[test]
+    fn q_is_complement_of_phi() {
+        for x in [-2.0, -0.5, 0.0, 0.7, 3.0] {
+            assert!((q(x) + phi(x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampler_moments_match() {
+        let mut rng = MasterSeed::new(1234).stream("gauss-test", 0);
+        let n = 200_000;
+        let (mut sum, mut sum_sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let v = normal(rng.rng(), 3.0, 2.0);
+            sum += v;
+            sum_sq += v * v;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!((mean - 3.0).abs() < 0.02, "mean was {mean}");
+        assert!((var - 4.0).abs() < 0.1, "variance was {var}");
+    }
+
+    #[test]
+    fn sampler_tail_fraction_matches_phi() {
+        let mut rng = MasterSeed::new(99).stream("gauss-test", 1);
+        let n = 100_000;
+        let above_one = (0..n)
+            .filter(|_| standard_normal(rng.rng()) > 1.0)
+            .count() as f64
+            / n as f64;
+        assert!(
+            (above_one - q(1.0)).abs() < 0.01,
+            "P(X>1) sampled as {above_one}, want {}",
+            q(1.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn normal_rejects_negative_sigma() {
+        let mut rng = MasterSeed::new(1).stream("gauss-test", 2);
+        let _ = normal(rng.rng(), 0.0, -1.0);
+    }
+}

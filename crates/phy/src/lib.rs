@@ -1,0 +1,39 @@
+//! Radio substrate: propagation, carrier sensing, collisions, capture.
+//!
+//! The paper evaluates its protocol in ns-2 with the *shadowing* channel
+//! model: log-distance path loss with exponent β = 2 plus a zero-mean
+//! Gaussian deviate of σ = 1 dB, and reception/carrier-sense thresholds
+//! calibrated so that a transmission is *received* with 50 % probability at
+//! 250 m and *sensed* with 50 % probability at 550 m. This crate rebuilds
+//! that substrate from scratch:
+//!
+//! * [`units`] — `Dbm`/`Db`/`Meters` newtypes and a planar [`units::Position`];
+//! * [`pathloss`] — the [`pathloss::PathLoss`] models (free-space,
+//!   log-distance, and the paper's shadowing model);
+//! * [`config`] — [`PhyConfig`] with the 50 %-distance threshold
+//!   calibration used throughout the study;
+//! * [`medium`] — the shared [`Medium`] that samples, per transmission and
+//!   listener, whether the frame is sensed and whether it is potentially
+//!   receivable, at what power, and with what propagation delay;
+//! * [`reception`] — the per-node [`reception::RxTracker`] that folds
+//!   overlapping arrivals into carrier busy/idle edges and decode outcomes
+//!   with ns-2 style 10 dB capture.
+//!
+//! The MAC layer consumes only three signals from all of this: *carrier
+//! busy/idle edges*, *frame decoded*, and *frame garbled* — exactly the
+//! interface of a real 802.11 PHY.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod gaussian;
+pub mod medium;
+pub mod pathloss;
+pub mod reception;
+pub mod units;
+
+pub use config::PhyConfig;
+pub use medium::{Fading, ListenerOutcome, Medium, TransmissionId, TxOutcome};
+pub use reception::{BusyEdge, DecodeOutcome, RxTracker};
+pub use units::{Db, Dbm, Meters, Position};

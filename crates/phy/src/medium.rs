@@ -1,0 +1,381 @@
+//! The shared wireless medium.
+//!
+//! The [`Medium`] owns every node's position and the propagation model.
+//! When a node starts transmitting, the medium samples — independently per
+//! listener, as the paper's per-slot-variance ns-2 patch requires at the
+//! granularity that matters for idle-slot counting — the shadowing deviate
+//! for that (transmission, listener) pair and reports:
+//!
+//! * whether the listener *senses* the transmission (channel appears busy),
+//! * whether the frame is *potentially receivable* (decodable absent
+//!   collisions), and
+//! * the received power (for capture resolution) and propagation delay.
+//!
+//! The medium is purely combinational: the simulation runner schedules the
+//! arrival/departure events and feeds them to each listener's
+//! [`crate::reception::RxTracker`].
+
+use std::collections::HashMap;
+
+use airguard_sim::{NodeId, RngStream, SimDuration};
+
+use crate::config::PhyConfig;
+use crate::pathloss::PathLoss;
+use crate::units::{Db, Dbm, Position};
+
+/// Temporal behaviour of the shadowing deviate.
+///
+/// The paper samples its Gaussian term per transmission (ns-2's
+/// shadowing model is time-varying); physically, log-normal shadowing is
+/// caused by static obstacles and is *coherent* per link. Both
+/// interpretations are supported; the difference is an ablation axis
+/// (coherent shadowing turns marginal links into persistent asymmetries
+/// instead of per-packet noise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fading {
+    /// Redraw the deviate independently for every (transmission,
+    /// listener) pair — the paper's ns-2 behaviour and the default.
+    #[default]
+    PerTransmission,
+    /// Draw one deviate per (transmitter, listener) link at first use
+    /// and keep it for the whole run.
+    Coherent,
+}
+
+/// Identifier of one on-air transmission, unique within a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransmissionId(u64);
+
+impl TransmissionId {
+    /// The raw counter value (diagnostics only).
+    #[must_use]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+/// What one listener experiences for one transmission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ListenerOutcome {
+    /// The listening node.
+    pub listener: NodeId,
+    /// Propagation delay from transmitter to this listener.
+    pub delay: SimDuration,
+    /// Received power at the listener for this transmission.
+    pub power: Dbm,
+    /// The listener's carrier-sense sees this transmission.
+    pub sensed: bool,
+    /// Above the receive threshold: decodable absent collisions.
+    pub receivable: bool,
+}
+
+/// The sampled fate of one transmission across all listeners.
+///
+/// Only listeners that at least *sense* the transmission are included —
+/// a transmission below the carrier-sense threshold is indistinguishable
+/// from silence in this model (aggregate sub-threshold interference is not
+/// modelled, matching the ns-2 threshold receiver).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TxOutcome {
+    /// Unique id for correlating arrival and departure events.
+    pub id: TransmissionId,
+    /// The transmitting node.
+    pub transmitter: NodeId,
+    /// Per-listener samples, in node-id order.
+    pub listeners: Vec<ListenerOutcome>,
+}
+
+/// The shared medium: node positions + propagation model + sampling RNG.
+#[derive(Debug)]
+pub struct Medium {
+    cfg: PhyConfig,
+    positions: Vec<Position>,
+    rng: RngStream,
+    next_tx: u64,
+    fading: Fading,
+    coherent_offsets: HashMap<(NodeId, NodeId), Db>,
+}
+
+impl Medium {
+    /// Creates a medium over nodes at `positions` (node id = index).
+    ///
+    /// `rng` should be a dedicated stream (e.g. `seed.stream("phy", 0)`) so
+    /// channel sampling is independent of MAC-level randomness.
+    #[must_use]
+    pub fn new(cfg: PhyConfig, positions: Vec<Position>, rng: RngStream) -> Self {
+        Medium {
+            cfg,
+            positions,
+            rng,
+            next_tx: 0,
+            fading: Fading::PerTransmission,
+            coherent_offsets: HashMap::new(),
+        }
+    }
+
+    /// Selects the temporal fading behaviour (default:
+    /// [`Fading::PerTransmission`], the paper's choice).
+    pub fn set_fading(&mut self, fading: Fading) {
+        self.fading = fading;
+    }
+
+    /// Number of nodes sharing this medium.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Position of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not registered with this medium.
+    #[must_use]
+    pub fn position(&self, node: NodeId) -> Position {
+        self.positions[node.index()]
+    }
+
+    /// The radio configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &PhyConfig {
+        &self.cfg
+    }
+
+    /// Samples the fate of a transmission starting now at `transmitter`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transmitter` is not registered with this medium.
+    pub fn start_tx(&mut self, transmitter: NodeId) -> TxOutcome {
+        let tx_pos = self.positions[transmitter.index()];
+        let id = TransmissionId(self.next_tx);
+        self.next_tx += 1;
+
+        let mut listeners = Vec::new();
+        for (idx, &pos) in self.positions.iter().enumerate() {
+            if idx == transmitter.index() {
+                continue;
+            }
+            let d = tx_pos.distance_to(pos);
+            let listener_id = NodeId::new(idx as u32);
+            let loss = match self.fading {
+                Fading::PerTransmission => self.cfg.model.sample_loss(d, self.rng.rng()),
+                Fading::Coherent => {
+                    let offset = *self
+                        .coherent_offsets
+                        .entry((transmitter, listener_id))
+                        .or_insert_with(|| {
+                            self.cfg.model.sample_loss(d, self.rng.rng())
+                                - self.cfg.model.mean_loss(d)
+                        });
+                    self.cfg.model.mean_loss(d) + offset
+                }
+            };
+            let power = self.cfg.tx_power - loss;
+            let sensed = power >= self.cfg.cs_threshold;
+            if !sensed {
+                continue;
+            }
+            listeners.push(ListenerOutcome {
+                listener: listener_id,
+                delay: self.cfg.propagation_delay(d),
+                power,
+                sensed,
+                receivable: power >= self.cfg.rx_threshold,
+            });
+        }
+        TxOutcome {
+            id,
+            transmitter,
+            listeners,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airguard_sim::MasterSeed;
+    use airguard_phy_test_util::*;
+
+    // Local helper module so tests read cleanly.
+    mod airguard_phy_test_util {
+        use super::*;
+
+        pub fn medium_with(cfg: PhyConfig, positions: Vec<Position>, seed: u64) -> Medium {
+            Medium::new(cfg, positions, MasterSeed::new(seed).stream("phy", 0))
+        }
+    }
+
+    #[test]
+    fn transmitter_never_hears_itself() {
+        let mut m = medium_with(
+            PhyConfig::deterministic(),
+            vec![Position::new(0.0, 0.0), Position::new(100.0, 0.0)],
+            1,
+        );
+        let out = m.start_tx(NodeId::new(0));
+        assert!(out.listeners.iter().all(|l| l.listener != NodeId::new(0)));
+        assert_eq!(out.transmitter, NodeId::new(0));
+    }
+
+    #[test]
+    fn deterministic_ranges_partition_listeners() {
+        // 100 m: receivable; 400 m: sensed only; 600 m: silent.
+        let mut m = medium_with(
+            PhyConfig::deterministic(),
+            vec![
+                Position::new(0.0, 0.0),
+                Position::new(100.0, 0.0),
+                Position::new(400.0, 0.0),
+                Position::new(600.0, 0.0),
+            ],
+            2,
+        );
+        let out = m.start_tx(NodeId::new(0));
+        let by_id = |i: u32| out.listeners.iter().find(|l| l.listener == NodeId::new(i));
+        let near = by_id(1).expect("100 m listener sensed");
+        assert!(near.receivable && near.sensed);
+        let mid = by_id(2).expect("400 m listener sensed");
+        assert!(mid.sensed && !mid.receivable);
+        assert!(by_id(3).is_none(), "600 m listener silent");
+    }
+
+    #[test]
+    fn transmission_ids_are_unique_and_increasing() {
+        let mut m = medium_with(
+            PhyConfig::deterministic(),
+            vec![Position::new(0.0, 0.0), Position::new(10.0, 0.0)],
+            3,
+        );
+        let a = m.start_tx(NodeId::new(0)).id;
+        let b = m.start_tx(NodeId::new(1)).id;
+        assert!(a < b);
+    }
+
+    #[test]
+    fn shadowing_sense_rate_matches_calibration() {
+        // At the 550 m calibration point, ~50 % of transmissions are sensed.
+        let mut m = medium_with(
+            PhyConfig::paper_default(),
+            vec![Position::new(0.0, 0.0), Position::new(550.0, 0.0)],
+            4,
+        );
+        let n = 20_000;
+        let sensed = (0..n)
+            .filter(|_| !m.start_tx(NodeId::new(0)).listeners.is_empty())
+            .count() as f64
+            / n as f64;
+        assert!(
+            (sensed - 0.5).abs() < 0.02,
+            "sense rate at 550 m was {sensed}"
+        );
+    }
+
+    #[test]
+    fn shadowing_receive_rate_matches_calibration() {
+        let mut m = medium_with(
+            PhyConfig::paper_default(),
+            vec![Position::new(0.0, 0.0), Position::new(250.0, 0.0)],
+            5,
+        );
+        let n = 20_000;
+        let received = (0..n)
+            .filter(|_| {
+                m.start_tx(NodeId::new(0))
+                    .listeners
+                    .first()
+                    .is_some_and(|l| l.receivable)
+            })
+            .count() as f64
+            / n as f64;
+        assert!(
+            (received - 0.5).abs() < 0.02,
+            "receive rate at 250 m was {received}"
+        );
+    }
+
+    #[test]
+    fn per_listener_samples_are_independent() {
+        // Two listeners at the same marginal distance: their sense outcomes
+        // must not be perfectly correlated.
+        let mut m = medium_with(
+            PhyConfig::paper_default(),
+            vec![
+                Position::new(0.0, 0.0),
+                Position::new(550.0, 0.0),
+                Position::new(-550.0, 0.0),
+            ],
+            6,
+        );
+        let mut disagreements = 0;
+        let n = 5_000;
+        for _ in 0..n {
+            let out = m.start_tx(NodeId::new(0));
+            let heard_1 = out.listeners.iter().any(|l| l.listener == NodeId::new(1));
+            let heard_2 = out.listeners.iter().any(|l| l.listener == NodeId::new(2));
+            if heard_1 != heard_2 {
+                disagreements += 1;
+            }
+        }
+        // Independent 50/50 coins disagree half the time.
+        let rate = f64::from(disagreements) / n as f64;
+        assert!((rate - 0.5).abs() < 0.05, "disagreement rate {rate}");
+    }
+
+    #[test]
+    fn coherent_fading_freezes_each_link() {
+        // At the marginal 550 m distance, per-transmission sampling flips
+        // between sensed and silent; coherent sampling picks one fate for
+        // the whole run.
+        let mut m = medium_with(
+            PhyConfig::paper_default(),
+            vec![Position::new(0.0, 0.0), Position::new(550.0, 0.0)],
+            9,
+        );
+        m.set_fading(Fading::Coherent);
+        let first = !m.start_tx(NodeId::new(0)).listeners.is_empty();
+        for _ in 0..200 {
+            let now = !m.start_tx(NodeId::new(0)).listeners.is_empty();
+            assert_eq!(now, first, "coherent link changed its fate");
+        }
+    }
+
+    #[test]
+    fn coherent_links_are_independent_per_direction_pair() {
+        let mut m = medium_with(
+            PhyConfig::paper_default(),
+            vec![
+                Position::new(0.0, 0.0),
+                Position::new(550.0, 0.0),
+                Position::new(-550.0, 0.0),
+            ],
+            10,
+        );
+        m.set_fading(Fading::Coherent);
+        // Sample many transmissions; each link's outcome is constant but
+        // the two links need not agree.
+        let out = m.start_tx(NodeId::new(0));
+        let l1 = out.listeners.iter().any(|l| l.listener == NodeId::new(1));
+        let l2 = out.listeners.iter().any(|l| l.listener == NodeId::new(2));
+        for _ in 0..50 {
+            let out = m.start_tx(NodeId::new(0));
+            assert_eq!(out.listeners.iter().any(|l| l.listener == NodeId::new(1)), l1);
+            assert_eq!(out.listeners.iter().any(|l| l.listener == NodeId::new(2)), l2);
+        }
+    }
+
+    #[test]
+    fn receivable_implies_sensed() {
+        let mut m = medium_with(
+            PhyConfig::paper_default(),
+            vec![Position::new(0.0, 0.0), Position::new(260.0, 0.0)],
+            7,
+        );
+        for _ in 0..2_000 {
+            for l in m.start_tx(NodeId::new(0)).listeners {
+                assert!(l.sensed || !l.receivable);
+            }
+        }
+    }
+}

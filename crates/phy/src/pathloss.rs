@@ -1,0 +1,389 @@
+//! Path-loss and shadowing models.
+//!
+//! The study uses the ns-2 *shadowing* model:
+//!
+//! ```text
+//! [ Pr(d) / Pr(d0) ]_dB = -10 β log10(d / d0) + X_dB,   X_dB ~ N(0, σ_dB)
+//! ```
+//!
+//! with β = 2 (free-space exponent) and σ = 1 dB. The reference power
+//! `Pr(d0)` at `d0` = 1 m is the Friis free-space value for the standard
+//! ns-2 914 MHz WaveLAN radio. Deterministic models (σ = 0) are provided
+//! for baseline comparisons and unit tests.
+
+use crate::gaussian;
+use crate::units::{Db, Dbm, Meters};
+
+/// Speed of light, m/s (propagation delay).
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// ns-2 default WaveLAN carrier frequency, Hz.
+pub const DEFAULT_FREQUENCY_HZ: f64 = 914e6;
+
+/// ns-2 default WaveLAN transmit power (281.8 mW ≈ 24.5 dBm).
+pub const DEFAULT_TX_POWER_MW: f64 = 281.838_213;
+
+/// A distance-dependent propagation model.
+///
+/// A model is queried two ways: for its *mean* loss at a distance (used to
+/// calibrate thresholds and to compute analytic sense/receive
+/// probabilities) and for a *sampled* loss (used per transmission per
+/// listener during simulation). For deterministic models the two coincide.
+pub trait PathLoss {
+    /// Mean path loss at distance `d`, in dB (positive = attenuation).
+    fn mean_loss(&self, d: Meters) -> Db;
+
+    /// One random realization of the path loss at distance `d`.
+    fn sample_loss<R: rand::Rng + ?Sized>(&self, d: Meters, rng: &mut R) -> Db {
+        let _ = rng;
+        self.mean_loss(d)
+    }
+
+    /// Standard deviation of the loss around its mean, in dB.
+    fn sigma(&self) -> Db {
+        Db::ZERO
+    }
+
+    /// Probability that the received power at distance `d` exceeds
+    /// `threshold`, for a transmitter at `tx_power`.
+    ///
+    /// For deterministic models this is a step function of distance; for
+    /// shadowing it is `Φ((mean_rx − threshold)/σ)`.
+    fn prob_above(&self, tx_power: Dbm, d: Meters, threshold: Dbm) -> f64 {
+        let mean_rx = tx_power - self.mean_loss(d);
+        let sigma = self.sigma().value();
+        if sigma == 0.0 {
+            if mean_rx >= threshold {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            gaussian::phi((mean_rx - threshold).value() / sigma)
+        }
+    }
+}
+
+/// Friis free-space reference loss at distance `d0` for frequency `f`:
+/// `20·log10(4π·d0 / λ)`.
+#[must_use]
+pub fn reference_loss_db(frequency_hz: f64, d0: Meters) -> Db {
+    let lambda = SPEED_OF_LIGHT / frequency_hz;
+    Db::new(20.0 * (4.0 * std::f64::consts::PI * d0.value() / lambda).log10())
+}
+
+/// Log-distance path loss: reference loss at `d0` plus
+/// `10·β·log10(d/d0)`. With β = 2 this is exactly free space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogDistance {
+    /// Path-loss exponent β.
+    pub beta: f64,
+    /// Reference distance `d0`.
+    pub d0: Meters,
+    /// Loss already incurred at the reference distance.
+    pub ref_loss: Db,
+}
+
+impl LogDistance {
+    /// The paper's configuration: β as given, `d0` = 1 m, reference loss
+    /// from Friis at 914 MHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` is not positive.
+    #[must_use]
+    pub fn new(beta: f64) -> Self {
+        assert!(beta > 0.0, "path-loss exponent must be positive, got {beta}");
+        let d0 = Meters::new(1.0);
+        LogDistance {
+            beta,
+            d0,
+            ref_loss: reference_loss_db(DEFAULT_FREQUENCY_HZ, d0),
+        }
+    }
+
+    /// Free space (β = 2).
+    #[must_use]
+    pub fn free_space() -> Self {
+        LogDistance::new(2.0)
+    }
+}
+
+impl PathLoss for LogDistance {
+    fn mean_loss(&self, d: Meters) -> Db {
+        // Inside the reference distance the model is not defined; clamp so
+        // co-located nodes see the reference loss rather than a negative one.
+        let ratio = (d / self.d0).max(1.0);
+        self.ref_loss + Db::new(10.0 * self.beta * ratio.log10())
+    }
+}
+
+/// Two-ray ground reflection: free space up to the crossover distance
+/// `d_c = 4π·h_t·h_r/λ`, then fourth-power decay
+/// `loss = 40·log10(d) − 10·log10(h_t²·h_r²)` — ns-2's default outdoor
+/// large-scale model, provided for channel-model sensitivity studies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoRayGround {
+    /// Transmitter antenna height, meters (ns-2 default 1.5).
+    pub ht: f64,
+    /// Receiver antenna height, meters (ns-2 default 1.5).
+    pub hr: f64,
+    /// Free-space component used below the crossover distance.
+    pub near: LogDistance,
+}
+
+impl TwoRayGround {
+    /// ns-2 defaults: 1.5 m antennas at 914 MHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either antenna height is not positive.
+    #[must_use]
+    pub fn new(ht: f64, hr: f64) -> Self {
+        assert!(ht > 0.0 && hr > 0.0, "antenna heights must be positive");
+        TwoRayGround {
+            ht,
+            hr,
+            near: LogDistance::free_space(),
+        }
+    }
+
+    /// The crossover distance `4π·h_t·h_r/λ` where the ground reflection
+    /// starts to dominate.
+    #[must_use]
+    pub fn crossover(&self) -> Meters {
+        let lambda = SPEED_OF_LIGHT / DEFAULT_FREQUENCY_HZ;
+        Meters::new(4.0 * std::f64::consts::PI * self.ht * self.hr / lambda)
+    }
+}
+
+impl PathLoss for TwoRayGround {
+    fn mean_loss(&self, d: Meters) -> Db {
+        if d < self.crossover() {
+            self.near.mean_loss(d)
+        } else {
+            let gains = (self.ht * self.ht * self.hr * self.hr).log10() * 10.0;
+            Db::new(40.0 * d.value().max(1.0).log10() - gains)
+        }
+    }
+}
+
+/// The deterministic large-scale component a [`Shadowing`] model varies
+/// around.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MeanModel {
+    /// Log-distance (the paper's choice, β = 2 = free space).
+    LogDistance(LogDistance),
+    /// Two-ray ground reflection (ns-2's default outdoor model).
+    TwoRay(TwoRayGround),
+}
+
+impl PathLoss for MeanModel {
+    fn mean_loss(&self, d: Meters) -> Db {
+        match self {
+            MeanModel::LogDistance(m) => m.mean_loss(d),
+            MeanModel::TwoRay(m) => m.mean_loss(d),
+        }
+    }
+}
+
+/// The paper's shadowing model: a deterministic mean-loss model plus a
+/// zero-mean Gaussian deviate of standard deviation `sigma_db`.
+///
+/// ```
+/// use airguard_phy::pathloss::{PathLoss, Shadowing};
+/// use airguard_phy::{Dbm, Meters};
+///
+/// let model = Shadowing::new(2.0, 1.0);
+/// let tx = Dbm::new(24.5);
+/// // Mean received power at 250 m equals the calibrated RX threshold, so
+/// // delivery probability there is exactly one half.
+/// let thresh = tx - model.mean_loss(Meters::new(250.0));
+/// let p = model.prob_above(tx, Meters::new(250.0), thresh);
+/// assert!((p - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Shadowing {
+    /// Deterministic large-scale component.
+    pub mean: MeanModel,
+    /// Shadowing standard deviation, dB.
+    pub sigma_db: f64,
+}
+
+impl Shadowing {
+    /// Creates the shadowing model used in the paper's simulations:
+    /// exponent `beta` (the paper uses 2.0) and deviation `sigma_db`
+    /// (the paper uses 1.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` is not positive or `sigma_db` is negative.
+    #[must_use]
+    pub fn new(beta: f64, sigma_db: f64) -> Self {
+        assert!(
+            sigma_db >= 0.0,
+            "shadowing deviation must be non-negative, got {sigma_db}"
+        );
+        Shadowing {
+            mean: MeanModel::LogDistance(LogDistance::new(beta)),
+            sigma_db,
+        }
+    }
+
+    /// Shadowing around a two-ray-ground mean (channel-model ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_db` is negative.
+    #[must_use]
+    pub fn two_ray(sigma_db: f64) -> Self {
+        assert!(
+            sigma_db >= 0.0,
+            "shadowing deviation must be non-negative, got {sigma_db}"
+        );
+        Shadowing {
+            mean: MeanModel::TwoRay(TwoRayGround::new(1.5, 1.5)),
+            sigma_db,
+        }
+    }
+}
+
+impl PathLoss for Shadowing {
+    fn mean_loss(&self, d: Meters) -> Db {
+        self.mean.mean_loss(d)
+    }
+
+    fn sample_loss<R: rand::Rng + ?Sized>(&self, d: Meters, rng: &mut R) -> Db {
+        // X_dB is *added* to the received power in the model equation, i.e.
+        // subtracted from the loss.
+        self.mean_loss(d) - Db::new(gaussian::normal(rng, 0.0, self.sigma_db))
+    }
+
+    fn sigma(&self) -> Db {
+        Db::new(self.sigma_db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airguard_sim::MasterSeed;
+
+    #[test]
+    fn free_space_reference_loss_is_friis() {
+        // 914 MHz → λ ≈ 0.328 m → 20·log10(4π/λ) ≈ 31.67 dB at 1 m.
+        let l = reference_loss_db(DEFAULT_FREQUENCY_HZ, Meters::new(1.0));
+        assert!((l.value() - 31.67).abs() < 0.05, "got {l}");
+    }
+
+    #[test]
+    fn log_distance_slope_is_10_beta_per_decade() {
+        let m = LogDistance::new(2.0);
+        let l10 = m.mean_loss(Meters::new(10.0));
+        let l100 = m.mean_loss(Meters::new(100.0));
+        assert!(((l100 - l10).value() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_clamped_inside_reference_distance() {
+        let m = LogDistance::new(2.0);
+        assert_eq!(m.mean_loss(Meters::new(0.0)), m.mean_loss(Meters::new(1.0)));
+    }
+
+    #[test]
+    fn deterministic_prob_is_step() {
+        let m = LogDistance::new(2.0);
+        let tx = Dbm::new(24.5);
+        let thresh = tx - m.mean_loss(Meters::new(250.0));
+        assert_eq!(m.prob_above(tx, Meters::new(200.0), thresh), 1.0);
+        assert_eq!(m.prob_above(tx, Meters::new(300.0), thresh), 0.0);
+    }
+
+    #[test]
+    fn shadowing_prob_at_calibrated_distance_is_half() {
+        let m = Shadowing::new(2.0, 1.0);
+        let tx = Dbm::new(24.5);
+        let thresh = tx - m.mean_loss(Meters::new(550.0));
+        let p = m.prob_above(tx, Meters::new(550.0), thresh);
+        assert!((p - 0.5).abs() < 1e-9);
+        // Nearer: higher probability; farther: lower.
+        assert!(m.prob_above(tx, Meters::new(500.0), thresh) > 0.7);
+        assert!(m.prob_above(tx, Meters::new(650.0), thresh) < 0.15);
+    }
+
+    #[test]
+    fn sampled_loss_matches_analytic_probability() {
+        let m = Shadowing::new(2.0, 1.0);
+        let tx = Dbm::new(24.5);
+        let d = Meters::new(500.0);
+        let thresh = tx - m.mean_loss(Meters::new(550.0));
+        let analytic = m.prob_above(tx, d, thresh);
+        let mut rng = MasterSeed::new(7).stream("pl-test", 0);
+        let n = 50_000;
+        let hits = (0..n)
+            .filter(|_| tx - m.sample_loss(d, rng.rng()) >= thresh)
+            .count() as f64
+            / n as f64;
+        assert!(
+            (hits - analytic).abs() < 0.01,
+            "sampled {hits}, analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn zero_sigma_shadowing_degenerates_to_log_distance() {
+        let s = Shadowing::new(2.0, 0.0);
+        let mut rng = MasterSeed::new(1).stream("pl-test", 1);
+        let d = Meters::new(123.0);
+        assert_eq!(s.sample_loss(d, rng.rng()), s.mean_loss(d));
+    }
+
+    #[test]
+    fn two_ray_crossover_is_86m_at_defaults() {
+        let m = TwoRayGround::new(1.5, 1.5);
+        assert!((m.crossover().value() - 86.14).abs() < 0.5, "{}", m.crossover());
+    }
+
+    #[test]
+    fn two_ray_is_continuousish_and_steeper_far_out() {
+        let m = TwoRayGround::new(1.5, 1.5);
+        let at_cross = m.mean_loss(m.crossover());
+        let just_before = m.mean_loss(Meters::new(m.crossover().value() - 1.0));
+        assert!((at_cross - just_before).value().abs() < 1.0, "jump at crossover");
+        // Beyond crossover the slope is 40 dB/decade vs 20 for free space.
+        let l100 = m.mean_loss(Meters::new(100.0));
+        let l1000 = m.mean_loss(Meters::new(1000.0));
+        assert!(((l1000 - l100).value() - 40.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn shadowed_two_ray_samples_around_its_mean() {
+        let s = Shadowing::two_ray(1.0);
+        let d = Meters::new(300.0);
+        let mut rng = MasterSeed::new(4).stream("pl-test", 2);
+        let n = 20_000;
+        let mean_sample: f64 = (0..n)
+            .map(|_| s.sample_loss(d, rng.rng()).value())
+            .sum::<f64>()
+            / f64::from(n);
+        assert!((mean_sample - s.mean_loss(d).value()).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn two_ray_rejects_zero_height() {
+        let _ = TwoRayGround::new(0.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_beta() {
+        let _ = LogDistance::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_sigma() {
+        let _ = Shadowing::new(2.0, -0.5);
+    }
+}

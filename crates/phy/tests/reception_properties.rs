@@ -1,0 +1,136 @@
+//! Property tests of the reception tracker: arbitrary interleavings of
+//! arrivals, departures, and self-transmissions must keep the busy/idle
+//! edge stream well-formed and decode outcomes consistent.
+
+use airguard_phy::reception::{BusyEdge, DecodeOutcome, RxTracker};
+use airguard_phy::{Db, Dbm, Medium, PhyConfig, Position, TransmissionId};
+use airguard_sim::{MasterSeed, NodeId, SimTime};
+use proptest::prelude::*;
+
+/// Mint `n` distinct transmission ids through a throwaway medium (the
+/// constructor is deliberately private outside the crate).
+fn mint_ids(n: usize) -> Vec<TransmissionId> {
+    let mut medium = Medium::new(
+        PhyConfig::deterministic(),
+        vec![Position::new(0.0, 0.0)],
+        MasterSeed::new(0).stream("ids", 0),
+    );
+    (0..n).map(|_| medium.start_tx(NodeId::new(0)).id).collect()
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Arrive { slot: usize, power: f64, receivable: bool },
+    Depart { slot: usize },
+    SelfTxStart,
+    SelfTxEnd,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..8, -90.0f64..-40.0, any::<bool>())
+            .prop_map(|(slot, power, receivable)| Op::Arrive { slot, power, receivable }),
+        (0usize..8).prop_map(|slot| Op::Depart { slot }),
+        Just(Op::SelfTxStart),
+        Just(Op::SelfTxEnd),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn edges_alternate_and_state_stays_consistent(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+    ) {
+        let ids = mint_ids(8);
+        let mut tracker = RxTracker::new(Db::new(10.0));
+        let mut in_flight = [false; 8];
+        let mut transmitting = false;
+        let mut last_edge: Option<BusyEdge> = None;
+        let t = SimTime::from_micros(1);
+
+        for op in ops {
+            let edge = match op {
+                Op::Arrive { slot, power, receivable } => {
+                    if in_flight[slot] {
+                        continue; // already on the air
+                    }
+                    in_flight[slot] = true;
+                    tracker.on_arrival(t, ids[slot], Dbm::new(power), receivable)
+                }
+                Op::Depart { slot } => {
+                    if !in_flight[slot] {
+                        continue;
+                    }
+                    in_flight[slot] = false;
+                    let (edge, decode) = tracker.on_departure(t, ids[slot]);
+                    // Decode outcomes are only Decoded/Garbled, never for
+                    // a currently-transmitting node's own id.
+                    if let Some(outcome) = decode {
+                        prop_assert!(matches!(
+                            outcome,
+                            DecodeOutcome::Decoded | DecodeOutcome::Garbled
+                        ));
+                    }
+                    edge
+                }
+                Op::SelfTxStart => {
+                    if transmitting {
+                        continue;
+                    }
+                    transmitting = true;
+                    tracker.on_self_tx_start(t)
+                }
+                Op::SelfTxEnd => {
+                    if !transmitting {
+                        continue;
+                    }
+                    transmitting = false;
+                    tracker.on_self_tx_end(t)
+                }
+            };
+            // Edges must strictly alternate busy/idle.
+            if let Some(e) = edge {
+                if let Some(prev) = last_edge {
+                    prop_assert_ne!(prev, e, "two identical edges in a row");
+                }
+                last_edge = Some(e);
+            }
+            // The tracker's busy flag must match the model.
+            let expect_busy = transmitting || in_flight.iter().any(|&f| f);
+            prop_assert_eq!(tracker.is_busy(), expect_busy);
+        }
+    }
+
+    #[test]
+    fn lone_receivable_frames_always_decode(
+        power in -90.0f64..-40.0,
+        n in 1usize..6,
+    ) {
+        let ids = mint_ids(n);
+        let mut tracker = RxTracker::new(Db::new(10.0));
+        let t = SimTime::from_micros(1);
+        for id in ids {
+            tracker.on_arrival(t, id, Dbm::new(power), true);
+            let (_, decode) = tracker.on_departure(t, id);
+            prop_assert_eq!(decode, Some(DecodeOutcome::Decoded));
+        }
+    }
+
+    #[test]
+    fn overlapping_equal_power_frames_never_both_decode(
+        power in -90.0f64..-40.0,
+    ) {
+        let ids = mint_ids(2);
+        let mut tracker = RxTracker::new(Db::new(10.0));
+        let t = SimTime::from_micros(1);
+        tracker.on_arrival(t, ids[0], Dbm::new(power), true);
+        tracker.on_arrival(t, ids[1], Dbm::new(power), true);
+        let (_, d0) = tracker.on_departure(t, ids[0]);
+        let (_, d1) = tracker.on_departure(t, ids[1]);
+        let decoded = [d0, d1]
+            .iter()
+            .filter(|d| **d == Some(DecodeOutcome::Decoded))
+            .count();
+        prop_assert_eq!(decoded, 0, "equal-power overlap must garble");
+    }
+}

@@ -1,0 +1,284 @@
+//! The event queue at the heart of the simulator.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Handle to a scheduled event, used to cancel it before it fires.
+///
+/// Event ids are unique for the lifetime of a [`Scheduler`]; a cancelled or
+/// fired id is never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    event: E,
+}
+
+// Min-heap by (time, seq): earlier times first; FIFO among equal times so
+// execution order is deterministic and matches scheduling order.
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+/// A deterministic discrete-event scheduler.
+///
+/// Events are delivered in nondecreasing time order; ties are broken by
+/// scheduling order (FIFO). Cancellation is *logical*: cancelled entries
+/// stay in the heap but are skipped on pop, which keeps both operations
+/// `O(log n)` amortized.
+///
+/// # Example
+///
+/// ```
+/// use airguard_sim::{Scheduler, SimDuration};
+///
+/// let mut sched = Scheduler::new();
+/// let keep = sched.schedule_in(SimDuration::from_micros(10), "keep");
+/// let drop = sched.schedule_in(SimDuration::from_micros(5), "drop");
+/// assert!(sched.cancel(drop));
+/// let (_, ev) = sched.pop().unwrap();
+/// assert_eq!(ev, "keep");
+/// # let _ = keep;
+/// ```
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    now: SimTime,
+    heap: BinaryHeap<Entry<E>>,
+    /// Ids of entries still in the heap that have not been cancelled.
+    live: HashSet<EventId>,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// The current virtual time: the timestamp of the most recently popped
+    /// event (zero before the first pop).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before [`Scheduler::now`] — scheduling into the
+    /// past is always a logic error in a causal simulation.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, requested={}",
+            self.now,
+            at
+        );
+        let id = EventId(self.next_seq);
+        self.heap.push(Entry {
+            time: at,
+            seq: self.next_seq,
+            id,
+            event,
+        });
+        self.live.insert(id);
+        self.next_seq += 1;
+        id
+    }
+
+    /// Schedules `event` after a delay relative to the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventId {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending, `false` if it already
+    /// fired or was already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.live.remove(&id)
+    }
+
+    /// Removes and returns the next pending event, advancing the clock to
+    /// its timestamp. Returns `None` when no live events remain.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if !self.live.remove(&entry.id) {
+                continue; // cancelled
+            }
+            debug_assert!(entry.time >= self.now, "event queue went backwards");
+            self.now = entry.time;
+            self.popped += 1;
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without removing it.
+    #[must_use]
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if !self.live.contains(&entry.id) {
+                self.heap.pop();
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Number of live (not cancelled) pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True when no live events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events delivered so far (diagnostic counter).
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_micros(30), 3);
+        s.schedule_at(SimTime::from_micros(10), 1);
+        s.schedule_at(SimTime::from_micros(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut s = Scheduler::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..10 {
+            s.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_micros(7), ());
+        assert_eq!(s.now(), SimTime::ZERO);
+        s.pop();
+        assert_eq!(s.now(), SimTime::from_micros(7));
+    }
+
+    #[test]
+    fn cancelled_events_are_skipped() {
+        let mut s = Scheduler::new();
+        let a = s.schedule_at(SimTime::from_micros(1), "a");
+        let b = s.schedule_at(SimTime::from_micros(2), "b");
+        assert!(s.cancel(a));
+        assert!(!s.cancel(a), "double cancel reports false");
+        assert_eq!(s.pop().map(|(_, e)| e), Some("b"));
+        assert!(!s.cancel(b), "cancel after fire reports false");
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        assert!(!s.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut s = Scheduler::new();
+        let a = s.schedule_in(SimDuration::from_micros(1), ());
+        s.schedule_in(SimDuration::from_micros(2), ());
+        assert_eq!(s.len(), 2);
+        s.cancel(a);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        s.pop();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut s = Scheduler::new();
+        let a = s.schedule_at(SimTime::from_micros(1), ());
+        s.schedule_at(SimTime::from_micros(5), ());
+        s.cancel(a);
+        assert_eq!(s.peek_time(), Some(SimTime::from_micros(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_micros(10), ());
+        s.pop();
+        s.schedule_at(SimTime::from_micros(5), ());
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_micros(100), "first");
+        s.pop();
+        s.schedule_in(SimDuration::from_micros(10), "second");
+        let (t, _) = s.pop().unwrap();
+        assert_eq!(t, SimTime::from_micros(110));
+    }
+
+    #[test]
+    fn events_processed_counts_only_delivered() {
+        let mut s = Scheduler::new();
+        let a = s.schedule_in(SimDuration::from_micros(1), ());
+        s.schedule_in(SimDuration::from_micros(2), ());
+        s.cancel(a);
+        while s.pop().is_some() {}
+        assert_eq!(s.events_processed(), 1);
+    }
+}

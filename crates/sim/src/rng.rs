@@ -1,0 +1,179 @@
+//! Deterministic, stream-split random number generation.
+//!
+//! The paper averages every data point over 30 seeded runs that share a
+//! common seed set. To reproduce that, all randomness in the workspace
+//! flows from a single [`MasterSeed`] through named [`RngStream`]s: each
+//! (component, index) pair gets an independent generator whose sequence
+//! depends only on the master seed and the stream key — never on the order
+//! in which other components consume randomness.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The single seed from which every random stream of one simulation run is
+/// derived.
+///
+/// ```
+/// use airguard_sim::MasterSeed;
+///
+/// let seed = MasterSeed::new(7);
+/// let a = seed.stream("backoff", 1);
+/// let b = seed.stream("backoff", 2);
+/// // Independent streams for different indices, reproducible per key.
+/// # let _ = (a, b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MasterSeed(u64);
+
+impl MasterSeed {
+    /// Wraps a raw 64-bit seed.
+    #[must_use]
+    pub const fn new(seed: u64) -> Self {
+        MasterSeed(seed)
+    }
+
+    /// The raw seed value.
+    #[must_use]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Derives the deterministic generator for stream `(domain, index)`.
+    #[must_use]
+    pub fn stream(self, domain: &str, index: u64) -> RngStream {
+        RngStream::new(self, domain, index)
+    }
+}
+
+/// splitmix64: the standard 64-bit finalizer used to decorrelate seeds.
+#[must_use]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over the domain label, so distinct component names map to
+/// well-separated stream keys.
+#[must_use]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// A deterministic random stream derived from a [`MasterSeed`].
+///
+/// This is a thin newtype over [`StdRng`]; use it anywhere an
+/// [`rand::Rng`] is expected via [`RngStream::rng`] or the `RngCore`
+/// forwarding impl.
+#[derive(Debug)]
+pub struct RngStream {
+    inner: StdRng,
+    key: u64,
+}
+
+impl RngStream {
+    /// Derives the stream for `(domain, index)` under `master`.
+    #[must_use]
+    pub fn new(master: MasterSeed, domain: &str, index: u64) -> Self {
+        let key = splitmix64(
+            splitmix64(master.0 ^ fnv1a(domain.as_bytes())).wrapping_add(splitmix64(index)),
+        );
+        RngStream {
+            inner: StdRng::seed_from_u64(key),
+            key,
+        }
+    }
+
+    /// The derived 64-bit key identifying this stream (diagnostics only).
+    #[must_use]
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// Mutable access to the underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+// Implementing `TryRng<Error = Infallible>` makes `RngStream` a full
+// `rand::Rng` (and unlocks the ergonomic `RngExt` methods) via the blanket
+// impls in `rand_core`.
+impl rand::rand_core::TryRng for RngStream {
+    type Error = std::convert::Infallible;
+
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error> {
+        Ok(rand::Rng::next_u32(&mut self.inner))
+    }
+
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error> {
+        Ok(rand::Rng::next_u64(&mut self.inner))
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error> {
+        rand::Rng::fill_bytes(&mut self.inner, dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    fn draw(stream: &mut RngStream, n: usize) -> Vec<u64> {
+        (0..n).map(|_| stream.rng().random::<u64>()).collect()
+    }
+
+    #[test]
+    fn same_key_reproduces_sequence() {
+        let seed = MasterSeed::new(42);
+        let a = draw(&mut seed.stream("mac", 3), 16);
+        let b = draw(&mut seed.stream("mac", 3), 16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_indices_differ() {
+        let seed = MasterSeed::new(42);
+        let a = draw(&mut seed.stream("mac", 0), 16);
+        let b = draw(&mut seed.stream("mac", 1), 16);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_domains_differ() {
+        let seed = MasterSeed::new(42);
+        let a = draw(&mut seed.stream("mac", 0), 16);
+        let b = draw(&mut seed.stream("phy", 0), 16);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_master_seeds_differ() {
+        let a = draw(&mut MasterSeed::new(1).stream("mac", 0), 16);
+        let b = draw(&mut MasterSeed::new(2).stream("mac", 0), 16);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn stream_usable_as_rngcore() {
+        let mut s = MasterSeed::new(9).stream("x", 0);
+        // Exercise the RngCore forwarding impl directly.
+        let v: f64 = s.random_range(0.0..1.0);
+        assert!((0.0..1.0).contains(&v));
+    }
+
+    #[test]
+    fn keys_are_stable_across_calls() {
+        let seed = MasterSeed::new(5);
+        assert_eq!(seed.stream("a", 1).key(), seed.stream("a", 1).key());
+        assert_ne!(seed.stream("a", 1).key(), seed.stream("a", 2).key());
+    }
+}

@@ -1,0 +1,339 @@
+//! Virtual-time newtypes.
+//!
+//! All simulation time is integral microseconds. Every IEEE 802.11 DSSS
+//! interval used by the study divides evenly into microseconds, so slot
+//! arithmetic is exact.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant in virtual time, measured in microseconds since the start of
+/// the simulation.
+///
+/// `SimTime` is totally ordered and supports the natural arithmetic with
+/// [`SimDuration`]:
+///
+/// ```
+/// use airguard_sim::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_micros(50);
+/// assert_eq!(t.as_micros(), 50);
+/// assert_eq!(t - SimTime::from_micros(20), SimDuration::from_micros(30));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The origin of virtual time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// A time later than any time reachable in practice; useful as a
+    /// sentinel for "never".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time `micros` microseconds after the origin.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Creates a time `secs` seconds after the origin.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000)
+    }
+
+    /// Microseconds since the origin.
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the origin, as a float (for reporting only).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The duration elapsed since `earlier`.
+    ///
+    /// Returns [`SimDuration::ZERO`] if `earlier` is in the future, which
+    /// makes interval accounting robust against zero-length busy periods.
+    #[must_use]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The earlier of two times.
+    #[must_use]
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    /// The later of two times.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+/// A span of virtual time, measured in integral microseconds.
+///
+/// ```
+/// use airguard_sim::SimDuration;
+///
+/// let slot = SimDuration::from_micros(20);
+/// assert_eq!(slot * 3, SimDuration::from_micros(60));
+/// assert_eq!(SimDuration::from_millis(1) / slot, 50);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration of `micros` microseconds.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Creates a duration of `millis` milliseconds.
+    #[must_use]
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000)
+    }
+
+    /// Creates a duration of `secs` seconds.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be finite and non-negative, got {secs}"
+        );
+        SimDuration((secs * 1e6).round() as u64)
+    }
+
+    /// Total microseconds in this duration.
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Duration in fractional seconds (for reporting only).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// True when the duration is zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `self - rhs`, clamped at zero.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The smaller of two durations.
+    #[must_use]
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+
+    /// The larger of two durations.
+    #[must_use]
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+/// Integer division: how many whole `rhs` spans fit in `self`.
+impl Div<SimDuration> for SimDuration {
+    type Output = u64;
+    fn div(self, rhs: SimDuration) -> u64 {
+        assert!(!rhs.is_zero(), "division of SimDuration by zero duration");
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_ordering_and_arithmetic() {
+        let a = SimTime::from_micros(10);
+        let b = SimTime::from_micros(30);
+        assert!(a < b);
+        assert_eq!(b - a, SimDuration::from_micros(20));
+        assert_eq!(a + SimDuration::from_micros(20), b);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = SimTime::from_micros(10);
+        let b = SimTime::from_micros(30);
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_since(a), SimDuration::from_micros(20));
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1000));
+        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn duration_div_counts_whole_spans() {
+        let slot = SimDuration::from_micros(20);
+        assert_eq!(SimDuration::from_micros(59) / slot, 2);
+        assert_eq!(SimDuration::from_micros(60) / slot, 3);
+        assert_eq!(SimDuration::ZERO / slot, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero duration")]
+    fn duration_div_by_zero_panics() {
+        let _ = SimDuration::from_micros(1) / SimDuration::ZERO;
+    }
+
+    #[test]
+    fn duration_saturating_sub() {
+        let a = SimDuration::from_micros(5);
+        let b = SimDuration::from_micros(9);
+        assert_eq!(b.saturating_sub(a), SimDuration::from_micros(4));
+        assert_eq!(a.saturating_sub(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_scaled() {
+        assert_eq!(format!("{}", SimDuration::from_micros(15)), "15us");
+        assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.000s");
+        assert_eq!(format!("{}", SimTime::from_secs(1)), "1.000000s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = [1u64, 2, 3]
+            .into_iter()
+            .map(SimDuration::from_micros)
+            .sum();
+        assert_eq!(total, SimDuration::from_micros(6));
+    }
+
+    #[test]
+    fn time_min_max() {
+        let a = SimTime::from_micros(1);
+        let b = SimTime::from_micros(2);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_secs_f64_rejects_negative() {
+        let _ = SimDuration::from_secs_f64(-0.1);
+    }
+}

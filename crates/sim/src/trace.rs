@@ -1,0 +1,193 @@
+//! A lightweight structured trace bus.
+//!
+//! Traces serve two purposes in this workspace: integration tests assert on
+//! recorded protocol sequences (e.g. "RTS precedes CTS precedes DATA
+//! precedes ACK"), and the examples print a human-readable narration of a
+//! run. The bus is shareable ([`Trace`] is `Clone` + `Send` + `Sync`) so
+//! the medium, every MAC instance, and every monitor can write to the same
+//! log without threading lifetimes through the simulator.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::time::SimTime;
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time at which the event was recorded.
+    pub time: SimTime,
+    /// Short machine-matchable category, e.g. `"mac.tx"`.
+    pub category: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.time, self.category, self.detail)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+/// A shareable, optionally-enabled trace log.
+///
+/// A disabled trace (the default) records nothing and costs one atomic
+/// lock acquisition per event — negligible against event-queue work, and
+/// the hot paths check [`Trace::is_enabled`] first.
+///
+/// ```
+/// use airguard_sim::trace::Trace;
+/// use airguard_sim::SimTime;
+///
+/// let trace = Trace::enabled();
+/// trace.record(SimTime::from_micros(10), "mac.tx", "RTS 1->0");
+/// assert_eq!(trace.count("mac.tx"), 1);
+/// assert!(trace.events().iter().any(|e| e.detail.contains("RTS")));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Trace {
+    /// Creates a disabled (no-op) trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Creates an enabled trace that records every event.
+    #[must_use]
+    pub fn enabled() -> Self {
+        let t = Trace::new();
+        t.set_enabled(true);
+        t
+    }
+
+    /// Turns recording on or off. Already-recorded events are kept.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.lock().enabled = enabled;
+    }
+
+    /// Whether events are currently being recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.lock().enabled
+    }
+
+    /// Records an event if the trace is enabled.
+    pub fn record(&self, time: SimTime, category: &str, detail: impl Into<String>) {
+        let mut inner = self.inner.lock();
+        if inner.enabled {
+            inner.events.push(TraceEvent {
+                time,
+                category: category.to_owned(),
+                detail: detail.into(),
+            });
+        }
+    }
+
+    /// A snapshot of all recorded events, in recording order.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().events.clone()
+    }
+
+    /// Events whose category equals `category`.
+    #[must_use]
+    pub fn events_in(&self, category: &str) -> Vec<TraceEvent> {
+        self.inner
+            .lock()
+            .events
+            .iter()
+            .filter(|e| e.category == category)
+            .cloned()
+            .collect()
+    }
+
+    /// Number of recorded events in `category`.
+    #[must_use]
+    pub fn count(&self, category: &str) -> usize {
+        self.inner
+            .lock()
+            .events
+            .iter()
+            .filter(|e| e.category == category)
+            .count()
+    }
+
+    /// Discards all recorded events (recording state is unchanged).
+    pub fn clear(&self) {
+        self.inner.lock().events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let t = Trace::new();
+        assert!(!t.is_enabled());
+        t.record(SimTime::ZERO, "x", "ignored");
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let t = Trace::enabled();
+        t.record(SimTime::from_micros(1), "a", "one");
+        t.record(SimTime::from_micros(2), "b", "two");
+        let evs = t.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].detail, "one");
+        assert_eq!(evs[1].category, "b");
+    }
+
+    #[test]
+    fn category_filter_and_count() {
+        let t = Trace::enabled();
+        t.record(SimTime::ZERO, "mac.tx", "rts");
+        t.record(SimTime::ZERO, "mac.rx", "cts");
+        t.record(SimTime::ZERO, "mac.tx", "data");
+        assert_eq!(t.count("mac.tx"), 2);
+        assert_eq!(t.events_in("mac.rx").len(), 1);
+    }
+
+    #[test]
+    fn clones_share_the_log() {
+        let t = Trace::enabled();
+        let t2 = t.clone();
+        t2.record(SimTime::ZERO, "shared", "x");
+        assert_eq!(t.count("shared"), 1);
+    }
+
+    #[test]
+    fn clear_keeps_enabled_state() {
+        let t = Trace::enabled();
+        t.record(SimTime::ZERO, "a", "x");
+        t.clear();
+        assert!(t.events().is_empty());
+        assert!(t.is_enabled());
+    }
+
+    #[test]
+    fn display_includes_all_fields() {
+        let ev = TraceEvent {
+            time: SimTime::from_micros(5),
+            category: "cat".into(),
+            detail: "det".into(),
+        };
+        let s = format!("{ev}");
+        assert!(s.contains("cat") && s.contains("det"));
+    }
+}

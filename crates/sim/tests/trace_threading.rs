@@ -1,0 +1,49 @@
+//! The trace bus is shared across components; verify it behaves under
+//! concurrent writers (the bench harness runs one simulation per thread,
+//! each with its own trace, but a shared sink must also be safe).
+
+use std::thread;
+
+use airguard_sim::trace::Trace;
+use airguard_sim::SimTime;
+
+#[test]
+fn concurrent_writers_lose_nothing() {
+    let trace = Trace::enabled();
+    let writers = 8;
+    let per_writer = 500;
+    thread::scope(|scope| {
+        for w in 0..writers {
+            let t = trace.clone();
+            scope.spawn(move || {
+                for i in 0..per_writer {
+                    t.record(
+                        SimTime::from_micros(i),
+                        "concurrent",
+                        format!("w{w} event {i}"),
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(trace.count("concurrent"), writers * per_writer as usize);
+}
+
+#[test]
+fn trace_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Trace>();
+}
+
+#[test]
+fn disabled_clone_of_enabled_trace_still_records() {
+    // Cloning shares state: disabling through one handle disables all.
+    let a = Trace::enabled();
+    let b = a.clone();
+    b.set_enabled(false);
+    a.record(SimTime::ZERO, "x", "dropped");
+    assert_eq!(a.count("x"), 0);
+    b.set_enabled(true);
+    a.record(SimTime::ZERO, "x", "kept");
+    assert_eq!(b.count("x"), 1);
+}

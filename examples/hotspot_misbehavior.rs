@@ -1,0 +1,48 @@
+//! The paper's motivating deployment: a public wireless hotspot.
+//!
+//! A trusted base station (the receiver) serves eight untrusted clients.
+//! One client cheats at increasing intensity. We compare plain IEEE
+//! 802.11 with the modified protocol side by side: under 802.11 the
+//! cheater's gain comes straight out of the honest clients' throughput;
+//! under the modified protocol the base station detects the cheating and
+//! the correction scheme pins the cheater to its fair share.
+//!
+//! Run with: `cargo run --release --example hotspot_misbehavior`
+
+use airguard::net::{Protocol, RunReport, ScenarioConfig, StandardScenario};
+
+fn run(protocol: Protocol, pm: f64) -> RunReport {
+    ScenarioConfig::new(StandardScenario::ZeroFlow)
+        .protocol(protocol)
+        .misbehavior_percent(pm)
+        .sim_time_secs(10)
+        .seed(7)
+        .run()
+}
+
+fn main() {
+    println!("public-hotspot scenario: 8 clients -> 1 base station, one client cheating\n");
+    println!(
+        "{:>5}  {:>12} {:>12}  {:>12} {:>12}  {:>9} {:>9}",
+        "PM%", "802.11 MSB", "802.11 AVG", "CORRECT MSB", "CORRECT AVG", "detect%", "false%"
+    );
+    for pm in [0.0, 25.0, 50.0, 75.0, 90.0] {
+        let dot11 = run(Protocol::Dot11, pm);
+        let correct = run(Protocol::Correct, pm);
+        println!(
+            "{:>5.0}  {:>10.1}Kb {:>10.1}Kb  {:>10.1}Kb {:>10.1}Kb  {:>8.1}% {:>8.1}%",
+            pm,
+            dot11.msb_throughput_bps() / 1000.0,
+            dot11.avg_throughput_bps() / 1000.0,
+            correct.msb_throughput_bps() / 1000.0,
+            correct.avg_throughput_bps() / 1000.0,
+            correct.diagnosis().correct_diagnosis_percent(),
+            correct.diagnosis().misdiagnosis_percent(),
+        );
+    }
+
+    println!("\nreading the table:");
+    println!("- 802.11 MSB grows with PM while 802.11 AVG shrinks: the cheat works.");
+    println!("- CORRECT MSB stays near the fair share: the penalty scheme neutralizes it.");
+    println!("- detect% rises sharply once the cheating is substantial, false% stays ~0.");
+}

@@ -1,0 +1,8 @@
+#!/bin/bash
+# Final verification pass: full test suite and bench suite with output
+# captured at the repository root (as recorded in test_output.txt /
+# bench_output.txt).
+set -x
+cd /root/repo
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt | tail -5
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt | tail -5

@@ -1,0 +1,16 @@
+#!/bin/bash
+cd /root/repo
+export AIRGUARD_SECS=50
+run() { echo "=== $1 (seeds=$2) ==="; AIRGUARD_SEEDS=$2 ./target/release/$1 > results/$1.txt 2>&1; echo "done $1"; }
+run intro_claim 30
+run fig4 30
+run fig5 30
+run fig8 30
+run fig6 15
+run fig7 15
+run fig9 10
+run ablation_alpha 15
+run ablation_threshold 15
+run ablation_penalty 15
+run ablation_adaptive 15
+echo ALL_FIGURES_DONE

@@ -1,0 +1,9 @@
+#!/bin/bash
+cd /root/repo
+export AIRGUARD_SECS=50
+run() { echo "=== $1 (seeds=$2) ==="; AIRGUARD_SEEDS=$2 ./target/release/$1 > results/$1.txt 2>&1; echo "done $1"; }
+run ablation_access 15
+run ablation_channel 15
+run delay_report 15
+run ablation_fading 15
+echo ALL_EXTRAS_DONE

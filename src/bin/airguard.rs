@@ -1,0 +1,16 @@
+//! The `airguard` command-line tool. All logic lives in
+//! [`airguard::cli`]; this binary only converts process arguments and
+//! exit codes.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match airguard::cli::parse(&refs) {
+        Ok(cmd) => airguard::cli::execute(&cmd),
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", airguard::cli::usage());
+            std::process::exit(2);
+        }
+    }
+}

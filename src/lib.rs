@@ -1,0 +1,73 @@
+//! # airguard — MAC-layer misbehavior detection for 802.11 DCF
+//!
+//! Facade crate for the `airguard` workspace, a full reproduction of
+//! Kyasanur & Vaidya, *"Detection and Handling of MAC Layer Misbehavior
+//! in Wireless Networks"* (DSN 2003).
+//!
+//! The workspace implements, from scratch:
+//!
+//! * a deterministic discrete-event simulation kernel ([`sim`]);
+//! * a radio substrate with the paper's shadowing channel model
+//!   ([`phy`]);
+//! * a complete IEEE 802.11 DCF MAC — RTS/CTS/DATA/ACK, NAV,
+//!   binary-exponential backoff — plus selfish misbehavior strategies
+//!   ([`mac`]);
+//! * the paper's contribution: receiver-assigned backoff, deviation
+//!   detection, the correction (penalty) scheme, and the diagnosis
+//!   scheme ([`core`]);
+//! * scenario tooling reproducing the paper's topologies and traffic
+//!   ([`net`]); and
+//! * the measurement machinery for its metrics ([`metrics`]).
+//!
+//! # Quickstart
+//!
+//! Run the paper's Fig. 3 scenario (8 senders around one receiver,
+//! sender 3 misbehaving at PM = 80 %) under the modified protocol and
+//! inspect what the receiver concluded:
+//!
+//! ```
+//! use airguard::net::{Protocol, ScenarioConfig, StandardScenario};
+//!
+//! let report = ScenarioConfig::new(StandardScenario::ZeroFlow)
+//!     .protocol(Protocol::Correct)
+//!     .misbehavior_percent(80.0)
+//!     .sim_time_secs(2)
+//!     .seed(1)
+//!     .run();
+//!
+//! // Packets from the cheater (node 3) are flagged with high probability…
+//! assert!(report.diagnosis().correct_diagnosis_percent() > 50.0);
+//! // …honest senders are not…
+//! assert!(report.diagnosis().misdiagnosis_percent() < 5.0);
+//! // …and the correction scheme keeps the cheater near its fair share.
+//! assert!(report.msb_throughput_bps() < 2.0 * report.avg_throughput_bps());
+//! ```
+//!
+//! The same scenario under unmodified IEEE 802.11 shows why the scheme
+//! matters — the cheater grabs a large multiple of its fair share:
+//!
+//! ```
+//! use airguard::net::{Protocol, ScenarioConfig, StandardScenario};
+//!
+//! let report = ScenarioConfig::new(StandardScenario::ZeroFlow)
+//!     .protocol(Protocol::Dot11)
+//!     .misbehavior_percent(80.0)
+//!     .sim_time_secs(2)
+//!     .seed(1)
+//!     .run();
+//! assert!(report.msb_throughput_bps() > 3.0 * report.avg_throughput_bps());
+//! ```
+//!
+//! See `examples/` for runnable walkthroughs and `crates/bench` for the
+//! harnesses that regenerate every figure in the paper's evaluation.
+
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+pub use airguard_core as core;
+pub use airguard_mac as mac;
+pub use airguard_metrics as metrics;
+pub use airguard_net as net;
+pub use airguard_phy as phy;
+pub use airguard_sim as sim;

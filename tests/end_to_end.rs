@@ -1,0 +1,200 @@
+//! End-to-end scenario tests spanning every crate: kernel → PHY → MAC →
+//! detection scheme → scenario runner → metrics.
+
+use airguard::core::CorrectConfig;
+use airguard::mac::Selfish;
+use airguard::net::{Protocol, RunReport, ScenarioConfig, StandardScenario};
+use airguard::phy::PhyConfig;
+use airguard::sim::NodeId;
+
+fn zero_flow(protocol: Protocol, pm: f64, secs: u64, seed: u64) -> RunReport {
+    ScenarioConfig::new(StandardScenario::ZeroFlow)
+        .protocol(protocol)
+        .misbehavior_percent(pm)
+        .sim_time_secs(secs)
+        .seed(seed)
+        .run()
+}
+
+#[test]
+fn honest_network_has_no_deviations_or_flags() {
+    let report = zero_flow(Protocol::Correct, 0.0, 5, 1);
+    assert_eq!(report.diagnosis().misdiagnosis_percent(), 0.0);
+    for (_, monitor) in &report.monitors {
+        for s in &monitor.senders {
+            assert_eq!(s.flagged_packets, 0, "sender {} flagged", s.node);
+        }
+    }
+}
+
+#[test]
+fn cheater_detected_and_honest_spared_under_correct() {
+    let report = zero_flow(Protocol::Correct, 80.0, 5, 2);
+    assert!(
+        report.diagnosis().correct_diagnosis_percent() > 80.0,
+        "PM=80 should be flagged on most packets, got {}",
+        report.diagnosis().correct_diagnosis_percent()
+    );
+    assert!(
+        report.diagnosis().misdiagnosis_percent() < 2.0,
+        "misdiagnosis {}",
+        report.diagnosis().misdiagnosis_percent()
+    );
+}
+
+#[test]
+fn correction_pins_cheater_to_fair_share() {
+    let fair = zero_flow(Protocol::Correct, 0.0, 5, 3).avg_throughput_bps();
+    let cheat = zero_flow(Protocol::Correct, 60.0, 5, 3);
+    let msb = cheat.msb_throughput_bps();
+    assert!(
+        msb < 1.5 * fair,
+        "corrected cheater at {msb} vs fair {fair}"
+    );
+    // And the honest population is not collateral damage.
+    assert!(cheat.avg_throughput_bps() > 0.85 * fair);
+}
+
+#[test]
+fn dot11_rewards_the_same_cheater() {
+    let report = zero_flow(Protocol::Dot11, 60.0, 5, 3);
+    assert!(
+        report.msb_throughput_bps() > 1.8 * report.avg_throughput_bps(),
+        "under 802.11 PM=60 should pay off: MSB={} AVG={}",
+        report.msb_throughput_bps(),
+        report.avg_throughput_bps()
+    );
+}
+
+#[test]
+fn correct_protocol_costs_no_capacity_without_misbehavior() {
+    let dot11 = zero_flow(Protocol::Dot11, 0.0, 5, 4).avg_throughput_bps();
+    let correct = zero_flow(Protocol::Correct, 0.0, 5, 4).avg_throughput_bps();
+    let ratio = correct / dot11;
+    assert!(
+        (0.9..=1.1).contains(&ratio),
+        "CORRECT vs 802.11 honest throughput ratio {ratio}"
+    );
+}
+
+#[test]
+fn fairness_is_high_without_misbehavior() {
+    for protocol in [Protocol::Dot11, Protocol::Correct] {
+        let report = zero_flow(protocol, 0.0, 5, 5);
+        assert!(
+            report.fairness_index() > 0.9,
+            "{protocol:?} fairness {}",
+            report.fairness_index()
+        );
+    }
+}
+
+#[test]
+fn two_flow_interference_raises_misdiagnosis_but_keeps_detection() {
+    let report = ScenarioConfig::new(StandardScenario::TwoFlow)
+        .protocol(Protocol::Correct)
+        .misbehavior_percent(60.0)
+        .sim_time_secs(5)
+        .seed(6)
+        .run();
+    assert!(report.diagnosis().correct_diagnosis_percent() > 70.0);
+    // The paper's documented tradeoff: nonzero but bounded misdiagnosis.
+    assert!(report.diagnosis().misdiagnosis_percent() < 40.0);
+}
+
+#[test]
+fn quarter_window_strategy_reproduces_intro_claim_direction() {
+    let fair = zero_flow(Protocol::Dot11, 0.0, 5, 7).avg_throughput_bps();
+    let report = ScenarioConfig::new(StandardScenario::ZeroFlow)
+        .protocol(Protocol::Dot11)
+        .strategy(Selfish::QuarterWindow)
+        .sim_time_secs(5)
+        .seed(7)
+        .run();
+    assert!(report.msb_throughput_bps() > 1.5 * fair);
+    assert!(report.avg_throughput_bps() < 0.9 * fair);
+}
+
+#[test]
+fn random_topology_end_to_end() {
+    let report = ScenarioConfig::new(StandardScenario::Random)
+        .protocol(Protocol::Correct)
+        .misbehavior_percent(70.0)
+        .sim_time_secs(5)
+        .seed(8)
+        .run();
+    assert_eq!(report.misbehaving.len(), 5);
+    assert!(report.throughput.total_bytes() > 0);
+    assert!(
+        report.diagnosis().correct_diagnosis_percent()
+            > report.diagnosis().misdiagnosis_percent(),
+        "detection must beat the false-positive rate"
+    );
+}
+
+#[test]
+fn deterministic_channel_gives_bitwise_reproducibility() {
+    let cfg = ScenarioConfig::new(StandardScenario::ZeroFlow)
+        .protocol(Protocol::Correct)
+        .misbehavior_percent(50.0)
+        .phy(PhyConfig::deterministic())
+        .sim_time_secs(3)
+        .seed(9);
+    let a = cfg.run();
+    let b = cfg.run();
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.throughput, b.throughput);
+    assert_eq!(a.tally, b.tally);
+}
+
+#[test]
+fn attempt_spoofer_is_caught_by_probes_only() {
+    let mut cc = CorrectConfig::paper_default();
+    cc.monitor.probe_rate = 0.02;
+    let spoof = ScenarioConfig::new(StandardScenario::ZeroFlow)
+        .protocol(Protocol::Correct)
+        .correct_config(cc)
+        .strategy(Selfish::AttemptSpoof { pm: 60.0 })
+        .sim_time_secs(10)
+        .seed(10)
+        .run();
+    let honest = ScenarioConfig::new(StandardScenario::ZeroFlow)
+        .protocol(Protocol::Correct)
+        .correct_config(cc)
+        .misbehavior_percent(60.0)
+        .sim_time_secs(10)
+        .seed(10)
+        .run();
+    let cheats_of = |r: &RunReport| {
+        r.monitors[0]
+            .1
+            .sender(NodeId::new(3))
+            .map_or(0, |s| s.attempt_cheats)
+    };
+    assert!(cheats_of(&spoof) > 0, "spoofer must be caught");
+    assert_eq!(cheats_of(&honest), 0, "honest attempt numbers pass probes");
+}
+
+#[test]
+fn throughput_never_exceeds_channel_capacity() {
+    for seed in 1..=3 {
+        let report = zero_flow(Protocol::Dot11, 100.0, 3, seed);
+        let total: f64 = report
+            .measured_senders
+            .iter()
+            .map(|&s| report.throughput.sender_throughput_bps(s, report.elapsed))
+            .sum();
+        assert!(total < 2.0e6, "aggregate {total} b/s exceeds the channel");
+    }
+}
+
+#[test]
+fn diagnosis_series_covers_the_run() {
+    let report = zero_flow(Protocol::Correct, 80.0, 5, 11);
+    assert_eq!(report.series.bins().len(), 5);
+    let flagged_after_warmup: u64 = report.series.bins()[1..]
+        .iter()
+        .map(|b| b.flagged)
+        .sum();
+    assert!(flagged_after_warmup > 0, "flags must appear after warmup");
+}

@@ -1,0 +1,104 @@
+//! Property-based tests over the whole stack: for arbitrary (small)
+//! scenario parameters, global invariants must hold.
+
+use airguard::net::{Protocol, ScenarioConfig, StandardScenario};
+use airguard::sim::NodeId;
+use proptest::prelude::*;
+
+proptest! {
+    // Whole-simulation properties are expensive; keep the case count low
+    // but the input space wide.
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn diagnosis_percentages_are_well_formed(
+        pm in 0.0f64..100.0,
+        seed in 1u64..500,
+        protocol_correct in any::<bool>(),
+    ) {
+        let protocol = if protocol_correct { Protocol::Correct } else { Protocol::Dot11 };
+        let r = ScenarioConfig::new(StandardScenario::ZeroFlow)
+            .protocol(protocol)
+            .n_senders(4)
+            .misbehavior_percent(pm)
+            .sim_time_secs(2)
+            .seed(seed)
+            .run();
+        let cd = r.diagnosis().correct_diagnosis_percent();
+        let md = r.diagnosis().misdiagnosis_percent();
+        prop_assert!((0.0..=100.0).contains(&cd), "correct% {cd}");
+        prop_assert!((0.0..=100.0).contains(&md), "misdiag% {md}");
+        if protocol == Protocol::Dot11 {
+            prop_assert_eq!(cd, 0.0, "baseline never classifies");
+        }
+    }
+
+    #[test]
+    fn aggregate_throughput_bounded_by_capacity(
+        n in 1usize..10,
+        pm in 0.0f64..100.0,
+        seed in 1u64..500,
+    ) {
+        let r = ScenarioConfig::new(StandardScenario::ZeroFlow)
+            .protocol(Protocol::Correct)
+            .n_senders(n)
+            .misbehavior_percent(pm)
+            .sim_time_secs(2)
+            .seed(seed)
+            .run();
+        let total: f64 = r
+            .measured_senders
+            .iter()
+            .map(|&s| r.throughput.sender_throughput_bps(s, r.elapsed))
+            .sum();
+        prop_assert!(total <= 2.0e6, "aggregate {total} b/s > channel rate");
+        let fi = r.fairness_index();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&fi));
+    }
+
+    #[test]
+    fn runs_are_seed_deterministic(
+        pm in 0.0f64..100.0,
+        seed in 1u64..200,
+    ) {
+        let cfg = ScenarioConfig::new(StandardScenario::ZeroFlow)
+            .protocol(Protocol::Correct)
+            .n_senders(3)
+            .misbehavior_percent(pm)
+            .sim_time_secs(1)
+            .seed(seed);
+        let a = cfg.run();
+        let b = cfg.run();
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.throughput, b.throughput);
+    }
+
+    #[test]
+    fn monitor_packet_counts_match_deliveries(
+        pm in 0.0f64..90.0,
+        seed in 1u64..300,
+    ) {
+        let r = ScenarioConfig::new(StandardScenario::ZeroFlow)
+            .protocol(Protocol::Correct)
+            .n_senders(4)
+            .misbehavior_percent(pm)
+            .sim_time_secs(2)
+            .seed(seed)
+            .run();
+        let monitor = &r.monitors[0].1;
+        for sender in 1..=4u32 {
+            let delivered = r
+                .throughput
+                .flow(NodeId::new(sender), NodeId::new(0))
+                .map_or(0, |f| f.packets);
+            let observed = monitor.sender(NodeId::new(sender)).map_or(0, |s| s.packets);
+            prop_assert_eq!(
+                delivered, observed,
+                "sender {} delivered vs monitored", sender
+            );
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! §4.4 end-to-end: a selfish *receiver* that lowballs assignments is
+//! detected by senders running the deterministic-`g` verification, and
+//! the sender's defensive substitution (`max(assigned, g)`) neutralizes
+//! the favouritism.
+
+use airguard::core::monitor::{AssignmentSource, MonitorConfig};
+use airguard::core::CorrectConfig;
+use airguard::mac::Selfish;
+use airguard::net::topology::Flow;
+use airguard::net::{NodePolicy, RunReport, Simulation, SimulationConfig, Topology};
+use airguard::phy::{PhyConfig, Position};
+use airguard::sim::{MasterSeed, NodeId, SimDuration};
+
+/// Two receivers, two senders. Receiver 0 serves sender 2; receiver 1
+/// serves sender 3. All four nodes contend on the same channel.
+fn topology() -> Topology {
+    Topology {
+        positions: vec![
+            Position::new(0.0, 0.0),    // receiver 0
+            Position::new(100.0, 0.0),  // receiver 1
+            Position::new(0.0, 100.0),  // sender 2 -> 0
+            Position::new(100.0, 100.0),// sender 3 -> 1
+        ],
+        flows: vec![
+            Flow {
+                src: NodeId::new(2),
+                dst: NodeId::new(0),
+                rate_bps: 2_000_000,
+                payload: 512,
+                measured: true,
+            },
+            Flow {
+                src: NodeId::new(3),
+                dst: NodeId::new(1),
+                rate_bps: 2_000_000,
+                payload: 512,
+                measured: true,
+            },
+        ],
+    }
+}
+
+fn g_config(verify: bool) -> CorrectConfig {
+    CorrectConfig {
+        monitor: MonitorConfig {
+            assignment_source: AssignmentSource::DeterministicG,
+            ..MonitorConfig::paper_default()
+        },
+        verify_receiver: verify,
+        ..CorrectConfig::paper_default()
+    }
+}
+
+fn run(selfish_receiver: bool, verify: bool, seed: u64) -> RunReport {
+    let cfg = g_config(verify);
+    let policies = vec![
+        NodePolicy::correct(
+            NodeId::new(0),
+            cfg,
+            if selfish_receiver {
+                Selfish::ZeroAssignment
+            } else {
+                Selfish::None
+            },
+        ),
+        NodePolicy::correct(NodeId::new(1), cfg, Selfish::None),
+        NodePolicy::correct(NodeId::new(2), cfg, Selfish::None),
+        NodePolicy::correct(NodeId::new(3), cfg, Selfish::None),
+    ];
+    Simulation::new(
+        SimulationConfig {
+            phy: PhyConfig::paper_default(),
+            horizon: SimDuration::from_secs(5),
+            seed: MasterSeed::new(seed),
+            ..SimulationConfig::default()
+        },
+        &topology(),
+        policies,
+        vec![],
+    )
+    .run()
+}
+
+fn violations_at(report: &RunReport, node: u32) -> u64 {
+    report
+        .receiver_violations
+        .iter()
+        .find(|(n, _)| *n == NodeId::new(node))
+        .map_or(0, |(_, v)| *v)
+}
+
+fn flow_bps(report: &RunReport, src: u32, dst: u32) -> f64 {
+    report
+        .throughput
+        .flow(NodeId::new(src), NodeId::new(dst))
+        .map_or(0.0, |f| f.bytes as f64 * 8.0 / report.elapsed.as_secs_f64())
+}
+
+#[test]
+fn honest_g_receivers_trigger_no_violations() {
+    let report = run(false, true, 1);
+    assert_eq!(violations_at(&report, 2), 0, "sender 2 saw violations");
+    assert_eq!(violations_at(&report, 3), 0, "sender 3 saw violations");
+    assert!(report.throughput.total_bytes() > 0);
+}
+
+#[test]
+fn lowballing_receiver_is_detected_by_its_sender() {
+    let report = run(true, true, 2);
+    // Sender 2 is served by the selfish receiver 0: nearly every
+    // assignment violates the g lower bound (g = 0 passes by chance for
+    // ~1/32 of sequence numbers).
+    assert!(
+        violations_at(&report, 2) > 50,
+        "sender 2 detected only {} violations",
+        violations_at(&report, 2)
+    );
+    // Sender 3's receiver is honest.
+    assert_eq!(violations_at(&report, 3), 0);
+}
+
+#[test]
+fn g_substitution_neutralizes_receiver_favoritism() {
+    // Without verification, the favoured flow (2 -> selfish 0) outruns the
+    // honest flow; with verification the sender waits max(assigned, g) and
+    // the advantage collapses.
+    let unprotected = run(true, false, 3);
+    let protected = run(true, true, 3);
+    let ratio_unprotected = flow_bps(&unprotected, 2, 0) / flow_bps(&unprotected, 3, 1);
+    let ratio_protected = flow_bps(&protected, 2, 0) / flow_bps(&protected, 3, 1);
+    assert!(
+        ratio_unprotected > 1.15,
+        "zero assignments should favour flow 2: ratio {ratio_unprotected}"
+    );
+    assert!(
+        ratio_protected < ratio_unprotected,
+        "verification must shrink the advantage: {ratio_protected} vs {ratio_unprotected}"
+    );
+    assert!(
+        ratio_protected < 1.15,
+        "protected ratio still unfair: {ratio_protected}"
+    );
+}
+
+#[test]
+fn honest_senders_keep_passing_deviation_checks_under_g_assignments() {
+    // The g-based assignment source must not break the main scheme: no
+    // deviations, no flags for honest senders.
+    let report = run(false, true, 4);
+    for (_, monitor) in &report.monitors {
+        for s in &monitor.senders {
+            assert_eq!(s.flagged_packets, 0, "sender {} flagged", s.node);
+        }
+    }
+}
