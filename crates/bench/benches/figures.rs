@@ -25,7 +25,7 @@ fn bench_intro_claim(c: &mut Criterion) {
                 .sim_time_secs(1)
                 .seed(1)
                 .run()
-        })
+        });
     });
 }
 
@@ -33,10 +33,18 @@ fn bench_fig4(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4_diagnosis_accuracy");
     g.sample_size(10);
     g.bench_function("zero_flow_pm50", |b| {
-        b.iter(|| quick(StandardScenario::ZeroFlow, Protocol::Correct, 50.0).seed(1).run())
+        b.iter(|| {
+            quick(StandardScenario::ZeroFlow, Protocol::Correct, 50.0)
+                .seed(1)
+                .run()
+        });
     });
     g.bench_function("two_flow_pm50", |b| {
-        b.iter(|| quick(StandardScenario::TwoFlow, Protocol::Correct, 50.0).seed(1).run())
+        b.iter(|| {
+            quick(StandardScenario::TwoFlow, Protocol::Correct, 50.0)
+                .seed(1)
+                .run()
+        });
     });
     g.finish();
 }
@@ -45,10 +53,18 @@ fn bench_fig5(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5_throughput_vs_pm");
     g.sample_size(10);
     g.bench_function("dot11_pm80", |b| {
-        b.iter(|| quick(StandardScenario::ZeroFlow, Protocol::Dot11, 80.0).seed(1).run())
+        b.iter(|| {
+            quick(StandardScenario::ZeroFlow, Protocol::Dot11, 80.0)
+                .seed(1)
+                .run()
+        });
     });
     g.bench_function("correct_pm80", |b| {
-        b.iter(|| quick(StandardScenario::ZeroFlow, Protocol::Correct, 80.0).seed(1).run())
+        b.iter(|| {
+            quick(StandardScenario::ZeroFlow, Protocol::Correct, 80.0)
+                .seed(1)
+                .run()
+        });
     });
     g.finish();
 }
@@ -64,7 +80,7 @@ fn bench_fig6_fig7(c: &mut Criterion) {
                     .seed(1)
                     .run();
                 (r.avg_throughput_bps(), r.fairness_index())
-            })
+            });
         });
     }
     g.finish();
@@ -75,9 +91,15 @@ fn bench_fig8(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("two_flow_pm80_series", |b| {
         b.iter(|| {
-            let r = quick(StandardScenario::TwoFlow, Protocol::Correct, 80.0).seed(1).run();
-            r.series.bins().iter().map(|bin| bin.percent()).sum::<f64>()
-        })
+            let r = quick(StandardScenario::TwoFlow, Protocol::Correct, 80.0)
+                .seed(1)
+                .run();
+            r.series
+                .bins()
+                .iter()
+                .map(airguard_metrics::series::Bin::percent)
+                .sum::<f64>()
+        });
     });
     g.finish();
 }
@@ -86,7 +108,11 @@ fn bench_fig9(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig9_random_topology");
     g.sample_size(10);
     g.bench_function("correct_pm50", |b| {
-        b.iter(|| quick(StandardScenario::Random, Protocol::Correct, 50.0).seed(1).run())
+        b.iter(|| {
+            quick(StandardScenario::Random, Protocol::Correct, 50.0)
+                .seed(1)
+                .run()
+        });
     });
     g.finish();
 }

@@ -16,17 +16,14 @@ fn bench_scheduler(c: &mut Criterion) {
         b.iter(|| {
             let mut s = Scheduler::new();
             for i in 0..10_000u64 {
-                s.schedule_at(
-                    airguard_sim::SimTime::from_micros((i * 7919) % 100_000),
-                    i,
-                );
+                s.schedule_at(airguard_sim::SimTime::from_micros((i * 7919) % 100_000), i);
             }
             let mut acc = 0u64;
             while let Some((_, v)) = s.pop() {
                 acc = acc.wrapping_add(v);
             }
             acc
-        })
+        });
     });
     g.bench_function("schedule_cancel_10k", |b| {
         b.iter(|| {
@@ -38,7 +35,7 @@ fn bench_scheduler(c: &mut Criterion) {
                 s.cancel(id);
             }
             s.len()
-        })
+        });
     });
     g.finish();
 }
@@ -56,7 +53,7 @@ fn bench_medium(c: &mut Criterion) {
     );
     g.throughput(Throughput::Elements(64));
     g.bench_function("start_tx_64_listeners", |b| {
-        b.iter(|| medium.start_tx(NodeId::new(0)).listeners.len())
+        b.iter(|| medium.start_tx(NodeId::new(0)).listeners.len());
     });
     g.finish();
 }
@@ -64,7 +61,7 @@ fn bench_medium(c: &mut Criterion) {
 fn bench_retry_fn(c: &mut Criterion) {
     let timing = MacTiming::dsss_2mbps();
     c.bench_function("retry_fn/expected_total_attempt7", |b| {
-        b.iter(|| retry_fn::expected_total_backoff(17, NodeId::new(5), 7, &timing))
+        b.iter(|| retry_fn::expected_total_backoff(17, NodeId::new(5), 7, &timing));
     });
 }
 
@@ -82,10 +79,16 @@ fn bench_full_sim(c: &mut Criterion) {
                 .seed(1)
                 .run()
                 .events
-        })
+        });
     });
     g.finish();
 }
 
-criterion_group!(kernel, bench_scheduler, bench_medium, bench_retry_fn, bench_full_sim);
+criterion_group!(
+    kernel,
+    bench_scheduler,
+    bench_medium,
+    bench_retry_fn,
+    bench_full_sim
+);
 criterion_main!(kernel);

@@ -13,9 +13,14 @@ fn main() {
     let secs = sim_secs();
     let mut t = Table::new(
         "Ablation: RTS/CTS vs basic access (ZERO-FLOW)",
-        &["access", "PM%", "correct%", "misdiag%", "MSB Kbps", "AVG Kbps"],
+        &[
+            "access", "PM%", "correct%", "misdiag%", "MSB Kbps", "AVG Kbps",
+        ],
     );
-    for (name, access) in [("rts-cts", AccessMode::RtsCts), ("basic", AccessMode::Basic)] {
+    for (name, access) in [
+        ("rts-cts", AccessMode::RtsCts),
+        ("basic", AccessMode::Basic),
+    ] {
         for pm in [0.0, 50.0, 80.0] {
             let reports = run_seeds(
                 &ScenarioConfig::new(StandardScenario::ZeroFlow)
@@ -28,10 +33,18 @@ fn main() {
             t.row(&[
                 name.into(),
                 format!("{pm:.0}"),
-                f2(mean_of(&reports, |r| r.diagnosis().correct_diagnosis_percent())),
+                f2(mean_of(&reports, |r| {
+                    r.diagnosis().correct_diagnosis_percent()
+                })),
                 f2(mean_of(&reports, |r| r.diagnosis().misdiagnosis_percent())),
-                kbps(mean_of(&reports, |r| r.msb_throughput_bps())),
-                kbps(mean_of(&reports, |r| r.avg_throughput_bps())),
+                kbps(mean_of(
+                    &reports,
+                    airguard_net::RunReport::msb_throughput_bps,
+                )),
+                kbps(mean_of(
+                    &reports,
+                    airguard_net::RunReport::avg_throughput_bps,
+                )),
             ]);
         }
     }

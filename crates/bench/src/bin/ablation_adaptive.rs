@@ -34,7 +34,9 @@ fn main() {
             t.row(&[
                 name.into(),
                 format!("{pm:.0}"),
-                f2(mean_of(&reports, |r| r.diagnosis().correct_diagnosis_percent())),
+                f2(mean_of(&reports, |r| {
+                    r.diagnosis().correct_diagnosis_percent()
+                })),
                 f2(mean_of(&reports, |r| r.diagnosis().misdiagnosis_percent())),
             ]);
         }

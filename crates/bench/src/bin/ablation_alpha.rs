@@ -12,7 +12,13 @@ fn main() {
     let secs = sim_secs();
     let mut t = Table::new(
         "Ablation: alpha sweep (TWO-FLOW, PM=50 for diag columns)",
-        &["alpha", "correct%", "misdiag%", "MSB Kbps", "honest misdiag% (PM=0)"],
+        &[
+            "alpha",
+            "correct%",
+            "misdiag%",
+            "MSB Kbps",
+            "honest misdiag% (PM=0)",
+        ],
     );
     for alpha in [0.5, 0.7, 0.8, 0.9, 0.95, 1.0] {
         let mut cfg = CorrectConfig::paper_default();
@@ -37,9 +43,11 @@ fn main() {
         );
         t.row(&[
             format!("{alpha:.2}"),
-            f2(mean_of(&cheat, |r| r.diagnosis().correct_diagnosis_percent())),
+            f2(mean_of(&cheat, |r| {
+                r.diagnosis().correct_diagnosis_percent()
+            })),
             f2(mean_of(&cheat, |r| r.diagnosis().misdiagnosis_percent())),
-            kbps(mean_of(&cheat, |r| r.msb_throughput_bps())),
+            kbps(mean_of(&cheat, airguard_net::RunReport::msb_throughput_bps)),
             f2(mean_of(&honest, |r| r.diagnosis().misdiagnosis_percent())),
         ]);
     }

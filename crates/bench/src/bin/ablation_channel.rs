@@ -40,9 +40,14 @@ fn main() {
             t.row(&[
                 name.into(),
                 format!("{pm:.0}"),
-                f2(mean_of(&reports, |r| r.diagnosis().correct_diagnosis_percent())),
+                f2(mean_of(&reports, |r| {
+                    r.diagnosis().correct_diagnosis_percent()
+                })),
                 f2(mean_of(&reports, |r| r.diagnosis().misdiagnosis_percent())),
-                kbps(mean_of(&reports, |r| r.msb_throughput_bps())),
+                kbps(mean_of(
+                    &reports,
+                    airguard_net::RunReport::msb_throughput_bps,
+                )),
             ]);
         }
     }

@@ -19,7 +19,13 @@ fn main() {
     ];
     let mut t = Table::new(
         "Ablation: penalty shape (ZERO-FLOW, PM=60)",
-        &["penalty", "MSB Kbps", "AVG Kbps", "fairness", "honest AVG Kbps (PM=0)"],
+        &[
+            "penalty",
+            "MSB Kbps",
+            "AVG Kbps",
+            "fairness",
+            "honest AVG Kbps (PM=0)",
+        ],
     );
     for (name, scale, cap) in shapes {
         let mut cfg = CorrectConfig::paper_default();
@@ -45,10 +51,13 @@ fn main() {
         );
         t.row(&[
             name.into(),
-            kbps(mean_of(&cheat, |r| r.msb_throughput_bps())),
-            kbps(mean_of(&cheat, |r| r.avg_throughput_bps())),
-            f2(mean_of(&cheat, |r| r.fairness_index())),
-            kbps(mean_of(&honest, |r| r.avg_throughput_bps())),
+            kbps(mean_of(&cheat, airguard_net::RunReport::msb_throughput_bps)),
+            kbps(mean_of(&cheat, airguard_net::RunReport::avg_throughput_bps)),
+            f2(mean_of(&cheat, airguard_net::RunReport::fairness_index)),
+            kbps(mean_of(
+                &honest,
+                airguard_net::RunReport::avg_throughput_bps,
+            )),
         ]);
     }
     t.print();

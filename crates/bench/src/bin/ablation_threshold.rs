@@ -29,7 +29,9 @@ fn main() {
             t.row(&[
                 w.to_string(),
                 format!("{thresh:.0}"),
-                f2(mean_of(&reports, |r| r.diagnosis().correct_diagnosis_percent())),
+                f2(mean_of(&reports, |r| {
+                    r.diagnosis().correct_diagnosis_percent()
+                })),
                 f2(mean_of(&reports, |r| r.diagnosis().misdiagnosis_percent())),
             ]);
         }

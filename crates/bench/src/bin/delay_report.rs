@@ -12,7 +12,13 @@ fn main() {
     let secs = sim_secs();
     let mut t = Table::new(
         "Extension: mean MAC delay (ms) vs PM, ZERO-FLOW",
-        &["PM%", "802.11-MSB", "802.11-AVG", "CORRECT-MSB", "CORRECT-AVG"],
+        &[
+            "PM%",
+            "802.11-MSB",
+            "802.11-AVG",
+            "CORRECT-MSB",
+            "CORRECT-AVG",
+        ],
     );
     for pm in pm_sweep() {
         let mut cells = vec![format!("{pm:.0}")];
@@ -24,8 +30,8 @@ fn main() {
                     .sim_time_secs(secs),
                 &seeds,
             );
-            cells.push(f2(mean_of(&reports, |r| r.msb_delay_ms())));
-            cells.push(f2(mean_of(&reports, |r| r.avg_delay_ms())));
+            cells.push(f2(mean_of(&reports, airguard_net::RunReport::msb_delay_ms)));
+            cells.push(f2(mean_of(&reports, airguard_net::RunReport::avg_delay_ms)));
         }
         t.row(&cells);
     }

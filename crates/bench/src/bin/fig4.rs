@@ -11,7 +11,13 @@ fn main() {
     let secs = sim_secs();
     let mut t = Table::new(
         "Fig. 4: correct diagnosis % and misdiagnosis % vs PM",
-        &["PM%", "zero:correct%", "zero:misdiag%", "two:correct%", "two:misdiag%"],
+        &[
+            "PM%",
+            "zero:correct%",
+            "zero:misdiag%",
+            "two:correct%",
+            "two:misdiag%",
+        ],
     );
     for pm in pm_sweep() {
         let mut cells = vec![format!("{pm:.0}")];

@@ -12,7 +12,13 @@ fn main() {
     let secs = sim_secs();
     let mut t = Table::new(
         "Fig. 5: throughput (Kbps) vs PM, 802.11 vs CORRECT",
-        &["PM%", "802.11-MSB", "802.11-AVG", "CORRECT-MSB", "CORRECT-AVG"],
+        &[
+            "PM%",
+            "802.11-MSB",
+            "802.11-AVG",
+            "CORRECT-MSB",
+            "CORRECT-AVG",
+        ],
     );
     for pm in pm_sweep() {
         let mut cells = vec![format!("{pm:.0}")];
@@ -22,8 +28,14 @@ fn main() {
                 .misbehavior_percent(pm)
                 .sim_time_secs(secs);
             let reports = run_seeds(&cfg, &seeds);
-            cells.push(kbps(mean_of(&reports, |r| r.msb_throughput_bps())));
-            cells.push(kbps(mean_of(&reports, |r| r.avg_throughput_bps())));
+            cells.push(kbps(mean_of(
+                &reports,
+                airguard_net::RunReport::msb_throughput_bps,
+            )));
+            cells.push(kbps(mean_of(
+                &reports,
+                airguard_net::RunReport::avg_throughput_bps,
+            )));
         }
         t.row(&cells);
     }

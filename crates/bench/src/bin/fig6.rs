@@ -11,7 +11,13 @@ fn main() {
     let secs = sim_secs();
     let mut t = Table::new(
         "Fig. 6: avg per-node throughput (Kbps) vs network size, no misbehavior",
-        &["senders", "zero:802.11", "zero:CORRECT", "two:802.11", "two:CORRECT"],
+        &[
+            "senders",
+            "zero:802.11",
+            "zero:CORRECT",
+            "two:802.11",
+            "two:CORRECT",
+        ],
     );
     for n in [1usize, 2, 4, 8, 16, 32, 64] {
         let mut cells = vec![n.to_string()];
@@ -22,7 +28,10 @@ fn main() {
                     .n_senders(n)
                     .sim_time_secs(secs);
                 let reports = run_seeds(&cfg, &seeds);
-                cells.push(kbps(mean_of(&reports, |r| r.avg_throughput_bps())));
+                cells.push(kbps(mean_of(
+                    &reports,
+                    airguard_net::RunReport::avg_throughput_bps,
+                )));
             }
         }
         t.row(&cells);

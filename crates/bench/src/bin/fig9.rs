@@ -18,7 +18,13 @@ fn main() {
     );
     let mut b = Table::new(
         "Fig. 9(b): throughput (Kbps) vs PM, random topologies",
-        &["PM%", "802.11-MSB", "802.11-AVG", "CORRECT-MSB", "CORRECT-AVG"],
+        &[
+            "PM%",
+            "802.11-MSB",
+            "802.11-AVG",
+            "CORRECT-MSB",
+            "CORRECT-AVG",
+        ],
     );
     for pm in pm_sweep() {
         let correct_cfg = ScenarioConfig::new(StandardScenario::Random)
@@ -28,7 +34,9 @@ fn main() {
         let correct = run_seeds(&correct_cfg, &seeds);
         a.row(&[
             format!("{pm:.0}"),
-            f2(mean_of(&correct, |r| r.diagnosis().correct_diagnosis_percent())),
+            f2(mean_of(&correct, |r| {
+                r.diagnosis().correct_diagnosis_percent()
+            })),
             f2(mean_of(&correct, |r| r.diagnosis().misdiagnosis_percent())),
         ]);
 
@@ -39,10 +47,16 @@ fn main() {
         let dot11 = run_seeds(&dot11_cfg, &seeds);
         b.row(&[
             format!("{pm:.0}"),
-            kbps(mean_of(&dot11, |r| r.msb_throughput_bps())),
-            kbps(mean_of(&dot11, |r| r.avg_throughput_bps())),
-            kbps(mean_of(&correct, |r| r.msb_throughput_bps())),
-            kbps(mean_of(&correct, |r| r.avg_throughput_bps())),
+            kbps(mean_of(&dot11, airguard_net::RunReport::msb_throughput_bps)),
+            kbps(mean_of(&dot11, airguard_net::RunReport::avg_throughput_bps)),
+            kbps(mean_of(
+                &correct,
+                airguard_net::RunReport::msb_throughput_bps,
+            )),
+            kbps(mean_of(
+                &correct,
+                airguard_net::RunReport::avg_throughput_bps,
+            )),
         ]);
     }
     a.print();

@@ -15,17 +15,21 @@ fn main() {
         .sim_time_secs(secs);
 
     let fair = run_seeds(&base, &seeds);
-    let fair_share = mean_of(&fair, |r| r.avg_throughput_bps());
+    let fair_share = mean_of(&fair, airguard_net::RunReport::avg_throughput_bps);
 
     let cheat = run_seeds(&base.clone().strategy(Selfish::QuarterWindow), &seeds);
-    let msb = mean_of(&cheat, |r| r.msb_throughput_bps());
-    let avg = mean_of(&cheat, |r| r.avg_throughput_bps());
+    let msb = mean_of(&cheat, airguard_net::RunReport::msb_throughput_bps);
+    let avg = mean_of(&cheat, airguard_net::RunReport::avg_throughput_bps);
 
     let mut t = Table::new(
         "Intro claim: one [0, CW/4] cheater among 8 senders (802.11)",
         &["series", "Kbps", "vs fair share"],
     );
-    t.row(&["fair share (all honest)".into(), kbps(fair_share), "100.0%".into()]);
+    t.row(&[
+        "fair share (all honest)".into(),
+        kbps(fair_share),
+        "100.0%".into(),
+    ]);
     t.row(&[
         "cheater (MSB)".into(),
         kbps(msb),

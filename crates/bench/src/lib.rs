@@ -50,8 +50,7 @@ pub fn sim_secs() -> u64 {
 #[must_use]
 pub fn run_seeds(cfg: &ScenarioConfig, seeds: &[u64]) -> Vec<RunReport> {
     let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+        .map_or(1, std::num::NonZero::get)
         .min(seeds.len().max(1));
     if workers <= 1 {
         return seeds.iter().map(|&s| cfg.clone().seed(s).run()).collect();
@@ -67,9 +66,9 @@ pub fn run_seeds(cfg: &ScenarioConfig, seeds: &[u64]) -> Vec<RunReport> {
             });
         }
     })
-    .expect("worker thread panicked");
+    .expect("worker thread panicked"); // lint:allow(panic-expect) — a panicking worker has already invalidated the measurement; re-raising is the only honest handling
     out.into_iter()
-        .map(|r| r.expect("every slot filled"))
+        .map(|r| r.expect("every slot filled")) // lint:allow(panic-expect) — chunks(chunk) partitions seeds and out identically, so every slot is written exactly once
         .collect()
 }
 

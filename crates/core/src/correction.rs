@@ -123,7 +123,10 @@ mod tests {
         let c = CorrectionConfig::paper_default();
         assert_eq!(c.penalty(0.0), 0.0);
         assert!((c.penalty(3.0) - 6.0).abs() < 1e-12, "small D doubles");
-        assert!((c.penalty(20.0) - 28.0).abs() < 1e-12, "large D adds the cap");
+        assert!(
+            (c.penalty(20.0) - 28.0).abs() < 1e-12,
+            "large D adds the cap"
+        );
     }
 
     #[test]

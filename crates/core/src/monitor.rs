@@ -22,7 +22,7 @@
 //!   must carry `a + 1`; anything else is proof of attempt-number
 //!   spoofing.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use airguard_mac::policy::uniform_backoff;
 use airguard_mac::{MacTiming, PacketVerdict, Slots};
@@ -201,7 +201,7 @@ impl MonitorReport {
 pub struct Monitor {
     me: NodeId,
     cfg: MonitorConfig,
-    records: HashMap<NodeId, SenderRecord>,
+    records: BTreeMap<NodeId, SenderRecord>,
     /// EMA of per-packet |diff| noise from currently-unflagged senders.
     noise_ema: f64,
 }
@@ -213,7 +213,7 @@ impl Monitor {
         Monitor {
             me,
             cfg,
-            records: HashMap::new(),
+            records: BTreeMap::new(),
             noise_ema: 0.0,
         }
     }
@@ -337,8 +337,7 @@ impl Monitor {
             AssignmentSource::Random => uniform_backoff(timing.cw_min, rng).count(),
             AssignmentSource::DeterministicG => g_value(me, src, seq + 1, timing),
         };
-        rec.next_assign =
-            (base + penalty.round() as u32).min(correction.max_assignment);
+        rec.next_assign = (base + penalty.round() as u32).min(correction.max_assignment);
         rec.has_assignment = true;
     }
 
@@ -405,8 +404,7 @@ impl Monitor {
     /// End-of-run statistics for every observed sender.
     #[must_use]
     pub fn report(&self) -> MonitorReport {
-        let mut senders: Vec<SenderStats> =
-            self.records.values().map(|r| r.stats).collect();
+        let mut senders: Vec<SenderStats> = self.records.values().map(|r| r.stats).collect();
         senders.sort_by_key(|s| s.node);
         MonitorReport { senders }
     }
@@ -433,7 +431,12 @@ mod tests {
 
     /// Runs one full honest exchange: RTS observed with the exact expected
     /// idle count, then DATA, then ACK sent.
-    fn honest_exchange(m: &mut Monitor, r: &mut RngStream, idle: &mut u64, seq: u64) -> PacketVerdict {
+    fn honest_exchange(
+        m: &mut Monitor,
+        r: &mut RngStream,
+        idle: &mut u64,
+        seq: u64,
+    ) -> PacketVerdict {
         let t = timing();
         m.on_rts(S, seq, 1, *idle, &t, r);
         let v = m.on_data(S);
@@ -606,7 +609,11 @@ mod tests {
         let mut r = rng();
         m.on_rts(S, 7, 1, 0, &t, &mut r);
         let a = m.assignment(S, &t).count();
-        assert_eq!(a, g_value(NodeId::new(0), S, 8, &t), "base = g, no penalty yet");
+        assert_eq!(
+            a,
+            g_value(NodeId::new(0), S, 8, &t),
+            "base = g, no penalty yet"
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! receiver keeps serving without penalty — visible as assignments that
 //! never grow), the pair is colluding.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use airguard_mac::frames::{Frame, FrameKind};
 use airguard_mac::MacTiming;
@@ -104,7 +104,7 @@ impl PairRecord {
 pub struct ThirdPartyObserver {
     correction: CorrectionConfig,
     diagnosis: DiagnosisConfig,
-    pairs: HashMap<(NodeId, NodeId), PairRecord>,
+    pairs: BTreeMap<(NodeId, NodeId), PairRecord>,
 }
 
 impl ThirdPartyObserver {
@@ -114,7 +114,7 @@ impl ThirdPartyObserver {
         ThirdPartyObserver {
             correction,
             diagnosis,
-            pairs: HashMap::new(),
+            pairs: BTreeMap::new(),
         }
     }
 
@@ -180,8 +180,7 @@ impl ThirdPartyObserver {
             return;
         };
         let attempt = frame.attempt.max(1);
-        let b_exp =
-            crate::retry_fn::expected_total_backoff(base, sender, attempt, timing) as f64;
+        let b_exp = crate::retry_fn::expected_total_backoff(base, sender, attempt, timing) as f64;
         let b_act = idle_reading.saturating_sub(snap) as f64;
         let deviation = correction.deviation(b_exp, b_act);
         rec.stats.measured += 1;
@@ -313,7 +312,10 @@ mod tests {
         }
         let stats = obs.pair_stats(S, R).expect("pair observed");
         assert!(stats.deviations > 20, "cheater still deviates");
-        assert!(!stats.collusion_suspected(), "punishment visible: {stats:?}");
+        assert!(
+            !stats.collusion_suspected(),
+            "punishment visible: {stats:?}"
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!   packets with the diagnosis window, and optionally probes attempt
 //!   numbers.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use airguard_mac::policy::uniform_backoff;
 use airguard_mac::{BackoffPolicy, MacTiming, PacketVerdict, Slots};
@@ -84,10 +84,10 @@ pub struct CorrectPolicy {
     monitor: Monitor,
     /// Assignment latched from the most recent ACK per receiver; consumed
     /// by the next packet's fresh backoff.
-    next_base: HashMap<NodeId, u32>,
+    next_base: BTreeMap<NodeId, u32>,
     /// The base in force for the packet currently being transmitted
     /// (feeds the retry function `f`).
-    current_base: HashMap<NodeId, u32>,
+    current_base: BTreeMap<NodeId, u32>,
     receiver_check: ReceiverCheck,
     observer: Option<ThirdPartyObserver>,
 }
@@ -100,12 +100,12 @@ impl CorrectPolicy {
             id,
             cfg,
             monitor: Monitor::new(id, cfg.monitor),
-            next_base: HashMap::new(),
-            current_base: HashMap::new(),
+            next_base: BTreeMap::new(),
+            current_base: BTreeMap::new(),
             receiver_check: ReceiverCheck::new(),
-            observer: cfg.observe_third_party.then(|| {
-                ThirdPartyObserver::new(cfg.monitor.correction, cfg.monitor.diagnosis)
-            }),
+            observer: cfg
+                .observe_third_party
+                .then(|| ThirdPartyObserver::new(cfg.monitor.correction, cfg.monitor.diagnosis)),
         }
     }
 
@@ -284,7 +284,10 @@ mod tests {
         assert_eq!(r2, crate::retry_fn::retry_backoff(11, me, 2, &t));
         assert_eq!(r3, crate::retry_fn::retry_backoff(11, me, 3, &t));
         let total = u64::from(fresh.count()) + u64::from(r2.count()) + u64::from(r3.count());
-        assert_eq!(total, crate::retry_fn::expected_total_backoff(11, me, 3, &t));
+        assert_eq!(
+            total,
+            crate::retry_fn::expected_total_backoff(11, me, 3, &t)
+        );
     }
 
     #[test]

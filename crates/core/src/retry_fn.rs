@@ -62,12 +62,7 @@ pub fn retry_backoff(backoff: u32, node: NodeId, attempt: u8, timing: &MacTiming
 /// end of the previous exchange to the RTS of attempt `attempt`:
 /// the assigned base plus every `f`-derived retry backoff.
 #[must_use]
-pub fn expected_total_backoff(
-    backoff: u32,
-    node: NodeId,
-    attempt: u8,
-    timing: &MacTiming,
-) -> u64 {
+pub fn expected_total_backoff(backoff: u32, node: NodeId, attempt: u8, timing: &MacTiming) -> u64 {
     let mut total = u64::from(backoff);
     for i in 2..=attempt {
         total += u64::from(retry_backoff(backoff, node, i, timing).count());
@@ -159,15 +154,9 @@ mod tests {
         let base = 12u32;
         assert_eq!(expected_total_backoff(base, n, 1, &t), 12);
         let b2 = expected_total_backoff(base, n, 2, &t);
-        assert_eq!(
-            b2,
-            12 + u64::from(retry_backoff(base, n, 2, &t).count())
-        );
+        assert_eq!(b2, 12 + u64::from(retry_backoff(base, n, 2, &t).count()));
         let b3 = expected_total_backoff(base, n, 3, &t);
-        assert_eq!(
-            b3,
-            b2 + u64::from(retry_backoff(base, n, 3, &t).count())
-        );
+        assert_eq!(b3, b2 + u64::from(retry_backoff(base, n, 3, &t).count()));
         assert!(b3 >= b2 && b2 >= 12);
     }
 

@@ -16,12 +16,7 @@ fn rng(seed: u64) -> RngStream {
 /// Drives `packets` full exchanges where the sender waits exactly
 /// `compliance`× its expected backoff and experiences the given retry
 /// counts; returns (flagged packet count, deviation count).
-fn drive(
-    compliance: f64,
-    retries: &[u8],
-    packets: usize,
-    seed: u64,
-) -> (u64, u64) {
+fn drive(compliance: f64, retries: &[u8], packets: usize, seed: u64) -> (u64, u64) {
     let timing = MacTiming::dsss_2mbps();
     let mut r = rng(seed);
     let mut m = Monitor::new(NodeId::new(0), MonitorConfig::paper_default());

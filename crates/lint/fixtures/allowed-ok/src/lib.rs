@@ -1,0 +1,4 @@
+//! Fixture: a properly justified allow suppresses the finding.
+pub fn first(xs: &[u64]) -> u64 {
+    *xs.first().unwrap() // lint:allow(panic-unwrap) — callers are internal and pass non-empty slices
+}

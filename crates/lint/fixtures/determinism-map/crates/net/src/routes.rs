@@ -1,0 +1,6 @@
+//! Fixture: hash-ordered container inside a simulation crate.
+use std::collections::HashMap;
+
+pub fn routes() -> HashMap<u32, u32> {
+    HashMap::new()
+}

@@ -1,0 +1,6 @@
+//! Fixture: ambient randomness inside a simulation crate.
+pub fn jitter() -> u32 {
+    let mut rng = rand::thread_rng();
+    let _ = &mut rng;
+    rand::random()
+}

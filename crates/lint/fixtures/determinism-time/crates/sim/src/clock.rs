@@ -1,0 +1,6 @@
+//! Fixture: wall-clock use inside a simulation crate.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,4 @@
+//! Fixture: exact equality against a float literal.
+pub fn is_half(x: f64) -> bool {
+    x == 0.5
+}

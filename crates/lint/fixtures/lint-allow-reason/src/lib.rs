@@ -1,0 +1,4 @@
+//! Fixture: allow directive with no justification.
+pub fn first(xs: &[u64]) -> u64 {
+    *xs.first().unwrap() // lint:allow(panic-unwrap)
+}

@@ -1,0 +1,4 @@
+//! Fixture: expect in library code.
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("caller passes digits")
+}

@@ -1,0 +1,7 @@
+//! Fixture: panic-family macro in library code.
+pub fn pick(n: u8) -> u8 {
+    match n {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}

@@ -1,0 +1,4 @@
+//! Fixture: unwrap in library code.
+pub fn first(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}

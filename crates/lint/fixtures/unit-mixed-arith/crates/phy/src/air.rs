@@ -1,0 +1,4 @@
+//! Fixture: raw integer arithmetic on a microsecond identifier.
+pub fn deadline(now_us: u64, difs: u64) -> u64 {
+    now_us + difs * 3
+}

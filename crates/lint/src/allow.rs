@@ -1,0 +1,156 @@
+//! The `lint:allow` escape hatch.
+//!
+//! A violation is suppressed by a line comment of the form
+//!
+//! ```text
+//! some_code(); // lint:allow(panic-expect) — reason the invariant holds
+//! // lint:allow(determinism-map) — applies to the next line
+//! ```
+//!
+//! The directive must name a known rule and *must* carry a reason (at
+//! least a few words after a `—`, `-`, or `:` separator); a reasonless
+//! directive is itself reported as `lint-allow-reason`. A trailing
+//! directive covers its own line; a comment-only directive line covers
+//! the following line as well.
+
+use crate::diagnostics::{Diagnostic, Rule};
+use crate::lexer::Lexed;
+use std::collections::BTreeSet;
+
+/// Parsed allow directives for one file.
+#[derive(Debug, Default)]
+pub struct Allows {
+    /// `(line, rule)` pairs that are suppressed.
+    granted: BTreeSet<(u32, Rule)>,
+    /// Malformed directives to report.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Allows {
+    /// Whether `rule` is suppressed at `line`.
+    #[must_use]
+    pub fn covers(&self, line: u32, rule: Rule) -> bool {
+        self.granted.contains(&(line, rule))
+    }
+}
+
+/// Minimum length of a reason, so `— x` cannot pass as justification.
+const MIN_REASON_LEN: usize = 8;
+
+/// Scans a lexed file for `lint:allow` directives.
+#[must_use]
+pub fn scan(path: &str, lexed: &Lexed) -> Allows {
+    let mut allows = Allows::default();
+    let token_lines: BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+
+    for comment in &lexed.comments {
+        let Some((rule_text, rest)) = parse_directive(&comment.text) else {
+            continue;
+        };
+        let Some(rule) = Rule::from_id(rule_text) else {
+            allows.diagnostics.push(Diagnostic {
+                path: path.to_owned(),
+                line: comment.line,
+                col: comment.col,
+                rule: Rule::AllowReason,
+                message: format!("lint:allow names unknown rule `{rule_text}`"),
+            });
+            continue;
+        };
+        if !has_reason(rest) {
+            allows.diagnostics.push(Diagnostic {
+                path: path.to_owned(),
+                line: comment.line,
+                col: comment.col,
+                rule: Rule::AllowReason,
+                message: format!(
+                    "lint:allow({rule}) must state a reason: `// lint:allow({rule}) — <why the rule is safe to break here>`"
+                ),
+            });
+            continue;
+        }
+        allows.granted.insert((comment.line, rule));
+        // A directive on a comment-only line also covers the next line
+        // bearing code.
+        if !token_lines.contains(&comment.line) {
+            let next = lexed
+                .tokens
+                .iter()
+                .map(|t| t.line)
+                .find(|&l| l > comment.line);
+            if let Some(next) = next {
+                allows.granted.insert((next, rule));
+            }
+        }
+    }
+    allows
+}
+
+/// Extracts `(rule-id, rest-of-comment)` from a comment body if it is a
+/// directive.
+fn parse_directive(text: &str) -> Option<(&str, &str)> {
+    let trimmed = text.trim_start_matches(['/', '!']).trim_start();
+    let body = trimmed.strip_prefix("lint:allow(")?;
+    let close = body.find(')')?;
+    Some((body[..close].trim(), &body[close + 1..]))
+}
+
+/// Whether the text after the closing paren constitutes a reason.
+fn has_reason(rest: &str) -> bool {
+    let reason = rest
+        .trim_start()
+        .trim_start_matches(['—', '–', '-', ':', ' '])
+        .trim();
+    reason.len() >= MIN_REASON_LEN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::scan;
+    use crate::diagnostics::Rule;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_directive_covers_its_line() {
+        let lexed = lex(
+            "let x = m.get(&k).unwrap(); // lint:allow(panic-unwrap) — key inserted two lines up\n",
+        );
+        let allows = scan("f.rs", &lexed);
+        assert!(allows.covers(1, Rule::PanicUnwrap));
+        assert!(!allows.covers(1, Rule::PanicExpect));
+        assert!(allows.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn standalone_directive_covers_next_code_line() {
+        let src = "// lint:allow(determinism-map) — sorted before iteration below\nuse std::collections::HashMap;\n";
+        let allows = scan("f.rs", &lex(src));
+        assert!(allows.covers(1, Rule::DeterminismMap));
+        assert!(allows.covers(2, Rule::DeterminismMap));
+    }
+
+    #[test]
+    fn reasonless_directive_is_reported_and_grants_nothing() {
+        let allows = scan("f.rs", &lex("x(); // lint:allow(panic-unwrap)\n"));
+        assert!(!allows.covers(1, Rule::PanicUnwrap));
+        assert_eq!(allows.diagnostics.len(), 1);
+        assert_eq!(allows.diagnostics[0].rule, Rule::AllowReason);
+    }
+
+    #[test]
+    fn short_reason_is_not_a_reason() {
+        let allows = scan("f.rs", &lex("x(); // lint:allow(panic-unwrap) — ok\n"));
+        assert!(!allows.covers(1, Rule::PanicUnwrap));
+        assert_eq!(allows.diagnostics.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_is_reported() {
+        let allows = scan(
+            "f.rs",
+            &lex("x(); // lint:allow(no-such) — whatever reason\n"),
+        );
+        assert_eq!(allows.diagnostics.len(), 1);
+        assert!(allows.diagnostics[0].message.contains("unknown rule"));
+    }
+}

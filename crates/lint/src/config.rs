@@ -1,0 +1,192 @@
+//! `lint.toml` — per-crate rule scoping.
+//!
+//! Parsed with a deliberately tiny TOML-subset reader (the offline build
+//! has no `toml` crate): comments, `[section]` headers, and
+//! `key = "string"` / `key = ["a", "b"]` pairs on single lines. That is
+//! the entire grammar `lint.toml` needs.
+//!
+//! ```toml
+//! exclude = ["vendor", "target"]
+//!
+//! [determinism]
+//! crates = ["sim", "phy", "mac", "core", "net"]
+//!
+//! [unit-safety]
+//! exempt = ["crates/sim/src/time.rs"]
+//! ```
+
+/// Effective configuration for a lint run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintConfig {
+    /// Path prefixes (relative to the root) never scanned.
+    pub exclude: Vec<String>,
+    /// Crate directory names (under `crates/`) the determinism rules
+    /// cover.
+    pub determinism_crates: Vec<String>,
+    /// Exact file paths exempt from the unit-safety rules.
+    pub unit_exempt: Vec<String>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            exclude: vec![
+                "target".into(),
+                "vendor".into(),
+                "crates/lint/fixtures".into(),
+            ],
+            determinism_crates: vec![
+                "sim".into(),
+                "phy".into(),
+                "mac".into(),
+                "core".into(),
+                "net".into(),
+            ],
+            unit_exempt: vec![
+                "crates/sim/src/time.rs".into(),
+                "crates/phy/src/units.rs".into(),
+            ],
+        }
+    }
+}
+
+/// A malformed `lint.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl LintConfig {
+    /// Parses `lint.toml` contents, overriding defaults key by key.
+    pub fn parse(text: &str) -> Result<LintConfig, ConfigError> {
+        let mut cfg = LintConfig::default();
+        let mut section = String::new();
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[') {
+                let Some(name) = name.strip_suffix(']') else {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: "unterminated section header".into(),
+                    });
+                };
+                section = name.trim().to_owned();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("expected `key = value`, got `{line}`"),
+                });
+            };
+            let key = key.trim();
+            let values = parse_string_list(value.trim()).ok_or_else(|| ConfigError {
+                line: lineno,
+                message: format!("value for `{key}` must be a string or list of strings"),
+            })?;
+            match (section.as_str(), key) {
+                ("", "exclude") => cfg.exclude = values,
+                ("determinism", "crates") => cfg.determinism_crates = values,
+                ("unit-safety", "exempt") => cfg.unit_exempt = values,
+                _ => {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unknown key `{key}` in section `[{section}]`"),
+                    });
+                }
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A `#` inside a quoted string would break this, but no configurable
+    // value contains `#`; keep the reader simple.
+    line.split('#').next().unwrap_or("")
+}
+
+fn parse_string_list(value: &str) -> Option<Vec<String>> {
+    if let Some(inner) = value.strip_prefix('[') {
+        let inner = inner.strip_suffix(']')?;
+        let mut out = Vec::new();
+        let trimmed = inner.trim().trim_end_matches(',');
+        if trimmed.trim().is_empty() {
+            return Some(out);
+        }
+        for item in trimmed.split(',') {
+            out.push(parse_string(item.trim())?);
+        }
+        Some(out)
+    } else {
+        Some(vec![parse_string(value)?])
+    }
+}
+
+fn parse_string(value: &str) -> Option<String> {
+    let inner = value.strip_prefix('"')?.strip_suffix('"')?;
+    Some(inner.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::LintConfig;
+
+    #[test]
+    fn defaults_cover_the_five_sim_crates() {
+        let cfg = LintConfig::default();
+        assert_eq!(cfg.determinism_crates, ["sim", "phy", "mac", "core", "net"]);
+        assert!(cfg
+            .unit_exempt
+            .contains(&"crates/sim/src/time.rs".to_owned()));
+    }
+
+    #[test]
+    fn parse_overrides_only_named_keys() {
+        let cfg = LintConfig::parse(
+            "# comment\nexclude = [\"x\"]\n\n[determinism]\ncrates = [\"sim\", \"mac\"]\n",
+        )
+        .expect("valid config");
+        assert_eq!(cfg.exclude, ["x"]);
+        assert_eq!(cfg.determinism_crates, ["sim", "mac"]);
+        // Untouched section keeps its default.
+        assert_eq!(cfg.unit_exempt.len(), 2);
+    }
+
+    #[test]
+    fn single_string_becomes_one_element_list() {
+        let cfg = LintConfig::parse("exclude = \"only\"").expect("valid");
+        assert_eq!(cfg.exclude, ["only"]);
+    }
+
+    #[test]
+    fn unknown_keys_and_bad_syntax_are_errors() {
+        assert!(LintConfig::parse("nonsense = [\"a\"]").is_err());
+        assert!(LintConfig::parse("[determinism]\ncrates = 5").is_err());
+        assert!(LintConfig::parse("just some words").is_err());
+        let err = LintConfig::parse("\n\n[broken\n").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn trailing_commas_and_empty_lists_parse() {
+        let cfg = LintConfig::parse("exclude = [\"a\", \"b\",]").expect("valid");
+        assert_eq!(cfg.exclude, ["a", "b"]);
+        let cfg = LintConfig::parse("exclude = []").expect("valid");
+        assert!(cfg.exclude.is_empty());
+    }
+}

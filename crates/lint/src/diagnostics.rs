@@ -1,0 +1,131 @@
+//! Diagnostic records and rule identifiers.
+
+use std::fmt;
+
+/// Every rule the tool can report, with its stable ID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Wall-clock time sources (`Instant`, `SystemTime`) in simulation
+    /// crates.
+    DeterminismTime,
+    /// Ambient randomness (`thread_rng`, `rand::random`) in simulation
+    /// crates.
+    DeterminismRng,
+    /// Hash-ordered containers (`HashMap`, `HashSet`) in simulation
+    /// crates.
+    DeterminismMap,
+    /// Raw integer arithmetic on time-suffixed identifiers outside the
+    /// unit modules.
+    UnitMixedArith,
+    /// `==` / `!=` against a floating-point literal.
+    FloatEq,
+    /// `.unwrap()` in library code.
+    PanicUnwrap,
+    /// `.expect(..)` in library code.
+    PanicExpect,
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!` in library
+    /// code.
+    PanicMacro,
+    /// A `lint:allow` directive missing its mandatory reason.
+    AllowReason,
+}
+
+impl Rule {
+    /// The stable ID used in diagnostics and `lint:allow(..)` directives.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::DeterminismTime => "determinism-time",
+            Rule::DeterminismRng => "determinism-rng",
+            Rule::DeterminismMap => "determinism-map",
+            Rule::UnitMixedArith => "unit-mixed-arith",
+            Rule::FloatEq => "float-eq",
+            Rule::PanicUnwrap => "panic-unwrap",
+            Rule::PanicExpect => "panic-expect",
+            Rule::PanicMacro => "panic-macro",
+            Rule::AllowReason => "lint-allow-reason",
+        }
+    }
+
+    /// Parses a rule ID as written in a `lint:allow(..)` directive.
+    #[must_use]
+    pub fn from_id(id: &str) -> Option<Rule> {
+        const ALL: [Rule; 9] = [
+            Rule::DeterminismTime,
+            Rule::DeterminismRng,
+            Rule::DeterminismMap,
+            Rule::UnitMixedArith,
+            Rule::FloatEq,
+            Rule::PanicUnwrap,
+            Rule::PanicExpect,
+            Rule::PanicMacro,
+            Rule::AllowReason,
+        ];
+        ALL.into_iter().find(|r| r.id() == id)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Path relative to the lint root, with forward slashes.
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+    pub rule: Rule,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}: {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Diagnostic, Rule};
+
+    #[test]
+    fn display_matches_grep_friendly_format() {
+        let d = Diagnostic {
+            path: "crates/mac/src/dcf.rs".into(),
+            line: 250,
+            col: 21,
+            rule: Rule::DeterminismMap,
+            message: "HashMap is hash-ordered".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/mac/src/dcf.rs:250:21: determinism-map: HashMap is hash-ordered"
+        );
+    }
+
+    #[test]
+    fn rule_ids_round_trip() {
+        for rule in [
+            Rule::DeterminismTime,
+            Rule::DeterminismRng,
+            Rule::DeterminismMap,
+            Rule::UnitMixedArith,
+            Rule::FloatEq,
+            Rule::PanicUnwrap,
+            Rule::PanicExpect,
+            Rule::PanicMacro,
+            Rule::AllowReason,
+        ] {
+            assert_eq!(Rule::from_id(rule.id()), Some(rule));
+        }
+        assert_eq!(Rule::from_id("no-such-rule"), None);
+    }
+}

@@ -1,0 +1,517 @@
+//! A lossy Rust tokenizer, sufficient for token-pattern lint rules.
+//!
+//! This is deliberately *not* a full Rust parser (the build environment has
+//! no `syn`): it produces identifiers, literals, and punctuation with exact
+//! line/column positions, strips comments into a side channel (line
+//! comments carry their text so the `lint:allow` scanner can read them),
+//! and understands just enough of the grammar — raw strings, nested block
+//! comments, lifetimes vs. char literals, numeric suffixes — to never
+//! mis-tokenize real workspace source.
+
+/// What a token is, as far as the rules care.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// Punctuation; multi-character operators (`==`, `::`, `+=`, …) are
+    /// joined into one token.
+    Punct(String),
+    /// An integer literal (`42`, `0xFF_u32`).
+    Int,
+    /// A float literal (`1.0`, `2e-3`, `1f64`).
+    Float,
+    /// A string, byte-string, or char literal.
+    Text,
+}
+
+/// One token with its 1-indexed source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// The identifier text, if this is an identifier.
+    #[must_use]
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the exact punctuation `p`.
+    #[must_use]
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(&self.kind, TokenKind::Punct(s) if s == p)
+    }
+}
+
+/// A `//` comment (any flavor) with its text and position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineComment {
+    /// Text after the leading slashes, untrimmed.
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// The output of [`lex`].
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<LineComment>,
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const JOINED: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor<'_> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `source`, accumulating tokens and line comments.
+#[must_use]
+pub fn lex(source: &str) -> Lexed {
+    let mut cur = Cursor {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(b) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                cur.bump();
+                cur.bump();
+                let mut bytes = Vec::new();
+                while let Some(c) = cur.peek(0) {
+                    if c == b'\n' {
+                        break;
+                    }
+                    bytes.push(c);
+                    cur.bump();
+                }
+                // The input came from `read_to_string`, so the bytes are
+                // valid UTF-8; decode rather than widening bytes to chars
+                // (which would mangle em-dashes in allow reasons).
+                let text = String::from_utf8_lossy(&bytes).into_owned();
+                out.comments.push(LineComment { text, line, col });
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                skip_block_comment(&mut cur);
+            }
+            b'r' | b'b' | b'c' if starts_string_like(&cur) => {
+                lex_string_like(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Text,
+                    line,
+                    col,
+                });
+            }
+            b'"' => {
+                lex_plain_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Text,
+                    line,
+                    col,
+                });
+            }
+            b'\'' => {
+                if lex_quote(&mut cur) {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Text,
+                        line,
+                        col,
+                    });
+                }
+                // Lifetimes produce no token; no rule needs them.
+            }
+            _ if is_ident_start(b) => {
+                let mut ident = String::new();
+                while let Some(c) = cur.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    ident.push(char::from(c));
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(ident),
+                    line,
+                    col,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                let kind = lex_number(&mut cur);
+                out.tokens.push(Token { kind, line, col });
+            }
+            _ => {
+                let mut punct = None;
+                for op in JOINED {
+                    if cur.starts_with(op) {
+                        for _ in 0..op.len() {
+                            cur.bump();
+                        }
+                        punct = Some((*op).to_owned());
+                        break;
+                    }
+                }
+                let punct = punct.unwrap_or_else(|| {
+                    cur.bump();
+                    char::from(b).to_string()
+                });
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(punct),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn skip_block_comment(cur: &mut Cursor<'_>) {
+    cur.bump();
+    cur.bump();
+    let mut depth = 1u32;
+    while depth > 0 {
+        match (cur.peek(0), cur.peek(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            }
+            (Some(b'*'), Some(b'/')) => {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break,
+        }
+    }
+}
+
+/// Whether the cursor sits on a prefixed string (`r"`, `r#"`, `b"`,
+/// `br#"`, `c"`, …) rather than an identifier starting with r/b/c or a raw
+/// identifier like `r#fn`.
+fn starts_string_like(cur: &Cursor<'_>) -> bool {
+    let mut idx = 0;
+    let mut raw = false;
+    while idx < 2 {
+        match cur.peek(idx) {
+            Some(b'r') => {
+                raw = true;
+                idx += 1;
+            }
+            Some(b'b' | b'c') => idx += 1,
+            _ => break,
+        }
+    }
+    if raw {
+        // Hashes are only legal after an `r`, and must lead to a quote
+        // (otherwise this is a raw identifier).
+        while cur.peek(idx) == Some(b'#') {
+            idx += 1;
+        }
+    }
+    cur.peek(idx) == Some(b'"')
+}
+
+fn lex_string_like(cur: &mut Cursor<'_>) {
+    let mut raw = false;
+    while let Some(b) = cur.peek(0) {
+        match b {
+            b'r' => {
+                raw = true;
+                cur.bump();
+            }
+            b'b' | b'c' => {
+                cur.bump();
+            }
+            _ => break,
+        }
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while cur.peek(0) == Some(b'#') {
+            hashes += 1;
+            cur.bump();
+        }
+        cur.bump(); // opening quote
+        loop {
+            match cur.bump() {
+                Some(b'"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && cur.peek(0) == Some(b'#') {
+                        seen += 1;
+                        cur.bump();
+                    }
+                    if seen == hashes {
+                        return;
+                    }
+                }
+                Some(_) => {}
+                None => return,
+            }
+        }
+    } else {
+        lex_plain_string(cur);
+    }
+}
+
+fn lex_plain_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(b) = cur.bump() {
+        match b {
+            b'\\' => {
+                cur.bump();
+            }
+            b'"' => return,
+            _ => {}
+        }
+    }
+}
+
+/// Lexes a `'`-introduced token; returns true for a char literal, false
+/// for a lifetime.
+fn lex_quote(cur: &mut Cursor<'_>) -> bool {
+    cur.bump(); // the quote
+    match cur.peek(0) {
+        Some(b'\\') => {
+            // Escaped char literal.
+            cur.bump();
+            cur.bump();
+            while let Some(c) = cur.bump() {
+                if c == b'\'' {
+                    break;
+                }
+            }
+            true
+        }
+        Some(c) if is_ident_start(c) || c.is_ascii_digit() => {
+            if cur.peek(1) == Some(b'\'') {
+                cur.bump();
+                cur.bump();
+                true
+            } else {
+                // Lifetime: consume the identifier.
+                while let Some(c) = cur.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    cur.bump();
+                }
+                false
+            }
+        }
+        Some(_) => {
+            // Something like `'('` — a char literal of punctuation.
+            cur.bump();
+            if cur.peek(0) == Some(b'\'') {
+                cur.bump();
+            }
+            true
+        }
+        None => false,
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> TokenKind {
+    let mut float = false;
+    if cur.peek(0) == Some(b'0') && matches!(cur.peek(1), Some(b'x' | b'o' | b'b')) {
+        cur.bump();
+        cur.bump();
+        while let Some(c) = cur.peek(0) {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return TokenKind::Int;
+    }
+    while let Some(c) = cur.peek(0) {
+        match c {
+            b'0'..=b'9' | b'_' => {
+                cur.bump();
+            }
+            b'.' => {
+                // Distinguish `1.0` (float) from `1.max(..)` and `1..n`.
+                match cur.peek(1) {
+                    Some(d) if d.is_ascii_digit() => {
+                        float = true;
+                        cur.bump();
+                    }
+                    Some(d) if is_ident_start(d) || d == b'.' => break,
+                    _ => {
+                        float = true;
+                        cur.bump();
+                        break;
+                    }
+                }
+            }
+            b'e' | b'E' => {
+                // Exponent only if followed by digits (or sign + digits).
+                let next = cur.peek(1);
+                let exp = match next {
+                    Some(d) if d.is_ascii_digit() => true,
+                    Some(b'+' | b'-') => cur.peek(2).is_some_and(|d| d.is_ascii_digit()),
+                    _ => false,
+                };
+                if !exp {
+                    break;
+                }
+                float = true;
+                cur.bump();
+                cur.bump();
+            }
+            _ if is_ident_start(c) => {
+                // Type suffix (`u64`, `f32`, `usize`).
+                let mut suffix = String::new();
+                while let Some(s) = cur.peek(0) {
+                    if !is_ident_continue(s) {
+                        break;
+                    }
+                    suffix.push(char::from(s));
+                    cur.bump();
+                }
+                if suffix == "f32" || suffix == "f64" {
+                    float = true;
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    if float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{lex, TokenKind};
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap in /* a nested */ block */
+            let s = "HashMap in a string";
+            let r = r#"HashMap raw "quoted" here"#;
+        "##;
+        assert!(!idents(src).iter().any(|i| i == "HashMap"));
+        let lexed = lex(src);
+        assert!(lexed.comments.iter().any(|c| c.text.contains("HashMap")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let texts = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Text)
+            .count();
+        assert_eq!(texts, 1, "only 'x' is a literal");
+        assert!(idents(src).contains(&"str".to_owned()));
+    }
+
+    #[test]
+    fn numbers_classify_int_vs_float() {
+        let kinds: Vec<TokenKind> = lex("1 1.0 2e3 0xFF 1u64 1f64 x.0 1.max(2) 0..10")
+            .tokens
+            .into_iter()
+            .map(|t| t.kind)
+            .collect();
+        let floats = kinds.iter().filter(|k| **k == TokenKind::Float).count();
+        let ints = kinds.iter().filter(|k| **k == TokenKind::Int).count();
+        assert_eq!(floats, 3, "1.0, 2e3, 1f64");
+        // 1, 0xFF, 1u64, 0 (tuple idx), 1 (receiver), 2, 0, 10
+        assert_eq!(ints, 8);
+    }
+
+    #[test]
+    fn joined_punctuation_stays_joined() {
+        let lexed = lex("a == b != c :: d += e .. f ..= g");
+        let puncts: Vec<String> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Punct(p) => Some(p.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", "+=", "..", "..="]);
+    }
+
+    #[test]
+    fn positions_are_one_indexed() {
+        let lexed = lex("ab\n  cd");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+}

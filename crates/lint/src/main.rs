@@ -1,0 +1,130 @@
+//! airguard-lint CLI.
+//!
+//! ```text
+//! airguard-lint [--root DIR] [--config FILE] [FILES...]
+//! ```
+//!
+//! With no file arguments, lints every `.rs` file under the root
+//! (default: the workspace root containing `lint.toml`, else the
+//! current directory). Prints `file:line:col: rule-id: message` per
+//! finding, sorted; exits 1 if any violation was found, 2 on usage or
+//! configuration errors.
+
+use airguard_lint::config::LintConfig;
+use airguard_lint::lint_source;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    files: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = None;
+    let mut config = None;
+    let mut files = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root requires a directory argument")?;
+                root = Some(PathBuf::from(v));
+            }
+            "--config" => {
+                let v = it.next().ok_or("--config requires a file argument")?;
+                config = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                println!("usage: airguard-lint [--root DIR] [--config FILE] [FILES...]");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            file => files.push(file.to_owned()),
+        }
+    }
+    let root = root.unwrap_or_else(|| find_root(&std::env::current_dir().unwrap_or_default()));
+    Ok(Args {
+        root,
+        config,
+        files,
+    })
+}
+
+/// Walks upward from `start` looking for `lint.toml` next to a
+/// `Cargo.toml`; falls back to `start` itself.
+fn find_root(start: &Path) -> PathBuf {
+    let mut dir = start;
+    loop {
+        if dir.join("lint.toml").is_file() && dir.join("Cargo.toml").is_file() {
+            return dir.to_path_buf();
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return start.to_path_buf(),
+        }
+    }
+}
+
+fn load_config(args: &Args) -> Result<LintConfig, String> {
+    let path = match &args.config {
+        Some(explicit) => explicit.clone(),
+        None => {
+            let default = args.root.join("lint.toml");
+            if !default.is_file() {
+                return Ok(LintConfig::default());
+            }
+            default
+        }
+    };
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    LintConfig::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn run() -> Result<usize, String> {
+    let args = parse_args()?;
+    let cfg = load_config(&args)?;
+
+    let diags = if args.files.is_empty() {
+        airguard_lint::lint_tree(&args.root, &cfg)
+            .map_err(|e| format!("walking {}: {e}", args.root.display()))?
+    } else {
+        let mut diags = Vec::new();
+        for file in &args.files {
+            let source =
+                std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+            let rel = file
+                .strip_prefix(&format!("{}/", args.root.display()))
+                .unwrap_or(file);
+            diags.extend(lint_source(rel, &source, &cfg));
+        }
+        diags.sort();
+        diags
+    };
+
+    for d in &diags {
+        println!("{d}");
+    }
+    Ok(diags.len())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(n) => {
+            eprintln!(
+                "airguard-lint: {n} violation{}",
+                if n == 1 { "" } else { "s" }
+            );
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("airguard-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

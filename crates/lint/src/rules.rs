@@ -1,0 +1,476 @@
+//! The three rule families: determinism, unit-safety, panic hygiene.
+//!
+//! All rules are token-pattern checks over [`crate::lexer`] output — no
+//! type information. Where a faithful "only flag HashMap *iteration*"
+//! check would need type inference, the rule instead bans the hash-ordered
+//! container type outright in the configured simulation crates; that is
+//! both mechanically checkable and strictly stronger (see DESIGN.md,
+//! "Static analysis & determinism guarantees").
+
+use crate::allow::Allows;
+use crate::diagnostics::{Diagnostic, Rule};
+use crate::lexer::{Token, TokenKind};
+
+/// Which rule families apply to one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleSet {
+    /// Determinism rules (time sources, ambient RNG, hash-ordered maps).
+    pub determinism: bool,
+    /// Unit-safety rules (raw time arithmetic, float equality).
+    pub units: bool,
+    /// Panic-hygiene rules (`unwrap`/`expect`/`panic!`-family).
+    pub panics: bool,
+}
+
+/// Index spans (token ranges) belonging to `#[cfg(test)]` items; rules do
+/// not apply inside them.
+#[must_use]
+pub fn cfg_test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            let close = match matching(tokens, i + 1, "[", "]") {
+                Some(c) => c,
+                None => break,
+            };
+            if attr_is_cfg_test(&tokens[i + 2..close]) {
+                if let Some(end) = item_end(tokens, close + 1) {
+                    spans.push((i, end));
+                    i = end + 1;
+                    continue;
+                }
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Whether the attribute tokens are exactly `cfg(test)` — `cfg(not(test))`
+/// and friends keep their code linted.
+fn attr_is_cfg_test(attr: &[Token]) -> bool {
+    let idents: Vec<&str> = attr.iter().filter_map(Token::ident).collect();
+    idents == ["cfg", "test"]
+}
+
+/// Finds the token index closing the delimiter opened at `open_idx`.
+fn matching(tokens: &[Token], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0i64;
+    for (i, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Finds the end of the item starting at `start` (first top-level `;`, or
+/// the brace block's closing `}`), skipping further attributes.
+fn item_end(tokens: &[Token], start: usize) -> Option<usize> {
+    let mut i = start;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            i = matching(tokens, i + 1, "[", "]")? + 1;
+        } else if t.is_punct(";") {
+            return Some(i);
+        } else if t.is_punct("{") {
+            return matching(tokens, i, "{", "}");
+        } else {
+            i += 1;
+        }
+    }
+    None
+}
+
+/// Runs the enabled rule families over one file's tokens.
+#[must_use]
+pub fn check(path: &str, tokens: &[Token], rules: RuleSet, allows: &Allows) -> Vec<Diagnostic> {
+    let skip = cfg_test_spans(tokens);
+    let skipped = |idx: usize| skip.iter().any(|&(a, b)| idx >= a && idx <= b);
+    let aliases = unit_typed_aliases(tokens);
+    let mut diags = Vec::new();
+
+    let mut push = |token: &Token, rule: Rule, message: String| {
+        if !allows.covers(token.line, rule) {
+            diags.push(Diagnostic {
+                path: path.to_owned(),
+                line: token.line,
+                col: token.col,
+                rule,
+                message,
+            });
+        }
+    };
+
+    for (i, t) in tokens.iter().enumerate() {
+        if skipped(i) {
+            continue;
+        }
+        if rules.determinism {
+            determinism_at(tokens, i, t, &mut push);
+        }
+        if rules.units {
+            units_at(tokens, i, t, &aliases, &mut push);
+        }
+        if rules.panics {
+            panics_at(tokens, i, t, &mut push);
+        }
+    }
+    diags
+}
+
+fn determinism_at(
+    tokens: &[Token],
+    i: usize,
+    t: &Token,
+    push: &mut impl FnMut(&Token, Rule, String),
+) {
+    let Some(ident) = t.ident() else { return };
+    match ident {
+        "Instant" | "SystemTime" => push(
+            t,
+            Rule::DeterminismTime,
+            format!(
+                "`{ident}` reads the wall clock, which differs across runs; \
+                 simulation code must derive time from the scheduler's virtual clock"
+            ),
+        ),
+        "thread_rng" => push(
+            t,
+            Rule::DeterminismRng,
+            "`thread_rng` draws from ambient per-thread state; derive randomness from \
+             `MasterSeed::stream` so a seed reproduces the run"
+                .to_owned(),
+        ),
+        "random" => {
+            let qualified_rand =
+                i >= 2 && tokens[i - 1].is_punct("::") && tokens[i - 2].ident() == Some("rand");
+            if qualified_rand {
+                push(
+                    t,
+                    Rule::DeterminismRng,
+                    "`rand::random` draws from ambient per-thread state; derive randomness \
+                     from `MasterSeed::stream` so a seed reproduces the run"
+                        .to_owned(),
+                );
+            }
+        }
+        "HashMap" | "HashSet" => {
+            let btree = if ident == "HashMap" {
+                "BTreeMap"
+            } else {
+                "BTreeSet"
+            };
+            push(
+                t,
+                Rule::DeterminismMap,
+                format!(
+                    "`{ident}` iterates in per-process hash order, which can reorder \
+                     simulation events between runs; use `{btree}` or an explicitly \
+                     sorted snapshot"
+                ),
+            );
+        }
+        _ => {}
+    }
+}
+
+/// Arithmetic operators the unit-safety rule guards.
+const ARITH_OPS: &[&str] = &["+", "-", "*", "/", "%", "+=", "-=", "*=", "/=", "%="];
+
+/// Identifiers that denote microsecond quantities.
+fn is_time_ident(ident: &str) -> bool {
+    ident.ends_with("_us") || ident.ends_with("_usec") || matches!(ident, "slot" | "sifs" | "difs")
+}
+
+/// Whether the token can end an expression (making a following `-`/`*`
+/// binary rather than unary).
+fn ends_expression(t: &Token) -> bool {
+    match &t.kind {
+        TokenKind::Ident(_) | TokenKind::Int | TokenKind::Float | TokenKind::Text => true,
+        TokenKind::Punct(p) => p == ")" || p == "]" || p == "?",
+    }
+}
+
+/// Locals bound straight from a same-named field — `let sifs =
+/// timing.sifs;` — carry the field's unit type (`SimDuration`), not a
+/// raw integer, so arithmetic on them is already unit-checked. Collects
+/// those alias names for the whole file.
+fn unit_typed_aliases(tokens: &[Token]) -> std::collections::BTreeSet<String> {
+    let mut aliases = std::collections::BTreeSet::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].ident() == Some("let") {
+            // `let [mut] NAME = ... ;` — record NAME if the initializer
+            // reads a field of the same name.
+            let mut j = i + 1;
+            if tokens.get(j).and_then(Token::ident) == Some("mut") {
+                j += 1;
+            }
+            let Some(name) = tokens.get(j).and_then(Token::ident) else {
+                i += 1;
+                continue;
+            };
+            if tokens.get(j + 1).is_some_and(|t| t.is_punct("=")) {
+                let mut k = j + 2;
+                while k < tokens.len() && !tokens[k].is_punct(";") {
+                    if tokens[k].is_punct(".")
+                        && tokens.get(k + 1).and_then(Token::ident) == Some(name)
+                    {
+                        aliases.insert(name.to_owned());
+                        break;
+                    }
+                    k += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    aliases
+}
+
+fn units_at(
+    tokens: &[Token],
+    i: usize,
+    t: &Token,
+    aliases: &std::collections::BTreeSet<String>,
+    push: &mut impl FnMut(&Token, Rule, String),
+) {
+    let TokenKind::Punct(op) = &t.kind else {
+        return;
+    };
+
+    if op == "==" || op == "!=" {
+        let float_adjacent = (i > 0 && tokens[i - 1].kind == TokenKind::Float)
+            || tokens
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokenKind::Float);
+        if float_adjacent {
+            push(
+                t,
+                Rule::FloatEq,
+                format!(
+                    "`{op}` on floating-point values is representation-sensitive; compare \
+                     with an explicit tolerance, e.g. `(a - b).abs() < EPS`"
+                ),
+            );
+        }
+        return;
+    }
+
+    if !ARITH_OPS.contains(&op.as_str()) {
+        return;
+    }
+    // Binary position only: `a - b`, not `-b` / `*ptr` / `&mut` noise.
+    let binary = op.ends_with('=') || (i > 0 && ends_expression(&tokens[i - 1]));
+    if !binary {
+        return;
+    }
+    let prev = if i > 0 { Some(&tokens[i - 1]) } else { None };
+    let next = tokens.get(i + 1);
+    // Float-typed arithmetic is out of scope for the integer-time rule.
+    if prev.is_some_and(|p| p.kind == TokenKind::Float)
+        || next.is_some_and(|n| n.kind == TokenKind::Float)
+    {
+        return;
+    }
+    // A time-named operand is exempt when it is provably unit-typed:
+    // a field access (`timing.sifs` — unit quantities live in typed
+    // struct fields) or a local aliasing such a field.
+    let exempt = |idx: usize| {
+        let field_access = idx > 0 && tokens[idx - 1].is_punct(".");
+        let aliased = tokens[idx]
+            .ident()
+            .is_some_and(|name| aliases.contains(name));
+        field_access || aliased
+    };
+    let offender = [i.checked_sub(1), Some(i + 1)]
+        .into_iter()
+        .flatten()
+        .filter(|&idx| idx < tokens.len() && !exempt(idx))
+        .map(|idx| &tokens[idx])
+        .find(|tok| tok.ident().is_some_and(is_time_ident));
+    if let Some(offender) = offender {
+        let name = offender.ident().unwrap_or_default();
+        push(
+            offender,
+            Rule::UnitMixedArith,
+            format!(
+                "raw integer arithmetic on time quantity `{name}`; convert through \
+                 `SimDuration`/`SimTime` (crates/sim/src/time.rs) or the unit types in \
+                 crates/phy/src/units.rs so units stay checked"
+            ),
+        );
+    }
+}
+
+/// Macros whose expansion is a panic.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+fn panics_at(tokens: &[Token], i: usize, t: &Token, push: &mut impl FnMut(&Token, Rule, String)) {
+    let Some(ident) = t.ident() else { return };
+    let after_dot = i > 0 && tokens[i - 1].is_punct(".");
+    let called = tokens.get(i + 1).is_some_and(|n| n.is_punct("("));
+    match ident {
+        "unwrap" if after_dot && called => push(
+            t,
+            Rule::PanicUnwrap,
+            "`.unwrap()` in library code; return a `Result`, handle the `None`/`Err` arm, \
+             or justify the invariant with `// lint:allow(panic-unwrap) — <invariant>`"
+                .to_owned(),
+        ),
+        "expect" if after_dot && called => push(
+            t,
+            Rule::PanicExpect,
+            "`.expect(..)` in library code; return a `Result` or justify the invariant \
+             with `// lint:allow(panic-expect) — <invariant>`"
+                .to_owned(),
+        ),
+        _ if PANIC_MACROS.contains(&ident)
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct("!")) =>
+        {
+            push(
+                t,
+                Rule::PanicMacro,
+                format!(
+                    "`{ident}!` in library code; return a typed error or justify with \
+                     `// lint:allow(panic-macro) — <invariant>`"
+                ),
+            );
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{cfg_test_spans, check, RuleSet};
+    use crate::allow::Allows;
+    use crate::diagnostics::Rule;
+    use crate::lexer::lex;
+
+    const ALL: RuleSet = RuleSet {
+        determinism: true,
+        units: true,
+        panics: true,
+    };
+
+    fn rules_hit(src: &str) -> Vec<Rule> {
+        let lexed = lex(src);
+        check("f.rs", &lexed.tokens, ALL, &Allows::default())
+            .into_iter()
+            .map(|d| d.rule)
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_items_are_skipped() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn b() { y.unwrap(); } }\n";
+        assert_eq!(rules_hit(src), vec![Rule::PanicUnwrap]);
+        let lexed = lex(src);
+        assert_eq!(cfg_test_spans(&lexed.tokens).len(), 1);
+    }
+
+    #[test]
+    fn cfg_not_test_is_still_linted() {
+        let src = "#[cfg(not(test))]\nmod real { fn b() { y.unwrap(); } }\n";
+        assert_eq!(rules_hit(src), vec![Rule::PanicUnwrap]);
+    }
+
+    #[test]
+    fn determinism_patterns_fire() {
+        assert_eq!(
+            rules_hit("use std::time::Instant;"),
+            vec![Rule::DeterminismTime]
+        );
+        assert_eq!(
+            rules_hit("let t = SystemTime::now();"),
+            vec![Rule::DeterminismTime]
+        );
+        assert_eq!(
+            rules_hit("let mut r = rand::thread_rng();"),
+            vec![Rule::DeterminismRng]
+        );
+        assert_eq!(
+            rules_hit("let x: u8 = rand::random();"),
+            vec![Rule::DeterminismRng]
+        );
+        assert_eq!(
+            rules_hit("let m: HashMap<u32, u32> = HashMap::new();").len(),
+            2
+        );
+        // `random` not qualified by `rand::` is someone else's method.
+        assert!(rules_hit("let v = rng.random::<u64>();").is_empty());
+    }
+
+    #[test]
+    fn unit_arith_flags_time_idents_only_in_integer_context() {
+        assert_eq!(rules_hit("let x = now_us + 5;"), vec![Rule::UnitMixedArith]);
+        assert_eq!(rules_hit("total_us += delta;"), vec![Rule::UnitMixedArith]);
+        assert_eq!(rules_hit("let n = len / slot;"), vec![Rule::UnitMixedArith]);
+        // Float context is exempt (the rule is about integer tick math).
+        assert!(rules_hit("let f = x_us * 1.0e-6;").is_empty());
+        // Non-time identifiers don't fire.
+        assert!(rules_hit("let x = bytes + 5;").is_empty());
+        // Unary minus is not binary arithmetic.
+        assert!(rules_hit("let x = -slot_count;").is_empty());
+    }
+
+    #[test]
+    fn unit_typed_operands_are_exempt() {
+        // Field accesses hold unit-typed quantities (`MacTiming::sifs`
+        // is a `SimDuration`), so arithmetic on them is already checked.
+        assert!(rules_hit("let t = timing.sifs * 3;").is_empty());
+        assert!(rules_hit("let t = self.cfg.timing.slot * 2;").is_empty());
+        // A local bound from a same-named field keeps the field's type.
+        assert!(rules_hit("let sifs = timing.sifs;\nlet t = sifs + cts;").is_empty());
+        assert!(rules_hit("let difs = self.cfg.timing.difs;\nlet t = now + difs;").is_empty());
+        // A bare local with no unit-typed provenance still fires.
+        assert_eq!(
+            rules_hit("fn f(difs: u64, now: u64) -> u64 { now + difs }"),
+            vec![Rule::UnitMixedArith]
+        );
+    }
+
+    #[test]
+    fn float_eq_fires_on_literal_comparison() {
+        assert_eq!(rules_hit("if x == 1.0 { }"), vec![Rule::FloatEq]);
+        assert_eq!(rules_hit("if 0.5 != y { }"), vec![Rule::FloatEq]);
+        assert!(rules_hit("if x == 1 { }").is_empty());
+    }
+
+    #[test]
+    fn panic_family_fires() {
+        assert_eq!(
+            rules_hit("let v = m.get(&k).unwrap();"),
+            vec![Rule::PanicUnwrap]
+        );
+        assert_eq!(
+            rules_hit("let v = m.get(&k).expect(\"present\");"),
+            vec![Rule::PanicExpect]
+        );
+        assert_eq!(rules_hit("panic!(\"boom\");"), vec![Rule::PanicMacro]);
+        assert_eq!(rules_hit("unreachable!()"), vec![Rule::PanicMacro]);
+        // Similar-but-different names are fine.
+        assert!(rules_hit("let v = o.unwrap_or(0);").is_empty());
+        assert!(rules_hit("std::panic::catch_unwind(f);").is_empty());
+    }
+
+    #[test]
+    fn allows_suppress_with_reason() {
+        let src = "let v = m.get(&k).unwrap(); // lint:allow(panic-unwrap) — inserted above, cannot miss\n";
+        let lexed = lex(src);
+        let allows = crate::allow::scan("f.rs", &lexed);
+        let diags = check("f.rs", &lexed.tokens, ALL, &allows);
+        assert!(diags.is_empty());
+    }
+}

@@ -120,8 +120,8 @@ mod tests {
     fn basic_access_is_faster_for_large_payloads() {
         let timing = MacTiming::dsss_2mbps();
         let four_way = ExchangeModel::new(&timing, 512, false).saturation_bps(512);
-        let basic = ExchangeModel::with_access(&timing, 512, false, AccessMode::Basic)
-            .saturation_bps(512);
+        let basic =
+            ExchangeModel::with_access(&timing, 512, false, AccessMode::Basic).saturation_bps(512);
         // Basic access skips 780 µs of handshake per exchange.
         assert!(basic > 1.15 * four_way, "basic {basic} vs 4-way {four_way}");
     }

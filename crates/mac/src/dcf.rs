@@ -23,7 +23,7 @@
 //! values, what rides in CTS/ACK, what the receiver measures — enters
 //! through the [`BackoffPolicy`] and is exercised by the same machine.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use airguard_sim::trace::Trace;
 use airguard_sim::{NodeId, RngStream, SimDuration, SimTime};
@@ -36,7 +36,7 @@ use crate::timing::{MacTiming, Slots};
 
 /// Timers the MAC can arm. At most one timer per kind is pending; setting
 /// a kind that is already pending replaces it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum TimerKind {
     /// Backoff countdown completion (DIFS + remaining slots).
     Backoff,
@@ -247,7 +247,7 @@ pub struct Mac<P> {
     pending_response: Option<Frame>,
 
     // Receiver side.
-    last_delivered: HashMap<NodeId, u64>,
+    last_delivered: BTreeMap<NodeId, u64>,
 
     counters: MacCounters,
 }
@@ -278,7 +278,7 @@ impl<P: BackoffPolicy> Mac<P> {
             countdown_base: None,
             on_air: None,
             pending_response: None,
-            last_delivered: HashMap::new(),
+            last_delivered: BTreeMap::new(),
             counters: MacCounters::default(),
         }
     }
@@ -433,7 +433,7 @@ impl<P: BackoffPolicy> Mac<P> {
     }
 
     fn transmit_access_frame(&mut self, now: SimTime, fx: &mut Vec<MacEffect>) {
-        let pkt = *self.queue.front().expect("backoff without a packet");
+        let pkt = *self.queue.front().expect("backoff without a packet"); // lint:allow(panic-expect) — a backoff countdown is only armed while the head-of-line packet exists; an empty queue here is state-machine corruption
         let ext = self.policy.uses_protocol_extensions();
         let durations = ExchangeDurations::compute(&self.cfg.timing, pkt.bytes, ext);
         let attempt_field = if ext {
@@ -492,14 +492,19 @@ impl<P: BackoffPolicy> Mac<P> {
     }
 
     fn handle_failure(&mut self, now: SimTime, kind: &str, fx: &mut Vec<MacEffect>) {
-        let pkt = *self.queue.front().expect("timeout without a packet");
+        let pkt = *self.queue.front().expect("timeout without a packet"); // lint:allow(panic-expect) — CTS/ACK timeouts are cancelled when the head-of-line packet is dequeued, so a firing timeout implies the packet is still queued
         self.attempt += 1;
         if self.attempt > self.cfg.timing.retry_limit {
             self.counters.retry_drops += 1;
             self.trace.record(
                 now,
                 "mac.drop",
-                format!("{}: seq={} dropped after {} attempts", self.id, pkt.seq, self.attempt - 1),
+                format!(
+                    "{}: seq={} dropped after {} attempts",
+                    self.id,
+                    pkt.seq,
+                    self.attempt - 1
+                ),
             );
             fx.push(MacEffect::Dropped {
                 dst: pkt.dst,
@@ -531,11 +536,8 @@ impl<P: BackoffPolicy> Mac<P> {
 
     fn on_decoded(&mut self, now: SimTime, frame: Frame, fx: &mut Vec<MacEffect>) {
         if frame.dst != self.id {
-            self.policy.observe_overheard(
-                &frame,
-                self.idle_counter.reading(now),
-                &self.cfg.timing,
-            );
+            self.policy
+                .observe_overheard(&frame, self.idle_counter.reading(now), &self.cfg.timing);
             self.apply_nav(now, &frame, fx);
             return;
         }
@@ -657,7 +659,10 @@ impl<P: BackoffPolicy> Mac<P> {
         self.trace.record(
             now,
             "mac.rx",
-            format!("{}: CTS from {}, sending DATA seq={}", self.id, frame.src, pkt.seq),
+            format!(
+                "{}: CTS from {}, sending DATA seq={}",
+                self.id, frame.src, pkt.seq
+            ),
         );
     }
 
@@ -699,7 +704,10 @@ impl<P: BackoffPolicy> Mac<P> {
             self.trace.record(
                 now,
                 "mac.rx",
-                format!("{}: DATA from {} but response pending; ACK dropped", self.id, frame.src),
+                format!(
+                    "{}: DATA from {} but response pending; ACK dropped",
+                    self.id, frame.src
+                ),
             );
             return;
         }
@@ -756,7 +764,7 @@ impl<P: BackoffPolicy> Mac<P> {
     // ------------------------------------------------------------------
 
     fn on_own_tx_end(&mut self, now: SimTime, fx: &mut Vec<MacEffect>) {
-        let frame = self.on_air.take().expect("OwnTxEnd without a frame on air");
+        let frame = self.on_air.take().expect("OwnTxEnd without a frame on air"); // lint:allow(panic-expect) — OwnTxEnd is only scheduled by our own TxStart, which sets on_air; a miss means the PHY/MAC contract is broken
         match frame.kind {
             FrameKind::Rts => {
                 let after = self.cfg.timing.sifs
@@ -795,8 +803,11 @@ impl<P: BackoffPolicy> Mac<P> {
                 } else {
                     // Extremely rare tie with a response transmission;
                     // retry the access next time the channel goes idle.
-                    self.trace
-                        .record(now, "mac.defer", format!("{}: backoff while on air", self.id));
+                    self.trace.record(
+                        now,
+                        "mac.defer",
+                        format!("{}: backoff while on air", self.id),
+                    );
                     self.resume_countdown(now, fx);
                 }
             }
@@ -991,7 +1002,10 @@ mod tests {
         m.handle(t(0), MacInput::Decoded(overheard));
         assert!(m.channel_busy(), "NAV makes channel virtually busy");
         let fx = m.handle(t(500), MacInput::Decoded(rts_to(1, 5)));
-        assert!(find_timer(&fx, TimerKind::Response).is_none(), "no CTS during NAV");
+        assert!(
+            find_timer(&fx, TimerKind::Response).is_none(),
+            "no CTS during NAV"
+        );
         // After NAV expiry the node responds again.
         m.handle(t(1_000), MacInput::Timer(TimerKind::NavExpire));
         assert!(!m.channel_busy());
@@ -1073,7 +1087,12 @@ mod tests {
         let fx = m.handle(t(clock), MacInput::Decoded(ack));
         assert!(fx.iter().any(|e| matches!(
             e,
-            MacEffect::SendComplete { seq: 0, bytes: 512, attempts: 1, .. }
+            MacEffect::SendComplete {
+                seq: 0,
+                bytes: 512,
+                attempts: 1,
+                ..
+            }
         )));
         // Delay spans from the enqueue at t=0 to the ACK decode.
         let delay = fx.iter().find_map(|e| match e {
@@ -1103,7 +1122,10 @@ mod tests {
         // Timeout fires.
         let fx = m.handle(t(end + 300), MacInput::Timer(TimerKind::CtsTimeout));
         assert_eq!(m.counters().cts_timeouts, 1);
-        assert!(find_timer(&fx, TimerKind::Backoff).is_some(), "re-enters backoff");
+        assert!(
+            find_timer(&fx, TimerKind::Backoff).is_some(),
+            "re-enters backoff"
+        );
     }
 
     #[test]
@@ -1130,7 +1152,10 @@ mod tests {
             m.handle(t(clock), MacInput::ChannelIdle);
             clock += 300;
             let fx = m.handle(t(clock), MacInput::Timer(TimerKind::CtsTimeout));
-            if fx.iter().any(|e| matches!(e, MacEffect::Dropped { attempts: 7, .. })) {
+            if fx
+                .iter()
+                .any(|e| matches!(e, MacEffect::Dropped { attempts: 7, .. }))
+            {
                 dropped = true;
                 break;
             }
@@ -1180,7 +1205,9 @@ mod tests {
         ack.kind = FrameKind::Ack;
         ack.seq = 99; // wrong
         let fx = m.handle(t(after.as_micros() + 700), MacInput::Decoded(ack));
-        assert!(!fx.iter().any(|e| matches!(e, MacEffect::SendComplete { .. })));
+        assert!(!fx
+            .iter()
+            .any(|e| matches!(e, MacEffect::SendComplete { .. })));
         assert_eq!(m.queue_len(), 1);
     }
 

@@ -195,8 +195,7 @@ mod tests {
         assert!(d.rts > d.cts && d.cts > d.data && d.data > d.ack);
         assert_eq!(d.ack, SimDuration::ZERO);
         // RTS duration = CTS + DATA + ACK air times + 3 SIFS.
-        let expect =
-            t.air_time(14) + t.air_time(540) + t.air_time(14) + t.sifs + t.sifs + t.sifs;
+        let expect = t.air_time(14) + t.air_time(540) + t.air_time(14) + t.sifs + t.sifs + t.sifs;
         assert_eq!(d.rts, expect);
     }
 

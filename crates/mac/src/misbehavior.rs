@@ -144,10 +144,9 @@ impl<P: BackoffPolicy> BackoffPolicy for Misbehavior<P> {
 
     fn fresh_backoff(&mut self, dst: NodeId, timing: &MacTiming, rng: &mut RngStream) -> Slots {
         match self.strategy {
-            Selfish::None
-            | Selfish::NoDoubling
-            | Selfish::ZeroAssignment
-            | Selfish::NoPenalty => self.inner.fresh_backoff(dst, timing, rng),
+            Selfish::None | Selfish::NoDoubling | Selfish::ZeroAssignment | Selfish::NoPenalty => {
+                self.inner.fresh_backoff(dst, timing, rng)
+            }
             Selfish::BackoffScale { pm } | Selfish::AttemptSpoof { pm } => {
                 // The honest draw still happens (and under the modified
                 // protocol records the assignment as used); the cheat is in
@@ -271,7 +270,11 @@ mod tests {
         assert_eq!(scale_backoff(Slots::new(20), 0.0), Slots::new(20));
         assert_eq!(scale_backoff(Slots::new(20), 50.0), Slots::new(10));
         assert_eq!(scale_backoff(Slots::new(20), 100.0), Slots::ZERO);
-        assert_eq!(scale_backoff(Slots::new(21), 50.0), Slots::new(11), "rounds");
+        assert_eq!(
+            scale_backoff(Slots::new(21), 50.0),
+            Slots::new(11),
+            "rounds"
+        );
         assert_eq!(scale_backoff(Slots::ZERO, 50.0), Slots::ZERO);
     }
 
@@ -312,7 +315,12 @@ mod tests {
         let mut cheat = Misbehavior::new(Dcf80211::new(), Selfish::QuarterWindow);
         for _ in 0..2_000 {
             assert!(cheat.fresh_backoff(NodeId::new(0), &timing, &mut r).count() <= 7);
-            assert!(cheat.retry_backoff(NodeId::new(0), 3, &timing, &mut r).count() <= 31);
+            assert!(
+                cheat
+                    .retry_backoff(NodeId::new(0), 3, &timing, &mut r)
+                    .count()
+                    <= 31
+            );
         }
     }
 
@@ -324,7 +332,9 @@ mod tests {
         for attempt in 2..=7u8 {
             for _ in 0..500 {
                 assert!(
-                    cheat.retry_backoff(NodeId::new(0), attempt, &timing, &mut r).count()
+                    cheat
+                        .retry_backoff(NodeId::new(0), attempt, &timing, &mut r)
+                        .count()
                         <= timing.cw_min
                 );
             }
@@ -338,7 +348,13 @@ mod tests {
             fn fresh_backoff(&mut self, _: NodeId, t: &MacTiming, r: &mut RngStream) -> Slots {
                 uniform_backoff(t.cw_min, r)
             }
-            fn retry_backoff(&mut self, _: NodeId, a: u8, t: &MacTiming, r: &mut RngStream) -> Slots {
+            fn retry_backoff(
+                &mut self,
+                _: NodeId,
+                a: u8,
+                t: &MacTiming,
+                r: &mut RngStream,
+            ) -> Slots {
                 uniform_backoff(t.cw_for_attempt(a), r)
             }
             fn assignment_for(&mut self, _: NodeId, _: &MacTiming) -> Option<Slots> {
@@ -362,7 +378,13 @@ mod tests {
             fn fresh_backoff(&mut self, _: NodeId, t: &MacTiming, r: &mut RngStream) -> Slots {
                 uniform_backoff(t.cw_min, r)
             }
-            fn retry_backoff(&mut self, _: NodeId, a: u8, t: &MacTiming, r: &mut RngStream) -> Slots {
+            fn retry_backoff(
+                &mut self,
+                _: NodeId,
+                a: u8,
+                t: &MacTiming,
+                r: &mut RngStream,
+            ) -> Slots {
                 uniform_backoff(t.cw_for_attempt(a), r)
             }
             fn assignment_for(&mut self, _: NodeId, _: &MacTiming) -> Option<Slots> {
@@ -381,7 +403,10 @@ mod tests {
     #[test]
     fn compliance_fraction_reflects_pm() {
         assert_eq!(Selfish::None.compliance_fraction(), 1.0);
-        assert_eq!(Selfish::BackoffScale { pm: 30.0 }.compliance_fraction(), 0.7);
+        assert_eq!(
+            Selfish::BackoffScale { pm: 30.0 }.compliance_fraction(),
+            0.7
+        );
         assert_eq!(Selfish::QuarterWindow.compliance_fraction(), 1.0);
     }
 

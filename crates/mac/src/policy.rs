@@ -145,7 +145,12 @@ pub trait BackoffPolicy {
     /// count. Third-party observers (the paper's §4.4 collusion-watch
     /// building block) live entirely on this hook; the default ignores
     /// overheard traffic.
-    fn observe_overheard(&mut self, frame: &crate::frames::Frame, idle_reading: u64, timing: &MacTiming) {
+    fn observe_overheard(
+        &mut self,
+        frame: &crate::frames::Frame,
+        idle_reading: u64,
+        timing: &MacTiming,
+    ) {
         let _ = (frame, idle_reading, timing);
     }
 }

@@ -106,7 +106,11 @@ fn ack_completes_the_two_way_exchange() {
     let fx = m.handle(t(end + 260), MacInput::Decoded(ack));
     assert!(fx.iter().any(|e| matches!(
         e,
-        MacEffect::SendComplete { seq: 0, attempts: 1, .. }
+        MacEffect::SendComplete {
+            seq: 0,
+            attempts: 1,
+            ..
+        }
     )));
     assert_eq!(m.queue_len(), 0);
 }
@@ -129,7 +133,10 @@ fn ack_timeout_retries_the_data_frame() {
     m.handle(t(end), MacInput::ChannelIdle);
     let fx = m.handle(t(end + 300), MacInput::Timer(TimerKind::AckTimeout));
     assert_eq!(m.counters().ack_timeouts, 1);
-    assert!(timer(&fx, TimerKind::Backoff).is_some(), "re-enters backoff");
+    assert!(
+        timer(&fx, TimerKind::Backoff).is_some(),
+        "re-enters backoff"
+    );
     // The retry transmits DATA again, not an RTS.
     let retry_at = end + 300 + timer(&fx, TimerKind::Backoff).unwrap().as_micros();
     let fx = m.handle(t(retry_at), MacInput::Timer(TimerKind::Backoff));

@@ -28,7 +28,13 @@ impl BackoffPolicy for RecordingPolicy {
         uniform_backoff(timing.cw_min, rng)
     }
 
-    fn retry_backoff(&mut self, _: NodeId, a: u8, timing: &MacTiming, rng: &mut RngStream) -> Slots {
+    fn retry_backoff(
+        &mut self,
+        _: NodeId,
+        a: u8,
+        timing: &MacTiming,
+        rng: &mut RngStream,
+    ) -> Slots {
         uniform_backoff(timing.cw_for_attempt(a), rng)
     }
 
@@ -41,9 +47,9 @@ impl BackoffPolicy for RecordingPolicy {
         _: &MacTiming,
         _: &mut RngStream,
     ) {
-        self.log
-            .borrow_mut()
-            .push(format!("rts src={src} seq={seq} attempt={attempt} idle={idle_reading}"));
+        self.log.borrow_mut().push(format!(
+            "rts src={src} seq={seq} attempt={attempt} idle={idle_reading}"
+        ));
     }
 
     fn assignment_for(&mut self, _: NodeId, _: &MacTiming) -> Option<Slots> {
@@ -131,7 +137,10 @@ fn ack_carries_assignment_and_hook_fires_at_tx_end() {
     );
     m.handle(t(1_010), MacInput::ChannelBusy);
     m.handle(t(1_268), MacInput::OwnTxEnd);
-    assert!(log.borrow().iter().any(|l| l.starts_with("ack-sent dst=n5")));
+    assert!(log
+        .borrow()
+        .iter()
+        .any(|l| l.starts_with("ack-sent dst=n5")));
 }
 
 #[test]

@@ -108,8 +108,8 @@ mod tests {
         #[test]
         fn mean_within_min_max(values in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
             let s = Summary::of(&values);
-            let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
-            let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             prop_assert!(s.mean >= min - 1e-6 && s.mean <= max + 1e-6);
             prop_assert!(s.std_dev >= 0.0);
         }

@@ -93,10 +93,7 @@ impl DelayAccount {
     /// skipped. Returns 0 when none of them have data.
     #[must_use]
     pub fn mean_ms_over(&self, senders: &[NodeId]) -> f64 {
-        let stats: Vec<DelayStats> = senders
-            .iter()
-            .filter_map(|&s| self.sender(s))
-            .collect();
+        let stats: Vec<DelayStats> = senders.iter().filter_map(|&s| self.sender(s)).collect();
         if stats.is_empty() {
             return 0.0;
         }
@@ -142,6 +139,10 @@ mod tests {
         acc.record(n(1), ms(2));
         acc.record(n(2), ms(4));
         assert_eq!(acc.mean_ms_over(&[n(1), n(2)]), 3.0);
-        assert_eq!(acc.mean_ms_over(&[n(1), n(2), n(9)]), 3.0, "missing skipped");
+        assert_eq!(
+            acc.mean_ms_over(&[n(1), n(2), n(9)]),
+            3.0,
+            "missing skipped"
+        );
     }
 }

@@ -22,7 +22,10 @@ pub fn jain_index(throughputs: &[f64]) -> f64 {
     let n = throughputs.len() as f64;
     let sum: f64 = throughputs.iter().sum();
     let sum_sq: f64 = throughputs.iter().map(|t| t * t).sum();
-    if n == 0.0 || sum_sq == 0.0 {
+    // Exact zero iff the slice is empty or every throughput is exactly
+    // zero; a tolerance here would misclassify tiny-but-real throughput.
+    // lint:allow(float-eq) — sum of squares is exactly 0.0 iff all inputs are ±0.0
+    if throughputs.is_empty() || sum_sq == 0.0 {
         0.0
     } else {
         (sum * sum) / (n * sum_sq)

@@ -177,10 +177,12 @@ mod tests {
         let mut acc = ThroughputAccount::new();
         acc.record(n(1), n(0), 1000);
         acc.record(n(2), n(0), 3000);
-        let mean =
-            acc.mean_sender_throughput_bps(&[n(1), n(2)], SimDuration::from_secs(1));
+        let mean = acc.mean_sender_throughput_bps(&[n(1), n(2)], SimDuration::from_secs(1));
         assert_eq!(mean, 16_000.0);
-        assert_eq!(acc.mean_sender_throughput_bps(&[], SimDuration::from_secs(1)), 0.0);
+        assert_eq!(
+            acc.mean_sender_throughput_bps(&[], SimDuration::from_secs(1)),
+            0.0
+        );
     }
 
     #[test]

@@ -5,9 +5,11 @@
 //! introspection simple: the runner can pattern-match to pull the
 //! [`MonitorReport`] out of a `Correct` node without downcasting.
 
-use airguard_core::{CorrectConfig, CorrectPolicy, PairStats};
-use airguard_mac::{BackoffPolicy, Dcf80211, MacTiming, Misbehavior, PacketVerdict, Selfish, Slots};
 use airguard_core::monitor::MonitorReport;
+use airguard_core::{CorrectConfig, CorrectPolicy, PairStats};
+use airguard_mac::{
+    BackoffPolicy, Dcf80211, MacTiming, Misbehavior, PacketVerdict, Selfish, Slots,
+};
 use airguard_sim::{NodeId, RngStream};
 
 /// The policy stack of one simulated node.
@@ -195,7 +197,11 @@ mod tests {
     #[test]
     fn protocol_extension_flag_tracks_variant() {
         let d = NodePolicy::dot11(Selfish::None);
-        let c = NodePolicy::correct(NodeId::new(1), CorrectConfig::paper_default(), Selfish::None);
+        let c = NodePolicy::correct(
+            NodeId::new(1),
+            CorrectConfig::paper_default(),
+            Selfish::None,
+        );
         assert!(!d.uses_protocol_extensions());
         assert!(c.uses_protocol_extensions());
     }
@@ -203,7 +209,11 @@ mod tests {
     #[test]
     fn monitor_report_only_for_correct_nodes() {
         let d = NodePolicy::dot11(Selfish::None);
-        let c = NodePolicy::correct(NodeId::new(1), CorrectConfig::paper_default(), Selfish::None);
+        let c = NodePolicy::correct(
+            NodeId::new(1),
+            CorrectConfig::paper_default(),
+            Selfish::None,
+        );
         assert!(d.monitor_report().is_none());
         assert!(c.monitor_report().is_some());
     }

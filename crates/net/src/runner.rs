@@ -17,15 +17,15 @@
 //! processed before the next scheduler pop, so the system is always
 //! consistent at each instant.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
+use airguard_core::monitor::MonitorReport;
+use airguard_core::PairStats;
 use airguard_mac::dcf::MacCounters;
 use airguard_mac::{Frame, Mac, MacConfig, MacEffect, MacInput, TimerKind};
 use airguard_metrics::{jain_index, DelayAccount, DiagnosisTally, ThroughputAccount, TimeBinned};
 use airguard_phy::reception::DecodeOutcome;
 use airguard_phy::{Dbm, Fading, Medium, PhyConfig, RxTracker, TransmissionId};
-use airguard_core::monitor::MonitorReport;
-use airguard_core::PairStats;
 use airguard_sim::trace::Trace;
 use airguard_sim::{EventId, MasterSeed, NodeId, Scheduler, SimDuration, SimTime};
 
@@ -66,9 +66,16 @@ impl Default for SimulationConfig {
 
 #[derive(Debug)]
 enum Event {
-    Traffic { flow: usize },
-    MacTimer { node: usize, kind: TimerKind },
-    TxEnd { node: usize },
+    Traffic {
+        flow: usize,
+    },
+    MacTimer {
+        node: usize,
+        kind: TimerKind,
+    },
+    TxEnd {
+        node: usize,
+    },
     RxStart {
         listener: usize,
         tx: TransmissionId,
@@ -85,7 +92,7 @@ enum Event {
 struct SimNode {
     mac: Mac<NodePolicy>,
     tracker: RxTracker,
-    timers: HashMap<TimerKind, EventId>,
+    timers: BTreeMap<TimerKind, EventId>,
 }
 
 /// Everything measured in one run.
@@ -137,7 +144,8 @@ impl RunReport {
             .copied()
             .filter(|s| self.misbehaving.contains(s))
             .collect();
-        self.throughput.mean_sender_throughput_bps(&msb, self.elapsed)
+        self.throughput
+            .mean_sender_throughput_bps(&msb, self.elapsed)
     }
 
     /// Mean throughput of well-behaved measured senders, bit/s ("AVG").
@@ -149,7 +157,8 @@ impl RunReport {
             .copied()
             .filter(|s| !self.misbehaving.contains(s))
             .collect();
-        self.throughput.mean_sender_throughput_bps(&wb, self.elapsed)
+        self.throughput
+            .mean_sender_throughput_bps(&wb, self.elapsed)
     }
 
     /// Mean MAC delay (ms) of misbehaving measured senders.
@@ -240,7 +249,7 @@ impl Simulation {
                     cfg.seed.stream("mac", i as u64),
                 ),
                 tracker: RxTracker::new(cfg.phy.capture),
-                timers: HashMap::new(),
+                timers: BTreeMap::new(),
             })
             .collect();
         let mut sched = Scheduler::new();
@@ -289,7 +298,7 @@ impl Simulation {
             if t > horizon {
                 break;
             }
-            let (now, event) = self.sched.pop().expect("peeked event exists");
+            let (now, event) = self.sched.pop().expect("peeked event exists"); // lint:allow(panic-expect) — peek_time returned Some and nothing pops between peek and pop on this single thread
             self.dispatch(now, event);
             self.drain_pending(now);
         }
@@ -415,8 +424,7 @@ impl Simulation {
                 if self.nodes[node].tracker.on_self_tx_start(now).is_some() {
                     self.pending.push_back((node, MacInput::ChannelBusy));
                 }
-                self.sched
-                    .schedule_at(now + air, Event::TxEnd { node });
+                self.sched.schedule_at(now + air, Event::TxEnd { node });
                 for l in outcome.listeners {
                     self.sched.schedule_at(
                         now + l.delay,
@@ -451,8 +459,7 @@ impl Simulation {
                 }
             }
             MacEffect::Delivered { src, bytes, .. } => {
-                self.throughput
-                    .record(src, NodeId::new(node as u32), bytes);
+                self.throughput.record(src, NodeId::new(node as u32), bytes);
             }
             MacEffect::Classified { src, verdict } => {
                 self.tally.record(src, verdict.flagged);
@@ -548,7 +555,11 @@ mod tests {
             (90_000.0..190_000.0).contains(&avg),
             "avg per-sender throughput {avg}"
         );
-        assert!(report.fairness_index() > 0.9, "fi={}", report.fairness_index());
+        assert!(
+            report.fairness_index() > 0.9,
+            "fi={}",
+            report.fairness_index()
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use airguard_core::CorrectConfig;
 use airguard_mac::{AccessMode, MacConfig, Selfish};
 use airguard_phy::{Fading, PhyConfig};
+use airguard_sim::trace::{Trace, TraceEvent};
 use airguard_sim::{MasterSeed, NodeId, SimDuration};
 use rand::RngExt;
 
@@ -235,6 +236,24 @@ impl ScenarioConfig {
     /// Runs the scenario once and reports.
     #[must_use]
     pub fn run(&self) -> RunReport {
+        self.build_simulation().run()
+    }
+
+    /// Runs the scenario once with tracing enabled, returning the
+    /// report together with the full event trace. Two runs of the same
+    /// configuration must produce identical traces — the determinism
+    /// regression test digests this.
+    #[must_use]
+    pub fn run_traced(&self) -> (RunReport, Vec<TraceEvent>) {
+        let trace = Trace::enabled();
+        let mut sim = self.build_simulation();
+        sim.set_trace(trace.clone());
+        let report = sim.run();
+        (report, trace.events())
+    }
+
+    /// Builds the configured simulation without running it.
+    fn build_simulation(&self) -> Simulation {
         let topology = self.build_topology();
         let misbehaving = self.misbehaving_set(&topology);
         let policies: Vec<NodePolicy> = (0..topology.node_count())
@@ -259,16 +278,13 @@ impl ScenarioConfig {
             fading: self.fading,
             seed: MasterSeed::new(self.seed),
         };
-        Simulation::new(cfg, &topology, policies, misbehaving).run()
+        Simulation::new(cfg, &topology, policies, misbehaving)
     }
 
     /// Runs once per seed (the paper's 30-run averaging), serially.
     #[must_use]
     pub fn run_seeds(&self, seeds: &[u64]) -> Vec<RunReport> {
-        seeds
-            .iter()
-            .map(|&s| self.clone().seed(s).run())
-            .collect()
+        seeds.iter().map(|&s| self.clone().seed(s).run()).collect()
     }
 }
 

@@ -121,16 +121,18 @@ impl Topology {
     ///
     /// Panics if `n < 2`.
     #[must_use]
-    pub fn random(n: usize, width: f64, height: f64, rate_bps: u64, payload: u32, seed: MasterSeed) -> Self {
+    pub fn random(
+        n: usize,
+        width: f64,
+        height: f64,
+        rate_bps: u64,
+        payload: u32,
+        seed: MasterSeed,
+    ) -> Self {
         assert!(n >= 2, "a random topology needs at least two nodes");
         let mut rng = seed.stream("topology", 0);
         let positions: Vec<Position> = (0..n)
-            .map(|_| {
-                Position::new(
-                    rng.random_range(0.0..width),
-                    rng.random_range(0.0..height),
-                )
-            })
+            .map(|_| Position::new(rng.random_range(0.0..width), rng.random_range(0.0..height)))
             .collect();
         // "Each node sets up a CBR connection with one of its neighbors":
         // prefer a random node within plausible delivery range (200 m);
@@ -151,10 +153,10 @@ impl Topology {
                     .min_by(|a, b| {
                         pos.distance_to(*a.1)
                             .partial_cmp(&pos.distance_to(*b.1))
-                            .expect("distances are not NaN")
+                            .expect("distances are not NaN") // lint:allow(panic-expect) — positions are finite by construction, so pairwise distances are never NaN
                     })
                     .map(|(j, _)| j)
-                    .expect("n >= 2 guarantees another node")
+                    .expect("n >= 2 guarantees another node") // lint:allow(panic-expect) — scenario validation rejects single-node topologies before flows are built
             } else {
                 neighbors[rng.random_range(0..neighbors.len())]
             };

@@ -22,9 +22,7 @@ fn interferer_transmissions_reach_r_more_often_than_far_senders() {
     // Far-side senders: the ones whose distance to A exceeds 600 m.
     let far: Vec<NodeId> = (1..=8u32)
         .map(NodeId::new)
-        .filter(|&s| {
-            medium.position(a).distance_to(medium.position(s)).value() > 600.0
-        })
+        .filter(|&s| medium.position(a).distance_to(medium.position(s)).value() > 600.0)
         .collect();
     assert!(!far.is_empty(), "geometry must produce far-side senders");
 
@@ -146,8 +144,7 @@ fn simulator_matches_analytic_saturation_model() {
     let measured = report
         .throughput
         .sender_throughput_bps(NodeId::new(1), report.elapsed);
-    let analytic =
-        ExchangeModel::new(&MacTiming::dsss_2mbps(), 512, false).saturation_bps(512);
+    let analytic = ExchangeModel::new(&MacTiming::dsss_2mbps(), 512, false).saturation_bps(512);
     let ratio = measured / analytic;
     assert!(
         (0.95..=1.02).contains(&ratio),

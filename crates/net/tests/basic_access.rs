@@ -93,6 +93,9 @@ fn honest_basic_access_network_has_no_flags() {
         .seed(4)
         .run();
     assert_eq!(report.diagnosis().misdiagnosis_percent(), 0.0);
-    assert_eq!(report.counters[1..].iter().map(|c| c.rts_sent).sum::<u64>(), 0,
-        "no RTS frames under basic access");
+    assert_eq!(
+        report.counters[1..].iter().map(|c| c.rts_sent).sum::<u64>(),
+        0,
+        "no RTS frames under basic access"
+    );
 }

@@ -46,13 +46,21 @@ fn run(colluding: bool, seed: u64) -> RunReport {
         Selfish::None
     };
     let policies = vec![
-        NodePolicy::correct(NodeId::new(0), CorrectConfig::paper_default(), receiver_strategy),
+        NodePolicy::correct(
+            NodeId::new(0),
+            CorrectConfig::paper_default(),
+            receiver_strategy,
+        ),
         NodePolicy::correct(
             NodeId::new(1),
             CorrectConfig::paper_default(),
             Selfish::BackoffScale { pm: 80.0 },
         ),
-        NodePolicy::correct(NodeId::new(2), CorrectConfig::paper_default(), Selfish::None),
+        NodePolicy::correct(
+            NodeId::new(2),
+            CorrectConfig::paper_default(),
+            Selfish::None,
+        ),
         NodePolicy::correct(NodeId::new(3), observer_cfg, Selfish::None),
     ];
     Simulation::new(

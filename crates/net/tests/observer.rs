@@ -13,10 +13,10 @@ use airguard_sim::{MasterSeed, NodeId, SimDuration};
 fn topology() -> Topology {
     Topology {
         positions: vec![
-            Position::new(0.0, 0.0),    // R
-            Position::new(120.0, 0.0),  // S (cheater)
-            Position::new(0.0, 120.0),  // H
-            Position::new(60.0, 60.0),  // O (observer, no traffic)
+            Position::new(0.0, 0.0),   // R
+            Position::new(120.0, 0.0), // S (cheater)
+            Position::new(0.0, 120.0), // H
+            Position::new(60.0, 60.0), // O (observer, no traffic)
         ],
         flows: vec![
             Flow {
@@ -43,7 +43,11 @@ fn run(pm: f64, seed: u64) -> airguard_net::RunReport {
         ..CorrectConfig::paper_default()
     };
     let policies = vec![
-        NodePolicy::correct(NodeId::new(0), CorrectConfig::paper_default(), Selfish::None),
+        NodePolicy::correct(
+            NodeId::new(0),
+            CorrectConfig::paper_default(),
+            Selfish::None,
+        ),
         NodePolicy::correct(
             NodeId::new(1),
             CorrectConfig::paper_default(),
@@ -53,7 +57,11 @@ fn run(pm: f64, seed: u64) -> airguard_net::RunReport {
                 Selfish::None
             },
         ),
-        NodePolicy::correct(NodeId::new(2), CorrectConfig::paper_default(), Selfish::None),
+        NodePolicy::correct(
+            NodeId::new(2),
+            CorrectConfig::paper_default(),
+            Selfish::None,
+        ),
         NodePolicy::correct(NodeId::new(3), observer_cfg, Selfish::None),
     ];
     Simulation::new(
@@ -65,7 +73,11 @@ fn run(pm: f64, seed: u64) -> airguard_net::RunReport {
         },
         &topology(),
         policies,
-        if pm > 0.0 { vec![NodeId::new(1)] } else { vec![] },
+        if pm > 0.0 {
+            vec![NodeId::new(1)]
+        } else {
+            vec![]
+        },
     )
     .run()
 }
@@ -115,7 +127,11 @@ fn observer_flags_the_cheater_from_outside() {
         .iter()
         .find(|p| p.sender == NodeId::new(2))
         .expect("honest pair observed");
-    assert!(cheat.measured > 50, "too few measurements: {}", cheat.measured);
+    assert!(
+        cheat.measured > 50,
+        "too few measurements: {}",
+        cheat.measured
+    );
     let cheat_rate = cheat.flagged as f64 / cheat.measured as f64;
     let honest_rate = honest.flagged as f64 / honest.measured.max(1) as f64;
     assert!(

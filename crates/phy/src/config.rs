@@ -133,8 +133,14 @@ mod tests {
         let mid = cfg.prob_receive(Meters::new(250.0));
         let far = cfg.prob_receive(Meters::new(400.0));
         assert!(near > mid && mid > far);
-        assert!(near > 0.999, "150 m delivery should be near-certain: {near}");
-        assert!(far < 0.001, "400 m delivery should be near-impossible: {far}");
+        assert!(
+            near > 0.999,
+            "150 m delivery should be near-certain: {near}"
+        );
+        assert!(
+            far < 0.001,
+            "400 m delivery should be near-impossible: {far}"
+        );
     }
 
     #[test]

@@ -41,7 +41,8 @@ pub fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -116,10 +117,8 @@ mod tests {
     fn sampler_tail_fraction_matches_phi() {
         let mut rng = MasterSeed::new(99).stream("gauss-test", 1);
         let n = 100_000;
-        let above_one = (0..n)
-            .filter(|_| standard_normal(rng.rng()) > 1.0)
-            .count() as f64
-            / n as f64;
+        let above_one =
+            (0..n).filter(|_| standard_normal(rng.rng()) > 1.0).count() as f64 / n as f64;
         assert!(
             (above_one - q(1.0)).abs() < 0.01,
             "P(X>1) sampled as {above_one}, want {}",

@@ -15,7 +15,7 @@
 //! arrival/departure events and feeds them to each listener's
 //! [`crate::reception::RxTracker`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use airguard_sim::{NodeId, RngStream, SimDuration};
 
@@ -93,7 +93,7 @@ pub struct Medium {
     rng: RngStream,
     next_tx: u64,
     fading: Fading,
-    coherent_offsets: HashMap<(NodeId, NodeId), Db>,
+    coherent_offsets: BTreeMap<(NodeId, NodeId), Db>,
 }
 
 impl Medium {
@@ -109,7 +109,7 @@ impl Medium {
             rng,
             next_tx: 0,
             fading: Fading::PerTransmission,
-            coherent_offsets: HashMap::new(),
+            coherent_offsets: BTreeMap::new(),
         }
     }
 
@@ -195,8 +195,8 @@ impl Medium {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use airguard_sim::MasterSeed;
     use airguard_phy_test_util::*;
+    use airguard_sim::MasterSeed;
 
     // Local helper module so tests read cleanly.
     mod airguard_phy_test_util {
@@ -360,8 +360,14 @@ mod tests {
         let l2 = out.listeners.iter().any(|l| l.listener == NodeId::new(2));
         for _ in 0..50 {
             let out = m.start_tx(NodeId::new(0));
-            assert_eq!(out.listeners.iter().any(|l| l.listener == NodeId::new(1)), l1);
-            assert_eq!(out.listeners.iter().any(|l| l.listener == NodeId::new(2)), l2);
+            assert_eq!(
+                out.listeners.iter().any(|l| l.listener == NodeId::new(1)),
+                l1
+            );
+            assert_eq!(
+                out.listeners.iter().any(|l| l.listener == NodeId::new(2)),
+                l2
+            );
         }
     }
 

@@ -52,6 +52,7 @@ pub trait PathLoss {
     fn prob_above(&self, tx_power: Dbm, d: Meters, threshold: Dbm) -> f64 {
         let mean_rx = tx_power - self.mean_loss(d);
         let sigma = self.sigma().value();
+        // lint:allow(float-eq) — σ = 0.0 is the exact sentinel for the deterministic (no-shadowing) model, never a computed value
         if sigma == 0.0 {
             if mean_rx >= threshold {
                 1.0
@@ -93,7 +94,10 @@ impl LogDistance {
     /// Panics if `beta` is not positive.
     #[must_use]
     pub fn new(beta: f64) -> Self {
-        assert!(beta > 0.0, "path-loss exponent must be positive, got {beta}");
+        assert!(
+            beta > 0.0,
+            "path-loss exponent must be positive, got {beta}"
+        );
         let d0 = Meters::new(1.0);
         LogDistance {
             beta,
@@ -341,7 +345,11 @@ mod tests {
     #[test]
     fn two_ray_crossover_is_86m_at_defaults() {
         let m = TwoRayGround::new(1.5, 1.5);
-        assert!((m.crossover().value() - 86.14).abs() < 0.5, "{}", m.crossover());
+        assert!(
+            (m.crossover().value() - 86.14).abs() < 0.5,
+            "{}",
+            m.crossover()
+        );
     }
 
     #[test]
@@ -349,7 +357,10 @@ mod tests {
         let m = TwoRayGround::new(1.5, 1.5);
         let at_cross = m.mean_loss(m.crossover());
         let just_before = m.mean_loss(Meters::new(m.crossover().value() - 1.0));
-        assert!((at_cross - just_before).value().abs() < 1.0, "jump at crossover");
+        assert!(
+            (at_cross - just_before).value().abs() < 1.0,
+            "jump at crossover"
+        );
         // Beyond crossover the slope is 40 dB/decade vs 20 for free space.
         let l100 = m.mean_loss(Meters::new(100.0));
         let l1000 = m.mean_loss(Meters::new(1000.0));

@@ -20,16 +20,27 @@ fn mint_ids(n: usize) -> Vec<TransmissionId> {
 
 #[derive(Debug, Clone)]
 enum Op {
-    Arrive { slot: usize, power: f64, receivable: bool },
-    Depart { slot: usize },
+    Arrive {
+        slot: usize,
+        power: f64,
+        receivable: bool,
+    },
+    Depart {
+        slot: usize,
+    },
     SelfTxStart,
     SelfTxEnd,
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0usize..8, -90.0f64..-40.0, any::<bool>())
-            .prop_map(|(slot, power, receivable)| Op::Arrive { slot, power, receivable }),
+        (0usize..8, -90.0f64..-40.0, any::<bool>()).prop_map(|(slot, power, receivable)| {
+            Op::Arrive {
+                slot,
+                power,
+                receivable,
+            }
+        }),
         (0usize..8).prop_map(|slot| Op::Depart { slot }),
         Just(Op::SelfTxStart),
         Just(Op::SelfTxEnd),

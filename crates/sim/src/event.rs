@@ -1,7 +1,7 @@
 //! The event queue at the heart of the simulator.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 use crate::time::{SimDuration, SimTime};
 
@@ -64,7 +64,7 @@ pub struct Scheduler<E> {
     now: SimTime,
     heap: BinaryHeap<Entry<E>>,
     /// Ids of entries still in the heap that have not been cancelled.
-    live: HashSet<EventId>,
+    live: BTreeSet<EventId>,
     next_seq: u64,
     popped: u64,
 }
@@ -82,7 +82,7 @@ impl<E> Scheduler<E> {
         Scheduler {
             now: SimTime::ZERO,
             heap: BinaryHeap::new(),
-            live: HashSet::new(),
+            live: BTreeSet::new(),
             next_seq: 0,
             popped: 0,
         }

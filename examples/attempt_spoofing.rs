@@ -26,8 +26,14 @@ fn main() {
     };
 
     for (label, strategy) in [
-        ("honest retries (BackoffScale pm=60)", Selfish::BackoffScale { pm: 60.0 }),
-        ("attempt spoofing (AttemptSpoof pm=60)", Selfish::AttemptSpoof { pm: 60.0 }),
+        (
+            "honest retries (BackoffScale pm=60)",
+            Selfish::BackoffScale { pm: 60.0 },
+        ),
+        (
+            "attempt spoofing (AttemptSpoof pm=60)",
+            Selfish::AttemptSpoof { pm: 60.0 },
+        ),
     ] {
         let report = ScenarioConfig::new(StandardScenario::ZeroFlow)
             .protocol(Protocol::Correct)

@@ -24,8 +24,20 @@ fn main() {
             Position::new(60.0, 60.0), // observer O
         ],
         flows: vec![
-            Flow { src: NodeId::new(1), dst: NodeId::new(0), rate_bps: 2_000_000, payload: 512, measured: true },
-            Flow { src: NodeId::new(2), dst: NodeId::new(0), rate_bps: 2_000_000, payload: 512, measured: true },
+            Flow {
+                src: NodeId::new(1),
+                dst: NodeId::new(0),
+                rate_bps: 2_000_000,
+                payload: 512,
+                measured: true,
+            },
+            Flow {
+                src: NodeId::new(2),
+                dst: NodeId::new(0),
+                rate_bps: 2_000_000,
+                payload: 512,
+                measured: true,
+            },
         ],
     };
     let observer_cfg = CorrectConfig {
@@ -33,9 +45,21 @@ fn main() {
         ..CorrectConfig::paper_default()
     };
     let policies = vec![
-        NodePolicy::correct(NodeId::new(0), CorrectConfig::paper_default(), Selfish::NoPenalty),
-        NodePolicy::correct(NodeId::new(1), CorrectConfig::paper_default(), Selfish::BackoffScale { pm: 80.0 }),
-        NodePolicy::correct(NodeId::new(2), CorrectConfig::paper_default(), Selfish::None),
+        NodePolicy::correct(
+            NodeId::new(0),
+            CorrectConfig::paper_default(),
+            Selfish::NoPenalty,
+        ),
+        NodePolicy::correct(
+            NodeId::new(1),
+            CorrectConfig::paper_default(),
+            Selfish::BackoffScale { pm: 80.0 },
+        ),
+        NodePolicy::correct(
+            NodeId::new(2),
+            CorrectConfig::paper_default(),
+            Selfish::None,
+        ),
         NodePolicy::correct(NodeId::new(3), observer_cfg, Selfish::None),
     ];
     let report = Simulation::new(
@@ -63,7 +87,11 @@ fn main() {
     for p in pairs {
         println!(
             "  {} -> {}: {} exchanges, {} deviations, {} unpunished => collusion suspected: {}",
-            p.sender, p.receiver, p.measured, p.deviations, p.unpunished_deviations,
+            p.sender,
+            p.receiver,
+            p.measured,
+            p.deviations,
+            p.unpunished_deviations,
             p.collusion_suspected()
         );
     }

@@ -18,7 +18,11 @@ fn main() {
         .seed(1)
         .run();
 
-    println!("simulated {}s, {} scheduler events", report.elapsed.as_secs_f64(), report.events);
+    println!(
+        "simulated {}s, {} scheduler events",
+        report.elapsed.as_secs_f64(),
+        report.events
+    );
     println!(
         "cheater (node 3) throughput : {:8.1} Kbps",
         report.msb_throughput_bps() / 1000.0
@@ -47,7 +51,11 @@ fn main() {
             s.flagged_packets,
             s.flagged_percent(),
             s.deviations,
-            if s.node == NodeId::new(3) { "   <-- the cheater" } else { "" }
+            if s.node == NodeId::new(3) {
+                "   <-- the cheater"
+            } else {
+                ""
+            }
         );
     }
 }

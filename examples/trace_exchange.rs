@@ -27,8 +27,16 @@ fn main() {
         }],
     };
     let policies = vec![
-        NodePolicy::correct(NodeId::new(0), CorrectConfig::paper_default(), Selfish::None),
-        NodePolicy::correct(NodeId::new(1), CorrectConfig::paper_default(), Selfish::None),
+        NodePolicy::correct(
+            NodeId::new(0),
+            CorrectConfig::paper_default(),
+            Selfish::None,
+        ),
+        NodePolicy::correct(
+            NodeId::new(1),
+            CorrectConfig::paper_default(),
+            Selfish::None,
+        ),
     ];
     let cfg = SimulationConfig {
         phy: PhyConfig::deterministic(),

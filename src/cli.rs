@@ -133,7 +133,8 @@ fn take_value<'a>(
     flag: &str,
     it: &mut impl Iterator<Item = &'a str>,
 ) -> Result<&'a str, ParseCliError> {
-    it.next().ok_or_else(|| err(format!("{flag} needs a value")))
+    it.next()
+        .ok_or_else(|| err(format!("{flag} needs a value")))
 }
 
 fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, ParseCliError> {
@@ -240,7 +241,9 @@ pub fn execute(command: &Command) {
                 "simulated {:.0}s  events={}  delivered={} packets",
                 r.elapsed.as_secs_f64(),
                 r.events,
-                r.diagnosis().total_packets().max(r.throughput.total_bytes() / 512),
+                r.diagnosis()
+                    .total_packets()
+                    .max(r.throughput.total_bytes() / 512),
             );
             println!(
                 "throughput: MSB {:.1} Kbps, AVG {:.1} Kbps, fairness {:.3}",
@@ -383,8 +386,16 @@ mod tests {
 
     #[test]
     fn sweep_and_topology_parse() {
-        let cmd = parse(&["sweep", "--scenario", "random", "--seeds", "2", "--step", "50"])
-            .unwrap();
+        let cmd = parse(&[
+            "sweep",
+            "--scenario",
+            "random",
+            "--seeds",
+            "2",
+            "--step",
+            "50",
+        ])
+        .unwrap();
         assert_eq!(
             cmd,
             Command::Sweep(SweepArgs {
@@ -420,7 +431,15 @@ mod execute_tests {
     fn execute_run_and_topology_do_not_panic() {
         // Tiny run: 4 senders, 1 second.
         let cmd = parse(&[
-            "run", "--senders", "4", "--pm", "50", "--seconds", "1", "--seed", "3",
+            "run",
+            "--senders",
+            "4",
+            "--pm",
+            "50",
+            "--seconds",
+            "1",
+            "--seed",
+            "3",
         ])
         .unwrap();
         execute(&cmd);
@@ -437,10 +456,7 @@ mod execute_tests {
 
     #[test]
     fn execute_sweep_small() {
-        let cmd = parse(&[
-            "sweep", "--step", "100", "--seeds", "1", "--seconds", "1",
-        ])
-        .unwrap();
+        let cmd = parse(&["sweep", "--step", "100", "--seeds", "1", "--seconds", "1"]).unwrap();
         execute(&cmd);
     }
 }

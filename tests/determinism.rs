@@ -1,0 +1,63 @@
+//! Determinism regression: the same seeded scenario, run twice, must
+//! produce byte-identical event traces and identical reports.
+//!
+//! This is the runtime complement to the static rules `airguard-lint`
+//! enforces (no wall clocks, no ambient RNG, no hash-ordered iteration
+//! in simulation crates): if any nondeterminism slips past the lexical
+//! rules — an unseeded source, an order-sensitive container behind a
+//! type alias — the trace digests diverge here.
+
+use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+use airguard_sim::trace::TraceEvent;
+
+/// FNV-1a over every event's time, category, and detail.
+fn digest(events: &[TraceEvent]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for e in events {
+        eat(e.time.as_micros().to_le_bytes().as_slice());
+        eat(e.category.as_bytes());
+        eat(e.detail.as_bytes());
+        eat(b"\n");
+    }
+    h
+}
+
+fn scenario(seed: u64) -> ScenarioConfig {
+    ScenarioConfig::new(StandardScenario::TwoFlow)
+        .protocol(Protocol::Correct)
+        .n_senders(4)
+        .misbehavior_percent(50.0)
+        .sim_time_secs(2)
+        .seed(seed)
+}
+
+#[test]
+fn same_seed_replays_to_identical_trace_digest() {
+    let cfg = scenario(42);
+    let (r1, t1) = cfg.run_traced();
+    let (r2, t2) = cfg.run_traced();
+
+    assert!(!t1.is_empty(), "traced run recorded no events");
+    assert_eq!(t1.len(), t2.len(), "trace lengths diverged");
+    assert_eq!(digest(&t1), digest(&t2), "trace digests diverged");
+
+    assert_eq!(r1.events, r2.events);
+    assert_eq!(r1.throughput.total_bytes(), r2.throughput.total_bytes());
+    assert_eq!(r1.tally, r2.tally);
+    assert_eq!(r1.counters, r2.counters);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    // Sanity check that the digest actually discriminates: two seeds
+    // giving identical traces would mean the seed is ignored.
+    let (_, t1) = scenario(1).run_traced();
+    let (_, t2) = scenario(2).run_traced();
+    assert_ne!(digest(&t1), digest(&t2), "seed does not influence the run");
+}

@@ -126,8 +126,7 @@ fn random_topology_end_to_end() {
     assert_eq!(report.misbehaving.len(), 5);
     assert!(report.throughput.total_bytes() > 0);
     assert!(
-        report.diagnosis().correct_diagnosis_percent()
-            > report.diagnosis().misdiagnosis_percent(),
+        report.diagnosis().correct_diagnosis_percent() > report.diagnosis().misdiagnosis_percent(),
         "detection must beat the false-positive rate"
     );
 }
@@ -192,9 +191,6 @@ fn throughput_never_exceeds_channel_capacity() {
 fn diagnosis_series_covers_the_run() {
     let report = zero_flow(Protocol::Correct, 80.0, 5, 11);
     assert_eq!(report.series.bins().len(), 5);
-    let flagged_after_warmup: u64 = report.series.bins()[1..]
-        .iter()
-        .map(|b| b.flagged)
-        .sum();
+    let flagged_after_warmup: u64 = report.series.bins()[1..].iter().map(|b| b.flagged).sum();
     assert!(flagged_after_warmup > 0, "flags must appear after warmup");
 }

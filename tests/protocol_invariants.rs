@@ -25,7 +25,13 @@ fn two_node_topology() -> Topology {
 
 fn correct_policies(n: u32) -> Vec<NodePolicy> {
     (0..n)
-        .map(|i| NodePolicy::correct(NodeId::new(i), CorrectConfig::paper_default(), Selfish::None))
+        .map(|i| {
+            NodePolicy::correct(
+                NodeId::new(i),
+                CorrectConfig::paper_default(),
+                Selfish::None,
+            )
+        })
         .collect()
 }
 

@@ -16,10 +16,10 @@ use airguard::sim::{MasterSeed, NodeId, SimDuration};
 fn topology() -> Topology {
     Topology {
         positions: vec![
-            Position::new(0.0, 0.0),    // receiver 0
-            Position::new(100.0, 0.0),  // receiver 1
-            Position::new(0.0, 100.0),  // sender 2 -> 0
-            Position::new(100.0, 100.0),// sender 3 -> 1
+            Position::new(0.0, 0.0),     // receiver 0
+            Position::new(100.0, 0.0),   // receiver 1
+            Position::new(0.0, 100.0),   // sender 2 -> 0
+            Position::new(100.0, 100.0), // sender 3 -> 1
         ],
         flows: vec![
             Flow {

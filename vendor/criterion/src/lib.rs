@@ -1,0 +1,250 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Supports the API surface the bench harness uses (`bench_function`,
+//! `benchmark_group`, `sample_size`, `throughput`, `iter`,
+//! `criterion_group!`/`criterion_main!`) with two execution modes:
+//!
+//! * **bench mode** (`cargo bench`, detected via the `--bench` argument
+//!   cargo passes): times each closure over a calibrated number of
+//!   iterations and prints mean ns/iter plus derived throughput;
+//! * **smoke mode** (`cargo test`, no `--bench` argument): runs each
+//!   closure once so every benchmark's code path stays exercised by
+//!   tier-1 without paying measurement time.
+//!
+//! No statistics beyond the mean are computed — for publishable numbers,
+//! swap the workspace dependency back to upstream criterion.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Work-amount annotation for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher<'a> {
+    mode: Mode,
+    report: &'a mut Report,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Bench,
+    Smoke,
+}
+
+#[derive(Debug, Default)]
+struct Report {
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher<'_> {
+    /// Calls `routine` repeatedly and records the mean wall-clock cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::Smoke => {
+                std::hint::black_box(routine());
+                self.report.iters = 1;
+            }
+            Mode::Bench => {
+                // Calibrate: grow the iteration count until the batch
+                // takes long enough to time meaningfully (~200 ms cap).
+                let mut iters: u64 = 1;
+                loop {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        std::hint::black_box(routine());
+                    }
+                    let elapsed = start.elapsed();
+                    if elapsed >= Duration::from_millis(200) || iters >= 1 << 20 {
+                        self.report.iters = iters;
+                        self.report.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+                        return;
+                    }
+                    iters = iters.saturating_mul(2);
+                }
+            }
+        }
+    }
+}
+
+/// Top-level harness state; one per bench binary.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: Mode::Smoke,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a harness configured from the process arguments (cargo
+    /// passes `--bench` under `cargo bench`; a bare positional argument
+    /// filters benchmark names, as with upstream criterion).
+    #[must_use]
+    pub fn new_from_args() -> Self {
+        let mut mode = Mode::Smoke;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => mode = Mode::Bench,
+                "--test" => mode = Mode::Smoke,
+                a if !a.starts_with('-') => filter = Some(a.to_owned()),
+                _ => {}
+            }
+        }
+        Criterion { mode, filter }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.run_one(&id.into(), None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    fn run_one<F>(&mut self, id: &str, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut report = Report::default();
+        let mut b = Bencher {
+            mode: self.mode,
+            report: &mut report,
+        };
+        f(&mut b);
+        match self.mode {
+            Mode::Smoke => println!("bench {id}: ok (smoke run)"),
+            Mode::Bench => {
+                let per = match throughput {
+                    Some(Throughput::Elements(n)) if report.mean_ns > 0.0 => {
+                        let rate = n as f64 * 1e9 / report.mean_ns;
+                        format!(", {rate:.0} elem/s")
+                    }
+                    Some(Throughput::Bytes(n)) if report.mean_ns > 0.0 => {
+                        let rate = n as f64 * 1e9 / report.mean_ns;
+                        format!(", {rate:.0} B/s")
+                    }
+                    _ => String::new(),
+                };
+                println!(
+                    "bench {id}: {:.0} ns/iter ({} iters{per})",
+                    report.mean_ns, report.iters
+                );
+            }
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for upstream compatibility; this harness auto-calibrates.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with work-per-iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark named `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, f);
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($fun:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $fun(criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::new_from_args();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        c.bench_function("unit", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn groups_compose_names_and_filters() {
+        let mut c = Criterion {
+            mode: Mode::Smoke,
+            filter: Some("keep".into()),
+        };
+        let mut kept = 0u32;
+        let mut skipped = 0u32;
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("keep_this", |b| b.iter(|| kept += 1));
+        g.bench_function("drop_this", |b| b.iter(|| skipped += 1));
+        g.finish();
+        assert_eq!((kept, skipped), (1, 0));
+    }
+}

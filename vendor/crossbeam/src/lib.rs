@@ -1,0 +1,87 @@
+//! Offline stand-in for `crossbeam` — only the `thread::scope` API the
+//! bench harness uses, delegating to `std::thread::scope` (stable since
+//! Rust 1.63, which post-dates crossbeam's scoped threads). Crossbeam's
+//! result-based panic reporting is preserved: a panicking worker surfaces
+//! as `Err` from [`thread::scope`] rather than an unwinding panic.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads with crossbeam's closure and error signatures.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Handle to a thread spawned inside a [`scope`].
+    pub type ScopedJoinHandle<'scope, T> = std::thread::ScopedJoinHandle<'scope, T>;
+
+    /// Spawns scoped threads; mirrors `crossbeam::thread::Scope`, whose
+    /// `spawn` closures receive the scope again for nested spawning.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread that may borrow from the enclosing scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope whose spawned threads are all joined before
+    /// `scope` returns. Returns `Err` with the panic payload if any
+    /// worker (or `f` itself) panicked, like crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        // std::thread::scope re-raises unjoined worker panics as its own
+        // panic once all threads finish; converting that to Err restores
+        // crossbeam's contract.
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn workers_share_borrowed_state() {
+        let data = [1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        thread::scope(|scope| {
+            for (slot, &v) in out.iter_mut().zip(&data) {
+                scope.spawn(move |_| *slot = v * 10);
+            }
+        })
+        .expect("no worker panicked");
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let r = thread::scope(|scope| {
+            scope.spawn(|_| panic!("worker failed"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_passed_scope() {
+        let r = thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 7u32).join().expect("inner join"))
+                .join()
+                .expect("outer join")
+        })
+        .expect("scope ok");
+        assert_eq!(r, 7);
+    }
+}

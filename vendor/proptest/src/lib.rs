@@ -1,0 +1,171 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest this workspace's property tests use:
+//! the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! `prop_assert*`, [`prop_oneof!`], [`strategy::Just`], range and tuple
+//! strategies, [`collection::vec`], and [`arbitrary::any`].
+//!
+//! Two deliberate simplifications versus upstream:
+//!
+//! * **No shrinking.** A failing case panics with the case number; rerun
+//!   with the same build to reproduce (generation is fully deterministic,
+//!   keyed on the test's module path and name — there is no RNG-from-OS
+//!   entropy anywhere, in keeping with this workspace's determinism rules).
+//! * **Fewer default cases** (64, overridable via `PROPTEST_CASES` or
+//!   `ProptestConfig { cases, .. }`), keeping tier-1 test time bounded.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Single-import surface mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supported grammar (the subset upstream's macro accepts that this
+/// workspace uses):
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(expr)]          // optional
+///     #[test]
+///     fn name(pat in strategy, ...) { body }
+///     ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@munch ($cfg:expr)) => {};
+    (@munch ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner_rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut runner_rng);
+                )+
+                let run = || $body;
+                if let Err(payload) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                    eprintln!(
+                        "proptest {}: failed at case {}/{} (deterministic; rerun reproduces)",
+                        stringify!($name), case + 1, config.cases,
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that participates in a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` that participates in a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` that participates in a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::empty()$(.or($strat))+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Push(u8),
+        Pop,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![(0u8..16).prop_map(Op::Push), Just(Op::Pop)]
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(v in 3u32..17, f in -1.0f64..2.0) {
+            prop_assert!((3..17).contains(&v));
+            prop_assert!((-1.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_any_compose(
+            pair in (0usize..4, any::<bool>()),
+            word in any::<u64>(),
+        ) {
+            prop_assert!(pair.0 < 4);
+            let _: bool = pair.1;
+            let _ = word;
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(ops in crate::collection::vec(op_strategy(), 1..20)) {
+            prop_assert!(!ops.is_empty() && ops.len() < 20);
+            for op in ops {
+                if let Op::Push(v) = op {
+                    prop_assert!(v < 16);
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+
+        #[test]
+        fn config_override_applies(x in 0u8..10) {
+            // 3 cases only; the body just has to run.
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = crate::collection::vec(0u64..1000, 5..10);
+        let mut a = TestRng::deterministic("det-check");
+        let mut b = TestRng::deterministic("det-check");
+        for _ in 0..16 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Test-runner configuration and the deterministic generation RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-`proptest!`-block configuration. Only `cases` is honored by this
+/// shim; the other fields exist so upstream-style struct-update
+/// construction (`ProptestConfig { cases: 12, ..Default::default() }`)
+/// compiles unchanged.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for upstream compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for upstream compatibility; rejection sampling is not
+    /// implemented.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig {
+            cases,
+            max_shrink_iters: 0,
+            max_global_rejects: 0,
+        }
+    }
+}
+
+/// The generator behind every strategy draw.
+///
+/// Seeded purely from the test's identity (module path + name), never from
+/// OS entropy or time, so every run of the binary generates the identical
+/// case sequence — a failing property test reproduces by rerunning it.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Derives the RNG for the named test.
+    #[must_use]
+    pub fn deterministic(test_ident: &str) -> Self {
+        // FNV-1a over the identifier, decorrelated by a fixed tweak.
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for &b in test_ident.as_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(hash ^ 0x0005_DEEC_E66D_u64),
+        }
+    }
+}
+
+impl rand::rand_core::TryRng for TestRng {
+    type Error = core::convert::Infallible;
+
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error> {
+        Ok(rand::Rng::next_u32(&mut self.inner))
+    }
+
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error> {
+        Ok(rand::Rng::next_u64(&mut self.inner))
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error> {
+        rand::Rng::fill_bytes(&mut self.inner, dest);
+        Ok(())
+    }
+}

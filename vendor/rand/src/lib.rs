@@ -1,0 +1,402 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate re-implements exactly the API subset airguard consumes:
+//!
+//! * [`rngs::StdRng`] — a seedable, deterministic generator
+//!   (xoshiro256++, seeded via splitmix64 like `SeedableRng::seed_from_u64`);
+//! * [`SeedableRng::seed_from_u64`];
+//! * the infallible [`Rng`] core trait (`next_u32`/`next_u64`/`fill_bytes`);
+//! * [`rand_core::TryRng`], with the blanket rule that an infallible
+//!   `TryRng` is a full [`Rng`] (and therefore gets [`RngExt`]);
+//! * [`RngExt::random`], [`RngExt::random_range`], [`RngExt::random_bool`].
+//!
+//! The generator is *not* the upstream ChaCha12 `StdRng`, so absolute
+//! sequences differ from the real crate — but every sequence is a pure
+//! function of the seed, which is the property the reproduction relies on.
+//! See DESIGN.md, "Static analysis & determinism guarantees".
+
+#![forbid(unsafe_code)]
+
+use core::convert::Infallible;
+
+pub mod rand_core {
+    //! The fallible-generator layer of rand 0.10's `rand_core`.
+
+    /// A random source that may fail. Infallible sources (every source in
+    /// this workspace) get [`crate::Rng`] for free via a blanket impl.
+    pub trait TryRng {
+        /// Error reported by a failed draw.
+        type Error;
+        /// Draws 32 uniformly random bits.
+        fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+        /// Draws 64 uniformly random bits.
+        fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+        /// Fills `dest` with uniformly random bytes.
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error>;
+    }
+}
+
+/// An infallible source of randomness (rand's `RngCore`, renamed as in 0.10).
+pub trait Rng {
+    /// Draws 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Draws 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with uniformly random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<T> Rng for T
+where
+    T: rand_core::TryRng<Error = Infallible>,
+{
+    fn next_u32(&mut self) -> u32 {
+        match self.try_next_u32() {
+            Ok(v) => v,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        match self.try_next_u64() {
+            Ok(v) => v,
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        match self.try_fill_bytes(dest) {
+            Ok(()) => (),
+        }
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Derives a full generator state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// splitmix64 finalizer: expands one 64-bit seed into decorrelated state
+/// words.
+const fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{rand_core::TryRng, splitmix64, SeedableRng};
+    use core::convert::Infallible;
+
+    /// Deterministic xoshiro256++ generator standing in for rand's
+    /// `StdRng`.
+    ///
+    /// Passes BigCrush-class statistical batteries in its upstream form;
+    /// more than adequate for the shadowing/backoff draws here. Not
+    /// cryptographically secure (neither is any use of randomness in this
+    /// workspace).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut x = seed;
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                // splitmix64 sequence, as recommended by the xoshiro
+                // authors for state initialisation.
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                *word = splitmix64(x);
+            }
+            // An all-zero state would be a fixed point; splitmix64 of a
+            // counter can't produce four zero outputs, but keep the guard
+            // explicit.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl StdRng {
+        fn step(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl TryRng for StdRng {
+        type Error = Infallible;
+
+        fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+            Ok((self.step() >> 32) as u32)
+        }
+
+        fn try_next_u64(&mut self) -> Result<u64, Infallible> {
+            Ok(self.step())
+        }
+
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Infallible> {
+            for chunk in dest.chunks_mut(8) {
+                let word = self.step().to_le_bytes();
+                chunk.copy_from_slice(&word[..chunk.len()]);
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Types drawable uniformly from their full domain via
+/// [`RngExt::random`] (rand's `StandardUniform` distribution).
+pub trait StandardUniform: Sized {
+    /// Draws one value from the standard distribution of `Self`.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardUniform for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardUniform for bool {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardUniform for f64 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 explicit mantissa bits -> uniform on [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types uniformly samplable from a sub-range via [`RngExt::random_range`].
+pub trait SampleUniform: Sized {
+    /// Draws from `[lo, hi)` when `inclusive` is false, `[lo, hi]` when
+    /// true. Callers guarantee a non-empty range.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample_range<R: Rng + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                let span = if inclusive { span.wrapping_add(1) } else { span };
+                if span == 0 {
+                    // Either the full u64 domain (inclusive wrap) or an
+                    // empty range, which callers must not pass.
+                    return rng.next_u64() as $t;
+                }
+                // Multiply-shift range reduction (Lemire); the residual
+                // bias over a 64-bit draw is below 2^-32 for every span
+                // used in this workspace.
+                let draw = (u128::from(rng.next_u64()) * u128::from(span)) >> 64;
+                lo.wrapping_add(draw as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn sample_range<R: Rng + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                let span = if inclusive { span.wrapping_add(1) } else { span };
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                let draw = (u128::from(rng.next_u64()) * u128::from(span)) >> 64;
+                lo.wrapping_add(draw as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+            ) -> Self {
+                let unit: $t = StandardUniform::from_rng(rng);
+                // lo + unit * (hi - lo); clamp guards the (measure-zero)
+                // rounding case where the product lands on `hi`.
+                let v = unit.mul_add(hi - lo, lo);
+                if v >= hi { <$t>::max(lo, hi - (hi - lo) * <$t>::EPSILON) } else { v }
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+/// Range arguments accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_range(rng, lo, hi, true)
+    }
+}
+
+/// Ergonomic sampling methods, available on every [`Rng`] (rand 0.10's
+/// `Rng` extension trait, here under its pre-release name `RngExt`).
+pub trait RngExt: Rng {
+    /// Draws a value from the standard distribution of `T` (full integer
+    /// domains, `[0, 1)` for floats, fair coin for `bool`).
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Draws uniformly from `range`, which must be non-empty.
+    fn random_range<T: SampleUniform, B: SampleRange<T>>(&mut self, range: B) -> T {
+        range.sample(self)
+    }
+
+    /// Draws `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        let unit: f64 = self.random();
+        unit < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v: f64 = rng.random();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_draws_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let v = rng.random_range(5u32..17);
+            assert!((5..17).contains(&v));
+            let w = rng.random_range(0u32..=3);
+            assert!(w <= 3);
+            let f = rng.random_range(-2.5f64..4.0);
+            assert!((-2.5..4.0).contains(&f));
+            let u = rng.random_range(0usize..1);
+            assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn inclusive_range_reaches_both_ends() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let draws: Vec<u8> = (0..2000).map(|_| rng.random_range(0u8..=3)).collect();
+        for target in 0u8..=3 {
+            assert!(draws.contains(&target), "never drew {target}");
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..20_000).filter(|_| rng.random_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn mean_of_unit_draws_is_centered() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

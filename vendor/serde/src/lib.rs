@@ -1,0 +1,39 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public config and
+//! report types so downstream consumers *can* serialize them, but nothing in
+//! the repo calls a serializer — the derive is a pure marker. With no
+//! crates.io access, this shim keeps those derives compiling: the traits are
+//! empty and blanket-implemented, and the derive macros (behind the same
+//! `derive` feature flag as upstream) expand to nothing.
+//!
+//! If real serialization is ever needed, point `[workspace.dependencies]`
+//! back at crates.io serde; no call site changes.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types whose values can be serialized.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types whose values can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    fn takes_serialize<T: crate::Serialize>(_: &T) {}
+    fn takes_deserialize<T: for<'de> crate::Deserialize<'de>>(_: &T) {}
+
+    #[test]
+    fn every_type_is_a_marker_instance() {
+        takes_serialize(&42u8);
+        takes_serialize(&vec![1.0f64]);
+        takes_deserialize(&"owned".to_owned());
+    }
+}

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the offline serde
+//! shim. The shim's traits are blanket-implemented for every type, so the
+//! derive has nothing to emit; it exists so `#[derive(Serialize)]` and
+//! `#[serde(...)]` attributes resolve.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
