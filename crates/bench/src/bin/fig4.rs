@@ -3,12 +3,15 @@
 //!
 //! Regenerate with: `cargo run --release -p airguard-bench --bin fig4`
 
-use airguard_bench::{f2, mean_of, pm_sweep, run_seeds, seed_set, sim_secs, Table};
+use airguard_bench::{
+    f2, mean_of, pm_sweep, run_seeds, seed_set, sim_secs, write_report_jsonl, Table,
+};
 use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
 
 fn main() {
     let seeds = seed_set();
     let secs = sim_secs();
+    let mut summaries = Vec::new();
     let mut t = Table::new(
         "Fig. 4: correct diagnosis % and misdiagnosis % vs PM",
         &[
@@ -27,6 +30,11 @@ fn main() {
                 .misbehavior_percent(pm)
                 .sim_time_secs(secs);
             let reports = run_seeds(&cfg, &seeds);
+            for r in &reports {
+                let mut s = r.summary.clone();
+                s.label = format!("fig4/{sc:?}/pm{pm:.0}");
+                summaries.push(s);
+            }
             cells.push(f2(mean_of(&reports, |r| {
                 r.diagnosis().correct_diagnosis_percent()
             })));
@@ -38,4 +46,5 @@ fn main() {
     }
     t.print();
     t.write_csv("fig4");
+    write_report_jsonl("fig4", &summaries);
 }

@@ -18,6 +18,7 @@ use std::io::Write as _;
 use std::path::Path;
 
 use airguard_net::{RunReport, ScenarioConfig};
+use airguard_obs::RunSummary;
 
 /// The paper's PM sweep: 0 %, 10 %, …, 100 %.
 #[must_use]
@@ -118,7 +119,7 @@ impl Table {
                 *w = (*w).max(cell.len());
             }
         }
-        println!("\n== {} ==", self.title);
+        println!("\n== {} ==", self.title); // lint:allow(print-macro) — console table rendering is this harness's user-facing output, not library diagnostics
         let fmt_row = |cells: &[String]| {
             cells
                 .iter()
@@ -127,9 +128,9 @@ impl Table {
                 .collect::<Vec<_>>()
                 .join("  ")
         };
-        println!("{}", fmt_row(&self.header));
+        println!("{}", fmt_row(&self.header)); // lint:allow(print-macro) — console table rendering is this harness's user-facing output, not library diagnostics
         for row in &self.rows {
-            println!("{}", fmt_row(row));
+            println!("{}", fmt_row(row)); // lint:allow(print-macro) — console table rendering is this harness's user-facing output, not library diagnostics
         }
     }
 
@@ -148,8 +149,26 @@ impl Table {
         for row in &self.rows {
             let _ = writeln!(f, "{}", row.join(","));
         }
-        println!("[csv] wrote {}", path.display());
+        println!("[csv] wrote {}", path.display()); // lint:allow(print-macro) — file-location notice for the person running the figure binary
     }
+}
+
+/// Writes per-run telemetry summaries as JSONL under
+/// `results/<name>.report.jsonl` (one [`RunSummary`] per line), next to
+/// the figure's CSV. Best-effort, like [`Table::write_csv`].
+pub fn write_report_jsonl(name: &str, summaries: &[RunSummary]) {
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.report.jsonl"));
+    let Ok(mut f) = std::fs::File::create(&path) else {
+        return;
+    };
+    for summary in summaries {
+        let _ = writeln!(f, "{}", summary.to_json());
+    }
+    println!("[report] wrote {}", path.display()); // lint:allow(print-macro) — file-location notice for the person running the figure binary
 }
 
 /// Formats a float cell with two decimals.

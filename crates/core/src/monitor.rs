@@ -25,7 +25,7 @@
 use std::collections::BTreeMap;
 
 use airguard_mac::policy::uniform_backoff;
-use airguard_mac::{MacTiming, PacketVerdict, Slots};
+use airguard_mac::{BackoffObservation, MacTiming, PacketVerdict, Slots};
 use airguard_sim::{NodeId, RngStream};
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
@@ -273,6 +273,10 @@ impl Monitor {
     /// in-force assignment on fresh exchanges, measures `B_act` against
     /// the reconstructed `B_exp`, and draws the next assignment
     /// (base + penalty).
+    ///
+    /// Returns the backoff measurement when one could be taken (both an
+    /// in-force assignment and a `B_act` baseline existed); the
+    /// first-ever exchange from a sender yields `None`.
     pub fn on_rts(
         &mut self,
         src: NodeId,
@@ -281,7 +285,7 @@ impl Monitor {
         idle_reading: u64,
         timing: &MacTiming,
         rng: &mut RngStream,
-    ) {
+    ) -> Option<BackoffObservation> {
         let correction = self.cfg.correction;
         let source = self.cfg.assignment_source;
         let me = self.me;
@@ -315,22 +319,24 @@ impl Monitor {
         // measurement baseline; the first-ever exchange from a sender has
         // neither.
         let mut penalty = 0.0;
+        let mut observation = None;
         if let (Some(base), Some(snap)) = (rec.in_force, rec.snapshot) {
             let b_exp =
                 crate::retry_fn::expected_total_backoff(base, src, attempt.max(1), timing) as f64;
             let b_act = idle_reading.saturating_sub(snap) as f64;
             let diff = b_exp - b_act;
             let deviation = correction.deviation(b_exp, b_act);
-            if std::env::var("AIRGUARD_DEBUG_DIFF").is_ok() && diff.abs() > 2.0 {
-                eprintln!(
-                    "DIFF src={src} seq={seq} attempt={attempt} base={base} b_exp={b_exp} b_act={b_act} diff={diff}"
-                );
-            }
             if deviation > 0.0 {
                 rec.stats.deviations += 1;
             }
             rec.pending_obs = Some((diff, deviation));
             penalty = correction.penalty(deviation);
+            observation = Some(BackoffObservation {
+                assigned_slots: b_exp,
+                observed_slots: b_act,
+                deviation_slots: deviation,
+                penalty_slots: penalty,
+            });
         }
 
         let base = match source {
@@ -339,6 +345,7 @@ impl Monitor {
         };
         rec.next_assign = (base + penalty.round() as u32).min(correction.max_assignment);
         rec.has_assignment = true;
+        observation
     }
 
     /// The backoff value to embed in CTS/ACK frames to `dst`.

@@ -15,7 +15,7 @@
 use std::collections::BTreeMap;
 
 use airguard_mac::policy::uniform_backoff;
-use airguard_mac::{BackoffPolicy, MacTiming, PacketVerdict, Slots};
+use airguard_mac::{BackoffObservation, BackoffPolicy, MacTiming, PacketVerdict, Slots};
 use airguard_sim::{NodeId, RngStream};
 use serde::{Deserialize, Serialize};
 
@@ -186,9 +186,9 @@ impl BackoffPolicy for CorrectPolicy {
         idle_reading: u64,
         timing: &MacTiming,
         rng: &mut RngStream,
-    ) {
+    ) -> Option<BackoffObservation> {
         self.monitor
-            .on_rts(src, seq, attempt, idle_reading, timing, rng);
+            .on_rts(src, seq, attempt, idle_reading, timing, rng)
     }
 
     fn assignment_for(&mut self, dst: NodeId, timing: &MacTiming) -> Option<Slots> {

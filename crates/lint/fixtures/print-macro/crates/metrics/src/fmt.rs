@@ -1,0 +1,3 @@
+pub fn show(total: u64) {
+    println!("total = {total}");
+}

@@ -1,0 +1,3 @@
+fn main() {
+    println!("a CLI owns its stdout; the rule must not fire here");
+}

@@ -26,6 +26,9 @@ pub enum Rule {
     /// `panic!` / `unreachable!` / `todo!` / `unimplemented!` in library
     /// code.
     PanicMacro,
+    /// `println!` / `eprintln!` / `print!` / `eprint!` in crate library
+    /// code, bypassing the typed telemetry layer.
+    PrintMacro,
     /// A `lint:allow` directive missing its mandatory reason.
     AllowReason,
 }
@@ -43,6 +46,7 @@ impl Rule {
             Rule::PanicUnwrap => "panic-unwrap",
             Rule::PanicExpect => "panic-expect",
             Rule::PanicMacro => "panic-macro",
+            Rule::PrintMacro => "print-macro",
             Rule::AllowReason => "lint-allow-reason",
         }
     }
@@ -50,7 +54,7 @@ impl Rule {
     /// Parses a rule ID as written in a `lint:allow(..)` directive.
     #[must_use]
     pub fn from_id(id: &str) -> Option<Rule> {
-        const ALL: [Rule; 9] = [
+        const ALL: [Rule; 10] = [
             Rule::DeterminismTime,
             Rule::DeterminismRng,
             Rule::DeterminismMap,
@@ -59,6 +63,7 @@ impl Rule {
             Rule::PanicUnwrap,
             Rule::PanicExpect,
             Rule::PanicMacro,
+            Rule::PrintMacro,
             Rule::AllowReason,
         ];
         ALL.into_iter().find(|r| r.id() == id)
@@ -122,6 +127,7 @@ mod tests {
             Rule::PanicUnwrap,
             Rule::PanicExpect,
             Rule::PanicMacro,
+            Rule::PrintMacro,
             Rule::AllowReason,
         ] {
             assert_eq!(Rule::from_id(rule.id()), Some(rule));

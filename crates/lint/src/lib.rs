@@ -12,7 +12,10 @@
 //!   designated unit modules (`crates/sim/src/time.rs`,
 //!   `crates/phy/src/units.rs`);
 //! * **panic-hygiene** rules run in library code only — tests, benches,
-//!   examples, and binaries may panic.
+//!   examples, and binaries may panic;
+//! * the **print-hygiene** rule runs in library code of the `crates/*`
+//!   crates only — CLI `main.rs`/`bin/` targets and the workspace-root
+//!   facade own their stdout and may print.
 //!
 //! `#[cfg(test)]` items are exempt everywhere, and any finding can be
 //! suppressed line-by-line with `// lint:allow(<rule>) — <reason>`.
@@ -79,6 +82,7 @@ pub fn rules_for(path: &str, cfg: &LintConfig) -> RuleSet {
         determinism: class != FileClass::TestLike && in_sim_crate,
         units: class != FileClass::TestLike && !cfg.unit_exempt.iter().any(|e| e == path),
         panics: class == FileClass::Library,
+        prints: class == FileClass::Library && crate_of(path).is_some(),
     }
 }
 
@@ -180,7 +184,7 @@ mod tests {
     fn rule_scoping_follows_config() {
         let cfg = LintConfig::default();
         let lib = rules_for("crates/mac/src/dcf.rs", &cfg);
-        assert!(lib.determinism && lib.units && lib.panics);
+        assert!(lib.determinism && lib.units && lib.panics && lib.prints);
 
         // metrics is not a simulation crate: no determinism rules.
         let metrics = rules_for("crates/metrics/src/lib.rs", &cfg);
@@ -188,11 +192,16 @@ mod tests {
 
         // Tests get none of the families.
         let test = rules_for("crates/mac/tests/backoff.rs", &cfg);
-        assert!(!test.determinism && !test.units && !test.panics);
+        assert!(!test.determinism && !test.units && !test.panics && !test.prints);
 
-        // Binaries may panic but must stay unit-safe.
+        // Binaries may panic (and print) but must stay unit-safe.
         let cli = rules_for("crates/cli/src/main.rs", &cfg);
-        assert!(!cli.panics && cli.units);
+        assert!(!cli.panics && !cli.prints && cli.units);
+
+        // The workspace-root facade is library code but not a `crates/*`
+        // member: panic rules apply, the print rule does not.
+        let root = rules_for("src/lib.rs", &cfg);
+        assert!(root.panics && !root.prints);
 
         // The unit modules are exempt from unit arithmetic rules.
         let time = rules_for("crates/sim/src/time.rs", &cfg);

@@ -20,6 +20,8 @@ pub struct RuleSet {
     pub units: bool,
     /// Panic-hygiene rules (`unwrap`/`expect`/`panic!`-family).
     pub panics: bool,
+    /// Print-hygiene rule (`println!`-family in crate library code).
+    pub prints: bool,
 }
 
 /// Index spans (token ranges) belonging to `#[cfg(test)]` items; rules do
@@ -123,6 +125,9 @@ pub fn check(path: &str, tokens: &[Token], rules: RuleSet, allows: &Allows) -> V
         }
         if rules.panics {
             panics_at(tokens, i, t, &mut push);
+        }
+        if rules.prints {
+            prints_at(tokens, i, t, &mut push);
         }
     }
     diags
@@ -351,6 +356,24 @@ fn panics_at(tokens: &[Token], i: usize, t: &Token, push: &mut impl FnMut(&Token
     }
 }
 
+/// Macros that write straight to the process's stdio streams.
+const PRINT_MACROS: &[&str] = &["print", "println", "eprint", "eprintln"];
+
+fn prints_at(tokens: &[Token], i: usize, t: &Token, push: &mut impl FnMut(&Token, Rule, String)) {
+    let Some(ident) = t.ident() else { return };
+    if PRINT_MACROS.contains(&ident) && tokens.get(i + 1).is_some_and(|n| n.is_punct("!")) {
+        push(
+            t,
+            Rule::PrintMacro,
+            format!(
+                "`{ident}!` in crate library code writes to raw stdio; emit a typed \
+                 `airguard_obs::ObsEvent` (or a `note` through the trace) so output stays \
+                 structured, or justify with `// lint:allow(print-macro) — <reason>`"
+            ),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::{cfg_test_spans, check, RuleSet};
@@ -362,6 +385,7 @@ mod tests {
         determinism: true,
         units: true,
         panics: true,
+        prints: true,
     };
 
     fn rules_hit(src: &str) -> Vec<Rule> {
@@ -463,6 +487,17 @@ mod tests {
         // Similar-but-different names are fine.
         assert!(rules_hit("let v = o.unwrap_or(0);").is_empty());
         assert!(rules_hit("std::panic::catch_unwind(f);").is_empty());
+    }
+
+    #[test]
+    fn print_family_fires() {
+        assert_eq!(rules_hit("println!(\"x = {x}\");"), vec![Rule::PrintMacro]);
+        assert_eq!(rules_hit("eprintln!(\"warn\");"), vec![Rule::PrintMacro]);
+        assert_eq!(rules_hit("print!(\".\");"), vec![Rule::PrintMacro]);
+        assert_eq!(rules_hit("eprint!(\"!\");"), vec![Rule::PrintMacro]);
+        // `writeln!` to an explicit sink and similar names are fine.
+        assert!(rules_hit("writeln!(f, \"row\")?;").is_empty());
+        assert!(rules_hit("self.println();").is_empty());
     }
 
     #[test]

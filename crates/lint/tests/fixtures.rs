@@ -30,6 +30,7 @@ fn each_seeded_fixture_trips_its_rule() {
         ("panic-unwrap", Rule::PanicUnwrap),
         ("panic-expect", Rule::PanicExpect),
         ("panic-macro", Rule::PanicMacro),
+        ("print-macro", Rule::PrintMacro),
     ];
     for (name, rule) in cases {
         let rules = rules_in(name);
@@ -79,6 +80,7 @@ fn binary_exits_nonzero_on_each_seeded_fixture() {
         "panic-unwrap",
         "panic-expect",
         "panic-macro",
+        "print-macro",
         "lint-allow-reason",
     ] {
         let out = run_binary(name);

@@ -25,13 +25,14 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use airguard_obs::ObsEvent;
 use airguard_sim::trace::Trace;
 use airguard_sim::{NodeId, RngStream, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::frames::{ExchangeDurations, Frame, FrameKind};
 use crate::idle::IdleSlotCounter;
-use crate::policy::{BackoffPolicy, PacketVerdict};
+use crate::policy::{BackoffObservation, BackoffPolicy, PacketVerdict};
 use crate::timing::{MacTiming, Slots};
 
 /// Timers the MAC can arm. At most one timer per kind is pending; setting
@@ -422,10 +423,13 @@ impl<P: BackoffPolicy> Mac<P> {
                     .policy
                     .fresh_backoff(dst, &self.cfg.timing, &mut self.rng);
                 self.sender = SenderState::Backoff;
-                self.trace.record(
+                self.trace.emit(
                     now,
-                    "mac.backoff",
-                    format!("{}: fresh backoff {} to {}", self.id, self.remaining, dst),
+                    self.id,
+                    ObsEvent::BackoffDrawn {
+                        dst: dst.value(),
+                        slots: self.remaining.count(),
+                    },
                 );
                 self.resume_countdown(now, fx);
             }
@@ -470,16 +474,49 @@ impl<P: BackoffPolicy> Mac<P> {
                 }
             }
         };
-        self.trace.record(
-            now,
-            "mac.tx",
-            format!(
-                "{}: {:?}(seq={}, attempt={}) -> {}",
-                self.id, frame.kind, pkt.seq, self.attempt, pkt.dst
-            ),
-        );
+        let event = match frame.kind {
+            FrameKind::Rts => ObsEvent::RtsTx {
+                dst: pkt.dst.value(),
+                seq: pkt.seq,
+                attempt: self.attempt,
+            },
+            _ => ObsEvent::DataTx {
+                dst: pkt.dst.value(),
+                seq: pkt.seq,
+                attempt: self.attempt,
+            },
+        };
+        self.trace.emit(now, self.id, event);
         self.on_air = Some(frame.clone());
         fx.push(MacEffect::StartTx(frame));
+    }
+
+    /// Forwards a monitor measurement to telemetry: every observation
+    /// becomes a `BackoffAssigned` event, and a non-zero penalty
+    /// additionally emits `PenaltyAdded`.
+    fn emit_observation(&self, now: SimTime, src: NodeId, obs: Option<BackoffObservation>) {
+        let Some(obs) = obs else { return };
+        self.trace.emit(
+            now,
+            self.id,
+            ObsEvent::BackoffAssigned {
+                src: src.value(),
+                assigned_slots: obs.assigned_slots,
+                observed_slots: obs.observed_slots,
+            },
+        );
+        if obs.penalty_slots > 0.0 {
+            self.trace.emit(
+                now,
+                self.id,
+                ObsEvent::PenaltyAdded {
+                    src: src.value(),
+                    penalty_slots: obs.penalty_slots,
+                    assigned_slots: obs.assigned_slots,
+                    observed_slots: obs.observed_slots,
+                },
+            );
+        }
     }
 
     fn response_air_time(&self, kind: FrameKind) -> SimDuration {
@@ -491,20 +528,18 @@ impl<P: BackoffPolicy> Mac<P> {
         self.cfg.timing.air_time(kind.base_bytes() + ext)
     }
 
-    fn handle_failure(&mut self, now: SimTime, kind: &str, fx: &mut Vec<MacEffect>) {
+    fn handle_failure(&mut self, now: SimTime, ack_timeout: bool, fx: &mut Vec<MacEffect>) {
         let pkt = *self.queue.front().expect("timeout without a packet"); // lint:allow(panic-expect) — CTS/ACK timeouts are cancelled when the head-of-line packet is dequeued, so a firing timeout implies the packet is still queued
         self.attempt += 1;
         if self.attempt > self.cfg.timing.retry_limit {
             self.counters.retry_drops += 1;
-            self.trace.record(
+            self.trace.emit(
                 now,
-                "mac.drop",
-                format!(
-                    "{}: seq={} dropped after {} attempts",
-                    self.id,
-                    pkt.seq,
-                    self.attempt - 1
-                ),
+                self.id,
+                ObsEvent::PacketDropped {
+                    seq: pkt.seq,
+                    attempts: self.attempt - 1,
+                },
             );
             fx.push(MacEffect::Dropped {
                 dst: pkt.dst,
@@ -518,13 +553,14 @@ impl<P: BackoffPolicy> Mac<P> {
                 self.policy
                     .retry_backoff(pkt.dst, self.attempt, &self.cfg.timing, &mut self.rng);
             self.sender = SenderState::Backoff;
-            self.trace.record(
+            self.trace.emit(
                 now,
-                "mac.retry",
-                format!(
-                    "{}: {kind} timeout, attempt={} backoff {}",
-                    self.id, self.attempt, self.remaining
-                ),
+                self.id,
+                ObsEvent::Retry {
+                    ack: ack_timeout,
+                    attempt: self.attempt,
+                    slots: self.remaining.count(),
+                },
             );
             self.resume_countdown(now, fx);
         }
@@ -582,10 +618,12 @@ impl<P: BackoffPolicy> Mac<P> {
         // if a response is already queued (we can only say one thing at a
         // time).
         if now < self.nav_until || self.pending_response.is_some() {
-            self.trace.record(
+            self.trace.emit(
                 now,
-                "mac.rx",
-                format!("{}: RTS from {} ignored (nav/pending)", self.id, frame.src),
+                self.id,
+                ObsEvent::RtsIgnored {
+                    src: frame.src.value(),
+                },
             );
             return;
         }
@@ -594,14 +632,16 @@ impl<P: BackoffPolicy> Mac<P> {
             .should_respond_rts(frame.src, frame.seq, frame.attempt, &mut self.rng)
         {
             // Attempt-verification probe (§4.1): pretend the RTS was lost.
-            self.trace.record(
+            self.trace.emit(
                 now,
-                "mac.probe",
-                format!("{}: RTS from {} intentionally dropped", self.id, frame.src),
+                self.id,
+                ObsEvent::ProbeDropped {
+                    src: frame.src.value(),
+                },
             );
             return;
         }
-        self.policy.observe_rts(
+        let observation = self.policy.observe_rts(
             frame.src,
             frame.seq,
             frame.attempt,
@@ -609,6 +649,7 @@ impl<P: BackoffPolicy> Mac<P> {
             &self.cfg.timing,
             &mut self.rng,
         );
+        self.emit_observation(now, frame.src, observation);
         let assigned = self.policy.assignment_for(frame.src, &self.cfg.timing);
         let cts_air = self.response_air_time(FrameKind::Cts);
         let cts = Frame {
@@ -656,13 +697,13 @@ impl<P: BackoffPolicy> Mac<P> {
             kind: TimerKind::Response,
             after: self.cfg.timing.sifs,
         });
-        self.trace.record(
+        self.trace.emit(
             now,
-            "mac.rx",
-            format!(
-                "{}: CTS from {}, sending DATA seq={}",
-                self.id, frame.src, pkt.seq
-            ),
+            self.id,
+            ObsEvent::CtsRx {
+                src: frame.src.value(),
+                seq: pkt.seq,
+            },
         );
     }
 
@@ -677,7 +718,7 @@ impl<P: BackoffPolicy> Mac<P> {
             if self.cfg.access == AccessMode::Basic {
                 // Without an RTS, the DATA frame itself is the access
                 // event the monitor measures against.
-                self.policy.observe_rts(
+                let observation = self.policy.observe_rts(
                     frame.src,
                     frame.seq,
                     frame.attempt,
@@ -685,6 +726,7 @@ impl<P: BackoffPolicy> Mac<P> {
                     &self.cfg.timing,
                     &mut self.rng,
                 );
+                self.emit_observation(now, frame.src, observation);
             }
             self.last_delivered.insert(frame.src, frame.seq);
             fx.push(MacEffect::Delivered {
@@ -693,6 +735,16 @@ impl<P: BackoffPolicy> Mac<P> {
                 bytes: frame.payload_bytes,
             });
             if let Some(verdict) = self.policy.observe_data(frame.src) {
+                if verdict.flagged {
+                    self.trace.emit(
+                        now,
+                        self.id,
+                        ObsEvent::DiagnosisFlagged {
+                            src: frame.src.value(),
+                            window_sum: verdict.window_sum,
+                        },
+                    );
+                }
                 fx.push(MacEffect::Classified {
                     src: frame.src,
                     verdict,
@@ -701,13 +753,12 @@ impl<P: BackoffPolicy> Mac<P> {
         }
         // ACK even duplicates: the sender needs to stop retrying.
         if self.pending_response.is_some() {
-            self.trace.record(
+            self.trace.emit(
                 now,
-                "mac.rx",
-                format!(
-                    "{}: DATA from {} but response pending; ACK dropped",
-                    self.id, frame.src
-                ),
+                self.id,
+                ObsEvent::AckSuppressed {
+                    src: frame.src.value(),
+                },
             );
             return;
         }
@@ -750,10 +801,13 @@ impl<P: BackoffPolicy> Mac<P> {
             attempts: self.attempt,
             delay: now.saturating_since(pkt.enqueued_at),
         });
-        self.trace.record(
+        self.trace.emit(
             now,
-            "mac.rx",
-            format!("{}: ACK from {} for seq={}", self.id, frame.src, pkt.seq),
+            self.id,
+            ObsEvent::AckRx {
+                src: frame.src.value(),
+                seq: pkt.seq,
+            },
         );
         self.queue.pop_front();
         self.begin_next_packet(now, fx);
@@ -803,40 +857,43 @@ impl<P: BackoffPolicy> Mac<P> {
                 } else {
                     // Extremely rare tie with a response transmission;
                     // retry the access next time the channel goes idle.
-                    self.trace.record(
-                        now,
-                        "mac.defer",
-                        format!("{}: backoff while on air", self.id),
-                    );
+                    self.trace
+                        .emit(now, self.id, ObsEvent::Deferred { response: false });
                     self.resume_countdown(now, fx);
                 }
             }
             TimerKind::CtsTimeout => {
                 if self.sender == SenderState::AwaitCts {
                     self.counters.cts_timeouts += 1;
-                    self.handle_failure(now, "CTS", fx);
+                    self.handle_failure(now, false, fx);
                 }
             }
             TimerKind::AckTimeout => {
                 if self.sender == SenderState::AwaitAck {
                     self.counters.ack_timeouts += 1;
-                    self.handle_failure(now, "ACK", fx);
+                    self.handle_failure(now, true, fx);
                 }
             }
             TimerKind::Response => {
                 if let Some(frame) = self.pending_response.take() {
                     if self.on_air.is_some() {
-                        self.trace.record(
-                            now,
-                            "mac.defer",
-                            format!("{}: response dropped, transmitter busy", self.id),
-                        );
+                        self.trace
+                            .emit(now, self.id, ObsEvent::Deferred { response: true });
                     } else {
-                        self.trace.record(
-                            now,
-                            "mac.tx",
-                            format!("{}: {:?} -> {}", self.id, frame.kind, frame.dst),
-                        );
+                        let event = match frame.kind {
+                            FrameKind::Cts => ObsEvent::CtsTx {
+                                dst: frame.dst.value(),
+                            },
+                            FrameKind::Ack => ObsEvent::AckTx {
+                                dst: frame.dst.value(),
+                            },
+                            _ => ObsEvent::DataTx {
+                                dst: frame.dst.value(),
+                                seq: frame.seq,
+                                attempt: self.attempt,
+                            },
+                        };
+                        self.trace.emit(now, self.id, event);
                         self.on_air = Some(frame.clone());
                         fx.push(MacEffect::StartTx(frame));
                     }

@@ -39,5 +39,5 @@ pub use dcf::{AccessMode, Mac, MacConfig, MacEffect, MacInput, TimerKind};
 pub use frames::{Frame, FrameKind};
 pub use idle::IdleSlotCounter;
 pub use misbehavior::{Misbehavior, Selfish};
-pub use policy::{BackoffPolicy, Dcf80211, PacketVerdict};
+pub use policy::{BackoffObservation, BackoffPolicy, Dcf80211, PacketVerdict};
 pub use timing::{MacTiming, Slots};

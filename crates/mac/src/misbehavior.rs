@@ -21,7 +21,7 @@
 use airguard_sim::{NodeId, RngStream};
 use serde::{Deserialize, Serialize};
 
-use crate::policy::{uniform_backoff, BackoffPolicy, PacketVerdict};
+use crate::policy::{uniform_backoff, BackoffObservation, BackoffPolicy, PacketVerdict};
 use crate::timing::{MacTiming, Slots};
 
 /// A selfish sender strategy.
@@ -203,9 +203,9 @@ impl<P: BackoffPolicy> BackoffPolicy for Misbehavior<P> {
         idle_reading: u64,
         timing: &MacTiming,
         rng: &mut RngStream,
-    ) {
+    ) -> Option<BackoffObservation> {
         self.inner
-            .observe_rts(src, seq, attempt, idle_reading, timing, rng);
+            .observe_rts(src, seq, attempt, idle_reading, timing, rng)
     }
 
     fn assignment_for(&mut self, dst: NodeId, timing: &MacTiming) -> Option<Slots> {

@@ -37,6 +37,26 @@ pub struct PacketVerdict {
     pub flagged: bool,
 }
 
+/// One receiver-side backoff measurement, produced when a policy's
+/// monitor compares the backoff it assigned to a sender against the
+/// idle time it actually observed before the sender's access.
+///
+/// All quantities are in slots. `deviation_slots` is the paper's
+/// per-packet `D = max(α·B_exp − B_act, 0)`; `penalty_slots` is the
+/// correction added to the sender's next assigned backoff (zero for a
+/// well-behaved exchange).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackoffObservation {
+    /// `B_exp`: the total backoff the receiver expected, in slots.
+    pub assigned_slots: f64,
+    /// `B_act`: the idle time the receiver observed, in slots.
+    pub observed_slots: f64,
+    /// Per-packet deviation `D = max(α·B_exp − B_act, 0)`.
+    pub deviation_slots: f64,
+    /// Penalty added to the sender's next assignment.
+    pub penalty_slots: f64,
+}
+
 /// Strategy object deciding backoff behaviour and protocol observations.
 ///
 /// All methods take the node's own [`MacTiming`] so policies never cache
@@ -81,6 +101,11 @@ pub trait BackoffPolicy {
     /// receiver). `idle_reading` is this node's cumulative post-DIFS
     /// idle-slot count at the moment of reception (see
     /// [`crate::IdleSlotCounter`]).
+    ///
+    /// Policies that monitor sender backoff return the measurement they
+    /// took (expected vs. observed slots, resulting deviation and
+    /// penalty), which the MAC forwards to telemetry. Policies without
+    /// a monitor return `None`.
     fn observe_rts(
         &mut self,
         src: NodeId,
@@ -89,8 +114,9 @@ pub trait BackoffPolicy {
         idle_reading: u64,
         timing: &MacTiming,
         rng: &mut RngStream,
-    ) {
+    ) -> Option<BackoffObservation> {
         let _ = (src, seq, attempt, idle_reading, timing, rng);
+        None
     }
 
     /// The backoff value to embed in CTS/ACK frames addressed to `dst`,

@@ -7,7 +7,7 @@ use std::rc::Rc;
 
 use airguard_mac::dcf::{Mac, MacConfig, MacEffect, MacInput, TimerKind};
 use airguard_mac::frames::{ExchangeDurations, Frame, FrameKind};
-use airguard_mac::policy::{uniform_backoff, BackoffPolicy};
+use airguard_mac::policy::{uniform_backoff, BackoffObservation, BackoffPolicy};
 use airguard_mac::timing::{MacTiming, Slots};
 use airguard_sim::{MasterSeed, NodeId, RngStream, SimTime};
 
@@ -46,10 +46,11 @@ impl BackoffPolicy for RecordingPolicy {
         idle_reading: u64,
         _: &MacTiming,
         _: &mut RngStream,
-    ) {
+    ) -> Option<BackoffObservation> {
         self.log.borrow_mut().push(format!(
             "rts src={src} seq={seq} attempt={attempt} idle={idle_reading}"
         ));
+        None
     }
 
     fn assignment_for(&mut self, _: NodeId, _: &MacTiming) -> Option<Slots> {

@@ -8,7 +8,8 @@
 use airguard_core::monitor::MonitorReport;
 use airguard_core::{CorrectConfig, CorrectPolicy, PairStats};
 use airguard_mac::{
-    BackoffPolicy, Dcf80211, MacTiming, Misbehavior, PacketVerdict, Selfish, Slots,
+    BackoffObservation, BackoffPolicy, Dcf80211, MacTiming, Misbehavior, PacketVerdict, Selfish,
+    Slots,
 };
 use airguard_sim::{NodeId, RngStream};
 
@@ -129,7 +130,7 @@ impl BackoffPolicy for NodePolicy {
         idle_reading: u64,
         timing: &MacTiming,
         rng: &mut RngStream,
-    ) {
+    ) -> Option<BackoffObservation> {
         match self {
             NodePolicy::Dot11(p) => p.observe_rts(src, seq, attempt, idle_reading, timing, rng),
             NodePolicy::Correct(p) => p.observe_rts(src, seq, attempt, idle_reading, timing, rng),

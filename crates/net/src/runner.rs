@@ -24,6 +24,7 @@ use airguard_core::PairStats;
 use airguard_mac::dcf::MacCounters;
 use airguard_mac::{Frame, Mac, MacConfig, MacEffect, MacInput, TimerKind};
 use airguard_metrics::{jain_index, DelayAccount, DiagnosisTally, ThroughputAccount, TimeBinned};
+use airguard_obs::{fnv1a_hex, Histogram, Registry, RunSummary};
 use airguard_phy::reception::DecodeOutcome;
 use airguard_phy::{Dbm, Fading, Medium, PhyConfig, RxTracker, TransmissionId};
 use airguard_sim::trace::Trace;
@@ -126,6 +127,10 @@ pub struct RunReport {
     pub observers: Vec<(NodeId, Vec<PairStats>)>,
     /// Total scheduler events processed.
     pub events: u64,
+    /// Deterministic telemetry summary (config digest, seed, virtual
+    /// time, counter and histogram snapshot); `summary.to_json()` is
+    /// the exportable per-run report line.
+    pub summary: RunSummary,
 }
 
 impl RunReport {
@@ -210,6 +215,8 @@ pub struct Simulation {
     series: TimeBinned,
     delays: DelayAccount,
     trace: Trace,
+    registry: Registry,
+    deviation_hist: Histogram,
     pending: VecDeque<(usize, MacInput)>,
 }
 
@@ -264,6 +271,14 @@ impl Simulation {
         }
         // For sub-second horizons the series degenerates to a single bin.
         let series = TimeBinned::new(cfg.diag_bin.min(cfg.horizon), cfg.horizon);
+        let registry = Registry::new();
+        // Deviation buckets in slots: 0 is the well-behaved bucket, the
+        // ladder covers the paper's penalty range, overflow is extreme
+        // cheating.
+        let deviation_hist = registry.histogram(
+            "obs.backoff_deviation_slots",
+            &[0, 1, 2, 4, 8, 16, 32, 64, 128],
+        );
         Simulation {
             medium,
             nodes,
@@ -277,6 +292,8 @@ impl Simulation {
             series,
             delays: DelayAccount::new(),
             trace: Trace::new(),
+            registry,
+            deviation_hist,
             pending: VecDeque::new(),
             cfg,
         }
@@ -288,6 +305,23 @@ impl Simulation {
             node.mac.set_trace(trace.clone());
         }
         self.trace = trace;
+    }
+
+    /// The run's metrics registry. Callers may register additional
+    /// counters before `run`; everything lands in the report summary.
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Digest of everything that shapes the run except the seed, so
+    /// same-config/different-seed reports share a fingerprint.
+    fn config_digest(cfg: &SimulationConfig) -> String {
+        let repr = format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}",
+            cfg.phy, cfg.mac, cfg.horizon, cfg.diag_bin, cfg.fading
+        );
+        fnv1a_hex(repr.as_bytes())
     }
 
     /// Runs to the configured horizon and reports.
@@ -303,6 +337,36 @@ impl Simulation {
             self.drain_pending(now);
         }
         let events = self.sched.events_processed();
+        let counters: Vec<MacCounters> = self.nodes.iter().map(|n| n.mac.counters()).collect();
+        self.registry.counter("sim.events_dispatched").add(events);
+        let mac_totals = counters.iter().fold(MacCounters::default(), |mut acc, c| {
+            acc.rts_sent += c.rts_sent;
+            acc.cts_timeouts += c.cts_timeouts;
+            acc.ack_timeouts += c.ack_timeouts;
+            acc.retry_drops += c.retry_drops;
+            acc.queue_drops += c.queue_drops;
+            acc.duplicates += c.duplicates;
+            acc
+        });
+        self.registry
+            .counter("mac.rts_sent")
+            .add(mac_totals.rts_sent);
+        self.registry
+            .counter("mac.retries")
+            .add(mac_totals.cts_timeouts + mac_totals.ack_timeouts);
+        self.registry
+            .counter("mac.retry_drops")
+            .add(mac_totals.retry_drops);
+        self.registry
+            .counter("mac.duplicates")
+            .add(mac_totals.duplicates);
+        let summary = RunSummary::new(
+            "sim",
+            self.cfg.seed.value(),
+            Self::config_digest(&self.cfg),
+            self.cfg.horizon.as_micros(),
+        )
+        .with_metrics(self.registry.snapshot());
         RunReport {
             elapsed: self.cfg.horizon,
             throughput: self.throughput,
@@ -312,7 +376,7 @@ impl Simulation {
             measured_senders: self.measured_senders,
             measured_flows: self.measured_flows,
             misbehaving: self.misbehaving,
-            counters: self.nodes.iter().map(|n| n.mac.counters()).collect(),
+            counters,
             monitors: self
                 .nodes
                 .iter()
@@ -347,6 +411,7 @@ impl Simulation {
                 })
                 .collect(),
             events,
+            summary,
         }
     }
 
@@ -462,6 +527,13 @@ impl Simulation {
                 self.throughput.record(src, NodeId::new(node as u32), bytes);
             }
             MacEffect::Classified { src, verdict } => {
+                // Deviation is a non-negative slot count; quantise to the
+                // histogram's integer buckets.
+                self.deviation_hist
+                    .record(verdict.deviation_slots.max(0.0).round() as u64);
+                if verdict.flagged {
+                    self.registry.counter("mac.diagnosis_flags").inc();
+                }
                 self.tally.record(src, verdict.flagged);
                 if self.tally.is_misbehaving(src) {
                     self.series.record(now, verdict.flagged);

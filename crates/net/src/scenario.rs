@@ -2,6 +2,7 @@
 
 use airguard_core::CorrectConfig;
 use airguard_mac::{AccessMode, MacConfig, Selfish};
+use airguard_obs::EventSink;
 use airguard_phy::{Fading, PhyConfig};
 use airguard_sim::trace::{Trace, TraceEvent};
 use airguard_sim::{MasterSeed, NodeId, SimDuration};
@@ -250,6 +251,19 @@ impl ScenarioConfig {
         sim.set_trace(trace.clone());
         let report = sim.run();
         (report, trace.events())
+    }
+
+    /// Runs the scenario once with typed telemetry enabled, returning
+    /// the report together with the event sink. The sink's records are
+    /// the structured counterparts of `run_traced`'s strings — export
+    /// them with `airguard_obs::records_to_jsonl`.
+    #[must_use]
+    pub fn run_observed(&self) -> (RunReport, EventSink) {
+        let sink = EventSink::enabled();
+        let mut sim = self.build_simulation();
+        sim.set_trace(Trace::from_sink(sink.clone()));
+        let report = sim.run();
+        (report, sink)
     }
 
     /// Builds the configured simulation without running it.

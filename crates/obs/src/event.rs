@@ -1,0 +1,396 @@
+//! Typed telemetry events.
+//!
+//! Every observable protocol transition is a variant of [`ObsEvent`]
+//! carrying structured fields. Events are grouped into [`Category`]s
+//! (one bit each in the sink's enable mask) so emission can be gated
+//! per-category with a single atomic load.
+//!
+//! The crate is a dependency leaf, so events speak raw scalars: virtual
+//! time in microseconds (`time_us`) and node ids as dense `u32` indices
+//! (`node`). The `Display` impls render the same human-readable prose
+//! the legacy string trace produced, which keeps log-scraping tests and
+//! examples working unchanged.
+
+use std::fmt;
+
+/// Sentinel node id for records not attributable to a single node
+/// (free-form notes, simulator-level events).
+pub const NO_NODE: u32 = u32::MAX;
+
+/// Event category — one bit in the sink's enable mask.
+///
+/// `name()` returns the dotted string the legacy trace used for the
+/// same traffic (`"mac.tx"`, `"phy.decode"`, …), so category filters
+/// written against the old API keep matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Category {
+    /// Frames handed to the transmitter (RTS/CTS/DATA/ACK starts).
+    MacTx = 0,
+    /// Frames accepted or rejected by the receive path.
+    MacRx = 1,
+    /// Fresh backoff draws.
+    MacBackoff = 2,
+    /// Retry backoffs after CTS/ACK timeouts.
+    MacRetry = 3,
+    /// Packets dropped at the retry limit.
+    MacDrop = 4,
+    /// Attempt-verification probes (receiver pretends the RTS was lost).
+    MacProbe = 5,
+    /// Deferred transmissions (transmitter busy).
+    MacDefer = 6,
+    /// Receiver-side monitor observations (deviation, penalty, diagnosis).
+    Monitor = 7,
+    /// PHY collisions (capture losses, self-tx garbling).
+    PhyCollision = 8,
+    /// PHY decode outcomes.
+    PhyDecode = 9,
+    /// Simulator bookkeeping.
+    Sim = 10,
+    /// Free-form string notes from the legacy `Trace::record` API.
+    Note = 11,
+}
+
+impl Category {
+    /// All categories, in bit order.
+    pub const ALL: [Category; 12] = [
+        Category::MacTx,
+        Category::MacRx,
+        Category::MacBackoff,
+        Category::MacRetry,
+        Category::MacDrop,
+        Category::MacProbe,
+        Category::MacDefer,
+        Category::Monitor,
+        Category::PhyCollision,
+        Category::PhyDecode,
+        Category::Sim,
+        Category::Note,
+    ];
+
+    /// This category's bit in the sink enable mask.
+    #[must_use]
+    pub const fn bit(self) -> u32 {
+        1 << (self as u32)
+    }
+
+    /// The dotted name used by the legacy string trace.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Category::MacTx => "mac.tx",
+            Category::MacRx => "mac.rx",
+            Category::MacBackoff => "mac.backoff",
+            Category::MacRetry => "mac.retry",
+            Category::MacDrop => "mac.drop",
+            Category::MacProbe => "mac.probe",
+            Category::MacDefer => "mac.defer",
+            Category::Monitor => "monitor",
+            Category::PhyCollision => "phy.collision",
+            Category::PhyDecode => "phy.decode",
+            Category::Sim => "sim",
+            Category::Note => "note",
+        }
+    }
+}
+
+/// A structured telemetry event.
+///
+/// Variants mirror the protocol points the paper's evaluation measures:
+/// the RTS/CTS/DATA/ACK exchange, backoff draws and retries, and the
+/// receiver-side monitor's deviation/penalty/diagnosis decisions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsEvent {
+    /// Sender put an RTS on the air.
+    RtsTx { dst: u32, seq: u64, attempt: u8 },
+    /// Sender put a DATA frame on the air (Basic access or after CTS).
+    DataTx { dst: u32, seq: u64, attempt: u8 },
+    /// Receiver put a CTS on the air.
+    CtsTx { dst: u32 },
+    /// Receiver put an ACK on the air.
+    AckTx { dst: u32 },
+    /// Sender decoded the CTS answering its RTS.
+    CtsRx { src: u32, seq: u64 },
+    /// Sender decoded the ACK completing an exchange.
+    AckRx { src: u32, seq: u64 },
+    /// RTS ignored because the NAV shows the medium busy or a response
+    /// is already pending.
+    RtsIgnored { src: u32 },
+    /// DATA arrived while a response was pending; the ACK was dropped.
+    AckSuppressed { src: u32 },
+    /// Attempt-verification probe: the receiver intentionally dropped
+    /// an RTS to test the sender's retry behaviour (paper §4.1).
+    ProbeDropped { src: u32 },
+    /// Fresh backoff drawn for a new head-of-line packet.
+    BackoffDrawn { dst: u32, slots: u32 },
+    /// Retry backoff after a CTS (`ack == false`) or ACK timeout.
+    Retry { ack: bool, attempt: u8, slots: u32 },
+    /// Packet dropped at the retry limit.
+    PacketDropped { seq: u64, attempts: u8 },
+    /// Transmission deferred because the transmitter was busy; a
+    /// deferred `response` frame is dropped outright.
+    Deferred { response: bool },
+    /// Receiver-side monitor compared the backoff it assigned against
+    /// the idle time it observed before the sender's access.
+    BackoffAssigned {
+        src: u32,
+        assigned_slots: f64,
+        observed_slots: f64,
+    },
+    /// Monitor added a penalty to the sender's next assigned backoff.
+    PenaltyAdded {
+        src: u32,
+        penalty_slots: f64,
+        assigned_slots: f64,
+        observed_slots: f64,
+    },
+    /// Diagnosis window crossed THRESH: the sender is flagged as
+    /// misbehaving.
+    DiagnosisFlagged { src: u32, window_sum: f64 },
+    /// PHY: locked reception garbled by a newcomer (`culprit`) or by
+    /// the node's own transmission (`None`).
+    Collision {
+        victim_tx: u64,
+        culprit_tx: Option<u64>,
+    },
+    /// PHY: locked reception completed, cleanly or garbled.
+    Decode { tx: u64, clean: bool },
+    /// Free-form note from the legacy `Trace::record` API.
+    Note { category: String, detail: String },
+}
+
+impl ObsEvent {
+    /// The category (and so the enable-mask bit) this event belongs to.
+    #[must_use]
+    pub fn category(&self) -> Category {
+        match self {
+            ObsEvent::RtsTx { .. }
+            | ObsEvent::DataTx { .. }
+            | ObsEvent::CtsTx { .. }
+            | ObsEvent::AckTx { .. } => Category::MacTx,
+            ObsEvent::CtsRx { .. }
+            | ObsEvent::AckRx { .. }
+            | ObsEvent::RtsIgnored { .. }
+            | ObsEvent::AckSuppressed { .. } => Category::MacRx,
+            ObsEvent::BackoffDrawn { .. } => Category::MacBackoff,
+            ObsEvent::Retry { .. } => Category::MacRetry,
+            ObsEvent::PacketDropped { .. } => Category::MacDrop,
+            ObsEvent::ProbeDropped { .. } => Category::MacProbe,
+            ObsEvent::Deferred { .. } => Category::MacDefer,
+            ObsEvent::BackoffAssigned { .. }
+            | ObsEvent::PenaltyAdded { .. }
+            | ObsEvent::DiagnosisFlagged { .. } => Category::Monitor,
+            ObsEvent::Collision { .. } => Category::PhyCollision,
+            ObsEvent::Decode { .. } => Category::PhyDecode,
+            ObsEvent::Note { .. } => Category::Note,
+        }
+    }
+
+    /// A stable lowercase name for the variant (used as the JSONL
+    /// `event` field).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::RtsTx { .. } => "rts_tx",
+            ObsEvent::DataTx { .. } => "data_tx",
+            ObsEvent::CtsTx { .. } => "cts_tx",
+            ObsEvent::AckTx { .. } => "ack_tx",
+            ObsEvent::CtsRx { .. } => "cts_rx",
+            ObsEvent::AckRx { .. } => "ack_rx",
+            ObsEvent::RtsIgnored { .. } => "rts_ignored",
+            ObsEvent::AckSuppressed { .. } => "ack_suppressed",
+            ObsEvent::ProbeDropped { .. } => "probe_dropped",
+            ObsEvent::BackoffDrawn { .. } => "backoff_drawn",
+            ObsEvent::Retry { .. } => "retry",
+            ObsEvent::PacketDropped { .. } => "packet_dropped",
+            ObsEvent::Deferred { .. } => "deferred",
+            ObsEvent::BackoffAssigned { .. } => "backoff_assigned",
+            ObsEvent::PenaltyAdded { .. } => "penalty_added",
+            ObsEvent::DiagnosisFlagged { .. } => "diagnosis_flagged",
+            ObsEvent::Collision { .. } => "collision",
+            ObsEvent::Decode { .. } => "decode",
+            ObsEvent::Note { .. } => "note",
+        }
+    }
+}
+
+impl fmt::Display for ObsEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsEvent::RtsTx { dst, seq, attempt } => {
+                write!(f, "Rts(seq={seq}, attempt={attempt}) -> n{dst}")
+            }
+            ObsEvent::DataTx { dst, seq, attempt } => {
+                write!(f, "Data(seq={seq}, attempt={attempt}) -> n{dst}")
+            }
+            ObsEvent::CtsTx { dst } => write!(f, "Cts -> n{dst}"),
+            ObsEvent::AckTx { dst } => write!(f, "Ack -> n{dst}"),
+            ObsEvent::CtsRx { src, seq } => {
+                write!(f, "CTS from n{src}, sending DATA seq={seq}")
+            }
+            ObsEvent::AckRx { src, seq } => write!(f, "ACK from n{src} for seq={seq}"),
+            ObsEvent::RtsIgnored { src } => {
+                write!(f, "RTS from n{src} ignored (nav/pending)")
+            }
+            ObsEvent::AckSuppressed { src } => {
+                write!(f, "DATA from n{src} but response pending; ACK dropped")
+            }
+            ObsEvent::ProbeDropped { src } => {
+                write!(f, "RTS from n{src} intentionally dropped")
+            }
+            ObsEvent::BackoffDrawn { dst, slots } => {
+                write!(f, "fresh backoff {slots} slots to n{dst}")
+            }
+            ObsEvent::Retry {
+                ack,
+                attempt,
+                slots,
+            } => {
+                let kind = if *ack { "ACK" } else { "CTS" };
+                write!(f, "{kind} timeout, attempt={attempt} backoff {slots} slots")
+            }
+            ObsEvent::PacketDropped { seq, attempts } => {
+                write!(f, "seq={seq} dropped after {attempts} attempts")
+            }
+            ObsEvent::Deferred { response } => {
+                if *response {
+                    write!(f, "response dropped, transmitter busy")
+                } else {
+                    write!(f, "backoff while on air")
+                }
+            }
+            ObsEvent::BackoffAssigned {
+                src,
+                assigned_slots,
+                observed_slots,
+            } => write!(
+                f,
+                "n{src}: assigned {assigned_slots:.1} slots, observed {observed_slots:.1}"
+            ),
+            ObsEvent::PenaltyAdded {
+                src,
+                penalty_slots,
+                assigned_slots,
+                observed_slots,
+            } => write!(
+                f,
+                "n{src}: penalty {penalty_slots:.1} slots (assigned {assigned_slots:.1}, observed {observed_slots:.1})"
+            ),
+            ObsEvent::DiagnosisFlagged { src, window_sum } => {
+                write!(f, "n{src}: flagged misbehaving (window sum {window_sum:.1})")
+            }
+            ObsEvent::Collision {
+                victim_tx,
+                culprit_tx,
+            } => match culprit_tx {
+                Some(culprit) => write!(f, "tx#{victim_tx} garbled by tx#{culprit}"),
+                None => write!(f, "tx#{victim_tx} garbled by own tx"),
+            },
+            ObsEvent::Decode { tx, clean } => {
+                let outcome = if *clean { "Decoded" } else { "Garbled" };
+                write!(f, "tx#{tx} {outcome}")
+            }
+            ObsEvent::Note { detail, .. } => f.write_str(detail),
+        }
+    }
+}
+
+/// A timestamped, node-attributed event as stored by the sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Virtual time in microseconds.
+    pub time_us: u64,
+    /// Dense node index, or [`NO_NODE`].
+    pub node: u32,
+    /// The event payload.
+    pub event: ObsEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Category, ObsEvent};
+
+    #[test]
+    fn category_bits_are_distinct() {
+        let mut mask = 0u32;
+        for cat in Category::ALL {
+            assert_eq!(mask & cat.bit(), 0, "{cat:?} bit collides");
+            mask |= cat.bit();
+        }
+        assert_eq!(mask.count_ones() as usize, Category::ALL.len());
+    }
+
+    #[test]
+    fn category_names_match_legacy_trace_strings() {
+        assert_eq!(Category::MacTx.name(), "mac.tx");
+        assert_eq!(Category::MacBackoff.name(), "mac.backoff");
+        assert_eq!(Category::PhyCollision.name(), "phy.collision");
+    }
+
+    #[test]
+    fn tx_event_display_names_the_frame_kind() {
+        // tests/protocol_invariants.rs classifies mac.tx details by the
+        // first of Rts/Cts/Data they contain, else Ack; each display
+        // must therefore name exactly its own kind.
+        let rts = ObsEvent::RtsTx {
+            dst: 2,
+            seq: 0,
+            attempt: 1,
+        }
+        .to_string();
+        assert!(rts.contains("Rts") && !rts.contains("Cts") && !rts.contains("Data"));
+        let cts = ObsEvent::CtsTx { dst: 1 }.to_string();
+        assert!(cts.contains("Cts") && !cts.contains("Rts") && !cts.contains("Data"));
+        let data = ObsEvent::DataTx {
+            dst: 2,
+            seq: 3,
+            attempt: 1,
+        }
+        .to_string();
+        assert!(data.contains("Data") && !data.contains("Rts") && !data.contains("Cts"));
+        let ack = ObsEvent::AckTx { dst: 1 }.to_string();
+        assert!(!ack.contains("Rts") && !ack.contains("Cts") && !ack.contains("Data"));
+    }
+
+    #[test]
+    fn every_event_maps_to_a_category_and_kind() {
+        let events = [
+            ObsEvent::RtsTx {
+                dst: 0,
+                seq: 0,
+                attempt: 1,
+            },
+            ObsEvent::CtsRx { src: 0, seq: 0 },
+            ObsEvent::BackoffDrawn { dst: 0, slots: 7 },
+            ObsEvent::Retry {
+                ack: true,
+                attempt: 2,
+                slots: 15,
+            },
+            ObsEvent::PenaltyAdded {
+                src: 1,
+                penalty_slots: 4.0,
+                assigned_slots: 10.0,
+                observed_slots: 2.0,
+            },
+            ObsEvent::Note {
+                category: "x".into(),
+                detail: "y".into(),
+            },
+        ];
+        for e in &events {
+            assert!(!e.kind().is_empty());
+            assert!(!e.category().name().is_empty());
+        }
+        assert_eq!(
+            ObsEvent::PenaltyAdded {
+                src: 1,
+                penalty_slots: 4.0,
+                assigned_slots: 10.0,
+                observed_slots: 2.0,
+            }
+            .category(),
+            Category::Monitor
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Typed telemetry for the airguard stack.
+//!
+//! The simulator's original instrumentation was a stringly-typed trace
+//! bus: every call site formatted an ad-hoc `String` and pushed it
+//! through a mutex, even when tracing was off. This crate replaces that
+//! with three first-class pieces:
+//!
+//! * **Typed events** ([`ObsEvent`], [`Record`], [`Category`]) — MAC and
+//!   PHY transitions carry structured fields (`assigned_slots`,
+//!   `observed_slots`, sequence numbers, …) instead of prose, so they
+//!   can be aggregated, filtered, and exported without parsing.
+//! * **A lock-free fast path** ([`EventSink`]) — emission checks a
+//!   relaxed atomic category bitmask before any allocation or lock;
+//!   when a category is disabled the cost is one atomic load. An
+//!   optional ring-buffer capacity bounds memory on long runs.
+//! * **A metrics registry** ([`Registry`], [`Counter`], [`Histogram`])
+//!   — named monotonic counters and fixed-bucket histograms,
+//!   snapshotable as deterministic `BTreeMap`s and exportable as JSON
+//!   via [`RunSummary`].
+//!
+//! The crate is a dependency leaf: it speaks raw scalars (`time_us`,
+//! `node: u32`) so every layer of the stack — including `airguard-sim`
+//! itself — can depend on it without cycles.
+//!
+//! # Determinism
+//!
+//! Reports and JSONL export use virtual time only and `BTreeMap`
+//! ordering throughout; two runs with the same seed produce
+//! byte-identical output. See DESIGN.md §9.
+
+#![forbid(unsafe_code)]
+
+mod event;
+mod json;
+mod registry;
+mod report;
+mod sink;
+
+pub use event::{Category, ObsEvent, Record, NO_NODE};
+pub use json::{escape_into, u64_array, JsonObject};
+pub use registry::{Counter, Histogram, HistogramSnapshot, Registry, RegistrySnapshot};
+pub use report::{fnv1a_hex, record_to_json, records_to_jsonl, RunSummary};
+pub use sink::EventSink;

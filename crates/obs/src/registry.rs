@@ -1,0 +1,239 @@
+//! Named counters and fixed-bucket histograms.
+//!
+//! A [`Registry`] hands out cheap, cloneable handles: [`Counter`] is an
+//! `Arc<AtomicU64>`, so the hot path is a single relaxed fetch-add with
+//! no name lookup and no lock. The registry itself is only locked when
+//! a handle is created or a snapshot taken.
+//!
+//! Naming convention (see DESIGN.md §9): dotted lowercase paths,
+//! `<subsystem>.<quantity>` — e.g. `sim.events_dispatched`,
+//! `mac.retries`, `obs.backoff_deviation_slots`. Snapshots are
+//! `BTreeMap`-ordered so reports are deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Handle to a named monotonic counter.
+///
+/// ```
+/// use airguard_obs::Registry;
+///
+/// let reg = Registry::new();
+/// let retries = reg.counter("mac.retries");
+/// retries.add(3);
+/// retries.inc();
+/// assert_eq!(reg.snapshot().counters["mac.retries"], 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistInner {
+    /// Ascending inclusive upper bounds; values above the last bound
+    /// land in the overflow bucket.
+    bounds: Vec<u64>,
+    /// One count per bound, plus the trailing overflow bucket.
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// Handle to a named fixed-bucket histogram of `u64` samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistInner>,
+}
+
+impl Histogram {
+    fn with_bounds(bounds: &[u64]) -> Self {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            inner: Arc::new(HistInner {
+                bounds: bounds.to_vec(),
+                counts,
+                total: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one sample. Callers with fractional quantities (e.g.
+    /// deviation in slots) round before recording.
+    pub fn record(&self, value: u64) {
+        let idx = self
+            .inner
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.inner.bounds.len());
+        self.inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.total.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the histogram's state.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.inner.bounds.clone(),
+            counts: self
+                .inner
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            total: self.inner.total.load(Ordering::Relaxed),
+            sum: self.inner.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable copy of a histogram: per-bucket counts (the last entry is
+/// the overflow bucket), sample count, and sample sum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub bounds: Vec<u64>,
+    pub counts: Vec<u64>,
+    pub total: u64,
+    pub sum: u64,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Registry of named metrics. Clones share the same underlying map.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter named `name`, creating it at zero on first
+    /// use. Handles are cheap to clone and lock-free to update.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock();
+        inner
+            .counters
+            .entry(name.to_owned())
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// Returns the histogram named `name`, creating it with `bounds`
+    /// on first use. An existing histogram keeps its original bounds.
+    #[must_use]
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut inner = self.inner.lock();
+        inner
+            .histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| Histogram::with_bounds(bounds))
+            .clone()
+    }
+
+    /// Deterministic (`BTreeMap`-ordered) copy of every metric.
+    #[must_use]
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.inner.lock();
+        RegistrySnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(name, h)| (name.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Registry`], ordered by metric name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RegistrySnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Registry;
+
+    #[test]
+    fn counter_handles_share_state_by_name() {
+        let reg = Registry::new();
+        let a = reg.counter("mac.retries");
+        let b = reg.counter("mac.retries");
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+        assert_eq!(reg.snapshot().counters["mac.retries"], 3);
+    }
+
+    #[test]
+    fn histogram_buckets_by_inclusive_upper_bound() {
+        let reg = Registry::new();
+        let h = reg.histogram("obs.backoff_deviation_slots", &[0, 2, 8]);
+        for v in [0, 1, 2, 3, 8, 9, 1000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.counts, vec![1, 2, 2, 2]); // <=0, <=2, <=8, overflow
+        assert_eq!(snap.total, 7);
+        assert_eq!(snap.sum, 1023);
+    }
+
+    #[test]
+    fn histogram_keeps_original_bounds() {
+        let reg = Registry::new();
+        let _ = reg.histogram("h", &[1, 2]);
+        let again = reg.histogram("h", &[99]);
+        assert_eq!(again.snapshot().bounds, vec![1, 2]);
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered() {
+        let reg = Registry::new();
+        reg.counter("z.last").inc();
+        reg.counter("a.first").inc();
+        let names: Vec<_> = reg.snapshot().counters.keys().cloned().collect();
+        assert_eq!(names, ["a.first", "z.last"]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Exporters: JSONL event streams and per-run summary reports.
+//!
+//! Determinism contract (DESIGN.md §9): exports contain virtual time
+//! only — never wall-clock time — and all maps serialise in `BTreeMap`
+//! key order, so two runs with the same seed produce byte-identical
+//! output.
+
+use std::collections::BTreeMap;
+
+use crate::event::{ObsEvent, Record, NO_NODE};
+use crate::json::{u64_array, JsonObject};
+use crate::registry::{HistogramSnapshot, RegistrySnapshot};
+
+/// FNV-1a 64-bit digest of `bytes`, as a fixed-width hex string.
+///
+/// Used to fingerprint the run configuration (`Debug` rendering of the
+/// config struct) so reports from different configs never compare equal
+/// by accident.
+#[must_use]
+pub fn fnv1a_hex(bytes: &[u8]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+/// Deterministic per-run report: configuration digest, seed, virtual
+/// elapsed time, and a snapshot of every registered metric.
+///
+/// `to_json` renders a single line suitable for `.report.jsonl` files;
+/// byte-identical across same-seed runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Scenario or binary label, e.g. `"fig4"`.
+    pub label: String,
+    /// Master seed the run used.
+    pub seed: u64,
+    /// [`fnv1a_hex`] digest of the run configuration.
+    pub config_digest: String,
+    /// Virtual time elapsed, microseconds.
+    pub elapsed_us: u64,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RunSummary {
+    /// A summary with no metrics yet.
+    #[must_use]
+    pub fn new(
+        label: impl Into<String>,
+        seed: u64,
+        config_digest: impl Into<String>,
+        elapsed_us: u64,
+    ) -> Self {
+        RunSummary {
+            label: label.into(),
+            seed,
+            config_digest: config_digest.into(),
+            elapsed_us,
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        }
+    }
+
+    /// Merges a registry snapshot's metrics into the summary.
+    #[must_use]
+    pub fn with_metrics(mut self, snapshot: RegistrySnapshot) -> Self {
+        self.counters.extend(snapshot.counters);
+        self.histograms.extend(snapshot.histograms);
+        self
+    }
+
+    /// Single-line JSON rendering, deterministic field and key order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut counters = JsonObject::new();
+        for (name, value) in &self.counters {
+            counters.u64(name, *value);
+        }
+        let mut histograms = JsonObject::new();
+        for (name, snap) in &self.histograms {
+            let mut h = JsonObject::new();
+            h.raw("bounds", &u64_array(&snap.bounds))
+                .raw("counts", &u64_array(&snap.counts))
+                .u64("total", snap.total)
+                .u64("sum", snap.sum);
+            histograms.raw(name, &h.finish());
+        }
+        let mut obj = JsonObject::new();
+        obj.str("label", &self.label)
+            .u64("seed", self.seed)
+            .str("config_digest", &self.config_digest)
+            .u64("elapsed_us", self.elapsed_us)
+            .raw("counters", &counters.finish())
+            .raw("histograms", &histograms.finish());
+        obj.finish()
+    }
+}
+
+/// Serialises one [`Record`] as a single JSONL line.
+///
+/// Schema: `t_us` (virtual time), `node` (absent for records carrying
+/// [`NO_NODE`]), `cat` (category name), `event` (variant name), then
+/// the variant's own fields flattened.
+#[must_use]
+pub fn record_to_json(record: &Record) -> String {
+    let mut obj = JsonObject::new();
+    obj.u64("t_us", record.time_us);
+    if record.node != NO_NODE {
+        obj.u64("node", u64::from(record.node));
+    }
+    obj.str("cat", record.event.category().name())
+        .str("event", record.event.kind());
+    match &record.event {
+        ObsEvent::RtsTx { dst, seq, attempt } | ObsEvent::DataTx { dst, seq, attempt } => {
+            obj.u64("dst", u64::from(*dst))
+                .u64("seq", *seq)
+                .u64("attempt", u64::from(*attempt));
+        }
+        ObsEvent::CtsTx { dst } | ObsEvent::AckTx { dst } => {
+            obj.u64("dst", u64::from(*dst));
+        }
+        ObsEvent::CtsRx { src, seq } | ObsEvent::AckRx { src, seq } => {
+            obj.u64("src", u64::from(*src)).u64("seq", *seq);
+        }
+        ObsEvent::RtsIgnored { src }
+        | ObsEvent::AckSuppressed { src }
+        | ObsEvent::ProbeDropped { src } => {
+            obj.u64("src", u64::from(*src));
+        }
+        ObsEvent::BackoffDrawn { dst, slots } => {
+            obj.u64("dst", u64::from(*dst))
+                .u64("slots", u64::from(*slots));
+        }
+        ObsEvent::Retry {
+            ack,
+            attempt,
+            slots,
+        } => {
+            obj.bool("ack", *ack)
+                .u64("attempt", u64::from(*attempt))
+                .u64("slots", u64::from(*slots));
+        }
+        ObsEvent::PacketDropped { seq, attempts } => {
+            obj.u64("seq", *seq).u64("attempts", u64::from(*attempts));
+        }
+        ObsEvent::Deferred { response } => {
+            obj.bool("response", *response);
+        }
+        ObsEvent::BackoffAssigned {
+            src,
+            assigned_slots,
+            observed_slots,
+        } => {
+            obj.u64("src", u64::from(*src))
+                .f64("assigned_slots", *assigned_slots)
+                .f64("observed_slots", *observed_slots);
+        }
+        ObsEvent::PenaltyAdded {
+            src,
+            penalty_slots,
+            assigned_slots,
+            observed_slots,
+        } => {
+            obj.u64("src", u64::from(*src))
+                .f64("penalty_slots", *penalty_slots)
+                .f64("assigned_slots", *assigned_slots)
+                .f64("observed_slots", *observed_slots);
+        }
+        ObsEvent::DiagnosisFlagged { src, window_sum } => {
+            obj.u64("src", u64::from(*src))
+                .f64("window_sum", *window_sum);
+        }
+        ObsEvent::Collision {
+            victim_tx,
+            culprit_tx,
+        } => {
+            obj.u64("victim_tx", *victim_tx);
+            if let Some(culprit) = culprit_tx {
+                obj.u64("culprit_tx", *culprit);
+            }
+        }
+        ObsEvent::Decode { tx, clean } => {
+            obj.u64("tx", *tx).bool("clean", *clean);
+        }
+        ObsEvent::Note { category, detail } => {
+            obj.str("note_cat", category).str("detail", detail);
+        }
+    }
+    obj.finish()
+}
+
+/// Serialises records as JSONL: one JSON object per line, trailing
+/// newline included when non-empty.
+#[must_use]
+pub fn records_to_jsonl(records: &[Record]) -> String {
+    let mut out = String::new();
+    for record in records {
+        out.push_str(&record_to_json(record));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{fnv1a_hex, record_to_json, records_to_jsonl, RunSummary};
+    use crate::event::{ObsEvent, Record, NO_NODE};
+    use crate::registry::Registry;
+
+    #[test]
+    fn fnv_digest_is_stable_and_hex() {
+        let d = fnv1a_hex(b"airguard");
+        assert_eq!(d.len(), 16);
+        assert_eq!(d, fnv1a_hex(b"airguard"));
+        assert_ne!(d, fnv1a_hex(b"airguarD"));
+    }
+
+    #[test]
+    fn record_json_flattens_typed_fields() {
+        let line = record_to_json(&Record {
+            time_us: 120,
+            node: 2,
+            event: ObsEvent::PenaltyAdded {
+                src: 1,
+                penalty_slots: 3.5,
+                assigned_slots: 10.0,
+                observed_slots: 3.0,
+            },
+        });
+        assert_eq!(
+            line,
+            "{\"t_us\":120,\"node\":2,\"cat\":\"monitor\",\"event\":\"penalty_added\",\
+             \"src\":1,\"penalty_slots\":3.5,\"assigned_slots\":10,\"observed_slots\":3}"
+        );
+    }
+
+    #[test]
+    fn no_node_records_omit_the_node_field() {
+        let line = record_to_json(&Record {
+            time_us: 0,
+            node: NO_NODE,
+            event: ObsEvent::Note {
+                category: "sim".into(),
+                detail: "start".into(),
+            },
+        });
+        assert!(!line.contains("\"node\""));
+        assert!(line.contains("\"note_cat\":\"sim\""));
+    }
+
+    #[test]
+    fn jsonl_is_one_line_per_record() {
+        let records = vec![
+            Record {
+                time_us: 1,
+                node: 0,
+                event: ObsEvent::CtsTx { dst: 1 },
+            },
+            Record {
+                time_us: 2,
+                node: 1,
+                event: ObsEvent::AckRx { src: 0, seq: 4 },
+            },
+        ];
+        let out = records_to_jsonl(&records);
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.ends_with('\n'));
+    }
+
+    #[test]
+    fn summary_json_is_deterministic_and_ordered() {
+        let reg = Registry::new();
+        reg.counter("z.second").add(2);
+        reg.counter("a.first").add(1);
+        reg.histogram("h.dev", &[1, 4]).record(3);
+        let summary =
+            RunSummary::new("fig4", 7, fnv1a_hex(b"cfg"), 2_000_000).with_metrics(reg.snapshot());
+        let json = summary.to_json();
+        assert_eq!(json, summary.to_json());
+        let a = json.find("a.first").expect("a.first present");
+        let z = json.find("z.second").expect("z.second present");
+        assert!(a < z, "counters must serialise in name order");
+        assert!(json.contains("\"seed\":7"));
+        assert!(json.contains("\"elapsed_us\":2000000"));
+        assert!(json.contains("\"bounds\":[1,4]"));
+    }
+}

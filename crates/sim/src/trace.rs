@@ -6,15 +6,23 @@
 //! run. The bus is shareable ([`Trace`] is `Clone` + `Send` + `Sync`) so
 //! the medium, every MAC instance, and every monitor can write to the same
 //! log without threading lifetimes through the simulator.
+//!
+//! Since the `airguard-obs` migration this module is a thin compatibility
+//! shim: the log itself is a typed [`EventSink`], and the stringly
+//! [`TraceEvent`] view is reconstructed on demand. Protocol code records
+//! typed [`ObsEvent`]s via [`Trace::emit`]; the legacy
+//! [`Trace::record`] API stores free-form [`ObsEvent::Note`]s. A
+//! disabled trace rejects events with a single relaxed atomic load — no
+//! allocation, no lock.
 
 use std::fmt;
-use std::sync::Arc;
 
-use parking_lot::Mutex;
+use airguard_obs::{EventSink, ObsEvent, Record, NO_NODE};
 
+use crate::ident::NodeId;
 use crate::time::SimTime;
 
-/// One recorded trace event.
+/// One recorded trace event, as the legacy string API exposes it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Virtual time at which the event was recorded.
@@ -25,23 +33,39 @@ pub struct TraceEvent {
     pub detail: String,
 }
 
+impl TraceEvent {
+    fn from_record(record: Record) -> TraceEvent {
+        let time = SimTime::from_micros(record.time_us);
+        match record.event {
+            ObsEvent::Note { category, detail } => TraceEvent {
+                time,
+                category,
+                detail,
+            },
+            event => TraceEvent {
+                time,
+                category: event.category().name().to_owned(),
+                detail: if record.node == NO_NODE {
+                    event.to_string()
+                } else {
+                    format!("n{}: {event}", record.node)
+                },
+            },
+        }
+    }
+}
+
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[{}] {}: {}", self.time, self.category, self.detail)
     }
 }
 
-#[derive(Debug, Default)]
-struct Inner {
-    enabled: bool,
-    events: Vec<TraceEvent>,
-}
-
 /// A shareable, optionally-enabled trace log.
 ///
-/// A disabled trace (the default) records nothing and costs one atomic
-/// lock acquisition per event — negligible against event-queue work, and
-/// the hot paths check [`Trace::is_enabled`] first.
+/// A disabled trace (the default) records nothing; both [`Trace::emit`]
+/// and [`Trace::record`] return after one relaxed atomic mask check,
+/// without allocating or taking the buffer lock.
 ///
 /// ```
 /// use airguard_sim::trace::Trace;
@@ -54,7 +78,7 @@ struct Inner {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
-    inner: Arc<Mutex<Inner>>,
+    sink: EventSink,
 }
 
 impl Trace {
@@ -67,66 +91,88 @@ impl Trace {
     /// Creates an enabled trace that records every event.
     #[must_use]
     pub fn enabled() -> Self {
-        let t = Trace::new();
-        t.set_enabled(true);
-        t
+        Trace {
+            sink: EventSink::enabled(),
+        }
+    }
+
+    /// Wraps an existing sink; records written through either handle
+    /// are visible to both.
+    #[must_use]
+    pub fn from_sink(sink: EventSink) -> Self {
+        Trace { sink }
+    }
+
+    /// The underlying typed sink (shared with this trace).
+    #[must_use]
+    pub fn sink(&self) -> &EventSink {
+        &self.sink
     }
 
     /// Turns recording on or off. Already-recorded events are kept.
     pub fn set_enabled(&self, enabled: bool) {
-        self.inner.lock().enabled = enabled;
+        self.sink.set_enabled(enabled);
     }
 
     /// Whether events are currently being recorded.
     #[must_use]
     pub fn is_enabled(&self) -> bool {
-        self.inner.lock().enabled
+        self.sink.is_enabled()
     }
 
-    /// Records an event if the trace is enabled.
+    /// Records a typed event attributed to `node`, if enabled.
+    pub fn emit(&self, time: SimTime, node: NodeId, event: ObsEvent) {
+        self.sink.emit(time.as_micros(), node.value(), event);
+    }
+
+    /// Records a free-form string event if the trace is enabled.
+    ///
+    /// The enabled check happens before the `detail` conversion, so a
+    /// disabled trace performs no allocation here (callers passing
+    /// `format!(..)` arguments still pay for those at the call site;
+    /// hot paths use [`Trace::emit`] with typed events instead).
     pub fn record(&self, time: SimTime, category: &str, detail: impl Into<String>) {
-        let mut inner = self.inner.lock();
-        if inner.enabled {
-            inner.events.push(TraceEvent {
-                time,
+        if !self.is_enabled() {
+            return;
+        }
+        self.sink.emit(
+            time.as_micros(),
+            NO_NODE,
+            ObsEvent::Note {
                 category: category.to_owned(),
                 detail: detail.into(),
-            });
-        }
+            },
+        );
     }
 
     /// A snapshot of all recorded events, in recording order.
     #[must_use]
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.inner.lock().events.clone()
+        self.sink
+            .records()
+            .into_iter()
+            .map(TraceEvent::from_record)
+            .collect()
     }
 
     /// Events whose category equals `category`.
     #[must_use]
     pub fn events_in(&self, category: &str) -> Vec<TraceEvent> {
-        self.inner
-            .lock()
-            .events
-            .iter()
+        self.events()
+            .into_iter()
             .filter(|e| e.category == category)
-            .cloned()
             .collect()
     }
 
     /// Number of recorded events in `category`.
     #[must_use]
     pub fn count(&self, category: &str) -> usize {
-        self.inner
-            .lock()
-            .events
-            .iter()
-            .filter(|e| e.category == category)
-            .count()
+        self.events_in(category).len()
     }
 
     /// Discards all recorded events (recording state is unchanged).
     pub fn clear(&self) {
-        self.inner.lock().events.clear();
+        self.sink.clear();
     }
 }
 
@@ -140,6 +186,25 @@ mod tests {
         assert!(!t.is_enabled());
         t.record(SimTime::ZERO, "x", "ignored");
         assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn disabled_trace_takes_no_lock() {
+        let t = Trace::new();
+        let before = t.sink().lock_acquisitions();
+        for i in 0..100 {
+            t.record(SimTime::from_micros(i), "x", "ignored");
+            t.emit(
+                SimTime::from_micros(i),
+                NodeId::new(0),
+                ObsEvent::CtsTx { dst: 1 },
+            );
+        }
+        assert_eq!(
+            t.sink().lock_acquisitions(),
+            before,
+            "disabled trace must not acquire the buffer lock"
+        );
     }
 
     #[test]
@@ -161,6 +226,25 @@ mod tests {
         t.record(SimTime::ZERO, "mac.tx", "data");
         assert_eq!(t.count("mac.tx"), 2);
         assert_eq!(t.events_in("mac.rx").len(), 1);
+    }
+
+    #[test]
+    fn typed_events_share_categories_with_string_notes() {
+        let t = Trace::enabled();
+        t.emit(
+            SimTime::ZERO,
+            NodeId::new(1),
+            ObsEvent::RtsTx {
+                dst: 2,
+                seq: 0,
+                attempt: 1,
+            },
+        );
+        t.record(SimTime::ZERO, "mac.tx", "legacy note");
+        let tx = t.events_in("mac.tx");
+        assert_eq!(tx.len(), 2);
+        assert_eq!(tx[0].detail, "n1: Rts(seq=0, attempt=1) -> n2");
+        assert_eq!(tx[1].detail, "legacy note");
     }
 
     #[test]

@@ -6,11 +6,16 @@
 //! DATA, ACK — exactly the Fig. 1 interaction of the paper.
 //!
 //! Run with: `cargo run --release --example trace_exchange`
+//!
+//! Set `AIRGUARD_JSONL=<path>` to also export the typed event records
+//! as JSON Lines (one event object per line), ready for `jq` or any
+//! log pipeline.
 
 use airguard::core::CorrectConfig;
 use airguard::mac::Selfish;
 use airguard::net::topology::Flow;
 use airguard::net::{NodePolicy, Simulation, SimulationConfig, Topology};
+use airguard::obs::{records_to_jsonl, EventSink};
 use airguard::phy::{PhyConfig, Position};
 use airguard::sim::trace::Trace;
 use airguard::sim::{MasterSeed, NodeId, SimDuration};
@@ -45,7 +50,8 @@ fn main() {
         ..SimulationConfig::default()
     };
     let mut sim = Simulation::new(cfg, &topology, policies, vec![]);
-    let trace = Trace::enabled();
+    let sink = EventSink::enabled();
+    let trace = Trace::from_sink(sink.clone());
     sim.set_trace(trace.clone());
     let report = sim.run();
 
@@ -58,4 +64,11 @@ fn main() {
         report.throughput.total_bytes() / 512,
         report.elapsed.as_micros() / 1000
     );
+
+    if let Ok(path) = std::env::var("AIRGUARD_JSONL") {
+        let records = sink.records();
+        std::fs::write(&path, records_to_jsonl(&records)).expect("write JSONL export");
+        println!("wrote {} typed events to {path}", records.len());
+        println!("run summary: {}", report.summary.to_json());
+    }
 }

@@ -69,5 +69,6 @@ pub use airguard_core as core;
 pub use airguard_mac as mac;
 pub use airguard_metrics as metrics;
 pub use airguard_net as net;
+pub use airguard_obs as obs;
 pub use airguard_phy as phy;
 pub use airguard_sim as sim;

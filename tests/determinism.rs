@@ -54,6 +54,21 @@ fn same_seed_replays_to_identical_trace_digest() {
 }
 
 #[test]
+fn same_seed_replays_to_byte_identical_run_report() {
+    // The exported run summary — config digest, counters, histograms —
+    // must serialize byte-for-byte identically across replays; this is
+    // what makes the JSONL reports diffable between CI runs.
+    let cfg = scenario(42);
+    let j1 = cfg.run().summary.to_json();
+    let j2 = cfg.run().summary.to_json();
+    assert_eq!(j1, j2, "run-report snapshots diverged");
+    assert!(
+        j1.contains("\"counters\":{") && j1.contains("mac.rts_sent"),
+        "summary must embed the counter snapshot: {j1}"
+    );
+}
+
+#[test]
 fn different_seeds_diverge() {
     // Sanity check that the digest actually discriminates: two seeds
     // giving identical traces would mean the seed is ignored.
