@@ -1,53 +1,8 @@
-//! Ablation (footnote 2): the scheme without the RTS/CTS handshake.
-//! Basic access carries the attempt number in DATA; detection and
-//! correction must survive, and raw capacity improves.
+//! Thin wrapper: `ablation_access` through the unified driver.
 //!
 //! Regenerate with: `cargo run --release -p airguard-bench --bin ablation_access`
-
-use airguard_bench::{f2, kbps, mean_of, run_seeds, seed_set, sim_secs, Table};
-use airguard_mac::AccessMode;
-use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+//! (same flags as `airguard-bench`, figure fixed to `ablation_access`).
 
 fn main() {
-    let seeds = seed_set();
-    let secs = sim_secs();
-    let mut t = Table::new(
-        "Ablation: RTS/CTS vs basic access (ZERO-FLOW)",
-        &[
-            "access", "PM%", "correct%", "misdiag%", "MSB Kbps", "AVG Kbps",
-        ],
-    );
-    for (name, access) in [
-        ("rts-cts", AccessMode::RtsCts),
-        ("basic", AccessMode::Basic),
-    ] {
-        for pm in [0.0, 50.0, 80.0] {
-            let reports = run_seeds(
-                &ScenarioConfig::new(StandardScenario::ZeroFlow)
-                    .protocol(Protocol::Correct)
-                    .access(access)
-                    .misbehavior_percent(pm)
-                    .sim_time_secs(secs),
-                &seeds,
-            );
-            t.row(&[
-                name.into(),
-                format!("{pm:.0}"),
-                f2(mean_of(&reports, |r| {
-                    r.diagnosis().correct_diagnosis_percent()
-                })),
-                f2(mean_of(&reports, |r| r.diagnosis().misdiagnosis_percent())),
-                kbps(mean_of(
-                    &reports,
-                    airguard_net::RunReport::msb_throughput_bps,
-                )),
-                kbps(mean_of(
-                    &reports,
-                    airguard_net::RunReport::avg_throughput_bps,
-                )),
-            ]);
-        }
-    }
-    t.print();
-    t.write_csv("ablation_access");
+    std::process::exit(airguard_bench::cli::bin_main("ablation_access"));
 }

@@ -1,46 +1,8 @@
-//! Ablation (§6 future work): adaptive THRESH selection. The monitor
-//! scales its threshold with the observed channel noise of unflagged
-//! senders — cutting TWO-FLOW misdiagnosis while keeping detection.
+//! Thin wrapper: `ablation_adaptive` through the unified driver.
 //!
 //! Regenerate with: `cargo run --release -p airguard-bench --bin ablation_adaptive`
-
-use airguard_bench::{f2, mean_of, run_seeds, seed_set, sim_secs, Table};
-use airguard_core::monitor::AdaptiveConfig;
-use airguard_core::CorrectConfig;
-use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+//! (same flags as `airguard-bench`, figure fixed to `ablation_adaptive`).
 
 fn main() {
-    let seeds = seed_set();
-    let secs = sim_secs();
-    let mut t = Table::new(
-        "Ablation: static vs adaptive THRESH (TWO-FLOW)",
-        &["variant", "PM%", "correct%", "misdiag%"],
-    );
-    for (name, adaptive) in [
-        ("static THRESH=20", None),
-        ("adaptive", Some(AdaptiveConfig::default())),
-    ] {
-        for pm in [0.0, 40.0, 80.0] {
-            let mut cfg = CorrectConfig::paper_default();
-            cfg.monitor.adaptive = adaptive;
-            let reports = run_seeds(
-                &ScenarioConfig::new(StandardScenario::TwoFlow)
-                    .protocol(Protocol::Correct)
-                    .correct_config(cfg)
-                    .misbehavior_percent(pm)
-                    .sim_time_secs(secs),
-                &seeds,
-            );
-            t.row(&[
-                name.into(),
-                format!("{pm:.0}"),
-                f2(mean_of(&reports, |r| {
-                    r.diagnosis().correct_diagnosis_percent()
-                })),
-                f2(mean_of(&reports, |r| r.diagnosis().misdiagnosis_percent())),
-            ]);
-        }
-    }
-    t.print();
-    t.write_csv("ablation_adaptive");
+    std::process::exit(airguard_bench::cli::bin_main("ablation_adaptive"));
 }

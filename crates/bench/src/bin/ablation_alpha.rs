@@ -1,56 +1,8 @@
-//! Ablation (§4.1): the deviation tolerance α. Too small lets cheaters
-//! hide; too large misdiagnoses honest senders in asymmetric channels.
+//! Thin wrapper: `ablation_alpha` through the unified driver.
 //!
 //! Regenerate with: `cargo run --release -p airguard-bench --bin ablation_alpha`
-
-use airguard_bench::{f2, kbps, mean_of, run_seeds, seed_set, sim_secs, Table};
-use airguard_core::{CorrectConfig, CorrectionConfig};
-use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+//! (same flags as `airguard-bench`, figure fixed to `ablation_alpha`).
 
 fn main() {
-    let seeds = seed_set();
-    let secs = sim_secs();
-    let mut t = Table::new(
-        "Ablation: alpha sweep (TWO-FLOW, PM=50 for diag columns)",
-        &[
-            "alpha",
-            "correct%",
-            "misdiag%",
-            "MSB Kbps",
-            "honest misdiag% (PM=0)",
-        ],
-    );
-    for alpha in [0.5, 0.7, 0.8, 0.9, 0.95, 1.0] {
-        let mut cfg = CorrectConfig::paper_default();
-        cfg.monitor.correction = CorrectionConfig {
-            alpha,
-            ..CorrectionConfig::paper_default()
-        };
-        let cheat = run_seeds(
-            &ScenarioConfig::new(StandardScenario::TwoFlow)
-                .protocol(Protocol::Correct)
-                .correct_config(cfg)
-                .misbehavior_percent(50.0)
-                .sim_time_secs(secs),
-            &seeds,
-        );
-        let honest = run_seeds(
-            &ScenarioConfig::new(StandardScenario::TwoFlow)
-                .protocol(Protocol::Correct)
-                .correct_config(cfg)
-                .sim_time_secs(secs),
-            &seeds,
-        );
-        t.row(&[
-            format!("{alpha:.2}"),
-            f2(mean_of(&cheat, |r| {
-                r.diagnosis().correct_diagnosis_percent()
-            })),
-            f2(mean_of(&cheat, |r| r.diagnosis().misdiagnosis_percent())),
-            kbps(mean_of(&cheat, airguard_net::RunReport::msb_throughput_bps)),
-            f2(mean_of(&honest, |r| r.diagnosis().misdiagnosis_percent())),
-        ]);
-    }
-    t.print();
-    t.write_csv("ablation_alpha");
+    std::process::exit(airguard_bench::cli::bin_main("ablation_alpha"));
 }

@@ -1,56 +1,8 @@
-//! Ablation: channel-model sensitivity. The paper uses log-distance
-//! (β = 2) shadowing; here the same experiments run over a two-ray
-//! ground mean (ns-2's default outdoor model) with recalibrated
-//! thresholds, showing the scheme does not depend on the propagation
-//! law.
+//! Thin wrapper: `ablation_channel` through the unified driver.
 //!
 //! Regenerate with: `cargo run --release -p airguard-bench --bin ablation_channel`
-
-use airguard_bench::{f2, kbps, mean_of, run_seeds, seed_set, sim_secs, Table};
-use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
-use airguard_phy::pathloss::{Shadowing, DEFAULT_TX_POWER_MW};
-use airguard_phy::{Dbm, Meters, PhyConfig};
+//! (same flags as `airguard-bench`, figure fixed to `ablation_channel`).
 
 fn main() {
-    let seeds = seed_set();
-    let secs = sim_secs();
-    let two_ray = PhyConfig::calibrated(
-        Shadowing::two_ray(1.0),
-        Dbm::from_milliwatts(DEFAULT_TX_POWER_MW),
-        Meters::new(250.0),
-        Meters::new(550.0),
-    );
-    let mut t = Table::new(
-        "Ablation: propagation model (TWO-FLOW)",
-        &["channel", "PM%", "correct%", "misdiag%", "MSB Kbps"],
-    );
-    for (name, phy) in [
-        ("log-distance (paper)", PhyConfig::paper_default()),
-        ("two-ray ground", two_ray),
-    ] {
-        for pm in [0.0, 50.0, 80.0] {
-            let reports = run_seeds(
-                &ScenarioConfig::new(StandardScenario::TwoFlow)
-                    .protocol(Protocol::Correct)
-                    .phy(phy)
-                    .misbehavior_percent(pm)
-                    .sim_time_secs(secs),
-                &seeds,
-            );
-            t.row(&[
-                name.into(),
-                format!("{pm:.0}"),
-                f2(mean_of(&reports, |r| {
-                    r.diagnosis().correct_diagnosis_percent()
-                })),
-                f2(mean_of(&reports, |r| r.diagnosis().misdiagnosis_percent())),
-                kbps(mean_of(
-                    &reports,
-                    airguard_net::RunReport::msb_throughput_bps,
-                )),
-            ]);
-        }
-    }
-    t.print();
-    t.write_csv("ablation_channel");
+    std::process::exit(airguard_bench::cli::bin_main("ablation_channel"));
 }

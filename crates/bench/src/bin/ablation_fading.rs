@@ -1,45 +1,8 @@
-//! Ablation: temporal coherence of shadowing. The paper (via ns-2)
-//! redraws the Gaussian deviate per transmission; physical log-normal
-//! shadowing is static per link. Coherent fading turns marginal links
-//! into *persistent* carrier-sense asymmetries — the stress case for
-//! the misdiagnosis tradeoff.
+//! Thin wrapper: `ablation_fading` through the unified driver.
 //!
 //! Regenerate with: `cargo run --release -p airguard-bench --bin ablation_fading`
-
-use airguard_bench::{f2, mean_of, run_seeds, seed_set, sim_secs, Table};
-use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
-use airguard_phy::Fading;
+//! (same flags as `airguard-bench`, figure fixed to `ablation_fading`).
 
 fn main() {
-    let seeds = seed_set();
-    let secs = sim_secs();
-    let mut t = Table::new(
-        "Ablation: shadowing coherence (TWO-FLOW)",
-        &["fading", "PM%", "correct%", "misdiag%"],
-    );
-    for (name, fading) in [
-        ("per-transmission (paper)", Fading::PerTransmission),
-        ("coherent per link", Fading::Coherent),
-    ] {
-        for pm in [0.0, 50.0] {
-            let reports = run_seeds(
-                &ScenarioConfig::new(StandardScenario::TwoFlow)
-                    .protocol(Protocol::Correct)
-                    .fading(fading)
-                    .misbehavior_percent(pm)
-                    .sim_time_secs(secs),
-                &seeds,
-            );
-            t.row(&[
-                name.into(),
-                format!("{pm:.0}"),
-                f2(mean_of(&reports, |r| {
-                    r.diagnosis().correct_diagnosis_percent()
-                })),
-                f2(mean_of(&reports, |r| r.diagnosis().misdiagnosis_percent())),
-            ]);
-        }
-    }
-    t.print();
-    t.write_csv("ablation_fading");
+    std::process::exit(airguard_bench::cli::bin_main("ablation_fading"));
 }

@@ -1,65 +1,8 @@
-//! Ablation (§4.2): penalty shape. `P = D` alone lets moderate cheaters
-//! keep an edge; the paper's capped-extra penalty pins them to fair
-//! share; an aggressive 2·D penalty over-punishes honest noise.
+//! Thin wrapper: `ablation_penalty` through the unified driver.
 //!
 //! Regenerate with: `cargo run --release -p airguard-bench --bin ablation_penalty`
-
-use airguard_bench::{f2, kbps, mean_of, run_seeds, seed_set, sim_secs, Table};
-use airguard_core::{CorrectConfig, CorrectionConfig};
-use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+//! (same flags as `airguard-bench`, figure fixed to `ablation_penalty`).
 
 fn main() {
-    let seeds = seed_set();
-    let secs = sim_secs();
-    let shapes: [(&str, f64, f64); 4] = [
-        ("none (diagnosis only)", 0.0, 0.0),
-        ("P = D", 1.0, 0.0),
-        ("P = D + min(D,8) [paper]", 1.0, 8.0),
-        ("P = 2D + min(D,8)", 2.0, 8.0),
-    ];
-    let mut t = Table::new(
-        "Ablation: penalty shape (ZERO-FLOW, PM=60)",
-        &[
-            "penalty",
-            "MSB Kbps",
-            "AVG Kbps",
-            "fairness",
-            "honest AVG Kbps (PM=0)",
-        ],
-    );
-    for (name, scale, cap) in shapes {
-        let mut cfg = CorrectConfig::paper_default();
-        cfg.monitor.correction = CorrectionConfig {
-            penalty_scale: scale,
-            extra_cap: cap,
-            ..CorrectionConfig::paper_default()
-        };
-        let cheat = run_seeds(
-            &ScenarioConfig::new(StandardScenario::ZeroFlow)
-                .protocol(Protocol::Correct)
-                .correct_config(cfg)
-                .misbehavior_percent(60.0)
-                .sim_time_secs(secs),
-            &seeds,
-        );
-        let honest = run_seeds(
-            &ScenarioConfig::new(StandardScenario::ZeroFlow)
-                .protocol(Protocol::Correct)
-                .correct_config(cfg)
-                .sim_time_secs(secs),
-            &seeds,
-        );
-        t.row(&[
-            name.into(),
-            kbps(mean_of(&cheat, airguard_net::RunReport::msb_throughput_bps)),
-            kbps(mean_of(&cheat, airguard_net::RunReport::avg_throughput_bps)),
-            f2(mean_of(&cheat, airguard_net::RunReport::fairness_index)),
-            kbps(mean_of(
-                &honest,
-                airguard_net::RunReport::avg_throughput_bps,
-            )),
-        ]);
-    }
-    t.print();
-    t.write_csv("ablation_penalty");
+    std::process::exit(airguard_bench::cli::bin_main("ablation_penalty"));
 }

@@ -1,41 +1,8 @@
-//! Ablation (§4.3/§5): the diagnosis window W and threshold THRESH —
-//! the speed/false-positive tradeoff.
+//! Thin wrapper: `ablation_threshold` through the unified driver.
 //!
 //! Regenerate with: `cargo run --release -p airguard-bench --bin ablation_threshold`
-
-use airguard_bench::{f2, mean_of, run_seeds, seed_set, sim_secs, Table};
-use airguard_core::{CorrectConfig, DiagnosisConfig};
-use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+//! (same flags as `airguard-bench`, figure fixed to `ablation_threshold`).
 
 fn main() {
-    let seeds = seed_set();
-    let secs = sim_secs();
-    let mut t = Table::new(
-        "Ablation: (W, THRESH) grid (TWO-FLOW, PM=50)",
-        &["W", "THRESH", "correct%", "misdiag%"],
-    );
-    for w in [3usize, 5, 10] {
-        for thresh in [10.0, 20.0, 40.0] {
-            let mut cfg = CorrectConfig::paper_default();
-            cfg.monitor.diagnosis = DiagnosisConfig::new(w, thresh);
-            let reports = run_seeds(
-                &ScenarioConfig::new(StandardScenario::TwoFlow)
-                    .protocol(Protocol::Correct)
-                    .correct_config(cfg)
-                    .misbehavior_percent(50.0)
-                    .sim_time_secs(secs),
-                &seeds,
-            );
-            t.row(&[
-                w.to_string(),
-                format!("{thresh:.0}"),
-                f2(mean_of(&reports, |r| {
-                    r.diagnosis().correct_diagnosis_percent()
-                })),
-                f2(mean_of(&reports, |r| r.diagnosis().misdiagnosis_percent())),
-            ]);
-        }
-    }
-    t.print();
-    t.write_csv("ablation_threshold");
+    std::process::exit(airguard_bench::cli::bin_main("ablation_threshold"));
 }

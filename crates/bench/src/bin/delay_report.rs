@@ -1,40 +1,8 @@
-//! Extension experiment: the *delay* side of selfish misbehavior (§3.1
-//! defines it as seeking "higher throughput or lower delay"). Reports
-//! mean MAC delay of the cheater vs honest senders, 802.11 vs CORRECT.
+//! Thin wrapper: `delay_report` through the unified driver.
 //!
 //! Regenerate with: `cargo run --release -p airguard-bench --bin delay_report`
-
-use airguard_bench::{f2, mean_of, pm_sweep, run_seeds, seed_set, sim_secs, Table};
-use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+//! (same flags as `airguard-bench`, figure fixed to `delay_report`).
 
 fn main() {
-    let seeds = seed_set();
-    let secs = sim_secs();
-    let mut t = Table::new(
-        "Extension: mean MAC delay (ms) vs PM, ZERO-FLOW",
-        &[
-            "PM%",
-            "802.11-MSB",
-            "802.11-AVG",
-            "CORRECT-MSB",
-            "CORRECT-AVG",
-        ],
-    );
-    for pm in pm_sweep() {
-        let mut cells = vec![format!("{pm:.0}")];
-        for proto in [Protocol::Dot11, Protocol::Correct] {
-            let reports = run_seeds(
-                &ScenarioConfig::new(StandardScenario::ZeroFlow)
-                    .protocol(proto)
-                    .misbehavior_percent(pm)
-                    .sim_time_secs(secs),
-                &seeds,
-            );
-            cells.push(f2(mean_of(&reports, airguard_net::RunReport::msb_delay_ms)));
-            cells.push(f2(mean_of(&reports, airguard_net::RunReport::avg_delay_ms)));
-        }
-        t.row(&cells);
-    }
-    t.print();
-    t.write_csv("delay_report");
+    std::process::exit(airguard_bench::cli::bin_main("delay_report"));
 }

@@ -1,50 +1,8 @@
-//! Fig. 4: diagnosis accuracy vs magnitude of misbehavior (PM), for the
-//! ZERO-FLOW and TWO-FLOW scenarios under the proposed protocol.
+//! Thin wrapper: `fig4` through the unified driver.
 //!
 //! Regenerate with: `cargo run --release -p airguard-bench --bin fig4`
-
-use airguard_bench::{
-    f2, mean_of, pm_sweep, run_seeds, seed_set, sim_secs, write_report_jsonl, Table,
-};
-use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+//! (same flags as `airguard-bench`, figure fixed to `fig4`).
 
 fn main() {
-    let seeds = seed_set();
-    let secs = sim_secs();
-    let mut summaries = Vec::new();
-    let mut t = Table::new(
-        "Fig. 4: correct diagnosis % and misdiagnosis % vs PM",
-        &[
-            "PM%",
-            "zero:correct%",
-            "zero:misdiag%",
-            "two:correct%",
-            "two:misdiag%",
-        ],
-    );
-    for pm in pm_sweep() {
-        let mut cells = vec![format!("{pm:.0}")];
-        for sc in [StandardScenario::ZeroFlow, StandardScenario::TwoFlow] {
-            let cfg = ScenarioConfig::new(sc)
-                .protocol(Protocol::Correct)
-                .misbehavior_percent(pm)
-                .sim_time_secs(secs);
-            let reports = run_seeds(&cfg, &seeds);
-            for r in &reports {
-                let mut s = r.summary.clone();
-                s.label = format!("fig4/{sc:?}/pm{pm:.0}");
-                summaries.push(s);
-            }
-            cells.push(f2(mean_of(&reports, |r| {
-                r.diagnosis().correct_diagnosis_percent()
-            })));
-            cells.push(f2(mean_of(&reports, |r| {
-                r.diagnosis().misdiagnosis_percent()
-            })));
-        }
-        t.row(&cells);
-    }
-    t.print();
-    t.write_csv("fig4");
-    write_report_jsonl("fig4", &summaries);
+    std::process::exit(airguard_bench::cli::bin_main("fig4"));
 }

@@ -1,44 +1,8 @@
-//! Fig. 5: throughput of the misbehaving node (MSB) and the average
-//! well-behaved node (AVG), IEEE 802.11 vs the proposed scheme
-//! (CORRECT), vs PM. Fig. 3 topology, 8 senders, node 3 misbehaving.
+//! Thin wrapper: `fig5` through the unified driver.
 //!
 //! Regenerate with: `cargo run --release -p airguard-bench --bin fig5`
-
-use airguard_bench::{kbps, mean_of, pm_sweep, run_seeds, seed_set, sim_secs, Table};
-use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+//! (same flags as `airguard-bench`, figure fixed to `fig5`).
 
 fn main() {
-    let seeds = seed_set();
-    let secs = sim_secs();
-    let mut t = Table::new(
-        "Fig. 5: throughput (Kbps) vs PM, 802.11 vs CORRECT",
-        &[
-            "PM%",
-            "802.11-MSB",
-            "802.11-AVG",
-            "CORRECT-MSB",
-            "CORRECT-AVG",
-        ],
-    );
-    for pm in pm_sweep() {
-        let mut cells = vec![format!("{pm:.0}")];
-        for proto in [Protocol::Dot11, Protocol::Correct] {
-            let cfg = ScenarioConfig::new(StandardScenario::ZeroFlow)
-                .protocol(proto)
-                .misbehavior_percent(pm)
-                .sim_time_secs(secs);
-            let reports = run_seeds(&cfg, &seeds);
-            cells.push(kbps(mean_of(
-                &reports,
-                airguard_net::RunReport::msb_throughput_bps,
-            )));
-            cells.push(kbps(mean_of(
-                &reports,
-                airguard_net::RunReport::avg_throughput_bps,
-            )));
-        }
-        t.row(&cells);
-    }
-    t.print();
-    t.write_csv("fig5");
+    std::process::exit(airguard_bench::cli::bin_main("fig5"));
 }

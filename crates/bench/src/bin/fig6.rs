@@ -1,41 +1,8 @@
-//! Fig. 6: average per-node throughput *without* misbehavior for network
-//! sizes 1–64, 802.11 vs CORRECT, ZERO-FLOW and TWO-FLOW.
+//! Thin wrapper: `fig6` through the unified driver.
 //!
 //! Regenerate with: `cargo run --release -p airguard-bench --bin fig6`
-
-use airguard_bench::{kbps, mean_of, run_seeds, seed_set, sim_secs, Table};
-use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+//! (same flags as `airguard-bench`, figure fixed to `fig6`).
 
 fn main() {
-    let seeds = seed_set();
-    let secs = sim_secs();
-    let mut t = Table::new(
-        "Fig. 6: avg per-node throughput (Kbps) vs network size, no misbehavior",
-        &[
-            "senders",
-            "zero:802.11",
-            "zero:CORRECT",
-            "two:802.11",
-            "two:CORRECT",
-        ],
-    );
-    for n in [1usize, 2, 4, 8, 16, 32, 64] {
-        let mut cells = vec![n.to_string()];
-        for sc in [StandardScenario::ZeroFlow, StandardScenario::TwoFlow] {
-            for proto in [Protocol::Dot11, Protocol::Correct] {
-                let cfg = ScenarioConfig::new(sc)
-                    .protocol(proto)
-                    .n_senders(n)
-                    .sim_time_secs(secs);
-                let reports = run_seeds(&cfg, &seeds);
-                cells.push(kbps(mean_of(
-                    &reports,
-                    airguard_net::RunReport::avg_throughput_bps,
-                )));
-            }
-        }
-        t.row(&cells);
-    }
-    t.print();
-    t.write_csv("fig6");
+    std::process::exit(airguard_bench::cli::bin_main("fig6"));
 }

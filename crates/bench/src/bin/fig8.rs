@@ -1,40 +1,8 @@
-//! Fig. 8: responsiveness of the diagnosis scheme — correct diagnosis %
-//! per one-second interval, TWO-FLOW, PM ∈ {40, 80}, pooled over the
-//! seed set.
+//! Thin wrapper: `fig8` through the unified driver.
 //!
 //! Regenerate with: `cargo run --release -p airguard-bench --bin fig8`
-
-use airguard_bench::{run_seeds, seed_set, sim_secs, Table};
-use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+//! (same flags as `airguard-bench`, figure fixed to `fig8`).
 
 fn main() {
-    let seeds = seed_set();
-    let secs = sim_secs();
-    let pms = [40.0, 80.0];
-    let mut pooled = Vec::new();
-    for &pm in &pms {
-        let cfg = ScenarioConfig::new(StandardScenario::TwoFlow)
-            .protocol(Protocol::Correct)
-            .misbehavior_percent(pm)
-            .sim_time_secs(secs);
-        let reports = run_seeds(&cfg, &seeds);
-        let mut merged = reports[0].series.clone();
-        for r in &reports[1..] {
-            merged.merge(&r.series);
-        }
-        pooled.push(merged);
-    }
-    let mut t = Table::new(
-        "Fig. 8: correct diagnosis % per 1 s interval (TWO-FLOW)",
-        &["t(s)", "PM=40%", "PM=80%"],
-    );
-    for (i, (b40, b80)) in pooled[0].bins().iter().zip(pooled[1].bins()).enumerate() {
-        t.row(&[
-            i.to_string(),
-            format!("{:.1}", b40.percent()),
-            format!("{:.1}", b80.percent()),
-        ]);
-    }
-    t.print();
-    t.write_csv("fig8");
+    std::process::exit(airguard_bench::cli::bin_main("fig8"));
 }

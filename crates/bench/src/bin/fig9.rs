@@ -1,66 +1,8 @@
-//! Fig. 9: protocol performance on random topologies — 40 nodes in
-//! 1500 m × 700 m, 5 random misbehaving, each node running a backlogged
-//! CBR flow to a neighbor. (a) diagnosis accuracy vs PM under CORRECT;
-//! (b) MSB/AVG throughput vs PM for 802.11 and CORRECT.
+//! Thin wrapper: `fig9` through the unified driver.
 //!
 //! Regenerate with: `cargo run --release -p airguard-bench --bin fig9`
-
-use airguard_bench::{f2, kbps, mean_of, pm_sweep, run_seeds, seed_set, sim_secs, Table};
-use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+//! (same flags as `airguard-bench`, figure fixed to `fig9`).
 
 fn main() {
-    let seeds = seed_set();
-    let secs = sim_secs();
-
-    let mut a = Table::new(
-        "Fig. 9(a): diagnosis accuracy vs PM, random topologies",
-        &["PM%", "correct%", "misdiag%"],
-    );
-    let mut b = Table::new(
-        "Fig. 9(b): throughput (Kbps) vs PM, random topologies",
-        &[
-            "PM%",
-            "802.11-MSB",
-            "802.11-AVG",
-            "CORRECT-MSB",
-            "CORRECT-AVG",
-        ],
-    );
-    for pm in pm_sweep() {
-        let correct_cfg = ScenarioConfig::new(StandardScenario::Random)
-            .protocol(Protocol::Correct)
-            .misbehavior_percent(pm)
-            .sim_time_secs(secs);
-        let correct = run_seeds(&correct_cfg, &seeds);
-        a.row(&[
-            format!("{pm:.0}"),
-            f2(mean_of(&correct, |r| {
-                r.diagnosis().correct_diagnosis_percent()
-            })),
-            f2(mean_of(&correct, |r| r.diagnosis().misdiagnosis_percent())),
-        ]);
-
-        let dot11_cfg = ScenarioConfig::new(StandardScenario::Random)
-            .protocol(Protocol::Dot11)
-            .misbehavior_percent(pm)
-            .sim_time_secs(secs);
-        let dot11 = run_seeds(&dot11_cfg, &seeds);
-        b.row(&[
-            format!("{pm:.0}"),
-            kbps(mean_of(&dot11, airguard_net::RunReport::msb_throughput_bps)),
-            kbps(mean_of(&dot11, airguard_net::RunReport::avg_throughput_bps)),
-            kbps(mean_of(
-                &correct,
-                airguard_net::RunReport::msb_throughput_bps,
-            )),
-            kbps(mean_of(
-                &correct,
-                airguard_net::RunReport::avg_throughput_bps,
-            )),
-        ]);
-    }
-    a.print();
-    a.write_csv("fig9a");
-    b.print();
-    b.write_csv("fig9b");
+    std::process::exit(airguard_bench::cli::bin_main("fig9"));
 }

@@ -1,49 +1,8 @@
-//! §1 intro claim: under plain 802.11, one of 8 senders drawing backoff
-//! from [0, CW/4] degrades the throughput of the other 7 by up to ~50 %.
+//! Thin wrapper: `intro_claim` through the unified driver.
 //!
 //! Regenerate with: `cargo run --release -p airguard-bench --bin intro_claim`
-
-use airguard_bench::{kbps, mean_of, run_seeds, seed_set, sim_secs, Table};
-use airguard_mac::Selfish;
-use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+//! (same flags as `airguard-bench`, figure fixed to `intro_claim`).
 
 fn main() {
-    let seeds = seed_set();
-    let secs = sim_secs();
-    let base = ScenarioConfig::new(StandardScenario::ZeroFlow)
-        .protocol(Protocol::Dot11)
-        .sim_time_secs(secs);
-
-    let fair = run_seeds(&base, &seeds);
-    let fair_share = mean_of(&fair, airguard_net::RunReport::avg_throughput_bps);
-
-    let cheat = run_seeds(&base.clone().strategy(Selfish::QuarterWindow), &seeds);
-    let msb = mean_of(&cheat, airguard_net::RunReport::msb_throughput_bps);
-    let avg = mean_of(&cheat, airguard_net::RunReport::avg_throughput_bps);
-
-    let mut t = Table::new(
-        "Intro claim: one [0, CW/4] cheater among 8 senders (802.11)",
-        &["series", "Kbps", "vs fair share"],
-    );
-    t.row(&[
-        "fair share (all honest)".into(),
-        kbps(fair_share),
-        "100.0%".into(),
-    ]);
-    t.row(&[
-        "cheater (MSB)".into(),
-        kbps(msb),
-        format!("{:.1}%", 100.0 * msb / fair_share),
-    ]);
-    t.row(&[
-        "honest avg (AVG)".into(),
-        kbps(avg),
-        format!("{:.1}%", 100.0 * avg / fair_share),
-    ]);
-    t.print();
-    t.write_csv("intro_claim");
-    println!(
-        "\nHonest senders degraded to {:.1}% of fair share (paper: \"as much as 50%\").",
-        100.0 * avg / fair_share
-    );
+    std::process::exit(airguard_bench::cli::bin_main("intro_claim"));
 }

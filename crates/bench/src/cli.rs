@@ -1,0 +1,356 @@
+//! The unified `airguard-bench` command line.
+//!
+//! One driver regenerates any registered figure:
+//!
+//! ```text
+//! airguard-bench --list
+//! airguard-bench --figure fig4 --seeds 30 --secs 50 --jsonl
+//! airguard-bench                       # every figure, paper settings
+//! ```
+//!
+//! The 15 `figN` binaries call [`bin_main`] with their figure name
+//! forced and accept the same flags. Seed count and horizon fall back
+//! to the `AIRGUARD_SEEDS` / `AIRGUARD_SECS` environment variables;
+//! malformed values are *rejected with an error*, never silently
+//! defaulted.
+
+use std::time::Instant;
+
+use airguard_exp::{run_experiment, write_report_jsonl, Experiment, ResultCache, RunOptions};
+
+use crate::figures;
+use crate::{PAPER_SECS, PAPER_SEEDS};
+
+/// One stdout line. The CLI owns the console; the figure/table layer
+/// below stays print-free apart from `Table::print`.
+fn out(line: &str) {
+    println!("{line}"); // lint:allow(print-macro) — the CLI driver is the process's user-facing output
+}
+
+/// One stderr line (progress, warnings, failures).
+fn err(line: &str) {
+    eprintln!("{line}"); // lint:allow(print-macro) — the CLI driver owns the process's diagnostics stream
+}
+
+const USAGE: &str = "\
+usage: airguard-bench [--figure NAME]... [options]
+
+options:
+  --figure NAME    run one registered figure (repeatable; default: all)
+  --list           list registered figures and exit
+  --seeds N        seed-set size (default 30, or AIRGUARD_SEEDS)
+  --secs N         simulated seconds per run (default 50, or AIRGUARD_SECS)
+  --workers N      worker threads (default: one per core)
+  --jsonl          write results/<name>.report.jsonl telemetry
+  --no-cache       ignore and do not update results/cache
+  --cache-dir DIR  result cache location (default results/cache)
+  --help           show this help";
+
+/// Everything the flag parser produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cli {
+    /// Selected figure names; empty means every registered figure.
+    pub figures: Vec<String>,
+    /// `--list`: print the registry and exit.
+    pub list: bool,
+    /// `--help`: print usage and exit.
+    pub help: bool,
+    /// Seed-set size.
+    pub seeds: u64,
+    /// Simulated seconds per run.
+    pub secs: u64,
+    /// Worker threads; 0 means one per core.
+    pub workers: usize,
+    /// Write the telemetry report even when the figure doesn't default
+    /// to it.
+    pub jsonl: bool,
+    /// Disable the result cache.
+    pub no_cache: bool,
+    /// Cache location override.
+    pub cache_dir: Option<String>,
+}
+
+/// Parses a positive integer, rejecting junk and zero with a clear
+/// message naming the source (`--seeds`, `AIRGUARD_SECS`, …).
+fn parse_positive(source: &str, value: &str) -> Result<u64, String> {
+    match value.trim().parse::<u64>() {
+        Ok(0) => Err(format!("{source}: expected a positive integer, got 0")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "{source}: expected a positive integer, got {value:?}"
+        )),
+    }
+}
+
+/// Reads `name` from the environment; unset is `None`, malformed is an
+/// error (never a silent default).
+fn env_positive(name: &str) -> Result<Option<u64>, String> {
+    match std::env::var(name) {
+        Ok(v) => parse_positive(name, &v).map(Some),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err(format!("{name}: value is not valid unicode"))
+        }
+    }
+}
+
+/// Parses `args` (no argv[0]). `forced_figure` is set by the thin
+/// per-figure binaries; they reject `--figure`/`--list`.
+///
+/// # Errors
+///
+/// Returns a usage-style message on unknown flags, malformed numbers,
+/// or malformed `AIRGUARD_SEEDS`/`AIRGUARD_SECS` values.
+pub fn parse(args: &[String], forced_figure: Option<&str>) -> Result<Cli, String> {
+    let mut cli = Cli {
+        figures: forced_figure.iter().map(|s| (*s).to_owned()).collect(),
+        list: false,
+        help: false,
+        seeds: env_positive("AIRGUARD_SEEDS")?.unwrap_or(PAPER_SEEDS),
+        secs: env_positive("AIRGUARD_SECS")?.unwrap_or(PAPER_SECS),
+        workers: 0,
+        jsonl: false,
+        no_cache: false,
+        cache_dir: None,
+    };
+    let mut it = args.iter();
+    let value = |flag: &str, it: &mut std::slice::Iter<String>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag}: missing value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--figure" => {
+                let name = value("--figure", &mut it)?;
+                if forced_figure.is_some() {
+                    return Err(format!(
+                        "--figure: this binary is fixed to one figure; use `airguard-bench --figure {name}`"
+                    ));
+                }
+                cli.figures.push(name);
+            }
+            "--list" => {
+                if forced_figure.is_some() {
+                    return Err("--list: use `airguard-bench --list`".to_owned());
+                }
+                cli.list = true;
+            }
+            "--help" | "-h" => cli.help = true,
+            "--seeds" => cli.seeds = parse_positive("--seeds", &value("--seeds", &mut it)?)?,
+            "--secs" => cli.secs = parse_positive("--secs", &value("--secs", &mut it)?)?,
+            "--workers" => {
+                let v = value("--workers", &mut it)?;
+                cli.workers = usize::try_from(parse_positive("--workers", &v)?)
+                    .map_err(|_| format!("--workers: value {v:?} out of range"))?;
+            }
+            "--jsonl" => cli.jsonl = true,
+            "--no-cache" => cli.no_cache = true,
+            "--cache-dir" => cli.cache_dir = Some(value("--cache-dir", &mut it)?),
+            other => return Err(format!("unknown flag {other:?} (see --help)")),
+        }
+    }
+    Ok(cli)
+}
+
+/// Resolves the selected experiments, preserving registry order.
+fn select(figures: &[String]) -> Result<Vec<Experiment>, String> {
+    if figures.is_empty() {
+        return Ok(figures::all());
+    }
+    figures
+        .iter()
+        .map(|name| {
+            figures::find(name).ok_or_else(|| {
+                format!("unknown figure {name:?} (run `airguard-bench --list` for the registry)")
+            })
+        })
+        .collect()
+}
+
+/// Runs one parsed invocation; returns the process exit code.
+#[must_use]
+pub fn run(cli: &Cli) -> i32 {
+    if cli.help {
+        out(USAGE);
+        return 0;
+    }
+    if cli.list {
+        for e in figures::all() {
+            out(&format!(
+                "{:<20} {:>3} points  {}",
+                e.name,
+                e.points.len(),
+                e.title
+            ));
+        }
+        return 0;
+    }
+    let exps = match select(&cli.figures) {
+        Ok(exps) => exps,
+        Err(msg) => {
+            err(&format!("airguard-bench: {msg}"));
+            return 2;
+        }
+    };
+
+    let mut opts = RunOptions::new(cli.seeds, cli.secs);
+    opts.workers = cli.workers;
+    opts.cache = if cli.no_cache {
+        None
+    } else {
+        Some(ResultCache::new(
+            cli.cache_dir
+                .as_ref()
+                .map_or_else(ResultCache::default_root, Into::into),
+        ))
+    };
+
+    let mut exit = 0;
+    for exp in exps {
+        let start = Instant::now();
+        let outcome = run_experiment(&exp, &opts);
+        for fig in &outcome.rendered.figures {
+            fig.table.print();
+        }
+        for note in &outcome.rendered.notes {
+            out(&format!("\n{note}"));
+        }
+        for fig in &outcome.rendered.figures {
+            if let Err(e) = fig.table.write_csv(&fig.name) {
+                err(&format!(
+                    "airguard-bench: failed to write results/{}.csv: {e}",
+                    fig.name
+                ));
+                exit = 1;
+            }
+        }
+        if cli.jsonl || exp.jsonl_default {
+            if let Err(e) = write_report_jsonl(exp.name, &outcome.report_lines) {
+                err(&format!(
+                    "airguard-bench: failed to write results/{}.report.jsonl: {e}",
+                    exp.name
+                ));
+                exit = 1;
+            }
+        }
+        for warning in &outcome.warnings {
+            err(&format!("airguard-bench: warning: {warning}"));
+        }
+        for failure in &outcome.failures {
+            err(&format!("airguard-bench: {failure}"));
+            exit = 1;
+        }
+        err(&format!(
+            "[exp] {}: {} (workers={}, {:.1} s)",
+            exp.name,
+            outcome.progress,
+            opts.effective_workers(),
+            start.elapsed().as_secs_f64()
+        ));
+    }
+    exit
+}
+
+/// Entry point for the unified `airguard-bench` binary.
+#[must_use]
+pub fn cli_main() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args, None) {
+        Ok(cli) => run(&cli),
+        Err(msg) => {
+            err(&format!("airguard-bench: {msg}"));
+            err(USAGE);
+            2
+        }
+    }
+}
+
+/// Entry point for the thin per-figure binaries (`fig4`, `fig5`, …).
+#[must_use]
+pub fn bin_main(figure: &str) -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args, Some(figure)) {
+        Ok(cli) => run(&cli),
+        Err(msg) => {
+            err(&format!("{figure}: {msg}"));
+            err(USAGE);
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn defaults_are_the_paper_settings() {
+        let cli = parse(&[], None).expect("parses");
+        assert_eq!(cli.seeds, PAPER_SEEDS);
+        assert_eq!(cli.secs, PAPER_SECS);
+        assert!(cli.figures.is_empty());
+        assert!(!cli.jsonl && !cli.no_cache && !cli.list);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let cli = parse(
+            &args(&[
+                "--figure",
+                "fig4",
+                "--seeds",
+                "3",
+                "--secs",
+                "2",
+                "--workers",
+                "4",
+                "--jsonl",
+                "--no-cache",
+                "--cache-dir",
+                "/tmp/c",
+            ]),
+            None,
+        )
+        .expect("parses");
+        assert_eq!(cli.figures, vec!["fig4".to_owned()]);
+        assert_eq!((cli.seeds, cli.secs, cli.workers), (3, 2, 4));
+        assert!(cli.jsonl && cli.no_cache);
+        assert_eq!(cli.cache_dir.as_deref(), Some("/tmp/c"));
+    }
+
+    #[test]
+    fn malformed_numbers_are_rejected() {
+        assert!(parse(&args(&["--seeds", "many"]), None)
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(parse(&args(&["--secs", "0"]), None)
+            .unwrap_err()
+            .contains("got 0"));
+        assert!(parse(&args(&["--seeds"]), None)
+            .unwrap_err()
+            .contains("missing value"));
+        assert!(parse(&args(&["--frobnicate"]), None)
+            .unwrap_err()
+            .contains("unknown flag"));
+    }
+
+    #[test]
+    fn forced_figure_binaries_reject_selection_flags() {
+        let cli = parse(&args(&["--seeds", "2"]), Some("fig4")).expect("parses");
+        assert_eq!(cli.figures, vec!["fig4".to_owned()]);
+        assert!(parse(&args(&["--figure", "fig5"]), Some("fig4")).is_err());
+        assert!(parse(&args(&["--list"]), Some("fig4")).is_err());
+    }
+
+    #[test]
+    fn unknown_figures_are_reported() {
+        let msg = select(&["no_such".to_owned()]).unwrap_err();
+        assert!(msg.contains("unknown figure"));
+        assert_eq!(select(&[]).expect("all").len(), 15);
+    }
+}

@@ -1,0 +1,70 @@
+//! Ablation (footnote 2): the scheme without the RTS/CTS handshake.
+//! Basic access carries the attempt number in DATA; detection and
+//! correction must survive, and raw capacity improves.
+
+use airguard_exp::{f2, kbps, metric, Axes, Experiment, ExperimentResult, Figure, Rendered, Table};
+use airguard_mac::AccessMode;
+use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+
+const MODES: [(&str, AccessMode); 2] = [
+    ("rts-cts", AccessMode::RtsCts),
+    ("basic", AccessMode::Basic),
+];
+const PMS: [f64; 3] = [0.0, 50.0, 80.0];
+
+fn axes(name: &str, pm: f64) -> Axes {
+    Axes::new()
+        .with("access", name)
+        .with("pm", format!("{pm:.0}"))
+}
+
+/// The access-mode ablation grid.
+#[must_use]
+pub fn experiment() -> Experiment {
+    let mut e = Experiment::new(
+        "ablation_access",
+        "Ablation: RTS/CTS vs basic access (ZERO-FLOW)",
+    );
+    e.render = render;
+    for (name, access) in MODES {
+        for pm in PMS {
+            e.push(
+                &axes(name, pm),
+                ScenarioConfig::new(StandardScenario::ZeroFlow)
+                    .protocol(Protocol::Correct)
+                    .access(access)
+                    .misbehavior_percent(pm),
+            );
+        }
+    }
+    e
+}
+
+fn render(r: &ExperimentResult) -> Rendered {
+    let mut t = Table::new(
+        "Ablation: RTS/CTS vs basic access (ZERO-FLOW)",
+        &[
+            "access", "PM%", "correct%", "misdiag%", "MSB Kbps", "AVG Kbps",
+        ],
+    );
+    for (name, _) in MODES {
+        for pm in PMS {
+            let a = axes(name, pm);
+            t.row(&[
+                name.into(),
+                format!("{pm:.0}"),
+                f2(r.mean(&a, metric::CORRECT_PCT)),
+                f2(r.mean(&a, metric::MISDIAG_PCT)),
+                kbps(r.mean(&a, metric::MSB_BPS)),
+                kbps(r.mean(&a, metric::AVG_BPS)),
+            ]);
+        }
+    }
+    Rendered {
+        figures: vec![Figure {
+            name: "ablation_access".into(),
+            table: t,
+        }],
+        notes: Vec::new(),
+    }
+}

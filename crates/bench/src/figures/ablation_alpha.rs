@@ -1,0 +1,80 @@
+//! Ablation (§4.1): the deviation tolerance α. Too small lets cheaters
+//! hide; too large misdiagnoses honest senders in asymmetric channels.
+
+use airguard_core::{CorrectConfig, CorrectionConfig};
+use airguard_exp::{f2, kbps, metric, Axes, Experiment, ExperimentResult, Figure, Rendered, Table};
+use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+
+const ALPHAS: [f64; 6] = [0.5, 0.7, 0.8, 0.9, 0.95, 1.0];
+
+fn axes(alpha: f64, mode: &str) -> Axes {
+    Axes::new()
+        .with("alpha", format!("{alpha:.2}"))
+        .with("mode", mode)
+}
+
+fn cfg_for(alpha: f64) -> CorrectConfig {
+    let mut cfg = CorrectConfig::paper_default();
+    cfg.monitor.correction = CorrectionConfig {
+        alpha,
+        ..CorrectionConfig::paper_default()
+    };
+    cfg
+}
+
+/// The α sweep: each tolerance at PM=50 (cheat) and PM=0 (honest).
+#[must_use]
+pub fn experiment() -> Experiment {
+    let mut e = Experiment::new(
+        "ablation_alpha",
+        "Ablation: alpha sweep (TWO-FLOW, PM=50 for diag columns)",
+    );
+    e.render = render;
+    for alpha in ALPHAS {
+        e.push(
+            &axes(alpha, "cheat"),
+            ScenarioConfig::new(StandardScenario::TwoFlow)
+                .protocol(Protocol::Correct)
+                .correct_config(cfg_for(alpha))
+                .misbehavior_percent(50.0),
+        );
+        e.push(
+            &axes(alpha, "honest"),
+            ScenarioConfig::new(StandardScenario::TwoFlow)
+                .protocol(Protocol::Correct)
+                .correct_config(cfg_for(alpha)),
+        );
+    }
+    e
+}
+
+fn render(r: &ExperimentResult) -> Rendered {
+    let mut t = Table::new(
+        "Ablation: alpha sweep (TWO-FLOW, PM=50 for diag columns)",
+        &[
+            "alpha",
+            "correct%",
+            "misdiag%",
+            "MSB Kbps",
+            "honest misdiag% (PM=0)",
+        ],
+    );
+    for alpha in ALPHAS {
+        let cheat = axes(alpha, "cheat");
+        let honest = axes(alpha, "honest");
+        t.row(&[
+            format!("{alpha:.2}"),
+            f2(r.mean(&cheat, metric::CORRECT_PCT)),
+            f2(r.mean(&cheat, metric::MISDIAG_PCT)),
+            kbps(r.mean(&cheat, metric::MSB_BPS)),
+            f2(r.mean(&honest, metric::MISDIAG_PCT)),
+        ]);
+    }
+    Rendered {
+        figures: vec![Figure {
+            name: "ablation_alpha".into(),
+            table: t,
+        }],
+        notes: Vec::new(),
+    }
+}

@@ -1,0 +1,86 @@
+//! Ablation (§4.2): penalty shape. `P = D` alone lets moderate cheaters
+//! keep an edge; the paper's capped-extra penalty pins them to fair
+//! share; an aggressive 2·D penalty over-punishes honest noise.
+
+use airguard_core::{CorrectConfig, CorrectionConfig};
+use airguard_exp::{f2, kbps, metric, Axes, Experiment, ExperimentResult, Figure, Rendered, Table};
+use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+
+/// `(axis value, display name, penalty scale, extra cap)` per shape.
+const SHAPES: [(&str, &str, f64, f64); 4] = [
+    ("none", "none (diagnosis only)", 0.0, 0.0),
+    ("pd", "P = D", 1.0, 0.0),
+    ("paper", "P = D + min(D,8) [paper]", 1.0, 8.0),
+    ("double", "P = 2D + min(D,8)", 2.0, 8.0),
+];
+
+fn axes(shape: &str, mode: &str) -> Axes {
+    Axes::new().with("shape", shape).with("mode", mode)
+}
+
+fn cfg_for(scale: f64, cap: f64) -> CorrectConfig {
+    let mut cfg = CorrectConfig::paper_default();
+    cfg.monitor.correction = CorrectionConfig {
+        penalty_scale: scale,
+        extra_cap: cap,
+        ..CorrectionConfig::paper_default()
+    };
+    cfg
+}
+
+/// The penalty-shape ablation: each shape at PM=60 (cheat) and PM=0.
+#[must_use]
+pub fn experiment() -> Experiment {
+    let mut e = Experiment::new(
+        "ablation_penalty",
+        "Ablation: penalty shape (ZERO-FLOW, PM=60)",
+    );
+    e.render = render;
+    for (key, _, scale, cap) in SHAPES {
+        e.push(
+            &axes(key, "cheat"),
+            ScenarioConfig::new(StandardScenario::ZeroFlow)
+                .protocol(Protocol::Correct)
+                .correct_config(cfg_for(scale, cap))
+                .misbehavior_percent(60.0),
+        );
+        e.push(
+            &axes(key, "honest"),
+            ScenarioConfig::new(StandardScenario::ZeroFlow)
+                .protocol(Protocol::Correct)
+                .correct_config(cfg_for(scale, cap)),
+        );
+    }
+    e
+}
+
+fn render(r: &ExperimentResult) -> Rendered {
+    let mut t = Table::new(
+        "Ablation: penalty shape (ZERO-FLOW, PM=60)",
+        &[
+            "penalty",
+            "MSB Kbps",
+            "AVG Kbps",
+            "fairness",
+            "honest AVG Kbps (PM=0)",
+        ],
+    );
+    for (key, display, _, _) in SHAPES {
+        let cheat = axes(key, "cheat");
+        let honest = axes(key, "honest");
+        t.row(&[
+            display.into(),
+            kbps(r.mean(&cheat, metric::MSB_BPS)),
+            kbps(r.mean(&cheat, metric::AVG_BPS)),
+            f2(r.mean(&cheat, metric::FAIRNESS)),
+            kbps(r.mean(&honest, metric::AVG_BPS)),
+        ]);
+    }
+    Rendered {
+        figures: vec![Figure {
+            name: "ablation_penalty".into(),
+            table: t,
+        }],
+        notes: Vec::new(),
+    }
+}

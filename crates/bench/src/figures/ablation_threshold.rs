@@ -1,0 +1,64 @@
+//! Ablation (§4.3/§5): the diagnosis window W and threshold THRESH —
+//! the speed/false-positive tradeoff.
+
+use airguard_core::{CorrectConfig, DiagnosisConfig};
+use airguard_exp::{f2, metric, Axes, Experiment, ExperimentResult, Figure, Rendered, Table};
+use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+
+const WINDOWS: [usize; 3] = [3, 5, 10];
+const THRESHES: [f64; 3] = [10.0, 20.0, 40.0];
+
+fn axes(w: usize, thresh: f64) -> Axes {
+    Axes::new()
+        .with("w", w)
+        .with("thresh", format!("{thresh:.0}"))
+}
+
+/// The (W, THRESH) grid at PM=50 on TWO-FLOW.
+#[must_use]
+pub fn experiment() -> Experiment {
+    let mut e = Experiment::new(
+        "ablation_threshold",
+        "Ablation: (W, THRESH) grid (TWO-FLOW, PM=50)",
+    );
+    e.render = render;
+    for w in WINDOWS {
+        for thresh in THRESHES {
+            let mut cfg = CorrectConfig::paper_default();
+            cfg.monitor.diagnosis = DiagnosisConfig::new(w, thresh);
+            e.push(
+                &axes(w, thresh),
+                ScenarioConfig::new(StandardScenario::TwoFlow)
+                    .protocol(Protocol::Correct)
+                    .correct_config(cfg)
+                    .misbehavior_percent(50.0),
+            );
+        }
+    }
+    e
+}
+
+fn render(r: &ExperimentResult) -> Rendered {
+    let mut t = Table::new(
+        "Ablation: (W, THRESH) grid (TWO-FLOW, PM=50)",
+        &["W", "THRESH", "correct%", "misdiag%"],
+    );
+    for w in WINDOWS {
+        for thresh in THRESHES {
+            let a = axes(w, thresh);
+            t.row(&[
+                w.to_string(),
+                format!("{thresh:.0}"),
+                f2(r.mean(&a, metric::CORRECT_PCT)),
+                f2(r.mean(&a, metric::MISDIAG_PCT)),
+            ]);
+        }
+    }
+    Rendered {
+        figures: vec![Figure {
+            name: "ablation_threshold".into(),
+            table: t,
+        }],
+        notes: Vec::new(),
+    }
+}

@@ -1,0 +1,65 @@
+//! Extension experiment: the *delay* side of selfish misbehavior (§3.1
+//! defines it as seeking "higher throughput or lower delay"). Reports
+//! mean MAC delay of the cheater vs honest senders, 802.11 vs CORRECT.
+
+use airguard_exp::{f2, metric, Axes, Experiment, ExperimentResult, Figure, Rendered, Table};
+use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+
+use super::proto_key;
+use crate::pm_sweep;
+
+fn axes(proto: Protocol, pm: f64) -> Axes {
+    Axes::new()
+        .with("proto", proto_key(proto))
+        .with("pm", format!("{pm:.0}"))
+}
+
+/// The delay sweep: PM × {802.11, CORRECT} on ZERO-FLOW.
+#[must_use]
+pub fn experiment() -> Experiment {
+    let mut e = Experiment::new(
+        "delay_report",
+        "Extension: mean MAC delay (ms) vs PM, ZERO-FLOW",
+    );
+    e.render = render;
+    for proto in [Protocol::Dot11, Protocol::Correct] {
+        for pm in pm_sweep() {
+            e.push(
+                &axes(proto, pm),
+                ScenarioConfig::new(StandardScenario::ZeroFlow)
+                    .protocol(proto)
+                    .misbehavior_percent(pm),
+            );
+        }
+    }
+    e
+}
+
+fn render(r: &ExperimentResult) -> Rendered {
+    let mut t = Table::new(
+        "Extension: mean MAC delay (ms) vs PM, ZERO-FLOW",
+        &[
+            "PM%",
+            "802.11-MSB",
+            "802.11-AVG",
+            "CORRECT-MSB",
+            "CORRECT-AVG",
+        ],
+    );
+    for pm in pm_sweep() {
+        let mut cells = vec![format!("{pm:.0}")];
+        for proto in [Protocol::Dot11, Protocol::Correct] {
+            let a = axes(proto, pm);
+            cells.push(f2(r.mean(&a, metric::MSB_DELAY_MS)));
+            cells.push(f2(r.mean(&a, metric::AVG_DELAY_MS)));
+        }
+        t.row(&cells);
+    }
+    Rendered {
+        figures: vec![Figure {
+            name: "delay_report".into(),
+            table: t,
+        }],
+        notes: Vec::new(),
+    }
+}

@@ -1,0 +1,65 @@
+//! Fig. 4: diagnosis accuracy vs magnitude of misbehavior (PM), for the
+//! ZERO-FLOW and TWO-FLOW scenarios under the proposed protocol.
+
+use airguard_exp::{f2, metric, Axes, Experiment, ExperimentResult, Figure, Rendered, Table};
+use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+
+use super::sc_key;
+use crate::pm_sweep;
+
+fn axes(sc: StandardScenario, pm: f64) -> Axes {
+    Axes::new()
+        .with("scenario", sc_key(sc))
+        .with("pm", format!("{pm:.0}"))
+}
+
+/// The fig4 sweep: PM × {ZERO-FLOW, TWO-FLOW} under CORRECT.
+#[must_use]
+pub fn experiment() -> Experiment {
+    let mut e = Experiment::new(
+        "fig4",
+        "Fig. 4: correct diagnosis % and misdiagnosis % vs PM",
+    );
+    e.jsonl_default = true;
+    e.render = render;
+    for sc in [StandardScenario::ZeroFlow, StandardScenario::TwoFlow] {
+        for pm in pm_sweep() {
+            e.push(
+                &axes(sc, pm),
+                ScenarioConfig::new(sc)
+                    .protocol(Protocol::Correct)
+                    .misbehavior_percent(pm),
+            );
+        }
+    }
+    e
+}
+
+fn render(r: &ExperimentResult) -> Rendered {
+    let mut t = Table::new(
+        "Fig. 4: correct diagnosis % and misdiagnosis % vs PM",
+        &[
+            "PM%",
+            "zero:correct%",
+            "zero:misdiag%",
+            "two:correct%",
+            "two:misdiag%",
+        ],
+    );
+    for pm in pm_sweep() {
+        let mut cells = vec![format!("{pm:.0}")];
+        for sc in [StandardScenario::ZeroFlow, StandardScenario::TwoFlow] {
+            let a = axes(sc, pm);
+            cells.push(f2(r.mean(&a, metric::CORRECT_PCT)));
+            cells.push(f2(r.mean(&a, metric::MISDIAG_PCT)));
+        }
+        t.row(&cells);
+    }
+    Rendered {
+        figures: vec![Figure {
+            name: "fig4".into(),
+            table: t,
+        }],
+        notes: Vec::new(),
+    }
+}

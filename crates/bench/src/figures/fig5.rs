@@ -1,0 +1,62 @@
+//! Fig. 5: throughput of the misbehaving node (MSB) and the average
+//! well-behaved node (AVG), IEEE 802.11 vs the proposed scheme
+//! (CORRECT), vs PM. Fig. 3 topology, 8 senders, node 3 misbehaving.
+
+use airguard_exp::{kbps, metric, Axes, Experiment, ExperimentResult, Figure, Rendered, Table};
+use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+
+use super::proto_key;
+use crate::pm_sweep;
+
+fn axes(proto: Protocol, pm: f64) -> Axes {
+    Axes::new()
+        .with("proto", proto_key(proto))
+        .with("pm", format!("{pm:.0}"))
+}
+
+/// The fig5 sweep: PM × {802.11, CORRECT} on ZERO-FLOW.
+#[must_use]
+pub fn experiment() -> Experiment {
+    let mut e = Experiment::new("fig5", "Fig. 5: throughput (Kbps) vs PM, 802.11 vs CORRECT");
+    e.render = render;
+    for proto in [Protocol::Dot11, Protocol::Correct] {
+        for pm in pm_sweep() {
+            e.push(
+                &axes(proto, pm),
+                ScenarioConfig::new(StandardScenario::ZeroFlow)
+                    .protocol(proto)
+                    .misbehavior_percent(pm),
+            );
+        }
+    }
+    e
+}
+
+fn render(r: &ExperimentResult) -> Rendered {
+    let mut t = Table::new(
+        "Fig. 5: throughput (Kbps) vs PM, 802.11 vs CORRECT",
+        &[
+            "PM%",
+            "802.11-MSB",
+            "802.11-AVG",
+            "CORRECT-MSB",
+            "CORRECT-AVG",
+        ],
+    );
+    for pm in pm_sweep() {
+        let mut cells = vec![format!("{pm:.0}")];
+        for proto in [Protocol::Dot11, Protocol::Correct] {
+            let a = axes(proto, pm);
+            cells.push(kbps(r.mean(&a, metric::MSB_BPS)));
+            cells.push(kbps(r.mean(&a, metric::AVG_BPS)));
+        }
+        t.row(&cells);
+    }
+    Rendered {
+        figures: vec![Figure {
+            name: "fig5".into(),
+            table: t,
+        }],
+        notes: Vec::new(),
+    }
+}

@@ -1,0 +1,72 @@
+//! Fig. 6: average per-node throughput *without* misbehavior for network
+//! sizes 1–64, 802.11 vs CORRECT, ZERO-FLOW and TWO-FLOW.
+
+use airguard_exp::{kbps, metric, Axes, Experiment, ExperimentResult, Figure, Rendered, Table};
+use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+
+use super::{proto_key, sc_key};
+
+/// Network sizes swept by Figs. 6 and 7.
+pub(crate) const SIZES: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+pub(crate) fn axes(sc: StandardScenario, proto: Protocol, n: usize) -> Axes {
+    Axes::new()
+        .with("scenario", sc_key(sc))
+        .with("proto", proto_key(proto))
+        .with("n", n)
+}
+
+/// Registers every scenario × protocol × size point shared by Figs. 6/7.
+pub(crate) fn push_size_grid(e: &mut Experiment) {
+    for n in SIZES {
+        for sc in [StandardScenario::ZeroFlow, StandardScenario::TwoFlow] {
+            for proto in [Protocol::Dot11, Protocol::Correct] {
+                e.push(
+                    &axes(sc, proto, n),
+                    ScenarioConfig::new(sc).protocol(proto).n_senders(n),
+                );
+            }
+        }
+    }
+}
+
+/// The fig6 sweep: network size × scenario × protocol, no misbehavior.
+#[must_use]
+pub fn experiment() -> Experiment {
+    let mut e = Experiment::new(
+        "fig6",
+        "Fig. 6: avg per-node throughput (Kbps) vs network size, no misbehavior",
+    );
+    e.render = render;
+    push_size_grid(&mut e);
+    e
+}
+
+fn render(r: &ExperimentResult) -> Rendered {
+    let mut t = Table::new(
+        "Fig. 6: avg per-node throughput (Kbps) vs network size, no misbehavior",
+        &[
+            "senders",
+            "zero:802.11",
+            "zero:CORRECT",
+            "two:802.11",
+            "two:CORRECT",
+        ],
+    );
+    for n in SIZES {
+        let mut cells = vec![n.to_string()];
+        for sc in [StandardScenario::ZeroFlow, StandardScenario::TwoFlow] {
+            for proto in [Protocol::Dot11, Protocol::Correct] {
+                cells.push(kbps(r.mean(&axes(sc, proto, n), metric::AVG_BPS)));
+            }
+        }
+        t.row(&cells);
+    }
+    Rendered {
+        figures: vec![Figure {
+            name: "fig6".into(),
+            table: t,
+        }],
+        notes: Vec::new(),
+    }
+}

@@ -1,0 +1,55 @@
+//! Fig. 7: Jain's fairness index for network sizes 1–64 without
+//! misbehavior, 802.11 vs CORRECT, ZERO-FLOW and TWO-FLOW.
+//!
+//! Runs the *same* grid as Fig. 6 — with the result cache enabled the
+//! second of the two figures re-reads every cell instead of
+//! re-simulating it.
+
+use airguard_exp::{metric, Experiment, ExperimentResult, Figure, Rendered, Table};
+use airguard_net::{Protocol, StandardScenario};
+
+use super::fig6::{axes, push_size_grid, SIZES};
+
+/// The fig7 sweep: identical grid to fig6, rendered as fairness.
+#[must_use]
+pub fn experiment() -> Experiment {
+    let mut e = Experiment::new(
+        "fig7",
+        "Fig. 7: Jain's fairness index vs network size, no misbehavior",
+    );
+    e.render = render;
+    push_size_grid(&mut e);
+    e
+}
+
+fn render(r: &ExperimentResult) -> Rendered {
+    let mut t = Table::new(
+        "Fig. 7: Jain's fairness index vs network size, no misbehavior",
+        &[
+            "senders",
+            "zero:802.11",
+            "zero:CORRECT",
+            "two:802.11",
+            "two:CORRECT",
+        ],
+    );
+    for n in SIZES {
+        let mut cells = vec![n.to_string()];
+        for sc in [StandardScenario::ZeroFlow, StandardScenario::TwoFlow] {
+            for proto in [Protocol::Dot11, Protocol::Correct] {
+                cells.push(format!(
+                    "{:.4}",
+                    r.mean(&axes(sc, proto, n), metric::FAIRNESS)
+                ));
+            }
+        }
+        t.row(&cells);
+    }
+    Rendered {
+        figures: vec![Figure {
+            name: "fig7".into(),
+            table: t,
+        }],
+        notes: Vec::new(),
+    }
+}

@@ -1,0 +1,54 @@
+//! Fig. 8: responsiveness of the diagnosis scheme — correct diagnosis %
+//! per one-second interval, TWO-FLOW, PM ∈ {40, 80}, pooled over the
+//! seed set.
+
+use airguard_exp::{Axes, Experiment, ExperimentResult, Figure, Rendered, Table};
+use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+
+const PMS: [f64; 2] = [40.0, 80.0];
+
+fn axes(pm: f64) -> Axes {
+    Axes::new().with("pm", format!("{pm:.0}"))
+}
+
+/// The fig8 sweep: PM ∈ {40, 80} on TWO-FLOW under CORRECT.
+#[must_use]
+pub fn experiment() -> Experiment {
+    let mut e = Experiment::new(
+        "fig8",
+        "Fig. 8: correct diagnosis % per 1 s interval (TWO-FLOW)",
+    );
+    e.render = render;
+    for pm in PMS {
+        e.push(
+            &axes(pm),
+            ScenarioConfig::new(StandardScenario::TwoFlow)
+                .protocol(Protocol::Correct)
+                .misbehavior_percent(pm),
+        );
+    }
+    e
+}
+
+fn render(r: &ExperimentResult) -> Rendered {
+    let pooled40 = r.point(&axes(PMS[0])).pooled_series();
+    let pooled80 = r.point(&axes(PMS[1])).pooled_series();
+    let mut t = Table::new(
+        "Fig. 8: correct diagnosis % per 1 s interval (TWO-FLOW)",
+        &["t(s)", "PM=40%", "PM=80%"],
+    );
+    for (i, (b40, b80)) in pooled40.iter().zip(&pooled80).enumerate() {
+        t.row(&[
+            i.to_string(),
+            format!("{:.1}", b40.percent()),
+            format!("{:.1}", b80.percent()),
+        ]);
+    }
+    Rendered {
+        figures: vec![Figure {
+            name: "fig8".into(),
+            table: t,
+        }],
+        notes: Vec::new(),
+    }
+}

@@ -1,0 +1,83 @@
+//! Fig. 9: protocol performance on random topologies — 40 nodes in
+//! 1500 m × 700 m, 5 random misbehaving, each node running a backlogged
+//! CBR flow to a neighbor. (a) diagnosis accuracy vs PM under CORRECT;
+//! (b) MSB/AVG throughput vs PM for 802.11 and CORRECT.
+
+use airguard_exp::{f2, kbps, metric, Axes, Experiment, ExperimentResult, Figure, Rendered, Table};
+use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+
+use super::proto_key;
+use crate::pm_sweep;
+
+fn axes(proto: Protocol, pm: f64) -> Axes {
+    Axes::new()
+        .with("proto", proto_key(proto))
+        .with("pm", format!("{pm:.0}"))
+}
+
+/// The fig9 sweep: PM × {802.11, CORRECT} on random topologies.
+#[must_use]
+pub fn experiment() -> Experiment {
+    let mut e = Experiment::new(
+        "fig9",
+        "Fig. 9: random topologies — accuracy and throughput",
+    );
+    e.render = render;
+    for proto in [Protocol::Correct, Protocol::Dot11] {
+        for pm in pm_sweep() {
+            e.push(
+                &axes(proto, pm),
+                ScenarioConfig::new(StandardScenario::Random)
+                    .protocol(proto)
+                    .misbehavior_percent(pm),
+            );
+        }
+    }
+    e
+}
+
+fn render(r: &ExperimentResult) -> Rendered {
+    let mut a = Table::new(
+        "Fig. 9(a): diagnosis accuracy vs PM, random topologies",
+        &["PM%", "correct%", "misdiag%"],
+    );
+    let mut b = Table::new(
+        "Fig. 9(b): throughput (Kbps) vs PM, random topologies",
+        &[
+            "PM%",
+            "802.11-MSB",
+            "802.11-AVG",
+            "CORRECT-MSB",
+            "CORRECT-AVG",
+        ],
+    );
+    for pm in pm_sweep() {
+        let correct = axes(Protocol::Correct, pm);
+        let dot11 = axes(Protocol::Dot11, pm);
+        a.row(&[
+            format!("{pm:.0}"),
+            f2(r.mean(&correct, metric::CORRECT_PCT)),
+            f2(r.mean(&correct, metric::MISDIAG_PCT)),
+        ]);
+        b.row(&[
+            format!("{pm:.0}"),
+            kbps(r.mean(&dot11, metric::MSB_BPS)),
+            kbps(r.mean(&dot11, metric::AVG_BPS)),
+            kbps(r.mean(&correct, metric::MSB_BPS)),
+            kbps(r.mean(&correct, metric::AVG_BPS)),
+        ]);
+    }
+    Rendered {
+        figures: vec![
+            Figure {
+                name: "fig9a".into(),
+                table: a,
+            },
+            Figure {
+                name: "fig9b".into(),
+                table: b,
+            },
+        ],
+        notes: Vec::new(),
+    }
+}

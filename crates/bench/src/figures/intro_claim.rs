@@ -1,0 +1,60 @@
+//! §1 intro claim: under plain 802.11, one of 8 senders drawing backoff
+//! from [0, CW/4] degrades the throughput of the other 7 by up to ~50 %.
+
+use airguard_exp::{kbps, metric, Axes, Experiment, ExperimentResult, Figure, Rendered, Table};
+use airguard_mac::Selfish;
+use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+
+fn axes(variant: &str) -> Axes {
+    Axes::new().with("variant", variant)
+}
+
+/// The intro-claim pair: all-honest baseline vs one [0, CW/4] cheater.
+#[must_use]
+pub fn experiment() -> Experiment {
+    let mut e = Experiment::new(
+        "intro_claim",
+        "Intro claim: one [0, CW/4] cheater among 8 senders (802.11)",
+    );
+    e.render = render;
+    let base = ScenarioConfig::new(StandardScenario::ZeroFlow).protocol(Protocol::Dot11);
+    e.push(&axes("fair"), base.clone());
+    e.push(&axes("cheat"), base.strategy(Selfish::QuarterWindow));
+    e
+}
+
+fn render(r: &ExperimentResult) -> Rendered {
+    let fair_share = r.mean(&axes("fair"), metric::AVG_BPS);
+    let msb = r.mean(&axes("cheat"), metric::MSB_BPS);
+    let avg = r.mean(&axes("cheat"), metric::AVG_BPS);
+
+    let mut t = Table::new(
+        "Intro claim: one [0, CW/4] cheater among 8 senders (802.11)",
+        &["series", "Kbps", "vs fair share"],
+    );
+    t.row(&[
+        "fair share (all honest)".into(),
+        kbps(fair_share),
+        "100.0%".into(),
+    ]);
+    t.row(&[
+        "cheater (MSB)".into(),
+        kbps(msb),
+        format!("{:.1}%", 100.0 * msb / fair_share),
+    ]);
+    t.row(&[
+        "honest avg (AVG)".into(),
+        kbps(avg),
+        format!("{:.1}%", 100.0 * avg / fair_share),
+    ]);
+    Rendered {
+        figures: vec![Figure {
+            name: "intro_claim".into(),
+            table: t,
+        }],
+        notes: vec![format!(
+            "Honest senders degraded to {:.1}% of fair share (paper: \"as much as 50%\").",
+            100.0 * avg / fair_share
+        )],
+    }
+}

@@ -1,0 +1,70 @@
+//! Declarative sweep registrations: one [`Experiment`] per published
+//! figure, table, or ablation of the paper.
+//!
+//! Each module builds its grid (`points`) and a render function; the
+//! engine in `airguard-exp` owns seeds, scheduling, caching, and
+//! collection. Registration order here is the `--list` order.
+
+use airguard_exp::Experiment;
+use airguard_net::{Protocol, StandardScenario};
+
+pub mod ablation_access;
+pub mod ablation_adaptive;
+pub mod ablation_alpha;
+pub mod ablation_channel;
+pub mod ablation_fading;
+pub mod ablation_penalty;
+pub mod ablation_threshold;
+pub mod delay_report;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod intro_claim;
+
+/// Every registered experiment, in presentation order.
+#[must_use]
+pub fn all() -> Vec<Experiment> {
+    vec![
+        intro_claim::experiment(),
+        fig4::experiment(),
+        fig5::experiment(),
+        fig6::experiment(),
+        fig7::experiment(),
+        fig8::experiment(),
+        fig9::experiment(),
+        delay_report::experiment(),
+        ablation_access::experiment(),
+        ablation_adaptive::experiment(),
+        ablation_alpha::experiment(),
+        ablation_channel::experiment(),
+        ablation_fading::experiment(),
+        ablation_penalty::experiment(),
+        ablation_threshold::experiment(),
+    ]
+}
+
+/// Looks an experiment up by registry name.
+#[must_use]
+pub fn find(name: &str) -> Option<Experiment> {
+    all().into_iter().find(|e| e.name == name)
+}
+
+/// Short axis value naming a scenario.
+pub(crate) fn sc_key(sc: StandardScenario) -> &'static str {
+    match sc {
+        StandardScenario::ZeroFlow => "zero",
+        StandardScenario::TwoFlow => "two",
+        StandardScenario::Random => "random",
+    }
+}
+
+/// Short axis value naming a protocol.
+pub(crate) fn proto_key(proto: Protocol) -> &'static str {
+    match proto {
+        Protocol::Dot11 => "dot11",
+        Protocol::Correct => "correct",
+    }
+}

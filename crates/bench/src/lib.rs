@@ -1,76 +1,39 @@
 //! Shared harness for regenerating every table and figure of the paper.
 //!
-//! Each `src/bin/figN.rs` binary sweeps the parameters of one published
-//! figure, averages over the seed set, and prints the series the paper
-//! plots (plus a CSV copy under `results/`). The helpers here keep the
-//! binaries small and uniform:
+//! The heavy lifting — sweep scheduling, work-stealing execution,
+//! result caching, deterministic collection — lives in `airguard-exp`.
+//! This crate contributes the paper-specific layer:
 //!
-//! * [`seed_set`] / [`sim_secs`] — the paper runs 30 seeds × 50 s; both
-//!   are overridable via `AIRGUARD_SEEDS` and `AIRGUARD_SECS` for quick
-//!   passes;
-//! * [`run_seeds`] — executes a configured scenario once per seed,
-//!   fanning out across available cores with crossbeam's scoped threads;
-//! * [`Table`] — fixed-width console table plus CSV writer.
+//! * [`figures`] — one declarative [`airguard_exp::Experiment`]
+//!   registration per published figure/table/ablation;
+//! * [`cli`] — the unified `airguard-bench` command line
+//!   (`--figure fig4 --seeds 30 --secs 50 --jsonl --no-cache --list`);
+//!   the 15 `src/bin/figN.rs` binaries are thin wrappers that force one
+//!   figure and accept the same flags.
+//!
+//! The paper runs 30 seeds × 50 s; both are overridable with
+//! `--seeds`/`--secs` or the `AIRGUARD_SEEDS`/`AIRGUARD_SECS`
+//! environment variables (malformed values are rejected, not silently
+//! defaulted).
 
 #![forbid(unsafe_code)]
 
-use std::io::Write as _;
-use std::path::Path;
+pub mod cli;
+pub mod figures;
 
-use airguard_net::{RunReport, ScenarioConfig};
-use airguard_obs::RunSummary;
+pub use airguard_exp::{f2, kbps, run_seeds, write_report_jsonl, Table};
+use airguard_net::RunReport;
+
+/// The paper's seed-set size (§5: averages over 30 runs).
+pub const PAPER_SEEDS: u64 = 30;
+
+/// The paper's simulated seconds per run.
+pub const PAPER_SECS: u64 = 50;
 
 /// The paper's PM sweep: 0 %, 10 %, …, 100 %.
 #[must_use]
 pub fn pm_sweep() -> Vec<f64> {
     (0..=10).map(|i| f64::from(i) * 10.0).collect()
-}
-
-/// The seed set: `1..=AIRGUARD_SEEDS` (default 30, as in the paper).
-#[must_use]
-pub fn seed_set() -> Vec<u64> {
-    let n = std::env::var("AIRGUARD_SEEDS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(30u64);
-    (1..=n.max(1)).collect()
-}
-
-/// Simulated seconds per run: `AIRGUARD_SECS` (default 50, as in the
-/// paper).
-#[must_use]
-pub fn sim_secs() -> u64 {
-    std::env::var("AIRGUARD_SECS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(50u64)
-        .max(1)
-}
-
-/// Runs `cfg` once per seed, in parallel across the machine's cores.
-#[must_use]
-pub fn run_seeds(cfg: &ScenarioConfig, seeds: &[u64]) -> Vec<RunReport> {
-    let workers = std::thread::available_parallelism()
-        .map_or(1, std::num::NonZero::get)
-        .min(seeds.len().max(1));
-    if workers <= 1 {
-        return seeds.iter().map(|&s| cfg.clone().seed(s).run()).collect();
-    }
-    let mut out: Vec<Option<RunReport>> = (0..seeds.len()).map(|_| None).collect();
-    let chunk = seeds.len().div_ceil(workers);
-    crossbeam::thread::scope(|scope| {
-        for (seed_chunk, out_chunk) in seeds.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
-                for (&s, slot) in seed_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *slot = Some(cfg.clone().seed(s).run());
-                }
-            });
-        }
-    })
-    .expect("worker thread panicked"); // lint:allow(panic-expect) — a panicking worker has already invalidated the measurement; re-raising is the only honest handling
-    out.into_iter()
-        .map(|r| r.expect("every slot filled")) // lint:allow(panic-expect) — chunks(chunk) partitions seeds and out identically, so every slot is written exactly once
-        .collect()
 }
 
 /// Mean of `metric` over a set of run reports.
@@ -82,111 +45,10 @@ pub fn mean_of(reports: &[RunReport], metric: impl Fn(&RunReport) -> f64) -> f64
     reports.iter().map(metric).sum::<f64>() / reports.len() as f64
 }
 
-/// A fixed-width console table that can also be written as CSV.
-#[derive(Debug, Clone)]
-pub struct Table {
-    title: String,
-    header: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Creates an empty table.
-    #[must_use]
-    pub fn new(title: &str, header: &[&str]) -> Self {
-        Table {
-            title: title.to_owned(),
-            header: header.iter().map(|s| (*s).to_owned()).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends a row.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the arity differs from the header.
-    pub fn row(&mut self, cells: &[String]) {
-        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
-        self.rows.push(cells.to_vec());
-    }
-
-    /// Prints the table to stdout.
-    pub fn print(&self) {
-        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
-        for row in &self.rows {
-            for (w, cell) in widths.iter_mut().zip(row) {
-                *w = (*w).max(cell.len());
-            }
-        }
-        println!("\n== {} ==", self.title); // lint:allow(print-macro) — console table rendering is this harness's user-facing output, not library diagnostics
-        let fmt_row = |cells: &[String]| {
-            cells
-                .iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
-        };
-        println!("{}", fmt_row(&self.header)); // lint:allow(print-macro) — console table rendering is this harness's user-facing output, not library diagnostics
-        for row in &self.rows {
-            println!("{}", fmt_row(row)); // lint:allow(print-macro) — console table rendering is this harness's user-facing output, not library diagnostics
-        }
-    }
-
-    /// Writes the table as CSV under `results/<name>.csv` (creating the
-    /// directory), best-effort.
-    pub fn write_csv(&self, name: &str) {
-        let dir = Path::new("results");
-        if std::fs::create_dir_all(dir).is_err() {
-            return;
-        }
-        let path = dir.join(format!("{name}.csv"));
-        let Ok(mut f) = std::fs::File::create(&path) else {
-            return;
-        };
-        let _ = writeln!(f, "{}", self.header.join(","));
-        for row in &self.rows {
-            let _ = writeln!(f, "{}", row.join(","));
-        }
-        println!("[csv] wrote {}", path.display()); // lint:allow(print-macro) — file-location notice for the person running the figure binary
-    }
-}
-
-/// Writes per-run telemetry summaries as JSONL under
-/// `results/<name>.report.jsonl` (one [`RunSummary`] per line), next to
-/// the figure's CSV. Best-effort, like [`Table::write_csv`].
-pub fn write_report_jsonl(name: &str, summaries: &[RunSummary]) {
-    let dir = Path::new("results");
-    if std::fs::create_dir_all(dir).is_err() {
-        return;
-    }
-    let path = dir.join(format!("{name}.report.jsonl"));
-    let Ok(mut f) = std::fs::File::create(&path) else {
-        return;
-    };
-    for summary in summaries {
-        let _ = writeln!(f, "{}", summary.to_json());
-    }
-    println!("[report] wrote {}", path.display()); // lint:allow(print-macro) — file-location notice for the person running the figure binary
-}
-
-/// Formats a float cell with two decimals.
-#[must_use]
-pub fn f2(v: f64) -> String {
-    format!("{v:.2}")
-}
-
-/// Formats a throughput in Kb/s with one decimal.
-#[must_use]
-pub fn kbps(v_bps: f64) -> String {
-    format!("{:.1}", v_bps / 1000.0)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use airguard_net::{Protocol, StandardScenario};
+    use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
 
     #[test]
     fn pm_sweep_covers_0_to_100() {
@@ -202,24 +64,22 @@ mod tests {
             .protocol(Protocol::Dot11)
             .n_senders(2)
             .sim_time_secs(1);
-        let reports = run_seeds(&cfg, &[1, 2, 3]);
+        let reports = run_seeds(&cfg, &[1, 2, 3], 0).expect("no cell failed");
         assert_eq!(reports.len(), 3);
         assert!(reports.iter().all(|r| r.throughput.total_bytes() > 0));
     }
 
     #[test]
-    fn table_round_trips() {
-        let mut t = Table::new("demo", &["a", "b"]);
-        t.row(&["1".into(), "2".into()]);
-        t.print();
-        assert_eq!(f2(1.234), "1.23");
-        assert_eq!(kbps(1500.0), "1.5");
-    }
-
-    #[test]
-    #[should_panic(expected = "arity")]
-    fn table_rejects_bad_rows() {
-        let mut t = Table::new("demo", &["a", "b"]);
-        t.row(&["1".into()]);
+    fn every_figure_is_registered_once() {
+        let names: Vec<&str> = figures::all().iter().map(|e| e.name).collect();
+        assert_eq!(names.len(), 15, "15 published figures/ablations");
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "names are unique");
+        for name in names {
+            assert!(figures::find(name).is_some());
+        }
+        assert!(figures::find("no_such_figure").is_none());
     }
 }

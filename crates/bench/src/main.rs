@@ -1,0 +1,7 @@
+//! The unified figure-regeneration driver; see `cli` for flags.
+//!
+//! Regenerate everything with: `cargo run --release -p airguard-bench`
+
+fn main() {
+    std::process::exit(airguard_bench::cli::cli_main());
+}

@@ -1,0 +1,305 @@
+//! One grid cell's results: the metrics a figure can ask of one
+//! `(configuration, seed)` simulation run.
+//!
+//! [`CellMetrics`] is the unit of caching: everything any registered
+//! figure consumes — the scalar metric set, the Fig.-8 time series, and
+//! the telemetry summary (counters + histograms) — extracted from a
+//! [`RunReport`] immediately after the run. The text serialisation
+//! ([`CellMetrics::to_cache_text`] / [`CellMetrics::parse_cache_text`])
+//! stores floats as IEEE-754 bit patterns, so a cache round trip is
+//! bit-exact and cached re-runs render byte-identical CSV.
+
+use std::collections::BTreeMap;
+
+use airguard_metrics::Bin;
+use airguard_net::RunReport;
+use airguard_obs::{HistogramSnapshot, RunSummary};
+
+/// Names of the scalar metrics extracted from every run.
+pub mod metric {
+    /// Correct-diagnosis percentage (share of misbehaving senders'
+    /// packets flagged).
+    pub const CORRECT_PCT: &str = "correct_pct";
+    /// Misdiagnosis percentage (share of honest senders' packets
+    /// flagged).
+    pub const MISDIAG_PCT: &str = "misdiag_pct";
+    /// Mean throughput of misbehaving measured senders, bit/s.
+    pub const MSB_BPS: &str = "msb_bps";
+    /// Mean throughput of well-behaved measured senders, bit/s.
+    pub const AVG_BPS: &str = "avg_bps";
+    /// Jain's fairness index over measured flows.
+    pub const FAIRNESS: &str = "fairness";
+    /// Mean MAC delay of misbehaving measured senders, ms.
+    pub const MSB_DELAY_MS: &str = "msb_delay_ms";
+    /// Mean MAC delay of well-behaved measured senders, ms.
+    pub const AVG_DELAY_MS: &str = "avg_delay_ms";
+    /// Total delivered payload bytes across all flows.
+    pub const TOTAL_BYTES: &str = "total_bytes";
+}
+
+/// The metrics of one `(configuration, seed)` cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellMetrics {
+    /// Master seed the run used.
+    pub seed: u64,
+    /// Virtual time elapsed, microseconds.
+    pub elapsed_us: u64,
+    /// The runner's own `SimulationConfig` digest (kept for report
+    /// fidelity; the *cache key* digest is the scenario-level one).
+    pub summary_digest: String,
+    /// Scalar metrics by [`metric`] name.
+    pub scalars: BTreeMap<String, f64>,
+    /// Fig.-8 time series: per-interval packet/flagged counts of
+    /// misbehaving senders.
+    pub series: Vec<Bin>,
+    /// Telemetry counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Telemetry histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl CellMetrics {
+    /// Extracts the cacheable metric set from a finished run.
+    #[must_use]
+    pub fn from_report(report: &RunReport) -> Self {
+        let mut scalars = BTreeMap::new();
+        let diag = report.diagnosis();
+        scalars.insert(
+            metric::CORRECT_PCT.to_owned(),
+            diag.correct_diagnosis_percent(),
+        );
+        scalars.insert(metric::MISDIAG_PCT.to_owned(), diag.misdiagnosis_percent());
+        scalars.insert(metric::MSB_BPS.to_owned(), report.msb_throughput_bps());
+        scalars.insert(metric::AVG_BPS.to_owned(), report.avg_throughput_bps());
+        scalars.insert(metric::FAIRNESS.to_owned(), report.fairness_index());
+        scalars.insert(metric::MSB_DELAY_MS.to_owned(), report.msb_delay_ms());
+        scalars.insert(metric::AVG_DELAY_MS.to_owned(), report.avg_delay_ms());
+        scalars.insert(
+            metric::TOTAL_BYTES.to_owned(),
+            report.throughput.total_bytes() as f64,
+        );
+        CellMetrics {
+            seed: report.summary.seed,
+            elapsed_us: report.summary.elapsed_us,
+            summary_digest: report.summary.config_digest.clone(),
+            scalars,
+            series: report.series.bins().to_vec(),
+            counters: report.summary.counters.clone(),
+            histograms: report.summary.histograms.clone(),
+        }
+    }
+
+    /// A scalar metric by name (0.0 when absent, which only happens for
+    /// cells parsed from a cache written by a *newer* metric set — the
+    /// cache version header prevents the reverse).
+    #[must_use]
+    pub fn scalar(&self, name: &str) -> f64 {
+        self.scalars.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Rebuilds the per-run telemetry summary under `label` (the engine
+    /// labels cells `<experiment>/<point-key>`).
+    #[must_use]
+    pub fn to_summary(&self, label: impl Into<String>) -> RunSummary {
+        RunSummary {
+            label: label.into(),
+            seed: self.seed,
+            config_digest: self.summary_digest.clone(),
+            elapsed_us: self.elapsed_us,
+            counters: self.counters.clone(),
+            histograms: self.histograms.clone(),
+        }
+    }
+
+    /// Serialises the cell for the result cache: a line-oriented text
+    /// format with floats stored as hex bit patterns (the trailing
+    /// decimal rendering on `scalar` lines is a human aid, ignored on
+    /// parse). Ends with an `end` marker so truncated files are
+    /// detected as cache misses.
+    #[must_use]
+    pub fn to_cache_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("airguard-cell v1\n");
+        let _ = writeln!(out, "seed {}", self.seed);
+        let _ = writeln!(out, "elapsed_us {}", self.elapsed_us);
+        let _ = writeln!(out, "summary_digest {}", self.summary_digest);
+        for (name, value) in &self.scalars {
+            let _ = writeln!(out, "scalar {name} {:016x} {value}", value.to_bits());
+        }
+        for bin in &self.series {
+            let _ = writeln!(out, "bin {} {}", bin.packets, bin.flagged);
+        }
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "counter {name} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = write!(out, "hist {name} {}", h.bounds.len());
+            for b in &h.bounds {
+                let _ = write!(out, " {b}");
+            }
+            let _ = write!(out, " {}", h.counts.len());
+            for c in &h.counts {
+                let _ = write!(out, " {c}");
+            }
+            let _ = writeln!(out, " {} {}", h.total, h.sum);
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses [`Self::to_cache_text`] output. Any malformed, truncated,
+    /// or version-mismatched input returns `None` — the caller treats
+    /// it as a cache miss and re-simulates.
+    #[must_use]
+    pub fn parse_cache_text(text: &str) -> Option<Self> {
+        let mut lines = text.lines();
+        if lines.next()? != "airguard-cell v1" {
+            return None;
+        }
+        let mut cell = CellMetrics {
+            seed: 0,
+            elapsed_us: 0,
+            summary_digest: String::new(),
+            scalars: BTreeMap::new(),
+            series: Vec::new(),
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        };
+        let mut complete = false;
+        for line in lines {
+            let mut fields = line.split_whitespace();
+            match fields.next()? {
+                "seed" => cell.seed = fields.next()?.parse().ok()?,
+                "elapsed_us" => cell.elapsed_us = fields.next()?.parse().ok()?,
+                "summary_digest" => cell.summary_digest = fields.next()?.to_owned(),
+                "scalar" => {
+                    let name = fields.next()?.to_owned();
+                    let bits = u64::from_str_radix(fields.next()?, 16).ok()?;
+                    cell.scalars.insert(name, f64::from_bits(bits));
+                }
+                "bin" => {
+                    let packets = fields.next()?.parse().ok()?;
+                    let flagged = fields.next()?.parse().ok()?;
+                    cell.series.push(Bin { packets, flagged });
+                }
+                "counter" => {
+                    let name = fields.next()?.to_owned();
+                    cell.counters.insert(name, fields.next()?.parse().ok()?);
+                }
+                "hist" => {
+                    let name = fields.next()?.to_owned();
+                    let nb: usize = fields.next()?.parse().ok()?;
+                    let bounds: Vec<u64> = (0..nb)
+                        .map(|_| fields.next().and_then(|f| f.parse().ok()))
+                        .collect::<Option<_>>()?;
+                    let nc: usize = fields.next()?.parse().ok()?;
+                    let counts: Vec<u64> = (0..nc)
+                        .map(|_| fields.next().and_then(|f| f.parse().ok()))
+                        .collect::<Option<_>>()?;
+                    let total = fields.next()?.parse().ok()?;
+                    let sum = fields.next()?.parse().ok()?;
+                    cell.histograms.insert(
+                        name,
+                        HistogramSnapshot {
+                            bounds,
+                            counts,
+                            total,
+                            sum,
+                        },
+                    );
+                }
+                "end" => {
+                    complete = true;
+                    break;
+                }
+                _ => return None,
+            }
+        }
+        complete.then_some(cell)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CellMetrics {
+        let mut scalars = BTreeMap::new();
+        // Values chosen to stress bit-exactness: a non-terminating
+        // binary fraction, a negative zero, and an ordinary integer.
+        scalars.insert(metric::CORRECT_PCT.to_owned(), 0.1 + 0.2);
+        scalars.insert(metric::AVG_BPS.to_owned(), -0.0);
+        scalars.insert(metric::TOTAL_BYTES.to_owned(), 123_456.0);
+        let mut counters = BTreeMap::new();
+        counters.insert("mac.rts_tx".to_owned(), 99);
+        let mut histograms = BTreeMap::new();
+        histograms.insert(
+            "obs.dev".to_owned(),
+            HistogramSnapshot {
+                bounds: vec![1, 4, 8],
+                counts: vec![0, 1, 2, 3],
+                total: 6,
+                sum: 22,
+            },
+        );
+        CellMetrics {
+            seed: 7,
+            elapsed_us: 2_000_000,
+            summary_digest: "deadbeefdeadbeef".to_owned(),
+            scalars,
+            series: vec![
+                Bin {
+                    packets: 10,
+                    flagged: 3,
+                },
+                Bin {
+                    packets: 0,
+                    flagged: 0,
+                },
+            ],
+            counters,
+            histograms,
+        }
+    }
+
+    #[test]
+    fn cache_text_round_trips_bit_exactly() {
+        let cell = sample();
+        let text = cell.to_cache_text();
+        let parsed = CellMetrics::parse_cache_text(&text).expect("parses");
+        assert_eq!(parsed, cell);
+        assert_eq!(
+            parsed.scalar(metric::AVG_BPS).to_bits(),
+            (-0.0f64).to_bits()
+        );
+    }
+
+    #[test]
+    fn truncated_text_is_a_miss() {
+        let text = sample().to_cache_text();
+        let cut = &text[..text.len() - 5];
+        assert!(CellMetrics::parse_cache_text(cut).is_none());
+    }
+
+    #[test]
+    fn wrong_version_is_a_miss() {
+        let text = sample().to_cache_text().replace("v1", "v0");
+        assert!(CellMetrics::parse_cache_text(&text).is_none());
+    }
+
+    #[test]
+    fn garbage_is_a_miss() {
+        assert!(CellMetrics::parse_cache_text("").is_none());
+        assert!(CellMetrics::parse_cache_text("airguard-cell v1\nwat 3\nend\n").is_none());
+    }
+
+    #[test]
+    fn summary_rebuild_carries_label_and_metrics() {
+        let s = sample().to_summary("fig4/pm=50");
+        assert_eq!(s.label, "fig4/pm=50");
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.counters["mac.rts_tx"], 99);
+        assert_eq!(s.histograms["obs.dev"].sum, 22);
+    }
+}

@@ -1,0 +1,270 @@
+//! The engine: flattens an [`Experiment`]'s grid into one `(point,
+//! seed)` work queue, probes the result cache, runs the misses on the
+//! work-stealing executor, stores fresh cells back, and re-assembles
+//! everything in deterministic point-major, seed-ordered layout.
+//!
+//! Determinism argument (DESIGN.md §10): the queue order is fixed,
+//! every cell is keyed by its queue index, and collection sorts by
+//! index — so tables, CSV, and report JSONL are byte-identical for any
+//! worker count, and for any mix of cached and fresh cells (the cache
+//! stores floats as bit patterns).
+
+use airguard_net::{RunReport, ScenarioConfig};
+use airguard_obs::{aggregate_summaries, Progress, ProgressSnapshot, RunSummary};
+
+use crate::cache::ResultCache;
+use crate::cell::CellMetrics;
+use crate::executor::run_tasks;
+use crate::sweep::{Experiment, ExperimentResult, PointResult, Rendered};
+
+/// How to run one experiment.
+#[derive(Debug)]
+pub struct RunOptions {
+    /// The seed set (the paper uses `1..=30`).
+    pub seeds: Vec<u64>,
+    /// Simulated seconds per run (the paper uses 50).
+    pub secs: u64,
+    /// Worker threads; 0 means one per available core.
+    pub workers: usize,
+    /// The result cache, or `None` to always simulate.
+    pub cache: Option<ResultCache>,
+}
+
+impl RunOptions {
+    /// `seeds` seeds (`1..=n`), `secs` simulated seconds, automatic
+    /// worker count, no cache.
+    #[must_use]
+    pub fn new(seed_count: u64, secs: u64) -> Self {
+        RunOptions {
+            seeds: (1..=seed_count.max(1)).collect(),
+            secs: secs.max(1),
+            workers: 0,
+            cache: None,
+        }
+    }
+
+    /// The effective worker count.
+    #[must_use]
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+        }
+    }
+}
+
+/// One failed grid cell (the run panicked).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// The point's canonical key.
+    pub point_key: String,
+    /// The seed whose run failed.
+    pub seed: u64,
+    /// The panic message.
+    pub message: String,
+}
+
+impl std::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cell [{} seed={}] failed: {}",
+            self.point_key, self.seed, self.message
+        )
+    }
+}
+
+/// Everything one engine run produces.
+#[derive(Debug)]
+pub struct ExperimentOutcome {
+    /// The collected grid.
+    pub result: ExperimentResult,
+    /// The experiment's rendered tables and notes.
+    pub rendered: Rendered,
+    /// Per-run telemetry report lines (one [`RunSummary`] JSON per
+    /// successful cell, labelled `<experiment>/<point-key>`, followed
+    /// by one pooled summary per point labelled `…/pooled`).
+    pub report_lines: Vec<String>,
+    /// Failed cells, in grid order.
+    pub failures: Vec<CellFailure>,
+    /// Non-fatal problems (cache store errors).
+    pub warnings: Vec<String>,
+    /// Cell accounting: total / simulated / cached / failed.
+    pub progress: ProgressSnapshot,
+}
+
+/// Runs `cfg` once under `seed` and extracts the cacheable metrics —
+/// the engine's default cell runner.
+#[must_use]
+pub fn simulate_cell(cfg: &ScenarioConfig, seed: u64) -> CellMetrics {
+    CellMetrics::from_report(&cfg.clone().seed(seed).run())
+}
+
+/// Runs an experiment with the default simulation runner.
+#[must_use]
+pub fn run_experiment(exp: &Experiment, opts: &RunOptions) -> ExperimentOutcome {
+    run_experiment_with(exp, opts, &simulate_cell)
+}
+
+/// Runs an experiment with a caller-supplied cell runner (tests inject
+/// panicking or instrumented runners here).
+#[must_use]
+pub fn run_experiment_with(
+    exp: &Experiment,
+    opts: &RunOptions,
+    runner: &(dyn Fn(&ScenarioConfig, u64) -> CellMetrics + Sync),
+) -> ExperimentOutcome {
+    // Resolve each point's effective configuration and cache key once.
+    let configs: Vec<ScenarioConfig> = exp
+        .points
+        .iter()
+        .map(|p| p.cfg.clone().sim_time_secs(opts.secs.max(1)))
+        .collect();
+    let digests: Vec<String> = configs.iter().map(ScenarioConfig::config_digest).collect();
+
+    // The global work queue: point-major, seed-ordered.
+    let tasks: Vec<(usize, u64)> = (0..exp.points.len())
+        .flat_map(|p| opts.seeds.iter().map(move |&s| (p, s)))
+        .collect();
+
+    let progress = Progress::new(tasks.len() as u64);
+    let mut warnings = Vec::new();
+
+    // Cache probe: resolved cells keep their slot; misses go to the
+    // executor.
+    let mut outcomes: Vec<Option<Result<CellMetrics, String>>> = vec![None; tasks.len()];
+    let mut miss_indices: Vec<usize> = Vec::new();
+    for (i, &(p, seed)) in tasks.iter().enumerate() {
+        match opts.cache.as_ref().and_then(|c| c.load(&digests[p], seed)) {
+            Some(cell) => {
+                progress.add_cached(1);
+                outcomes[i] = Some(Ok(cell));
+            }
+            None => miss_indices.push(i),
+        }
+    }
+
+    // Run the misses across the whole grid — no per-point barriers.
+    let fresh = run_tasks(miss_indices.len(), opts.effective_workers(), |k| {
+        let (p, seed) = tasks[miss_indices[k]];
+        let cell = runner(&configs[p], seed);
+        progress.add_simulated(1);
+        cell
+    });
+    for (k, result) in fresh.into_iter().enumerate() {
+        let i = miss_indices[k];
+        if let Ok(cell) = &result {
+            let (p, seed) = tasks[i];
+            if let Some(cache) = &opts.cache {
+                if let Err(e) = cache.store(&digests[p], seed, cell) {
+                    warnings.push(format!(
+                        "cache store failed for [{} seed={seed}]: {e}",
+                        exp.points[p].key
+                    ));
+                }
+            }
+        }
+        outcomes[i] = Some(result);
+    }
+
+    // Deterministic re-assembly: grid order is queue order.
+    let mut failures = Vec::new();
+    let mut points = Vec::with_capacity(exp.points.len());
+    let mut outcome_iter = outcomes.into_iter();
+    for (p, point) in exp.points.iter().enumerate() {
+        let mut cells = Vec::with_capacity(opts.seeds.len());
+        for &seed in &opts.seeds {
+            let outcome = outcome_iter
+                .next()
+                .flatten()
+                .unwrap_or_else(|| Err("cell result lost".into()));
+            if let Err(message) = &outcome {
+                progress.add_failed(1);
+                failures.push(CellFailure {
+                    point_key: point.key.clone(),
+                    seed,
+                    message: message.clone(),
+                });
+            }
+            cells.push(outcome);
+        }
+        points.push(PointResult {
+            key: point.key.clone(),
+            digest: digests[p].clone(),
+            cells,
+        });
+    }
+
+    let result = ExperimentResult {
+        name: exp.name.to_owned(),
+        points,
+    };
+    let report_lines = report_lines(exp.name, &result);
+    let rendered = (exp.render)(&result);
+
+    ExperimentOutcome {
+        result,
+        rendered,
+        report_lines,
+        failures,
+        warnings,
+        progress: progress.snapshot(),
+    }
+}
+
+/// Builds the telemetry report: per-cell summaries in grid order, then
+/// one pooled summary per point.
+fn report_lines(exp_name: &str, result: &ExperimentResult) -> Vec<String> {
+    let mut lines = Vec::new();
+    for point in &result.points {
+        let label = format!("{exp_name}/{}", point.key);
+        let summaries: Vec<RunSummary> = point
+            .ok_cells()
+            .map(|cell| cell.to_summary(label.clone()))
+            .collect();
+        for s in &summaries {
+            lines.push(s.to_json());
+        }
+        if !summaries.is_empty() {
+            lines.push(aggregate_summaries(format!("{label}/pooled"), &summaries).to_json());
+        }
+    }
+    lines
+}
+
+/// Runs one configuration once per seed through the engine's executor,
+/// returning the full reports in seed order — the replacement for the
+/// old chunked `bench::run_seeds` and serial
+/// `ScenarioConfig::run_seeds`.
+///
+/// # Errors
+///
+/// Returns the first failed cell if any seed's run panicked; the
+/// remaining seeds still ran to completion.
+pub fn run_seeds(
+    cfg: &ScenarioConfig,
+    seeds: &[u64],
+    workers: usize,
+) -> Result<Vec<RunReport>, CellFailure> {
+    let workers = if workers > 0 {
+        workers
+    } else {
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+    };
+    let results = run_tasks(seeds.len(), workers, |i| cfg.clone().seed(seeds[i]).run());
+    let mut reports = Vec::with_capacity(seeds.len());
+    for (i, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(report) => reports.push(report),
+            Err(message) => {
+                return Err(CellFailure {
+                    point_key: "run_seeds".to_owned(),
+                    seed: seeds[i],
+                    message,
+                })
+            }
+        }
+    }
+    Ok(reports)
+}

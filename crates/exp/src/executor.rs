@@ -1,0 +1,130 @@
+//! Work-stealing task executor with per-task panic isolation.
+//!
+//! The old bench harness fanned out by chunking one point's seeds across
+//! threads: every point was a barrier, and a slow seed (or a point with
+//! fewer seeds than cores) left workers idle. Here the *entire*
+//! `(point, seed)` grid is one queue behind an atomic cursor; each worker
+//! repeatedly claims the next unclaimed index until the queue drains, so
+//! load balances across the whole grid with no per-point barriers.
+//!
+//! Determinism: workers collect `(index, result)` pairs and the results
+//! are re-assembled in index order, so the output vector is identical to
+//! a serial run regardless of worker count or interleaving.
+//!
+//! Panic isolation: each task runs under `catch_unwind`; a panicking
+//! task becomes `Err(message)` in its slot — a failed cell, not a
+//! harness abort — and every other task still completes.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `count` tasks across `workers` threads, returning one result
+/// per task in task order. `workers` is clamped to `[1, count]`; with
+/// one worker the tasks run serially on the caller's thread (same
+/// failure semantics, no thread spawn).
+pub fn run_tasks<T, F>(count: usize, workers: usize, task: F) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.max(1).min(count.max(1));
+    if workers <= 1 {
+        return (0..count).map(|i| run_one(&task, i)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let collected = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut local: Vec<(usize, Result<T, String>)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        local.push((i, run_one(&task, i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(count);
+        for handle in handles {
+            // Task panics are caught inside run_one, so a worker thread
+            // itself cannot panic; a failed join still degrades to lost
+            // slots (reported below) rather than aborting the harness.
+            if let Ok(local) = handle.join() {
+                all.extend(local);
+            }
+        }
+        all
+    })
+    .unwrap_or_default();
+
+    let mut out: Vec<Option<Result<T, String>>> = (0..count).map(|_| None).collect();
+    for (i, r) in collected {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|slot| slot.unwrap_or_else(|| Err("worker thread lost before reporting".into())))
+        .collect()
+}
+
+/// Runs one task under `catch_unwind`, converting a panic payload into
+/// an error message.
+fn run_one<T, F>(task: &F, i: usize) -> Result<T, String>
+where
+    F: Fn(usize) -> T + Sync,
+{
+    catch_unwind(AssertUnwindSafe(|| task(i))).map_err(|payload| {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "panic with non-string payload".to_owned())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        for workers in [1, 2, 4, 8] {
+            let out = run_tasks(20, workers, |i| i * 10);
+            let values: Vec<usize> = out.into_iter().map(|r| r.expect("task ok")).collect();
+            assert_eq!(values, (0..20).map(|i| i * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn a_panicking_task_is_a_failed_cell_not_an_abort() {
+        let out = run_tasks(5, 3, |i| {
+            assert!(i != 2, "cell 2 exploded");
+            i
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i == 2 {
+                let msg = r.as_ref().expect_err("cell 2 failed");
+                assert!(msg.contains("cell 2 exploded"), "got: {msg}");
+            } else {
+                assert_eq!(*r.as_ref().expect("other cells ok"), i);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_tasks_is_fine() {
+        let out: Vec<Result<u32, String>> = run_tasks(0, 4, |_| 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_tasks_is_fine() {
+        let out = run_tasks(2, 16, |i| i + 1);
+        assert_eq!(out.len(), 2);
+        assert!(out.into_iter().all(|r| r.is_ok()));
+    }
+}

@@ -1,0 +1,297 @@
+//! The declarative experiment model.
+//!
+//! An [`Experiment`] is a named set of grid [`Point`]s — each a
+//! [`ScenarioConfig`] addressed by its [`Axes`] (ordered
+//! `axis = value` pairs, e.g. `scenario=zero,pm=50`) — plus a render
+//! function that turns the collected [`ExperimentResult`] into console
+//! tables. The engine flattens `points × seeds` into one global work
+//! queue; the sweep definition never mentions seeds, threads, or the
+//! cache.
+
+use airguard_metrics::Bin;
+use airguard_net::ScenarioConfig;
+
+use crate::cell::CellMetrics;
+use crate::table::Table;
+
+/// Ordered `axis = value` coordinates naming one grid point.
+///
+/// The rendered key (`"scenario=zero,pm=50"`) is the point's identity:
+/// sweep construction and render look points up by building the same
+/// `Axes` value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Axes(Vec<(String, String)>);
+
+impl Axes {
+    /// No coordinates yet.
+    #[must_use]
+    pub fn new() -> Self {
+        Axes(Vec::new())
+    }
+
+    /// Adds one `axis = value` coordinate.
+    #[must_use]
+    pub fn with(mut self, axis: &str, value: impl std::fmt::Display) -> Self {
+        self.0.push((axis.to_owned(), value.to_string()));
+        self
+    }
+
+    /// The canonical key: coordinates joined with `,` in insertion
+    /// order.
+    #[must_use]
+    pub fn key(&self) -> String {
+        self.0
+            .iter()
+            .map(|(a, v)| format!("{a}={v}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// One grid point: a configuration at named coordinates.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// The point's canonical key ([`Axes::key`]).
+    pub key: String,
+    /// The scenario to run (sim time and seed are applied by the
+    /// engine).
+    pub cfg: ScenarioConfig,
+}
+
+/// Tables rendered from an experiment, ready to print and export.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// CSV base name under `results/` (e.g. `fig9a`).
+    pub name: String,
+    /// The rendered table.
+    pub table: Table,
+}
+
+/// Render output: figures plus free-form note lines printed after the
+/// tables (e.g. the intro claim's degradation sentence).
+#[derive(Debug, Clone, Default)]
+pub struct Rendered {
+    /// Tables to print and write as CSV.
+    pub figures: Vec<Figure>,
+    /// Note lines printed after the tables.
+    pub notes: Vec<String>,
+}
+
+/// A named, declarative parameter sweep.
+pub struct Experiment {
+    /// Registry name (`--figure` argument, CSV base name).
+    pub name: &'static str,
+    /// One-line description shown by `--list`.
+    pub title: &'static str,
+    /// Whether the CLI writes the per-run telemetry report
+    /// (`results/<name>.report.jsonl`) without `--jsonl`.
+    pub jsonl_default: bool,
+    /// The grid.
+    pub points: Vec<Point>,
+    /// Builds the output tables from the collected grid.
+    pub render: fn(&ExperimentResult) -> Rendered,
+}
+
+impl Experiment {
+    /// An empty experiment rendering no tables.
+    #[must_use]
+    pub fn new(name: &'static str, title: &'static str) -> Self {
+        Experiment {
+            name,
+            title,
+            jsonl_default: false,
+            points: Vec::new(),
+            render: |_| Rendered::default(),
+        }
+    }
+
+    /// Adds a grid point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axes` duplicates an existing point's key — a sweep
+    /// definition bug caught at registration time.
+    pub fn push(&mut self, axes: &Axes, cfg: ScenarioConfig) {
+        let key = axes.key();
+        assert!(
+            self.points.iter().all(|p| p.key != key),
+            "duplicate sweep point `{key}` in experiment `{}`",
+            self.name
+        );
+        self.points.push(Point { key, cfg });
+    }
+}
+
+impl std::fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Experiment")
+            .field("name", &self.name)
+            .field("points", &self.points.len())
+            .finish()
+    }
+}
+
+/// The collected grid: one [`PointResult`] per point, in registration
+/// order.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// The experiment's name.
+    pub name: String,
+    /// Per-point results, in the experiment's point order.
+    pub points: Vec<PointResult>,
+}
+
+impl ExperimentResult {
+    /// The result at `axes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such point exists — render functions look up keys
+    /// their own sweep construction produced, so a miss is a
+    /// definition bug.
+    #[must_use]
+    pub fn point(&self, axes: &Axes) -> &PointResult {
+        let key = axes.key();
+        self.points
+            .iter()
+            .find(|p| p.key == key)
+            .unwrap_or_else(|| {
+                panic!("experiment `{}` has no point `{key}`", self.name) // lint:allow(panic-macro) — render functions look up keys their own sweep construction produced; a miss is a definition bug worth an immediate abort
+            })
+    }
+
+    /// Mean of a scalar metric at `axes` (over successful cells).
+    #[must_use]
+    pub fn mean(&self, axes: &Axes, metric: &str) -> f64 {
+        self.point(axes).mean(metric)
+    }
+}
+
+/// One point's cells, seed-ordered; failed cells carry the panic
+/// message.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// The point's canonical key.
+    pub key: String,
+    /// The seed-independent configuration digest (the cache key).
+    pub digest: String,
+    /// One outcome per seed, in seed-set order.
+    pub cells: Vec<Result<CellMetrics, String>>,
+}
+
+impl PointResult {
+    /// The successful cells, in seed order.
+    pub fn ok_cells(&self) -> impl Iterator<Item = &CellMetrics> {
+        self.cells.iter().filter_map(|c| c.as_ref().ok())
+    }
+
+    /// Mean of a scalar metric over successful cells (0.0 when none
+    /// succeeded, matching the historical empty-report behaviour).
+    #[must_use]
+    pub fn mean(&self, metric: &str) -> f64 {
+        let values: Vec<f64> = self.ok_cells().map(|c| c.scalar(metric)).collect();
+        if values.is_empty() {
+            return 0.0;
+        }
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+
+    /// Pools the Fig.-8 time series over successful cells by summing
+    /// per-bin counts (the paper pools its 30 runs the same way).
+    /// Shorter series are padded — all cells of one point share a
+    /// horizon, so lengths only differ when a cell failed mid-grid.
+    #[must_use]
+    pub fn pooled_series(&self) -> Vec<Bin> {
+        let mut pooled: Vec<Bin> = Vec::new();
+        for cell in self.ok_cells() {
+            if pooled.len() < cell.series.len() {
+                pooled.resize(cell.series.len(), Bin::default());
+            }
+            for (acc, bin) in pooled.iter_mut().zip(&cell.series) {
+                acc.packets += bin.packets;
+                acc.flagged += bin.flagged;
+            }
+        }
+        pooled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn cell(seed: u64, value: f64) -> CellMetrics {
+        let mut scalars = BTreeMap::new();
+        scalars.insert("m".to_owned(), value);
+        CellMetrics {
+            seed,
+            elapsed_us: 0,
+            summary_digest: String::new(),
+            scalars,
+            series: vec![
+                Bin {
+                    packets: 2,
+                    flagged: 1,
+                },
+                Bin {
+                    packets: 4,
+                    flagged: 0,
+                },
+            ],
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn axes_key_is_ordered() {
+        let a = Axes::new().with("scenario", "zero").with("pm", 50);
+        assert_eq!(a.key(), "scenario=zero,pm=50");
+    }
+
+    #[test]
+    fn mean_skips_failed_cells() {
+        let p = PointResult {
+            key: "k".into(),
+            digest: "d".into(),
+            cells: vec![Ok(cell(1, 10.0)), Err("boom".into()), Ok(cell(3, 20.0))],
+        };
+        assert_eq!(p.mean("m"), 15.0);
+        assert_eq!(p.mean("missing"), 0.0);
+    }
+
+    #[test]
+    fn pooled_series_sums_bins() {
+        let p = PointResult {
+            key: "k".into(),
+            digest: "d".into(),
+            cells: vec![Ok(cell(1, 0.0)), Ok(cell(2, 0.0))],
+        };
+        let pooled = p.pooled_series();
+        assert_eq!(pooled.len(), 2);
+        assert_eq!(pooled[0].packets, 4);
+        assert_eq!(pooled[0].flagged, 2);
+        assert_eq!(pooled[1].packets, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate sweep point")]
+    fn duplicate_points_are_rejected() {
+        let mut e = Experiment::new("demo", "demo");
+        let axes = Axes::new().with("pm", 0);
+        let cfg = ScenarioConfig::new(airguard_net::StandardScenario::ZeroFlow);
+        e.push(&axes, cfg.clone());
+        e.push(&axes, cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "no point")]
+    fn unknown_point_lookup_panics() {
+        let r = ExperimentResult {
+            name: "demo".into(),
+            points: Vec::new(),
+        };
+        let _ = r.point(&Axes::new().with("pm", 1));
+    }
+}

@@ -1,0 +1,146 @@
+//! Console tables with CSV export — the render target of every figure.
+//!
+//! Moved here from `airguard-bench` so experiment definitions (which
+//! live one layer below the CLI) can produce tables without a circular
+//! dependency. [`Table::to_csv_string`] is the canonical byte-exact
+//! rendering: the determinism tests compare it across worker counts and
+//! across cache hits.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A fixed-width console table that can also be written as CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        println!("\n== {} ==", self.title); // lint:allow(print-macro) — console table rendering is this harness's user-facing output, not library diagnostics
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", fmt_row(&self.header)); // lint:allow(print-macro) — console table rendering is this harness's user-facing output, not library diagnostics
+        for row in &self.rows {
+            println!("{}", fmt_row(row)); // lint:allow(print-macro) — console table rendering is this harness's user-facing output, not library diagnostics
+        }
+    }
+
+    /// The CSV rendering: header line plus one line per row, `\n`
+    /// terminated. This string is the byte-identity contract of the
+    /// determinism tests.
+    #[must_use]
+    pub fn to_csv_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the table as CSV under `results/<name>.csv` (creating the
+    /// directory), returning the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O failure; callers must surface it rather than
+    /// silently dropping the artifact.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = Path::new("results");
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.to_csv_string().as_bytes())?;
+        Ok(path)
+    }
+}
+
+/// Writes pre-rendered JSONL report lines under
+/// `results/<name>.report.jsonl`, returning the path written.
+///
+/// # Errors
+///
+/// Propagates any I/O failure; callers must surface it rather than
+/// silently dropping the artifact.
+pub fn write_report_jsonl(name: &str, lines: &[String]) -> std::io::Result<PathBuf> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.report.jsonl"));
+    let mut f = std::fs::File::create(&path)?;
+    for line in lines {
+        writeln!(f, "{line}")?;
+    }
+    Ok(path)
+}
+
+/// Formats a float cell with two decimals.
+#[must_use]
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a throughput in Kb/s with one decimal.
+#[must_use]
+pub fn kbps(v_bps: f64) -> String {
+    format!("{:.1}", v_bps / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_round_trips() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        t.print();
+        assert_eq!(t.to_csv_string(), "a,b\n1,2\n");
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(kbps(1500.0), "1.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_bad_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["1".into()]);
+    }
+}

@@ -1,0 +1,198 @@
+//! End-to-end engine tests over the real simulator: determinism across
+//! worker counts, cache hit/miss/invalidation, and failed-cell
+//! isolation.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use airguard_exp::{
+    f2, metric, run_experiment, run_experiment_with, simulate_cell, Axes, CellMetrics, Experiment,
+    ExperimentResult, Figure, Rendered, ResultCache, RunOptions, Table,
+};
+use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+
+/// A tiny but real sweep: 2 points × a handful of seeds at 1 s horizon.
+fn tiny_experiment() -> Experiment {
+    let mut e = Experiment::new("tiny", "integration fixture");
+    e.render = render;
+    for pm in [0.0, 50.0] {
+        e.push(
+            &Axes::new().with("pm", format!("{pm:.0}")),
+            ScenarioConfig::new(StandardScenario::ZeroFlow)
+                .protocol(Protocol::Correct)
+                .n_senders(2)
+                .misbehavior_percent(pm),
+        );
+    }
+    e
+}
+
+fn render(r: &ExperimentResult) -> Rendered {
+    let mut t = Table::new("tiny", &["pm", "correct%", "msb_bps"]);
+    for pm in ["0", "50"] {
+        let a = Axes::new().with("pm", pm);
+        t.row(&[
+            pm.to_owned(),
+            f2(r.mean(&a, metric::CORRECT_PCT)),
+            f2(r.mean(&a, metric::MSB_BPS)),
+        ]);
+    }
+    Rendered {
+        figures: vec![Figure {
+            name: "tiny".into(),
+            table: t,
+        }],
+        notes: Vec::new(),
+    }
+}
+
+fn opts(seeds: u64, secs: u64, workers: usize) -> RunOptions {
+    let mut o = RunOptions::new(seeds, secs);
+    o.workers = workers;
+    o
+}
+
+/// A scratch cache rooted under the system temp dir, removed on drop.
+struct TempCache {
+    root: PathBuf,
+}
+
+impl TempCache {
+    fn new(tag: &str) -> Self {
+        let root =
+            std::env::temp_dir().join(format!("airguard-exp-it-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        TempCache { root }
+    }
+
+    fn cache(&self) -> ResultCache {
+        ResultCache::new(self.root.clone())
+    }
+}
+
+impl Drop for TempCache {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn parallel_output_is_byte_identical_to_serial() {
+    let exp = tiny_experiment();
+    let serial = run_experiment(&exp, &opts(3, 1, 1));
+    for workers in [2usize, 4, 8] {
+        let parallel = run_experiment(&exp, &opts(3, 1, workers));
+        assert_eq!(
+            serial.rendered.figures[0].table.to_csv_string(),
+            parallel.rendered.figures[0].table.to_csv_string(),
+            "CSV must not depend on worker count ({workers} workers)"
+        );
+        assert_eq!(
+            serial.report_lines, parallel.report_lines,
+            "report JSONL must not depend on worker count ({workers} workers)"
+        );
+    }
+    assert!(serial.failures.is_empty());
+    assert_eq!(serial.progress.simulated, 6);
+}
+
+#[test]
+fn cache_turns_reruns_into_pure_reads_and_invalidates_on_config_change() {
+    let tmp = TempCache::new("cache");
+    let exp = tiny_experiment();
+
+    let mut o = opts(3, 1, 2);
+    o.cache = Some(tmp.cache());
+    let first = run_experiment(&exp, &o);
+    assert_eq!((first.progress.simulated, first.progress.cached), (6, 0));
+    assert!(first.warnings.is_empty(), "{:?}", first.warnings);
+
+    let second = run_experiment(&exp, &o);
+    assert_eq!(
+        (second.progress.simulated, second.progress.cached),
+        (0, 6),
+        "a re-run must re-read every cell"
+    );
+    assert_eq!(
+        first.rendered.figures[0].table.to_csv_string(),
+        second.rendered.figures[0].table.to_csv_string(),
+        "cached cells must render byte-identically"
+    );
+    assert_eq!(first.report_lines, second.report_lines);
+
+    // A different horizon is a different config digest: full miss.
+    let mut longer = opts(3, 2, 2);
+    longer.cache = Some(tmp.cache());
+    let third = run_experiment(&exp, &longer);
+    assert_eq!((third.progress.simulated, third.progress.cached), (6, 0));
+
+    // A larger seed set reuses the old seeds and simulates the new one.
+    let mut more_seeds = opts(4, 1, 2);
+    more_seeds.cache = Some(tmp.cache());
+    let fourth = run_experiment(&exp, &more_seeds);
+    assert_eq!((fourth.progress.simulated, fourth.progress.cached), (2, 6));
+}
+
+#[test]
+fn failed_cells_are_isolated_and_reported() {
+    let exp = tiny_experiment();
+    let outcome = run_experiment_with(&exp, &opts(3, 1, 2), &|cfg, seed| {
+        assert!(seed != 2, "seed 2 exploded"); // lint:allow(panic-macro) — the test injects a panicking cell on purpose
+        simulate_cell(cfg, seed)
+    });
+    assert_eq!(outcome.failures.len(), 2, "one failure per point");
+    for (f, key) in outcome.failures.iter().zip(["pm=0", "pm=50"]) {
+        assert_eq!(f.seed, 2);
+        assert_eq!(f.point_key, key);
+        assert!(f.message.contains("seed 2 exploded"), "{}", f.message);
+    }
+    assert_eq!(outcome.progress.failed, 2);
+    assert_eq!(outcome.progress.simulated, 4);
+    for point in &outcome.result.points {
+        assert!(point.cells[0].is_ok() && point.cells[2].is_ok());
+        assert!(point.cells[1].is_err(), "seed 2 is the middle slot");
+        assert_eq!(point.ok_cells().count(), 2);
+    }
+    // Means still render from the surviving cells.
+    let csv = outcome.rendered.figures[0].table.to_csv_string();
+    assert!(csv.lines().count() == 3, "{csv}");
+}
+
+#[test]
+fn corrupt_cache_entries_fall_back_to_simulation() {
+    let tmp = TempCache::new("corrupt");
+    let exp = tiny_experiment();
+    let mut o = opts(2, 1, 1);
+    o.cache = Some(tmp.cache());
+    let first = run_experiment(&exp, &o);
+    assert_eq!(first.progress.simulated, 4);
+
+    // Truncate one stored cell; the engine must treat it as a miss.
+    let digest = &first.result.points[0].digest;
+    let path = tmp.cache().cell_path(digest, 1);
+    std::fs::write(&path, "airguard-cell v1\nseed 1\n").expect("truncate cell");
+    let second = run_experiment(&exp, &o);
+    assert_eq!(
+        (second.progress.simulated, second.progress.cached),
+        (1, 3),
+        "only the corrupted cell re-simulates"
+    );
+    assert_eq!(
+        first.rendered.figures[0].table.to_csv_string(),
+        second.rendered.figures[0].table.to_csv_string()
+    );
+}
+
+#[test]
+fn cached_cells_survive_a_round_trip_exactly() {
+    let cfg = ScenarioConfig::new(StandardScenario::ZeroFlow)
+        .protocol(Protocol::Correct)
+        .n_senders(2)
+        .sim_time_secs(1);
+    let cell = simulate_cell(&cfg, 7);
+    let reparsed = CellMetrics::parse_cache_text(&cell.to_cache_text()).expect("parses");
+    assert_eq!(cell, reparsed);
+    let scalars: BTreeMap<&str, f64> = cell.scalars.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    assert!(scalars.contains_key(metric::CORRECT_PCT));
+    assert!(scalars.contains_key(metric::TOTAL_BYTES));
+}

@@ -28,5 +28,5 @@ pub use aggregate::Summary;
 pub use delay::DelayAccount;
 pub use diagnosis::DiagnosisTally;
 pub use fairness::jain_index;
-pub use series::TimeBinned;
+pub use series::{Bin, TimeBinned};
 pub use throughput::ThroughputAccount;

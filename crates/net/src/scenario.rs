@@ -295,10 +295,23 @@ impl ScenarioConfig {
         Simulation::new(cfg, &topology, policies, misbehaving)
     }
 
-    /// Runs once per seed (the paper's 30-run averaging), serially.
+    /// The canonical, *seed-independent* identity of this
+    /// configuration: the `Debug` rendering with the seed normalised
+    /// to zero. Two configurations with equal identity run the same
+    /// grid point; the seed is keyed separately (the experiment
+    /// engine's cache key is `(config_digest, seed)`).
     #[must_use]
-    pub fn run_seeds(&self, seeds: &[u64]) -> Vec<RunReport> {
-        seeds.iter().map(|&s| self.clone().seed(s).run()).collect()
+    pub fn identity(&self) -> String {
+        let mut canon = self.clone();
+        canon.seed = 0;
+        format!("{canon:?}")
+    }
+
+    /// FNV-1a digest of [`Self::identity`] — the stable cache/identity
+    /// hook used by `airguard-exp`.
+    #[must_use]
+    pub fn config_digest(&self) -> String {
+        airguard_obs::fnv1a_hex(self.identity().as_bytes())
     }
 }
 
@@ -344,6 +357,19 @@ mod tests {
         assert_eq!(distinct.len(), 5, "misbehaving nodes are distinct");
         // Reproducible for the same seed.
         assert_eq!(m, cfg.misbehaving_set(&t));
+    }
+
+    #[test]
+    fn config_digest_is_seed_independent_but_config_sensitive() {
+        let base = ScenarioConfig::new(StandardScenario::ZeroFlow).misbehavior_percent(50.0);
+        let d1 = base.clone().seed(1).config_digest();
+        let d2 = base.clone().seed(2).config_digest();
+        assert_eq!(d1, d2, "seed must not affect the identity digest");
+        assert_eq!(d1.len(), 16);
+        let other = base.clone().n_senders(4).config_digest();
+        assert_ne!(d1, other, "config changes must change the digest");
+        let other_pm = base.misbehavior_percent(60.0).config_digest();
+        assert_ne!(d1, other_pm);
     }
 
     #[test]

@@ -32,12 +32,14 @@
 
 mod event;
 mod json;
+mod progress;
 mod registry;
 mod report;
 mod sink;
 
 pub use event::{Category, ObsEvent, Record, NO_NODE};
 pub use json::{escape_into, u64_array, JsonObject};
+pub use progress::{Progress, ProgressSnapshot};
 pub use registry::{Counter, Histogram, HistogramSnapshot, Registry, RegistrySnapshot};
-pub use report::{fnv1a_hex, record_to_json, records_to_jsonl, RunSummary};
+pub use report::{aggregate_summaries, fnv1a_hex, record_to_json, records_to_jsonl, RunSummary};
 pub use sink::EventSink;

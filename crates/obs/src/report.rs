@@ -101,6 +101,61 @@ impl RunSummary {
     }
 }
 
+/// Pools per-run summaries into one aggregate [`RunSummary`] under
+/// `label` (the experiment engine emits one pooled line per grid
+/// point).
+///
+/// Semantics: counters sum per name; histograms with identical bounds
+/// sum element-wise, while a name whose bounds disagree across parts is
+/// dropped (pooling incompatible geometries would misstate the data);
+/// virtual elapsed time sums; `seed` is 0 (an aggregate has no seed);
+/// `config_digest` is kept when every part agrees and is `"mixed"`
+/// otherwise.
+#[must_use]
+pub fn aggregate_summaries(label: impl Into<String>, parts: &[RunSummary]) -> RunSummary {
+    let mut agg = RunSummary::new(
+        label,
+        0,
+        match parts.first() {
+            Some(first) if parts.iter().all(|p| p.config_digest == first.config_digest) => {
+                first.config_digest.clone()
+            }
+            Some(_) => "mixed".to_owned(),
+            None => String::new(),
+        },
+        parts.iter().map(|p| p.elapsed_us).sum(),
+    );
+    for part in parts {
+        for (name, value) in &part.counters {
+            *agg.counters.entry(name.clone()).or_insert(0) += value;
+        }
+    }
+    let mut dropped: Vec<String> = Vec::new();
+    for part in parts {
+        for (name, h) in &part.histograms {
+            match agg.histograms.get_mut(name) {
+                None => {
+                    if !dropped.contains(name) {
+                        agg.histograms.insert(name.clone(), h.clone());
+                    }
+                }
+                Some(acc) if acc.bounds == h.bounds => {
+                    for (a, c) in acc.counts.iter_mut().zip(&h.counts) {
+                        *a += c;
+                    }
+                    acc.total += h.total;
+                    acc.sum += h.sum;
+                }
+                Some(_) => {
+                    agg.histograms.remove(name);
+                    dropped.push(name.clone());
+                }
+            }
+        }
+    }
+    agg
+}
+
 /// Serialises one [`Record`] as a single JSONL line.
 ///
 /// Schema: `t_us` (virtual time), `node` (absent for records carrying
@@ -208,7 +263,7 @@ pub fn records_to_jsonl(records: &[Record]) -> String {
 
 #[cfg(test)]
 mod tests {
-    use super::{fnv1a_hex, record_to_json, records_to_jsonl, RunSummary};
+    use super::{aggregate_summaries, fnv1a_hex, record_to_json, records_to_jsonl, RunSummary};
     use crate::event::{ObsEvent, Record, NO_NODE};
     use crate::registry::Registry;
 
@@ -270,6 +325,99 @@ mod tests {
         let out = records_to_jsonl(&records);
         assert_eq!(out.lines().count(), 2);
         assert!(out.ends_with('\n'));
+    }
+
+    #[test]
+    fn aggregation_pools_counters_and_histograms() {
+        let mut a = RunSummary::new("fig4/pm=50", 1, "d1", 100);
+        a.counters.insert("mac.rts_tx".into(), 3);
+        a.histograms.insert(
+            "h".into(),
+            crate::registry::HistogramSnapshot {
+                bounds: vec![1, 4],
+                counts: vec![1, 0, 2],
+                total: 3,
+                sum: 9,
+            },
+        );
+        let mut b = RunSummary::new("fig4/pm=50", 2, "d1", 50);
+        b.counters.insert("mac.rts_tx".into(), 4);
+        b.counters.insert("mac.acks".into(), 7);
+        b.histograms.insert(
+            "h".into(),
+            crate::registry::HistogramSnapshot {
+                bounds: vec![1, 4],
+                counts: vec![0, 1, 1],
+                total: 2,
+                sum: 6,
+            },
+        );
+        let agg = aggregate_summaries("fig4/pm=50/pooled", &[a, b]);
+        assert_eq!(agg.label, "fig4/pm=50/pooled");
+        assert_eq!(agg.seed, 0);
+        assert_eq!(agg.config_digest, "d1");
+        assert_eq!(agg.elapsed_us, 150);
+        assert_eq!(agg.counters["mac.rts_tx"], 7);
+        assert_eq!(agg.counters["mac.acks"], 7);
+        let h = &agg.histograms["h"];
+        assert_eq!(h.counts, vec![1, 1, 3]);
+        assert_eq!(h.total, 5);
+        assert_eq!(h.sum, 15);
+    }
+
+    #[test]
+    fn aggregation_drops_mismatched_histograms_and_mixed_digests() {
+        let mut a = RunSummary::new("x", 1, "d1", 0);
+        a.histograms.insert(
+            "h".into(),
+            crate::registry::HistogramSnapshot {
+                bounds: vec![1],
+                counts: vec![1, 1],
+                total: 2,
+                sum: 2,
+            },
+        );
+        let mut b = RunSummary::new("x", 2, "d2", 0);
+        b.histograms.insert(
+            "h".into(),
+            crate::registry::HistogramSnapshot {
+                bounds: vec![2],
+                counts: vec![0, 1],
+                total: 1,
+                sum: 3,
+            },
+        );
+        let agg = aggregate_summaries("x/pooled", &[a.clone(), b]);
+        assert_eq!(agg.config_digest, "mixed");
+        assert!(
+            !agg.histograms.contains_key("h"),
+            "mismatched bounds must drop the histogram"
+        );
+        // Once dropped, a later part with the same name must not
+        // resurrect it with partial data.
+        let mut c = RunSummary::new("x", 3, "d1", 0);
+        c.histograms.insert(
+            "h".into(),
+            crate::registry::HistogramSnapshot {
+                bounds: vec![2],
+                counts: vec![0, 1],
+                total: 1,
+                sum: 3,
+            },
+        );
+        let mut b2 = RunSummary::new("x", 2, "d2", 0);
+        b2.histograms.insert(
+            "h".into(),
+            crate::registry::HistogramSnapshot {
+                bounds: vec![2],
+                counts: vec![0, 1],
+                total: 1,
+                sum: 3,
+            },
+        );
+        let agg = aggregate_summaries("x/pooled", &[a, b2, c]);
+        assert!(!agg.histograms.contains_key("h"));
+        assert!(aggregate_summaries("e", &[]).config_digest.is_empty());
     }
 
     #[test]

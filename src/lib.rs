@@ -66,6 +66,7 @@
 pub mod cli;
 
 pub use airguard_core as core;
+pub use airguard_exp as exp;
 pub use airguard_mac as mac;
 pub use airguard_metrics as metrics;
 pub use airguard_net as net;
