@@ -37,6 +37,8 @@ usage: airguard-bench [--figure NAME]... [options]
 
 options:
   --figure NAME    run one registered figure (repeatable; default: all)
+                   NAME `hotpath` runs the perf harness instead
+                   (events/sec trajectory -> BENCH_hotpath.json)
   --list           list registered figures and exit
   --seeds N        seed-set size (default 30, or AIRGUARD_SEEDS)
   --secs N         simulated seconds per run (default 50, or AIRGUARD_SECS)
@@ -184,9 +186,35 @@ pub fn run(cli: &Cli) -> i32 {
                 e.title
             ));
         }
+        out(&format!(
+            "{:<20} perf harness  events/sec trajectory -> {}",
+            "hotpath",
+            crate::hotpath::REPORT_PATH
+        ));
         return 0;
     }
-    let exps = match select(&cli.figures) {
+    // The perf harness is not a sweep: run it directly, keep any other
+    // selected figures flowing through the engine below.
+    let mut exit = 0;
+    let mut figures: Vec<String> = cli.figures.clone();
+    if let Some(at) = figures.iter().position(|f| f == "hotpath") {
+        figures.remove(at);
+        match crate::hotpath::run(cli.seeds, cli.secs, cli.workers) {
+            Ok(lines) => {
+                for line in &lines {
+                    out(line);
+                }
+            }
+            Err(msg) => {
+                err(&format!("airguard-bench: {msg}"));
+                exit = 1;
+            }
+        }
+        if figures.is_empty() {
+            return exit;
+        }
+    }
+    let exps = match select(&figures) {
         Ok(exps) => exps,
         Err(msg) => {
             err(&format!("airguard-bench: {msg}"));
@@ -206,7 +234,6 @@ pub fn run(cli: &Cli) -> i32 {
         ))
     };
 
-    let mut exit = 0;
     for exp in exps {
         let start = Instant::now();
         let outcome = run_experiment(&exp, &opts);

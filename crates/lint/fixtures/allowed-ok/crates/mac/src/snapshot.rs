@@ -1,0 +1,4 @@
+//! Fixture: a justified frame clone off the steady-state path.
+pub fn snapshot(frame: &Frame) -> Frame {
+    frame.clone() // lint:allow(hot-path-clone) — one-shot diagnostic snapshot, not per-delivery
+}

@@ -1,0 +1,4 @@
+//! Fixture: deep frame copy in hot-path library code.
+pub fn relay(frame: &Frame) -> Frame {
+    frame.clone()
+}

@@ -25,6 +25,9 @@ pub struct LintConfig {
     pub determinism_crates: Vec<String>,
     /// Exact file paths exempt from the unit-safety rules.
     pub unit_exempt: Vec<String>,
+    /// Crate directory names (under `crates/`) whose library code the
+    /// hot-path allocation rules cover.
+    pub hot_path_crates: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -46,6 +49,7 @@ impl Default for LintConfig {
                 "crates/sim/src/time.rs".into(),
                 "crates/phy/src/units.rs".into(),
             ],
+            hot_path_crates: vec!["sim".into(), "phy".into(), "mac".into()],
         }
     }
 }
@@ -102,6 +106,7 @@ impl LintConfig {
                 ("", "exclude") => cfg.exclude = values,
                 ("determinism", "crates") => cfg.determinism_crates = values,
                 ("unit-safety", "exempt") => cfg.unit_exempt = values,
+                ("hot-path", "crates") => cfg.hot_path_crates = values,
                 _ => {
                     return Err(ConfigError {
                         line: lineno,
@@ -153,6 +158,7 @@ mod tests {
         assert!(cfg
             .unit_exempt
             .contains(&"crates/sim/src/time.rs".to_owned()));
+        assert_eq!(cfg.hot_path_crates, ["sim", "phy", "mac"]);
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub enum Rule {
     /// `println!` / `eprintln!` / `print!` / `eprint!` in crate library
     /// code, bypassing the typed telemetry layer.
     PrintMacro,
+    /// `.clone()` of a frame value in hot-path crate library code,
+    /// defeating the shared `FrameRef` allocation.
+    HotPathClone,
     /// A `lint:allow` directive missing its mandatory reason.
     AllowReason,
 }
@@ -47,6 +50,7 @@ impl Rule {
             Rule::PanicExpect => "panic-expect",
             Rule::PanicMacro => "panic-macro",
             Rule::PrintMacro => "print-macro",
+            Rule::HotPathClone => "hot-path-clone",
             Rule::AllowReason => "lint-allow-reason",
         }
     }
@@ -54,7 +58,7 @@ impl Rule {
     /// Parses a rule ID as written in a `lint:allow(..)` directive.
     #[must_use]
     pub fn from_id(id: &str) -> Option<Rule> {
-        const ALL: [Rule; 10] = [
+        const ALL: [Rule; 11] = [
             Rule::DeterminismTime,
             Rule::DeterminismRng,
             Rule::DeterminismMap,
@@ -64,6 +68,7 @@ impl Rule {
             Rule::PanicExpect,
             Rule::PanicMacro,
             Rule::PrintMacro,
+            Rule::HotPathClone,
             Rule::AllowReason,
         ];
         ALL.into_iter().find(|r| r.id() == id)
@@ -128,6 +133,7 @@ mod tests {
             Rule::PanicExpect,
             Rule::PanicMacro,
             Rule::PrintMacro,
+            Rule::HotPathClone,
             Rule::AllowReason,
         ] {
             assert_eq!(Rule::from_id(rule.id()), Some(rule));

@@ -15,7 +15,11 @@
 //!   examples, and binaries may panic;
 //! * the **print-hygiene** rule runs in library code of the `crates/*`
 //!   crates only — CLI `main.rs`/`bin/` targets and the workspace-root
-//!   facade own their stdout and may print.
+//!   facade own their stdout and may print;
+//! * the **hot-path** rule (`hot-path-clone`) runs in library code of
+//!   the hot-path crates named in `lint.toml` (`sim`, `phy`, `mac` by
+//!   default), where a deep frame copy defeats the shared `FrameRef`
+//!   allocation.
 //!
 //! `#[cfg(test)]` items are exempt everywhere, and any finding can be
 //! suppressed line-by-line with `// lint:allow(<rule>) — <reason>`.
@@ -78,11 +82,13 @@ pub fn rules_for(path: &str, cfg: &LintConfig) -> RuleSet {
     let class = classify(path);
     let in_sim_crate =
         crate_of(path).is_some_and(|c| cfg.determinism_crates.iter().any(|d| d == c));
+    let in_hot_crate = crate_of(path).is_some_and(|c| cfg.hot_path_crates.iter().any(|d| d == c));
     RuleSet {
         determinism: class != FileClass::TestLike && in_sim_crate,
         units: class != FileClass::TestLike && !cfg.unit_exempt.iter().any(|e| e == path),
         panics: class == FileClass::Library,
         prints: class == FileClass::Library && crate_of(path).is_some(),
+        hot_path: class == FileClass::Library && in_hot_crate,
     }
 }
 
@@ -184,15 +190,23 @@ mod tests {
     fn rule_scoping_follows_config() {
         let cfg = LintConfig::default();
         let lib = rules_for("crates/mac/src/dcf.rs", &cfg);
-        assert!(lib.determinism && lib.units && lib.panics && lib.prints);
+        assert!(lib.determinism && lib.units && lib.panics && lib.prints && lib.hot_path);
 
-        // metrics is not a simulation crate: no determinism rules.
+        // metrics is not a simulation crate: no determinism or hot-path
+        // rules.
         let metrics = rules_for("crates/metrics/src/lib.rs", &cfg);
-        assert!(!metrics.determinism && metrics.units && metrics.panics);
+        assert!(!metrics.determinism && metrics.units && metrics.panics && !metrics.hot_path);
+
+        // net is a determinism crate but not a hot-path crate: its
+        // frame handling goes through the scratch-buffer runner, which
+        // legitimately holds `FrameRef`s.
+        let net = rules_for("crates/net/src/runner.rs", &cfg);
+        assert!(net.determinism && !net.hot_path);
 
         // Tests get none of the families.
         let test = rules_for("crates/mac/tests/backoff.rs", &cfg);
         assert!(!test.determinism && !test.units && !test.panics && !test.prints);
+        assert!(!test.hot_path);
 
         // Binaries may panic (and print) but must stay unit-safe.
         let cli = rules_for("crates/cli/src/main.rs", &cfg);

@@ -22,6 +22,9 @@ pub struct RuleSet {
     pub panics: bool,
     /// Print-hygiene rule (`println!`-family in crate library code).
     pub prints: bool,
+    /// Hot-path allocation rule (`.clone()` of frame values in the
+    /// simulation hot-path crates).
+    pub hot_path: bool,
 }
 
 /// Index spans (token ranges) belonging to `#[cfg(test)]` items; rules do
@@ -128,6 +131,9 @@ pub fn check(path: &str, tokens: &[Token], rules: RuleSet, allows: &Allows) -> V
         }
         if rules.prints {
             prints_at(tokens, i, t, &mut push);
+        }
+        if rules.hot_path {
+            hot_path_at(tokens, i, t, &mut push);
         }
     }
     diags
@@ -374,6 +380,36 @@ fn prints_at(tokens: &[Token], i: usize, t: &Token, push: &mut impl FnMut(&Token
     }
 }
 
+/// Flags `.clone()` where the receiver identifier names a frame
+/// (`frame.clone()`, `self.pending_frame.clone()`, `frames.clone()`).
+/// A deep frame copy on the hot path defeats the shared-`Rc` design:
+/// `FrameRef::share` bumps a refcount instead. Purely lexical — a
+/// frame-typed binding with an unrelated name slips through, which is
+/// the usual trade for a no-type-info linter.
+fn hot_path_at(tokens: &[Token], i: usize, t: &Token, push: &mut impl FnMut(&Token, Rule, String)) {
+    if t.ident() != Some("clone")
+        || i < 2
+        || !tokens[i - 1].is_punct(".")
+        || !tokens.get(i + 1).is_some_and(|n| n.is_punct("("))
+    {
+        return;
+    }
+    let Some(receiver) = tokens[i - 2].ident() else {
+        return;
+    };
+    if receiver.to_ascii_lowercase().contains("frame") {
+        push(
+            t,
+            Rule::HotPathClone,
+            format!(
+                "`{receiver}.clone()` deep-copies a frame on the simulation hot path; \
+                 share the allocation with `FrameRef::share` (a refcount bump), pass \
+                 `&Frame`, or justify with `// lint:allow(hot-path-clone) — <reason>`"
+            ),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::{cfg_test_spans, check, RuleSet};
@@ -386,6 +422,7 @@ mod tests {
         units: true,
         panics: true,
         prints: true,
+        hot_path: true,
     };
 
     fn rules_hit(src: &str) -> Vec<Rule> {
@@ -498,6 +535,26 @@ mod tests {
         // `writeln!` to an explicit sink and similar names are fine.
         assert!(rules_hit("writeln!(f, \"row\")?;").is_empty());
         assert!(rules_hit("self.println();").is_empty());
+    }
+
+    #[test]
+    fn hot_path_clone_fires_on_frame_receivers() {
+        assert_eq!(
+            rules_hit("let copy = frame.clone();"),
+            vec![Rule::HotPathClone]
+        );
+        assert_eq!(
+            rules_hit("let f = self.pending_frame.clone();"),
+            vec![Rule::HotPathClone]
+        );
+        assert_eq!(
+            rules_hit("let all = frames.clone();"),
+            vec![Rule::HotPathClone]
+        );
+        // Non-frame receivers, shares, and clone-adjacent names pass.
+        assert!(rules_hit("let c = cfg.clone();").is_empty());
+        assert!(rules_hit("let f = frame.share();").is_empty());
+        assert!(rules_hit("let f = frame.clone_from(&other);").is_empty());
     }
 
     #[test]

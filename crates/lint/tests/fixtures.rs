@@ -31,6 +31,7 @@ fn each_seeded_fixture_trips_its_rule() {
         ("panic-expect", Rule::PanicExpect),
         ("panic-macro", Rule::PanicMacro),
         ("print-macro", Rule::PrintMacro),
+        ("hot-path-clone", Rule::HotPathClone),
     ];
     for (name, rule) in cases {
         let rules = rules_in(name);
@@ -81,6 +82,7 @@ fn binary_exits_nonzero_on_each_seeded_fixture() {
         "panic-expect",
         "panic-macro",
         "print-macro",
+        "hot-path-clone",
         "lint-allow-reason",
     ] {
         let out = run_binary(name);

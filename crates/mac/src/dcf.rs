@@ -30,7 +30,7 @@ use airguard_sim::trace::Trace;
 use airguard_sim::{NodeId, RngStream, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
-use crate::frames::{ExchangeDurations, Frame, FrameKind};
+use crate::frames::{ExchangeDurations, Frame, FrameKind, FramePool, FrameRef};
 use crate::idle::IdleSlotCounter;
 use crate::policy::{BackoffObservation, BackoffPolicy, PacketVerdict};
 use crate::timing::{MacTiming, Slots};
@@ -54,6 +54,25 @@ pub enum TimerKind {
     NavReset,
 }
 
+impl TimerKind {
+    /// Number of timer kinds (size of a dense per-node timer table).
+    pub const COUNT: usize = 6;
+
+    /// Dense index in `0..COUNT`, for array-backed timer tables on the
+    /// simulation hot path.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            TimerKind::Backoff => 0,
+            TimerKind::CtsTimeout => 1,
+            TimerKind::AckTimeout => 2,
+            TimerKind::Response => 3,
+            TimerKind::NavExpire => 4,
+            TimerKind::NavReset => 5,
+        }
+    }
+}
+
 /// Inputs to the MAC state machine.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MacInput {
@@ -63,8 +82,9 @@ pub enum MacInput {
     /// The physical channel became idle.
     ChannelIdle,
     /// A frame was decoded intact at this node (any destination; the MAC
-    /// filters and handles NAV for overheard frames).
-    Decoded(Frame),
+    /// filters and handles NAV for overheard frames). The handle is
+    /// shared with the medium: decoding never copies the frame.
+    Decoded(FrameRef),
     /// Our own transmission finished on air.
     OwnTxEnd,
     /// A previously set timer expired.
@@ -81,9 +101,11 @@ pub enum MacInput {
 /// Effects the MAC asks its environment to perform.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MacEffect {
-    /// Put `Frame` on the air now. The environment must deliver
-    /// [`MacInput::OwnTxEnd`] when its air time elapses.
-    StartTx(Frame),
+    /// Put the frame on the air now. The environment must deliver
+    /// [`MacInput::OwnTxEnd`] when its air time elapses. The handle is
+    /// shared with the MAC's own `on_air` slot — one allocation serves
+    /// the whole transmission.
+    StartTx(FrameRef),
     /// Arm (or re-arm) the timer of this kind to fire after `after`.
     SetTimer {
         /// Which timer.
@@ -243,9 +265,11 @@ pub struct Mac<P> {
     remaining: Slots,
     countdown_base: Option<SimTime>,
 
-    // Shared transmit path.
-    on_air: Option<Frame>,
-    pending_response: Option<Frame>,
+    // Shared transmit path. Frames are pool-allocated so the steady
+    // state recycles the same few allocations run-long.
+    on_air: Option<FrameRef>,
+    pending_response: Option<FrameRef>,
+    pool: FramePool,
 
     // Receiver side.
     last_delivered: BTreeMap<NodeId, u64>,
@@ -279,6 +303,7 @@ impl<P: BackoffPolicy> Mac<P> {
             countdown_base: None,
             on_air: None,
             pending_response: None,
+            pool: FramePool::new(),
             last_delivered: BTreeMap::new(),
             counters: MacCounters::default(),
         }
@@ -327,24 +352,35 @@ impl<P: BackoffPolicy> Mac<P> {
     }
 
     /// Main entry point: process one input at virtual time `now`.
+    ///
+    /// Allocates a fresh effect vector per call; the hot loop in the
+    /// simulation runner uses [`Mac::handle_into`] with a reused scratch
+    /// buffer instead.
     pub fn handle(&mut self, now: SimTime, input: MacInput) -> Vec<MacEffect> {
         let mut fx = Vec::new();
+        self.handle_into(now, input, &mut fx);
+        fx
+    }
+
+    /// Allocation-free entry point: process one input, appending effects
+    /// to a caller-owned buffer (which the caller typically clears and
+    /// reuses across calls).
+    pub fn handle_into(&mut self, now: SimTime, input: MacInput, fx: &mut Vec<MacEffect>) {
         match input {
             MacInput::ChannelBusy => {
                 self.phys_busy = true;
                 self.last_busy_start = now;
-                self.update_virtual(now, &mut fx);
+                self.update_virtual(now, fx);
             }
             MacInput::ChannelIdle => {
                 self.phys_busy = false;
-                self.update_virtual(now, &mut fx);
+                self.update_virtual(now, fx);
             }
-            MacInput::Decoded(frame) => self.on_decoded(now, frame, &mut fx),
-            MacInput::OwnTxEnd => self.on_own_tx_end(now, &mut fx),
-            MacInput::Timer(kind) => self.on_timer(now, kind, &mut fx),
-            MacInput::Enqueue { dst, bytes } => self.on_enqueue(now, dst, bytes, &mut fx),
+            MacInput::Decoded(frame) => self.on_decoded(now, &frame, fx),
+            MacInput::OwnTxEnd => self.on_own_tx_end(now, fx),
+            MacInput::Timer(kind) => self.on_timer(now, kind, fx),
+            MacInput::Enqueue { dst, bytes } => self.on_enqueue(now, dst, bytes, fx),
         }
-        fx
     }
 
     // ------------------------------------------------------------------
@@ -487,7 +523,8 @@ impl<P: BackoffPolicy> Mac<P> {
             },
         };
         self.trace.emit(now, self.id, event);
-        self.on_air = Some(frame.clone());
+        let frame = self.pool.alloc(frame);
+        self.on_air = Some(frame.share());
         fx.push(MacEffect::StartTx(frame));
     }
 
@@ -570,11 +607,11 @@ impl<P: BackoffPolicy> Mac<P> {
     // Frame handling
     // ------------------------------------------------------------------
 
-    fn on_decoded(&mut self, now: SimTime, frame: Frame, fx: &mut Vec<MacEffect>) {
+    fn on_decoded(&mut self, now: SimTime, frame: &Frame, fx: &mut Vec<MacEffect>) {
         if frame.dst != self.id {
             self.policy
-                .observe_overheard(&frame, self.idle_counter.reading(now), &self.cfg.timing);
-            self.apply_nav(now, &frame, fx);
+                .observe_overheard(frame, self.idle_counter.reading(now), &self.cfg.timing);
+            self.apply_nav(now, frame, fx);
             return;
         }
         match frame.kind {
@@ -613,7 +650,7 @@ impl<P: BackoffPolicy> Mac<P> {
         }
     }
 
-    fn on_rts(&mut self, now: SimTime, frame: Frame, fx: &mut Vec<MacEffect>) {
+    fn on_rts(&mut self, now: SimTime, frame: &Frame, fx: &mut Vec<MacEffect>) {
         // 802.11: respond only if the NAV shows the medium free; also skip
         // if a response is already queued (we can only say one thing at a
         // time).
@@ -664,14 +701,14 @@ impl<P: BackoffPolicy> Mac<P> {
             payload_bytes: 0,
             seq: frame.seq,
         };
-        self.pending_response = Some(cts);
+        self.pending_response = Some(self.pool.alloc(cts));
         fx.push(MacEffect::SetTimer {
             kind: TimerKind::Response,
             after: self.cfg.timing.sifs,
         });
     }
 
-    fn on_cts(&mut self, now: SimTime, frame: Frame, fx: &mut Vec<MacEffect>) {
+    fn on_cts(&mut self, now: SimTime, frame: &Frame, fx: &mut Vec<MacEffect>) {
         let Some(pkt) = self.queue.front().copied() else {
             return;
         };
@@ -692,7 +729,7 @@ impl<P: BackoffPolicy> Mac<P> {
             seq: pkt.seq,
         };
         self.sender = SenderState::AwaitAck;
-        self.pending_response = Some(data);
+        self.pending_response = Some(self.pool.alloc(data));
         fx.push(MacEffect::SetTimer {
             kind: TimerKind::Response,
             after: self.cfg.timing.sifs,
@@ -707,7 +744,7 @@ impl<P: BackoffPolicy> Mac<P> {
         );
     }
 
-    fn on_data(&mut self, now: SimTime, frame: Frame, fx: &mut Vec<MacEffect>) {
+    fn on_data(&mut self, now: SimTime, frame: &Frame, fx: &mut Vec<MacEffect>) {
         let duplicate = self
             .last_delivered
             .get(&frame.src)
@@ -773,14 +810,14 @@ impl<P: BackoffPolicy> Mac<P> {
             payload_bytes: 0,
             seq: frame.seq,
         };
-        self.pending_response = Some(ack);
+        self.pending_response = Some(self.pool.alloc(ack));
         fx.push(MacEffect::SetTimer {
             kind: TimerKind::Response,
             after: self.cfg.timing.sifs,
         });
     }
 
-    fn on_ack(&mut self, now: SimTime, frame: Frame, fx: &mut Vec<MacEffect>) {
+    fn on_ack(&mut self, now: SimTime, frame: &Frame, fx: &mut Vec<MacEffect>) {
         let Some(pkt) = self.queue.front().copied() else {
             return;
         };
@@ -894,7 +931,7 @@ impl<P: BackoffPolicy> Mac<P> {
                             },
                         };
                         self.trace.emit(now, self.id, event);
-                        self.on_air = Some(frame.clone());
+                        self.on_air = Some(frame.share());
                         fx.push(MacEffect::StartTx(frame));
                     }
                 }
@@ -961,7 +998,7 @@ mod tests {
 
     fn started_frame(fx: &[MacEffect]) -> Option<&Frame> {
         fx.iter().find_map(|e| match e {
-            MacEffect::StartTx(f) => Some(f),
+            MacEffect::StartTx(f) => Some(&**f),
             _ => None,
         })
     }
@@ -1032,7 +1069,7 @@ mod tests {
     #[test]
     fn rts_gets_cts_after_sifs() {
         let mut m = mac();
-        let fx = m.handle(t(100), MacInput::Decoded(rts_to(1, 5)));
+        let fx = m.handle(t(100), MacInput::Decoded(rts_to(1, 5).into()));
         assert_eq!(
             find_timer(&fx, TimerKind::Response),
             Some(SimDuration::from_micros(10))
@@ -1056,9 +1093,9 @@ mod tests {
         // Overhear a frame reserving the medium for 1000 µs.
         let mut overheard = rts_to(9, 5); // not addressed to us
         overheard.duration_field = SimDuration::from_micros(1_000);
-        m.handle(t(0), MacInput::Decoded(overheard));
+        m.handle(t(0), MacInput::Decoded(overheard.into()));
         assert!(m.channel_busy(), "NAV makes channel virtually busy");
-        let fx = m.handle(t(500), MacInput::Decoded(rts_to(1, 5)));
+        let fx = m.handle(t(500), MacInput::Decoded(rts_to(1, 5).into()));
         assert!(
             find_timer(&fx, TimerKind::Response).is_none(),
             "no CTS during NAV"
@@ -1066,7 +1103,7 @@ mod tests {
         // After NAV expiry the node responds again.
         m.handle(t(1_000), MacInput::Timer(TimerKind::NavExpire));
         assert!(!m.channel_busy());
-        let fx = m.handle(t(1_100), MacInput::Decoded(rts_to(1, 5)));
+        let fx = m.handle(t(1_100), MacInput::Decoded(rts_to(1, 5).into()));
         assert!(find_timer(&fx, TimerKind::Response).is_some());
     }
 
@@ -1081,7 +1118,7 @@ mod tests {
         data.duration_field = d.data;
         data.seq = 7;
 
-        let fx = m.handle(t(0), MacInput::Decoded(data.clone()));
+        let fx = m.handle(t(0), MacInput::Decoded(data.clone().into()));
         assert!(fx.iter().any(|e| matches!(
             e,
             MacEffect::Delivered { src, seq: 7, bytes: 512 } if *src == NodeId::new(5)
@@ -1091,7 +1128,7 @@ mod tests {
         m.handle(t(300), MacInput::OwnTxEnd);
 
         // Retransmission of the same seq: ACKed but not re-delivered.
-        let fx = m.handle(t(5_000), MacInput::Decoded(data));
+        let fx = m.handle(t(5_000), MacInput::Decoded(data.into()));
         assert!(!fx.iter().any(|e| matches!(e, MacEffect::Delivered { .. })));
         assert_eq!(m.counters().duplicates, 1);
         let fx = m.handle(t(5_010), MacInput::Timer(TimerKind::Response));
@@ -1124,7 +1161,7 @@ mod tests {
         clock += 260;
         let mut cts = rts_to(1, 0);
         cts.kind = FrameKind::Cts;
-        let fx = m.handle(t(clock), MacInput::Decoded(cts));
+        let fx = m.handle(t(clock), MacInput::Decoded(cts.into()));
         assert!(fx.contains(&MacEffect::CancelTimer(TimerKind::CtsTimeout)));
         // DATA goes out after SIFS.
         clock += 10;
@@ -1141,7 +1178,7 @@ mod tests {
         clock += 260;
         let mut ack = rts_to(1, 0);
         ack.kind = FrameKind::Ack;
-        let fx = m.handle(t(clock), MacInput::Decoded(ack));
+        let fx = m.handle(t(clock), MacInput::Decoded(ack.into()));
         assert!(fx.iter().any(|e| matches!(
             e,
             MacEffect::SendComplete {
@@ -1227,7 +1264,7 @@ mod tests {
         let mut m = mac();
         let mut overheard = rts_to(9, 5);
         overheard.duration_field = SimDuration::from_micros(500);
-        let fx = m.handle(t(0), MacInput::Decoded(overheard));
+        let fx = m.handle(t(0), MacInput::Decoded(overheard.into()));
         assert_eq!(
             find_timer(&fx, TimerKind::NavExpire),
             Some(SimDuration::from_micros(500))
@@ -1236,7 +1273,7 @@ mod tests {
         // A shorter overheard reservation does not shrink the NAV.
         let mut shorter = rts_to(9, 6);
         shorter.duration_field = SimDuration::from_micros(100);
-        let fx = m.handle(t(200), MacInput::Decoded(shorter));
+        let fx = m.handle(t(200), MacInput::Decoded(shorter.into()));
         assert!(find_timer(&fx, TimerKind::NavExpire).is_none());
         m.handle(t(500), MacInput::Timer(TimerKind::NavExpire));
         assert!(!m.channel_busy());
@@ -1257,11 +1294,11 @@ mod tests {
         m.handle(t(after.as_micros() + 272), MacInput::OwnTxEnd);
         let mut cts = rts_to(1, 0);
         cts.kind = FrameKind::Cts;
-        m.handle(t(after.as_micros() + 600), MacInput::Decoded(cts));
+        m.handle(t(after.as_micros() + 600), MacInput::Decoded(cts.into()));
         let mut ack = rts_to(1, 0);
         ack.kind = FrameKind::Ack;
         ack.seq = 99; // wrong
-        let fx = m.handle(t(after.as_micros() + 700), MacInput::Decoded(ack));
+        let fx = m.handle(t(after.as_micros() + 700), MacInput::Decoded(ack.into()));
         assert!(!fx
             .iter()
             .any(|e| matches!(e, MacEffect::SendComplete { .. })));

@@ -103,6 +103,93 @@ impl Frame {
     }
 }
 
+/// A shared, immutable handle to one frame in flight.
+///
+/// One transmission is referenced from many places at once — the
+/// sender's `on_air` slot, the `StartTx` effect, and one scheduled
+/// arrival per listener. `FrameRef` lets all of them point at a single
+/// allocation: [`FrameRef::share`] is a reference-count bump, never a
+/// copy. Combined with a [`FramePool`] the allocation itself is
+/// recycled, so the steady-state exchange loop allocates nothing.
+///
+/// The handle is deliberately read-only (`Deref<Target = Frame>`, no
+/// `DerefMut`): a frame on the air is immutable physics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameRef(std::rc::Rc<Frame>);
+
+impl FrameRef {
+    /// Wraps a frame in a fresh shared allocation. Hot paths should
+    /// prefer [`FramePool::alloc`], which recycles allocations.
+    #[must_use]
+    pub fn new(frame: Frame) -> Self {
+        FrameRef(std::rc::Rc::new(frame))
+    }
+
+    /// Shares the handle: a reference-count bump, not a frame copy.
+    /// This is the hot-path alternative to cloning a [`Frame`].
+    #[must_use]
+    pub fn share(&self) -> Self {
+        FrameRef(std::rc::Rc::clone(&self.0))
+    }
+}
+
+impl std::ops::Deref for FrameRef {
+    type Target = Frame;
+
+    fn deref(&self) -> &Frame {
+        &self.0
+    }
+}
+
+impl From<Frame> for FrameRef {
+    fn from(frame: Frame) -> Self {
+        FrameRef::new(frame)
+    }
+}
+
+/// A recycling allocator for [`FrameRef`]s.
+///
+/// The pool keeps one handle to every allocation it ever handed out and
+/// reuses any whose other holders have all dropped (reference count back
+/// to one). In-flight frames per node are bounded by the protocol — one
+/// on air, one pending response, a handful of scheduled arrivals — so
+/// the pool stays a few slots deep and the steady state allocates
+/// nothing.
+#[derive(Debug, Default)]
+pub struct FramePool {
+    slots: Vec<std::rc::Rc<Frame>>,
+}
+
+impl FramePool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        FramePool::default()
+    }
+
+    /// Returns a handle to `frame`, reusing a released allocation when
+    /// one is available.
+    pub fn alloc(&mut self, frame: Frame) -> FrameRef {
+        for i in 0..self.slots.len() {
+            if std::rc::Rc::strong_count(&self.slots[i]) == 1 {
+                if let Some(slot) = std::rc::Rc::get_mut(&mut self.slots[i]) {
+                    *slot = frame;
+                    return FrameRef(std::rc::Rc::clone(&self.slots[i]));
+                }
+            }
+        }
+        let rc = std::rc::Rc::new(frame);
+        self.slots.push(std::rc::Rc::clone(&rc));
+        FrameRef(rc)
+    }
+
+    /// Distinct allocations the pool currently manages (diagnostics).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
 /// Computes the Duration fields for a full RTS/CTS/DATA/ACK exchange over
 /// a `payload_bytes` MPDU, from the perspective of each frame.
 ///
@@ -206,5 +293,55 @@ mod tests {
         let ext = ExchangeDurations::compute(&t, 512, true);
         assert!(ext.rts > base.rts);
         assert!(ext.cts > base.cts);
+    }
+
+    fn probe(seq: u64) -> Frame {
+        Frame {
+            kind: FrameKind::Rts,
+            src: NodeId::new(1),
+            dst: NodeId::new(0),
+            duration_field: SimDuration::ZERO,
+            attempt: 1,
+            assigned_backoff: None,
+            payload_bytes: 0,
+            seq,
+        }
+    }
+
+    #[test]
+    fn frame_ref_shares_one_allocation() {
+        let a = FrameRef::new(probe(7));
+        let b = a.share();
+        assert_eq!(a.seq, 7);
+        assert_eq!(a, b);
+        // Deref gives field access and &Frame coercion.
+        let f: &Frame = &a;
+        assert_eq!(f.seq, b.seq);
+    }
+
+    #[test]
+    fn pool_recycles_released_allocations() {
+        let mut pool = FramePool::new();
+        let a = pool.alloc(probe(1));
+        assert_eq!(pool.capacity(), 1);
+        drop(a);
+        // Slot free again: the next alloc reuses it.
+        let b = pool.alloc(probe(2));
+        assert_eq!(pool.capacity(), 1);
+        assert_eq!(b.seq, 2);
+    }
+
+    #[test]
+    fn pool_grows_while_handles_are_live() {
+        let mut pool = FramePool::new();
+        let a = pool.alloc(probe(1));
+        let b = pool.alloc(probe(2));
+        assert_eq!(pool.capacity(), 2, "live handles pin their slots");
+        // Shares keep a slot busy too.
+        let a2 = a.share();
+        drop(a);
+        let c = pool.alloc(probe(3));
+        assert_eq!(pool.capacity(), 3, "shared handle still pins its slot");
+        assert_eq!((a2.seq, b.seq, c.seq), (1, 2, 3));
     }
 }

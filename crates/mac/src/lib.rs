@@ -36,7 +36,7 @@ pub mod timing;
 
 pub use analytic::ExchangeModel;
 pub use dcf::{AccessMode, Mac, MacConfig, MacEffect, MacInput, TimerKind};
-pub use frames::{Frame, FrameKind};
+pub use frames::{Frame, FrameKind, FramePool, FrameRef};
 pub use idle::IdleSlotCounter;
 pub use misbehavior::{Misbehavior, Selfish};
 pub use policy::{BackoffObservation, BackoffPolicy, Dcf80211, PacketVerdict};

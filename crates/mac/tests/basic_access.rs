@@ -24,7 +24,7 @@ fn basic_mac() -> Mac<Dcf80211> {
 
 fn started(fx: &[MacEffect]) -> Option<&Frame> {
     fx.iter().find_map(|e| match e {
-        MacEffect::StartTx(f) => Some(f),
+        MacEffect::StartTx(f) => Some(&**f),
         _ => None,
     })
 }
@@ -103,7 +103,7 @@ fn ack_completes_the_two_way_exchange() {
         payload_bytes: 0,
         seq: 0,
     };
-    let fx = m.handle(t(end + 260), MacInput::Decoded(ack));
+    let fx = m.handle(t(end + 260), MacInput::Decoded(ack.into()));
     assert!(fx.iter().any(|e| matches!(
         e,
         MacEffect::SendComplete {

@@ -102,7 +102,7 @@ fn rts(src: u32, dst: u32, seq: u64, attempt: u8) -> Frame {
 
 fn started(fx: &[MacEffect]) -> Option<&Frame> {
     fx.iter().find_map(|e| match e {
-        MacEffect::StartTx(f) => Some(f),
+        MacEffect::StartTx(f) => Some(&**f),
         _ => None,
     })
 }
@@ -110,7 +110,7 @@ fn started(fx: &[MacEffect]) -> Option<&Frame> {
 #[test]
 fn cts_carries_the_policy_assignment() {
     let (mut m, _) = mac_with(23);
-    m.handle(t(100), MacInput::Decoded(rts(5, 0, 0, 1)));
+    m.handle(t(100), MacInput::Decoded(rts(5, 0, 0, 1).into()));
     let fx = m.handle(t(110), MacInput::Timer(TimerKind::Response));
     let cts = started(&fx).expect("CTS sent");
     assert_eq!(cts.kind, FrameKind::Cts);
@@ -127,7 +127,7 @@ fn ack_carries_assignment_and_hook_fires_at_tx_end() {
     data.kind = FrameKind::Data;
     data.payload_bytes = 512;
     data.duration_field = ExchangeDurations::compute(&timing, 512, true).data;
-    m.handle(t(1_000), MacInput::Decoded(data));
+    m.handle(t(1_000), MacInput::Decoded(data.into()));
     let fx = m.handle(t(1_010), MacInput::Timer(TimerKind::Response));
     let ack = started(&fx).expect("ACK sent");
     assert_eq!(ack.kind, FrameKind::Ack);
@@ -148,7 +148,7 @@ fn ack_carries_assignment_and_hook_fires_at_tx_end() {
 fn observe_rts_gets_seq_attempt_and_idle_reading() {
     let (mut m, log) = mac_with(9);
     // 100 idle µs beyond DIFS at t=150: floor((150-50)/20) = 5 slots.
-    m.handle(t(150), MacInput::Decoded(rts(5, 0, 42, 3)));
+    m.handle(t(150), MacInput::Decoded(rts(5, 0, 42, 3).into()));
     let entries = log.borrow();
     assert_eq!(entries.len(), 1);
     assert_eq!(entries[0], "rts src=n5 seq=42 attempt=3 idle=5");
@@ -157,8 +157,8 @@ fn observe_rts_gets_seq_attempt_and_idle_reading() {
 #[test]
 fn second_rts_during_pending_response_is_ignored() {
     let (mut m, log) = mac_with(9);
-    m.handle(t(100), MacInput::Decoded(rts(5, 0, 0, 1)));
-    let fx = m.handle(t(102), MacInput::Decoded(rts(6, 0, 0, 1)));
+    m.handle(t(100), MacInput::Decoded(rts(5, 0, 0, 1).into()));
+    let fx = m.handle(t(102), MacInput::Decoded(rts(6, 0, 0, 1).into()));
     assert!(started(&fx).is_none());
     assert_eq!(
         log.borrow().len(),
@@ -171,7 +171,7 @@ fn second_rts_during_pending_response_is_ignored() {
 fn nav_reset_clears_stale_reservation() {
     let (mut m, _) = mac_with(9);
     // Overhear an RTS for someone else: NAV armed for the full exchange.
-    m.handle(t(0), MacInput::Decoded(rts(5, 9, 0, 1)));
+    m.handle(t(0), MacInput::Decoded(rts(5, 9, 0, 1).into()));
     assert!(m.channel_busy(), "NAV set");
     // No CTS ever starts; the NavReset check fires (SIFS + CTS-air +
     // 2 slots = 306 µs later) with the channel idle since before the RTS
@@ -187,7 +187,7 @@ fn nav_reset_clears_stale_reservation() {
 #[test]
 fn nav_reset_keeps_reservation_when_exchange_proceeds() {
     let (mut m, _) = mac_with(9);
-    m.handle(t(0), MacInput::Decoded(rts(5, 9, 0, 1)));
+    m.handle(t(0), MacInput::Decoded(rts(5, 9, 0, 1).into()));
     // The CTS (someone transmitting) makes the channel busy before the
     // reset check.
     m.handle(t(20), MacInput::ChannelBusy);
@@ -231,14 +231,14 @@ fn duplicate_data_still_reaches_no_monitor_classification() {
     data.payload_bytes = 512;
     data.duration_field = ExchangeDurations::compute(&timing, 512, true).data;
 
-    let fx = m.handle(t(0), MacInput::Decoded(data.clone()));
+    let fx = m.handle(t(0), MacInput::Decoded(data.clone().into()));
     assert!(fx.iter().any(|e| matches!(e, MacEffect::Delivered { .. })));
     m.handle(t(10), MacInput::Timer(TimerKind::Response));
     m.handle(t(10), MacInput::ChannelBusy);
     m.handle(t(300), MacInput::OwnTxEnd);
     m.handle(t(300), MacInput::ChannelIdle);
 
-    let fx = m.handle(t(5_000), MacInput::Decoded(data));
+    let fx = m.handle(t(5_000), MacInput::Decoded(data.into()));
     assert!(
         !fx.iter().any(|e| matches!(e, MacEffect::Delivered { .. })),
         "duplicate must not deliver"

@@ -17,16 +17,16 @@
 //! processed before the next scheduler pop, so the system is always
 //! consistent at each instant.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use airguard_core::monitor::MonitorReport;
 use airguard_core::PairStats;
 use airguard_mac::dcf::MacCounters;
-use airguard_mac::{Frame, Mac, MacConfig, MacEffect, MacInput, TimerKind};
+use airguard_mac::{FrameRef, Mac, MacConfig, MacEffect, MacInput, TimerKind};
 use airguard_metrics::{jain_index, DelayAccount, DiagnosisTally, ThroughputAccount, TimeBinned};
-use airguard_obs::{fnv1a_hex, Histogram, Registry, RunSummary};
+use airguard_obs::{fnv1a_hex, Counter, Histogram, Registry, RunSummary};
 use airguard_phy::reception::DecodeOutcome;
-use airguard_phy::{Dbm, Fading, Medium, PhyConfig, RxTracker, TransmissionId};
+use airguard_phy::{Dbm, Fading, ListenerOutcome, Medium, PhyConfig, RxTracker, TransmissionId};
 use airguard_sim::trace::Trace;
 use airguard_sim::{EventId, MasterSeed, NodeId, Scheduler, SimDuration, SimTime};
 
@@ -86,14 +86,19 @@ enum Event {
     RxEnd {
         listener: usize,
         tx: TransmissionId,
-        frame: Frame,
+        /// Shared handle: every listener's arrival event points at the
+        /// same allocation as the transmitter's `on_air` slot.
+        frame: FrameRef,
     },
 }
 
 struct SimNode {
     mac: Mac<NodePolicy>,
     tracker: RxTracker,
-    timers: BTreeMap<TimerKind, EventId>,
+    /// Pending timer event per [`TimerKind`], densely indexed by
+    /// [`TimerKind::index`]. A flat array: timer churn is the runner's
+    /// most frequent map operation.
+    timers: [Option<EventId>; TimerKind::COUNT],
 }
 
 /// Everything measured in one run.
@@ -217,12 +222,18 @@ pub struct Simulation {
     trace: Trace,
     registry: Registry,
     deviation_hist: Histogram,
+    diagnosis_flags: Counter,
     pending: VecDeque<(usize, MacInput)>,
+    /// Reused MAC-effect buffer (see [`Mac::handle_into`]).
+    fx_scratch: Vec<MacEffect>,
+    /// Reused listener-outcome buffer (see [`Medium::sample_tx`]).
+    listeners_scratch: Vec<ListenerOutcome>,
 }
 
 impl Simulation {
-    /// Wires up a simulation over `topology`, with `policies[i]` the
-    /// policy of node `i` and `misbehaving` the ground-truth cheater set.
+    /// Wires up a simulation over `topology` (taken by value — the
+    /// runner owns the positions), with `policies[i]` the policy of node
+    /// `i` and `misbehaving` the ground-truth cheater set.
     ///
     /// # Panics
     ///
@@ -230,7 +241,7 @@ impl Simulation {
     #[must_use]
     pub fn new(
         cfg: SimulationConfig,
-        topology: &Topology,
+        topology: Topology,
         policies: Vec<NodePolicy>,
         misbehaving: Vec<NodeId>,
     ) -> Self {
@@ -239,11 +250,9 @@ impl Simulation {
             topology.node_count(),
             "one policy per node required"
         );
-        let mut medium = Medium::new(
-            cfg.phy,
-            topology.positions.clone(),
-            cfg.seed.stream("phy", 0),
-        );
+        let measured_senders = topology.measured_senders();
+        let measured_flows = topology.measured_flow_pairs();
+        let mut medium = Medium::new(cfg.phy, topology.positions, cfg.seed.stream("phy", 0));
         medium.set_fading(cfg.fading);
         let nodes: Vec<SimNode> = policies
             .into_iter()
@@ -256,7 +265,7 @@ impl Simulation {
                     cfg.seed.stream("mac", i as u64),
                 ),
                 tracker: RxTracker::new(cfg.phy.capture),
-                timers: BTreeMap::new(),
+                timers: [None; TimerKind::COUNT],
             })
             .collect();
         let mut sched = Scheduler::new();
@@ -279,22 +288,28 @@ impl Simulation {
             "obs.backoff_deviation_slots",
             &[0, 1, 2, 4, 8, 16, 32, 64, 128],
         );
+        // Looked up once: Registry::counter allocates its key on every
+        // call, and this one fires per classification on the hot path.
+        let diagnosis_flags = registry.counter("mac.diagnosis_flags");
         Simulation {
             medium,
             nodes,
             sched,
             cbr,
-            misbehaving: misbehaving.clone(),
-            measured_senders: topology.measured_senders(),
-            measured_flows: topology.measured_flow_pairs(),
+            tally: DiagnosisTally::new(misbehaving.iter().copied()),
+            misbehaving,
+            measured_senders,
+            measured_flows,
             throughput: ThroughputAccount::new(),
-            tally: DiagnosisTally::new(misbehaving),
             series,
             delays: DelayAccount::new(),
             trace: Trace::new(),
             registry,
             deviation_hist,
+            diagnosis_flags,
             pending: VecDeque::new(),
+            fx_scratch: Vec::new(),
+            listeners_scratch: Vec::new(),
             cfg,
         }
     }
@@ -430,7 +445,7 @@ impl Simulation {
                     .schedule_in(state.interval, Event::Traffic { flow });
             }
             Event::MacTimer { node, kind } => {
-                self.nodes[node].timers.remove(&kind);
+                self.nodes[node].timers[kind.index()] = None;
                 self.pending.push_back((node, MacInput::Timer(kind)));
             }
             Event::TxEnd { node } => {
@@ -473,29 +488,38 @@ impl Simulation {
     }
 
     fn drain_pending(&mut self, now: SimTime) {
+        // The effect buffer is detached from `self` while effects are
+        // applied (apply() may push new pending inputs) and re-attached
+        // after, so its capacity is reused across the whole run.
+        let mut fx = std::mem::take(&mut self.fx_scratch);
         while let Some((node, input)) = self.pending.pop_front() {
-            let effects = self.nodes[node].mac.handle(now, input);
-            for effect in effects {
+            fx.clear();
+            self.nodes[node].mac.handle_into(now, input, &mut fx);
+            for effect in fx.drain(..) {
                 self.apply(now, node, effect);
             }
         }
+        self.fx_scratch = fx;
     }
 
     fn apply(&mut self, now: SimTime, node: usize, effect: MacEffect) {
         match effect {
             MacEffect::StartTx(frame) => {
                 let air = frame.air_time(&self.cfg.mac.timing);
-                let outcome = self.medium.start_tx(NodeId::new(node as u32));
+                let mut listeners = std::mem::take(&mut self.listeners_scratch);
+                let tx = self
+                    .medium
+                    .sample_tx(NodeId::new(node as u32), &mut listeners);
                 if self.nodes[node].tracker.on_self_tx_start(now).is_some() {
                     self.pending.push_back((node, MacInput::ChannelBusy));
                 }
                 self.sched.schedule_at(now + air, Event::TxEnd { node });
-                for l in outcome.listeners {
+                for l in &listeners {
                     self.sched.schedule_at(
                         now + l.delay,
                         Event::RxStart {
                             listener: l.listener.index(),
-                            tx: outcome.id,
+                            tx,
                             power: l.power,
                             receivable: l.receivable,
                         },
@@ -504,22 +528,23 @@ impl Simulation {
                         now + l.delay + air,
                         Event::RxEnd {
                             listener: l.listener.index(),
-                            tx: outcome.id,
-                            frame: frame.clone(),
+                            tx,
+                            frame: frame.share(),
                         },
                     );
                 }
+                self.listeners_scratch = listeners;
             }
             MacEffect::SetTimer { kind, after } => {
                 let id = self
                     .sched
                     .schedule_at(now + after, Event::MacTimer { node, kind });
-                if let Some(old) = self.nodes[node].timers.insert(kind, id) {
+                if let Some(old) = self.nodes[node].timers[kind.index()].replace(id) {
                     self.sched.cancel(old);
                 }
             }
             MacEffect::CancelTimer(kind) => {
-                if let Some(id) = self.nodes[node].timers.remove(&kind) {
+                if let Some(id) = self.nodes[node].timers[kind.index()].take() {
                     self.sched.cancel(id);
                 }
             }
@@ -532,7 +557,7 @@ impl Simulation {
                 self.deviation_hist
                     .record(verdict.deviation_slots.max(0.0).round() as u64);
                 if verdict.flagged {
-                    self.registry.counter("mac.diagnosis_flags").inc();
+                    self.diagnosis_flags.inc();
                 }
                 self.tally.record(src, verdict.flagged);
                 if self.tally.is_misbehaving(src) {
@@ -585,7 +610,7 @@ mod tests {
     #[test]
     fn single_sender_saturates_the_channel() {
         let topo = single_sender_topology();
-        let sim = Simulation::new(quick_cfg(1, 5), &topo, dot11_policies(2), vec![]);
+        let sim = Simulation::new(quick_cfg(1, 5), topo, dot11_policies(2), vec![]);
         let report = sim.run();
         let bps = report
             .throughput
@@ -602,7 +627,7 @@ mod tests {
     #[test]
     fn two_senders_share_roughly_equally() {
         let topo = Topology::star(2, 2_000_000, 512, false);
-        let sim = Simulation::new(quick_cfg(2, 5), &topo, dot11_policies(3), vec![]);
+        let sim = Simulation::new(quick_cfg(2, 5), topo, dot11_policies(3), vec![]);
         let report = sim.run();
         let t1 = report
             .throughput
@@ -619,7 +644,7 @@ mod tests {
     #[test]
     fn eight_senders_split_the_channel() {
         let topo = Topology::star(8, 2_000_000, 512, false);
-        let sim = Simulation::new(quick_cfg(3, 5), &topo, dot11_policies(9), vec![]);
+        let sim = Simulation::new(quick_cfg(3, 5), topo, dot11_policies(9), vec![]);
         let report = sim.run();
         let avg = report.avg_throughput_bps();
         // 8-way split of ~1.1-1.2 Mb/s aggregate, minus collision losses.
@@ -637,11 +662,11 @@ mod tests {
     #[test]
     fn runs_are_reproducible_per_seed() {
         let topo = Topology::star(4, 2_000_000, 512, false);
-        let a = Simulation::new(quick_cfg(7, 2), &topo, dot11_policies(5), vec![]).run();
-        let b = Simulation::new(quick_cfg(7, 2), &topo, dot11_policies(5), vec![]).run();
+        let a = Simulation::new(quick_cfg(7, 2), topo.clone(), dot11_policies(5), vec![]).run();
+        let b = Simulation::new(quick_cfg(7, 2), topo.clone(), dot11_policies(5), vec![]).run();
         assert_eq!(a.throughput, b.throughput);
         assert_eq!(a.events, b.events);
-        let c = Simulation::new(quick_cfg(8, 2), &topo, dot11_policies(5), vec![]).run();
+        let c = Simulation::new(quick_cfg(8, 2), topo, dot11_policies(5), vec![]).run();
         assert_ne!(a.throughput, c.throughput, "different seed, different run");
     }
 
@@ -649,6 +674,6 @@ mod tests {
     #[should_panic(expected = "one policy per node")]
     fn policy_count_must_match() {
         let topo = single_sender_topology();
-        let _ = Simulation::new(quick_cfg(1, 1), &topo, dot11_policies(1), vec![]);
+        let _ = Simulation::new(quick_cfg(1, 1), topo, dot11_policies(1), vec![]);
     }
 }

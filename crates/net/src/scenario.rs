@@ -292,7 +292,7 @@ impl ScenarioConfig {
             fading: self.fading,
             seed: MasterSeed::new(self.seed),
         };
-        Simulation::new(cfg, &topology, policies, misbehaving)
+        Simulation::new(cfg, topology, policies, misbehaving)
     }
 
     /// The canonical, *seed-independent* identity of this

@@ -140,7 +140,7 @@ fn simulator_matches_analytic_saturation_model() {
         NodePolicy::dot11(airguard_mac::Selfish::None),
         NodePolicy::dot11(airguard_mac::Selfish::None),
     ];
-    let report = Simulation::new(cfg, &topo, policies, vec![]).run();
+    let report = Simulation::new(cfg, topo, policies, vec![]).run();
     let measured = report
         .throughput
         .sender_throughput_bps(NodeId::new(1), report.elapsed);

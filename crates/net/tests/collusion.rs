@@ -70,7 +70,7 @@ fn run(colluding: bool, seed: u64) -> RunReport {
             seed: MasterSeed::new(seed),
             ..SimulationConfig::default()
         },
-        &topology,
+        topology,
         policies,
         vec![NodeId::new(1)],
     )

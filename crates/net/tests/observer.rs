@@ -71,7 +71,7 @@ fn run(pm: f64, seed: u64) -> airguard_net::RunReport {
             seed: MasterSeed::new(seed),
             ..SimulationConfig::default()
         },
-        &topology(),
+        topology(),
         policies,
         if pm > 0.0 {
             vec![NodeId::new(1)]

@@ -30,7 +30,7 @@ fn run(topology: &Topology, seed: u64) -> airguard_net::RunReport {
             seed: MasterSeed::new(seed),
             ..SimulationConfig::default()
         },
-        topology,
+        topology.clone(),
         correct(n),
         vec![],
     )
@@ -163,7 +163,7 @@ fn long_horizon_many_senders_is_stable() {
             seed: MasterSeed::new(5),
             ..SimulationConfig::default()
         },
-        &topology,
+        topology,
         correct(25),
         vec![],
     )

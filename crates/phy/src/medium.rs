@@ -15,8 +15,6 @@
 //! arrival/departure events and feeds them to each listener's
 //! [`crate::reception::RxTracker`].
 
-use std::collections::BTreeMap;
-
 use airguard_sim::{NodeId, RngStream, SimDuration};
 
 use crate::config::PhyConfig;
@@ -85,6 +83,23 @@ pub struct TxOutcome {
     pub listeners: Vec<ListenerOutcome>,
 }
 
+/// Precomputed per-link invariants. Node positions never change within a
+/// run, so the distance-derived quantities — the deterministic mean loss
+/// (two `log10` calls per query) and the propagation delay — are computed
+/// once per ordered (transmitter, listener) pair instead of per
+/// transmission.
+#[derive(Debug, Clone, Copy)]
+struct LinkState {
+    /// Propagation delay over this link.
+    delay: SimDuration,
+    /// Deterministic mean path loss at the link distance.
+    mean_loss: Db,
+    /// Frozen shadowing offset ([`Fading::Coherent`] only), drawn lazily
+    /// at the link's first use to preserve the RNG draw order of the
+    /// uncached implementation.
+    coherent_offset: Option<Db>,
+}
+
 /// The shared medium: node positions + propagation model + sampling RNG.
 #[derive(Debug)]
 pub struct Medium {
@@ -93,7 +108,8 @@ pub struct Medium {
     rng: RngStream,
     next_tx: u64,
     fading: Fading,
-    coherent_offsets: BTreeMap<(NodeId, NodeId), Db>,
+    /// Dense n×n link table, indexed `transmitter.index() * n + listener`.
+    links: Vec<LinkState>,
 }
 
 impl Medium {
@@ -103,13 +119,25 @@ impl Medium {
     /// channel sampling is independent of MAC-level randomness.
     #[must_use]
     pub fn new(cfg: PhyConfig, positions: Vec<Position>, rng: RngStream) -> Self {
+        let n = positions.len();
+        let mut links = Vec::with_capacity(n * n);
+        for &tx_pos in &positions {
+            for &rx_pos in &positions {
+                let d = tx_pos.distance_to(rx_pos);
+                links.push(LinkState {
+                    delay: cfg.propagation_delay(d),
+                    mean_loss: cfg.model.mean_loss(d),
+                    coherent_offset: None,
+                });
+            }
+        }
         Medium {
             cfg,
             positions,
             rng,
             next_tx: 0,
             fading: Fading::PerTransmission,
-            coherent_offsets: BTreeMap::new(),
+            links,
         }
     }
 
@@ -141,34 +169,52 @@ impl Medium {
         &self.cfg
     }
 
-    /// Samples the fate of a transmission starting now at `transmitter`.
+    /// Samples the fate of a transmission starting now at `transmitter`,
+    /// writing per-listener outcomes (in node-id order) into `out`.
+    ///
+    /// This is the hot-path entry point: `out` is cleared and refilled,
+    /// so a caller-owned scratch buffer makes sampling allocation-free.
+    /// [`Medium::start_tx`] wraps it when an owned [`TxOutcome`] is more
+    /// convenient.
     ///
     /// # Panics
     ///
     /// Panics if `transmitter` is not registered with this medium.
-    pub fn start_tx(&mut self, transmitter: NodeId) -> TxOutcome {
-        let tx_pos = self.positions[transmitter.index()];
+    pub fn sample_tx(
+        &mut self,
+        transmitter: NodeId,
+        out: &mut Vec<ListenerOutcome>,
+    ) -> TransmissionId {
+        out.clear();
         let id = TransmissionId(self.next_tx);
         self.next_tx += 1;
 
-        let mut listeners = Vec::new();
-        for (idx, &pos) in self.positions.iter().enumerate() {
+        let n = self.positions.len();
+        let row = transmitter.index() * n;
+        for idx in 0..n {
             if idx == transmitter.index() {
                 continue;
             }
-            let d = tx_pos.distance_to(pos);
-            let listener_id = NodeId::new(idx as u32);
+            let link = self.links[row + idx];
             let loss = match self.fading {
-                Fading::PerTransmission => self.cfg.model.sample_loss(d, self.rng.rng()),
+                Fading::PerTransmission => self
+                    .cfg
+                    .model
+                    .sample_loss_from_mean(link.mean_loss, self.rng.rng()),
                 Fading::Coherent => {
-                    let offset = *self
-                        .coherent_offsets
-                        .entry((transmitter, listener_id))
-                        .or_insert_with(|| {
-                            self.cfg.model.sample_loss(d, self.rng.rng())
-                                - self.cfg.model.mean_loss(d)
-                        });
-                    self.cfg.model.mean_loss(d) + offset
+                    let offset = match link.coherent_offset {
+                        Some(offset) => offset,
+                        None => {
+                            let offset = self
+                                .cfg
+                                .model
+                                .sample_loss_from_mean(link.mean_loss, self.rng.rng())
+                                - link.mean_loss;
+                            self.links[row + idx].coherent_offset = Some(offset);
+                            offset
+                        }
+                    };
+                    link.mean_loss + offset
                 }
             };
             let power = self.cfg.tx_power - loss;
@@ -176,14 +222,28 @@ impl Medium {
             if !sensed {
                 continue;
             }
-            listeners.push(ListenerOutcome {
-                listener: listener_id,
-                delay: self.cfg.propagation_delay(d),
+            out.push(ListenerOutcome {
+                listener: NodeId::new(idx as u32),
+                delay: link.delay,
                 power,
                 sensed,
                 receivable: power >= self.cfg.rx_threshold,
             });
         }
+        id
+    }
+
+    /// Samples the fate of a transmission starting now at `transmitter`.
+    ///
+    /// Allocates a fresh listener vector per call; the simulation runner
+    /// uses [`Medium::sample_tx`] with a reused scratch buffer instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transmitter` is not registered with this medium.
+    pub fn start_tx(&mut self, transmitter: NodeId) -> TxOutcome {
+        let mut listeners = Vec::new();
+        let id = self.sample_tx(transmitter, &mut listeners);
         TxOutcome {
             id,
             transmitter,

@@ -234,6 +234,16 @@ impl Shadowing {
         }
     }
 
+    /// Samples the loss given a precomputed `mean_loss(d)` — the hot-path
+    /// variant of [`PathLoss::sample_loss`] with the deterministic
+    /// (transcendental-heavy) mean hoisted out by the caller.
+    ///
+    /// Bit-identical to `sample_loss` for the same RNG state: both
+    /// compute `mean − N(0, σ)` and consume exactly one Gaussian draw.
+    pub fn sample_loss_from_mean<R: rand::Rng + ?Sized>(&self, mean: Db, rng: &mut R) -> Db {
+        mean - Db::new(gaussian::normal(rng, 0.0, self.sigma_db))
+    }
+
     /// Shadowing around a two-ray-ground mean (channel-model ablation).
     ///
     /// # Panics
@@ -332,6 +342,23 @@ mod tests {
             (hits - analytic).abs() < 0.01,
             "sampled {hits}, analytic {analytic}"
         );
+    }
+
+    #[test]
+    fn hoisted_mean_sampling_is_bit_identical() {
+        let s = Shadowing::new(2.0, 1.0);
+        let d = Meters::new(317.0);
+        // Identically seeded streams: the two sampling paths must consume
+        // the same draws and produce the same floats.
+        let mut a = MasterSeed::new(9).stream("pl-test", 3);
+        let mut b = MasterSeed::new(9).stream("pl-test", 3);
+        let mean = s.mean_loss(d);
+        for _ in 0..1_000 {
+            assert_eq!(
+                s.sample_loss(d, a.rng()),
+                s.sample_loss_from_mean(mean, b.rng())
+            );
+        }
     }
 
     #[test]

@@ -115,11 +115,16 @@ impl RxTracker {
                     // newcomer is interference either way.
                     if locked.power - power < self.capture {
                         locked.clean = false;
-                        self.trace.record(
-                            now,
-                            "phy.collision",
-                            format!("{}: {:?} garbled by {:?}", self.node_label, locked.id, id),
-                        );
+                        // Build the detail string only when tracing: the
+                        // format! would otherwise allocate on every
+                        // collision of every run.
+                        if self.trace.is_enabled() {
+                            self.trace.record(
+                                now,
+                                "phy.collision",
+                                format!("{}: {:?} garbled by {:?}", self.node_label, locked.id, id),
+                            );
+                        }
                     }
                 }
                 None => {
@@ -161,11 +166,15 @@ impl RxTracker {
                 } else {
                     DecodeOutcome::Garbled
                 };
-                self.trace.record(
-                    now,
-                    "phy.decode",
-                    format!("{}: {:?} {:?}", self.node_label, id, outcome),
-                );
+                // Every decoded frame passes through here: keep the
+                // disabled-trace path free of formatting and allocation.
+                if self.trace.is_enabled() {
+                    self.trace.record(
+                        now,
+                        "phy.decode",
+                        format!("{}: {:?} {:?}", self.node_label, id, outcome),
+                    );
+                }
                 Some(outcome)
             }
             _ => None,
@@ -183,11 +192,13 @@ impl RxTracker {
         if let Some(locked) = &mut self.locked {
             if locked.clean {
                 locked.clean = false;
-                self.trace.record(
-                    now,
-                    "phy.collision",
-                    format!("{}: {:?} garbled by own tx", self.node_label, locked.id),
-                );
+                if self.trace.is_enabled() {
+                    self.trace.record(
+                        now,
+                        "phy.collision",
+                        format!("{}: {:?} garbled by own tx", self.node_label, locked.id),
+                    );
+                }
             }
         }
         (!was_busy).then_some(BusyEdge::BecameBusy)

@@ -1,50 +1,81 @@
 //! The event queue at the heart of the simulator.
+//!
+//! The scheduler is slab-backed: event payloads live in a vector of
+//! reusable slots, and the binary heap orders lightweight
+//! `(time, seq, slot)` stamps. An [`EventId`] carries its slot plus the
+//! *generation* (the global schedule sequence number) the slot held when
+//! the event was created, so cancellation is a single slot comparison —
+//! no side set, no tree churn — and a recycled slot can never be
+//! confused with the event that previously occupied it. Heap entries of
+//! cancelled events go stale in place and are skipped on pop; when more
+//! than half the heap is stale the heap is compacted in one O(n) pass.
 
 use std::cmp::Ordering;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::BinaryHeap;
 
 use crate::time::{SimDuration, SimTime};
 
 /// Handle to a scheduled event, used to cancel it before it fires.
 ///
-/// Event ids are unique for the lifetime of a [`Scheduler`]; a cancelled or
-/// fired id is never reused.
+/// Event ids are unique for the lifetime of a [`Scheduler`]; a cancelled
+/// or fired id is never reused (the generation stamp is the global
+/// schedule counter, which never repeats), including across heap
+/// compactions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventId(u64);
+pub struct EventId {
+    slot: u32,
+    generation: u64,
+}
 
+/// One payload slot of the slab. `generation` is the stamp of the event
+/// the slot currently (or most recently) held; `event` is `Some` only
+/// while that event is pending.
 #[derive(Debug)]
-struct Entry<E> {
+struct Slot<E> {
+    generation: u64,
+    event: Option<E>,
+}
+
+/// What the heap orders: a stamp pointing into the slab. The payload
+/// deliberately stays out of the heap so sift operations move 24 bytes
+/// regardless of the event type.
+#[derive(Debug)]
+struct HeapEntry {
     time: SimTime,
     seq: u64,
-    id: EventId,
-    event: E,
+    slot: u32,
 }
 
 // Min-heap by (time, seq): earlier times first; FIFO among equal times so
 // execution order is deterministic and matches scheduling order.
-impl<E> Ord for Entry<E> {
+impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         (other.time, other.seq).cmp(&(self.time, self.seq))
     }
 }
-impl<E> PartialOrd for Entry<E> {
+impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> PartialEq for Entry<E> {
+impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl<E> Eq for Entry<E> {}
+impl Eq for HeapEntry {}
+
+/// Below this heap size compaction is pointless — stale entries drain
+/// through ordinary pops faster than a rebuild pays off.
+const COMPACT_MIN: usize = 64;
 
 /// A deterministic discrete-event scheduler.
 ///
 /// Events are delivered in nondecreasing time order; ties are broken by
-/// scheduling order (FIFO). Cancellation is *logical*: cancelled entries
-/// stay in the heap but are skipped on pop, which keeps both operations
-/// `O(log n)` amortized.
+/// scheduling order (FIFO). Cancellation is *logical* and O(1): the
+/// event's slab slot is reclaimed immediately and its heap entry goes
+/// stale, to be skipped on pop or swept out when stale entries exceed
+/// half the heap.
 ///
 /// # Example
 ///
@@ -62,11 +93,17 @@ impl<E> Eq for Entry<E> {}
 #[derive(Debug)]
 pub struct Scheduler<E> {
     now: SimTime,
-    heap: BinaryHeap<Entry<E>>,
-    /// Ids of entries still in the heap that have not been cancelled.
-    live: BTreeSet<EventId>,
+    heap: BinaryHeap<HeapEntry>,
+    slots: Vec<Slot<E>>,
+    /// Slots whose event was cancelled or delivered, ready for reuse.
+    free: Vec<u32>,
     next_seq: u64,
     popped: u64,
+    /// Live (pending, not cancelled) events.
+    live: usize,
+    /// Heap entries whose event was cancelled; they are skipped on pop
+    /// and swept out by compaction.
+    stale: usize,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -82,9 +119,12 @@ impl<E> Scheduler<E> {
         Scheduler {
             now: SimTime::ZERO,
             heap: BinaryHeap::new(),
-            live: BTreeSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
             popped: 0,
+            live: 0,
+            stale: 0,
         }
     }
 
@@ -108,16 +148,36 @@ impl<E> Scheduler<E> {
             self.now,
             at
         );
-        let id = EventId(self.next_seq);
-        self.heap.push(Entry {
-            time: at,
-            seq: self.next_seq,
-            id,
-            event,
-        });
-        self.live.insert(id);
+        let seq = self.next_seq;
         self.next_seq += 1;
-        id
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Slot {
+                    generation: seq,
+                    event: Some(event),
+                };
+                slot
+            }
+            None => {
+                let slot =
+                    u32::try_from(self.slots.len()).expect("more than u32::MAX pending events"); // lint:allow(panic-expect) — 4 billion *simultaneously pending* events exceeds any machine's memory long before this fires
+                self.slots.push(Slot {
+                    generation: seq,
+                    event: Some(event),
+                });
+                slot
+            }
+        };
+        self.heap.push(HeapEntry {
+            time: at,
+            seq,
+            slot,
+        });
+        self.live += 1;
+        EventId {
+            slot,
+            generation: seq,
+        }
     }
 
     /// Schedules `event` after a delay relative to the current time.
@@ -125,25 +185,64 @@ impl<E> Scheduler<E> {
         self.schedule_at(self.now + delay, event)
     }
 
-    /// Cancels a previously scheduled event.
+    /// True when `id`'s event is still pending: its slot still carries
+    /// the id's generation stamp and a payload.
+    fn is_live(&self, id: EventId) -> bool {
+        self.slots
+            .get(id.slot as usize)
+            .is_some_and(|s| s.generation == id.generation && s.event.is_some())
+    }
+
+    /// Cancels a previously scheduled event in O(1).
     ///
     /// Returns `true` if the event was still pending, `false` if it already
     /// fired or was already cancelled.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.live.remove(&id)
+        if !self.is_live(id) {
+            return false;
+        }
+        let slot = &mut self.slots[id.slot as usize];
+        slot.event = None;
+        self.free.push(id.slot);
+        self.live -= 1;
+        self.stale += 1;
+        self.maybe_compact();
+        true
+    }
+
+    /// Sweeps stale entries out of the heap once they outnumber the live
+    /// ones. Ids survive compaction untouched: the stamps live in the
+    /// slab, and only heap entries whose stamp no longer matches their
+    /// slot are dropped.
+    fn maybe_compact(&mut self) {
+        if self.heap.len() < COMPACT_MIN || self.stale * 2 <= self.heap.len() {
+            return;
+        }
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        entries.retain(|e| {
+            let slot = &self.slots[e.slot as usize];
+            slot.generation == e.seq && slot.event.is_some()
+        });
+        self.heap = BinaryHeap::from(entries);
+        self.stale = 0;
     }
 
     /// Removes and returns the next pending event, advancing the clock to
     /// its timestamp. Returns `None` when no live events remain.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            if !self.live.remove(&entry.id) {
+            let slot = &mut self.slots[entry.slot as usize];
+            if slot.generation != entry.seq || slot.event.is_none() {
+                self.stale -= 1;
                 continue; // cancelled
             }
+            let event = slot.event.take().expect("checked is_some above"); // lint:allow(panic-expect) — guarded by the branch above on this single thread
+            self.free.push(entry.slot);
+            self.live -= 1;
             debug_assert!(entry.time >= self.now, "event queue went backwards");
             self.now = entry.time;
             self.popped += 1;
-            return Some((entry.time, entry.event));
+            return Some((entry.time, event));
         }
         None
     }
@@ -152,8 +251,10 @@ impl<E> Scheduler<E> {
     #[must_use]
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(entry) = self.heap.peek() {
-            if !self.live.contains(&entry.id) {
+            let slot = &self.slots[entry.slot as usize];
+            if slot.generation != entry.seq || slot.event.is_none() {
                 self.heap.pop();
+                self.stale -= 1;
                 continue;
             }
             return Some(entry.time);
@@ -164,7 +265,7 @@ impl<E> Scheduler<E> {
     /// Number of live (not cancelled) pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.live.len()
+        self.live
     }
 
     /// True when no live events are pending.
@@ -228,7 +329,11 @@ mod tests {
     #[test]
     fn cancel_unknown_id_is_false() {
         let mut s: Scheduler<()> = Scheduler::new();
-        assert!(!s.cancel(EventId(99)));
+        let id = {
+            let mut other: Scheduler<()> = Scheduler::new();
+            other.schedule_at(SimTime::from_micros(1), ())
+        };
+        assert!(!s.cancel(id), "id from an empty slab is unknown");
     }
 
     #[test]
@@ -280,5 +385,61 @@ mod tests {
         s.cancel(a);
         while s.pop().is_some() {}
         assert_eq!(s.events_processed(), 1);
+    }
+
+    #[test]
+    fn recycled_slots_do_not_resurrect_old_ids() {
+        let mut s = Scheduler::new();
+        let a = s.schedule_at(SimTime::from_micros(1), "a");
+        assert!(s.cancel(a));
+        // The slot is reused by a fresh event; the dead id must stay dead.
+        let b = s.schedule_at(SimTime::from_micros(2), "b");
+        assert!(!s.cancel(a), "recycled slot must not revive the old id");
+        assert_ne!(a, b);
+        assert_eq!(s.pop().map(|(_, e)| e), Some("b"));
+    }
+
+    #[test]
+    fn compaction_preserves_order_and_pending_ids() {
+        let mut s = Scheduler::new();
+        let mut keep = Vec::new();
+        // Interleave survivors and cancellations until the stale fraction
+        // crosses one half and compaction fires (heap > COMPACT_MIN).
+        for i in 0..200u64 {
+            let id = s.schedule_at(SimTime::from_micros(1000 + i), i);
+            if i % 4 == 0 {
+                keep.push((id, i));
+            } else {
+                assert!(s.cancel(id));
+            }
+        }
+        assert!(s.stale * 2 <= s.heap.len(), "compaction should have fired");
+        // Pending ids survive compaction: cancel half of the survivors now.
+        for &(id, _) in keep.iter().skip(keep.len() / 2) {
+            assert!(s.cancel(id), "id stayed cancellable across compaction");
+        }
+        let expect: Vec<u64> = keep.iter().take(keep.len() / 2).map(|&(_, v)| v).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, expect, "delivery order changed across compaction");
+    }
+
+    #[test]
+    fn heavy_cancel_churn_stays_consistent() {
+        let mut s = Scheduler::new();
+        let mut ids = Vec::new();
+        for round in 0..50u64 {
+            for i in 0..20u64 {
+                ids.push(s.schedule_at(SimTime::from_micros(round * 100 + i), (round, i)));
+            }
+            // Cancel every other id ever created; most are already dead.
+            for (n, id) in ids.iter().enumerate() {
+                if n % 2 == 0 {
+                    s.cancel(*id);
+                }
+            }
+            while s.pop().is_some() {}
+            assert!(s.is_empty());
+            assert_eq!(s.heap.len(), 0);
+        }
     }
 }

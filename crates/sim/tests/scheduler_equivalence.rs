@@ -1,0 +1,184 @@
+//! Equivalence property: the slab-backed scheduler behaves exactly like
+//! the reference semantics of the original `BinaryHeap` + `BTreeSet`
+//! implementation under arbitrary schedule/cancel/pop interleavings —
+//! same delivery sequence (time, FIFO-seq), same cancel return values,
+//! same live counts — and ids are never reused, including across the
+//! compactions the churny cases provoke.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashSet};
+
+use airguard_sim::{EventId, Scheduler};
+use proptest::prelude::*;
+
+/// Reference model: a verbatim re-implementation of the pre-slab
+/// scheduler's semantics (heap of full entries + side set of live ids).
+#[derive(Default)]
+struct ModelScheduler {
+    now: u64,
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    payloads: Vec<u64>,
+    live: BTreeSet<u64>,
+    next_seq: u64,
+}
+
+impl ModelScheduler {
+    fn schedule_at(&mut self, at: u64, payload: u64) -> u64 {
+        assert!(at >= self.now);
+        let id = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((at, id)));
+        self.payloads.push(payload);
+        self.live.insert(id);
+        id
+    }
+
+    fn cancel(&mut self, id: u64) -> bool {
+        self.live.remove(&id)
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        while let Some(Reverse((time, id))) = self.heap.pop() {
+            if !self.live.remove(&id) {
+                continue;
+            }
+            self.now = time;
+            return Some((time, self.payloads[id as usize]));
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Schedule at `now + delta` (absolute times stay causal).
+    Schedule {
+        delta: u64,
+    },
+    /// Cancel the nth id ever returned (live or dead — exercising
+    /// double-cancel and cancel-after-fire equally).
+    CancelNth {
+        idx: usize,
+    },
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        // Schedule-heavy mix with many zero/equal deltas to stress FIFO
+        // tie-breaking; cancels frequent enough to trigger compaction.
+        (0u64..50).prop_map(|delta| Op::Schedule { delta }),
+        (0u64..50).prop_map(|delta| Op::Schedule { delta }),
+        (0usize..512).prop_map(|idx| Op::CancelNth { idx }),
+        (0usize..512).prop_map(|idx| Op::CancelNth { idx }),
+        Just(Op::Pop),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn slab_scheduler_matches_the_reference_model(
+        ops in proptest::collection::vec(op_strategy(), 1..400),
+    ) {
+        let mut model = ModelScheduler::default();
+        let mut slab: Scheduler<u64> = Scheduler::new();
+        let mut model_ids: Vec<u64> = Vec::new();
+        let mut slab_ids: Vec<EventId> = Vec::new();
+        let mut payload = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Schedule { delta } => {
+                    let at = slab.now() + airguard_sim::SimDuration::from_micros(delta);
+                    model_ids.push(model.schedule_at(at.as_micros(), payload));
+                    slab_ids.push(slab.schedule_at(at, payload));
+                    payload += 1;
+                }
+                Op::CancelNth { idx } => {
+                    if !model_ids.is_empty() {
+                        let i = idx % model_ids.len();
+                        let m = model.cancel(model_ids[i]);
+                        let s = slab.cancel(slab_ids[i]);
+                        prop_assert_eq!(m, s, "cancel verdict diverged at id #{}", i);
+                    }
+                }
+                Op::Pop => {
+                    let m = model.pop();
+                    let s = slab.pop().map(|(t, p)| (t.as_micros(), p));
+                    prop_assert_eq!(m, s, "delivery diverged");
+                }
+            }
+            prop_assert_eq!(model.len(), slab.len(), "live count diverged");
+            prop_assert_eq!(model.len() == 0, slab.is_empty());
+        }
+
+        // Drain both: the tails must match element for element.
+        loop {
+            let m = model.pop();
+            let s = slab.pop().map(|(t, p)| (t.as_micros(), p));
+            prop_assert_eq!(&m, &s, "drain diverged");
+            if m.is_none() {
+                break;
+            }
+        }
+
+        // Id uniqueness: every id ever returned is distinct, across any
+        // compactions the cancel churn above provoked.
+        let distinct: HashSet<EventId> = slab_ids.iter().copied().collect();
+        prop_assert_eq!(distinct.len(), slab_ids.len(), "an EventId was reused");
+    }
+
+    #[test]
+    fn cancelled_never_fires(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+    ) {
+        let mut slab: Scheduler<u64> = Scheduler::new();
+        let mut ids: Vec<EventId> = Vec::new();
+        let mut cancelled: HashSet<u64> = HashSet::new();
+        let mut delivered: Vec<u64> = Vec::new();
+        let mut payload = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Schedule { delta } => {
+                    let at = slab.now() + airguard_sim::SimDuration::from_micros(delta);
+                    ids.push(slab.schedule_at(at, payload));
+                    payload += 1;
+                }
+                Op::CancelNth { idx } => {
+                    if !ids.is_empty() {
+                        let i = idx % ids.len();
+                        if slab.cancel(ids[i]) {
+                            cancelled.insert(i as u64);
+                        }
+                    }
+                }
+                Op::Pop => {
+                    if let Some((_, p)) = slab.pop() {
+                        delivered.push(p);
+                    }
+                }
+            }
+        }
+        while let Some((_, p)) = slab.pop() {
+            delivered.push(p);
+        }
+
+        // Every payload is delivered at most once, and a successfully
+        // cancelled payload is never delivered at all.
+        let unique: HashSet<u64> = delivered.iter().copied().collect();
+        prop_assert_eq!(unique.len(), delivered.len(), "duplicate delivery");
+        for p in &delivered {
+            prop_assert!(!cancelled.contains(p), "cancelled event {} fired", p);
+        }
+        prop_assert_eq!(
+            delivered.len() + cancelled.len(),
+            payload as usize,
+            "every event is either delivered or cancelled after a drain"
+        );
+    }
+}

@@ -69,7 +69,7 @@ fn main() {
             seed: MasterSeed::new(4),
             ..SimulationConfig::default()
         },
-        &topology,
+        topology,
         policies,
         vec![NodeId::new(1)],
     )

@@ -49,7 +49,7 @@ fn main() {
         seed: MasterSeed::new(5),
         ..SimulationConfig::default()
     };
-    let mut sim = Simulation::new(cfg, &topology, policies, vec![]);
+    let mut sim = Simulation::new(cfg, topology, policies, vec![]);
     let sink = EventSink::enabled();
     let trace = Trace::from_sink(sink.clone());
     sim.set_trace(trace.clone());

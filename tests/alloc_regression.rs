@@ -1,0 +1,99 @@
+//! Allocation regression gate for the simulation hot path.
+//!
+//! The hot-path overhaul (slab scheduler, pooled `FrameRef`s, reused
+//! effect/listener scratch buffers) makes the steady-state exchange loop
+//! allocation-free: once every pool, buffer, and accumulator has warmed
+//! up, delivering another DATA frame costs zero heap allocations.
+//!
+//! This test pins that property with a counting global allocator: two
+//! runs of the same seeded scenario differing only in horizon must
+//! allocate the same number of times — the extra simulated seconds (and
+//! the thousands of extra delivered frames they carry) ride entirely on
+//! recycled memory.
+//!
+//! The file is its own integration-test binary on purpose: the counter
+//! is global, so no other test may share the process.
+
+// The counting allocator needs `unsafe impl GlobalAlloc`; this test
+// binary is the one sanctioned exception to the workspace's deny.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use airguard::net::{Protocol, ScenarioConfig, StandardScenario};
+
+/// System allocator wrapper that counts allocation calls (`alloc` and
+/// the alloc half of `realloc`; frees are not interesting here).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// lint:allow(unit-mixed-arith) — raw allocator plumbing, no units involved
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The determinism-test scenario at a given horizon: four senders to one
+/// AP, two of them misbehaving, receiver-assigned protocol.
+fn scenario(secs: u64) -> ScenarioConfig {
+    ScenarioConfig::new(StandardScenario::TwoFlow)
+        .protocol(Protocol::Correct)
+        .n_senders(4)
+        .misbehavior_percent(50.0)
+        .sim_time_secs(secs)
+        .seed(7)
+}
+
+/// Allocation calls and delivered packets for one full run.
+fn measure(secs: u64) -> (u64, u64) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let report = scenario(secs).run();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    (allocs, report.tally.total_packets())
+}
+
+#[test]
+fn steady_state_delivery_allocates_nothing() {
+    // Warm-up run so lazy process-level allocations (thread-locals,
+    // formatting machinery, etc.) don't land in either measurement.
+    let _ = measure(1);
+
+    let (short_allocs, short_packets) = measure(2);
+    let (long_allocs, long_packets) = measure(6);
+
+    let extra_packets = long_packets.saturating_sub(short_packets);
+    assert!(
+        extra_packets > 1_000,
+        "horizon extension must add real traffic, got {extra_packets} packets"
+    );
+
+    // Both runs pay the same setup cost (same topology, same pools
+    // growing to the same high-water marks). The longer run's extra
+    // deliveries must not allocate: a per-frame allocation would show
+    // up here thousands of times over. The small slack absorbs
+    // incidental one-off growth (a container doubling once more on the
+    // longer run), which is exactly the kind of cost that does not
+    // scale per frame.
+    let extra_allocs = long_allocs.saturating_sub(short_allocs);
+    assert!(
+        extra_allocs < 64,
+        "steady-state leak: {extra_allocs} extra allocations for {extra_packets} extra \
+         delivered packets ({short_allocs} short-run vs {long_allocs} long-run)"
+    );
+}

@@ -42,7 +42,7 @@ fn traced_run(secs: u64) -> (Trace, airguard::net::RunReport) {
         seed: MasterSeed::new(42),
         ..SimulationConfig::default()
     };
-    let mut sim = Simulation::new(cfg, &two_node_topology(), correct_policies(2), vec![]);
+    let mut sim = Simulation::new(cfg, two_node_topology(), correct_policies(2), vec![]);
     let trace = Trace::enabled();
     sim.set_trace(trace.clone());
     let report = sim.run();
@@ -137,7 +137,7 @@ fn collisions_force_retries_with_multiple_senders() {
         seed: MasterSeed::new(7),
         ..SimulationConfig::default()
     };
-    let report = Simulation::new(cfg, &topo, correct_policies(5), vec![]).run();
+    let report = Simulation::new(cfg, topo, correct_policies(5), vec![]).run();
     let timeouts: u64 = report
         .counters
         .iter()
@@ -201,7 +201,7 @@ fn nav_reset_keeps_third_party_flowing() {
         seed: MasterSeed::new(13),
         ..SimulationConfig::default()
     };
-    let report = Simulation::new(cfg, &topo, correct_policies(3), vec![]).run();
+    let report = Simulation::new(cfg, topo, correct_policies(3), vec![]).run();
     for sender in [1u32, 2] {
         let bps = report
             .throughput

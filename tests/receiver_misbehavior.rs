@@ -74,7 +74,7 @@ fn run(selfish_receiver: bool, verify: bool, seed: u64) -> RunReport {
             seed: MasterSeed::new(seed),
             ..SimulationConfig::default()
         },
-        &topology(),
+        topology(),
         policies,
         vec![],
     )
