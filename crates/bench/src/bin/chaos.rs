@@ -1,0 +1,8 @@
+//! Thin wrapper: `chaos` through the unified driver.
+//!
+//! Regenerate with: `cargo run --release -p airguard-bench --bin chaos`
+//! (same flags as `airguard-bench`, figure fixed to `chaos`).
+
+fn main() {
+    std::process::exit(airguard_bench::cli::bin_main("chaos"));
+}

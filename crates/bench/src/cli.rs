@@ -8,7 +8,7 @@
 //! airguard-bench                       # every figure, paper settings
 //! ```
 //!
-//! The 15 `figN` binaries call [`bin_main`] with their figure name
+//! The 16 per-figure binaries call [`bin_main`] with their figure name
 //! forced and accept the same flags. Seed count and horizon fall back
 //! to the `AIRGUARD_SEEDS` / `AIRGUARD_SECS` environment variables;
 //! malformed values are *rejected with an error*, never silently
@@ -46,6 +46,13 @@ options:
   --jsonl          write results/<name>.report.jsonl telemetry
   --no-cache       ignore and do not update results/cache
   --cache-dir DIR  result cache location (default results/cache)
+  --retries N      extra attempts per failed cell, reseeded per attempt
+                   (default 0)
+  --watchdog-secs N  wall-clock seconds one cell may run before the
+                   watchdog kills it (default: unbounded)
+  --max-events N   virtual-event budget per cell run (default: unbounded)
+  --no-resume      re-run cells a previous (possibly killed) sweep
+                   recorded as failed in the progress manifest
   --help           show this help";
 
 /// Everything the flag parser produces.
@@ -70,6 +77,14 @@ pub struct Cli {
     pub no_cache: bool,
     /// Cache location override.
     pub cache_dir: Option<String>,
+    /// Extra attempts per failed cell.
+    pub retries: u32,
+    /// Per-cell wall-clock watchdog deadline, seconds.
+    pub watchdog_secs: Option<u64>,
+    /// Per-cell virtual-event budget.
+    pub max_events: Option<u64>,
+    /// Re-run cells the progress manifest recorded as failed.
+    pub no_resume: bool,
 }
 
 /// Parses a positive integer, rejecting junk and zero with a clear
@@ -82,6 +97,15 @@ fn parse_positive(source: &str, value: &str) -> Result<u64, String> {
             "{source}: expected a positive integer, got {value:?}"
         )),
     }
+}
+
+/// Parses a non-negative integer (zero allowed), rejecting junk with a
+/// clear message naming the source.
+fn parse_nonnegative(source: &str, value: &str) -> Result<u64, String> {
+    value
+        .trim()
+        .parse::<u64>()
+        .map_err(|_| format!("{source}: expected a non-negative integer, got {value:?}"))
 }
 
 /// Reads `name` from the environment; unset is `None`, malformed is an
@@ -114,6 +138,10 @@ pub fn parse(args: &[String], forced_figure: Option<&str>) -> Result<Cli, String
         jsonl: false,
         no_cache: false,
         cache_dir: None,
+        retries: 0,
+        watchdog_secs: None,
+        max_events: None,
+        no_resume: false,
     };
     let mut it = args.iter();
     let value = |flag: &str, it: &mut std::slice::Iter<String>| {
@@ -149,6 +177,24 @@ pub fn parse(args: &[String], forced_figure: Option<&str>) -> Result<Cli, String
             "--jsonl" => cli.jsonl = true,
             "--no-cache" => cli.no_cache = true,
             "--cache-dir" => cli.cache_dir = Some(value("--cache-dir", &mut it)?),
+            "--retries" => {
+                let v = value("--retries", &mut it)?;
+                cli.retries = u32::try_from(parse_nonnegative("--retries", &v)?)
+                    .map_err(|_| format!("--retries: value {v:?} out of range"))?;
+            }
+            "--watchdog-secs" => {
+                cli.watchdog_secs = Some(parse_positive(
+                    "--watchdog-secs",
+                    &value("--watchdog-secs", &mut it)?,
+                )?);
+            }
+            "--max-events" => {
+                cli.max_events = Some(parse_positive(
+                    "--max-events",
+                    &value("--max-events", &mut it)?,
+                )?);
+            }
+            "--no-resume" => cli.no_resume = true,
             other => return Err(format!("unknown flag {other:?} (see --help)")),
         }
     }
@@ -224,14 +270,22 @@ pub fn run(cli: &Cli) -> i32 {
 
     let mut opts = RunOptions::new(cli.seeds, cli.secs);
     opts.workers = cli.workers;
+    opts.retries = cli.retries;
+    opts.watchdog_secs = cli.watchdog_secs;
+    opts.max_events = cli.max_events;
+    opts.resume = !cli.no_resume;
     opts.cache = if cli.no_cache {
         None
     } else {
-        Some(ResultCache::new(
-            cli.cache_dir
-                .as_ref()
-                .map_or_else(ResultCache::default_root, Into::into),
-        ))
+        let root: std::path::PathBuf = cli
+            .cache_dir
+            .as_ref()
+            .map_or_else(ResultCache::default_root, Into::into);
+        // The crash-safe sweep progress manifest lives next to the
+        // cache, so killing and rerunning a sweep resumes both
+        // completed (cache) and known-failed (manifest) cells.
+        opts.manifest_dir = Some(root.join("manifest"));
+        Some(ResultCache::new(root))
     };
 
     for exp in exps {
@@ -351,6 +405,65 @@ mod tests {
     }
 
     #[test]
+    fn hardening_flags_parse() {
+        let cli = parse(
+            &args(&[
+                "--retries",
+                "2",
+                "--watchdog-secs",
+                "90",
+                "--max-events",
+                "5000000",
+                "--no-resume",
+            ]),
+            None,
+        )
+        .expect("parses");
+        assert_eq!(cli.retries, 2);
+        assert_eq!(cli.watchdog_secs, Some(90));
+        assert_eq!(cli.max_events, Some(5_000_000));
+        assert!(cli.no_resume);
+    }
+
+    #[test]
+    fn hardening_defaults_are_inert() {
+        let cli = parse(&[], None).expect("parses");
+        assert_eq!(cli.retries, 0);
+        assert_eq!(cli.watchdog_secs, None);
+        assert_eq!(cli.max_events, None);
+        assert!(!cli.no_resume);
+    }
+
+    #[test]
+    fn impossible_hardening_values_are_rejected() {
+        assert!(parse(&args(&["--retries", "-1"]), None)
+            .unwrap_err()
+            .contains("non-negative integer"));
+        assert!(parse(&args(&["--retries", "many"]), None)
+            .unwrap_err()
+            .contains("non-negative integer"));
+        assert!(parse(&args(&["--watchdog-secs", "0"]), None)
+            .unwrap_err()
+            .contains("got 0"));
+        assert!(parse(&args(&["--watchdog-secs"]), None)
+            .unwrap_err()
+            .contains("missing value"));
+        assert!(parse(&args(&["--max-events", "0"]), None)
+            .unwrap_err()
+            .contains("got 0"));
+        assert!(parse(&args(&["--max-events", "lots"]), None)
+            .unwrap_err()
+            .contains("positive integer"));
+        // `--retries 0` is a meaningful request (no retries), not junk.
+        assert_eq!(
+            parse(&args(&["--retries", "0"]), None)
+                .expect("parses")
+                .retries,
+            0
+        );
+    }
+
+    #[test]
     fn malformed_numbers_are_rejected() {
         assert!(parse(&args(&["--seeds", "many"]), None)
             .unwrap_err()
@@ -378,6 +491,6 @@ mod tests {
     fn unknown_figures_are_reported() {
         let msg = select(&["no_such".to_owned()]).unwrap_err();
         assert!(msg.contains("unknown figure"));
-        assert_eq!(select(&[]).expect("all").len(), 15);
+        assert_eq!(select(&[]).expect("all").len(), 16);
     }
 }

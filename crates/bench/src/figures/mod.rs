@@ -15,6 +15,7 @@ pub mod ablation_channel;
 pub mod ablation_fading;
 pub mod ablation_penalty;
 pub mod ablation_threshold;
+pub mod chaos;
 pub mod delay_report;
 pub mod fig4;
 pub mod fig5;
@@ -43,6 +44,7 @@ pub fn all() -> Vec<Experiment> {
         ablation_fading::experiment(),
         ablation_penalty::experiment(),
         ablation_threshold::experiment(),
+        chaos::experiment(),
     ]
 }
 

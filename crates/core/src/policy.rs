@@ -127,6 +127,26 @@ impl CorrectPolicy {
     pub fn observer_report(&self) -> Option<Vec<PairStats>> {
         self.observer.as_ref().map(ThirdPartyObserver::report)
     }
+
+    /// Wipes state as an injected node crash would.
+    ///
+    /// The sender-side latches (`next_base`/`current_base`) always go:
+    /// a rebooted node has no memory of past assignments. The
+    /// receiver-side diagnosis state — monitor, receiver check, observer
+    /// — survives when `preserve_monitor` is set (modelling misbehavior
+    /// tables kept in stable storage) and is rebuilt from scratch
+    /// otherwise (a cold reboot that forgets every sender's history).
+    pub fn crash_reset(&mut self, preserve_monitor: bool) {
+        self.next_base.clear();
+        self.current_base.clear();
+        if !preserve_monitor {
+            self.monitor = Monitor::new(self.id, self.cfg.monitor);
+            self.receiver_check = ReceiverCheck::new();
+            self.observer = self.cfg.observe_third_party.then(|| {
+                ThirdPartyObserver::new(self.cfg.monitor.correction, self.cfg.monitor.diagnosis)
+            });
+        }
+    }
 }
 
 impl BackoffPolicy for CorrectPolicy {
@@ -308,6 +328,29 @@ mod tests {
             let mut r = rng();
             assert_eq!(p.fresh_backoff(R, &t, &mut r).count(), g);
         }
+    }
+
+    #[test]
+    fn crash_reset_forgets_assignments_but_can_keep_monitor() {
+        let t = timing();
+        let mut r = rng();
+        let mut p = CorrectPolicy::new(NodeId::new(1), CorrectConfig::paper_default());
+        p.observe_assignment(R, 0, Some(Slots::new(7)), &t);
+        p.observe_ack_sent(R, 3);
+        let warm_report = p.monitor_report();
+        p.crash_reset(true);
+        // Assignment latch gone: fresh backoff falls back to a random draw,
+        // not the assigned 7 — but the monitor tables survive.
+        let _ = p.fresh_backoff(R, &t, &mut r);
+        assert!(p.next_base.is_empty() && p.monitor_report() == warm_report);
+        p.observe_assignment(R, 1, Some(Slots::new(9)), &t);
+        p.crash_reset(false);
+        assert!(p.next_base.is_empty());
+        assert_eq!(
+            p.monitor_report(),
+            CorrectPolicy::new(NodeId::new(1), CorrectConfig::paper_default()).monitor_report(),
+            "cold reset rebuilds the monitor from scratch"
+        );
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! CI fixture: a deliberately-hung cell under a watchdog budget.
+//!
+//! The single grid cell asks for an hour of saturated virtual traffic —
+//! effectively unbounded harness time — while the options grant it a
+//! tiny virtual-event budget plus a generous wall-clock backstop. The
+//! watchdog must kill the cell and the sweep must still complete, with
+//! the cell reported as failed. Exits 0 only when that happened;
+//! `.github/workflows/ci.yml` (chaos-smoke) greps the output.
+
+use airguard_exp::{run_experiment, Axes, Experiment, RunOptions};
+use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+
+fn main() {
+    let mut exp = Experiment::new("hung-cell", "watchdog CI fixture");
+    exp.push(
+        &Axes::new().with("cell", "hung"),
+        ScenarioConfig::new(StandardScenario::ZeroFlow)
+            .protocol(Protocol::Correct)
+            .n_senders(4),
+    );
+
+    // One seed, one hour of virtual time: without a watchdog this cell
+    // alone takes longer than any CI budget.
+    let mut opts = RunOptions::new(1, 3600);
+    opts.workers = 1;
+    opts.max_events = Some(50_000);
+    opts.watchdog_secs = Some(60);
+
+    let outcome = run_experiment(&exp, &opts);
+    match outcome.failures.as_slice() {
+        [failure] if failure.message.contains("watchdog") => {
+            println!("watchdog fired as expected: {failure}");
+            println!("sweep completed: {:?}", outcome.progress);
+        }
+        other => {
+            eprintln!("expected exactly one watchdog failure, got: {other:?}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -7,16 +7,23 @@
 //! repeatedly claims the next unclaimed index until the queue drains, so
 //! load balances across the whole grid with no per-point barriers.
 //!
-//! Determinism: workers collect `(index, result)` pairs and the results
-//! are re-assembled in index order, so the output vector is identical to
-//! a serial run regardless of worker count or interleaving.
+//! Determinism: workers push `(index, result)` pairs into a shared
+//! collection and the results are re-assembled in index order, so the
+//! output vector is identical to a serial run regardless of worker count
+//! or interleaving.
 //!
 //! Panic isolation: each task runs under `catch_unwind`; a panicking
 //! task becomes `Err(message)` in its slot — a failed cell, not a
-//! harness abort — and every other task still completes.
+//! harness abort — and every other task still completes. Results are
+//! published to the shared collection *as each task finishes* (not in a
+//! per-worker batch at thread exit), so a worker thread dying abnormally
+//! can only lose the single task it was running, and that slot is filled
+//! with an explicit error naming the task and the captured panic payload
+//! rather than a generic "lost" marker.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Runs `count` tasks across `workers` threads, returning one result
 /// per task in task order. `workers` is clamped to `[1, count]`; with
@@ -33,41 +40,88 @@ where
     }
 
     let cursor = AtomicUsize::new(0);
-    let collected = crossbeam::thread::scope(|scope| {
+    let collected: Mutex<Vec<(usize, Result<T, String>)>> = Mutex::new(Vec::with_capacity(count));
+    let mut harness_errors: Vec<String> = Vec::new();
+    let scope_outcome = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                scope.spawn(|_| {
-                    let mut local: Vec<(usize, Result<T, String>)> = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= count {
-                            break;
-                        }
-                        local.push((i, run_one(&task, i)));
+                scope.spawn(|_| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
                     }
-                    local
+                    let result = run_one(&task, i);
+                    // Publish immediately: a completed task survives even
+                    // if this worker thread later dies abnormally.
+                    lock_ignoring_poison(&collected).push((i, result));
                 })
             })
             .collect();
-        let mut all = Vec::with_capacity(count);
+        let mut join_errors = Vec::new();
         for handle in handles {
-            // Task panics are caught inside run_one, so a worker thread
-            // itself cannot panic; a failed join still degrades to lost
-            // slots (reported below) rather than aborting the harness.
-            if let Ok(local) = handle.join() {
-                all.extend(local);
+            // Task panics are caught inside run_one, so a join failure
+            // means the worker thread itself died (e.g. a panic in the
+            // result-publishing path). Capture the payload so any slot
+            // the thread lost carries a real diagnosis.
+            if let Err(payload) = handle.join() {
+                join_errors.push(panic_message(payload.as_ref()));
             }
         }
-        all
-    })
-    .unwrap_or_default();
+        join_errors
+    });
+    match scope_outcome {
+        Ok(errors) => harness_errors.extend(errors),
+        Err(payload) => harness_errors.push(panic_message(payload.as_ref())),
+    }
 
+    let collected = match collected.into_inner() {
+        Ok(pairs) => pairs,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    assemble(count, collected.into_iter(), &harness_errors)
+}
+
+/// Locks `mutex`, recovering the guard from a poisoned lock: a worker
+/// that panicked while holding it has already been recorded via its
+/// join handle, and the data inside (completed task results) is still
+/// valid and must not be discarded.
+fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Re-assembles out-of-order `(index, result)` pairs into task order,
+/// filling any slot no worker reported with an explicit error that
+/// names the task and includes whatever the harness captured about the
+/// failure. Factored out of [`run_tasks`] so the lost-slot path is unit
+/// testable without actually killing a worker thread.
+fn assemble<T>(
+    count: usize,
+    collected: impl Iterator<Item = (usize, Result<T, String>)>,
+    harness_errors: &[String],
+) -> Vec<Result<T, String>> {
     let mut out: Vec<Option<Result<T, String>>> = (0..count).map(|_| None).collect();
     for (i, r) in collected {
-        out[i] = Some(r);
+        if let Some(slot) = out.get_mut(i) {
+            *slot = Some(r);
+        }
     }
+    let context = if harness_errors.is_empty() {
+        String::new()
+    } else {
+        format!(" ({})", harness_errors.join("; "))
+    };
     out.into_iter()
-        .map(|slot| slot.unwrap_or_else(|| Err("worker thread lost before reporting".into())))
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| {
+                Err(format!(
+                    "task {i} lost: worker thread died before reporting it{context}"
+                ))
+            })
+        })
         .collect()
 }
 
@@ -77,13 +131,16 @@ fn run_one<T, F>(task: &F, i: usize) -> Result<T, String>
 where
     F: Fn(usize) -> T + Sync,
 {
-    catch_unwind(AssertUnwindSafe(|| task(i))).map_err(|payload| {
-        payload
-            .downcast_ref::<&str>()
-            .map(|s| (*s).to_owned())
-            .or_else(|| payload.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "panic with non-string payload".to_owned())
-    })
+    catch_unwind(AssertUnwindSafe(|| task(i))).map_err(|payload| panic_message(payload.as_ref()))
+}
+
+/// Extracts the human-readable message from a panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "panic with non-string payload".to_owned())
 }
 
 #[cfg(test)]
@@ -113,6 +170,46 @@ mod tests {
                 assert_eq!(*r.as_ref().expect("other cells ok"), i);
             }
         }
+    }
+
+    #[test]
+    fn many_panicking_tasks_all_get_explicit_slots() {
+        // Regression for the silent-loss path: with frequent panics and
+        // real concurrency, every slot must still come back filled with
+        // either its value or the task's own panic message — never the
+        // generic "lost" marker.
+        let out = run_tasks(50, 4, |i| {
+            assert!(i % 3 != 0, "task {i} exploded");
+            i
+        });
+        assert_eq!(out.len(), 50);
+        for (i, r) in out.iter().enumerate() {
+            if i % 3 == 0 {
+                let msg = r.as_ref().expect_err("multiple-of-3 tasks fail");
+                assert!(msg.contains(&format!("task {i} exploded")), "got: {msg}");
+                assert!(
+                    !msg.contains("lost"),
+                    "slot {i} was lost, not failed: {msg}"
+                );
+            } else {
+                assert_eq!(*r.as_ref().expect("other tasks ok"), i);
+            }
+        }
+    }
+
+    #[test]
+    fn lost_slots_carry_task_index_and_harness_diagnosis() {
+        // Simulates a worker dying after finishing tasks 0 and 2 but
+        // before reporting task 1: the missing slot must say which task
+        // vanished and why, instead of a generic marker.
+        let collected = vec![(0usize, Ok(10u32)), (2, Ok(30))];
+        let errors = vec!["worker panicked: allocator meltdown".to_owned()];
+        let out = assemble(3, collected.into_iter(), &errors);
+        assert_eq!(out[0], Ok(10));
+        assert_eq!(out[2], Ok(30));
+        let msg = out[1].as_ref().expect_err("slot 1 lost");
+        assert!(msg.contains("task 1 lost"), "got: {msg}");
+        assert!(msg.contains("allocator meltdown"), "got: {msg}");
     }
 
     #[test]

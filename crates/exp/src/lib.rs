@@ -12,7 +12,10 @@
 //!   scenario's FNV-1a config digest plus seed, so re-running a figure
 //!   after an unrelated change reuses completed runs (bit-exactly);
 //! * [`engine`] — ties the three together and produces tables, CSV,
-//!   telemetry report lines, and per-cell failure accounting;
+//!   telemetry report lines, and per-cell failure accounting, with
+//!   per-cell watchdog budgets and bounded retry-with-reseed;
+//! * [`manifest`] — a crash-safe append-only progress journal so a
+//!   killed sweep resumes instead of restarting;
 //! * [`table`] — the console/CSV render target (moved from
 //!   `airguard-bench`).
 //!
@@ -26,15 +29,17 @@ pub mod cache;
 pub mod cell;
 pub mod engine;
 pub mod executor;
+pub mod manifest;
 pub mod sweep;
 pub mod table;
 
 pub use cache::ResultCache;
 pub use cell::{metric, CellMetrics};
 pub use engine::{
-    run_experiment, run_experiment_with, run_seeds, simulate_cell, CellFailure, ExperimentOutcome,
-    RunOptions,
+    retry_seed, run_experiment, run_experiment_with, run_seeds, simulate_cell,
+    simulate_cell_budgeted, CellFailure, ExperimentOutcome, RunOptions, ATTEMPTS_COUNTER,
 };
 pub use executor::run_tasks;
+pub use manifest::{ManifestEntry, SweepManifest};
 pub use sweep::{Axes, Experiment, ExperimentResult, Figure, Point, PointResult, Rendered};
 pub use table::{f2, kbps, write_report_jsonl, Table};

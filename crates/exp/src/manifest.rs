@@ -1,0 +1,257 @@
+//! Crash-safe sweep progress manifest.
+//!
+//! The result cache makes *successful* cells resumable, but a sweep
+//! killed mid-flight used to forget everything else: which cells had
+//! already failed (and would hang or fail again on rerun), and how many
+//! attempts each cell took. The manifest is a tiny append-only text
+//! file next to the cache that records one line per finished cell the
+//! moment it finishes, so a killed-and-restarted sweep can skip both
+//! completed work (via the cache) and known-bad cells (via the
+//! manifest) instead of re-simulating — or re-hanging on — them.
+//!
+//! Format (one record per line, `v1`):
+//!
+//! ```text
+//! airguard-manifest v1
+//! ok <digest> <seed> <attempts>
+//! failed <digest> <seed> <attempts> <reason…>
+//! ```
+//!
+//! Crash safety: each record is a single short `write_all` to a file
+//! opened in append mode; a record torn by a crash fails to parse and
+//! is ignored on load, costing at most one cell of progress. Later
+//! records override earlier ones for the same `(digest, seed)`, so a
+//! cell retried in a fresh sweep just appends its new verdict.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Header line identifying the file and format version.
+const HEADER: &str = "airguard-manifest v1";
+
+/// The entries recovered from a manifest, keyed by `(config digest,
+/// seed)`; later records for the same cell have already overridden
+/// earlier ones.
+pub type ManifestEntries = BTreeMap<(String, u64), ManifestEntry>;
+
+/// What the manifest remembers about one finished cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Whether the cell eventually succeeded.
+    pub ok: bool,
+    /// Attempts consumed (1 = first try, >1 = retried).
+    pub attempts: u32,
+    /// Failure reason (empty for successful cells).
+    pub reason: String,
+}
+
+/// An append-only progress journal for one experiment's sweep.
+///
+/// Writes are serialized through a mutex so concurrent workers produce
+/// whole lines; the file handle itself is opened in append mode.
+#[derive(Debug)]
+pub struct SweepManifest {
+    path: PathBuf,
+    file: Mutex<std::fs::File>,
+}
+
+impl SweepManifest {
+    /// Opens (creating if needed) the manifest for experiment `name`
+    /// under `dir`, returning it together with every valid entry
+    /// already on disk. Unparseable lines — including a record torn by
+    /// a crash — are skipped, not fatal.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error message when the directory or file cannot
+    /// be created or read.
+    pub fn open(dir: &Path, name: &str) -> Result<(Self, ManifestEntries), String> {
+        std::fs::create_dir_all(dir).map_err(|e| format!("manifest dir {}: {e}", dir.display()))?;
+        let path = dir.join(format!("{name}.manifest"));
+        let existing = match std::fs::read_to_string(&path) {
+            Ok(text) => parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => BTreeMap::new(),
+            Err(e) => return Err(format!("manifest read {}: {e}", path.display())),
+        };
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("manifest open {}: {e}", path.display()))?;
+        if existing.is_empty() {
+            // Fresh or fully-torn file: (re)write the header so readers
+            // can identify the format. Appending a duplicate header to
+            // a torn file is harmless — headers parse as no entry.
+            let _ = writeln!(file, "{HEADER}");
+        }
+        Ok((
+            SweepManifest {
+                path,
+                file: Mutex::new(file),
+            },
+            existing,
+        ))
+    }
+
+    /// Where this manifest lives on disk.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records a successful cell. Errors are swallowed: the manifest is
+    /// an optimization, and a failed append must not fail the sweep.
+    pub fn record_ok(&self, digest: &str, seed: u64, attempts: u32) {
+        self.append(&format!("ok {digest} {seed} {attempts}\n"));
+    }
+
+    /// Records a failed cell with its (newline-sanitized) reason.
+    pub fn record_failed(&self, digest: &str, seed: u64, attempts: u32, reason: &str) {
+        let mut line = format!("failed {digest} {seed} {attempts} ");
+        for ch in reason.chars() {
+            let _ = write!(line, "{}", if ch == '\n' || ch == '\r' { ' ' } else { ch });
+        }
+        line.push('\n');
+        self.append(&line);
+    }
+
+    fn append(&self, line: &str) {
+        if let Ok(mut file) = self.file.lock() {
+            let _ = file.write_all(line.as_bytes());
+            let _ = file.flush();
+        }
+    }
+}
+
+/// Parses manifest text, returning the last valid record per cell.
+fn parse(text: &str) -> ManifestEntries {
+    let mut entries = BTreeMap::new();
+    for line in text.lines() {
+        let mut parts = line.splitn(4, ' ');
+        let (verdict, digest, seed, rest) = (
+            parts.next().unwrap_or(""),
+            parts.next().unwrap_or(""),
+            parts.next().unwrap_or(""),
+            parts.next().unwrap_or(""),
+        );
+        let ok = match verdict {
+            "ok" => true,
+            "failed" => false,
+            _ => continue,
+        };
+        let Ok(seed) = seed.parse::<u64>() else {
+            continue;
+        };
+        let (attempts, reason) = if ok {
+            match rest.parse::<u32>() {
+                Ok(a) => (a, String::new()),
+                Err(_) => continue,
+            }
+        } else {
+            let mut tail = rest.splitn(2, ' ');
+            let Ok(a) = tail.next().unwrap_or("").parse::<u32>() else {
+                continue;
+            };
+            (a, tail.next().unwrap_or("").to_owned())
+        };
+        if digest.is_empty() || attempts == 0 {
+            continue;
+        }
+        entries.insert(
+            (digest.to_owned(), seed),
+            ManifestEntry {
+                ok,
+                attempts,
+                reason,
+            },
+        );
+    }
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir()
+                .join(format!("airguard-manifest-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn round_trips_ok_and_failed_records() {
+        let tmp = TempDir::new("roundtrip");
+        {
+            let (m, existing) = SweepManifest::open(&tmp.0, "exp").expect("open");
+            assert!(existing.is_empty());
+            m.record_ok("abc", 1, 1);
+            m.record_failed("abc", 2, 3, "watchdog: deadline\nexceeded");
+        }
+        let (_, entries) = SweepManifest::open(&tmp.0, "exp").expect("reopen");
+        assert_eq!(
+            entries.get(&("abc".to_owned(), 1)),
+            Some(&ManifestEntry {
+                ok: true,
+                attempts: 1,
+                reason: String::new()
+            })
+        );
+        let failed = entries.get(&("abc".to_owned(), 2)).expect("failed entry");
+        assert!(!failed.ok);
+        assert_eq!(failed.attempts, 3);
+        assert_eq!(failed.reason, "watchdog: deadline exceeded");
+    }
+
+    #[test]
+    fn later_records_override_earlier_ones() {
+        let tmp = TempDir::new("override");
+        let (m, _) = SweepManifest::open(&tmp.0, "exp").expect("open");
+        m.record_failed("d", 7, 2, "flaky");
+        m.record_ok("d", 7, 1);
+        let (_, entries) = SweepManifest::open(&tmp.0, "exp").expect("reopen");
+        assert!(entries.get(&("d".to_owned(), 7)).expect("entry").ok);
+    }
+
+    #[test]
+    fn torn_and_garbage_lines_are_skipped() {
+        let tmp = TempDir::new("torn");
+        let (m, _) = SweepManifest::open(&tmp.0, "exp").expect("open");
+        m.record_ok("good", 1, 1);
+        // Simulate a crash mid-append plus unrelated garbage.
+        let path = m.path().to_path_buf();
+        drop(m);
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .expect("append");
+        file.write_all(b"garbage line\nok torn 5")
+            .expect("write garbage");
+        drop(file);
+        let (_, entries) = SweepManifest::open(&tmp.0, "exp").expect("reopen");
+        assert_eq!(entries.len(), 1);
+        assert!(entries.contains_key(&("good".to_owned(), 1)));
+    }
+
+    #[test]
+    fn distinct_experiments_get_distinct_files() {
+        let tmp = TempDir::new("distinct");
+        let (a, _) = SweepManifest::open(&tmp.0, "fig5").expect("a");
+        let (b, _) = SweepManifest::open(&tmp.0, "chaos").expect("b");
+        assert_ne!(a.path(), b.path());
+    }
+}

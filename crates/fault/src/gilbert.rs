@@ -1,0 +1,150 @@
+//! The Gilbert–Elliott loss process.
+//!
+//! One instance models the bursty noise environment at one listener: a
+//! hidden good/bad state advanced once per delivery sample, with a
+//! state-dependent frame loss probability. All randomness comes from the
+//! dedicated `RngStream` handed in at construction, so the loss pattern
+//! is a pure function of (master seed, stream key, sample count).
+
+use airguard_sim::RngStream;
+use rand::RngExt;
+
+use crate::plan::BurstLoss;
+
+/// Per-listener Gilbert–Elliott channel state.
+#[derive(Debug)]
+pub struct GilbertElliott {
+    cfg: BurstLoss,
+    bad: bool,
+    rng: RngStream,
+}
+
+impl GilbertElliott {
+    /// Creates a channel in the good state.
+    ///
+    /// `rng` should be a dedicated stream (e.g.
+    /// `seed.stream("fault.loss", listener)`) so loss sampling never
+    /// perturbs channel or MAC randomness.
+    #[must_use]
+    pub fn new(cfg: BurstLoss, rng: RngStream) -> Self {
+        GilbertElliott {
+            cfg,
+            bad: false,
+            rng,
+        }
+    }
+
+    /// Advances the state machine one sample and reports whether the
+    /// frame is lost. Exactly two RNG draws per call, in both states, so
+    /// the stream position depends only on how many deliveries were
+    /// sampled.
+    pub fn drops(&mut self) -> bool {
+        let flip = if self.bad {
+            self.cfg.p_exit
+        } else {
+            self.cfg.p_enter
+        };
+        if self.rng.random_range(0.0..1.0) < flip {
+            self.bad = !self.bad;
+        }
+        let loss = if self.bad {
+            self.cfg.loss_bad
+        } else {
+            self.cfg.loss_good
+        };
+        self.rng.random_range(0.0..1.0) < loss
+    }
+
+    /// Whether the channel is currently in the bad (bursty) state.
+    #[must_use]
+    pub fn in_bad_state(&self) -> bool {
+        self.bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airguard_sim::MasterSeed;
+
+    fn channel(cfg: BurstLoss, seed: u64) -> GilbertElliott {
+        GilbertElliott::new(cfg, MasterSeed::new(seed).stream("fault.loss", 0))
+    }
+
+    #[test]
+    fn zero_loss_never_drops() {
+        let mut ge = channel(
+            BurstLoss {
+                p_enter: 0.5,
+                p_exit: 0.5,
+                loss_good: 0.0,
+                loss_bad: 0.0,
+            },
+            1,
+        );
+        assert!((0..10_000).all(|_| !ge.drops()));
+    }
+
+    #[test]
+    fn total_loss_always_drops() {
+        let mut ge = channel(
+            BurstLoss {
+                p_enter: 0.0,
+                p_exit: 1.0,
+                loss_good: 1.0,
+                loss_bad: 1.0,
+            },
+            2,
+        );
+        assert!((0..1_000).all(|_| ge.drops()));
+    }
+
+    #[test]
+    fn same_stream_reproduces_the_same_loss_pattern() {
+        let cfg = BurstLoss {
+            p_enter: 0.05,
+            p_exit: 0.2,
+            loss_good: 0.01,
+            loss_bad: 0.8,
+        };
+        let pattern = |seed| {
+            let mut ge = channel(cfg, seed);
+            (0..5_000).map(|_| ge.drops()).collect::<Vec<bool>>()
+        };
+        assert_eq!(pattern(7), pattern(7));
+        assert_ne!(pattern(7), pattern(8), "different seeds diverge");
+    }
+
+    #[test]
+    fn bad_state_raises_the_loss_rate() {
+        let cfg = BurstLoss {
+            p_enter: 0.1,
+            p_exit: 0.1,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        };
+        let mut ge = channel(cfg, 3);
+        let n = 50_000;
+        let lost = (0..n).filter(|_| ge.drops()).count() as f64 / f64::from(n);
+        // The chain spends half its time in each state.
+        assert!((lost - 0.5).abs() < 0.02, "loss rate {lost}");
+    }
+
+    #[test]
+    fn losses_come_in_bursts() {
+        // Sticky states: long runs of losses and long runs of successes.
+        let cfg = BurstLoss {
+            p_enter: 0.01,
+            p_exit: 0.01,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        };
+        let mut ge = channel(cfg, 4);
+        let samples: Vec<bool> = (0..20_000).map(|_| ge.drops()).collect();
+        let flips = samples.windows(2).filter(|w| w[0] != w[1]).count();
+        // Independent coin flips would change outcome ~50% of the time;
+        // a sticky chain changes state ~2% of the time.
+        assert!(flips < 1_000, "observed {flips} flips — not bursty");
+        assert!(samples.iter().any(|&l| l) && samples.iter().any(|&l| !l));
+    }
+}

@@ -1,0 +1,26 @@
+//! Deterministic fault injection for the airguard simulator.
+//!
+//! The paper's detection claims are made under one well-behaved channel;
+//! this crate supplies the hostile counterpart. A [`FaultPlan`] is a
+//! declarative, seed-independent description of *what* goes wrong in a
+//! run — burst loss on the medium, node crash/restart churn, corrupted
+//! control-frame fields, receiver clock drift — while *when* each
+//! individual fault fires is drawn from dedicated `"fault.*"` RNG
+//! streams derived from the run's master seed. The same seed and the
+//! same plan therefore reproduce the same faults byte for byte, which
+//! keeps faulted runs as replayable as clean ones.
+//!
+//! The crate deliberately knows nothing about the MAC or the runner: it
+//! defines the plan vocabulary, validates it against a topology, and
+//! provides the Gilbert–Elliott loss process. The wiring lives at the
+//! injection sites (`phy::medium`, `mac::dcf`, `net::runner`), each of
+//! which is covered by the `fault-path-unwrap` lint rule: fault paths
+//! must degrade via `Result`/`Option`, never panic.
+
+#![forbid(unsafe_code)]
+
+mod gilbert;
+mod plan;
+
+pub use gilbert::GilbertElliott;
+pub use plan::{BurstLoss, ClockDrift, Corruption, CrashEvent, FaultError, FaultPlan};

@@ -1,0 +1,459 @@
+//! The declarative fault plan and its validation.
+//!
+//! A plan is data, not behaviour: every injector config here is a plain
+//! value whose `Debug` rendering is stable, because the simulation's
+//! config digest incorporates it (a faulted run must never share a cache
+//! entry with a clean one). Validation happens once, at config-build
+//! time, so a malformed plan is a clear error instead of a mid-run
+//! panic.
+
+use std::fmt;
+
+use airguard_sim::SimDuration;
+
+/// A plan describing every fault injected into one run.
+///
+/// All components are optional; [`FaultPlan::normalized`] collapses a
+/// plan whose components are all no-ops into `None`, so a zero-intensity
+/// plan is *indistinguishable* from no plan at all — same config digest,
+/// same RNG consumption, byte-identical trace.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Gilbert–Elliott burst loss applied per (transmission, listener).
+    pub burst_loss: Option<BurstLoss>,
+    /// Node crash/restart events.
+    pub churn: Vec<CrashEvent>,
+    /// Control-frame field corruption.
+    pub corruption: Option<Corruption>,
+    /// Receiver clock drift scaling idle-slot readings.
+    pub clock_drift: Option<ClockDrift>,
+}
+
+impl FaultPlan {
+    /// True when no component would ever inject anything.
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        self.burst_loss.as_ref().is_none_or(BurstLoss::is_noop)
+            && self.churn.is_empty()
+            && self.corruption.as_ref().is_none_or(Corruption::is_noop)
+            && self.clock_drift.as_ref().is_none_or(ClockDrift::is_noop)
+    }
+
+    /// Drops no-op components; returns `None` when nothing is left.
+    ///
+    /// This is what guarantees the zero-intensity byte-identity
+    /// property: callers store the normalized form, so a plan of all
+    /// zeros never reaches an injection site.
+    #[must_use]
+    pub fn normalized(mut self) -> Option<FaultPlan> {
+        if self.burst_loss.as_ref().is_some_and(BurstLoss::is_noop) {
+            self.burst_loss = None;
+        }
+        if self.corruption.as_ref().is_some_and(Corruption::is_noop) {
+            self.corruption = None;
+        }
+        if self.clock_drift.as_ref().is_some_and(ClockDrift::is_noop) {
+            self.clock_drift = None;
+        }
+        if self.is_noop() {
+            None
+        } else {
+            Some(self)
+        }
+    }
+
+    /// Checks the plan against a topology of `node_count` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first impossibility found: a probability outside
+    /// `[0, 1]`, a crash or drift target not in the topology, a
+    /// corruption probability with no magnitude, or a drift that would
+    /// run a clock backwards.
+    pub fn validate(&self, node_count: usize) -> Result<(), FaultError> {
+        if let Some(loss) = &self.burst_loss {
+            loss.validate()?;
+        }
+        for crash in &self.churn {
+            crash.validate(node_count)?;
+        }
+        if let Some(corruption) = &self.corruption {
+            corruption.validate()?;
+        }
+        if let Some(drift) = &self.clock_drift {
+            drift.validate(node_count)?;
+        }
+        Ok(())
+    }
+}
+
+/// Gilbert–Elliott burst loss: a two-state Markov channel per listener.
+///
+/// Each delivery sample first advances the listener's good/bad state
+/// (`p_enter`, `p_exit`), then drops the frame with the state's loss
+/// probability. `loss_bad` near 1 with small `p_exit` produces the
+/// correlated loss bursts the model is named for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstLoss {
+    /// P(good → bad) per delivery sample.
+    pub p_enter: f64,
+    /// P(bad → good) per delivery sample.
+    pub p_exit: f64,
+    /// Frame loss probability in the good state.
+    pub loss_good: f64,
+    /// Frame loss probability in the bad state.
+    pub loss_bad: f64,
+}
+
+impl BurstLoss {
+    /// True when no frame can ever be dropped.
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        // lint:allow(float-eq) — exact-zero test: only a literal 0.0 probability makes the injector inert
+        self.loss_good == 0.0 && (self.loss_bad == 0.0 || self.p_enter == 0.0)
+    }
+
+    fn validate(&self) -> Result<(), FaultError> {
+        for (name, p) in [
+            ("burst_loss.p_enter", self.p_enter),
+            ("burst_loss.p_exit", self.p_exit),
+            ("burst_loss.loss_good", self.loss_good),
+            ("burst_loss.loss_bad", self.loss_bad),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(FaultError::ProbabilityOutOfRange { name, value: p });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One node crash: the node goes deaf and mute at `at`, loses its MAC
+/// state, and comes back `down_for` later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// The crashing node (dense topology index).
+    pub node: u32,
+    /// Crash instant, as an offset from the start of the run.
+    pub at: SimDuration,
+    /// How long the node stays down.
+    pub down_for: SimDuration,
+    /// Whether the node's diagnosis state (monitor/observer tables)
+    /// survives the crash — "battery-backed" detection state versus a
+    /// full cold boot.
+    pub preserve_monitor: bool,
+}
+
+impl CrashEvent {
+    fn validate(&self, node_count: usize) -> Result<(), FaultError> {
+        if self.node as usize >= node_count {
+            return Err(FaultError::NodeOutOfRange {
+                what: "churn crash",
+                node: self.node,
+                node_count,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Corruption of the modified protocol's control-frame fields.
+///
+/// Each receivable delivery of a frame carrying the field is corrupted
+/// independently: the CTS/ACK-carried assigned backoff is shifted by a
+/// uniform nonzero delta in `±backoff_max_delta` slots (clamped at
+/// zero), and the RTS/DATA `attempt` field by `±attempt_max_delta`
+/// (clamped to `1..`, since 0 means "field absent").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Corruption {
+    /// Per-delivery probability of corrupting a carried assigned backoff.
+    pub backoff_prob: f64,
+    /// Maximum absolute shift applied to the assigned backoff, in slots.
+    pub backoff_max_delta: u16,
+    /// Per-delivery probability of corrupting a carried attempt number.
+    pub attempt_prob: f64,
+    /// Maximum absolute shift applied to the attempt number.
+    pub attempt_max_delta: u8,
+}
+
+impl Corruption {
+    /// True when no field can ever be corrupted.
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        // lint:allow(float-eq) — exact-zero test: only a literal 0.0 probability makes the injector inert
+        self.backoff_prob == 0.0 && self.attempt_prob == 0.0
+    }
+
+    fn validate(&self) -> Result<(), FaultError> {
+        for (name, p) in [
+            ("corruption.backoff_prob", self.backoff_prob),
+            ("corruption.attempt_prob", self.attempt_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(FaultError::ProbabilityOutOfRange { name, value: p });
+            }
+        }
+        if self.backoff_prob > 0.0 && self.backoff_max_delta == 0 {
+            return Err(FaultError::CorruptionWithoutMagnitude {
+                field: "assigned backoff",
+            });
+        }
+        if self.attempt_prob > 0.0 && self.attempt_max_delta == 0 {
+            return Err(FaultError::CorruptionWithoutMagnitude { field: "attempt" });
+        }
+        Ok(())
+    }
+}
+
+/// Clock drift: affected nodes misread their idle-slot counters.
+///
+/// A monitor whose clock runs fast counts more idle slots than really
+/// elapsed and accuses honest senders of shrinking their backoff — the
+/// false-positive mechanism this injector probes. The reading is scaled
+/// by `(1000 + per_mille) / 1000` with round-to-nearest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClockDrift {
+    /// Signed drift in parts per thousand (`+50` = 5 % fast clock).
+    pub per_mille: i32,
+    /// Affected nodes (dense topology indices); empty means every node.
+    pub nodes: Vec<u32>,
+}
+
+impl ClockDrift {
+    /// True when the drift leaves every reading unchanged.
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        self.per_mille == 0
+    }
+
+    fn validate(&self, node_count: usize) -> Result<(), FaultError> {
+        if self.per_mille <= -1000 {
+            return Err(FaultError::DriftTooNegative {
+                per_mille: self.per_mille,
+            });
+        }
+        for &node in &self.nodes {
+            if node as usize >= node_count {
+                return Err(FaultError::NodeOutOfRange {
+                    what: "clock drift",
+                    node,
+                    node_count,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`FaultPlan`] cannot run against a given topology.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// A probability parameter is outside `[0, 1]`.
+    ProbabilityOutOfRange {
+        /// Dotted parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A fault targets a node the topology does not contain.
+    NodeOutOfRange {
+        /// Which injector named the node.
+        what: &'static str,
+        /// The offending node index.
+        node: u32,
+        /// Nodes in the topology.
+        node_count: usize,
+    },
+    /// A corruption probability is positive but its magnitude is zero.
+    CorruptionWithoutMagnitude {
+        /// Which field lacks a magnitude.
+        field: &'static str,
+    },
+    /// A drift at or below -1000 per mille would stop or reverse the clock.
+    DriftTooNegative {
+        /// The offending drift.
+        per_mille: i32,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::ProbabilityOutOfRange { name, value } => {
+                write!(f, "fault plan: {name} = {value} is outside [0, 1]")
+            }
+            FaultError::NodeOutOfRange {
+                what,
+                node,
+                node_count,
+            } => write!(
+                f,
+                "fault plan: {what} targets node {node}, but the topology has only {node_count} nodes (0..{})",
+                node_count.saturating_sub(1)
+            ),
+            FaultError::CorruptionWithoutMagnitude { field } => write!(
+                f,
+                "fault plan: {field} corruption probability is positive but its max delta is 0"
+            ),
+            FaultError::DriftTooNegative { per_mille } => write!(
+                f,
+                "fault plan: clock drift {per_mille} per mille would stop or reverse the clock (must be > -1000)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_plan() -> FaultPlan {
+        FaultPlan {
+            burst_loss: Some(BurstLoss {
+                p_enter: 0.05,
+                p_exit: 0.2,
+                loss_good: 0.01,
+                loss_bad: 0.8,
+            }),
+            churn: vec![CrashEvent {
+                node: 2,
+                at: SimDuration::from_secs(1),
+                down_for: SimDuration::from_millis(500),
+                preserve_monitor: false,
+            }],
+            corruption: Some(Corruption {
+                backoff_prob: 0.1,
+                backoff_max_delta: 8,
+                attempt_prob: 0.1,
+                attempt_max_delta: 2,
+            }),
+            clock_drift: Some(ClockDrift {
+                per_mille: 50,
+                nodes: vec![0],
+            }),
+        }
+    }
+
+    #[test]
+    fn full_plan_validates() {
+        full_plan().validate(4).unwrap();
+    }
+
+    #[test]
+    fn empty_plan_is_noop_and_normalizes_away() {
+        assert!(FaultPlan::default().is_noop());
+        assert_eq!(FaultPlan::default().normalized(), None);
+    }
+
+    #[test]
+    fn zero_intensity_components_normalize_away() {
+        let plan = FaultPlan {
+            burst_loss: Some(BurstLoss {
+                p_enter: 0.0,
+                p_exit: 1.0,
+                loss_good: 0.0,
+                loss_bad: 0.9,
+            }),
+            churn: Vec::new(),
+            corruption: Some(Corruption {
+                backoff_prob: 0.0,
+                backoff_max_delta: 8,
+                attempt_prob: 0.0,
+                attempt_max_delta: 1,
+            }),
+            clock_drift: Some(ClockDrift {
+                per_mille: 0,
+                nodes: Vec::new(),
+            }),
+        };
+        assert!(plan.is_noop());
+        assert_eq!(plan.normalized(), None);
+    }
+
+    #[test]
+    fn normalization_keeps_live_components() {
+        let mut plan = full_plan();
+        plan.corruption = Some(Corruption {
+            backoff_prob: 0.0,
+            backoff_max_delta: 8,
+            attempt_prob: 0.0,
+            attempt_max_delta: 1,
+        });
+        let kept = plan.normalized().unwrap();
+        assert!(kept.corruption.is_none(), "dead component dropped");
+        assert!(kept.burst_loss.is_some() && !kept.churn.is_empty());
+    }
+
+    #[test]
+    fn probabilities_outside_unit_interval_are_rejected() {
+        let mut plan = full_plan();
+        plan.burst_loss = Some(BurstLoss {
+            p_enter: 1.5,
+            p_exit: 0.2,
+            loss_good: 0.0,
+            loss_bad: 0.5,
+        });
+        let err = plan.validate(4).unwrap_err();
+        assert!(matches!(err, FaultError::ProbabilityOutOfRange { name, .. }
+                if name == "burst_loss.p_enter"));
+        assert!(err.to_string().contains("outside [0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn crash_of_missing_node_is_rejected() {
+        let plan = full_plan();
+        let err = plan.validate(2).unwrap_err();
+        assert!(matches!(err, FaultError::NodeOutOfRange { node: 2, .. }));
+        assert!(err.to_string().contains("only 2 nodes"), "{err}");
+    }
+
+    #[test]
+    fn corruption_without_magnitude_is_rejected() {
+        let mut plan = full_plan();
+        plan.corruption = Some(Corruption {
+            backoff_prob: 0.5,
+            backoff_max_delta: 0,
+            attempt_prob: 0.0,
+            attempt_max_delta: 0,
+        });
+        let err = plan.validate(4).unwrap_err();
+        assert!(matches!(
+            err,
+            FaultError::CorruptionWithoutMagnitude {
+                field: "assigned backoff"
+            }
+        ));
+    }
+
+    #[test]
+    fn reversed_clock_is_rejected() {
+        let mut plan = full_plan();
+        plan.clock_drift = Some(ClockDrift {
+            per_mille: -1000,
+            nodes: Vec::new(),
+        });
+        assert!(matches!(
+            plan.validate(4).unwrap_err(),
+            FaultError::DriftTooNegative { per_mille: -1000 }
+        ));
+    }
+
+    #[test]
+    fn drift_of_missing_node_is_rejected() {
+        let mut plan = full_plan();
+        plan.clock_drift = Some(ClockDrift {
+            per_mille: 10,
+            nodes: vec![9],
+        });
+        assert!(matches!(
+            plan.validate(4).unwrap_err(),
+            FaultError::NodeOutOfRange {
+                what: "clock drift",
+                node: 9,
+                ..
+            }
+        ));
+    }
+}

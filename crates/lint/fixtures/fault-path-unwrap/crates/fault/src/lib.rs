@@ -1,0 +1,6 @@
+// Fixture: unwrap on a fault-injection path. The generic panic rule is
+// allowed on the line so only fault-path-unwrap fires, proving the rule
+// carries its own ID and cannot be silenced by a panic-family allow.
+pub fn next_loss(plan: &Plan) -> f64 {
+    plan.burst_loss.unwrap().loss_good // lint:allow(panic-unwrap) — fixture isolates the fault-path rule
+}

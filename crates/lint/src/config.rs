@@ -28,6 +28,12 @@ pub struct LintConfig {
     /// Crate directory names (under `crates/`) whose library code the
     /// hot-path allocation rules cover.
     pub hot_path_crates: Vec<String>,
+    /// Crate directory names (under `crates/`) whose library code the
+    /// fault-path hygiene rule covers in full.
+    pub fault_path_crates: Vec<String>,
+    /// Exact file paths (injector call sites outside those crates) the
+    /// fault-path hygiene rule also covers.
+    pub fault_path_files: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -50,6 +56,12 @@ impl Default for LintConfig {
                 "crates/phy/src/units.rs".into(),
             ],
             hot_path_crates: vec!["sim".into(), "phy".into(), "mac".into()],
+            fault_path_crates: vec!["fault".into()],
+            fault_path_files: vec![
+                "crates/phy/src/medium.rs".into(),
+                "crates/mac/src/drift.rs".into(),
+                "crates/net/src/faults.rs".into(),
+            ],
         }
     }
 }
@@ -107,6 +119,8 @@ impl LintConfig {
                 ("determinism", "crates") => cfg.determinism_crates = values,
                 ("unit-safety", "exempt") => cfg.unit_exempt = values,
                 ("hot-path", "crates") => cfg.hot_path_crates = values,
+                ("fault-path", "crates") => cfg.fault_path_crates = values,
+                ("fault-path", "files") => cfg.fault_path_files = values,
                 _ => {
                     return Err(ConfigError {
                         line: lineno,
@@ -159,6 +173,26 @@ mod tests {
             .unit_exempt
             .contains(&"crates/sim/src/time.rs".to_owned()));
         assert_eq!(cfg.hot_path_crates, ["sim", "phy", "mac"]);
+        assert_eq!(cfg.fault_path_crates, ["fault"]);
+        assert_eq!(
+            cfg.fault_path_files,
+            [
+                "crates/phy/src/medium.rs",
+                "crates/mac/src/drift.rs",
+                "crates/net/src/faults.rs",
+            ]
+        );
+    }
+
+    #[test]
+    fn fault_path_section_overrides_both_keys() {
+        let cfg = LintConfig::parse(
+            "[fault-path]\ncrates = [\"fault\", \"exp\"]\nfiles = [\"crates/net/src/faults.rs\"]\n",
+        )
+        .expect("valid config");
+        assert_eq!(cfg.fault_path_crates, ["fault", "exp"]);
+        assert_eq!(cfg.fault_path_files, ["crates/net/src/faults.rs"]);
+        assert!(LintConfig::parse("[fault-path]\nexempt = [\"x\"]").is_err());
     }
 
     #[test]

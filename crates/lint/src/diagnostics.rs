@@ -32,6 +32,9 @@ pub enum Rule {
     /// `.clone()` of a frame value in hot-path crate library code,
     /// defeating the shared `FrameRef` allocation.
     HotPathClone,
+    /// `.unwrap()` / `.expect(..)` on a fault-injection path (the
+    /// `fault` crate and the injector call sites wired into phy/mac/net).
+    FaultPathUnwrap,
     /// A `lint:allow` directive missing its mandatory reason.
     AllowReason,
 }
@@ -51,6 +54,7 @@ impl Rule {
             Rule::PanicMacro => "panic-macro",
             Rule::PrintMacro => "print-macro",
             Rule::HotPathClone => "hot-path-clone",
+            Rule::FaultPathUnwrap => "fault-path-unwrap",
             Rule::AllowReason => "lint-allow-reason",
         }
     }
@@ -58,7 +62,7 @@ impl Rule {
     /// Parses a rule ID as written in a `lint:allow(..)` directive.
     #[must_use]
     pub fn from_id(id: &str) -> Option<Rule> {
-        const ALL: [Rule; 11] = [
+        const ALL: [Rule; 12] = [
             Rule::DeterminismTime,
             Rule::DeterminismRng,
             Rule::DeterminismMap,
@@ -69,6 +73,7 @@ impl Rule {
             Rule::PanicMacro,
             Rule::PrintMacro,
             Rule::HotPathClone,
+            Rule::FaultPathUnwrap,
             Rule::AllowReason,
         ];
         ALL.into_iter().find(|r| r.id() == id)
@@ -134,6 +139,7 @@ mod tests {
             Rule::PanicMacro,
             Rule::PrintMacro,
             Rule::HotPathClone,
+            Rule::FaultPathUnwrap,
             Rule::AllowReason,
         ] {
             assert_eq!(Rule::from_id(rule.id()), Some(rule));

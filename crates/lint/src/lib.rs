@@ -19,7 +19,12 @@
 //! * the **hot-path** rule (`hot-path-clone`) runs in library code of
 //!   the hot-path crates named in `lint.toml` (`sim`, `phy`, `mac` by
 //!   default), where a deep frame copy defeats the shared `FrameRef`
-//!   allocation.
+//!   allocation;
+//! * the **fault-path** rule (`fault-path-unwrap`) bans `unwrap`/`expect`
+//!   in library code of the fault-injection crates named in `lint.toml`
+//!   (`fault` by default) plus the listed injector call-site files — a
+//!   panicking injector aborts the cell it was degrading and shows up as
+//!   a harness failure instead of an injected one.
 //!
 //! `#[cfg(test)]` items are exempt everywhere, and any finding can be
 //! suppressed line-by-line with `// lint:allow(<rule>) — <reason>`.
@@ -83,12 +88,16 @@ pub fn rules_for(path: &str, cfg: &LintConfig) -> RuleSet {
     let in_sim_crate =
         crate_of(path).is_some_and(|c| cfg.determinism_crates.iter().any(|d| d == c));
     let in_hot_crate = crate_of(path).is_some_and(|c| cfg.hot_path_crates.iter().any(|d| d == c));
+    let on_fault_path = crate_of(path)
+        .is_some_and(|c| cfg.fault_path_crates.iter().any(|d| d == c))
+        || cfg.fault_path_files.iter().any(|f| f == path);
     RuleSet {
         determinism: class != FileClass::TestLike && in_sim_crate,
         units: class != FileClass::TestLike && !cfg.unit_exempt.iter().any(|e| e == path),
         panics: class == FileClass::Library,
         prints: class == FileClass::Library && crate_of(path).is_some(),
         hot_path: class == FileClass::Library && in_hot_crate,
+        fault_path: class == FileClass::Library && on_fault_path,
     }
 }
 
@@ -220,6 +229,16 @@ mod tests {
         // The unit modules are exempt from unit arithmetic rules.
         let time = rules_for("crates/sim/src/time.rs", &cfg);
         assert!(!time.units && time.determinism);
+
+        // The fault crate and the injector call-site files carry the
+        // fault-path rule; other library code does not.
+        assert!(rules_for("crates/fault/src/plan.rs", &cfg).fault_path);
+        assert!(rules_for("crates/phy/src/medium.rs", &cfg).fault_path);
+        assert!(rules_for("crates/mac/src/drift.rs", &cfg).fault_path);
+        assert!(rules_for("crates/net/src/faults.rs", &cfg).fault_path);
+        assert!(!rules_for("crates/mac/src/dcf.rs", &cfg).fault_path);
+        // Fault-crate tests may unwrap like everyone else's.
+        assert!(!rules_for("crates/fault/tests/plan.rs", &cfg).fault_path);
     }
 
     #[test]

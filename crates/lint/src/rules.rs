@@ -25,6 +25,10 @@ pub struct RuleSet {
     /// Hot-path allocation rule (`.clone()` of frame values in the
     /// simulation hot-path crates).
     pub hot_path: bool,
+    /// Fault-path hygiene rule (`unwrap`/`expect` in the fault crate and
+    /// at the injector call sites): a fault injector that panics turns a
+    /// simulated failure into a real one.
+    pub fault_path: bool,
 }
 
 /// Index spans (token ranges) belonging to `#[cfg(test)]` items; rules do
@@ -134,6 +138,9 @@ pub fn check(path: &str, tokens: &[Token], rules: RuleSet, allows: &Allows) -> V
         }
         if rules.hot_path {
             hot_path_at(tokens, i, t, &mut push);
+        }
+        if rules.fault_path {
+            fault_path_at(tokens, i, t, &mut push);
         }
     }
     diags
@@ -410,6 +417,40 @@ fn hot_path_at(tokens: &[Token], i: usize, t: &Token, push: &mut impl FnMut(&Tok
     }
 }
 
+/// Flags `.unwrap()` / `.expect(..)` on the fault-injection paths. The
+/// injectors exist to *model* failure: a panic inside one aborts the
+/// very cell whose degradation it was supposed to measure, and — worse —
+/// converts an injected fault into a harness failure that the sweep's
+/// retry/watchdog machinery then misattributes. Stricter than the
+/// general panic rules: it also covers files whose crates are otherwise
+/// allowed to panic, and carries its own ID so a blanket
+/// `lint:allow(panic-unwrap)` cannot silence it.
+fn fault_path_at(
+    tokens: &[Token],
+    i: usize,
+    t: &Token,
+    push: &mut impl FnMut(&Token, Rule, String),
+) {
+    let Some(ident) = t.ident() else { return };
+    if ident != "unwrap" && ident != "expect" {
+        return;
+    }
+    let after_dot = i > 0 && tokens[i - 1].is_punct(".");
+    let called = tokens.get(i + 1).is_some_and(|n| n.is_punct("("));
+    if after_dot && called {
+        push(
+            t,
+            Rule::FaultPathUnwrap,
+            format!(
+                "`.{ident}(..)` on a fault-injection path; a panicking injector aborts \
+                 the cell it was degrading and masquerades as a harness failure — \
+                 return/propagate the error, or justify the invariant with \
+                 `// lint:allow(fault-path-unwrap) — <invariant>`"
+            ),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::{cfg_test_spans, check, RuleSet};
@@ -417,12 +458,25 @@ mod tests {
     use crate::diagnostics::Rule;
     use crate::lexer::lex;
 
+    // `fault_path` stays off here: it flags the same `unwrap`/`expect`
+    // tokens as the panic family (with a different rule ID), which would
+    // double up every panic-family assertion below. It gets its own set.
     const ALL: RuleSet = RuleSet {
         determinism: true,
         units: true,
         panics: true,
         prints: true,
         hot_path: true,
+        fault_path: false,
+    };
+
+    const FAULT_ONLY: RuleSet = RuleSet {
+        determinism: false,
+        units: false,
+        panics: false,
+        prints: false,
+        hot_path: false,
+        fault_path: true,
     };
 
     fn rules_hit(src: &str) -> Vec<Rule> {
@@ -555,6 +609,43 @@ mod tests {
         assert!(rules_hit("let c = cfg.clone();").is_empty());
         assert!(rules_hit("let f = frame.share();").is_empty());
         assert!(rules_hit("let f = frame.clone_from(&other);").is_empty());
+    }
+
+    #[test]
+    fn fault_path_rule_fires_independently_of_the_panic_family() {
+        let hits = |src: &str| -> Vec<Rule> {
+            let lexed = lex(src);
+            check("f.rs", &lexed.tokens, FAULT_ONLY, &Allows::default())
+                .into_iter()
+                .map(|d| d.rule)
+                .collect()
+        };
+        assert_eq!(
+            hits("let g = plan.burst_loss.unwrap();"),
+            vec![Rule::FaultPathUnwrap]
+        );
+        assert_eq!(
+            hits("let d = drift.get(&node).expect(\"registered\");"),
+            vec![Rule::FaultPathUnwrap]
+        );
+        // Total methods and non-call mentions pass.
+        assert!(hits("let g = plan.burst_loss.unwrap_or_default();").is_empty());
+        assert!(hits("// unwrap is banned here").is_empty());
+        // With both families on, the same token carries both rule IDs, so
+        // allowing only the generic panic rule still leaves the
+        // fault-path finding standing.
+        let both = RuleSet {
+            panics: true,
+            ..FAULT_ONLY
+        };
+        let src = "let g = plan.burst_loss.unwrap(); // lint:allow(panic-unwrap) — tested above\n";
+        let lexed = lex(src);
+        let allows = crate::allow::scan("f.rs", &lexed);
+        let rules: Vec<Rule> = check("f.rs", &lexed.tokens, both, &allows)
+            .into_iter()
+            .map(|d| d.rule)
+            .collect();
+        assert_eq!(rules, vec![Rule::FaultPathUnwrap]);
     }
 
     #[test]

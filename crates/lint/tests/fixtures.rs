@@ -32,6 +32,7 @@ fn each_seeded_fixture_trips_its_rule() {
         ("panic-macro", Rule::PanicMacro),
         ("print-macro", Rule::PrintMacro),
         ("hot-path-clone", Rule::HotPathClone),
+        ("fault-path-unwrap", Rule::FaultPathUnwrap),
     ];
     for (name, rule) in cases {
         let rules = rules_in(name);
@@ -83,6 +84,7 @@ fn binary_exits_nonzero_on_each_seeded_fixture() {
         "panic-macro",
         "print-macro",
         "hot-path-clone",
+        "fault-path-unwrap",
         "lint-allow-reason",
     ] {
         let out = run_binary(name);

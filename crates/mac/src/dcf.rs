@@ -30,6 +30,7 @@ use airguard_sim::trace::Trace;
 use airguard_sim::{NodeId, RngStream, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
+use crate::drift::ClockDriftState;
 use crate::frames::{ExchangeDurations, Frame, FrameKind, FramePool, FrameRef};
 use crate::idle::IdleSlotCounter;
 use crate::policy::{BackoffObservation, BackoffPolicy, PacketVerdict};
@@ -253,6 +254,9 @@ pub struct Mac<P> {
     nav_until: SimTime,
     virtual_busy: bool,
     idle_counter: IdleSlotCounter,
+    /// Injected clock drift applied to every idle-slot reading the
+    /// diagnosis path consumes (identity unless a fault plan sets it).
+    drift: ClockDriftState,
     /// When the channel last turned physically busy (for the NAV-reset
     /// rule).
     last_busy_start: SimTime,
@@ -294,6 +298,7 @@ impl<P: BackoffPolicy> Mac<P> {
             nav_until: SimTime::ZERO,
             virtual_busy: false,
             idle_counter,
+            drift: ClockDriftState::NONE,
             last_busy_start: SimTime::ZERO,
             queue: VecDeque::new(),
             next_seq: 0,
@@ -312,6 +317,42 @@ impl<P: BackoffPolicy> Mac<P> {
     /// Attaches a trace sink.
     pub fn set_trace(&mut self, trace: Trace) {
         self.trace = trace;
+    }
+
+    /// Injects clock drift into this node's diagnosis-path idle-slot
+    /// readings (fault injection only; the default is no drift).
+    pub fn set_clock_drift(&mut self, drift: ClockDriftState) {
+        self.drift = drift;
+    }
+
+    /// The idle-slot reading the diagnosis path observes at `now`,
+    /// through this node's (possibly drifting) clock.
+    fn observed_idle(&self, now: SimTime) -> u64 {
+        self.drift.observe(self.idle_counter.reading(now))
+    }
+
+    /// Simulates a node crash at `now`: every piece of transient MAC
+    /// state — queue, exchange in progress, NAV, carrier view, idle
+    /// counter — is wiped, as a power cycle would. Two things survive
+    /// deliberately: the sequence counter (`next_seq` stays monotonic so
+    /// peers' duplicate filters remain correct across the restart) and
+    /// the policy, whose own reset the caller drives separately
+    /// according to the fault plan's monitor-survival choice.
+    pub fn crash_reset(&mut self, now: SimTime) {
+        self.phys_busy = false;
+        self.nav_until = SimTime::ZERO;
+        self.virtual_busy = false;
+        self.idle_counter = IdleSlotCounter::new(&self.cfg.timing);
+        self.idle_counter.on_idle(now);
+        self.last_busy_start = now;
+        self.queue.clear();
+        self.sender = SenderState::Idle;
+        self.attempt = 1;
+        self.remaining = Slots::ZERO;
+        self.countdown_base = None;
+        self.on_air = None;
+        self.pending_response = None;
+        self.last_delivered.clear();
     }
 
     /// This node's id.
@@ -610,7 +651,7 @@ impl<P: BackoffPolicy> Mac<P> {
     fn on_decoded(&mut self, now: SimTime, frame: &Frame, fx: &mut Vec<MacEffect>) {
         if frame.dst != self.id {
             self.policy
-                .observe_overheard(frame, self.idle_counter.reading(now), &self.cfg.timing);
+                .observe_overheard(frame, self.observed_idle(now), &self.cfg.timing);
             self.apply_nav(now, frame, fx);
             return;
         }
@@ -682,7 +723,7 @@ impl<P: BackoffPolicy> Mac<P> {
             frame.src,
             frame.seq,
             frame.attempt,
-            self.idle_counter.reading(now),
+            self.observed_idle(now),
             &self.cfg.timing,
             &mut self.rng,
         );
@@ -759,7 +800,7 @@ impl<P: BackoffPolicy> Mac<P> {
                     frame.src,
                     frame.seq,
                     frame.attempt,
-                    self.idle_counter.reading(now),
+                    self.observed_idle(now),
                     &self.cfg.timing,
                     &mut self.rng,
                 );
@@ -878,7 +919,7 @@ impl<P: BackoffPolicy> Mac<P> {
             FrameKind::Cts => {}
             FrameKind::Ack => {
                 self.policy
-                    .observe_ack_sent(frame.dst, self.idle_counter.reading(now));
+                    .observe_ack_sent(frame.dst, self.observed_idle(now));
             }
         }
     }

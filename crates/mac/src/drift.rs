@@ -1,0 +1,92 @@
+//! Injected receiver clock drift.
+//!
+//! The paper's monitor compares the backoff it *assigned* against the
+//! idle slots it *observed* before the sender's access. A drifting
+//! local clock miscounts those slots, so an honest sender can look like
+//! it shrank (fast clock) or stretched (slow clock) its backoff — the
+//! false-positive mechanism probed by the chaos experiments.
+//!
+//! This is a fault-injection site: the drift state is plain data, the
+//! scaling is total (no panics, clamped at zero), and a zero drift is
+//! exactly the identity so an unfaulted run never pays for the hook.
+
+/// Per-node injected clock drift, applied to every idle-slot reading
+/// the diagnosis path consumes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClockDriftState {
+    /// Signed drift in parts per thousand (`+50` = 5 % fast clock).
+    per_mille: i32,
+}
+
+impl ClockDriftState {
+    /// A perfectly synchronised clock (the default).
+    pub const NONE: ClockDriftState = ClockDriftState { per_mille: 0 };
+
+    /// Creates a drift of `per_mille` parts per thousand.
+    #[must_use]
+    pub const fn new(per_mille: i32) -> Self {
+        ClockDriftState { per_mille }
+    }
+
+    /// Whether the drift changes any reading.
+    #[must_use]
+    pub const fn is_none(self) -> bool {
+        self.per_mille == 0
+    }
+
+    /// The idle-slot count this node's drifting clock reports for a
+    /// true reading, rounded to the nearest slot and clamped at zero.
+    #[must_use]
+    pub fn observe(self, reading: u64) -> u64 {
+        if self.per_mille == 0 {
+            return reading;
+        }
+        let factor = i128::from(1000 + i64::from(self.per_mille));
+        if factor <= 0 {
+            return 0;
+        }
+        let scaled = (i128::from(reading) * factor + 500) / 1000;
+        u64::try_from(scaled).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ClockDriftState;
+
+    #[test]
+    fn zero_drift_is_the_identity() {
+        for reading in [0, 1, 7, 1_023, u64::MAX] {
+            assert_eq!(ClockDriftState::NONE.observe(reading), reading);
+        }
+        assert!(ClockDriftState::default().is_none());
+    }
+
+    #[test]
+    fn fast_clock_counts_more_slots() {
+        let fast = ClockDriftState::new(50);
+        assert_eq!(fast.observe(100), 105);
+        assert_eq!(fast.observe(0), 0);
+        // 10 * 1.05 = 10.5 rounds to 11.
+        assert_eq!(fast.observe(10), 11);
+        assert!(!fast.is_none());
+    }
+
+    #[test]
+    fn slow_clock_counts_fewer_slots() {
+        let slow = ClockDriftState::new(-100);
+        assert_eq!(slow.observe(100), 90);
+        assert_eq!(slow.observe(4), 4, "3.6 rounds back up to 4");
+    }
+
+    #[test]
+    fn degenerate_factors_clamp_instead_of_panicking() {
+        assert_eq!(ClockDriftState::new(-1000).observe(100), 0);
+        assert_eq!(ClockDriftState::new(-2000).observe(100), 0);
+        assert_eq!(
+            ClockDriftState::new(i32::MAX).observe(u64::MAX),
+            u64::MAX,
+            "overflow saturates"
+        );
+    }
+}

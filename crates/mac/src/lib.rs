@@ -28,6 +28,7 @@
 
 pub mod analytic;
 pub mod dcf;
+pub mod drift;
 pub mod frames;
 pub mod idle;
 pub mod misbehavior;
@@ -36,6 +37,7 @@ pub mod timing;
 
 pub use analytic::ExchangeModel;
 pub use dcf::{AccessMode, Mac, MacConfig, MacEffect, MacInput, TimerKind};
+pub use drift::ClockDriftState;
 pub use frames::{Frame, FrameKind, FramePool, FrameRef};
 pub use idle::IdleSlotCounter;
 pub use misbehavior::{Misbehavior, Selfish};

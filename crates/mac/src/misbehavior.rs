@@ -135,6 +135,13 @@ impl<P: BackoffPolicy> Misbehavior<P> {
     pub fn inner(&self) -> &P {
         &self.inner
     }
+
+    /// Mutable access to the wrapped honest policy (fault injection
+    /// resets the inner state through this without disturbing the
+    /// strategy decoration).
+    pub fn inner_mut(&mut self) -> &mut P {
+        &mut self.inner
+    }
 }
 
 impl<P: BackoffPolicy> BackoffPolicy for Misbehavior<P> {

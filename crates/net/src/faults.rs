@@ -1,0 +1,324 @@
+//! Runtime state of injected faults inside the simulation runner.
+//!
+//! `airguard-fault` describes *what* to inject ([`FaultPlan`] is plain
+//! data); this module holds the mutable machinery the runner needs while
+//! a faulted run executes: the control-frame corruption channel and the
+//! per-node crash bookkeeping. Burst loss lives in the medium
+//! (`airguard_phy::Medium::set_burst_loss`) and clock drift in the MAC
+//! (`airguard_mac::ClockDriftState`); this file covers the rest.
+//!
+//! Everything here is on the injected-fault path, so the `fault-path-
+//! unwrap` lint rule bans `unwrap`/`expect` in this file: a fault
+//! injector that panics turns a simulated failure into a real one.
+
+use airguard_fault::{Corruption, FaultPlan};
+use airguard_mac::{Frame, Slots};
+use airguard_obs::ObsEvent;
+use airguard_sim::{MasterSeed, RngStream, SimDuration, SimTime};
+use rand::RngExt;
+
+/// What a corruption injector did to one listener's copy of a frame.
+pub(crate) enum Corrupted {
+    /// The CTS/ACK-carried assigned backoff was altered.
+    Backoff {
+        /// Value the receiver actually assigned.
+        original_slots: u32,
+        /// Value the listener will decode.
+        corrupted_slots: u32,
+    },
+    /// The RTS/DATA-carried attempt number was altered.
+    Attempt {
+        /// Attempt number the sender actually serialized.
+        original: u8,
+        /// Attempt number the listener will decode.
+        corrupted: u8,
+    },
+}
+
+impl Corrupted {
+    /// The telemetry event describing this corruption at `listener`.
+    pub(crate) fn event(&self, listener: u32) -> ObsEvent {
+        match *self {
+            Corrupted::Backoff {
+                original_slots,
+                corrupted_slots,
+            } => ObsEvent::FaultCorruptedBackoff {
+                listener,
+                original_slots,
+                corrupted_slots,
+            },
+            Corrupted::Attempt {
+                original,
+                corrupted,
+            } => ObsEvent::FaultCorruptedAttempt {
+                listener,
+                original,
+                corrupted,
+            },
+        }
+    }
+}
+
+/// Mutable fault state owned by one [`crate::Simulation`].
+pub(crate) struct FaultRuntime {
+    corruption: Option<Corruption>,
+    /// Dedicated stream for corruption decisions, consumed in listener
+    /// order per transmission — fault randomness never perturbs the
+    /// scenario's own streams.
+    corrupt_rng: RngStream,
+    /// Per-node crash depth. A depth above zero means the node is down;
+    /// overlapping crash windows nest instead of double-resetting.
+    down: Vec<u8>,
+    /// When the node's current outage began (depth edge 0 → 1).
+    down_since: Vec<Option<SimTime>>,
+    /// Latched `preserve_monitor` flag of the outage (last crash wins).
+    preserve: Vec<bool>,
+}
+
+impl FaultRuntime {
+    /// Builds the runtime for `plan` over a network of `node_count`
+    /// nodes. A `None` plan yields inert state: no RNG draws, no downed
+    /// nodes, every hook a cheap no-op.
+    pub(crate) fn new(plan: Option<&FaultPlan>, node_count: usize, seed: MasterSeed) -> Self {
+        FaultRuntime {
+            corruption: plan.and_then(|p| p.corruption),
+            corrupt_rng: seed.stream("fault.corrupt", 0),
+            down: vec![0; node_count],
+            down_since: vec![None; node_count],
+            preserve: vec![false; node_count],
+        }
+    }
+
+    /// Whether `node` is currently crashed (inputs must be gated).
+    pub(crate) fn is_down(&self, node: usize) -> bool {
+        self.down.get(node).is_some_and(|&d| d > 0)
+    }
+
+    /// Records a crash of `node` at `now`. Returns `true` on the
+    /// up → down edge (the caller emits telemetry and cancels timers
+    /// only then); nested crash windows just deepen the outage.
+    pub(crate) fn on_crash(&mut self, node: usize, preserve_monitor: bool, now: SimTime) -> bool {
+        let Some(depth) = self.down.get_mut(node) else {
+            return false;
+        };
+        *depth = depth.saturating_add(1);
+        self.preserve[node] = preserve_monitor;
+        if *depth == 1 {
+            self.down_since[node] = Some(now);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records the end of one crash window of `node` at `now`. Returns
+    /// `Some((downtime, preserve_monitor))` on the down → up edge, when
+    /// the caller must actually restart the node.
+    pub(crate) fn on_restart(&mut self, node: usize, now: SimTime) -> Option<(SimDuration, bool)> {
+        let depth = self.down.get_mut(node)?;
+        if *depth == 0 {
+            return None;
+        }
+        *depth -= 1;
+        if *depth > 0 {
+            return None;
+        }
+        let downtime = match self.down_since[node].take() {
+            Some(since) => now.saturating_since(since),
+            None => SimDuration::ZERO,
+        };
+        Some((downtime, self.preserve[node]))
+    }
+
+    /// Rolls the corruption dice for one listener's copy of `frame`.
+    ///
+    /// Returns the mutated frame plus a description of the change, or
+    /// `None` when no corruption applies (no injector configured, the
+    /// frame carries no corruptible field, the dice said no, or the
+    /// delta saturated back to the original value). Exactly the
+    /// applicable draws are consumed, in a fixed order, so same-seed
+    /// runs corrupt identically.
+    pub(crate) fn corrupt(&mut self, frame: &Frame) -> Option<(Frame, Corrupted)> {
+        let cfg = self.corruption?;
+        if let Some(assigned) = frame.assigned_backoff {
+            if cfg.backoff_prob > 0.0 && self.corrupt_rng.random_range(0.0..1.0) < cfg.backoff_prob
+            {
+                let delta = self
+                    .corrupt_rng
+                    .random_range(1..=u32::from(cfg.backoff_max_delta));
+                let shrink = self.corrupt_rng.random_range(0..2u32) == 0;
+                let original_slots = assigned.count();
+                let corrupted_slots = if shrink {
+                    original_slots.saturating_sub(delta)
+                } else {
+                    original_slots.saturating_add(delta)
+                };
+                if corrupted_slots == original_slots {
+                    return None;
+                }
+                let mut mutated = frame.clone();
+                mutated.assigned_backoff = Some(Slots::new(corrupted_slots));
+                return Some((
+                    mutated,
+                    Corrupted::Backoff {
+                        original_slots,
+                        corrupted_slots,
+                    },
+                ));
+            }
+        }
+        if frame.carries_attempt()
+            && cfg.attempt_prob > 0.0
+            && self.corrupt_rng.random_range(0.0..1.0) < cfg.attempt_prob
+        {
+            let delta = self.corrupt_rng.random_range(1..=cfg.attempt_max_delta);
+            let shrink = self.corrupt_rng.random_range(0..2u32) == 0;
+            let original = frame.attempt;
+            // A frame that carries an attempt always carries one ≥ 1;
+            // keep the corrupted value in that invariant's range.
+            let corrupted = if shrink {
+                original.saturating_sub(delta).max(1)
+            } else {
+                original.saturating_add(delta)
+            };
+            if corrupted == original {
+                return None;
+            }
+            let mut mutated = frame.clone();
+            mutated.attempt = corrupted;
+            return Some((
+                mutated,
+                Corrupted::Attempt {
+                    original,
+                    corrupted,
+                },
+            ));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airguard_mac::frames::FrameKind;
+    use airguard_sim::NodeId;
+
+    fn seed() -> MasterSeed {
+        MasterSeed::new(11)
+    }
+
+    fn cts_with_backoff(slots: u32) -> Frame {
+        Frame {
+            kind: FrameKind::Cts,
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+            duration_field: SimDuration::ZERO,
+            attempt: 0,
+            assigned_backoff: Some(Slots::new(slots)),
+            payload_bytes: 0,
+            seq: 0,
+        }
+    }
+
+    fn rts(attempt: u8) -> Frame {
+        Frame {
+            kind: FrameKind::Rts,
+            src: NodeId::new(1),
+            dst: NodeId::new(0),
+            duration_field: SimDuration::ZERO,
+            attempt,
+            assigned_backoff: None,
+            payload_bytes: 0,
+            seq: 0,
+        }
+    }
+
+    fn always_corrupt() -> FaultPlan {
+        FaultPlan {
+            corruption: Some(Corruption {
+                backoff_prob: 1.0,
+                backoff_max_delta: 4,
+                attempt_prob: 1.0,
+                attempt_max_delta: 2,
+            }),
+            ..FaultPlan::default()
+        }
+    }
+
+    #[test]
+    fn no_plan_is_inert() {
+        let mut rt = FaultRuntime::new(None, 3, seed());
+        assert!(rt.corrupt(&cts_with_backoff(10)).is_none());
+        assert!(!rt.is_down(0));
+        assert!(rt.on_restart(0, SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn crash_depth_nests_and_reports_edges() {
+        let mut rt = FaultRuntime::new(None, 2, seed());
+        let t0 = SimTime::from_micros(100);
+        assert!(rt.on_crash(1, true, t0), "first crash is the down edge");
+        assert!(!rt.on_crash(1, false, SimTime::from_micros(200)));
+        assert!(rt.is_down(1));
+        assert!(rt.on_restart(1, SimTime::from_micros(300)).is_none());
+        let (downtime, preserve) = rt
+            .on_restart(1, SimTime::from_micros(500))
+            .unwrap_or((SimDuration::ZERO, true)); // lint:allow(fault-path-unwrap) — n/a: unwrap_or is total
+        assert_eq!(downtime, SimDuration::from_micros(400));
+        assert!(!preserve, "last crash's preserve flag wins");
+        assert!(!rt.is_down(1));
+    }
+
+    #[test]
+    fn certain_corruption_always_changes_the_backoff() {
+        let plan = always_corrupt();
+        let mut rt = FaultRuntime::new(Some(&plan), 2, seed());
+        for slots in [0u32, 3, 17, 31] {
+            if let Some((
+                mutated,
+                Corrupted::Backoff {
+                    original_slots,
+                    corrupted_slots,
+                },
+            )) = rt.corrupt(&cts_with_backoff(slots))
+            {
+                assert_eq!(original_slots, slots);
+                assert_ne!(corrupted_slots, slots);
+                assert_eq!(mutated.assigned_backoff, Some(Slots::new(corrupted_slots)));
+            } else {
+                // A shrink draw on slots=0 saturates to 0 and is
+                // reported as no corruption — also acceptable.
+                assert_eq!(slots, 0, "non-zero backoff must corrupt at prob 1");
+            }
+        }
+    }
+
+    #[test]
+    fn attempt_corruption_stays_at_least_one() {
+        let plan = always_corrupt();
+        let mut rt = FaultRuntime::new(Some(&plan), 2, seed());
+        for _ in 0..64 {
+            if let Some((mutated, Corrupted::Attempt { corrupted, .. })) = rt.corrupt(&rts(1)) {
+                assert!(corrupted >= 1);
+                assert_eq!(mutated.attempt, corrupted);
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_reproducible_per_seed() {
+        let plan = always_corrupt();
+        let outcomes = |s: u64| {
+            let mut rt = FaultRuntime::new(Some(&plan), 2, MasterSeed::new(s));
+            (0..32)
+                .map(|i| {
+                    rt.corrupt(&cts_with_backoff(10 + i))
+                        .map(|(f, _)| f.assigned_backoff)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(outcomes(5), outcomes(5));
+        assert_ne!(outcomes(5), outcomes(6));
+    }
+}

@@ -25,13 +25,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod faults;
 pub mod node_policy;
 pub mod runner;
 pub mod scenario;
 pub mod topology;
 pub mod traffic;
 
+pub use airguard_fault::{BurstLoss, ClockDrift, Corruption, CrashEvent, FaultError, FaultPlan};
 pub use node_policy::NodePolicy;
-pub use runner::{RunReport, Simulation, SimulationConfig};
+pub use runner::{RunBudget, RunReport, Simulation, SimulationConfig};
 pub use scenario::{Protocol, ScenarioConfig, StandardScenario};
 pub use topology::{Flow, Topology};

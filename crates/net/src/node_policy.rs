@@ -79,6 +79,18 @@ impl NodePolicy {
             NodePolicy::Correct(p) => p.strategy(),
         }
     }
+
+    /// Wipes policy state as an injected node crash would, keeping the
+    /// strategy decoration intact. For modified-protocol nodes,
+    /// `preserve_monitor` decides whether the receiver-side diagnosis
+    /// tables survive the reboot (stable storage) or start cold.
+    pub fn fault_reset(&mut self, preserve_monitor: bool) {
+        match self {
+            // The baseline policy is stateless; nothing to wipe.
+            NodePolicy::Dot11(_) => {}
+            NodePolicy::Correct(p) => p.inner_mut().crash_reset(preserve_monitor),
+        }
+    }
 }
 
 impl BackoffPolicy for NodePolicy {

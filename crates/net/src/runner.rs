@@ -21,15 +21,17 @@ use std::collections::VecDeque;
 
 use airguard_core::monitor::MonitorReport;
 use airguard_core::PairStats;
+use airguard_fault::FaultPlan;
 use airguard_mac::dcf::MacCounters;
-use airguard_mac::{FrameRef, Mac, MacConfig, MacEffect, MacInput, TimerKind};
+use airguard_mac::{ClockDriftState, FrameRef, Mac, MacConfig, MacEffect, MacInput, TimerKind};
 use airguard_metrics::{jain_index, DelayAccount, DiagnosisTally, ThroughputAccount, TimeBinned};
-use airguard_obs::{fnv1a_hex, Counter, Histogram, Registry, RunSummary};
+use airguard_obs::{fnv1a_hex, Counter, Histogram, ObsEvent, Registry, RunSummary};
 use airguard_phy::reception::DecodeOutcome;
 use airguard_phy::{Dbm, Fading, ListenerOutcome, Medium, PhyConfig, RxTracker, TransmissionId};
 use airguard_sim::trace::Trace;
 use airguard_sim::{EventId, MasterSeed, NodeId, Scheduler, SimDuration, SimTime};
 
+use crate::faults::FaultRuntime;
 use crate::node_policy::NodePolicy;
 use crate::topology::Topology;
 use crate::traffic::CbrState;
@@ -50,6 +52,11 @@ pub struct SimulationConfig {
     pub fading: Fading,
     /// Master seed for all randomness in the run.
     pub seed: MasterSeed,
+    /// Deterministic fault-injection plan, if any. `None` (the default)
+    /// leaves every fault hook inert and keeps the config digest — and
+    /// therefore every cached artifact — byte-identical to builds that
+    /// predate fault injection.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for SimulationConfig {
@@ -61,7 +68,40 @@ impl Default for SimulationConfig {
             diag_bin: SimDuration::from_secs(1),
             fading: Fading::PerTransmission,
             seed: MasterSeed::new(1),
+            fault: None,
         }
+    }
+}
+
+/// Execution limits for [`Simulation::run_budgeted`].
+///
+/// An unlimited budget (the default) reproduces [`Simulation::run`]
+/// exactly. A bounded budget turns a runaway run into an `Err` instead
+/// of a hang: `max_events` caps the virtual event count, and
+/// `deadline_exceeded` is an external probe — typically a wall-clock
+/// check installed by the experiment engine — polled every 1024 events.
+#[derive(Default)]
+pub struct RunBudget {
+    /// Maximum scheduler events to process before the watchdog trips.
+    pub max_events: Option<u64>,
+    /// External deadline probe; returning `true` trips the watchdog.
+    pub deadline_exceeded: Option<Box<dyn Fn() -> bool + Send>>,
+}
+
+impl RunBudget {
+    /// A budget that never trips.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        RunBudget::default()
+    }
+}
+
+impl std::fmt::Debug for RunBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunBudget")
+            .field("max_events", &self.max_events)
+            .field("deadline_exceeded", &self.deadline_exceeded.is_some())
+            .finish()
     }
 }
 
@@ -89,6 +129,16 @@ enum Event {
         /// Shared handle: every listener's arrival event points at the
         /// same allocation as the transmitter's `on_air` slot.
         frame: FrameRef,
+    },
+    /// Injected fault: the node's MAC dies. Physics (frames already on
+    /// the air) continue; protocol state freezes until the restart.
+    NodeCrash {
+        node: usize,
+        preserve_monitor: bool,
+    },
+    /// Injected fault: the node's MAC reboots after a crash window.
+    NodeRestart {
+        node: usize,
     },
 }
 
@@ -228,6 +278,8 @@ pub struct Simulation {
     fx_scratch: Vec<MacEffect>,
     /// Reused listener-outcome buffer (see [`Medium::sample_tx`]).
     listeners_scratch: Vec<ListenerOutcome>,
+    /// Mutable fault-injection state (inert when no plan is set).
+    faults: FaultRuntime,
 }
 
 impl Simulation {
@@ -254,7 +306,7 @@ impl Simulation {
         let measured_flows = topology.measured_flow_pairs();
         let mut medium = Medium::new(cfg.phy, topology.positions, cfg.seed.stream("phy", 0));
         medium.set_fading(cfg.fading);
-        let nodes: Vec<SimNode> = policies
+        let mut nodes: Vec<SimNode> = policies
             .into_iter()
             .enumerate()
             .map(|(i, policy)| SimNode {
@@ -277,6 +329,40 @@ impl Simulation {
             .collect();
         for (i, state) in cbr.iter().enumerate() {
             sched.schedule_at(SimTime::ZERO + state.start, Event::Traffic { flow: i });
+        }
+        let faults = FaultRuntime::new(cfg.fault.as_ref(), nodes.len(), cfg.seed);
+        if let Some(plan) = &cfg.fault {
+            if let Some(burst) = plan.burst_loss {
+                medium.set_burst_loss(burst, cfg.seed);
+            }
+            if let Some(drift) = &plan.clock_drift {
+                let state = ClockDriftState::new(drift.per_mille);
+                if drift.nodes.is_empty() {
+                    for node in &mut nodes {
+                        node.mac.set_clock_drift(state);
+                    }
+                } else {
+                    for &node in &drift.nodes {
+                        if let Some(n) = nodes.get_mut(node as usize) {
+                            n.mac.set_clock_drift(state);
+                        }
+                    }
+                }
+            }
+            for crash in &plan.churn {
+                let node = crash.node as usize;
+                sched.schedule_at(
+                    SimTime::ZERO + crash.at,
+                    Event::NodeCrash {
+                        node,
+                        preserve_monitor: crash.preserve_monitor,
+                    },
+                );
+                sched.schedule_at(
+                    SimTime::ZERO + crash.at + crash.down_for,
+                    Event::NodeRestart { node },
+                );
+            }
         }
         // For sub-second horizons the series degenerates to a single bin.
         let series = TimeBinned::new(cfg.diag_bin.min(cfg.horizon), cfg.horizon);
@@ -310,6 +396,7 @@ impl Simulation {
             pending: VecDeque::new(),
             fx_scratch: Vec::new(),
             listeners_scratch: Vec::new(),
+            faults,
             cfg,
         }
     }
@@ -330,19 +417,44 @@ impl Simulation {
     }
 
     /// Digest of everything that shapes the run except the seed, so
-    /// same-config/different-seed reports share a fingerprint.
+    /// same-config/different-seed reports share a fingerprint. The
+    /// fault plan is appended only when one is set, so unfaulted runs
+    /// keep their pre-fault-injection digests byte for byte.
     fn config_digest(cfg: &SimulationConfig) -> String {
-        let repr = format!(
+        let mut repr = format!(
             "{:?}|{:?}|{:?}|{:?}|{:?}",
             cfg.phy, cfg.mac, cfg.horizon, cfg.diag_bin, cfg.fading
         );
+        if let Some(plan) = &cfg.fault {
+            repr.push_str(&format!("|fault:{plan:?}"));
+        }
         fnv1a_hex(repr.as_bytes())
     }
 
     /// Runs to the configured horizon and reports.
     #[must_use]
-    pub fn run(mut self) -> RunReport {
+    pub fn run(self) -> RunReport {
+        match self.run_budgeted(&RunBudget::unlimited()) {
+            Ok(report) => report,
+            // lint:allow(panic-macro) — an unlimited budget has no trip condition, so this arm cannot run
+            Err(watchdog) => unreachable!("{watchdog}"),
+        }
+    }
+
+    /// Runs to the configured horizon unless `budget` trips first.
+    ///
+    /// On a trip the partially-executed run is abandoned and an error
+    /// describing the watchdog condition (events processed, virtual
+    /// time reached) is returned — callers must not cache or report a
+    /// tripped run as a result.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` when the event budget is exhausted or the deadline
+    /// probe fires.
+    pub fn run_budgeted(mut self, budget: &RunBudget) -> Result<RunReport, String> {
         let horizon = SimTime::ZERO + self.cfg.horizon;
+        let mut processed: u64 = 0;
         while let Some(t) = self.sched.peek_time() {
             if t > horizon {
                 break;
@@ -350,6 +462,25 @@ impl Simulation {
             let (now, event) = self.sched.pop().expect("peeked event exists"); // lint:allow(panic-expect) — peek_time returned Some and nothing pops between peek and pop on this single thread
             self.dispatch(now, event);
             self.drain_pending(now);
+            processed += 1;
+            if let Some(max) = budget.max_events {
+                if processed >= max {
+                    return Err(format!(
+                        "watchdog: virtual event budget exhausted after {processed} events \
+                         (sim time {now}, horizon {horizon})"
+                    ));
+                }
+            }
+            if processed.is_multiple_of(1024) {
+                if let Some(probe) = &budget.deadline_exceeded {
+                    if probe() {
+                        return Err(format!(
+                            "watchdog: wall-clock deadline exceeded after {processed} events \
+                             (sim time {now}, horizon {horizon})"
+                        ));
+                    }
+                }
+            }
         }
         let events = self.sched.events_processed();
         let counters: Vec<MacCounters> = self.nodes.iter().map(|n| n.mac.counters()).collect();
@@ -382,7 +513,7 @@ impl Simulation {
             self.cfg.horizon.as_micros(),
         )
         .with_metrics(self.registry.snapshot());
-        RunReport {
+        Ok(RunReport {
             elapsed: self.cfg.horizon,
             throughput: self.throughput,
             tally: self.tally,
@@ -427,7 +558,7 @@ impl Simulation {
                 .collect(),
             events,
             summary,
-        }
+        })
     }
 
     fn dispatch(&mut self, now: SimTime, event: Event) {
@@ -484,6 +615,47 @@ impl Simulation {
                     self.pending.push_back((listener, MacInput::ChannelIdle));
                 }
             }
+            Event::NodeCrash {
+                node,
+                preserve_monitor,
+            } => {
+                if self.faults.on_crash(node, preserve_monitor, now) {
+                    // Disarm every pending MAC timer; frames already on
+                    // the air keep propagating (the reception tracker
+                    // stays live), but no protocol input reaches the
+                    // dead MAC until the restart resets it.
+                    for slot in &mut self.nodes[node].timers {
+                        if let Some(id) = slot.take() {
+                            self.sched.cancel(id);
+                        }
+                    }
+                    self.trace.emit(
+                        now,
+                        NodeId::new(node as u32),
+                        ObsEvent::FaultNodeDown {
+                            cold: !preserve_monitor,
+                        },
+                    );
+                }
+            }
+            Event::NodeRestart { node } => {
+                if let Some((downtime, preserve)) = self.faults.on_restart(node, now) {
+                    self.nodes[node].mac.crash_reset(now);
+                    self.nodes[node].mac.policy_mut().fault_reset(preserve);
+                    // The reset assumes an idle channel; if a carrier is
+                    // on the air right now, replay the busy edge.
+                    if self.nodes[node].tracker.is_busy() {
+                        self.pending.push_back((node, MacInput::ChannelBusy));
+                    }
+                    self.trace.emit(
+                        now,
+                        NodeId::new(node as u32),
+                        ObsEvent::FaultNodeUp {
+                            downtime_us: downtime.as_micros(),
+                        },
+                    );
+                }
+            }
         }
     }
 
@@ -493,6 +665,13 @@ impl Simulation {
         // after, so its capacity is reused across the whole run.
         let mut fx = std::mem::take(&mut self.fx_scratch);
         while let Some((node, input)) = self.pending.pop_front() {
+            // A crashed node's MAC is gated off: traffic enqueues,
+            // channel edges, and decoded frames all evaporate until the
+            // restart. Flow generators keep re-arming, so traffic
+            // resumes by itself once the node is back.
+            if self.faults.is_down(node) {
+                continue;
+            }
             fx.clear();
             self.nodes[node].mac.handle_into(now, input, &mut fx);
             for effect in fx.drain(..) {
@@ -524,12 +703,36 @@ impl Simulation {
                             receivable: l.receivable,
                         },
                     );
+                    if l.fault_lost {
+                        self.trace.emit(
+                            now,
+                            l.listener,
+                            ObsEvent::FaultFrameLost {
+                                listener: l.listener.value(),
+                                tx: tx.value(),
+                            },
+                        );
+                    }
+                    // Corruption only matters where the frame will be
+                    // decoded; non-receivable copies are noise either way.
+                    let delivered = if l.receivable {
+                        match self.faults.corrupt(&frame) {
+                            Some((mutated, outcome)) => {
+                                self.trace
+                                    .emit(now, l.listener, outcome.event(l.listener.value()));
+                                FrameRef::new(mutated)
+                            }
+                            None => frame.share(),
+                        }
+                    } else {
+                        frame.share()
+                    };
                     self.sched.schedule_at(
                         now + l.delay + air,
                         Event::RxEnd {
                             listener: l.listener.index(),
                             tx,
-                            frame: frame.share(),
+                            frame: delivered,
                         },
                     );
                 }
@@ -675,5 +878,112 @@ mod tests {
     fn policy_count_must_match() {
         let topo = single_sender_topology();
         let _ = Simulation::new(quick_cfg(1, 1), topo, dot11_policies(1), vec![]);
+    }
+
+    #[test]
+    fn event_budget_trips_the_watchdog() {
+        let topo = Topology::star(2, 2_000_000, 512, false);
+        let sim = Simulation::new(quick_cfg(4, 5), topo, dot11_policies(3), vec![]);
+        let budget = RunBudget {
+            max_events: Some(50),
+            deadline_exceeded: None,
+        };
+        let err = sim.run_budgeted(&budget).unwrap_err();
+        assert!(err.contains("watchdog"), "unexpected trip message: {err}");
+        assert!(
+            err.contains("50 events"),
+            "trip must report progress: {err}"
+        );
+    }
+
+    #[test]
+    fn deadline_probe_trips_the_watchdog() {
+        let topo = Topology::star(2, 2_000_000, 512, false);
+        let sim = Simulation::new(quick_cfg(4, 5), topo, dot11_policies(3), vec![]);
+        let budget = RunBudget {
+            max_events: None,
+            deadline_exceeded: Some(Box::new(|| true)),
+        };
+        let err = sim.run_budgeted(&budget).unwrap_err();
+        assert!(err.contains("deadline"), "unexpected trip message: {err}");
+    }
+
+    #[test]
+    fn unlimited_budget_matches_plain_run() {
+        let topo = Topology::star(2, 2_000_000, 512, false);
+        let a = Simulation::new(quick_cfg(5, 2), topo.clone(), dot11_policies(3), vec![])
+            .run_budgeted(&RunBudget::unlimited())
+            .unwrap();
+        let b = Simulation::new(quick_cfg(5, 2), topo, dot11_policies(3), vec![]).run();
+        assert_eq!(a.summary.to_json(), b.summary.to_json());
+    }
+
+    fn churn_cfg(seed: u64) -> SimulationConfig {
+        SimulationConfig {
+            fault: Some(airguard_fault::FaultPlan {
+                churn: vec![airguard_fault::CrashEvent {
+                    node: 1,
+                    at: SimDuration::from_secs(1),
+                    down_for: SimDuration::from_secs(2),
+                    preserve_monitor: false,
+                }],
+                ..airguard_fault::FaultPlan::default()
+            }),
+            ..quick_cfg(seed, 5)
+        }
+    }
+
+    #[test]
+    fn crashed_sender_goes_dark_then_resumes() {
+        let topo = single_sender_topology();
+        let faulted = Simulation::new(churn_cfg(9), topo.clone(), dot11_policies(2), vec![]).run();
+        let clean = Simulation::new(quick_cfg(9, 5), topo, dot11_policies(2), vec![]).run();
+        let faulted_bytes = faulted.throughput.total_bytes();
+        let clean_bytes = clean.throughput.total_bytes();
+        assert!(
+            faulted_bytes > 0,
+            "traffic must resume after the restart (got {faulted_bytes} bytes)"
+        );
+        // 2 of 5 seconds down: deliveries land well below the clean run
+        // but clearly above a run that never came back.
+        assert!(
+            faulted_bytes < clean_bytes * 4 / 5,
+            "outage should cost throughput: {faulted_bytes} vs {clean_bytes}"
+        );
+        assert!(
+            faulted_bytes > clean_bytes * 2 / 5,
+            "restart should restore throughput: {faulted_bytes} vs {clean_bytes}"
+        );
+    }
+
+    #[test]
+    fn churn_emits_down_and_up_events() {
+        let topo = single_sender_topology();
+        let mut sim = Simulation::new(churn_cfg(9), topo, dot11_policies(2), vec![]);
+        let trace = Trace::enabled();
+        sim.set_trace(trace.clone());
+        let _ = sim.run();
+        let faults = trace.events_in("fault");
+        assert!(
+            faults.iter().any(|e| e.detail.contains("crashed")),
+            "missing node-down event in {faults:?}"
+        );
+        assert!(
+            faults.iter().any(|e| e.detail.contains("restarted")),
+            "missing node-up event in {faults:?}"
+        );
+    }
+
+    #[test]
+    fn faulted_runs_are_reproducible_and_differ_from_clean() {
+        let topo = single_sender_topology();
+        let a = Simulation::new(churn_cfg(9), topo.clone(), dot11_policies(2), vec![]).run();
+        let b = Simulation::new(churn_cfg(9), topo.clone(), dot11_policies(2), vec![]).run();
+        assert_eq!(a.summary.to_json(), b.summary.to_json());
+        let clean = Simulation::new(quick_cfg(9, 5), topo, dot11_policies(2), vec![]).run();
+        assert_ne!(
+            a.summary.config_digest, clean.summary.config_digest,
+            "a fault plan must change the config digest"
+        );
     }
 }

@@ -1,6 +1,7 @@
 //! Canned scenarios reproducing the paper's evaluation settings.
 
 use airguard_core::CorrectConfig;
+use airguard_fault::FaultPlan;
 use airguard_mac::{AccessMode, MacConfig, Selfish};
 use airguard_obs::EventSink;
 use airguard_phy::{Fading, PhyConfig};
@@ -9,7 +10,7 @@ use airguard_sim::{MasterSeed, NodeId, SimDuration};
 use rand::RngExt;
 
 use crate::node_policy::NodePolicy;
-use crate::runner::{RunReport, Simulation, SimulationConfig};
+use crate::runner::{RunBudget, RunReport, Simulation, SimulationConfig};
 use crate::topology::Topology;
 
 /// Which of the paper's evaluation settings to build.
@@ -58,6 +59,7 @@ pub struct ScenarioConfig {
     random_area: (f64, f64),
     random_misbehaving: usize,
     fading: Fading,
+    fault: Option<FaultPlan>,
 }
 
 impl ScenarioConfig {
@@ -81,6 +83,7 @@ impl ScenarioConfig {
             random_area: (1500.0, 700.0),
             random_misbehaving: 5,
             fading: Fading::PerTransmission,
+            fault: None,
         }
     }
 
@@ -185,6 +188,30 @@ impl ScenarioConfig {
         self
     }
 
+    /// Attaches a deterministic fault-injection plan, validating it
+    /// against the topology this configuration builds — call it *after*
+    /// the topology-shaping knobs (`n_senders`, `random_nodes`, …).
+    ///
+    /// The plan is normalised first: components that can never fire
+    /// (zero-probability loss, zero drift, …) are dropped, and a plan
+    /// with nothing left becomes no plan at all, so a zero-intensity
+    /// chaos run is byte-identical to the unfaulted baseline —
+    /// identity, digest, trace, and summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first impossible setting: a
+    /// probability outside `[0, 1]`, a crash or drift target outside
+    /// the topology, a corruption probability with zero magnitude, or a
+    /// drift at or below −1000 ‰.
+    pub fn fault(mut self, plan: FaultPlan) -> Result<Self, String> {
+        let node_count = self.build_topology().node_count();
+        plan.validate(node_count)
+            .map_err(|e| format!("invalid fault plan: {e}"))?;
+        self.fault = plan.normalized();
+        Ok(self)
+    }
+
     /// Builds the topology this configuration will run.
     #[must_use]
     pub fn build_topology(&self) -> Topology {
@@ -240,6 +267,17 @@ impl ScenarioConfig {
         self.build_simulation().run()
     }
 
+    /// Runs the scenario once under `budget`: a tripped watchdog
+    /// returns `Err` with the trip description instead of hanging.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` when the event budget is exhausted or the deadline
+    /// probe fires (see [`RunBudget`]).
+    pub fn run_budgeted(&self, budget: &RunBudget) -> Result<RunReport, String> {
+        self.build_simulation().run_budgeted(budget)
+    }
+
     /// Runs the scenario once with tracing enabled, returning the
     /// report together with the full event trace. Two runs of the same
     /// configuration must produce identical traces — the determinism
@@ -291,6 +329,7 @@ impl ScenarioConfig {
             diag_bin: SimDuration::from_secs(1),
             fading: self.fading,
             seed: MasterSeed::new(self.seed),
+            fault: self.fault.clone(),
         };
         Simulation::new(cfg, topology, policies, misbehaving)
     }
@@ -370,6 +409,114 @@ mod tests {
         assert_ne!(d1, other, "config changes must change the digest");
         let other_pm = base.misbehavior_percent(60.0).config_digest();
         assert_ne!(d1, other_pm);
+    }
+
+    #[test]
+    fn zero_intensity_fault_plan_is_byte_identical_to_baseline() {
+        let base = ScenarioConfig::new(StandardScenario::ZeroFlow).misbehavior_percent(50.0);
+        let noop = FaultPlan {
+            burst_loss: Some(crate::BurstLoss {
+                p_enter: 0.0,
+                p_exit: 0.4,
+                loss_good: 0.0,
+                loss_bad: 0.9,
+            }),
+            clock_drift: Some(crate::ClockDrift {
+                per_mille: 0,
+                nodes: vec![],
+            }),
+            ..FaultPlan::default()
+        };
+        let faulted = base.clone().fault(noop).expect("noop plan validates");
+        assert_eq!(
+            base.identity(),
+            faulted.identity(),
+            "zero-intensity plan must normalise away entirely"
+        );
+        assert_eq!(base.config_digest(), faulted.config_digest());
+    }
+
+    #[test]
+    fn live_fault_plan_changes_the_identity() {
+        let base = ScenarioConfig::new(StandardScenario::ZeroFlow);
+        let faulted = base
+            .clone()
+            .fault(FaultPlan {
+                burst_loss: Some(crate::BurstLoss {
+                    p_enter: 0.01,
+                    p_exit: 0.2,
+                    loss_good: 0.0,
+                    loss_bad: 0.8,
+                }),
+                ..FaultPlan::default()
+            })
+            .expect("live plan validates");
+        assert_ne!(base.config_digest(), faulted.config_digest());
+    }
+
+    #[test]
+    fn impossible_fault_plans_are_rejected_at_build_time() {
+        let base = ScenarioConfig::new(StandardScenario::ZeroFlow);
+        let err = base
+            .clone()
+            .fault(FaultPlan {
+                burst_loss: Some(crate::BurstLoss {
+                    p_enter: 1.5,
+                    p_exit: 0.2,
+                    loss_good: 0.0,
+                    loss_bad: 0.8,
+                }),
+                ..FaultPlan::default()
+            })
+            .expect_err("probability above one must be rejected");
+        assert!(err.contains("invalid fault plan"), "{err}");
+        // The 9-node star has nodes 0..=8; crashing node 99 is impossible.
+        let err = base
+            .fault(FaultPlan {
+                churn: vec![crate::CrashEvent {
+                    node: 99,
+                    at: SimDuration::from_secs(1),
+                    down_for: SimDuration::from_secs(1),
+                    preserve_monitor: true,
+                }],
+                ..FaultPlan::default()
+            })
+            .expect_err("crash of a non-topology node must be rejected");
+        assert!(err.contains("99"), "{err}");
+    }
+
+    #[test]
+    fn faulted_scenario_runs_deterministically() {
+        let cfg = || {
+            ScenarioConfig::new(StandardScenario::ZeroFlow)
+                .n_senders(2)
+                .sim_time_secs(2)
+                .seed(5)
+                .fault(FaultPlan {
+                    burst_loss: Some(crate::BurstLoss {
+                        p_enter: 0.05,
+                        p_exit: 0.3,
+                        loss_good: 0.0,
+                        loss_bad: 0.9,
+                    }),
+                    corruption: Some(crate::Corruption {
+                        backoff_prob: 0.05,
+                        backoff_max_delta: 8,
+                        attempt_prob: 0.05,
+                        attempt_max_delta: 2,
+                    }),
+                    clock_drift: Some(crate::ClockDrift {
+                        per_mille: 50,
+                        nodes: vec![0],
+                    }),
+                    ..FaultPlan::default()
+                })
+                .expect("plan validates")
+        };
+        let a = cfg().run();
+        let b = cfg().run();
+        assert_eq!(a.summary.to_json(), b.summary.to_json());
+        assert!(a.throughput.total_bytes() > 0, "faulted run still delivers");
     }
 
     #[test]

@@ -49,11 +49,13 @@ pub enum Category {
     Sim = 10,
     /// Free-form string notes from the legacy `Trace::record` API.
     Note = 11,
+    /// Injected faults (burst loss, churn, corruption, clock drift).
+    Fault = 12,
 }
 
 impl Category {
     /// All categories, in bit order.
-    pub const ALL: [Category; 12] = [
+    pub const ALL: [Category; 13] = [
         Category::MacTx,
         Category::MacRx,
         Category::MacBackoff,
@@ -66,6 +68,7 @@ impl Category {
         Category::PhyDecode,
         Category::Sim,
         Category::Note,
+        Category::Fault,
     ];
 
     /// This category's bit in the sink enable mask.
@@ -90,6 +93,7 @@ impl Category {
             Category::PhyDecode => "phy.decode",
             Category::Sim => "sim",
             Category::Note => "note",
+            Category::Fault => "fault",
         }
     }
 }
@@ -157,6 +161,28 @@ pub enum ObsEvent {
     Decode { tx: u64, clean: bool },
     /// Free-form note from the legacy `Trace::record` API.
     Note { category: String, detail: String },
+    /// Fault injector: the burst-loss channel dropped a frame that was
+    /// otherwise receivable at `listener`.
+    FaultFrameLost { listener: u32, tx: u64 },
+    /// Fault injector: a delivered frame's assigned-backoff field was
+    /// corrupted in flight.
+    FaultCorruptedBackoff {
+        listener: u32,
+        original_slots: u32,
+        corrupted_slots: u32,
+    },
+    /// Fault injector: a delivered frame's attempt field was corrupted
+    /// in flight.
+    FaultCorruptedAttempt {
+        listener: u32,
+        original: u8,
+        corrupted: u8,
+    },
+    /// Fault injector: the node crashed (MAC state wiped; `cold` when
+    /// its diagnosis tables were lost too).
+    FaultNodeDown { cold: bool },
+    /// Fault injector: the node restarted after a crash.
+    FaultNodeUp { downtime_us: u64 },
 }
 
 impl ObsEvent {
@@ -183,6 +209,11 @@ impl ObsEvent {
             ObsEvent::Collision { .. } => Category::PhyCollision,
             ObsEvent::Decode { .. } => Category::PhyDecode,
             ObsEvent::Note { .. } => Category::Note,
+            ObsEvent::FaultFrameLost { .. }
+            | ObsEvent::FaultCorruptedBackoff { .. }
+            | ObsEvent::FaultCorruptedAttempt { .. }
+            | ObsEvent::FaultNodeDown { .. }
+            | ObsEvent::FaultNodeUp { .. } => Category::Fault,
         }
     }
 
@@ -210,6 +241,11 @@ impl ObsEvent {
             ObsEvent::Collision { .. } => "collision",
             ObsEvent::Decode { .. } => "decode",
             ObsEvent::Note { .. } => "note",
+            ObsEvent::FaultFrameLost { .. } => "fault_frame_lost",
+            ObsEvent::FaultCorruptedBackoff { .. } => "fault_corrupted_backoff",
+            ObsEvent::FaultCorruptedAttempt { .. } => "fault_corrupted_attempt",
+            ObsEvent::FaultNodeDown { .. } => "fault_node_down",
+            ObsEvent::FaultNodeUp { .. } => "fault_node_up",
         }
     }
 }
@@ -291,6 +327,32 @@ impl fmt::Display for ObsEvent {
                 write!(f, "tx#{tx} {outcome}")
             }
             ObsEvent::Note { detail, .. } => f.write_str(detail),
+            ObsEvent::FaultFrameLost { listener, tx } => {
+                write!(f, "fault: tx#{tx} lost in burst noise at n{listener}")
+            }
+            ObsEvent::FaultCorruptedBackoff {
+                listener,
+                original_slots,
+                corrupted_slots,
+            } => write!(
+                f,
+                "fault: assigned backoff to n{listener} corrupted {original_slots} -> {corrupted_slots} slots"
+            ),
+            ObsEvent::FaultCorruptedAttempt {
+                listener,
+                original,
+                corrupted,
+            } => write!(
+                f,
+                "fault: attempt field to n{listener} corrupted {original} -> {corrupted}"
+            ),
+            ObsEvent::FaultNodeDown { cold } => {
+                let kind = if *cold { "cold" } else { "warm" };
+                write!(f, "fault: node crashed ({kind} diagnosis state)")
+            }
+            ObsEvent::FaultNodeUp { downtime_us } => {
+                write!(f, "fault: node restarted after {downtime_us}us down")
+            }
         }
     }
 }
@@ -377,6 +439,8 @@ mod tests {
                 category: "x".into(),
                 detail: "y".into(),
             },
+            ObsEvent::FaultFrameLost { listener: 2, tx: 9 },
+            ObsEvent::FaultNodeDown { cold: true },
         ];
         for e in &events {
             assert!(!e.kind().is_empty());
@@ -392,5 +456,10 @@ mod tests {
             .category(),
             Category::Monitor
         );
+        assert_eq!(
+            ObsEvent::FaultNodeUp { downtime_us: 500 }.category(),
+            Category::Fault
+        );
+        assert_eq!(Category::Fault.name(), "fault");
     }
 }

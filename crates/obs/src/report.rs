@@ -245,6 +245,33 @@ pub fn record_to_json(record: &Record) -> String {
         ObsEvent::Note { category, detail } => {
             obj.str("note_cat", category).str("detail", detail);
         }
+        ObsEvent::FaultFrameLost { listener, tx } => {
+            obj.u64("listener", u64::from(*listener)).u64("tx", *tx);
+        }
+        ObsEvent::FaultCorruptedBackoff {
+            listener,
+            original_slots,
+            corrupted_slots,
+        } => {
+            obj.u64("listener", u64::from(*listener))
+                .u64("original_slots", u64::from(*original_slots))
+                .u64("corrupted_slots", u64::from(*corrupted_slots));
+        }
+        ObsEvent::FaultCorruptedAttempt {
+            listener,
+            original,
+            corrupted,
+        } => {
+            obj.u64("listener", u64::from(*listener))
+                .u64("original", u64::from(*original))
+                .u64("corrupted", u64::from(*corrupted));
+        }
+        ObsEvent::FaultNodeDown { cold } => {
+            obj.bool("cold", *cold);
+        }
+        ObsEvent::FaultNodeUp { downtime_us } => {
+            obj.u64("downtime_us", *downtime_us);
+        }
     }
     obj.finish()
 }

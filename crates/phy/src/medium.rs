@@ -15,7 +15,8 @@
 //! arrival/departure events and feeds them to each listener's
 //! [`crate::reception::RxTracker`].
 
-use airguard_sim::{NodeId, RngStream, SimDuration};
+use airguard_fault::{BurstLoss, GilbertElliott};
+use airguard_sim::{MasterSeed, NodeId, RngStream, SimDuration};
 
 use crate::config::PhyConfig;
 use crate::pathloss::PathLoss;
@@ -65,6 +66,9 @@ pub struct ListenerOutcome {
     pub sensed: bool,
     /// Above the receive threshold: decodable absent collisions.
     pub receivable: bool,
+    /// An injected burst-loss fault dropped this frame at the listener
+    /// (the carrier is still sensed; `receivable` is already false).
+    pub fault_lost: bool,
 }
 
 /// The sampled fate of one transmission across all listeners.
@@ -110,6 +114,9 @@ pub struct Medium {
     fading: Fading,
     /// Dense n×n link table, indexed `transmitter.index() * n + listener`.
     links: Vec<LinkState>,
+    /// Injected Gilbert–Elliott burst-loss channels, one per listener
+    /// (empty when no burst-loss fault is configured).
+    burst: Vec<GilbertElliott>,
 }
 
 impl Medium {
@@ -138,6 +145,7 @@ impl Medium {
             next_tx: 0,
             fading: Fading::PerTransmission,
             links,
+            burst: Vec::new(),
         }
     }
 
@@ -145,6 +153,18 @@ impl Medium {
     /// [`Fading::PerTransmission`], the paper's choice).
     pub fn set_fading(&mut self, fading: Fading) {
         self.fading = fading;
+    }
+
+    /// Enables injected Gilbert–Elliott burst loss.
+    ///
+    /// Each listener gets an independent channel seeded from the
+    /// dedicated `"fault.loss"` stream family, so enabling the injector
+    /// never perturbs the shadowing RNG: the clean part of a faulted
+    /// trace stays byte-identical to its unfaulted twin.
+    pub fn set_burst_loss(&mut self, cfg: BurstLoss, seed: MasterSeed) {
+        self.burst = (0..self.positions.len() as u64)
+            .map(|listener| GilbertElliott::new(cfg, seed.stream("fault.loss", listener)))
+            .collect();
     }
 
     /// Number of nodes sharing this medium.
@@ -222,12 +242,26 @@ impl Medium {
             if !sensed {
                 continue;
             }
+            // The burst-loss injector only samples deliveries that the
+            // channel model would otherwise decode, so its stream
+            // position depends only on the receivable-delivery count.
+            let mut receivable = power >= self.cfg.rx_threshold;
+            let mut fault_lost = false;
+            if receivable {
+                if let Some(channel) = self.burst.get_mut(idx) {
+                    if channel.drops() {
+                        receivable = false;
+                        fault_lost = true;
+                    }
+                }
+            }
             out.push(ListenerOutcome {
                 listener: NodeId::new(idx as u32),
                 delay: link.delay,
                 power,
                 sensed,
-                receivable: power >= self.cfg.rx_threshold,
+                receivable,
+                fault_lost,
             });
         }
         id
@@ -427,6 +461,53 @@ mod tests {
             assert_eq!(
                 out.listeners.iter().any(|l| l.listener == NodeId::new(2)),
                 l2
+            );
+        }
+    }
+
+    #[test]
+    fn burst_loss_drops_receivable_frames_and_marks_them() {
+        let mut m = medium_with(
+            PhyConfig::deterministic(),
+            vec![Position::new(0.0, 0.0), Position::new(100.0, 0.0)],
+            11,
+        );
+        m.set_burst_loss(
+            airguard_fault::BurstLoss {
+                p_enter: 0.0,
+                p_exit: 1.0,
+                loss_good: 1.0,
+                loss_bad: 1.0,
+            },
+            MasterSeed::new(11),
+        );
+        let out = m.start_tx(NodeId::new(0));
+        let l = &out.listeners[0];
+        assert!(l.sensed, "carrier still sensed under burst loss");
+        assert!(!l.receivable && l.fault_lost);
+    }
+
+    #[test]
+    fn zero_configured_burst_loss_changes_nothing_downstream() {
+        // Enabling the injector must not touch the shadowing RNG: the
+        // same seed with and without a (lossless) burst channel yields
+        // identical outcomes apart from the marker field default.
+        let positions = || vec![Position::new(0.0, 0.0), Position::new(550.0, 0.0)];
+        let mut clean = medium_with(PhyConfig::paper_default(), positions(), 12);
+        let mut faulted = medium_with(PhyConfig::paper_default(), positions(), 12);
+        faulted.set_burst_loss(
+            airguard_fault::BurstLoss {
+                p_enter: 1.0,
+                p_exit: 0.0,
+                loss_good: 0.0,
+                loss_bad: 0.0,
+            },
+            MasterSeed::new(12),
+        );
+        for _ in 0..500 {
+            assert_eq!(
+                clean.start_tx(NodeId::new(0)),
+                faulted.start_tx(NodeId::new(0))
             );
         }
     }

@@ -6,4 +6,5 @@ run ablation_access 15
 run ablation_channel 15
 run delay_report 15
 run ablation_fading 15
+run chaos 30
 echo ALL_EXTRAS_DONE
