@@ -1,0 +1,16 @@
+//! Fixture: every config field is consumed by the identity function.
+
+pub struct ScenarioConfig {
+    pub nodes: u32,
+    pub offered_load: u64,
+    pub selfish_fraction: u64,
+}
+
+impl ScenarioConfig {
+    pub fn identity(&self) -> String {
+        format!(
+            "nodes={};load={};selfish={}",
+            self.nodes, self.offered_load, self.selfish_fraction
+        )
+    }
+}

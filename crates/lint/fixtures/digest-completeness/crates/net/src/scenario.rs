@@ -1,0 +1,14 @@
+//! Fixture: a config struct whose newest field never reaches the
+//! digest.
+
+pub struct ScenarioConfig {
+    pub nodes: u32,
+    pub offered_load: u64,
+    pub selfish_fraction: u64,
+}
+
+impl ScenarioConfig {
+    pub fn identity(&self) -> String {
+        format!("nodes={};load={}", self.nodes, self.offered_load)
+    }
+}

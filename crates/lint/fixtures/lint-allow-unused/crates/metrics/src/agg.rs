@@ -1,0 +1,6 @@
+//! Fixture: a stale allow directive suppressing nothing.
+
+pub fn total(values: &[u64]) -> u64 {
+    // lint:allow(panic-unwrap) — left behind after the unwrap was refactored away
+    values.iter().sum()
+}

@@ -1,0 +1,15 @@
+//! Fixture: every variant is mapped and emitted.
+
+pub enum ObsEvent {
+    TxStart { node: u32 },
+    Collision { victim: u32 },
+}
+
+impl ObsEvent {
+    pub fn category(&self) -> u32 {
+        match self {
+            ObsEvent::TxStart { .. } => 1,
+            ObsEvent::Collision { .. } => 2,
+        }
+    }
+}

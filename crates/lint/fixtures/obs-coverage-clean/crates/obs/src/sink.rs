@@ -1,0 +1,11 @@
+//! Fixture: real emission sites for every variant.
+
+use crate::event::ObsEvent;
+
+pub fn emit_tx(node: u32) -> ObsEvent {
+    ObsEvent::TxStart { node }
+}
+
+pub fn emit_collision(victim: u32) -> ObsEvent {
+    ObsEvent::Collision { victim }
+}

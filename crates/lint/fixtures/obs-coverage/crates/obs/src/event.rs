@@ -1,0 +1,18 @@
+//! Fixture: one variant missing from the category map, another never
+//! emitted outside tests.
+
+pub enum ObsEvent {
+    TxStart { node: u32 },
+    Collision { victim: u32 },
+    Orphan { detail: u64 },
+}
+
+impl ObsEvent {
+    pub fn category(&self) -> u32 {
+        match self {
+            ObsEvent::TxStart { .. } => 1,
+            ObsEvent::Collision { .. } => 2,
+            _ => 0,
+        }
+    }
+}

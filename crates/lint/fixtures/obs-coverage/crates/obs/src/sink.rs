@@ -1,0 +1,21 @@
+//! Fixture: real emission sites for the mapped variants only.
+
+use crate::event::ObsEvent;
+
+pub fn emit_tx(node: u32) -> ObsEvent {
+    ObsEvent::TxStart { node }
+}
+
+pub fn emit_collision(victim: u32) -> ObsEvent {
+    ObsEvent::Collision { victim }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ObsEvent;
+
+    #[test]
+    fn orphan_is_only_built_in_tests() {
+        let _ = ObsEvent::Orphan { detail: 7 };
+    }
+}

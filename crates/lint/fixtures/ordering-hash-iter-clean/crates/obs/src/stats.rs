@@ -1,0 +1,7 @@
+//! Fixture: an order-stable container draws no findings.
+
+use std::collections::BTreeMap;
+
+pub struct Stats {
+    pub per_node: BTreeMap<u32, u64>,
+}

@@ -1,0 +1,7 @@
+//! Fixture: the hash-typed field lives outside the ordering scope.
+
+use std::collections::HashMap;
+
+pub struct Stats {
+    pub per_node: HashMap<u32, u64>,
+}

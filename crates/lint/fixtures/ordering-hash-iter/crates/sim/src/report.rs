@@ -1,0 +1,11 @@
+//! Fixture: hash-order iteration inside an ordering-scoped crate.
+
+use crate::stats::Stats;
+
+pub fn summarize(stats: &Stats) -> u64 {
+    let mut total = 0;
+    for count in stats.per_node.values() {
+        total += count;
+    }
+    total
+}

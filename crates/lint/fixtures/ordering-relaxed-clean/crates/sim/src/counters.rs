@@ -1,0 +1,7 @@
+//! Fixture: a designated counter module may use relaxed atomics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,7 @@
+//! Fixture: sequentially-consistent atomics are always fine.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn next(cursor: &AtomicUsize) -> usize {
+    cursor.fetch_add(1, Ordering::SeqCst)
+}

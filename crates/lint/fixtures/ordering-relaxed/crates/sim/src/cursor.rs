@@ -1,0 +1,7 @@
+//! Fixture: a relaxed atomic outside the designated counter modules.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn next(cursor: &AtomicUsize) -> usize {
+    cursor.fetch_add(1, Ordering::Relaxed)
+}

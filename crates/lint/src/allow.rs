@@ -12,25 +12,90 @@
 //! directive is itself reported as `lint-allow-reason`. A trailing
 //! directive covers its own line; a comment-only directive line covers
 //! the following line as well.
+//!
+//! Directives track whether they actually suppressed a finding: the
+//! engine reports the stale ones as `lint-allow-unused`, so escape
+//! hatches are removed when the code they excused is gone.
 
 use crate::diagnostics::{Diagnostic, Rule};
 use crate::lexer::Lexed;
+use crate::rules::cfg_test_spans;
 use std::collections::BTreeSet;
 
+/// One well-formed `lint:allow` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directive {
+    /// Line of the directive comment itself.
+    pub line: u32,
+    pub col: u32,
+    pub rule: Rule,
+    /// Source lines the directive suppresses findings on.
+    pub covered: Vec<u32>,
+    /// Directives inside `#[cfg(test)]` items are never reported as
+    /// unused — no rule runs there, so they cannot be consumed.
+    pub exempt: bool,
+    /// Whether the directive suppressed at least one finding this run.
+    pub used: bool,
+}
+
 /// Parsed allow directives for one file.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Allows {
-    /// `(line, rule)` pairs that are suppressed.
-    granted: BTreeSet<(u32, Rule)>,
+    pub directives: Vec<Directive>,
     /// Malformed directives to report.
     pub diagnostics: Vec<Diagnostic>,
 }
 
 impl Allows {
-    /// Whether `rule` is suppressed at `line`.
+    /// Whether `rule` is suppressed at `line`, without consuming.
     #[must_use]
     pub fn covers(&self, line: u32, rule: Rule) -> bool {
-        self.granted.contains(&(line, rule))
+        self.directives
+            .iter()
+            .any(|d| d.rule == rule && d.covered.contains(&line))
+    }
+
+    /// Marks every directive covering `(line, rule)` as used; returns
+    /// whether any did (i.e. whether the finding is suppressed).
+    pub fn consume(&mut self, line: u32, rule: Rule) -> bool {
+        let mut hit = false;
+        for d in &mut self.directives {
+            if d.rule == rule && d.covered.contains(&line) {
+                d.used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Drops suppressed diagnostics, marking the consuming directives
+    /// used. Meta rules about the directives themselves pass through.
+    #[must_use]
+    pub fn apply(&mut self, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+        diags
+            .into_iter()
+            .filter(|d| !d.rule.suppressible() || !self.consume(d.line, d.rule))
+            .collect()
+    }
+
+    /// Diagnostics for directives that suppressed nothing. Call after
+    /// every rule pass has had its chance to consume them.
+    #[must_use]
+    pub fn unused(&self, path: &str) -> Vec<Diagnostic> {
+        self.directives
+            .iter()
+            .filter(|d| !d.used && !d.exempt)
+            .map(|d| Diagnostic {
+                path: path.to_owned(),
+                line: d.line,
+                col: d.col,
+                rule: Rule::AllowUnused,
+                message: format!(
+                    "lint:allow({}) suppresses nothing; remove the stale directive",
+                    d.rule
+                ),
+            })
+            .collect()
     }
 }
 
@@ -42,6 +107,10 @@ const MIN_REASON_LEN: usize = 8;
 pub fn scan(path: &str, lexed: &Lexed) -> Allows {
     let mut allows = Allows::default();
     let token_lines: BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    let test_lines: Vec<(u32, u32)> = cfg_test_spans(&lexed.tokens)
+        .into_iter()
+        .map(|(a, b)| (lexed.tokens[a].line, lexed.tokens[b].line))
+        .collect();
 
     for comment in &lexed.comments {
         let Some((rule_text, rest)) = parse_directive(&comment.text) else {
@@ -69,7 +138,7 @@ pub fn scan(path: &str, lexed: &Lexed) -> Allows {
             });
             continue;
         }
-        allows.granted.insert((comment.line, rule));
+        let mut covered = vec![comment.line];
         // A directive on a comment-only line also covers the next line
         // bearing code.
         if !token_lines.contains(&comment.line) {
@@ -79,9 +148,20 @@ pub fn scan(path: &str, lexed: &Lexed) -> Allows {
                 .map(|t| t.line)
                 .find(|&l| l > comment.line);
             if let Some(next) = next {
-                allows.granted.insert((next, rule));
+                covered.push(next);
             }
         }
+        let exempt = test_lines
+            .iter()
+            .any(|&(a, b)| comment.line >= a && comment.line <= b);
+        allows.directives.push(Directive {
+            line: comment.line,
+            col: comment.col,
+            rule,
+            covered,
+            exempt,
+            used: false,
+        });
     }
     allows
 }
@@ -107,8 +187,18 @@ fn has_reason(rest: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::scan;
-    use crate::diagnostics::Rule;
+    use crate::diagnostics::{Diagnostic, Rule};
     use crate::lexer::lex;
+
+    fn diag(line: u32, rule: Rule) -> Diagnostic {
+        Diagnostic {
+            path: "f.rs".into(),
+            line,
+            col: 1,
+            rule,
+            message: "x".into(),
+        }
+    }
 
     #[test]
     fn trailing_directive_covers_its_line() {
@@ -133,6 +223,7 @@ mod tests {
     fn reasonless_directive_is_reported_and_grants_nothing() {
         let allows = scan("f.rs", &lex("x(); // lint:allow(panic-unwrap)\n"));
         assert!(!allows.covers(1, Rule::PanicUnwrap));
+        assert!(allows.directives.is_empty());
         assert_eq!(allows.diagnostics.len(), 1);
         assert_eq!(allows.diagnostics[0].rule, Rule::AllowReason);
     }
@@ -152,5 +243,38 @@ mod tests {
         );
         assert_eq!(allows.diagnostics.len(), 1);
         assert!(allows.diagnostics[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn apply_consumes_and_unused_reports_the_rest() {
+        let src = "a(); // lint:allow(panic-unwrap) — consumed by the finding below\n\
+                   b(); // lint:allow(panic-expect) — nothing here ever fires\n";
+        let mut allows = scan("f.rs", &lex(src));
+        let kept = allows.apply(vec![diag(1, Rule::PanicUnwrap)]);
+        assert!(kept.is_empty());
+        let unused = allows.unused("f.rs");
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].rule, Rule::AllowUnused);
+        assert_eq!(unused[0].line, 2);
+        assert!(unused[0].message.contains("panic-expect"));
+    }
+
+    #[test]
+    fn meta_rules_pass_through_apply() {
+        let src = "x(); // lint:allow(lint-allow-unused) — trying to silence the silencer\n";
+        let mut allows = scan("f.rs", &lex(src));
+        let kept = allows.apply(vec![diag(1, Rule::AllowUnused)]);
+        assert_eq!(kept.len(), 1, "meta rules cannot be allowed away");
+        // And the directive that tried is itself unused.
+        assert_eq!(allows.unused("f.rs").len(), 1);
+    }
+
+    #[test]
+    fn directives_inside_cfg_test_are_exempt_from_unused() {
+        let src = "#[cfg(test)]\nmod tests {\n    // lint:allow(panic-unwrap) — tests may unwrap anyway\n    fn f() { x.unwrap(); }\n}\n";
+        let allows = scan("f.rs", &lex(src));
+        assert_eq!(allows.directives.len(), 1);
+        assert!(allows.directives[0].exempt);
+        assert!(allows.unused("f.rs").is_empty());
     }
 }

@@ -2,8 +2,9 @@
 //!
 //! Parsed with a deliberately tiny TOML-subset reader (the offline build
 //! has no `toml` crate): comments, `[section]` headers, and
-//! `key = "string"` / `key = ["a", "b"]` pairs on single lines. That is
-//! the entire grammar `lint.toml` needs.
+//! `key = "string"` / `key = ["a", "b"]` pairs; a list may span multiple
+//! lines as long as it opens with `[` and closes with `]`. That is the
+//! entire grammar `lint.toml` needs.
 //!
 //! ```toml
 //! exclude = ["vendor", "target"]
@@ -11,9 +12,57 @@
 //! [determinism]
 //! crates = ["sim", "phy", "mac", "core", "net"]
 //!
-//! [unit-safety]
-//! exempt = ["crates/sim/src/time.rs"]
+//! [digest-completeness]
+//! structs = ["crates/net/src/scenario.rs#ScenarioConfig=identity"]
 //! ```
+//!
+//! Parsing is strict: an unknown section, key, or rule name is a hard
+//! error with a did-you-mean hint — a typo'd scope must fail loudly, not
+//! silently disable a rule. [`LintConfig::validate`] additionally checks
+//! every named crate and path against the actual workspace.
+
+use crate::diagnostics::Rule;
+use std::path::Path;
+
+/// One cross-file completeness target: an item in a file, plus the
+/// functions whose bodies must jointly consume its fields/variants.
+/// Written in `lint.toml` as `"path#Item=fn1+fn2"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemSpec {
+    /// Workspace-relative path of the defining file.
+    pub path: String,
+    /// Struct or enum name.
+    pub item: String,
+    /// Function names (methods of the item) that count as consumption.
+    pub fns: Vec<String>,
+}
+
+impl ItemSpec {
+    fn parse(raw: &str) -> Result<ItemSpec, String> {
+        let (path, rest) = raw
+            .split_once('#')
+            .ok_or_else(|| format!("spec `{raw}` is missing `#`; expected `path#Item=fn1+fn2`"))?;
+        let (item, fns) = rest
+            .split_once('=')
+            .ok_or_else(|| format!("spec `{raw}` is missing `=`; expected `path#Item=fn1+fn2`"))?;
+        let fns: Vec<String> = fns
+            .split('+')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_owned)
+            .collect();
+        if path.is_empty() || item.is_empty() || fns.is_empty() {
+            return Err(format!(
+                "spec `{raw}` needs a path, an item name, and at least one function"
+            ));
+        }
+        Ok(ItemSpec {
+            path: path.trim().to_owned(),
+            item: item.trim().to_owned(),
+            fns,
+        })
+    }
+}
 
 /// Effective configuration for a lint run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +83,25 @@ pub struct LintConfig {
     /// Exact file paths (injector call sites outside those crates) the
     /// fault-path hygiene rule also covers.
     pub fault_path_files: Vec<String>,
+    /// Crate directory names the ordering-hygiene rules cover
+    /// (`ordering-relaxed` per file, `ordering-hash-iter` cross-file).
+    pub ordering_crates: Vec<String>,
+    /// Exact file paths (counter modules) exempt from
+    /// `ordering-relaxed`.
+    pub ordering_exempt: Vec<String>,
+    /// Digest-completeness targets: every field of the struct must be
+    /// consumed by the listed functions.
+    pub digest_structs: Vec<ItemSpec>,
+    /// Obs-coverage targets: every variant of the enum must appear in
+    /// the listed functions and be constructed at a non-test site.
+    pub obs_events: Vec<ItemSpec>,
+    /// Rule IDs dropped from the final report.
+    pub disabled_rules: Vec<Rule>,
+    /// `section.key` names explicitly set by the parsed file.
+    /// [`LintConfig::validate`] cross-checks only these against the
+    /// workspace — built-in defaults describe the real workspace and
+    /// would spuriously fail in fixture trees.
+    pub explicit: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -62,6 +130,15 @@ impl Default for LintConfig {
                 "crates/mac/src/drift.rs".into(),
                 "crates/net/src/faults.rs".into(),
             ],
+            // The cross-file scopes default to empty: their targets are
+            // workspace-specific, so the real lists live in the
+            // workspace's `lint.toml` (and fixtures carry their own).
+            ordering_crates: Vec::new(),
+            ordering_exempt: Vec::new(),
+            digest_structs: Vec::new(),
+            obs_events: Vec::new(),
+            disabled_rules: Vec::new(),
+            explicit: Vec::new(),
         }
     }
 }
@@ -81,13 +158,29 @@ impl std::fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// `(section, key)` pairs the parser accepts; the root section is `""`.
+const KNOWN_KEYS: &[(&str, &str)] = &[
+    ("", "exclude"),
+    ("determinism", "crates"),
+    ("unit-safety", "exempt"),
+    ("hot-path", "crates"),
+    ("fault-path", "crates"),
+    ("fault-path", "files"),
+    ("ordering", "crates"),
+    ("ordering", "relaxed-exempt"),
+    ("digest-completeness", "structs"),
+    ("obs-coverage", "events"),
+    ("rules", "disabled"),
+];
+
 impl LintConfig {
     /// Parses `lint.toml` contents, overriding defaults key by key.
     pub fn parse(text: &str) -> Result<LintConfig, ConfigError> {
         let mut cfg = LintConfig::default();
         let mut section = String::new();
 
-        for (idx, raw) in text.lines().enumerate() {
+        let mut lines = text.lines().enumerate();
+        while let Some((idx, raw)) = lines.next() {
             let lineno = u32::try_from(idx + 1).unwrap_or(u32::MAX);
             let line = strip_comment(raw).trim();
             if line.is_empty() {
@@ -101,6 +194,21 @@ impl LintConfig {
                     });
                 };
                 section = name.trim().to_owned();
+                let known = KNOWN_KEYS.iter().any(|(s, _)| *s == section);
+                if !known {
+                    let sections: Vec<&str> = KNOWN_KEYS
+                        .iter()
+                        .map(|(s, _)| *s)
+                        .filter(|s| !s.is_empty())
+                        .collect();
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!(
+                            "unknown section `[{section}]`{}",
+                            did_you_mean(&section, &sections)
+                        ),
+                    });
+                }
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
@@ -110,10 +218,37 @@ impl LintConfig {
                 });
             };
             let key = key.trim();
-            let values = parse_string_list(value.trim()).ok_or_else(|| ConfigError {
+            if !KNOWN_KEYS.contains(&(section.as_str(), key)) {
+                let keys: Vec<&str> = KNOWN_KEYS
+                    .iter()
+                    .filter(|(s, _)| *s == section)
+                    .map(|(_, k)| *k)
+                    .collect();
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!(
+                        "unknown key `{key}` in section `[{section}]`{}",
+                        did_you_mean(key, &keys)
+                    ),
+                });
+            }
+            // A list may continue over following lines until its `]`.
+            let mut value = value.trim().to_owned();
+            while value.starts_with('[') && !value.contains(']') {
+                let Some((_, cont)) = lines.next() else {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unterminated list for `{key}`"),
+                    });
+                };
+                value.push(' ');
+                value.push_str(strip_comment(cont).trim());
+            }
+            let values = parse_string_list(&value).ok_or_else(|| ConfigError {
                 line: lineno,
                 message: format!("value for `{key}` must be a string or list of strings"),
             })?;
+            cfg.explicit.push(format!("{section}.{key}"));
             match (section.as_str(), key) {
                 ("", "exclude") => cfg.exclude = values,
                 ("determinism", "crates") => cfg.determinism_crates = values,
@@ -121,34 +256,184 @@ impl LintConfig {
                 ("hot-path", "crates") => cfg.hot_path_crates = values,
                 ("fault-path", "crates") => cfg.fault_path_crates = values,
                 ("fault-path", "files") => cfg.fault_path_files = values,
-                _ => {
-                    return Err(ConfigError {
-                        line: lineno,
-                        message: format!("unknown key `{key}` in section `[{section}]`"),
-                    });
+                ("ordering", "crates") => cfg.ordering_crates = values,
+                ("ordering", "relaxed-exempt") => cfg.ordering_exempt = values,
+                ("digest-completeness", "structs") => {
+                    cfg.digest_structs = parse_specs(&values, lineno)?;
                 }
+                ("obs-coverage", "events") => {
+                    cfg.obs_events = parse_specs(&values, lineno)?;
+                }
+                ("rules", "disabled") => {
+                    cfg.disabled_rules = parse_rules(&values, lineno)?;
+                }
+                // lint:allow(panic-macro) — every pair was checked against KNOWN_KEYS above
+                _ => unreachable!("filtered by KNOWN_KEYS"),
             }
         }
         Ok(cfg)
     }
+
+    /// Checks every crate name and path against the workspace at
+    /// `root`. Run when an explicit `lint.toml` is in effect — a scope
+    /// that names nothing real silently disables its rule, which is
+    /// exactly the failure mode strict parsing exists to prevent.
+    pub fn validate(&self, root: &Path) -> Result<(), Vec<String>> {
+        let mut errors = Vec::new();
+        let actual_crates: Vec<String> = std::fs::read_dir(root.join("crates"))
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| e.path().is_dir())
+                    .filter_map(|e| e.file_name().into_string().ok())
+                    .collect()
+            })
+            .unwrap_or_default();
+        let crate_lists = [
+            (
+                "determinism",
+                "determinism.crates",
+                &self.determinism_crates,
+            ),
+            ("hot-path", "hot-path.crates", &self.hot_path_crates),
+            ("fault-path", "fault-path.crates", &self.fault_path_crates),
+            ("ordering", "ordering.crates", &self.ordering_crates),
+        ];
+        for (section, key, crates) in crate_lists {
+            if !self.explicit.iter().any(|k| k == key) {
+                continue;
+            }
+            for name in crates {
+                if !actual_crates.iter().any(|c| c == name) {
+                    let cands: Vec<&str> = actual_crates.iter().map(String::as_str).collect();
+                    errors.push(format!(
+                        "[{section}] names crate `{name}` but crates/{name}/ does not exist{}",
+                        did_you_mean(name, &cands)
+                    ));
+                }
+            }
+        }
+        let path_lists = [
+            (
+                "unit-safety exempt",
+                "unit-safety.exempt",
+                &self.unit_exempt,
+            ),
+            (
+                "fault-path files",
+                "fault-path.files",
+                &self.fault_path_files,
+            ),
+            (
+                "ordering relaxed-exempt",
+                "ordering.relaxed-exempt",
+                &self.ordering_exempt,
+            ),
+        ];
+        for (what, key, paths) in path_lists {
+            if !self.explicit.iter().any(|k| k == key) {
+                continue;
+            }
+            for p in paths {
+                if !root.join(p).is_file() {
+                    errors.push(format!("{what} names `{p}` but no such file exists"));
+                }
+            }
+        }
+        for spec in self.digest_structs.iter().chain(&self.obs_events) {
+            if !root.join(&spec.path).is_file() {
+                errors.push(format!(
+                    "spec `{}#{}` names a file that does not exist",
+                    spec.path, spec.item
+                ));
+            }
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+fn parse_specs(values: &[String], lineno: u32) -> Result<Vec<ItemSpec>, ConfigError> {
+    values
+        .iter()
+        .map(|raw| {
+            ItemSpec::parse(raw).map_err(|message| ConfigError {
+                line: lineno,
+                message,
+            })
+        })
+        .collect()
+}
+
+fn parse_rules(values: &[String], lineno: u32) -> Result<Vec<Rule>, ConfigError> {
+    values
+        .iter()
+        .map(|raw| {
+            Rule::from_id(raw).ok_or_else(|| {
+                let ids: Vec<&str> = Rule::ALL.iter().map(|r| r.id()).collect();
+                ConfigError {
+                    line: lineno,
+                    message: format!("unknown rule `{raw}`{}", did_you_mean(raw, &ids)),
+                }
+            })
+        })
+        .collect()
+}
+
+/// A `; did you mean ...?` suffix when a candidate is close enough.
+fn did_you_mean(input: &str, candidates: &[&str]) -> String {
+    let best = candidates
+        .iter()
+        .map(|c| (edit_distance(input, c), *c))
+        .min();
+    match best {
+        Some((d, c)) if d <= 3 && d < input.len() => format!("; did you mean `{c}`?"),
+        _ => String::new(),
+    }
+}
+
+/// Levenshtein distance, small-alphabet DP.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
 }
 
 fn strip_comment(line: &str) -> &str {
-    // A `#` inside a quoted string would break this, but no configurable
-    // value contains `#`; keep the reader simple.
-    line.split('#').next().unwrap_or("")
+    // A `#` inside a quoted string would break this — but the spec
+    // grammar (`"path#Item=fns"`) needs `#` inside strings. Only strip a
+    // `#` that starts the line or follows whitespace, which is how every
+    // real comment is written.
+    let bytes = line.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'#' && (i == 0 || bytes[i - 1].is_ascii_whitespace()) {
+            return &line[..i];
+        }
+    }
+    line
 }
 
 fn parse_string_list(value: &str) -> Option<Vec<String>> {
     if let Some(inner) = value.strip_prefix('[') {
         let inner = inner.strip_suffix(']')?;
         let mut out = Vec::new();
-        let trimmed = inner.trim().trim_end_matches(',');
-        if trimmed.trim().is_empty() {
-            return Some(out);
-        }
-        for item in trimmed.split(',') {
-            out.push(parse_string(item.trim())?);
+        for item in inner.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue; // trailing comma or blank continuation line
+            }
+            out.push(parse_string(item)?);
         }
         Some(out)
     } else {
@@ -163,7 +448,8 @@ fn parse_string(value: &str) -> Option<String> {
 
 #[cfg(test)]
 mod tests {
-    use super::LintConfig;
+    use super::{ItemSpec, LintConfig};
+    use crate::diagnostics::Rule;
 
     #[test]
     fn defaults_cover_the_five_sim_crates() {
@@ -182,6 +468,11 @@ mod tests {
                 "crates/net/src/faults.rs",
             ]
         );
+        // Cross-file scopes are workspace-specific, so defaults are
+        // empty and the workspace lint.toml provides the real lists.
+        assert!(cfg.ordering_crates.is_empty());
+        assert!(cfg.digest_structs.is_empty());
+        assert!(cfg.obs_events.is_empty());
     }
 
     #[test]
@@ -228,5 +519,85 @@ mod tests {
         assert_eq!(cfg.exclude, ["a", "b"]);
         let cfg = LintConfig::parse("exclude = []").expect("valid");
         assert!(cfg.exclude.is_empty());
+    }
+
+    #[test]
+    fn multi_line_lists_parse_with_comments() {
+        let cfg = LintConfig::parse(
+            "[ordering]\ncrates = [\n  \"sim\", # the scheduler\n  \"phy\",\n]\n",
+        )
+        .expect("valid");
+        assert_eq!(cfg.ordering_crates, ["sim", "phy"]);
+        assert!(LintConfig::parse("[ordering]\ncrates = [\n  \"sim\",\n").is_err());
+    }
+
+    #[test]
+    fn typos_get_did_you_mean_hints() {
+        let err = LintConfig::parse("[determinsim]\ncrates = [\"sim\"]\n").unwrap_err();
+        assert!(
+            err.message.contains("did you mean `determinism`?"),
+            "got: {}",
+            err.message
+        );
+        let err = LintConfig::parse("[determinism]\ncrate = [\"sim\"]\n").unwrap_err();
+        assert!(
+            err.message.contains("did you mean `crates`?"),
+            "got: {}",
+            err.message
+        );
+        let err = LintConfig::parse("[rules]\ndisabled = [\"determinism-mpa\"]\n").unwrap_err();
+        assert!(
+            err.message.contains("did you mean `determinism-map`?"),
+            "got: {}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn specs_parse_path_item_and_fns() {
+        let cfg = LintConfig::parse(
+            "[digest-completeness]\nstructs = [\"crates/net/src/scenario.rs#ScenarioConfig=identity+simulation_config\"]\n",
+        )
+        .expect("valid");
+        assert_eq!(
+            cfg.digest_structs,
+            [ItemSpec {
+                path: "crates/net/src/scenario.rs".into(),
+                item: "ScenarioConfig".into(),
+                fns: vec!["identity".into(), "simulation_config".into()],
+            }]
+        );
+        // The `#` inside the quoted spec must not read as a comment.
+        assert!(LintConfig::parse("[obs-coverage]\nevents = [\"a.rs#E\"]").is_err());
+        assert!(LintConfig::parse("[obs-coverage]\nevents = [\"a.rs=f\"]").is_err());
+    }
+
+    #[test]
+    fn disabled_rules_parse_to_rule_ids() {
+        let cfg = LintConfig::parse("[rules]\ndisabled = [\"print-macro\", \"float-eq\"]\n")
+            .expect("valid");
+        assert_eq!(cfg.disabled_rules, [Rule::PrintMacro, Rule::FloatEq]);
+    }
+
+    #[test]
+    fn validate_reports_ghost_crates_and_paths() {
+        let dir = std::env::temp_dir().join("airguard-lint-validate-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("crates/sim/src")).expect("mkdir");
+        std::fs::write(dir.join("crates/sim/src/time.rs"), "").expect("write");
+        let mut cfg = LintConfig::parse(
+            "[determinism]\ncrates = [\"sim\", \"smi\"]\n[unit-safety]\nexempt = [\"crates/sim/src/time.rs\", \"crates/sim/src/gone.rs\"]\n",
+        )
+        .expect("valid syntax");
+        // Defaults that are not explicitly set are never cross-checked,
+        // even though the temp workspace lacks their crates and files.
+        assert!(!cfg.hot_path_crates.is_empty());
+        let errors = cfg.validate(&dir).unwrap_err();
+        assert_eq!(errors.len(), 2, "{errors:?}");
+        assert!(errors[0].contains("smi") && errors[0].contains("did you mean `sim`?"));
+        assert!(errors[1].contains("gone.rs"));
+        cfg.determinism_crates = vec!["sim".into()];
+        cfg.unit_exempt = vec!["crates/sim/src/time.rs".into()];
+        assert!(cfg.validate(&dir).is_ok());
     }
 }

@@ -35,11 +35,49 @@ pub enum Rule {
     /// `.unwrap()` / `.expect(..)` on a fault-injection path (the
     /// `fault` crate and the injector call sites wired into phy/mac/net).
     FaultPathUnwrap,
+    /// A config struct field not consumed by its digest/identity
+    /// functions (cross-file; scoped by `[digest-completeness]` in
+    /// `lint.toml`).
+    DigestCompleteness,
+    /// An `ObsEvent` variant missing from the category/kind maps or
+    /// never constructed at a non-test call site (cross-file; scoped by
+    /// `[obs-coverage]`).
+    ObsCoverage,
+    /// Iteration over a hash-ordered container field from an
+    /// ordering-scoped crate (cross-file; the field may be declared in
+    /// another crate).
+    OrderingHashIter,
+    /// `Ordering::Relaxed` outside the designated counter modules.
+    OrderingRelaxed,
     /// A `lint:allow` directive missing its mandatory reason.
     AllowReason,
+    /// A well-formed `lint:allow` directive that suppresses nothing.
+    AllowUnused,
 }
 
 impl Rule {
+    /// Every rule, in declaration order (which is also the sort order
+    /// diagnostics use).
+    pub const ALL: [Rule; 17] = [
+        Rule::DeterminismTime,
+        Rule::DeterminismRng,
+        Rule::DeterminismMap,
+        Rule::UnitMixedArith,
+        Rule::FloatEq,
+        Rule::PanicUnwrap,
+        Rule::PanicExpect,
+        Rule::PanicMacro,
+        Rule::PrintMacro,
+        Rule::HotPathClone,
+        Rule::FaultPathUnwrap,
+        Rule::DigestCompleteness,
+        Rule::ObsCoverage,
+        Rule::OrderingHashIter,
+        Rule::OrderingRelaxed,
+        Rule::AllowReason,
+        Rule::AllowUnused,
+    ];
+
     /// The stable ID used in diagnostics and `lint:allow(..)` directives.
     #[must_use]
     pub fn id(self) -> &'static str {
@@ -55,28 +93,51 @@ impl Rule {
             Rule::PrintMacro => "print-macro",
             Rule::HotPathClone => "hot-path-clone",
             Rule::FaultPathUnwrap => "fault-path-unwrap",
+            Rule::DigestCompleteness => "digest-completeness",
+            Rule::ObsCoverage => "obs-coverage",
+            Rule::OrderingHashIter => "ordering-hash-iter",
+            Rule::OrderingRelaxed => "ordering-relaxed",
             Rule::AllowReason => "lint-allow-reason",
+            Rule::AllowUnused => "lint-allow-unused",
         }
+    }
+
+    /// One-line description, used for the SARIF rule table.
+    #[must_use]
+    pub fn description(self) -> &'static str {
+        match self {
+            Rule::DeterminismTime => "wall-clock time source in a simulation crate",
+            Rule::DeterminismRng => "ambient randomness in a simulation crate",
+            Rule::DeterminismMap => "hash-ordered container in a simulation crate",
+            Rule::UnitMixedArith => "raw integer arithmetic on a time quantity",
+            Rule::FloatEq => "exact equality on floating-point values",
+            Rule::PanicUnwrap => ".unwrap() in library code",
+            Rule::PanicExpect => ".expect(..) in library code",
+            Rule::PanicMacro => "panicking macro in library code",
+            Rule::PrintMacro => "raw stdio print in crate library code",
+            Rule::HotPathClone => "deep frame copy on the simulation hot path",
+            Rule::FaultPathUnwrap => "panicking call on a fault-injection path",
+            Rule::DigestCompleteness => "config field not consumed by its digest functions",
+            Rule::ObsCoverage => "telemetry event variant unmapped or never emitted",
+            Rule::OrderingHashIter => "iteration over a hash-ordered field in a determinism crate",
+            Rule::OrderingRelaxed => "Ordering::Relaxed outside a counter module",
+            Rule::AllowReason => "lint:allow directive without a reason",
+            Rule::AllowUnused => "lint:allow directive that suppresses nothing",
+        }
+    }
+
+    /// Whether a `lint:allow` directive can suppress this rule. The two
+    /// meta rules about the directives themselves cannot be allowed
+    /// away, or a stale directive could hide its own staleness.
+    #[must_use]
+    pub fn suppressible(self) -> bool {
+        !matches!(self, Rule::AllowReason | Rule::AllowUnused)
     }
 
     /// Parses a rule ID as written in a `lint:allow(..)` directive.
     #[must_use]
     pub fn from_id(id: &str) -> Option<Rule> {
-        const ALL: [Rule; 12] = [
-            Rule::DeterminismTime,
-            Rule::DeterminismRng,
-            Rule::DeterminismMap,
-            Rule::UnitMixedArith,
-            Rule::FloatEq,
-            Rule::PanicUnwrap,
-            Rule::PanicExpect,
-            Rule::PanicMacro,
-            Rule::PrintMacro,
-            Rule::HotPathClone,
-            Rule::FaultPathUnwrap,
-            Rule::AllowReason,
-        ];
-        ALL.into_iter().find(|r| r.id() == id)
+        Rule::ALL.into_iter().find(|r| r.id() == id)
     }
 }
 
@@ -128,22 +189,27 @@ mod tests {
 
     #[test]
     fn rule_ids_round_trip() {
-        for rule in [
-            Rule::DeterminismTime,
-            Rule::DeterminismRng,
-            Rule::DeterminismMap,
-            Rule::UnitMixedArith,
-            Rule::FloatEq,
-            Rule::PanicUnwrap,
-            Rule::PanicExpect,
-            Rule::PanicMacro,
-            Rule::PrintMacro,
-            Rule::HotPathClone,
-            Rule::FaultPathUnwrap,
-            Rule::AllowReason,
-        ] {
+        for rule in Rule::ALL {
             assert_eq!(Rule::from_id(rule.id()), Some(rule));
+            assert!(!rule.description().is_empty());
         }
         assert_eq!(Rule::from_id("no-such-rule"), None);
+    }
+
+    #[test]
+    fn rule_ids_are_unique() {
+        for (i, a) in Rule::ALL.iter().enumerate() {
+            for b in &Rule::ALL[i + 1..] {
+                assert_ne!(a.id(), b.id());
+            }
+        }
+    }
+
+    #[test]
+    fn meta_rules_are_not_suppressible() {
+        assert!(!Rule::AllowReason.suppressible());
+        assert!(!Rule::AllowUnused.suppressible());
+        assert!(Rule::PanicUnwrap.suppressible());
+        assert!(Rule::DigestCompleteness.suppressible());
     }
 }

@@ -30,10 +30,16 @@
 //! suppressed line-by-line with `// lint:allow(<rule>) — <reason>`.
 
 pub mod allow;
+pub mod cache;
 pub mod config;
 pub mod diagnostics;
+pub mod engine;
+pub mod index;
+pub mod items;
 pub mod lexer;
+pub mod output;
 pub mod rules;
+pub mod xrules;
 
 use config::LintConfig;
 use diagnostics::Diagnostic;
@@ -91,6 +97,8 @@ pub fn rules_for(path: &str, cfg: &LintConfig) -> RuleSet {
     let on_fault_path = crate_of(path)
         .is_some_and(|c| cfg.fault_path_crates.iter().any(|d| d == c))
         || cfg.fault_path_files.iter().any(|f| f == path);
+    let in_ordering_crate =
+        crate_of(path).is_some_and(|c| cfg.ordering_crates.iter().any(|d| d == c));
     RuleSet {
         determinism: class != FileClass::TestLike && in_sim_crate,
         units: class != FileClass::TestLike && !cfg.unit_exempt.iter().any(|e| e == path),
@@ -98,17 +106,22 @@ pub fn rules_for(path: &str, cfg: &LintConfig) -> RuleSet {
         prints: class == FileClass::Library && crate_of(path).is_some(),
         hot_path: class == FileClass::Library && in_hot_crate,
         fault_path: class == FileClass::Library && on_fault_path,
+        ordering: class != FileClass::TestLike
+            && in_ordering_crate
+            && !cfg.ordering_exempt.iter().any(|e| e == path),
     }
 }
 
-/// Lints one file's source text. `path` is the workspace-relative path
-/// used both for rule scoping and in diagnostics.
+/// Lints one file's source text: pass-1 rules only (no cross-file rules
+/// and no unused-allow reporting, which both need the full workspace).
+/// `path` is the workspace-relative path used both for rule scoping and
+/// in diagnostics.
 #[must_use]
 pub fn lint_source(path: &str, source: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
-    let lexed = lexer::lex(source);
-    let allows = allow::scan(path, &lexed);
-    let mut diags = rules::check(path, &lexed.tokens, rules_for(path, cfg), &allows);
-    diags.extend(allows.diagnostics);
+    let mut summary = engine::analyze(path, source, cfg);
+    let raw = std::mem::take(&mut summary.raw_diagnostics);
+    let mut diags = summary.allows.apply(raw);
+    diags.append(&mut summary.allows.diagnostics);
     diags.sort();
     // Two operators flanking one identifier can flag the same token
     // twice; report each site once.
@@ -116,24 +129,17 @@ pub fn lint_source(path: &str, source: &str, cfg: &LintConfig) -> Vec<Diagnostic
     diags
 }
 
-/// Walks `root` and lints every non-excluded `.rs` file. Returns
-/// diagnostics sorted by path, line, column.
+/// Walks `root` and lints every non-excluded `.rs` file with the full
+/// two-pass engine (single worker, no cache). Returns diagnostics
+/// sorted by path, line, column.
 pub fn lint_tree(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<Diagnostic>> {
-    let mut files = Vec::new();
-    collect_rs_files(root, root, cfg, &mut files)?;
-    files.sort();
-    let mut diags = Vec::new();
-    for rel in files {
-        let source = std::fs::read_to_string(root.join(&rel))?;
-        diags.extend(lint_source(&rel, &source, cfg));
-    }
-    diags.sort();
-    Ok(diags)
+    let report = engine::run(root, cfg, &engine::EngineOptions::default())?;
+    Ok(report.diagnostics)
 }
 
 /// Recursively gathers workspace-relative `.rs` paths, honouring the
 /// exclude list and skipping dotted directories.
-fn collect_rs_files(
+pub(crate) fn collect_rs_files(
     root: &Path,
     dir: &Path,
     cfg: &LintConfig,

@@ -7,7 +7,6 @@
 //! both mechanically checkable and strictly stronger (see DESIGN.md,
 //! "Static analysis & determinism guarantees").
 
-use crate::allow::Allows;
 use crate::diagnostics::{Diagnostic, Rule};
 use crate::lexer::{Token, TokenKind};
 
@@ -29,6 +28,9 @@ pub struct RuleSet {
     /// at the injector call sites): a fault injector that panics turns a
     /// simulated failure into a real one.
     pub fault_path: bool,
+    /// Ordering-hygiene rule (`Ordering::Relaxed` outside the designated
+    /// counter modules of the ordering-scoped crates).
+    pub ordering: bool,
 }
 
 /// Index spans (token ranges) belonging to `#[cfg(test)]` items; rules do
@@ -100,24 +102,25 @@ fn item_end(tokens: &[Token], start: usize) -> Option<usize> {
     None
 }
 
-/// Runs the enabled rule families over one file's tokens.
+/// Runs the enabled rule families over one file's tokens, returning
+/// every raw finding. Allow filtering happens centrally (in
+/// [`crate::allow::Allows::apply`]) so directives can be tracked as
+/// used or stale.
 #[must_use]
-pub fn check(path: &str, tokens: &[Token], rules: RuleSet, allows: &Allows) -> Vec<Diagnostic> {
+pub fn check(path: &str, tokens: &[Token], rules: RuleSet) -> Vec<Diagnostic> {
     let skip = cfg_test_spans(tokens);
     let skipped = |idx: usize| skip.iter().any(|&(a, b)| idx >= a && idx <= b);
     let aliases = unit_typed_aliases(tokens);
     let mut diags = Vec::new();
 
     let mut push = |token: &Token, rule: Rule, message: String| {
-        if !allows.covers(token.line, rule) {
-            diags.push(Diagnostic {
-                path: path.to_owned(),
-                line: token.line,
-                col: token.col,
-                rule,
-                message,
-            });
-        }
+        diags.push(Diagnostic {
+            path: path.to_owned(),
+            line: token.line,
+            col: token.col,
+            rule,
+            message,
+        });
     };
 
     for (i, t) in tokens.iter().enumerate() {
@@ -141,6 +144,9 @@ pub fn check(path: &str, tokens: &[Token], rules: RuleSet, allows: &Allows) -> V
         }
         if rules.fault_path {
             fault_path_at(tokens, i, t, &mut push);
+        }
+        if rules.ordering {
+            ordering_at(tokens, i, t, &mut push);
         }
     }
     diags
@@ -451,10 +457,33 @@ fn fault_path_at(
     }
 }
 
+/// Flags `Ordering::Relaxed` outside the designated counter modules.
+/// Relaxed atomics are fine for monotone counters (the exp executor's
+/// task cursor, the obs sink's enable mask) but silently wrong the
+/// moment two atomics must be observed consistently; keeping every
+/// other use SeqCst/Acquire-Release makes the exceptions auditable.
+fn ordering_at(tokens: &[Token], i: usize, t: &Token, push: &mut impl FnMut(&Token, Rule, String)) {
+    if t.ident() != Some("Relaxed")
+        || i < 2
+        || !tokens[i - 1].is_punct("::")
+        || tokens[i - 2].ident() != Some("Ordering")
+    {
+        return;
+    }
+    push(
+        t,
+        Rule::OrderingRelaxed,
+        "`Ordering::Relaxed` outside a designated counter module; use \
+         `SeqCst`/`Acquire`/`Release`, move the counter into a module listed under \
+         `[ordering] relaxed-exempt`, or justify with \
+         `// lint:allow(ordering-relaxed) — <why relaxed is sound here>`"
+            .to_owned(),
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::{cfg_test_spans, check, RuleSet};
-    use crate::allow::Allows;
     use crate::diagnostics::Rule;
     use crate::lexer::lex;
 
@@ -468,6 +497,7 @@ mod tests {
         prints: true,
         hot_path: true,
         fault_path: false,
+        ordering: true,
     };
 
     const FAULT_ONLY: RuleSet = RuleSet {
@@ -477,11 +507,12 @@ mod tests {
         prints: false,
         hot_path: false,
         fault_path: true,
+        ordering: false,
     };
 
     fn rules_hit(src: &str) -> Vec<Rule> {
         let lexed = lex(src);
-        check("f.rs", &lexed.tokens, ALL, &Allows::default())
+        check("f.rs", &lexed.tokens, ALL)
             .into_iter()
             .map(|d| d.rule)
             .collect()
@@ -615,7 +646,7 @@ mod tests {
     fn fault_path_rule_fires_independently_of_the_panic_family() {
         let hits = |src: &str| -> Vec<Rule> {
             let lexed = lex(src);
-            check("f.rs", &lexed.tokens, FAULT_ONLY, &Allows::default())
+            check("f.rs", &lexed.tokens, FAULT_ONLY)
                 .into_iter()
                 .map(|d| d.rule)
                 .collect()
@@ -640,20 +671,37 @@ mod tests {
         };
         let src = "let g = plan.burst_loss.unwrap(); // lint:allow(panic-unwrap) — tested above\n";
         let lexed = lex(src);
-        let allows = crate::allow::scan("f.rs", &lexed);
-        let rules: Vec<Rule> = check("f.rs", &lexed.tokens, both, &allows)
+        let mut allows = crate::allow::scan("f.rs", &lexed);
+        let rules: Vec<Rule> = allows
+            .apply(check("f.rs", &lexed.tokens, both))
             .into_iter()
             .map(|d| d.rule)
             .collect();
         assert_eq!(rules, vec![Rule::FaultPathUnwrap]);
+        assert!(allows.unused("f.rs").is_empty(), "the directive was used");
+    }
+
+    #[test]
+    fn ordering_relaxed_fires_on_qualified_use_only() {
+        assert_eq!(
+            rules_hit("mask.load(Ordering::Relaxed);"),
+            vec![Rule::OrderingRelaxed]
+        );
+        assert_eq!(
+            rules_hit("use std::sync::atomic::Ordering::Relaxed;"),
+            vec![Rule::OrderingRelaxed]
+        );
+        // Other orderings and bare `Relaxed` mentions pass.
+        assert!(rules_hit("mask.load(Ordering::SeqCst);").is_empty());
+        assert!(rules_hit("let relaxed = Relaxed;").is_empty());
     }
 
     #[test]
     fn allows_suppress_with_reason() {
         let src = "let v = m.get(&k).unwrap(); // lint:allow(panic-unwrap) — inserted above, cannot miss\n";
         let lexed = lex(src);
-        let allows = crate::allow::scan("f.rs", &lexed);
-        let diags = check("f.rs", &lexed.tokens, ALL, &allows);
+        let mut allows = crate::allow::scan("f.rs", &lexed);
+        let diags = allows.apply(check("f.rs", &lexed.tokens, ALL));
         assert!(diags.is_empty());
     }
 }

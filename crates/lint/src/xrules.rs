@@ -1,0 +1,348 @@
+//! Pass-2 cross-file rules, run over the [`WorkspaceIndex`].
+//!
+//! * **digest-completeness** — every field of a configured struct must be
+//!   consumed by at least one of its digest/identity functions, wherever
+//!   those functions live. A field added to `ScenarioConfig` but not to
+//!   `identity()` silently aliases distinct scenarios onto one cache
+//!   key; this rule turns that into a lint failure.
+//! * **obs-coverage** — every variant of a configured event enum must be
+//!   handled by the listed mapping functions *and* constructed at least
+//!   once outside test code. A variant nobody emits is dead telemetry; a
+//!   variant the category mapping misses would be a compile error today
+//!   (exhaustive match) but the rule also catches wildcard-arm drift.
+//! * **ordering-hash-iter** — in the determinism crates, iterating a
+//!   name that is hash-typed anywhere in the workspace
+//!   (`counts.keys()`, `set.iter()`) leaks nondeterministic order into
+//!   library code.
+//!
+//! All diagnostics are anchored to the *definition* site (field or
+//! variant) or the iteration site, so `lint:allow` on that line can
+//! suppress them with a reason.
+
+use crate::config::{ItemSpec, LintConfig};
+use crate::diagnostics::{Diagnostic, Rule};
+use crate::index::WorkspaceIndex;
+use crate::items::FnDef;
+use crate::FileClass;
+
+/// Runs every cross-file rule; returns raw (pre-allow) diagnostics.
+#[must_use]
+pub fn check(index: &WorkspaceIndex, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for spec in &cfg.digest_structs {
+        digest_completeness(index, spec, &mut diags);
+    }
+    for spec in &cfg.obs_events {
+        obs_coverage(index, spec, &mut diags);
+    }
+    ordering_hash_iter(index, cfg, &mut diags);
+    diags.sort();
+    diags.dedup();
+    diags
+}
+
+/// Looks up the spec's functions across the whole index, reporting a
+/// spec-level diagnostic when none exist (a renamed digest fn must not
+/// silently disable the rule).
+fn spec_fns<'a>(
+    index: &'a WorkspaceIndex,
+    spec: &'a ItemSpec,
+    rule: Rule,
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<&'a FnDef> {
+    let fns: Vec<&FnDef> = index.fns_of(&spec.item, &spec.fns).collect();
+    if fns.is_empty() {
+        diags.push(Diagnostic {
+            path: spec.path.clone(),
+            line: 1,
+            col: 1,
+            rule,
+            message: format!(
+                "lint.toml expects fn {} on `{}`, but no such function exists in the workspace",
+                spec.fns.join("/"),
+                spec.item
+            ),
+        });
+    }
+    fns
+}
+
+fn digest_completeness(index: &WorkspaceIndex, spec: &ItemSpec, diags: &mut Vec<Diagnostic>) {
+    let Some(def) = index
+        .files
+        .get(&spec.path)
+        .and_then(|f| f.items.structs.iter().find(|s| s.name == spec.item))
+    else {
+        diags.push(Diagnostic {
+            path: spec.path.clone(),
+            line: 1,
+            col: 1,
+            rule: Rule::DigestCompleteness,
+            message: format!(
+                "lint.toml expects struct `{}` in this file, but it is not defined here",
+                spec.item
+            ),
+        });
+        return;
+    };
+    let fns = spec_fns(index, spec, Rule::DigestCompleteness, diags);
+    if fns.is_empty() {
+        return;
+    }
+    for field in &def.fields {
+        if !fns.iter().any(|f| f.mentions(&field.name)) {
+            diags.push(Diagnostic {
+                path: spec.path.clone(),
+                line: field.line,
+                col: field.col,
+                rule: Rule::DigestCompleteness,
+                message: format!(
+                    "field `{}` of `{}` is not consumed by {}; it will not reach the digest",
+                    field.name,
+                    spec.item,
+                    fn_list(&spec.fns),
+                ),
+            });
+        }
+    }
+}
+
+fn obs_coverage(index: &WorkspaceIndex, spec: &ItemSpec, diags: &mut Vec<Diagnostic>) {
+    let Some(def) = index
+        .files
+        .get(&spec.path)
+        .and_then(|f| f.items.enums.iter().find(|e| e.name == spec.item))
+    else {
+        diags.push(Diagnostic {
+            path: spec.path.clone(),
+            line: 1,
+            col: 1,
+            rule: Rule::ObsCoverage,
+            message: format!(
+                "lint.toml expects enum `{}` in this file, but it is not defined here",
+                spec.item
+            ),
+        });
+        return;
+    };
+    let fns = spec_fns(index, spec, Rule::ObsCoverage, diags);
+    if fns.is_empty() {
+        return;
+    }
+    for variant in &def.variants {
+        if !fns.iter().any(|f| f.mentions(&variant.name)) {
+            diags.push(Diagnostic {
+                path: spec.path.clone(),
+                line: variant.line,
+                col: variant.col,
+                rule: Rule::ObsCoverage,
+                message: format!(
+                    "variant `{}::{}` is not handled by {}",
+                    spec.item,
+                    variant.name,
+                    fn_list(&spec.fns),
+                ),
+            });
+        }
+        let emitted = index.files.values().any(|f| {
+            f.class() != FileClass::TestLike
+                && f.items
+                    .path_uses
+                    .iter()
+                    .any(|p| p.construction && p.head == spec.item && p.tail == variant.name)
+        });
+        if !emitted {
+            diags.push(Diagnostic {
+                path: spec.path.clone(),
+                line: variant.line,
+                col: variant.col,
+                rule: Rule::ObsCoverage,
+                message: format!(
+                    "variant `{}::{}` is never emitted outside tests; dead telemetry or a missing call site",
+                    spec.item, variant.name,
+                ),
+            });
+        }
+    }
+}
+
+fn ordering_hash_iter(index: &WorkspaceIndex, cfg: &LintConfig, diags: &mut Vec<Diagnostic>) {
+    if cfg.ordering_crates.is_empty() {
+        return;
+    }
+    let hash_names = index.hash_typed_names();
+    for file in index.files.values() {
+        if file.class() == FileClass::TestLike {
+            continue;
+        }
+        let in_scope =
+            crate::crate_of(&file.path).is_some_and(|c| cfg.ordering_crates.iter().any(|d| d == c));
+        if !in_scope {
+            continue;
+        }
+        for call in &file.items.iter_calls {
+            if hash_names.contains(call.recv.as_str()) {
+                diags.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: call.line,
+                    col: call.col,
+                    rule: Rule::OrderingHashIter,
+                    message: format!(
+                        ".{}() on `{}` (hash-typed in this workspace) iterates in hash order; collect and sort, or use a BTree container",
+                        call.method, call.recv,
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `identity()` / `identity()/kind()` for messages.
+fn fn_list(fns: &[String]) -> String {
+    fns.iter()
+        .map(|f| format!("{f}()"))
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::check;
+    use crate::allow;
+    use crate::config::{ItemSpec, LintConfig};
+    use crate::diagnostics::Rule;
+    use crate::index::{FileSummary, WorkspaceIndex};
+    use crate::items::parse_items;
+    use crate::lexer::lex;
+
+    fn summary(path: &str, src: &str) -> FileSummary {
+        let lexed = lex(src);
+        FileSummary {
+            path: path.to_owned(),
+            items: parse_items(&lexed.tokens),
+            raw_diagnostics: Vec::new(),
+            allows: allow::scan(path, &lexed),
+        }
+    }
+
+    fn spec(path: &str, item: &str, fns: &[&str]) -> ItemSpec {
+        ItemSpec {
+            path: path.into(),
+            item: item.into(),
+            fns: fns.iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+
+    #[test]
+    fn digest_completeness_flags_the_unhashed_field() {
+        let src = "pub struct Cfg {\n    pub nodes: u32,\n    pub rate: u64,\n}\nimpl Cfg {\n    pub fn identity(&self) -> String { format!(\"{}\", self.nodes) }\n}\n";
+        let index = WorkspaceIndex::new(vec![summary("crates/net/src/cfg.rs", src)]);
+        let cfg = LintConfig {
+            digest_structs: vec![spec("crates/net/src/cfg.rs", "Cfg", &["identity"])],
+            ..LintConfig::default()
+        };
+        let diags = check(&index, &cfg);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, Rule::DigestCompleteness);
+        assert_eq!(diags[0].line, 3);
+        assert!(diags[0].message.contains("`rate`"));
+    }
+
+    #[test]
+    fn digest_completeness_unions_fns_across_files() {
+        // `rate` is consumed by a second identity fn in another file;
+        // union semantics must not flag it.
+        let a = "pub struct Cfg {\n    pub nodes: u32,\n    pub rate: u64,\n}\nimpl Cfg {\n    pub fn identity(&self) -> String { format!(\"{}\", self.nodes) }\n}\n";
+        let b = "impl Cfg {\n    pub fn extra(&self) -> u64 { self.rate }\n}\n";
+        let index = WorkspaceIndex::new(vec![
+            summary("crates/net/src/cfg.rs", a),
+            summary("crates/net/src/other.rs", b),
+        ]);
+        let cfg = LintConfig {
+            digest_structs: vec![spec("crates/net/src/cfg.rs", "Cfg", &["identity", "extra"])],
+            ..LintConfig::default()
+        };
+        assert!(check(&index, &cfg).is_empty());
+    }
+
+    #[test]
+    fn missing_struct_and_missing_fn_are_spec_level_findings() {
+        let index = WorkspaceIndex::new(vec![summary(
+            "crates/net/src/cfg.rs",
+            "pub struct Other;\n",
+        )]);
+        let cfg = LintConfig {
+            digest_structs: vec![spec("crates/net/src/cfg.rs", "Cfg", &["identity"])],
+            ..LintConfig::default()
+        };
+        let diags = check(&index, &cfg);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("not defined here"));
+
+        let index = WorkspaceIndex::new(vec![summary(
+            "crates/net/src/cfg.rs",
+            "pub struct Cfg { pub n: u32 }\n",
+        )]);
+        let diags = check(&index, &cfg);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("no such function"), "{diags:?}");
+    }
+
+    #[test]
+    fn obs_coverage_requires_mapping_and_emission() {
+        let events = "pub enum Ev {\n    Seen,\n    Unmapped,\n    Unemitted,\n}\nimpl Ev {\n    pub fn kind(&self) -> u8 {\n        match self { Ev::Seen => 0, Ev::Unemitted => 1, _ => 2 }\n    }\n}\n";
+        let site = "fn emit_all() { sink(Ev::Seen); }\n";
+        let test_site = "fn t() { sink(Ev::Unemitted); }\n";
+        let index = WorkspaceIndex::new(vec![
+            summary("crates/obs/src/event.rs", events),
+            summary("crates/obs/src/sink.rs", site),
+            summary("crates/obs/tests/emit.rs", test_site),
+        ]);
+        let cfg = LintConfig {
+            obs_events: vec![spec("crates/obs/src/event.rs", "Ev", &["kind"])],
+            ..LintConfig::default()
+        };
+        let diags = check(&index, &cfg);
+        let msgs: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+        assert_eq!(diags.len(), 3, "{msgs:?}");
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("`Ev::Unmapped` is not handled")));
+        // Unmapped is also never emitted; Unemitted is emitted only in a
+        // test file, which does not count.
+        assert_eq!(
+            msgs.iter().filter(|m| m.contains("never emitted")).count(),
+            2
+        );
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("`Ev::Unemitted` is never emitted")));
+    }
+
+    #[test]
+    fn ordering_hash_iter_is_scoped_and_cross_file() {
+        // The hash ascription lives in one file, the iteration in
+        // another; only the configured crates are checked.
+        let decl = "pub struct Stats { pub counts: HashMap<u32, u64> }\n";
+        let scoped = "fn f(s: &Stats) { for k in s.counts.keys() { g(k); } }\n";
+        let index = WorkspaceIndex::new(vec![
+            summary("crates/obs/src/stats.rs", decl),
+            summary("crates/sim/src/report.rs", scoped),
+            summary("crates/metrics/src/out.rs", scoped),
+            summary("crates/sim/tests/report.rs", scoped),
+        ]);
+        let cfg = LintConfig {
+            ordering_crates: vec!["sim".into()],
+            ..LintConfig::default()
+        };
+        let diags = check(&index, &cfg);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, Rule::OrderingHashIter);
+        assert_eq!(diags[0].path, "crates/sim/src/report.rs");
+
+        // BTree-typed receivers never fire, even in scope.
+        let btree = "pub struct S { pub m: BTreeMap<u32, u64> }\nfn f(s: &S) { for k in s.m.keys() { g(k); } }\n";
+        let index = WorkspaceIndex::new(vec![summary("crates/sim/src/b.rs", btree)]);
+        assert!(check(&index, &cfg).is_empty());
+    }
+}

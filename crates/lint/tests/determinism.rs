@@ -1,0 +1,92 @@
+//! Engine determinism and cache behavior, observed through the binary
+//! exactly as CI drives it: report bytes must not depend on worker
+//! count or cache temperature, and an unchanged tree must re-lint
+//! entirely from cache.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn run(fixture_name: &str, extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_airguard-lint"))
+        .arg("--root")
+        .arg(fixture(fixture_name))
+        .args(extra)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn reports_are_byte_identical_across_worker_counts() {
+    for format in ["text", "json", "sarif"] {
+        let baseline = run(
+            "obs-coverage",
+            &["--no-cache", "--format", format, "--workers", "1"],
+        );
+        assert!(
+            !baseline.stdout.is_empty(),
+            "violating fixture must produce a {format} report"
+        );
+        for workers in ["2", "4", "8"] {
+            let out = run(
+                "obs-coverage",
+                &["--no-cache", "--format", format, "--workers", workers],
+            );
+            assert_eq!(
+                out.stdout, baseline.stdout,
+                "{format} report differs at {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn unchanged_tree_relints_fully_from_cache() {
+    let cache_dir = std::env::temp_dir().join("airguard-lint-warmcache-test");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cache = cache_dir.to_string_lossy().into_owned();
+    let args = ["--cache-dir", cache.as_str(), "--workers", "2"];
+
+    let cold = run("digest-completeness", &args);
+    let cold_stats = String::from_utf8_lossy(&cold.stderr);
+    assert!(
+        cold_stats.contains("1 files analyzed, 0 cached"),
+        "cold stats: {cold_stats}"
+    );
+
+    let warm = run("digest-completeness", &args);
+    let warm_stats = String::from_utf8_lossy(&warm.stderr);
+    assert!(
+        warm_stats.contains("0 files analyzed, 1 cached"),
+        "warm stats: {warm_stats}"
+    );
+    assert_eq!(warm.stdout, cold.stdout, "cache must not change the report");
+    assert_eq!(warm.status.code(), cold.status.code());
+
+    // --fix-cache purges and rebuilds from source.
+    let rebuilt = run(
+        "digest-completeness",
+        &["--cache-dir", cache.as_str(), "--fix-cache"],
+    );
+    let rebuilt_stats = String::from_utf8_lossy(&rebuilt.stderr);
+    assert!(
+        rebuilt_stats.contains("1 files analyzed, 0 cached"),
+        "rebuild stats: {rebuilt_stats}"
+    );
+    assert_eq!(rebuilt.stdout, cold.stdout);
+}
+
+#[test]
+fn sarif_report_declares_schema_and_rule_table() {
+    let out = run("obs-coverage", &["--no-cache", "--format", "sarif"]);
+    let sarif = String::from_utf8_lossy(&out.stdout);
+    assert!(sarif.contains("\"version\": \"2.1.0\""));
+    assert!(sarif.contains("\"name\": \"airguard-lint\""));
+    assert!(sarif.contains("\"ruleId\": \"obs-coverage\""));
+    assert!(sarif.contains("\"uri\": \"crates/obs/src/event.rs\""));
+}

@@ -14,8 +14,15 @@ fn fixture(name: &str) -> PathBuf {
         .join(name)
 }
 
+/// Lints a fixture tree with its own `lint.toml` when present (the
+/// cross-file rules are scoped per tree), else the defaults.
 fn rules_in(name: &str) -> Vec<Rule> {
-    let diags = lint_tree(&fixture(name), &LintConfig::default()).expect("fixture tree readable");
+    let root = fixture(name);
+    let cfg = match std::fs::read_to_string(root.join("lint.toml")) {
+        Ok(text) => LintConfig::parse(&text).expect("fixture lint.toml parses"),
+        Err(_) => LintConfig::default(),
+    };
+    let diags = lint_tree(&root, &cfg).expect("fixture tree readable");
     diags.iter().map(|d| d.rule).collect()
 }
 
@@ -33,6 +40,11 @@ fn each_seeded_fixture_trips_its_rule() {
         ("print-macro", Rule::PrintMacro),
         ("hot-path-clone", Rule::HotPathClone),
         ("fault-path-unwrap", Rule::FaultPathUnwrap),
+        ("digest-completeness", Rule::DigestCompleteness),
+        ("obs-coverage", Rule::ObsCoverage),
+        ("ordering-hash-iter", Rule::OrderingHashIter),
+        ("ordering-relaxed", Rule::OrderingRelaxed),
+        ("lint-allow-unused", Rule::AllowUnused),
     ];
     for (name, rule) in cases {
         let rules = rules_in(name);
@@ -50,8 +62,16 @@ fn each_seeded_fixture_trips_its_rule() {
 
 #[test]
 fn clean_and_allowed_fixtures_pass() {
-    assert_eq!(rules_in("clean"), Vec::<Rule>::new());
-    assert_eq!(rules_in("allowed-ok"), Vec::<Rule>::new());
+    for name in [
+        "clean",
+        "allowed-ok",
+        "digest-completeness-clean",
+        "obs-coverage-clean",
+        "ordering-hash-iter-clean",
+        "ordering-relaxed-clean",
+    ] {
+        assert_eq!(rules_in(name), Vec::<Rule>::new(), "fixture {name}");
+    }
 }
 
 #[test]
@@ -64,9 +84,11 @@ fn reasonless_allow_is_flagged_and_grants_nothing() {
 }
 
 fn run_binary(fixture_name: &str) -> std::process::Output {
+    // --no-cache keeps fixture trees pristine (no target/lint-cache).
     Command::new(env!("CARGO_BIN_EXE_airguard-lint"))
         .arg("--root")
         .arg(fixture(fixture_name))
+        .arg("--no-cache")
         .output()
         .expect("binary runs")
 }
@@ -86,6 +108,11 @@ fn binary_exits_nonzero_on_each_seeded_fixture() {
         "hot-path-clone",
         "fault-path-unwrap",
         "lint-allow-reason",
+        "digest-completeness",
+        "obs-coverage",
+        "ordering-hash-iter",
+        "ordering-relaxed",
+        "lint-allow-unused",
     ] {
         let out = run_binary(name);
         assert_eq!(
@@ -105,7 +132,14 @@ fn binary_exits_nonzero_on_each_seeded_fixture() {
 
 #[test]
 fn binary_exits_zero_on_clean_trees() {
-    for name in ["clean", "allowed-ok"] {
+    for name in [
+        "clean",
+        "allowed-ok",
+        "digest-completeness-clean",
+        "obs-coverage-clean",
+        "ordering-hash-iter-clean",
+        "ordering-relaxed-clean",
+    ] {
         let out = run_binary(name);
         assert_eq!(
             out.status.code(),
@@ -151,6 +185,27 @@ fn binary_exits_two_on_bad_config() {
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown key"));
+}
+
+#[test]
+fn binary_exits_two_when_config_names_a_ghost_crate() {
+    let dir = std::env::temp_dir().join("airguard-lint-ghostcfg");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("crates/sim/src")).expect("tmp tree");
+    std::fs::write(dir.join("crates/sim/src/lib.rs"), "pub fn ok() {}\n").expect("write src");
+    std::fs::write(dir.join("lint.toml"), "[ordering]\ncrates = [\"smi\"]\n").expect("write cfg");
+    let out = Command::new(env!("CARGO_BIN_EXE_airguard-lint"))
+        .arg("--root")
+        .arg(&dir)
+        .arg("--no-cache")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("did you mean `sim`?"),
+        "expected a did-you-mean hint, got: {stderr}"
+    );
 }
 
 #[test]

@@ -51,6 +51,7 @@ pub struct SimulationConfig {
     /// per transmission).
     pub fading: Fading,
     /// Master seed for all randomness in the run.
+    // lint:allow(digest-completeness) — the seed is the cache key's second component, deliberately excluded from the identity
     pub seed: MasterSeed,
     /// Deterministic fault-injection plan, if any. `None` (the default)
     /// leaves every fault hook inert and keeps the config digest — and
@@ -70,6 +71,31 @@ impl Default for SimulationConfig {
             seed: MasterSeed::new(1),
             fault: None,
         }
+    }
+}
+
+impl SimulationConfig {
+    /// The canonical, *seed-independent* identity of this
+    /// configuration: every field that shapes the run, enumerated
+    /// explicitly so the digest-completeness lint can verify that no
+    /// field is silently dropped. The seed is deliberately absent —
+    /// it is the cache key's second component, never part of the
+    /// identity (see `ScenarioConfig::identity`, which embeds this
+    /// string so the two digest paths can never diverge).
+    #[must_use]
+    pub fn identity(&self) -> String {
+        format!(
+            "phy={:?}|mac={:?}|horizon={:?}|diag_bin={:?}|fading={:?}|fault={:?}",
+            self.phy, self.mac, self.horizon, self.diag_bin, self.fading, self.fault
+        )
+    }
+
+    /// FNV-1a digest of [`Self::identity`]: the fingerprint stamped
+    /// into every [`RunSummary`], shared by same-config runs
+    /// regardless of seed.
+    #[must_use]
+    pub fn config_digest(&self) -> String {
+        fnv1a_hex(self.identity().as_bytes())
     }
 }
 
@@ -401,10 +427,13 @@ impl Simulation {
         }
     }
 
-    /// Attaches a trace sink to the runner and every node.
+    /// Attaches a trace sink to the runner and every node (MAC and
+    /// reception tracker alike, so PHY collision/decode events land in
+    /// the same stream).
     pub fn set_trace(&mut self, trace: Trace) {
-        for node in &mut self.nodes {
+        for (i, node) in self.nodes.iter_mut().enumerate() {
             node.mac.set_trace(trace.clone());
+            node.tracker.set_trace(trace.clone(), NodeId::new(i as u32));
         }
         self.trace = trace;
     }
@@ -414,21 +443,6 @@ impl Simulation {
     #[must_use]
     pub fn registry(&self) -> &Registry {
         &self.registry
-    }
-
-    /// Digest of everything that shapes the run except the seed, so
-    /// same-config/different-seed reports share a fingerprint. The
-    /// fault plan is appended only when one is set, so unfaulted runs
-    /// keep their pre-fault-injection digests byte for byte.
-    fn config_digest(cfg: &SimulationConfig) -> String {
-        let mut repr = format!(
-            "{:?}|{:?}|{:?}|{:?}|{:?}",
-            cfg.phy, cfg.mac, cfg.horizon, cfg.diag_bin, cfg.fading
-        );
-        if let Some(plan) = &cfg.fault {
-            repr.push_str(&format!("|fault:{plan:?}"));
-        }
-        fnv1a_hex(repr.as_bytes())
     }
 
     /// Runs to the configured horizon and reports.
@@ -509,7 +523,7 @@ impl Simulation {
         let summary = RunSummary::new(
             "sim",
             self.cfg.seed.value(),
-            Self::config_digest(&self.cfg),
+            self.cfg.config_digest(),
             self.cfg.horizon.as_micros(),
         )
         .with_metrics(self.registry.snapshot());

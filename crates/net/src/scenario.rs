@@ -304,6 +304,27 @@ impl ScenarioConfig {
         (report, sink)
     }
 
+    /// The [`SimulationConfig`] this scenario hands to the runner.
+    ///
+    /// Public so the digest chain has a single source of truth: the
+    /// runner stamps `simulation_config().config_digest()` into every
+    /// [`RunSummary`](airguard_obs::RunSummary), and
+    /// [`Self::identity`] embeds `simulation_config().identity()`, so
+    /// the scenario-level and runner-level fingerprints are derived
+    /// from the same field enumeration and can never diverge.
+    #[must_use]
+    pub fn simulation_config(&self) -> SimulationConfig {
+        SimulationConfig {
+            phy: self.phy,
+            mac: self.mac.clone(),
+            horizon: self.sim_time,
+            diag_bin: SimDuration::from_secs(1),
+            fading: self.fading,
+            seed: MasterSeed::new(self.seed),
+            fault: self.fault.clone(),
+        }
+    }
+
     /// Builds the configured simulation without running it.
     fn build_simulation(&self) -> Simulation {
         let topology = self.build_topology();
@@ -322,28 +343,40 @@ impl ScenarioConfig {
                 }
             })
             .collect();
-        let cfg = SimulationConfig {
-            phy: self.phy,
-            mac: self.mac.clone(),
-            horizon: self.sim_time,
-            diag_bin: SimDuration::from_secs(1),
-            fading: self.fading,
-            seed: MasterSeed::new(self.seed),
-            fault: self.fault.clone(),
-        };
-        Simulation::new(cfg, topology, policies, misbehaving)
+        Simulation::new(self.simulation_config(), topology, policies, misbehaving)
     }
 
     /// The canonical, *seed-independent* identity of this
-    /// configuration: the `Debug` rendering with the seed normalised
-    /// to zero. Two configurations with equal identity run the same
-    /// grid point; the seed is keyed separately (the experiment
+    /// configuration. Two configurations with equal identity run the
+    /// same grid point; the seed is keyed separately (the experiment
     /// engine's cache key is `(config_digest, seed)`).
+    ///
+    /// Every field is enumerated explicitly — the scenario-level knobs
+    /// here, the runner-level knobs via the embedded
+    /// [`SimulationConfig::identity`] — so the digest-completeness
+    /// lint can verify that adding a config field without extending
+    /// the identity is impossible. The `seed` field is consumed by
+    /// [`Self::simulation_config`] (as the master-seed constructor)
+    /// but normalised out of the identity string itself.
     #[must_use]
     pub fn identity(&self) -> String {
-        let mut canon = self.clone();
-        canon.seed = 0;
-        format!("{canon:?}")
+        format!(
+            "scenario={:?}|protocol={:?}|n_senders={}|strategy={:?}\
+             |misbehaving_override={:?}|payload={}|rate_bps={}|correct_cfg={:?}\
+             |random_nodes={}|random_area={:?}|random_misbehaving={}|sim={}",
+            self.scenario,
+            self.protocol,
+            self.n_senders,
+            self.strategy,
+            self.misbehaving_override,
+            self.payload,
+            self.rate_bps,
+            self.correct_cfg,
+            self.random_nodes,
+            self.random_area,
+            self.random_misbehaving,
+            self.simulation_config().identity(),
+        )
     }
 
     /// FNV-1a digest of [`Self::identity`] — the stable cache/identity
@@ -409,6 +442,34 @@ mod tests {
         assert_ne!(d1, other, "config changes must change the digest");
         let other_pm = base.misbehavior_percent(60.0).config_digest();
         assert_ne!(d1, other_pm);
+    }
+
+    #[test]
+    fn summary_digest_is_derived_from_the_scenario_identity() {
+        // The runner's per-report digest and the scenario's cache
+        // digest must come from the same field enumeration: the
+        // scenario identity embeds the simulation identity verbatim,
+        // and the summary digest IS the simulation-config digest.
+        let cfg = ScenarioConfig::new(StandardScenario::ZeroFlow)
+            .n_senders(2)
+            .sim_time_secs(1)
+            .seed(7);
+        assert!(
+            cfg.identity().contains(&cfg.simulation_config().identity()),
+            "scenario identity must embed the simulation identity"
+        );
+        let report = cfg.run();
+        assert_eq!(
+            report.summary.config_digest,
+            cfg.simulation_config().config_digest(),
+            "runner summary digest must delegate to SimulationConfig::config_digest"
+        );
+        // Both digest paths are seed-independent.
+        assert_eq!(
+            cfg.simulation_config().config_digest(),
+            cfg.clone().seed(9).simulation_config().config_digest()
+        );
+        assert_eq!(cfg.config_digest(), cfg.clone().seed(9).config_digest());
     }
 
     #[test]

@@ -77,6 +77,15 @@ impl Category {
         1 << (self as u32)
     }
 
+    /// The category whose [`Category::name`] equals `name`, if any.
+    ///
+    /// The inverse of `name()`; lets config layers (e.g. a lint scope or
+    /// a CLI `--events` filter) validate dotted category strings.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Category> {
+        Category::ALL.into_iter().find(|c| c.name() == name)
+    }
+
     /// The dotted name used by the legacy string trace.
     #[must_use]
     pub const fn name(self) -> &'static str {
@@ -387,6 +396,18 @@ mod tests {
         assert_eq!(Category::MacTx.name(), "mac.tx");
         assert_eq!(Category::MacBackoff.name(), "mac.backoff");
         assert_eq!(Category::PhyCollision.name(), "phy.collision");
+    }
+
+    #[test]
+    fn category_names_are_unique_and_round_trip() {
+        for cat in Category::ALL {
+            assert_eq!(
+                Category::from_name(cat.name()),
+                Some(cat),
+                "{cat:?} must round-trip through its name"
+            );
+        }
+        assert_eq!(Category::from_name("no.such.category"), None);
     }
 
     #[test]

@@ -14,8 +14,8 @@
 //! 3. *When did busy/idle edges happen?* — returned from each state
 //!    change, so the MAC can freeze and resume backoff counting.
 
-use airguard_sim::trace::Trace;
-use airguard_sim::SimTime;
+use airguard_sim::trace::{ObsEvent, Trace};
+use airguard_sim::{NodeId, SimTime};
 
 use crate::medium::TransmissionId;
 use crate::units::{Db, Dbm};
@@ -59,7 +59,7 @@ pub struct RxTracker {
     locked: Option<Locked>,
     transmitting: bool,
     trace: Trace,
-    node_label: String,
+    node: NodeId,
 }
 
 impl RxTracker {
@@ -72,14 +72,15 @@ impl RxTracker {
             locked: None,
             transmitting: false,
             trace: Trace::new(),
-            node_label: String::new(),
+            node: NodeId::new(0),
         }
     }
 
-    /// Attaches a trace sink; `label` identifies this node in the log.
-    pub fn set_trace(&mut self, trace: Trace, label: impl Into<String>) {
+    /// Attaches a trace sink; `node` identifies this tracker's owner in
+    /// the typed event stream.
+    pub fn set_trace(&mut self, trace: Trace, node: NodeId) {
         self.trace = trace;
-        self.node_label = label.into();
+        self.node = node;
     }
 
     /// True when the channel appears busy to this node (own transmission
@@ -115,16 +116,17 @@ impl RxTracker {
                     // newcomer is interference either way.
                     if locked.power - power < self.capture {
                         locked.clean = false;
-                        // Build the detail string only when tracing: the
-                        // format! would otherwise allocate on every
-                        // collision of every run.
-                        if self.trace.is_enabled() {
-                            self.trace.record(
-                                now,
-                                "phy.collision",
-                                format!("{}: {:?} garbled by {:?}", self.node_label, locked.id, id),
-                            );
-                        }
+                        // Typed emission: a disabled sink rejects this
+                        // with one relaxed load, and the event itself is
+                        // three plain integers — no allocation either way.
+                        self.trace.emit(
+                            now,
+                            self.node,
+                            ObsEvent::Collision {
+                                victim_tx: locked.id.value(),
+                                culprit_tx: Some(id.value()),
+                            },
+                        );
                     }
                 }
                 None => {
@@ -166,15 +168,16 @@ impl RxTracker {
                 } else {
                     DecodeOutcome::Garbled
                 };
-                // Every decoded frame passes through here: keep the
-                // disabled-trace path free of formatting and allocation.
-                if self.trace.is_enabled() {
-                    self.trace.record(
-                        now,
-                        "phy.decode",
-                        format!("{}: {:?} {:?}", self.node_label, id, outcome),
-                    );
-                }
+                // Every decoded frame passes through here: the typed
+                // event is allocation-free, so no enabled guard needed.
+                self.trace.emit(
+                    now,
+                    self.node,
+                    ObsEvent::Decode {
+                        tx: id.value(),
+                        clean: locked.clean,
+                    },
+                );
                 Some(outcome)
             }
             _ => None,
@@ -192,13 +195,16 @@ impl RxTracker {
         if let Some(locked) = &mut self.locked {
             if locked.clean {
                 locked.clean = false;
-                if self.trace.is_enabled() {
-                    self.trace.record(
-                        now,
-                        "phy.collision",
-                        format!("{}: {:?} garbled by own tx", self.node_label, locked.id),
-                    );
-                }
+                self.trace.emit(
+                    now,
+                    self.node,
+                    ObsEvent::Collision {
+                        victim_tx: locked.id.value(),
+                        // No culprit transmission: the node's own
+                        // transmitter garbled the reception.
+                        culprit_tx: None,
+                    },
+                );
             }
         }
         (!was_busy).then_some(BusyEdge::BecameBusy)

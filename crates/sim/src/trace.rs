@@ -17,7 +17,10 @@
 
 use std::fmt;
 
-use airguard_obs::{EventSink, ObsEvent, Record, NO_NODE};
+use airguard_obs::{EventSink, Record, NO_NODE};
+// Re-exported so crates that only talk to the trace bus (e.g. the phy
+// reception tracker) can emit typed events without their own obs edge.
+pub use airguard_obs::ObsEvent;
 
 use crate::ident::NodeId;
 use crate::time::SimTime;
