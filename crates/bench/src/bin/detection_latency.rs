@@ -1,0 +1,10 @@
+//! Thin wrapper: `detection_latency` through the unified driver.
+//!
+//! Regenerate with:
+//! `cargo run --release -p airguard-bench --bin detection_latency`
+//! (same flags as `airguard-bench`, figure fixed to
+//! `detection_latency`).
+
+fn main() {
+    std::process::exit(airguard_bench::cli::bin_main("detection_latency"));
+}

@@ -8,28 +8,41 @@
 //! airguard-bench                       # every figure, paper settings
 //! ```
 //!
-//! The 16 per-figure binaries call [`bin_main`] with their figure name
+//! The 17 per-figure binaries call [`bin_main`] with their figure name
 //! forced and accept the same flags. Seed count and horizon fall back
 //! to the `AIRGUARD_SEEDS` / `AIRGUARD_SECS` environment variables;
 //! malformed values are *rejected with an error*, never silently
 //! defaulted.
 
+use std::io::Write as _;
 use std::time::Instant;
 
 use airguard_exp::{run_experiment, write_report_jsonl, Experiment, ResultCache, RunOptions};
+use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+use airguard_obs::{records_to_chrome_trace, PhaseProfiler};
 
 use crate::figures;
 use crate::{PAPER_SECS, PAPER_SEEDS};
 
 /// One stdout line. The CLI owns the console; the figure/table layer
-/// below stays print-free apart from `Table::print`.
+/// below stays print-free apart from `Table::print`. Each line is
+/// staged with its newline and written with a single locked
+/// `write_all`, so lines from concurrent processes sharing the stream
+/// never interleave mid-line.
 fn out(line: &str) {
-    println!("{line}"); // lint:allow(print-macro) — the CLI driver is the process's user-facing output
+    let mut buf = String::with_capacity(line.len() + 1);
+    buf.push_str(line);
+    buf.push('\n');
+    let _ = std::io::stdout().lock().write_all(buf.as_bytes());
 }
 
-/// One stderr line (progress, warnings, failures).
+/// One stderr line (progress, warnings, failures); atomic per line
+/// like [`out`].
 fn err(line: &str) {
-    eprintln!("{line}"); // lint:allow(print-macro) — the CLI driver owns the process's diagnostics stream
+    let mut buf = String::with_capacity(line.len() + 1);
+    buf.push_str(line);
+    buf.push('\n');
+    let _ = std::io::stderr().lock().write_all(buf.as_bytes());
 }
 
 const USAGE: &str = "\
@@ -53,6 +66,13 @@ options:
   --max-events N   virtual-event budget per cell run (default: unbounded)
   --no-resume      re-run cells a previous (possibly killed) sweep
                    recorded as failed in the progress manifest
+  --quiet          suppress the per-experiment [exp] progress line
+  --profile        enable the hot-path phase profiler and print its
+                   per-experiment report (wall time, diagnostic only)
+  --trace-out PATH run one fully-observed ZERO-FLOW scenario (PM=50,
+                   seed 1, --secs horizon) and write its causal trace
+                   as Chrome trace-event / Perfetto JSON to PATH; runs
+                   no figures unless --figure is also given
   --help           show this help";
 
 /// Everything the flag parser produces.
@@ -85,6 +105,13 @@ pub struct Cli {
     pub max_events: Option<u64>,
     /// Re-run cells the progress manifest recorded as failed.
     pub no_resume: bool,
+    /// Suppress the per-experiment `[exp]` progress line on stderr.
+    pub quiet: bool,
+    /// Enable phase profiling and print the per-experiment report.
+    pub profile: bool,
+    /// Write a Chrome trace-event JSON of one observed run to this
+    /// path.
+    pub trace_out: Option<String>,
 }
 
 /// Parses a positive integer, rejecting junk and zero with a clear
@@ -142,6 +169,9 @@ pub fn parse(args: &[String], forced_figure: Option<&str>) -> Result<Cli, String
         watchdog_secs: None,
         max_events: None,
         no_resume: false,
+        quiet: false,
+        profile: false,
+        trace_out: None,
     };
     let mut it = args.iter();
     let value = |flag: &str, it: &mut std::slice::Iter<String>| {
@@ -195,6 +225,9 @@ pub fn parse(args: &[String], forced_figure: Option<&str>) -> Result<Cli, String
                 )?);
             }
             "--no-resume" => cli.no_resume = true,
+            "--quiet" => cli.quiet = true,
+            "--profile" => cli.profile = true,
+            "--trace-out" => cli.trace_out = Some(value("--trace-out", &mut it)?),
             other => return Err(format!("unknown flag {other:?} (see --help)")),
         }
     }
@@ -214,6 +247,24 @@ fn select(figures: &[String]) -> Result<Vec<Experiment>, String> {
             })
         })
         .collect()
+}
+
+/// Runs one fully-observed, profiled ZERO-FLOW scenario and writes
+/// its causal trace as Chrome trace-event JSON (open in Perfetto or
+/// `chrome://tracing`). Returns the profiler so the caller can print
+/// the phase report.
+fn write_trace(path: &str, secs: u64) -> Result<(usize, PhaseProfiler), String> {
+    let profiler = PhaseProfiler::enabled();
+    let cfg = ScenarioConfig::new(StandardScenario::ZeroFlow)
+        .protocol(Protocol::Correct)
+        .misbehavior_percent(50.0)
+        .sim_time_secs(secs)
+        .seed(1);
+    let (_report, sink) = cfg.run_observed_profiled(profiler.clone());
+    let records = sink.records();
+    let json = records_to_chrome_trace(&records);
+    std::fs::write(path, json.as_bytes()).map_err(|e| format!("failed to write {path}: {e}"))?;
+    Ok((records.len(), profiler))
 }
 
 /// Runs one parsed invocation; returns the process exit code.
@@ -242,6 +293,23 @@ pub fn run(cli: &Cli) -> i32 {
     // The perf harness is not a sweep: run it directly, keep any other
     // selected figures flowing through the engine below.
     let mut exit = 0;
+    if let Some(path) = &cli.trace_out {
+        match write_trace(path, cli.secs) {
+            Ok((records, profiler)) => {
+                out(&format!("[trace] {records} records -> {path}"));
+                err(profiler.report().trim_end());
+            }
+            Err(msg) => {
+                err(&format!("airguard-bench: {msg}"));
+                exit = 1;
+            }
+        }
+        // A trace capture is a dedicated run; only fall through to the
+        // sweep engine when figures were explicitly selected.
+        if cli.figures.is_empty() {
+            return exit;
+        }
+    }
     let mut figures: Vec<String> = cli.figures.clone();
     if let Some(at) = figures.iter().position(|f| f == "hotpath") {
         figures.remove(at);
@@ -270,6 +338,7 @@ pub fn run(cli: &Cli) -> i32 {
 
     let mut opts = RunOptions::new(cli.seeds, cli.secs);
     opts.workers = cli.workers;
+    opts.profiler = cli.profile.then(PhaseProfiler::enabled);
     opts.retries = cli.retries;
     opts.watchdog_secs = cli.watchdog_secs;
     opts.max_events = cli.max_events;
@@ -322,13 +391,22 @@ pub fn run(cli: &Cli) -> i32 {
             err(&format!("airguard-bench: {failure}"));
             exit = 1;
         }
-        err(&format!(
-            "[exp] {}: {} (workers={}, {:.1} s)",
-            exp.name,
-            outcome.progress,
-            opts.effective_workers(),
-            start.elapsed().as_secs_f64()
-        ));
+        if let Some(profiler) = &opts.profiler {
+            err(&format!("[profile] {}", exp.name));
+            err(profiler.report().trim_end());
+            // Per-experiment accounting: the shared profiler restarts
+            // from zero for the next sweep.
+            profiler.clear();
+        }
+        if !cli.quiet {
+            err(&format!(
+                "[exp] {}: {} (workers={}, {:.1} s)",
+                exp.name,
+                outcome.progress,
+                opts.effective_workers(),
+                start.elapsed().as_secs_f64()
+            ));
+        }
     }
     exit
 }
@@ -491,6 +569,27 @@ mod tests {
     fn unknown_figures_are_reported() {
         let msg = select(&["no_such".to_owned()]).unwrap_err();
         assert!(msg.contains("unknown figure"));
-        assert_eq!(select(&[]).expect("all").len(), 16);
+        assert_eq!(select(&[]).expect("all").len(), 17);
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let cli = parse(
+            &args(&["--quiet", "--profile", "--trace-out", "/tmp/trace.json"]),
+            None,
+        )
+        .expect("parses");
+        assert!(cli.quiet && cli.profile);
+        assert_eq!(cli.trace_out.as_deref(), Some("/tmp/trace.json"));
+        assert!(parse(&args(&["--trace-out"]), None)
+            .unwrap_err()
+            .contains("missing value"));
+    }
+
+    #[test]
+    fn observability_defaults_are_inert() {
+        let cli = parse(&[], None).expect("parses");
+        assert!(!cli.quiet && !cli.profile);
+        assert_eq!(cli.trace_out, None);
     }
 }

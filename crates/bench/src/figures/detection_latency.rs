@@ -1,0 +1,224 @@
+//! Detection latency: how long the monitor takes to react to a
+//! cheater, swept over misbehavior coefficient × fault intensity.
+//!
+//! The paper reports *whether* misbehavior is diagnosed (Fig. 4/5);
+//! this grid measures *how fast*, in virtual time. Every cell runs
+//! with a masked telemetry sink ([`DETECTION_OBSERVE_MASK`]): the
+//! runner folds the exchange-id-threaded event stream into per-station
+//! spans and records two histograms per run —
+//! onset→first-`PenaltyAdded` and onset→first-`DiagnosisFlagged`
+//! latency (see `airguard_obs::SpanSet`). Rendering pools the
+//! fixed-geometry buckets across seeds and reads the median and p99 as
+//! bucket upper bounds, so the table (and CSV) is byte-identical for
+//! any worker count or cache state.
+//!
+//! The fault axis reuses the chaos grid's composite plan: burst loss
+//! and corruption destroy monitor observations, so detection latency
+//! is expected to stretch with intensity — the quantitative cost of an
+//! imperfect channel that the paper's §5.2 robustness claim leaves
+//! unmeasured.
+
+use airguard_exp::{f2, Axes, Experiment, ExperimentResult, Figure, PointResult, Rendered, Table};
+use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+use airguard_obs::{DETECTION_OBSERVE_MASK, DIAGNOSIS_LATENCY_HIST, PENALTY_LATENCY_HIST};
+
+use super::chaos;
+
+/// Fault intensity as a percentage of the full-chaos operating point.
+const INTENSITIES: [u16; 3] = [0, 50, 100];
+/// Misbehavior coefficients; all non-zero — a compliant sender has no
+/// onset and therefore no latency to measure.
+const PMS: [f64; 3] = [30.0, 60.0, 90.0];
+
+fn axes(intensity: u16, pm: f64) -> Axes {
+    Axes::new()
+        .with("fault", intensity)
+        .with("pm", format!("{pm:.0}"))
+}
+
+/// The detection-latency grid experiment.
+///
+/// # Panics
+///
+/// Panics at registration time if a chaos plan fails validation — a
+/// sweep-definition bug, not a runtime path.
+#[must_use]
+pub fn experiment() -> Experiment {
+    let mut e = Experiment::new(
+        "detection_latency",
+        "Detection latency: onset -> penalty/diagnosis vs PM x fault intensity",
+    );
+    e.render = render;
+    e.jsonl_default = true;
+    for intensity in INTENSITIES {
+        for pm in PMS {
+            let cfg = ScenarioConfig::new(StandardScenario::ZeroFlow)
+                .protocol(Protocol::Correct)
+                .misbehavior_percent(pm)
+                .fault(chaos::plan(intensity))
+                .expect("chaos plans target node 1 of the standard topology with in-range probabilities") // lint:allow(panic-expect) — registration-time config bug, not a runtime path
+                .observe(DETECTION_OBSERVE_MASK);
+            e.push(&axes(intensity, pm), cfg);
+        }
+    }
+    e
+}
+
+/// Pools one named histogram over a point's successful cells. Bounds
+/// are fixed (`DETECTION_LATENCY_BOUNDS_US`) so pooling is a per-bucket
+/// count sum; cells missing the histogram (no misbehavior onset
+/// observed) contribute nothing.
+fn pooled(point: &PointResult, name: &str) -> (Vec<u64>, Vec<u64>, u64) {
+    let mut bounds: Vec<u64> = Vec::new();
+    let mut counts: Vec<u64> = Vec::new();
+    let mut total = 0;
+    for cell in point.ok_cells() {
+        let Some(h) = cell.histograms.get(name) else {
+            continue;
+        };
+        if bounds.is_empty() {
+            bounds.clone_from(&h.bounds);
+            counts = vec![0; h.counts.len()];
+        }
+        if h.bounds == bounds {
+            for (acc, c) in counts.iter_mut().zip(&h.counts) {
+                *acc += c;
+            }
+            total += h.total;
+        }
+    }
+    (bounds, counts, total)
+}
+
+/// Deterministic quantile over pooled buckets, reported in
+/// milliseconds: the inclusive upper bound of the bucket where the
+/// cumulative count first reaches `ceil(q · total)`. Samples in the
+/// overflow bucket saturate to the last bound; an empty histogram
+/// reads 0.
+fn percentile_ms(bounds: &[u64], counts: &[u64], total: u64, q: f64) -> f64 {
+    if total == 0 || bounds.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cumulative = 0u64;
+    for (i, &count) in counts.iter().enumerate() {
+        cumulative += count;
+        if cumulative >= rank {
+            let upper = bounds.get(i).copied().unwrap_or(bounds[bounds.len() - 1]);
+            return upper as f64 / 1_000.0;
+        }
+    }
+    bounds[bounds.len() - 1] as f64 / 1_000.0
+}
+
+fn render(r: &ExperimentResult) -> Rendered {
+    let mut t = Table::new(
+        "Detection latency (virtual ms): onset -> penalty/diagnosis",
+        &[
+            "fault%", "PM%", "pen p50", "pen p99", "diag p50", "diag p99", "samples",
+        ],
+    );
+    for intensity in INTENSITIES {
+        for pm in PMS {
+            let point = r.point(&axes(intensity, pm));
+            let (pb, pc, pt) = pooled(point, PENALTY_LATENCY_HIST);
+            let (db, dc, dt) = pooled(point, DIAGNOSIS_LATENCY_HIST);
+            t.row(&[
+                format!("{intensity}"),
+                format!("{pm:.0}"),
+                f2(percentile_ms(&pb, &pc, pt, 0.50)),
+                f2(percentile_ms(&pb, &pc, pt, 0.99)),
+                f2(percentile_ms(&db, &dc, dt, 0.50)),
+                f2(percentile_ms(&db, &dc, dt, 0.99)),
+                format!("{pt}"),
+            ]);
+        }
+    }
+    Rendered {
+        figures: vec![Figure {
+            name: "detection_latency".into(),
+            table: t,
+        }],
+        notes: vec![
+            "Latencies are virtual time from a cheater's first channel access to the \
+             monitor's first PenaltyAdded / DiagnosisFlagged verdict, pooled over \
+             seeds; p50/p99 are histogram bucket upper bounds, so the table is \
+             byte-identical across reruns and worker counts."
+                .to_owned(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_pm_times_fault_with_observation_enabled() {
+        let e = experiment();
+        assert_eq!(e.points.len(), INTENSITIES.len() * PMS.len());
+        assert!(e.jsonl_default, "the latency report is the figure's point");
+        for p in &e.points {
+            assert!(
+                p.cfg.identity().contains("observe_mask"),
+                "every cell must run observed: {}",
+                p.key
+            );
+        }
+    }
+
+    #[test]
+    fn percentile_reads_bucket_upper_bounds() {
+        let bounds = [1_000, 5_000, 10_000];
+        // 10 samples: 2 in <=1ms, 6 in <=5ms, 1 in <=10ms, 1 overflow.
+        let counts = [2, 6, 1, 1];
+        assert_eq!(percentile_ms(&bounds, &counts, 10, 0.50), 5.0);
+        assert_eq!(percentile_ms(&bounds, &counts, 10, 0.99), 10.0);
+        // The overflow sample saturates to the last bound.
+        assert_eq!(percentile_ms(&bounds, &counts, 10, 1.0), 10.0);
+        assert_eq!(percentile_ms(&bounds, &counts, 0, 0.5), 0.0);
+        assert_eq!(percentile_ms(&[], &[], 0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn pooling_sums_counts_across_cells() {
+        use airguard_obs::HistogramSnapshot;
+        use std::collections::BTreeMap;
+        let hist = |counts: Vec<u64>, total: u64| HistogramSnapshot {
+            bounds: vec![1_000, 5_000],
+            counts,
+            total,
+            sum: 0,
+        };
+        let cell = |counts: Vec<u64>, total: u64| {
+            let mut histograms = BTreeMap::new();
+            histograms.insert(PENALTY_LATENCY_HIST.to_owned(), hist(counts, total));
+            airguard_exp::CellMetrics {
+                seed: 1,
+                elapsed_us: 0,
+                wall_us: 0,
+                summary_digest: String::new(),
+                scalars: BTreeMap::new(),
+                series: Vec::new(),
+                counters: BTreeMap::new(),
+                histograms,
+            }
+        };
+        let point = PointResult {
+            key: "k".into(),
+            digest: "d".into(),
+            cells: vec![
+                Ok(cell(vec![1, 2, 0], 3)),
+                Err("failed".into()),
+                Ok(cell(vec![0, 1, 1], 2)),
+            ],
+        };
+        let (bounds, counts, total) = pooled(&point, PENALTY_LATENCY_HIST);
+        assert_eq!(bounds, vec![1_000, 5_000]);
+        assert_eq!(counts, vec![1, 3, 1]);
+        assert_eq!(total, 5);
+        let (nb, _, nt) = pooled(&point, DIAGNOSIS_LATENCY_HIST);
+        assert!(nb.is_empty());
+        assert_eq!(nt, 0);
+    }
+}

@@ -17,6 +17,7 @@ pub mod ablation_penalty;
 pub mod ablation_threshold;
 pub mod chaos;
 pub mod delay_report;
+pub mod detection_latency;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
@@ -45,6 +46,7 @@ pub fn all() -> Vec<Experiment> {
         ablation_penalty::experiment(),
         ablation_threshold::experiment(),
         chaos::experiment(),
+        detection_latency::experiment(),
     ]
 }
 

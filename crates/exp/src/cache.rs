@@ -103,6 +103,7 @@ mod tests {
         CellMetrics {
             seed,
             elapsed_us: 1,
+            wall_us: 0,
             summary_digest: "abcd".to_owned(),
             scalars,
             series: Vec::new(),

@@ -44,6 +44,12 @@ pub struct CellMetrics {
     pub seed: u64,
     /// Virtual time elapsed, microseconds.
     pub elapsed_us: u64,
+    /// Wall-clock cost of simulating this cell, microseconds; zero for
+    /// cells rehydrated from the cache. Never persisted to the cache
+    /// text and never exported (DESIGN.md §9: no wall-clock in
+    /// reports) — it exists so callers can tell cached from simulated
+    /// cells.
+    pub wall_us: u64,
     /// The runner's own `SimulationConfig` digest (kept for report
     /// fidelity; the *cache key* digest is the scenario-level one).
     pub summary_digest: String,
@@ -81,6 +87,7 @@ impl CellMetrics {
         CellMetrics {
             seed: report.summary.seed,
             elapsed_us: report.summary.elapsed_us,
+            wall_us: report.summary.wall_elapsed_us,
             summary_digest: report.summary.config_digest.clone(),
             scalars,
             series: report.series.bins().to_vec(),
@@ -106,6 +113,7 @@ impl CellMetrics {
             seed: self.seed,
             config_digest: self.summary_digest.clone(),
             elapsed_us: self.elapsed_us,
+            wall_elapsed_us: self.wall_us,
             counters: self.counters.clone(),
             histograms: self.histograms.clone(),
         }
@@ -160,6 +168,7 @@ impl CellMetrics {
         let mut cell = CellMetrics {
             seed: 0,
             elapsed_us: 0,
+            wall_us: 0,
             summary_digest: String::new(),
             scalars: BTreeMap::new(),
             series: Vec::new(),
@@ -246,6 +255,7 @@ mod tests {
         CellMetrics {
             seed: 7,
             elapsed_us: 2_000_000,
+            wall_us: 0,
             summary_digest: "deadbeefdeadbeef".to_owned(),
             scalars,
             series: vec![

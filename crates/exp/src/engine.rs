@@ -22,7 +22,7 @@ use std::path::PathBuf;
 use std::sync::Mutex;
 
 use airguard_net::{RunBudget, RunReport, ScenarioConfig};
-use airguard_obs::{aggregate_summaries, Progress, ProgressSnapshot, RunSummary};
+use airguard_obs::{aggregate_summaries, PhaseProfiler, Progress, ProgressSnapshot, RunSummary};
 
 use crate::cache::ResultCache;
 use crate::cell::CellMetrics;
@@ -63,6 +63,10 @@ pub struct RunOptions {
     /// a permanently hung cell must not hang every resumed sweep).
     /// `false` re-runs previously failed cells.
     pub resume: bool,
+    /// Hot-loop phase profiler shared by every simulated cell; `None`
+    /// (the default) keeps the runner's zero-cost disabled path. Totals
+    /// are diagnostic only and never enter results or the cache.
+    pub profiler: Option<PhaseProfiler>,
 }
 
 impl RunOptions {
@@ -80,6 +84,7 @@ impl RunOptions {
             max_events: None,
             manifest_dir: None,
             resume: true,
+            profiler: None,
         }
     }
 
@@ -154,11 +159,24 @@ pub struct ExperimentOutcome {
     pub progress: ProgressSnapshot,
 }
 
+/// Stamps the wall-clock cost of a freshly simulated cell. Struct-only:
+/// `wall_us` never reaches the cache text or any export, so a cached
+/// rehydration reads back zero and callers can tell the two apart.
+// lint:allow(determinism-time) — harness cost accounting, excluded from every deterministic artifact
+fn stamp_wall(mut cell: CellMetrics, started: std::time::Instant) -> CellMetrics {
+    cell.wall_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    cell
+}
+
 /// Runs `cfg` once under `seed` and extracts the cacheable metrics —
 /// the engine's default cell runner when no budget applies.
 #[must_use]
 pub fn simulate_cell(cfg: &ScenarioConfig, seed: u64) -> CellMetrics {
-    CellMetrics::from_report(&cfg.clone().seed(seed).run())
+    let started = std::time::Instant::now(); // lint:allow(determinism-time) — wall cost of the cell, never exported
+    stamp_wall(
+        CellMetrics::from_report(&cfg.clone().seed(seed).run()),
+        started,
+    )
 }
 
 /// Budget-aware cell runner: like [`simulate_cell`] but the run is
@@ -172,18 +190,26 @@ pub fn simulate_cell_budgeted(
     seed: u64,
     budget: &RunBudget,
 ) -> Result<CellMetrics, String> {
+    let started = std::time::Instant::now(); // lint:allow(determinism-time) — wall cost of the cell, never exported
     cfg.clone()
         .seed(seed)
         .run_budgeted(budget)
-        .map(|report| CellMetrics::from_report(&report))
+        .map(|report| stamp_wall(CellMetrics::from_report(&report), started))
 }
 
 /// Runs an experiment with the default simulation runner, honoring the
-/// options' watchdog budget.
+/// options' watchdog budget and phase profiler.
 #[must_use]
 pub fn run_experiment(exp: &Experiment, opts: &RunOptions) -> ExperimentOutcome {
-    run_experiment_with(exp, opts, &|cfg, seed| {
-        simulate_cell_budgeted(cfg, seed, &opts.cell_budget())
+    run_experiment_with(exp, opts, &|cfg, seed| match &opts.profiler {
+        None => simulate_cell_budgeted(cfg, seed, &opts.cell_budget()),
+        Some(profiler) => {
+            let started = std::time::Instant::now(); // lint:allow(determinism-time) — wall cost of the cell, never exported
+            cfg.clone()
+                .seed(seed)
+                .run_budgeted_profiled(&opts.cell_budget(), profiler.clone())
+                .map(|report| stamp_wall(CellMetrics::from_report(&report), started))
+        }
     })
 }
 

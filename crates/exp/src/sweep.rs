@@ -227,6 +227,7 @@ mod tests {
         CellMetrics {
             seed,
             elapsed_us: 0,
+            wall_us: 0,
             summary_digest: String::new(),
             scalars,
             series: vec![

@@ -52,6 +52,7 @@ fn synthetic_cell(cfg: &ScenarioConfig, seed: u64) -> CellMetrics {
     CellMetrics {
         seed,
         elapsed_us: 1_000_000 + seed,
+        wall_us: 0,
         summary_digest: digest,
         scalars,
         series: Vec::new(),

@@ -25,7 +25,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use airguard_obs::ObsEvent;
+use airguard_obs::{exchange_id, ObsEvent};
 use airguard_sim::trace::Trace;
 use airguard_sim::{NodeId, RngStream, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -551,16 +551,19 @@ impl<P: BackoffPolicy> Mac<P> {
                 }
             }
         };
+        let xid = exchange_id(self.id.value(), pkt.seq);
         let event = match frame.kind {
             FrameKind::Rts => ObsEvent::RtsTx {
                 dst: pkt.dst.value(),
                 seq: pkt.seq,
                 attempt: self.attempt,
+                xid,
             },
             _ => ObsEvent::DataTx {
                 dst: pkt.dst.value(),
                 seq: pkt.seq,
                 attempt: self.attempt,
+                xid,
             },
         };
         self.trace.emit(now, self.id, event);
@@ -572,8 +575,15 @@ impl<P: BackoffPolicy> Mac<P> {
     /// Forwards a monitor measurement to telemetry: every observation
     /// becomes a `BackoffAssigned` event, and a non-zero penalty
     /// additionally emits `PenaltyAdded`.
-    fn emit_observation(&self, now: SimTime, src: NodeId, obs: Option<BackoffObservation>) {
+    fn emit_observation(
+        &self,
+        now: SimTime,
+        src: NodeId,
+        seq: u64,
+        obs: Option<BackoffObservation>,
+    ) {
         let Some(obs) = obs else { return };
+        let xid = exchange_id(src.value(), seq);
         self.trace.emit(
             now,
             self.id,
@@ -581,6 +591,7 @@ impl<P: BackoffPolicy> Mac<P> {
                 src: src.value(),
                 assigned_slots: obs.assigned_slots,
                 observed_slots: obs.observed_slots,
+                xid,
             },
         );
         if obs.penalty_slots > 0.0 {
@@ -592,6 +603,7 @@ impl<P: BackoffPolicy> Mac<P> {
                     penalty_slots: obs.penalty_slots,
                     assigned_slots: obs.assigned_slots,
                     observed_slots: obs.observed_slots,
+                    xid,
                 },
             );
         }
@@ -727,7 +739,7 @@ impl<P: BackoffPolicy> Mac<P> {
             &self.cfg.timing,
             &mut self.rng,
         );
-        self.emit_observation(now, frame.src, observation);
+        self.emit_observation(now, frame.src, frame.seq, observation);
         let assigned = self.policy.assignment_for(frame.src, &self.cfg.timing);
         let cts_air = self.response_air_time(FrameKind::Cts);
         let cts = Frame {
@@ -781,6 +793,7 @@ impl<P: BackoffPolicy> Mac<P> {
             ObsEvent::CtsRx {
                 src: frame.src.value(),
                 seq: pkt.seq,
+                xid: exchange_id(self.id.value(), pkt.seq),
             },
         );
     }
@@ -804,7 +817,7 @@ impl<P: BackoffPolicy> Mac<P> {
                     &self.cfg.timing,
                     &mut self.rng,
                 );
-                self.emit_observation(now, frame.src, observation);
+                self.emit_observation(now, frame.src, frame.seq, observation);
             }
             self.last_delivered.insert(frame.src, frame.seq);
             fx.push(MacEffect::Delivered {
@@ -820,6 +833,7 @@ impl<P: BackoffPolicy> Mac<P> {
                         ObsEvent::DiagnosisFlagged {
                             src: frame.src.value(),
                             window_sum: verdict.window_sum,
+                            xid: exchange_id(frame.src.value(), frame.seq),
                         },
                     );
                 }
@@ -885,6 +899,7 @@ impl<P: BackoffPolicy> Mac<P> {
             ObsEvent::AckRx {
                 src: frame.src.value(),
                 seq: pkt.seq,
+                xid: exchange_id(self.id.value(), pkt.seq),
             },
         );
         self.queue.pop_front();
@@ -959,16 +974,22 @@ impl<P: BackoffPolicy> Mac<P> {
                             .emit(now, self.id, ObsEvent::Deferred { response: true });
                     } else {
                         let event = match frame.kind {
+                            // CTS/ACK answer the exchange the *peer*
+                            // originated, so their id carries the
+                            // destination (the original sender), not us.
                             FrameKind::Cts => ObsEvent::CtsTx {
                                 dst: frame.dst.value(),
+                                xid: exchange_id(frame.dst.value(), frame.seq),
                             },
                             FrameKind::Ack => ObsEvent::AckTx {
                                 dst: frame.dst.value(),
+                                xid: exchange_id(frame.dst.value(), frame.seq),
                             },
                             _ => ObsEvent::DataTx {
                                 dst: frame.dst.value(),
                                 seq: frame.seq,
                                 attempt: self.attempt,
+                                xid: exchange_id(self.id.value(), frame.seq),
                             },
                         };
                         self.trace.emit(now, self.id, event);

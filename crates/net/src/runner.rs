@@ -25,7 +25,10 @@ use airguard_fault::FaultPlan;
 use airguard_mac::dcf::MacCounters;
 use airguard_mac::{ClockDriftState, FrameRef, Mac, MacConfig, MacEffect, MacInput, TimerKind};
 use airguard_metrics::{jain_index, DelayAccount, DiagnosisTally, ThroughputAccount, TimeBinned};
-use airguard_obs::{fnv1a_hex, Counter, Histogram, ObsEvent, Registry, RunSummary};
+use airguard_obs::{
+    fnv1a_hex, Category, Counter, Histogram, ObsEvent, Phase, PhaseProfiler, Registry, RunSummary,
+    SpanSet,
+};
 use airguard_phy::reception::DecodeOutcome;
 use airguard_phy::{Dbm, Fading, ListenerOutcome, Medium, PhyConfig, RxTracker, TransmissionId};
 use airguard_sim::trace::Trace;
@@ -306,6 +309,9 @@ pub struct Simulation {
     listeners_scratch: Vec<ListenerOutcome>,
     /// Mutable fault-injection state (inert when no plan is set).
     faults: FaultRuntime,
+    /// Hot-loop phase timers; disabled by default (one relaxed load
+    /// per scope, see [`PhaseProfiler`]).
+    profiler: PhaseProfiler,
 }
 
 impl Simulation {
@@ -423,6 +429,7 @@ impl Simulation {
             fx_scratch: Vec::new(),
             listeners_scratch: Vec::new(),
             faults,
+            profiler: PhaseProfiler::new(),
             cfg,
         }
     }
@@ -443,6 +450,20 @@ impl Simulation {
     #[must_use]
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// Attaches a phase profiler. Clones share accumulators, so the
+    /// caller keeps a handle and reads totals after the run; wall time
+    /// stays out of every deterministic export (DESIGN.md §9).
+    pub fn set_profiler(&mut self, profiler: PhaseProfiler) {
+        self.profiler = profiler;
+    }
+
+    /// The runner's phase profiler (disabled unless a caller enabled
+    /// it or installed one via [`Simulation::set_profiler`]).
+    #[must_use]
+    pub fn profiler(&self) -> &PhaseProfiler {
+        &self.profiler
     }
 
     /// Runs to the configured horizon and reports.
@@ -469,11 +490,18 @@ impl Simulation {
     pub fn run_budgeted(mut self, budget: &RunBudget) -> Result<RunReport, String> {
         let horizon = SimTime::ZERO + self.cfg.horizon;
         let mut processed: u64 = 0;
-        while let Some(t) = self.sched.peek_time() {
-            if t > horizon {
-                break;
-            }
-            let (now, event) = self.sched.pop().expect("peeked event exists"); // lint:allow(panic-expect) — peek_time returned Some and nothing pops between peek and pop on this single thread
+        // Detached handle: the guard must not borrow `self` across the
+        // `&mut self` dispatch calls below.
+        let profiler = self.profiler.clone();
+        loop {
+            let popped = {
+                let _pop = profiler.scope(Phase::SchedulerPop);
+                match self.sched.peek_time() {
+                    Some(t) if t <= horizon => self.sched.pop(),
+                    _ => None,
+                }
+            };
+            let Some((now, event)) = popped else { break };
             self.dispatch(now, event);
             self.drain_pending(now);
             processed += 1;
@@ -520,6 +548,16 @@ impl Simulation {
         self.registry
             .counter("mac.duplicates")
             .add(mac_totals.duplicates);
+        // With a sink carrying both the handshake and the monitor
+        // streams, fold the records into per-station spans and record
+        // onset→penalty/diagnosis latencies. Virtual-time only, so the
+        // histograms are as deterministic as every other metric; runs
+        // without an enabled sink skip this and keep the exact summary
+        // shape they had before causal tracing existed.
+        let sink = self.trace.sink();
+        if sink.wants(Category::MacTx) && sink.wants(Category::Monitor) {
+            SpanSet::from_records(&sink.records()).record_detection_latencies(&self.registry);
+        }
         let summary = RunSummary::new(
             "sim",
             self.cfg.seed.value(),
@@ -687,7 +725,10 @@ impl Simulation {
                 continue;
             }
             fx.clear();
-            self.nodes[node].mac.handle_into(now, input, &mut fx);
+            {
+                let _mac = self.profiler.scope(Phase::MacStep);
+                self.nodes[node].mac.handle_into(now, input, &mut fx);
+            }
             for effect in fx.drain(..) {
                 self.apply(now, node, effect);
             }
@@ -698,6 +739,7 @@ impl Simulation {
     fn apply(&mut self, now: SimTime, node: usize, effect: MacEffect) {
         match effect {
             MacEffect::StartTx(frame) => {
+                let _prop = self.profiler.scope(Phase::MediumPropagation);
                 let air = frame.air_time(&self.cfg.mac.timing);
                 let mut listeners = std::mem::take(&mut self.listeners_scratch);
                 let tx = self
@@ -769,6 +811,7 @@ impl Simulation {
                 self.throughput.record(src, NodeId::new(node as u32), bytes);
             }
             MacEffect::Classified { src, verdict } => {
+                let _mon = self.profiler.scope(Phase::MonitorStep);
                 // Deviation is a non-negative slot count; quantise to the
                 // histogram's integer buckets.
                 self.deviation_hist

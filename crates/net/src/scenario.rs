@@ -3,7 +3,7 @@
 use airguard_core::CorrectConfig;
 use airguard_fault::FaultPlan;
 use airguard_mac::{AccessMode, MacConfig, Selfish};
-use airguard_obs::EventSink;
+use airguard_obs::{EventSink, PhaseProfiler};
 use airguard_phy::{Fading, PhyConfig};
 use airguard_sim::trace::{Trace, TraceEvent};
 use airguard_sim::{MasterSeed, NodeId, SimDuration};
@@ -60,6 +60,11 @@ pub struct ScenarioConfig {
     random_misbehaving: usize,
     fading: Fading,
     fault: Option<FaultPlan>,
+    /// Telemetry category bitmask recorded during engine runs; zero
+    /// (the default) attaches no sink. A non-zero mask enters the
+    /// identity: an observed run folds span-derived histograms into its
+    /// summary, so it must never share a cache entry with a blind run.
+    observe_mask: u32,
 }
 
 impl ScenarioConfig {
@@ -84,6 +89,7 @@ impl ScenarioConfig {
             random_misbehaving: 5,
             fading: Fading::PerTransmission,
             fault: None,
+            observe_mask: 0,
         }
     }
 
@@ -177,6 +183,18 @@ impl ScenarioConfig {
     #[must_use]
     pub fn fading(mut self, fading: Fading) -> Self {
         self.fading = fading;
+        self
+    }
+
+    /// Enables typed telemetry during engine runs: every run of this
+    /// configuration attaches an [`EventSink`] restricted to `mask`
+    /// (see [`airguard_obs::Category`] bits), and the runner folds the
+    /// recorded stream into detection-latency histograms before the
+    /// summary snapshot. Zero (the default) disables observation and
+    /// keeps the identity byte-identical to pre-observation builds.
+    #[must_use]
+    pub fn observe(mut self, mask: u32) -> Self {
+        self.observe_mask = mask;
         self
     }
 
@@ -278,6 +296,24 @@ impl ScenarioConfig {
         self.build_simulation().run_budgeted(budget)
     }
 
+    /// Like [`Self::run_budgeted`] with a phase profiler attached.
+    /// Clones of `profiler` share accumulators, so the caller reads
+    /// totals after the run; the profiler never touches the summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` when the event budget is exhausted or the deadline
+    /// probe fires (see [`RunBudget`]).
+    pub fn run_budgeted_profiled(
+        &self,
+        budget: &RunBudget,
+        profiler: PhaseProfiler,
+    ) -> Result<RunReport, String> {
+        let mut sim = self.build_simulation();
+        sim.set_profiler(profiler);
+        sim.run_budgeted(budget)
+    }
+
     /// Runs the scenario once with tracing enabled, returning the
     /// report together with the full event trace. Two runs of the same
     /// configuration must produce identical traces — the determinism
@@ -300,6 +336,20 @@ impl ScenarioConfig {
         let sink = EventSink::enabled();
         let mut sim = self.build_simulation();
         sim.set_trace(Trace::from_sink(sink.clone()));
+        let report = sim.run();
+        (report, sink)
+    }
+
+    /// [`Self::run_observed`] with a phase profiler attached — the one
+    /// run path that yields the full causal picture: report, event
+    /// stream (for the Chrome-trace exporter), and hot-loop phase
+    /// totals.
+    #[must_use]
+    pub fn run_observed_profiled(&self, profiler: PhaseProfiler) -> (RunReport, EventSink) {
+        let sink = EventSink::enabled();
+        let mut sim = self.build_simulation();
+        sim.set_trace(Trace::from_sink(sink.clone()));
+        sim.set_profiler(profiler);
         let report = sim.run();
         (report, sink)
     }
@@ -343,7 +393,13 @@ impl ScenarioConfig {
                 }
             })
             .collect();
-        Simulation::new(self.simulation_config(), topology, policies, misbehaving)
+        let mut sim = Simulation::new(self.simulation_config(), topology, policies, misbehaving);
+        if self.observe_mask != 0 {
+            let sink = EventSink::enabled();
+            sink.set_mask(self.observe_mask);
+            sim.set_trace(Trace::from_sink(sink));
+        }
+        sim
     }
 
     /// The canonical, *seed-independent* identity of this
@@ -360,7 +416,7 @@ impl ScenarioConfig {
     /// but normalised out of the identity string itself.
     #[must_use]
     pub fn identity(&self) -> String {
-        format!(
+        let mut id = format!(
             "scenario={:?}|protocol={:?}|n_senders={}|strategy={:?}\
              |misbehaving_override={:?}|payload={}|rate_bps={}|correct_cfg={:?}\
              |random_nodes={}|random_area={:?}|random_misbehaving={}|sim={}",
@@ -376,7 +432,16 @@ impl ScenarioConfig {
             self.random_area,
             self.random_misbehaving,
             self.simulation_config().identity(),
-        )
+        );
+        // Appended only when set, so every pre-observation configuration
+        // keeps its exact historical identity (and cache entries). A
+        // non-zero mask adds histograms to the summary, which makes the
+        // observed cell a genuinely different artifact.
+        if self.observe_mask != 0 {
+            use std::fmt::Write as _;
+            let _ = write!(id, "|observe_mask={}", self.observe_mask);
+        }
+        id
     }
 
     /// FNV-1a digest of [`Self::identity`] — the stable cache/identity
@@ -578,6 +643,85 @@ mod tests {
         let b = cfg().run();
         assert_eq!(a.summary.to_json(), b.summary.to_json());
         assert!(a.throughput.total_bytes() > 0, "faulted run still delivers");
+    }
+
+    #[test]
+    fn observed_runs_fold_detection_latency_histograms() {
+        use airguard_obs::{DIAGNOSIS_LATENCY_HIST, PENALTY_LATENCY_HIST};
+        let cfg = ScenarioConfig::new(StandardScenario::ZeroFlow)
+            .n_senders(4)
+            .sim_time_secs(5)
+            .misbehavior_percent(90.0)
+            .seed(1);
+        let (report, _sink) = cfg.run_observed();
+        let hists = &report.summary.histograms;
+        let penalties = hists
+            .get(PENALTY_LATENCY_HIST)
+            .expect("observed run records the penalty-latency histogram");
+        assert!(
+            penalties.total >= 1,
+            "a 90% cheater must draw at least one penalty"
+        );
+        assert!(
+            hists.contains_key(DIAGNOSIS_LATENCY_HIST),
+            "diagnosis-latency histogram must be registered"
+        );
+        // A blind run of the same configuration has neither.
+        let blind = cfg.run();
+        assert!(!blind.summary.histograms.contains_key(PENALTY_LATENCY_HIST));
+    }
+
+    #[test]
+    fn observe_mask_enters_the_identity_only_when_set() {
+        use airguard_obs::{DETECTION_OBSERVE_MASK, PENALTY_LATENCY_HIST};
+        let base = ScenarioConfig::new(StandardScenario::ZeroFlow)
+            .n_senders(2)
+            .sim_time_secs(2)
+            .misbehavior_percent(90.0);
+        assert!(
+            !base.identity().contains("observe_mask"),
+            "zero mask must keep the pre-observation identity bytes"
+        );
+        let observed = base.clone().observe(DETECTION_OBSERVE_MASK);
+        assert_ne!(
+            base.config_digest(),
+            observed.config_digest(),
+            "an observed cell must never share a cache entry with a blind one"
+        );
+        // The engine path (plain `run`) picks the masked sink up from
+        // the config itself and folds the latency histograms.
+        let report = observed.run();
+        assert!(report.summary.histograms.contains_key(PENALTY_LATENCY_HIST));
+    }
+
+    #[test]
+    fn profiled_runs_match_plain_runs_byte_for_byte() {
+        use airguard_obs::{Phase, PhaseProfiler};
+        let cfg = ScenarioConfig::new(StandardScenario::ZeroFlow)
+            .n_senders(2)
+            .sim_time_secs(2)
+            .seed(4);
+        let plain = cfg.run();
+        let profiler = PhaseProfiler::enabled();
+        let profiled = cfg
+            .run_budgeted_profiled(&RunBudget::unlimited(), profiler.clone())
+            .expect("unlimited budget cannot trip");
+        assert_eq!(
+            plain.summary.to_json(),
+            profiled.summary.to_json(),
+            "profiling must never leak into the deterministic summary"
+        );
+        for phase in [
+            Phase::SchedulerPop,
+            Phase::MacStep,
+            Phase::MediumPropagation,
+        ] {
+            assert!(
+                profiler.totals(phase).1 > 0,
+                "{} must have accumulated calls",
+                phase.name()
+            );
+        }
     }
 
     #[test]

@@ -17,6 +17,35 @@ use std::fmt;
 /// (free-form notes, simulator-level events).
 pub const NO_NODE: u32 = u32::MAX;
 
+/// Pack an exchange id from the originating sender and its packet
+/// sequence number.
+///
+/// One RTS→CTS→DATA→ACK handshake is identified by who started it and
+/// which head-of-line packet it carries, so `(src, seq)` is stable
+/// across every leg of the exchange — the receiver's CTS/ACK carry the
+/// *sender's* id, not their own. Packed rather than a struct so the id
+/// rides in one `u64` JSONL field and one trace-event arg. 24 bits of
+/// station id (the repo's topologies are dense indices well under
+/// 2^24) and 40 bits of sequence (2^40 packets outlives any horizon);
+/// both truncations wrap rather than panic, which at worst aliases two
+/// exchanges in a pathological run — acceptable for telemetry.
+#[must_use]
+pub const fn exchange_id(src: u32, seq: u64) -> u64 {
+    (((src & 0x00FF_FFFF) as u64) << 40) | (seq & 0xFF_FFFF_FFFF)
+}
+
+/// The station id packed into an exchange id by [`exchange_id`].
+#[must_use]
+pub const fn exchange_src(xid: u64) -> u32 {
+    (xid >> 40) as u32
+}
+
+/// The sequence number packed into an exchange id by [`exchange_id`].
+#[must_use]
+pub const fn exchange_seq(xid: u64) -> u64 {
+    xid & 0xFF_FFFF_FFFF
+}
+
 /// Event category — one bit in the sink's enable mask.
 ///
 /// `name()` returns the dotted string the legacy trace used for the
@@ -115,17 +144,27 @@ impl Category {
 #[derive(Debug, Clone, PartialEq)]
 pub enum ObsEvent {
     /// Sender put an RTS on the air.
-    RtsTx { dst: u32, seq: u64, attempt: u8 },
+    RtsTx {
+        dst: u32,
+        seq: u64,
+        attempt: u8,
+        xid: u64,
+    },
     /// Sender put a DATA frame on the air (Basic access or after CTS).
-    DataTx { dst: u32, seq: u64, attempt: u8 },
+    DataTx {
+        dst: u32,
+        seq: u64,
+        attempt: u8,
+        xid: u64,
+    },
     /// Receiver put a CTS on the air.
-    CtsTx { dst: u32 },
+    CtsTx { dst: u32, xid: u64 },
     /// Receiver put an ACK on the air.
-    AckTx { dst: u32 },
+    AckTx { dst: u32, xid: u64 },
     /// Sender decoded the CTS answering its RTS.
-    CtsRx { src: u32, seq: u64 },
+    CtsRx { src: u32, seq: u64, xid: u64 },
     /// Sender decoded the ACK completing an exchange.
-    AckRx { src: u32, seq: u64 },
+    AckRx { src: u32, seq: u64, xid: u64 },
     /// RTS ignored because the NAV shows the medium busy or a response
     /// is already pending.
     RtsIgnored { src: u32 },
@@ -149,6 +188,7 @@ pub enum ObsEvent {
         src: u32,
         assigned_slots: f64,
         observed_slots: f64,
+        xid: u64,
     },
     /// Monitor added a penalty to the sender's next assigned backoff.
     PenaltyAdded {
@@ -156,10 +196,11 @@ pub enum ObsEvent {
         penalty_slots: f64,
         assigned_slots: f64,
         observed_slots: f64,
+        xid: u64,
     },
     /// Diagnosis window crossed THRESH: the sender is flagged as
     /// misbehaving.
-    DiagnosisFlagged { src: u32, window_sum: f64 },
+    DiagnosisFlagged { src: u32, window_sum: f64, xid: u64 },
     /// PHY: locked reception garbled by a newcomer (`culprit`) or by
     /// the node's own transmission (`None`).
     Collision {
@@ -257,23 +298,42 @@ impl ObsEvent {
             ObsEvent::FaultNodeUp { .. } => "fault_node_up",
         }
     }
+
+    /// The exchange id threaded through the RTS→CTS→DATA→ACK handshake
+    /// and the monitor observations it triggers, if this variant
+    /// carries one.
+    #[must_use]
+    pub fn xid(&self) -> Option<u64> {
+        match self {
+            ObsEvent::RtsTx { xid, .. }
+            | ObsEvent::DataTx { xid, .. }
+            | ObsEvent::CtsTx { xid, .. }
+            | ObsEvent::AckTx { xid, .. }
+            | ObsEvent::CtsRx { xid, .. }
+            | ObsEvent::AckRx { xid, .. }
+            | ObsEvent::BackoffAssigned { xid, .. }
+            | ObsEvent::PenaltyAdded { xid, .. }
+            | ObsEvent::DiagnosisFlagged { xid, .. } => Some(*xid),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ObsEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ObsEvent::RtsTx { dst, seq, attempt } => {
+            ObsEvent::RtsTx { dst, seq, attempt, .. } => {
                 write!(f, "Rts(seq={seq}, attempt={attempt}) -> n{dst}")
             }
-            ObsEvent::DataTx { dst, seq, attempt } => {
+            ObsEvent::DataTx { dst, seq, attempt, .. } => {
                 write!(f, "Data(seq={seq}, attempt={attempt}) -> n{dst}")
             }
-            ObsEvent::CtsTx { dst } => write!(f, "Cts -> n{dst}"),
-            ObsEvent::AckTx { dst } => write!(f, "Ack -> n{dst}"),
-            ObsEvent::CtsRx { src, seq } => {
+            ObsEvent::CtsTx { dst, .. } => write!(f, "Cts -> n{dst}"),
+            ObsEvent::AckTx { dst, .. } => write!(f, "Ack -> n{dst}"),
+            ObsEvent::CtsRx { src, seq, .. } => {
                 write!(f, "CTS from n{src}, sending DATA seq={seq}")
             }
-            ObsEvent::AckRx { src, seq } => write!(f, "ACK from n{src} for seq={seq}"),
+            ObsEvent::AckRx { src, seq, .. } => write!(f, "ACK from n{src} for seq={seq}"),
             ObsEvent::RtsIgnored { src } => {
                 write!(f, "RTS from n{src} ignored (nav/pending)")
             }
@@ -308,6 +368,7 @@ impl fmt::Display for ObsEvent {
                 src,
                 assigned_slots,
                 observed_slots,
+                ..
             } => write!(
                 f,
                 "n{src}: assigned {assigned_slots:.1} slots, observed {observed_slots:.1}"
@@ -317,11 +378,12 @@ impl fmt::Display for ObsEvent {
                 penalty_slots,
                 assigned_slots,
                 observed_slots,
+                ..
             } => write!(
                 f,
                 "n{src}: penalty {penalty_slots:.1} slots (assigned {assigned_slots:.1}, observed {observed_slots:.1})"
             ),
-            ObsEvent::DiagnosisFlagged { src, window_sum } => {
+            ObsEvent::DiagnosisFlagged { src, window_sum, .. } => {
                 write!(f, "n{src}: flagged misbehaving (window sum {window_sum:.1})")
             }
             ObsEvent::Collision {
@@ -379,7 +441,7 @@ pub struct Record {
 
 #[cfg(test)]
 mod tests {
-    use super::{Category, ObsEvent};
+    use super::{exchange_id, exchange_seq, exchange_src, Category, ObsEvent};
 
     #[test]
     fn category_bits_are_distinct() {
@@ -419,19 +481,21 @@ mod tests {
             dst: 2,
             seq: 0,
             attempt: 1,
+            xid: 0,
         }
         .to_string();
         assert!(rts.contains("Rts") && !rts.contains("Cts") && !rts.contains("Data"));
-        let cts = ObsEvent::CtsTx { dst: 1 }.to_string();
+        let cts = ObsEvent::CtsTx { dst: 1, xid: 0 }.to_string();
         assert!(cts.contains("Cts") && !cts.contains("Rts") && !cts.contains("Data"));
         let data = ObsEvent::DataTx {
             dst: 2,
             seq: 3,
             attempt: 1,
+            xid: 0,
         }
         .to_string();
         assert!(data.contains("Data") && !data.contains("Rts") && !data.contains("Cts"));
-        let ack = ObsEvent::AckTx { dst: 1 }.to_string();
+        let ack = ObsEvent::AckTx { dst: 1, xid: 0 }.to_string();
         assert!(!ack.contains("Rts") && !ack.contains("Cts") && !ack.contains("Data"));
     }
 
@@ -442,8 +506,13 @@ mod tests {
                 dst: 0,
                 seq: 0,
                 attempt: 1,
+                xid: exchange_id(3, 0),
             },
-            ObsEvent::CtsRx { src: 0, seq: 0 },
+            ObsEvent::CtsRx {
+                src: 0,
+                seq: 0,
+                xid: 0,
+            },
             ObsEvent::BackoffDrawn { dst: 0, slots: 7 },
             ObsEvent::Retry {
                 ack: true,
@@ -455,6 +524,7 @@ mod tests {
                 penalty_slots: 4.0,
                 assigned_slots: 10.0,
                 observed_slots: 2.0,
+                xid: 0,
             },
             ObsEvent::Note {
                 category: "x".into(),
@@ -473,6 +543,7 @@ mod tests {
                 penalty_slots: 4.0,
                 assigned_slots: 10.0,
                 observed_slots: 2.0,
+                xid: 0,
             }
             .category(),
             Category::Monitor
@@ -482,5 +553,24 @@ mod tests {
             Category::Fault
         );
         assert_eq!(Category::Fault.name(), "fault");
+    }
+
+    #[test]
+    fn exchange_id_round_trips_src_and_seq() {
+        let xid = exchange_id(7, 123_456);
+        assert_eq!(exchange_src(xid), 7);
+        assert_eq!(exchange_seq(xid), 123_456);
+        // Distinct (src, seq) pairs in range never collide.
+        assert_ne!(exchange_id(1, 0), exchange_id(0, 1));
+        assert_ne!(exchange_id(2, 9), exchange_id(2, 10));
+        // The xid accessor surfaces the id only on causal variants.
+        let e = ObsEvent::RtsTx {
+            dst: 0,
+            seq: 5,
+            attempt: 1,
+            xid: exchange_id(3, 5),
+        };
+        assert_eq!(e.xid(), Some(exchange_id(3, 5)));
+        assert_eq!(ObsEvent::BackoffDrawn { dst: 0, slots: 1 }.xid(), None);
     }
 }

@@ -22,6 +22,19 @@
 //! `node: u32`) so every layer of the stack — including `airguard-sim`
 //! itself — can depend on it without cycles.
 //!
+//! On top of the flat stream sit the causal layers added for the
+//! detection-latency work:
+//!
+//! * **Exchange ids** ([`exchange_id`]) — every handshake leg and
+//!   monitor verdict carries a packed `(src, seq)` id, so the stream
+//!   folds back into per-exchange/per-station spans ([`SpanSet`]) and
+//!   onset→penalty→diagnosis latencies fall out in virtual time.
+//! * **Phase profiling** ([`PhaseProfiler`], [`Phase`]) — scoped wall
+//!   timers for the hot loop with the same atomic-mask zero-cost
+//!   disabled path as [`EventSink`].
+//! * **Timeline export** ([`records_to_chrome_trace`]) — the
+//!   virtual-time stream as Chrome trace-event JSON for Perfetto.
+//!
 //! # Determinism
 //!
 //! Reports and JSONL export use virtual time only and `BTreeMap`
@@ -32,14 +45,23 @@
 
 mod event;
 mod json;
+mod perfetto;
+mod profile;
 mod progress;
 mod registry;
 mod report;
 mod sink;
+mod span;
 
-pub use event::{Category, ObsEvent, Record, NO_NODE};
+pub use event::{exchange_id, exchange_seq, exchange_src, Category, ObsEvent, Record, NO_NODE};
 pub use json::{escape_into, u64_array, JsonObject};
+pub use perfetto::records_to_chrome_trace;
+pub use profile::{Phase, PhaseGuard, PhaseProfiler};
 pub use progress::{Progress, ProgressSnapshot};
 pub use registry::{Counter, Histogram, HistogramSnapshot, Registry, RegistrySnapshot};
 pub use report::{aggregate_summaries, fnv1a_hex, record_to_json, records_to_jsonl, RunSummary};
 pub use sink::EventSink;
+pub use span::{
+    ExchangeSpan, SpanSet, StationSpan, DETECTION_LATENCY_BOUNDS_US, DETECTION_OBSERVE_MASK,
+    DIAGNOSIS_LATENCY_HIST, PENALTY_LATENCY_HIST,
+};

@@ -236,4 +236,63 @@ mod tests {
         let names: Vec<_> = reg.snapshot().counters.keys().cloned().collect();
         assert_eq!(names, ["a.first", "z.last"]);
     }
+
+    #[test]
+    fn values_exactly_on_a_bucket_edge_land_in_that_bucket() {
+        // The bounds are *inclusive* upper edges: a sample equal to a
+        // bound belongs to that bound's bucket, never the next one.
+        // Recording each edge value exactly once must therefore produce
+        // one count per bounded bucket and an empty overflow bucket.
+        let reg = Registry::new();
+        let h = reg.histogram("edges", &[1_000, 5_000, 10_000]);
+        for edge in [1_000, 5_000, 10_000] {
+            h.record(edge);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.counts, vec![1, 1, 1, 0]);
+        // One past an edge spills into the next bucket; one past the
+        // last edge is overflow.
+        h.record(1_001);
+        h.record(10_001);
+        let snap = h.snapshot();
+        assert_eq!(snap.counts, vec![1, 2, 1, 1]);
+        assert_eq!(snap.total, 5);
+        // Zero with a zero bound: still the first bucket.
+        let z = reg.histogram("zero_edge", &[0, 10]);
+        z.record(0);
+        assert_eq!(z.snapshot().counts, vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn snapshots_are_byte_identical_across_worker_counts() {
+        // The engine's contract: the same samples produce the same
+        // snapshot (and so the same report bytes) no matter how many
+        // threads recorded them or in what order. Record a fixed
+        // multiset of samples under 1, 2, and 4 workers and compare the
+        // rendered summaries byte for byte.
+        let samples: Vec<u64> = (0..1_000).map(|i| (i * 37) % 4_096).collect();
+        let render = |workers: usize| -> String {
+            let reg = Registry::new();
+            let hist = reg.histogram("obs.x", &[64, 512, 2_048]);
+            let counter = reg.counter("obs.n");
+            std::thread::scope(|scope| {
+                for chunk in samples.chunks(samples.len() / workers) {
+                    let hist = hist.clone();
+                    let counter = counter.clone();
+                    scope.spawn(move || {
+                        for &v in chunk {
+                            hist.record(v);
+                            counter.inc();
+                        }
+                    });
+                }
+            });
+            let summary =
+                crate::report::RunSummary::new("w", 1, "d", 0).with_metrics(reg.snapshot());
+            summary.to_json()
+        };
+        let one = render(1);
+        assert_eq!(one, render(2));
+        assert_eq!(one, render(4));
+    }
 }

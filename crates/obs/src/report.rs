@@ -41,6 +41,15 @@ pub struct RunSummary {
     pub config_digest: String,
     /// Virtual time elapsed, microseconds.
     pub elapsed_us: u64,
+    /// Wall-clock time spent producing this summary, microseconds.
+    ///
+    /// Zero when the summary was rehydrated from a result cache rather
+    /// than simulated, so cached and simulated cells are
+    /// distinguishable programmatically. Deliberately *excluded* from
+    /// [`RunSummary::to_json`]: the determinism contract (DESIGN.md §9)
+    /// forbids wall-clock time in exports, and report lines must stay
+    /// byte-identical across reruns and worker counts.
+    pub wall_elapsed_us: u64,
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
     /// Histogram snapshots by name.
@@ -61,9 +70,17 @@ impl RunSummary {
             seed,
             config_digest: config_digest.into(),
             elapsed_us,
+            wall_elapsed_us: 0,
             counters: BTreeMap::new(),
             histograms: BTreeMap::new(),
         }
+    }
+
+    /// Stamps the wall-clock cost of producing this summary.
+    #[must_use]
+    pub fn with_wall_elapsed(mut self, wall_elapsed_us: u64) -> Self {
+        self.wall_elapsed_us = wall_elapsed_us;
+        self
     }
 
     /// Merges a registry snapshot's metrics into the summary.
@@ -124,7 +141,8 @@ pub fn aggregate_summaries(label: impl Into<String>, parts: &[RunSummary]) -> Ru
             None => String::new(),
         },
         parts.iter().map(|p| p.elapsed_us).sum(),
-    );
+    )
+    .with_wall_elapsed(parts.iter().map(|p| p.wall_elapsed_us).sum());
     for part in parts {
         for (name, value) in &part.counters {
             *agg.counters.entry(name.clone()).or_insert(0) += value;
@@ -171,16 +189,30 @@ pub fn record_to_json(record: &Record) -> String {
     obj.str("cat", record.event.category().name())
         .str("event", record.event.kind());
     match &record.event {
-        ObsEvent::RtsTx { dst, seq, attempt } | ObsEvent::DataTx { dst, seq, attempt } => {
+        ObsEvent::RtsTx {
+            dst,
+            seq,
+            attempt,
+            xid,
+        }
+        | ObsEvent::DataTx {
+            dst,
+            seq,
+            attempt,
+            xid,
+        } => {
             obj.u64("dst", u64::from(*dst))
                 .u64("seq", *seq)
-                .u64("attempt", u64::from(*attempt));
+                .u64("attempt", u64::from(*attempt))
+                .u64("xid", *xid);
         }
-        ObsEvent::CtsTx { dst } | ObsEvent::AckTx { dst } => {
-            obj.u64("dst", u64::from(*dst));
+        ObsEvent::CtsTx { dst, xid } | ObsEvent::AckTx { dst, xid } => {
+            obj.u64("dst", u64::from(*dst)).u64("xid", *xid);
         }
-        ObsEvent::CtsRx { src, seq } | ObsEvent::AckRx { src, seq } => {
-            obj.u64("src", u64::from(*src)).u64("seq", *seq);
+        ObsEvent::CtsRx { src, seq, xid } | ObsEvent::AckRx { src, seq, xid } => {
+            obj.u64("src", u64::from(*src))
+                .u64("seq", *seq)
+                .u64("xid", *xid);
         }
         ObsEvent::RtsIgnored { src }
         | ObsEvent::AckSuppressed { src }
@@ -210,25 +242,34 @@ pub fn record_to_json(record: &Record) -> String {
             src,
             assigned_slots,
             observed_slots,
+            xid,
         } => {
             obj.u64("src", u64::from(*src))
                 .f64("assigned_slots", *assigned_slots)
-                .f64("observed_slots", *observed_slots);
+                .f64("observed_slots", *observed_slots)
+                .u64("xid", *xid);
         }
         ObsEvent::PenaltyAdded {
             src,
             penalty_slots,
             assigned_slots,
             observed_slots,
+            xid,
         } => {
             obj.u64("src", u64::from(*src))
                 .f64("penalty_slots", *penalty_slots)
                 .f64("assigned_slots", *assigned_slots)
-                .f64("observed_slots", *observed_slots);
+                .f64("observed_slots", *observed_slots)
+                .u64("xid", *xid);
         }
-        ObsEvent::DiagnosisFlagged { src, window_sum } => {
+        ObsEvent::DiagnosisFlagged {
+            src,
+            window_sum,
+            xid,
+        } => {
             obj.u64("src", u64::from(*src))
-                .f64("window_sum", *window_sum);
+                .f64("window_sum", *window_sum)
+                .u64("xid", *xid);
         }
         ObsEvent::Collision {
             victim_tx,
@@ -312,12 +353,14 @@ mod tests {
                 penalty_slots: 3.5,
                 assigned_slots: 10.0,
                 observed_slots: 3.0,
+                xid: crate::event::exchange_id(1, 9),
             },
         });
         assert_eq!(
             line,
             "{\"t_us\":120,\"node\":2,\"cat\":\"monitor\",\"event\":\"penalty_added\",\
-             \"src\":1,\"penalty_slots\":3.5,\"assigned_slots\":10,\"observed_slots\":3}"
+             \"src\":1,\"penalty_slots\":3.5,\"assigned_slots\":10,\"observed_slots\":3,\
+             \"xid\":1099511627785}"
         );
     }
 
@@ -341,12 +384,16 @@ mod tests {
             Record {
                 time_us: 1,
                 node: 0,
-                event: ObsEvent::CtsTx { dst: 1 },
+                event: ObsEvent::CtsTx { dst: 1, xid: 7 },
             },
             Record {
                 time_us: 2,
                 node: 1,
-                event: ObsEvent::AckRx { src: 0, seq: 4 },
+                event: ObsEvent::AckRx {
+                    src: 0,
+                    seq: 4,
+                    xid: 4,
+                },
             },
         ];
         let out = records_to_jsonl(&records);

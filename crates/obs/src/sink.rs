@@ -53,7 +53,7 @@ struct SinkInner {
 /// use airguard_obs::{EventSink, ObsEvent};
 ///
 /// let sink = EventSink::enabled();
-/// sink.emit(10, 1, ObsEvent::RtsTx { dst: 2, seq: 0, attempt: 1 });
+/// sink.emit(10, 1, ObsEvent::RtsTx { dst: 2, seq: 0, attempt: 1, xid: 0 });
 /// assert_eq!(sink.len(), 1);
 /// assert_eq!(sink.records()[0].time_us, 10);
 /// ```
@@ -219,6 +219,7 @@ mod tests {
             dst: 1,
             seq: 0,
             attempt: 1,
+            xid: 0,
         }
     }
 
@@ -237,7 +238,15 @@ mod tests {
     fn category_mask_filters_per_category() {
         let sink = EventSink::with_mask(Category::MacTx.bit());
         sink.emit(0, 0, probe()); // MacTx: kept
-        sink.emit(1, 0, ObsEvent::CtsRx { src: 1, seq: 0 }); // MacRx: dropped
+        sink.emit(
+            1,
+            0,
+            ObsEvent::CtsRx {
+                src: 1,
+                seq: 0,
+                xid: 0,
+            },
+        ); // MacRx: dropped
         assert_eq!(sink.len(), 1);
         assert!(sink.wants(Category::MacTx));
         assert!(!sink.wants(Category::MacRx));

@@ -200,7 +200,7 @@ mod tests {
             t.emit(
                 SimTime::from_micros(i),
                 NodeId::new(0),
-                ObsEvent::CtsTx { dst: 1 },
+                ObsEvent::CtsTx { dst: 1, xid: 0 },
             );
         }
         assert_eq!(
@@ -241,6 +241,7 @@ mod tests {
                 dst: 2,
                 seq: 0,
                 attempt: 1,
+                xid: 0,
             },
         );
         t.record(SimTime::ZERO, "mac.tx", "legacy note");

@@ -7,4 +7,5 @@ run ablation_channel 15
 run delay_report 15
 run ablation_fading 15
 run chaos 30
+run detection_latency 30
 echo ALL_EXTRAS_DONE
