@@ -52,10 +52,15 @@ options:
   --figure NAME    run one registered figure (repeatable; default: all)
                    NAME `hotpath` runs the perf harness instead
                    (events/sec trajectory -> BENCH_hotpath.json)
+                   NAME `scale` runs the spatial-sharding harness
+                   (campus scaling + worker identity -> BENCH_shard.json)
   --list           list registered figures and exit
   --seeds N        seed-set size (default 30, or AIRGUARD_SEEDS)
   --secs N         simulated seconds per run (default 50, or AIRGUARD_SECS)
   --workers N      worker threads (default: one per core)
+  --shard-workers N  intra-run shard workers for spatial scenarios and
+                   the `scale` harness (default 1, or
+                   AIRGUARD_SHARD_WORKERS); never changes results
   --jsonl          write results/<name>.report.jsonl telemetry
   --no-cache       ignore and do not update results/cache
   --cache-dir DIR  result cache location (default results/cache)
@@ -90,6 +95,9 @@ pub struct Cli {
     pub secs: u64,
     /// Worker threads; 0 means one per core.
     pub workers: usize,
+    /// Intra-run shard workers for spatial scenarios and the `scale`
+    /// harness. Determinism contract: can never change a result byte.
+    pub shard_workers: usize,
     /// Write the telemetry report even when the figure doesn't default
     /// to it.
     pub jsonl: bool,
@@ -137,7 +145,7 @@ fn parse_nonnegative(source: &str, value: &str) -> Result<u64, String> {
 
 /// Reads `name` from the environment; unset is `None`, malformed is an
 /// error (never a silent default).
-fn env_positive(name: &str) -> Result<Option<u64>, String> {
+pub(crate) fn env_positive(name: &str) -> Result<Option<u64>, String> {
     match std::env::var(name) {
         Ok(v) => parse_positive(name, &v).map(Some),
         Err(std::env::VarError::NotPresent) => Ok(None),
@@ -155,6 +163,11 @@ fn env_positive(name: &str) -> Result<Option<u64>, String> {
 /// Returns a usage-style message on unknown flags, malformed numbers,
 /// or malformed `AIRGUARD_SEEDS`/`AIRGUARD_SECS` values.
 pub fn parse(args: &[String], forced_figure: Option<&str>) -> Result<Cli, String> {
+    let env_shard = match env_positive("AIRGUARD_SHARD_WORKERS")? {
+        Some(n) => usize::try_from(n)
+            .map_err(|_| format!("AIRGUARD_SHARD_WORKERS: value {n} out of range"))?,
+        None => 1,
+    };
     let mut cli = Cli {
         figures: forced_figure.iter().map(|s| (*s).to_owned()).collect(),
         list: false,
@@ -162,6 +175,7 @@ pub fn parse(args: &[String], forced_figure: Option<&str>) -> Result<Cli, String
         seeds: env_positive("AIRGUARD_SEEDS")?.unwrap_or(PAPER_SEEDS),
         secs: env_positive("AIRGUARD_SECS")?.unwrap_or(PAPER_SECS),
         workers: 0,
+        shard_workers: env_shard,
         jsonl: false,
         no_cache: false,
         cache_dir: None,
@@ -203,6 +217,11 @@ pub fn parse(args: &[String], forced_figure: Option<&str>) -> Result<Cli, String
                 let v = value("--workers", &mut it)?;
                 cli.workers = usize::try_from(parse_positive("--workers", &v)?)
                     .map_err(|_| format!("--workers: value {v:?} out of range"))?;
+            }
+            "--shard-workers" => {
+                let v = value("--shard-workers", &mut it)?;
+                cli.shard_workers = usize::try_from(parse_positive("--shard-workers", &v)?)
+                    .map_err(|_| format!("--shard-workers: value {v:?} out of range"))?;
             }
             "--jsonl" => cli.jsonl = true,
             "--no-cache" => cli.no_cache = true,
@@ -288,6 +307,11 @@ pub fn run(cli: &Cli) -> i32 {
             "hotpath",
             crate::hotpath::REPORT_PATH
         ));
+        out(&format!(
+            "{:<20} perf harness  spatial-sharding scaling -> {}",
+            "scale",
+            crate::scale::REPORT_PATH
+        ));
         return 0;
     }
     // The perf harness is not a sweep: run it directly, keep any other
@@ -314,6 +338,23 @@ pub fn run(cli: &Cli) -> i32 {
     if let Some(at) = figures.iter().position(|f| f == "hotpath") {
         figures.remove(at);
         match crate::hotpath::run(cli.seeds, cli.secs, cli.workers) {
+            Ok(lines) => {
+                for line in &lines {
+                    out(line);
+                }
+            }
+            Err(msg) => {
+                err(&format!("airguard-bench: {msg}"));
+                exit = 1;
+            }
+        }
+        if figures.is_empty() {
+            return exit;
+        }
+    }
+    if let Some(at) = figures.iter().position(|f| f == "scale") {
+        figures.remove(at);
+        match crate::scale::run(cli.secs, cli.shard_workers) {
             Ok(lines) => {
                 for line in &lines {
                     out(line);
@@ -539,6 +580,22 @@ mod tests {
                 .retries,
             0
         );
+    }
+
+    #[test]
+    fn shard_workers_flag_parses_and_defaults_to_one() {
+        assert_eq!(parse(&[], None).expect("parses").shard_workers, 1);
+        let cli = parse(&args(&["--shard-workers", "4"]), None).expect("parses");
+        assert_eq!(cli.shard_workers, 4);
+        assert!(parse(&args(&["--shard-workers", "0"]), None)
+            .unwrap_err()
+            .contains("got 0"));
+        assert!(parse(&args(&["--shard-workers", "lots"]), None)
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(parse(&args(&["--shard-workers"]), None)
+            .unwrap_err()
+            .contains("missing value"));
     }
 
     #[test]

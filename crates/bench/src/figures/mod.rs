@@ -62,6 +62,9 @@ pub(crate) fn sc_key(sc: StandardScenario) -> &'static str {
         StandardScenario::ZeroFlow => "zero",
         StandardScenario::TwoFlow => "two",
         StandardScenario::Random => "random",
+        StandardScenario::Grid => "grid",
+        StandardScenario::Campus => "campus",
+        StandardScenario::Stadium => "stadium",
     }
 }
 

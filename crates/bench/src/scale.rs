@@ -1,0 +1,219 @@
+//! The `--figure scale` harness: spatial-sharding scaling point.
+//!
+//! Like `hotpath` this is not a paper sweep — it measures the
+//! simulator. One large CAMPUS scenario (clusters 3 km apart, far
+//! beyond the interference cutoff, so the medium decomposes into one
+//! component per cluster) runs twice with identical configuration:
+//! once at 1 shard worker (the serial reference) and once at the
+//! parallel worker count. The harness then
+//!
+//! * asserts the two `RunSummary` JSON blobs are **byte-identical** —
+//!   the shard merge contract says worker count can never change a
+//!   result byte, and CI greps the printed identity line;
+//! * records events/sec of the serial run (the per-core throughput
+//!   figure) and the wall-clock speedup of the parallel run in
+//!   `BENCH_shard.json`.
+//!
+//! The topology size defaults to 10 000 nodes and is overridable with
+//! the `AIRGUARD_SCALE_NODES` environment variable (malformed values
+//! are rejected, like every other airguard knob); CI downscales to
+//! 1000. The simulated horizon is capped at 1 s — the harness
+//! downscales only.
+
+use std::time::Instant;
+
+use airguard_net::{Protocol, RunReport, ScenarioConfig, StandardScenario};
+
+/// Where the scaling report lives (working directory = repo root).
+pub const REPORT_PATH: &str = "BENCH_shard.json";
+
+/// Default topology size; `AIRGUARD_SCALE_NODES` overrides.
+const DEFAULT_NODES: u64 = 10_000;
+
+/// Horizon cap in simulated seconds; explicit `--secs` below this
+/// shrinks the run, the paper default never inflates it.
+const MAX_SECS: u64 = 1;
+
+/// Parallel worker count used when `--shard-workers` is left at 1.
+const DEFAULT_PARALLEL: usize = 4;
+
+/// Flows per cluster-sized block of nodes (mirrors the shard tests).
+const FLOWS: usize = 5;
+
+/// One measured run of the campus scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Shard workers the run used.
+    pub workers: usize,
+    /// Scheduler events the run delivered.
+    pub events: u64,
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+    /// `events / wall_s`.
+    pub events_per_sec: f64,
+}
+
+impl Measurement {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"workers\":{},\"events\":{},\"wall_s\":{:.4},\"events_per_sec\":{:.0}}}",
+            self.workers, self.events, self.wall_s, self.events_per_sec
+        )
+    }
+}
+
+/// The scaling scenario: a spatial campus at `nodes` nodes.
+fn campus(nodes: usize, secs: u64, workers: usize) -> ScenarioConfig {
+    ScenarioConfig::new(StandardScenario::Campus)
+        .protocol(Protocol::Correct)
+        .misbehavior_percent(50.0)
+        .random_nodes(nodes, FLOWS)
+        .sim_time_secs(secs)
+        .seed(1)
+        .spatial(true)
+        .shard_workers(workers)
+}
+
+/// Runs the scenario once at the given worker count, timed.
+fn measure(nodes: usize, secs: u64, workers: usize) -> (RunReport, Measurement) {
+    let start = Instant::now();
+    let report = campus(nodes, secs, workers).run();
+    let wall_s = start.elapsed().as_secs_f64();
+    let events = report.events;
+    let m = Measurement {
+        workers,
+        events,
+        wall_s,
+        events_per_sec: events as f64 / wall_s,
+    };
+    (report, m)
+}
+
+/// Renders the scaling report file. `cores` is the machine's available
+/// parallelism — the speedup is only meaningful when it covers the
+/// parallel worker count, so the file records both.
+#[must_use]
+pub fn render_report(
+    nodes: u64,
+    secs: u64,
+    cores: usize,
+    serial: &Measurement,
+    parallel: &Measurement,
+    identical: bool,
+) -> String {
+    let speedup = if parallel.wall_s > 0.0 {
+        serial.wall_s / parallel.wall_s
+    } else {
+        0.0
+    };
+    format!(
+        "{{\"schema\":\"airguard.shard.v1\",\
+         \"scenario\":\"campus, correct protocol, pm=50, spatial\",\
+         \"nodes\":{nodes},\"secs\":{secs},\"cores\":{cores},\
+         \"serial\":{},\"parallel\":{},\
+         \"events_per_sec_per_core\":{:.0},\
+         \"speedup\":{speedup:.2},\
+         \"summaries_identical\":{identical}}}\n",
+        serial.to_json(),
+        parallel.to_json(),
+        serial.events_per_sec,
+    )
+}
+
+/// Runs the full harness: serial + parallel run, byte-identity check,
+/// report write. Returns the console summary lines.
+///
+/// # Errors
+///
+/// Returns an error when the serial and parallel summaries differ (a
+/// broken determinism contract) or the report file cannot be written.
+pub fn run(secs: u64, shard_workers: usize) -> Result<Vec<String>, String> {
+    let nodes = crate::cli::env_positive("AIRGUARD_SCALE_NODES")?.unwrap_or(DEFAULT_NODES);
+    let nodes_usize = usize::try_from(nodes)
+        .map_err(|_| format!("AIRGUARD_SCALE_NODES: value {nodes} out of range"))?;
+    let secs = secs.min(MAX_SECS);
+    let parallel_workers = if shard_workers > 1 {
+        shard_workers
+    } else {
+        DEFAULT_PARALLEL
+    };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let (serial_report, serial) = measure(nodes_usize, secs, 1);
+    let (parallel_report, parallel) = measure(nodes_usize, secs, parallel_workers);
+    let identical = serial_report.summary.to_json() == parallel_report.summary.to_json();
+    if !identical {
+        return Err(format!(
+            "scale: summaries diverged between 1 and {parallel_workers} shard workers — the \
+             shard merge contract is broken"
+        ));
+    }
+    let report = render_report(nodes, secs, cores, &serial, &parallel, identical);
+    std::fs::write(REPORT_PATH, &report)
+        .map_err(|e| format!("failed to write {REPORT_PATH}: {e}"))?;
+    let speedup = serial.wall_s / parallel.wall_s;
+    Ok(vec![
+        format!(
+            "scale serial: campus {nodes} nodes, {secs} s horizon: {} events in {:.3} s = {:.0} events/s per core",
+            serial.events, serial.wall_s, serial.events_per_sec
+        ),
+        format!(
+            "scale parallel: {parallel_workers} workers on {cores} core(s): {:.3} s = {:.0} events/s (speedup {speedup:.2}x)",
+            parallel.wall_s, parallel.events_per_sec
+        ),
+        format!("scale identity: summaries byte-identical at 1 and {parallel_workers} workers"),
+        format!("scale report: {REPORT_PATH}"),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(workers: usize, wall_s: f64) -> Measurement {
+        Measurement {
+            workers,
+            events: 8_000_000,
+            wall_s,
+            events_per_sec: 8_000_000.0 / wall_s,
+        }
+    }
+
+    #[test]
+    fn report_records_speedup_and_per_core_throughput() {
+        let report = render_report(10_000, 1, 8, &m(1, 1.0), &m(4, 0.25), true);
+        assert!(report.contains("\"schema\":\"airguard.shard.v1\""));
+        assert!(report.contains("\"nodes\":10000"));
+        assert!(report.contains("\"cores\":8"));
+        assert!(report.contains("\"speedup\":4.00"));
+        assert!(report.contains("\"events_per_sec_per_core\":8000000"));
+        assert!(report.contains("\"summaries_identical\":true"));
+        assert!(report.contains("\"workers\":1"));
+        assert!(report.contains("\"workers\":4"));
+    }
+
+    #[test]
+    fn zero_parallel_wall_does_not_divide_by_zero() {
+        let report = render_report(100, 1, 2, &m(1, 1.0), &m(4, 0.0), true);
+        assert!(report.contains("\"speedup\":0.00"));
+    }
+
+    #[test]
+    fn harness_runs_end_to_end_at_a_tiny_scale() {
+        // A real (downscaled) pass through the harness: 120 campus
+        // nodes, 1 simulated second, parallel point at 2 workers. No
+        // other test in this process touches AIRGUARD_SCALE_NODES.
+        std::env::set_var("AIRGUARD_SCALE_NODES", "120");
+        let lines = run(1, 2);
+        std::env::remove_var("AIRGUARD_SCALE_NODES");
+        let lines = lines.expect("harness run succeeds");
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("byte-identical at 1 and 2 workers")),
+            "identity line missing: {lines:?}"
+        );
+        let written = std::fs::read_to_string(REPORT_PATH).expect("report written");
+        let _ = std::fs::remove_file(REPORT_PATH);
+        assert!(written.contains("\"summaries_identical\":true"));
+    }
+}

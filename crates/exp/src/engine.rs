@@ -108,8 +108,8 @@ impl RunOptions {
             // error, never into different simulated results.
             let deadline = std::time::Instant::now() // lint:allow(determinism-time) — watchdog deadline, affects failure detection only
                 + std::time::Duration::from_secs(secs);
-            Box::new(move || std::time::Instant::now() >= deadline) // lint:allow(determinism-time) — same watchdog clock
-                as Box<dyn Fn() -> bool + Send>
+            std::sync::Arc::new(move || std::time::Instant::now() >= deadline) // lint:allow(determinism-time) — same watchdog clock
+                as std::sync::Arc<dyn Fn() -> bool + Send + Sync>
         });
         RunBudget {
             max_events: self.max_events,

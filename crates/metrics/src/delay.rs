@@ -41,6 +41,13 @@ impl DelayStats {
         self.max = self.max.max(delay);
     }
 
+    fn combine(&mut self, other: &DelayStats) {
+        self.packets += other.packets;
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Mean MAC delay in milliseconds.
     #[must_use]
     pub fn mean_ms(&self) -> f64 {
@@ -87,6 +94,18 @@ impl DelayAccount {
     #[must_use]
     pub fn sender(&self, sender: NodeId) -> Option<DelayStats> {
         self.senders.get(&sender).copied()
+    }
+
+    /// Folds `other` into `self`, combining per-sender statistics.
+    /// Senders partition across shards, but the combine is correct even
+    /// when a sender appears on both sides.
+    pub fn merge(&mut self, other: &DelayAccount) {
+        for (&sender, stats) in &other.senders {
+            self.senders
+                .entry(sender)
+                .and_modify(|s| s.combine(stats))
+                .or_insert(*stats);
+        }
     }
 
     /// Mean delay (ms) over a set of senders; senders without data are

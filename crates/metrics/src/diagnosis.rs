@@ -109,6 +109,17 @@ impl DiagnosisTally {
     pub fn total_packets(&self) -> u64 {
         self.senders.values().map(|t| t.packets).sum()
     }
+
+    /// Folds `other` into `self`: ground-truth sets union, per-sender
+    /// counts sum. Used to reassemble one tally from per-shard tallies.
+    pub fn merge(&mut self, other: &DiagnosisTally) {
+        self.misbehaving.extend(other.misbehaving.iter().copied());
+        for (&node, tally) in &other.senders {
+            let mine = self.senders.entry(node).or_default();
+            mine.packets += tally.packets;
+            mine.flagged += tally.flagged;
+        }
+    }
 }
 
 #[cfg(test)]

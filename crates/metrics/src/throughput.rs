@@ -119,6 +119,17 @@ impl ThroughputAccount {
     pub fn total_bytes(&self) -> u64 {
         self.flows.values().map(|s| s.bytes).sum()
     }
+
+    /// Folds `other` into `self`, summing per-flow bytes and packets.
+    /// Shard merging relies on flows partitioning across components, but
+    /// the sum is correct even if a flow appears on both sides.
+    pub fn merge(&mut self, other: &ThroughputAccount) {
+        for (&key, stats) in &other.flows {
+            let mine = self.flows.entry(key).or_default();
+            mine.bytes += stats.bytes;
+            mine.packets += stats.packets;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -29,6 +29,7 @@ mod faults;
 pub mod node_policy;
 pub mod runner;
 pub mod scenario;
+pub mod shard;
 pub mod topology;
 pub mod traffic;
 

@@ -61,6 +61,11 @@ pub struct SimulationConfig {
     /// therefore every cached artifact — byte-identical to builds that
     /// predate fault injection.
     pub fault: Option<FaultPlan>,
+    /// Use the spatial medium (position-keyed pair sampling over a tile
+    /// index) instead of the legacy dense medium. Spatial sampling draws
+    /// different random streams, so the flag enters the identity — but
+    /// only when set, keeping every pre-existing digest byte-identical.
+    pub spatial: bool,
 }
 
 impl Default for SimulationConfig {
@@ -73,6 +78,7 @@ impl Default for SimulationConfig {
             fading: Fading::PerTransmission,
             seed: MasterSeed::new(1),
             fault: None,
+            spatial: false,
         }
     }
 }
@@ -87,10 +93,16 @@ impl SimulationConfig {
     /// string so the two digest paths can never diverge).
     #[must_use]
     pub fn identity(&self) -> String {
-        format!(
+        let mut id = format!(
             "phy={:?}|mac={:?}|horizon={:?}|diag_bin={:?}|fading={:?}|fault={:?}",
             self.phy, self.mac, self.horizon, self.diag_bin, self.fading, self.fault
-        )
+        );
+        // Appended only when set so legacy digests stay byte-identical
+        // (same pattern as `ScenarioConfig::identity`'s observe_mask).
+        if self.spatial {
+            id.push_str("|spatial=true");
+        }
+        id
     }
 
     /// FNV-1a digest of [`Self::identity`]: the fingerprint stamped
@@ -109,12 +121,14 @@ impl SimulationConfig {
 /// of a hang: `max_events` caps the virtual event count, and
 /// `deadline_exceeded` is an external probe — typically a wall-clock
 /// check installed by the experiment engine — polled every 1024 events.
-#[derive(Default)]
+/// The probe is shared (`Arc`) so one budget can be cloned across the
+/// shard workers of a single run.
+#[derive(Default, Clone)]
 pub struct RunBudget {
     /// Maximum scheduler events to process before the watchdog trips.
     pub max_events: Option<u64>,
     /// External deadline probe; returning `true` trips the watchdog.
-    pub deadline_exceeded: Option<Box<dyn Fn() -> bool + Send>>,
+    pub deadline_exceeded: Option<std::sync::Arc<dyn Fn() -> bool + Send + Sync>>,
 }
 
 impl RunBudget {
@@ -178,6 +192,18 @@ struct SimNode {
     /// [`TimerKind::index`]. A flat array: timer churn is the runner's
     /// most frequent map operation.
     timers: [Option<EventId>; TimerKind::COUNT],
+}
+
+/// Identity mapping of a sharded sub-simulation back to the full run:
+/// `node_ids[local]` is the local node's global id, `flow_ids[local]`
+/// the local flow's global index. Both drive seed-stream derivation and
+/// report labeling, so a component simulated alone produces exactly the
+/// node ids, traffic jitter, and MAC streams it would inside the
+/// monolithic spatial run.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardScope {
+    pub(crate) node_ids: Vec<u32>,
+    pub(crate) flow_ids: Vec<usize>,
 }
 
 /// Everything measured in one run.
@@ -312,6 +338,10 @@ pub struct Simulation {
     /// Hot-loop phase timers; disabled by default (one relaxed load
     /// per scope, see [`PhaseProfiler`]).
     profiler: PhaseProfiler,
+    /// Global node id per local index (identity for unscoped runs).
+    node_ids: Vec<u32>,
+    /// Local index of each flow's source node.
+    cbr_src_local: Vec<usize>,
 }
 
 impl Simulation {
@@ -329,24 +359,67 @@ impl Simulation {
         policies: Vec<NodePolicy>,
         misbehaving: Vec<NodeId>,
     ) -> Self {
+        Simulation::new_scoped(cfg, topology, policies, misbehaving, None)
+    }
+
+    /// Like [`Simulation::new`], but over one component of a sharded
+    /// run: `scope` maps local node/flow indices back to their global
+    /// identities so seed streams, reports, and traces are those of the
+    /// monolithic run restricted to this component.
+    pub(crate) fn new_scoped(
+        cfg: SimulationConfig,
+        topology: Topology,
+        policies: Vec<NodePolicy>,
+        misbehaving: Vec<NodeId>,
+        scope: Option<ShardScope>,
+    ) -> Self {
         assert_eq!(
             policies.len(),
             topology.node_count(),
             "one policy per node required"
         );
+        let (node_ids, flow_ids) = match scope {
+            Some(s) => (s.node_ids, s.flow_ids),
+            None => (
+                (0..topology.node_count() as u32).collect(),
+                (0..topology.flows.len()).collect(),
+            ),
+        };
+        assert_eq!(node_ids.len(), topology.node_count(), "one id per node");
+        assert_eq!(flow_ids.len(), topology.flows.len(), "one id per flow");
+        let local_of: std::collections::BTreeMap<u32, usize> = node_ids
+            .iter()
+            .enumerate()
+            .map(|(local, &global)| (global, local))
+            .collect();
+        let cbr_src_local: Vec<usize> = topology
+            .flows
+            .iter()
+            .map(|f| local_of[&f.src.value()])
+            .collect();
         let measured_senders = topology.measured_senders();
         let measured_flows = topology.measured_flow_pairs();
-        let mut medium = Medium::new(cfg.phy, topology.positions, cfg.seed.stream("phy", 0));
+        let mut medium = if cfg.spatial {
+            Medium::new_spatial(
+                cfg.phy,
+                topology.positions,
+                node_ids.clone(),
+                cfg.seed,
+                true,
+            )
+        } else {
+            Medium::new(cfg.phy, topology.positions, cfg.seed.stream("phy", 0))
+        };
         medium.set_fading(cfg.fading);
         let mut nodes: Vec<SimNode> = policies
             .into_iter()
             .enumerate()
             .map(|(i, policy)| SimNode {
                 mac: Mac::new(
-                    NodeId::new(i as u32),
+                    NodeId::new(node_ids[i]),
                     cfg.mac.clone(),
                     policy,
-                    cfg.seed.stream("mac", i as u64),
+                    cfg.seed.stream("mac", u64::from(node_ids[i])),
                 ),
                 tracker: RxTracker::new(cfg.phy.capture),
                 timers: [None; TimerKind::COUNT],
@@ -356,8 +429,8 @@ impl Simulation {
         let cbr: Vec<CbrState> = topology
             .flows
             .iter()
-            .enumerate()
-            .map(|(i, &flow)| CbrState::new(flow, i, cfg.seed))
+            .zip(&flow_ids)
+            .map(|(&flow, &gid)| CbrState::new(flow, gid, cfg.seed))
             .collect();
         for (i, state) in cbr.iter().enumerate() {
             sched.schedule_at(SimTime::ZERO + state.start, Event::Traffic { flow: i });
@@ -430,6 +503,8 @@ impl Simulation {
             listeners_scratch: Vec::new(),
             faults,
             profiler: PhaseProfiler::new(),
+            node_ids,
+            cbr_src_local,
             cfg,
         }
     }
@@ -440,7 +515,8 @@ impl Simulation {
     pub fn set_trace(&mut self, trace: Trace) {
         for (i, node) in self.nodes.iter_mut().enumerate() {
             node.mac.set_trace(trace.clone());
-            node.tracker.set_trace(trace.clone(), NodeId::new(i as u32));
+            node.tracker
+                .set_trace(trace.clone(), NodeId::new(self.node_ids[i]));
         }
         self.trace = trace;
     }
@@ -583,7 +659,7 @@ impl Simulation {
                     n.mac
                         .policy()
                         .monitor_report()
-                        .map(|r| (NodeId::new(i as u32), r))
+                        .map(|r| (NodeId::new(self.node_ids[i]), r))
                 })
                 .collect(),
             receiver_violations: self
@@ -594,7 +670,7 @@ impl Simulation {
                     n.mac
                         .policy()
                         .receiver_violations()
-                        .map(|v| (NodeId::new(i as u32), v))
+                        .map(|v| (NodeId::new(self.node_ids[i]), v))
                 })
                 .collect(),
             observers: self
@@ -605,7 +681,7 @@ impl Simulation {
                     n.mac
                         .policy()
                         .observer_report()
-                        .map(|r| (NodeId::new(i as u32), r))
+                        .map(|r| (NodeId::new(self.node_ids[i]), r))
                 })
                 .collect(),
             events,
@@ -617,8 +693,11 @@ impl Simulation {
         match event {
             Event::Traffic { flow } => {
                 let state = self.cbr[flow];
+                // Flow endpoints are global ids; the pending queue wants
+                // the local node index. Destinations stay global — the
+                // MAC frames carry them verbatim.
                 self.pending.push_back((
-                    state.flow.src.index(),
+                    self.cbr_src_local[flow],
                     MacInput::Enqueue {
                         dst: state.flow.dst,
                         bytes: state.flow.payload,
@@ -683,7 +762,7 @@ impl Simulation {
                     }
                     self.trace.emit(
                         now,
-                        NodeId::new(node as u32),
+                        NodeId::new(self.node_ids[node]),
                         ObsEvent::FaultNodeDown {
                             cold: !preserve_monitor,
                         },
@@ -701,7 +780,7 @@ impl Simulation {
                     }
                     self.trace.emit(
                         now,
-                        NodeId::new(node as u32),
+                        NodeId::new(self.node_ids[node]),
                         ObsEvent::FaultNodeUp {
                             downtime_us: downtime.as_micros(),
                         },
@@ -759,12 +838,15 @@ impl Simulation {
                             receivable: l.receivable,
                         },
                     );
+                    // The medium reports listeners by local index;
+                    // traces label them with their global identity.
+                    let listener_gid = NodeId::new(self.node_ids[l.listener.index()]);
                     if l.fault_lost {
                         self.trace.emit(
                             now,
-                            l.listener,
+                            listener_gid,
                             ObsEvent::FaultFrameLost {
-                                listener: l.listener.value(),
+                                listener: listener_gid.value(),
                                 tx: tx.value(),
                             },
                         );
@@ -774,8 +856,11 @@ impl Simulation {
                     let delivered = if l.receivable {
                         match self.faults.corrupt(&frame) {
                             Some((mutated, outcome)) => {
-                                self.trace
-                                    .emit(now, l.listener, outcome.event(l.listener.value()));
+                                self.trace.emit(
+                                    now,
+                                    listener_gid,
+                                    outcome.event(listener_gid.value()),
+                                );
                                 FrameRef::new(mutated)
                             }
                             None => frame.share(),
@@ -808,7 +893,8 @@ impl Simulation {
                 }
             }
             MacEffect::Delivered { src, bytes, .. } => {
-                self.throughput.record(src, NodeId::new(node as u32), bytes);
+                self.throughput
+                    .record(src, NodeId::new(self.node_ids[node]), bytes);
             }
             MacEffect::Classified { src, verdict } => {
                 let _mon = self.profiler.scope(Phase::MonitorStep);
@@ -825,7 +911,7 @@ impl Simulation {
                 }
             }
             MacEffect::SendComplete { delay, .. } => {
-                self.delays.record(NodeId::new(node as u32), delay);
+                self.delays.record(NodeId::new(self.node_ids[node]), delay);
             }
             MacEffect::Dropped { .. } => {}
         }
@@ -959,7 +1045,7 @@ mod tests {
         let sim = Simulation::new(quick_cfg(4, 5), topo, dot11_policies(3), vec![]);
         let budget = RunBudget {
             max_events: None,
-            deadline_exceeded: Some(Box::new(|| true)),
+            deadline_exceeded: Some(std::sync::Arc::new(|| true)),
         };
         let err = sim.run_budgeted(&budget).unwrap_err();
         assert!(err.contains("deadline"), "unexpected trip message: {err}");

@@ -25,7 +25,31 @@ pub enum StandardScenario {
     /// Fig. 9: 40 nodes at random positions in 1500 m × 700 m, each with
     /// a CBR flow to a neighbor, 5 random misbehavers.
     Random,
+    /// Scaling topology: a square lattice at 200 m spacing with flows to
+    /// grid neighbors. Node count comes from `random_nodes`. Under the
+    /// ~1.1 km interference cutoff a grid is one connected component,
+    /// so it exercises the spatial medium without decomposition.
+    Grid,
+    /// Scaling topology: clusters of 40 nodes spaced 3 km apart — far
+    /// beyond the interference cutoff, so every cluster is its own
+    /// component and sharded runs parallelise. `random_nodes` sets the
+    /// total node budget (rounded down to whole clusters).
+    Campus,
+    /// Scaling topology: concentric seating rings around a 50 m court —
+    /// a single dense connected component at stadium densities.
+    Stadium,
 }
+
+/// Grid lattice spacing in meters (within carrier-sense range of the
+/// four neighbors, so the lattice is one interference component).
+pub const GRID_SPACING_M: f64 = 200.0;
+/// Nodes per campus cluster.
+pub const CAMPUS_PER_CLUSTER: usize = 40;
+/// Campus cluster spacing in meters — chosen beyond the ~1.1 km
+/// interference cutoff so clusters decompose into independent shards.
+pub const CAMPUS_SPACING_M: f64 = 3_000.0;
+/// Stadium court (inner ring) radius in meters.
+pub const STADIUM_INNER_RADIUS_M: f64 = 50.0;
 
 /// Which protocol the whole network runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +89,15 @@ pub struct ScenarioConfig {
     /// identity: an observed run folds span-derived histograms into its
     /// summary, so it must never share a cache entry with a blind run.
     observe_mask: u32,
+    /// Run on the spatial (tile-indexed, pair-keyed) medium and shard
+    /// the run by interference component. Enters the identity through
+    /// [`SimulationConfig::identity`].
+    spatial: bool,
+    /// Worker threads for sharded spatial runs. Purely an execution
+    /// knob: the merged report is byte-identical at any worker count,
+    /// so — like the seed — it must never enter the identity.
+    // lint:allow(digest-completeness) — worker count cannot change any result byte, by the shard merge contract
+    shard_workers: usize,
 }
 
 impl ScenarioConfig {
@@ -90,6 +123,8 @@ impl ScenarioConfig {
             fading: Fading::PerTransmission,
             fault: None,
             observe_mask: 0,
+            spatial: false,
+            shard_workers: 1,
         }
     }
 
@@ -198,11 +233,31 @@ impl ScenarioConfig {
         self
     }
 
-    /// Sets the number of nodes in the random scenario.
+    /// Sets the number of nodes in the random and scaling scenarios.
     #[must_use]
     pub fn random_nodes(mut self, n: usize, misbehaving: usize) -> Self {
         self.random_nodes = n;
         self.random_misbehaving = misbehaving;
+        self
+    }
+
+    /// Runs on the spatial medium (tile-indexed candidate search,
+    /// order-independent pair-keyed sampling) and shards the run into
+    /// independent interference components. Spatial sampling draws
+    /// different random streams than the dense medium, so this enters
+    /// the identity; results are byte-identical at any worker count.
+    #[must_use]
+    pub fn spatial(mut self, on: bool) -> Self {
+        self.spatial = on;
+        self
+    }
+
+    /// Worker threads used to simulate a spatial run's components in
+    /// parallel (ignored for non-spatial runs). Clamped to at least 1;
+    /// never part of the identity.
+    #[must_use]
+    pub fn shard_workers(mut self, workers: usize) -> Self {
+        self.shard_workers = workers.max(1);
         self
     }
 
@@ -248,6 +303,26 @@ impl ScenarioConfig {
                 self.payload,
                 MasterSeed::new(self.seed),
             ),
+            StandardScenario::Grid => Topology::grid(
+                self.random_nodes,
+                GRID_SPACING_M,
+                self.rate_bps,
+                self.payload,
+            ),
+            StandardScenario::Campus => Topology::campus(
+                (self.random_nodes / CAMPUS_PER_CLUSTER).max(1),
+                CAMPUS_PER_CLUSTER,
+                CAMPUS_SPACING_M,
+                self.rate_bps,
+                self.payload,
+                MasterSeed::new(self.seed),
+            ),
+            StandardScenario::Stadium => Topology::stadium(
+                self.random_nodes,
+                STADIUM_INNER_RADIUS_M,
+                self.rate_bps,
+                self.payload,
+            ),
         }
     }
 
@@ -265,7 +340,10 @@ impl ScenarioConfig {
                 // The paper's Fig. 3: node 3 misbehaves.
                 vec![NodeId::new(3.min(self.n_senders as u32))]
             }
-            StandardScenario::Random => {
+            StandardScenario::Random
+            | StandardScenario::Grid
+            | StandardScenario::Campus
+            | StandardScenario::Stadium => {
                 let mut rng = MasterSeed::new(self.seed).stream("misbehaving", 0);
                 let mut senders = topology.measured_senders();
                 let mut chosen = Vec::new();
@@ -282,7 +360,11 @@ impl ScenarioConfig {
     /// Runs the scenario once and reports.
     #[must_use]
     pub fn run(&self) -> RunReport {
-        self.build_simulation().run()
+        match self.run_internal(&RunBudget::unlimited(), None, None) {
+            Ok(report) => report,
+            // lint:allow(panic-macro) — an unlimited budget has no trip condition, so this arm cannot run
+            Err(watchdog) => unreachable!("{watchdog}"),
+        }
     }
 
     /// Runs the scenario once under `budget`: a tripped watchdog
@@ -293,7 +375,7 @@ impl ScenarioConfig {
     /// Returns `Err` when the event budget is exhausted or the deadline
     /// probe fires (see [`RunBudget`]).
     pub fn run_budgeted(&self, budget: &RunBudget) -> Result<RunReport, String> {
-        self.build_simulation().run_budgeted(budget)
+        self.run_internal(budget, None, None)
     }
 
     /// Like [`Self::run_budgeted`] with a phase profiler attached.
@@ -309,9 +391,7 @@ impl ScenarioConfig {
         budget: &RunBudget,
         profiler: PhaseProfiler,
     ) -> Result<RunReport, String> {
-        let mut sim = self.build_simulation();
-        sim.set_profiler(profiler);
-        sim.run_budgeted(budget)
+        self.run_internal(budget, Some(profiler), None)
     }
 
     /// Runs the scenario once with tracing enabled, returning the
@@ -320,11 +400,8 @@ impl ScenarioConfig {
     /// regression test digests this.
     #[must_use]
     pub fn run_traced(&self) -> (RunReport, Vec<TraceEvent>) {
-        let trace = Trace::enabled();
-        let mut sim = self.build_simulation();
-        sim.set_trace(trace.clone());
-        let report = sim.run();
-        (report, trace.events())
+        let (report, sink) = self.run_observed();
+        (report, Trace::from_sink(sink).events())
     }
 
     /// Runs the scenario once with typed telemetry enabled, returning
@@ -333,11 +410,7 @@ impl ScenarioConfig {
     /// them with `airguard_obs::records_to_jsonl`.
     #[must_use]
     pub fn run_observed(&self) -> (RunReport, EventSink) {
-        let sink = EventSink::enabled();
-        let mut sim = self.build_simulation();
-        sim.set_trace(Trace::from_sink(sink.clone()));
-        let report = sim.run();
-        (report, sink)
+        self.run_observed_inner(None)
     }
 
     /// [`Self::run_observed`] with a phase profiler attached — the one
@@ -346,12 +419,72 @@ impl ScenarioConfig {
     /// totals.
     #[must_use]
     pub fn run_observed_profiled(&self, profiler: PhaseProfiler) -> (RunReport, EventSink) {
+        self.run_observed_inner(Some(profiler))
+    }
+
+    fn run_observed_inner(&self, profiler: Option<PhaseProfiler>) -> (RunReport, EventSink) {
         let sink = EventSink::enabled();
-        let mut sim = self.build_simulation();
-        sim.set_trace(Trace::from_sink(sink.clone()));
-        sim.set_profiler(profiler);
-        let report = sim.run();
-        (report, sink)
+        match self.run_internal(&RunBudget::unlimited(), profiler, Some(sink.clone())) {
+            Ok(report) => (report, sink),
+            // lint:allow(panic-macro) — an unlimited budget has no trip condition, so this arm cannot run
+            Err(watchdog) => unreachable!("{watchdog}"),
+        }
+    }
+
+    /// The single execution path every public `run*` method funnels
+    /// into. An explicit `sink` wins over the configured observe mask;
+    /// spatial configurations go through the component-sharded runner
+    /// (and replay the merged record stream into the sink), everything
+    /// else runs the classic monolithic simulation untouched.
+    fn run_internal(
+        &self,
+        budget: &RunBudget,
+        profiler: Option<PhaseProfiler>,
+        sink: Option<EventSink>,
+    ) -> Result<RunReport, String> {
+        let topology = self.build_topology();
+        let misbehaving = self.misbehaving_set(&topology);
+        let policies = self.policies(&topology, &misbehaving);
+        let sink = sink.or_else(|| {
+            (self.observe_mask != 0).then(|| {
+                let masked = EventSink::enabled();
+                masked.set_mask(self.observe_mask);
+                masked
+            })
+        });
+        if self.spatial {
+            let profiler = profiler.unwrap_or_default();
+            let sink_mask = sink.as_ref().map_or(0, EventSink::mask);
+            let opts = crate::shard::ShardOptions {
+                workers: self.shard_workers,
+                sink_mask,
+                profiler,
+            };
+            let (report, records) = crate::shard::run_sharded(
+                self.simulation_config(),
+                topology,
+                policies,
+                misbehaving,
+                &opts,
+                budget,
+            )?;
+            if let Some(sink) = &sink {
+                for record in records {
+                    sink.emit(record.time_us, record.node, record.event);
+                }
+            }
+            Ok(report)
+        } else {
+            let mut sim =
+                Simulation::new(self.simulation_config(), topology, policies, misbehaving);
+            if let Some(sink) = sink {
+                sim.set_trace(Trace::from_sink(sink));
+            }
+            if let Some(profiler) = profiler {
+                sim.set_profiler(profiler);
+            }
+            sim.run_budgeted(budget)
+        }
     }
 
     /// The [`SimulationConfig`] this scenario hands to the runner.
@@ -372,14 +505,14 @@ impl ScenarioConfig {
             fading: self.fading,
             seed: MasterSeed::new(self.seed),
             fault: self.fault.clone(),
+            spatial: self.spatial,
         }
     }
 
-    /// Builds the configured simulation without running it.
-    fn build_simulation(&self) -> Simulation {
-        let topology = self.build_topology();
-        let misbehaving = self.misbehaving_set(&topology);
-        let policies: Vec<NodePolicy> = (0..topology.node_count())
+    /// The per-node policy vector this configuration assigns (indexed
+    /// by global node id).
+    fn policies(&self, topology: &Topology, misbehaving: &[NodeId]) -> Vec<NodePolicy> {
+        (0..topology.node_count())
             .map(|i| {
                 let id = NodeId::new(i as u32);
                 let strategy = if misbehaving.contains(&id) {
@@ -392,14 +525,7 @@ impl ScenarioConfig {
                     Protocol::Correct => NodePolicy::correct(id, self.correct_cfg, strategy),
                 }
             })
-            .collect();
-        let mut sim = Simulation::new(self.simulation_config(), topology, policies, misbehaving);
-        if self.observe_mask != 0 {
-            let sink = EventSink::enabled();
-            sink.set_mask(self.observe_mask);
-            sim.set_trace(Trace::from_sink(sink));
-        }
-        sim
+            .collect()
     }
 
     /// The canonical, *seed-independent* identity of this

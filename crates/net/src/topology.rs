@@ -1,6 +1,8 @@
-//! Topology builders for the paper's three evaluation settings.
+//! Topology builders: the paper's three evaluation settings plus the
+//! scalable deterministic generators (grid, campus, stadium) used by
+//! the 10k+-node scaling scenarios.
 
-use airguard_phy::Position;
+use airguard_phy::{Meters, Position, TileIndex};
 use airguard_sim::{MasterSeed, NodeId};
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
@@ -136,15 +138,16 @@ impl Topology {
             .collect();
         // "Each node sets up a CBR connection with one of its neighbors":
         // prefer a random node within plausible delivery range (200 m);
-        // fall back to the nearest node when isolated.
+        // fall back to the nearest node when isolated. The neighbor
+        // search runs on a 200 m tile grid instead of the old all-pairs
+        // scan (which degraded quadratically at high density); the grid
+        // returns the identical ascending-id candidate list, so the
+        // subsequent range draw — and therefore the whole topology — is
+        // byte-identical to the scan it replaces.
+        let index = TileIndex::build(&positions, Meters::new(200.0));
         let mut flows = Vec::new();
         for (i, &pos) in positions.iter().enumerate() {
-            let neighbors: Vec<usize> = positions
-                .iter()
-                .enumerate()
-                .filter(|&(j, &p)| j != i && pos.distance_to(p).value() <= 200.0)
-                .map(|(j, _)| j)
-                .collect();
+            let neighbors = index.candidates(i);
             let dst = if neighbors.is_empty() {
                 positions
                     .iter()
@@ -158,7 +161,7 @@ impl Topology {
                     .map(|(j, _)| j)
                     .expect("n >= 2 guarantees another node") // lint:allow(panic-expect) — scenario validation rejects single-node topologies before flows are built
             } else {
-                neighbors[rng.random_range(0..neighbors.len())]
+                neighbors[rng.random_range(0..neighbors.len())] as usize
             };
             flows.push(Flow {
                 src: NodeId::new(i as u32),
@@ -167,6 +170,157 @@ impl Topology {
                 payload,
                 measured: true,
             });
+        }
+        Topology { positions, flows }
+    }
+
+    /// A deterministic square lattice of `n` nodes with `spacing`
+    /// meters between neighbors; each node runs a backlogged CBR flow
+    /// to its row neighbor (the last node of a row sends left instead
+    /// of right). Placement is RNG-free and O(n), usable up to 100k
+    /// nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `spacing` is not positive.
+    #[must_use]
+    pub fn grid(n: usize, spacing: f64, rate_bps: u64, payload: u32) -> Self {
+        assert!(n >= 2, "a grid topology needs at least two nodes");
+        assert!(spacing > 0.0, "grid spacing must be positive");
+        let side = (n as f64).sqrt().ceil() as usize;
+        let mut positions = Vec::with_capacity(n);
+        let mut flows = Vec::with_capacity(n);
+        for i in 0..n {
+            let (row, col) = (i / side, i % side);
+            positions.push(Position::new(col as f64 * spacing, row as f64 * spacing));
+        }
+        for i in 0..n {
+            let col = i % side;
+            // Right neighbor when it exists (same row, in range of the
+            // lattice); otherwise left.
+            let dst = if col + 1 < side && i + 1 < n {
+                i + 1
+            } else {
+                i - 1
+            };
+            flows.push(Flow {
+                src: NodeId::new(i as u32),
+                dst: NodeId::new(dst as u32),
+                rate_bps,
+                payload,
+                measured: true,
+            });
+        }
+        Topology { positions, flows }
+    }
+
+    /// A campus: `clusters` buildings on a square lattice spaced
+    /// `cluster_spacing` meters apart, each holding `per_cluster` nodes
+    /// stratified over a 300 × 300 m court (jittered sub-grid — every
+    /// node gets its own cell, so density never stalls placement the
+    /// way rejection sampling would). Flows stay within a cluster
+    /// (node k → k+1 cyclically), so when `cluster_spacing` exceeds the
+    /// interference cutoff the clusters are causally independent — the
+    /// shape intra-run sharding exploits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is zero, `per_cluster < 2`, or
+    /// `cluster_spacing` is not positive.
+    #[must_use]
+    pub fn campus(
+        clusters: usize,
+        per_cluster: usize,
+        cluster_spacing: f64,
+        rate_bps: u64,
+        payload: u32,
+        seed: MasterSeed,
+    ) -> Self {
+        assert!(clusters > 0, "a campus needs at least one cluster");
+        assert!(per_cluster >= 2, "a cluster needs at least two nodes");
+        assert!(cluster_spacing > 0.0, "cluster spacing must be positive");
+        const COURT: f64 = 300.0;
+        let campus_side = (clusters as f64).sqrt().ceil() as usize;
+        let cells = (per_cluster as f64).sqrt().ceil() as usize;
+        let cell = COURT / cells as f64;
+        let mut rng = seed.stream("topology.campus", 0);
+        let mut positions = Vec::with_capacity(clusters * per_cluster);
+        let mut flows = Vec::with_capacity(clusters * per_cluster);
+        for c in 0..clusters {
+            let origin = Position::new(
+                (c % campus_side) as f64 * cluster_spacing,
+                (c / campus_side) as f64 * cluster_spacing,
+            );
+            let base = c * per_cluster;
+            for k in 0..per_cluster {
+                let (row, col) = (k / cells, k % cells);
+                positions.push(Position::new(
+                    origin.x + col as f64 * cell + rng.random_range(0.0..cell),
+                    origin.y + row as f64 * cell + rng.random_range(0.0..cell),
+                ));
+                flows.push(Flow {
+                    src: NodeId::new((base + k) as u32),
+                    dst: NodeId::new((base + (k + 1) % per_cluster) as u32),
+                    rate_bps,
+                    payload,
+                    measured: true,
+                });
+            }
+        }
+        Topology { positions, flows }
+    }
+
+    /// A stadium bowl: `n` nodes on concentric rings around the origin,
+    /// starting at `inner_radius` with 4 m between rings and roughly
+    /// 2 m of arc per seat. Everyone is within a few hundred meters of
+    /// everyone else — the maximum-contention single-cell shape. Flows
+    /// pair adjacent seats on the same ring. RNG-free and O(n).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `inner_radius` is not positive.
+    #[must_use]
+    pub fn stadium(n: usize, inner_radius: f64, rate_bps: u64, payload: u32) -> Self {
+        assert!(n >= 2, "a stadium needs at least two nodes");
+        assert!(inner_radius > 0.0, "inner radius must be positive");
+        const RING_STEP: f64 = 4.0;
+        const SEAT_ARC: f64 = 2.0;
+        let mut positions = Vec::with_capacity(n);
+        let mut flows = Vec::with_capacity(n);
+        let mut ring_starts = Vec::new();
+        let mut radius = inner_radius;
+        while positions.len() < n {
+            let seats = ((std::f64::consts::TAU * radius / SEAT_ARC).floor() as usize)
+                .max(1)
+                .min(n - positions.len());
+            ring_starts.push((positions.len(), seats));
+            for s in 0..seats {
+                let angle = std::f64::consts::TAU * s as f64 / seats as f64;
+                positions.push(Position::new(0.0, 0.0).offset_polar(radius, angle));
+            }
+            radius += RING_STEP;
+        }
+        for &(start, seats) in &ring_starts {
+            for s in 0..seats {
+                let src = start + s;
+                // A one-seat ring pairs with the previous node, or the
+                // next one when it is the innermost (n ≥ 2 guarantees a
+                // neighbor exists).
+                let dst = if seats > 1 {
+                    start + (s + 1) % seats
+                } else if src > 0 {
+                    src - 1
+                } else {
+                    src + 1
+                };
+                flows.push(Flow {
+                    src: NodeId::new(src as u32),
+                    dst: NodeId::new(dst as u32),
+                    rate_bps,
+                    payload,
+                    measured: true,
+                });
+            }
         }
         Topology { positions, flows }
     }
@@ -254,5 +408,105 @@ mod tests {
     #[should_panic(expected = "at least one sender")]
     fn empty_star_rejected() {
         let _ = Topology::star(0, 1, 512, false);
+    }
+
+    #[test]
+    fn random_neighbor_grid_matches_the_all_pairs_scan() {
+        // The tile-accelerated neighbor search must reproduce the old
+        // O(n²) scan exactly: same candidate lists, same draws, same
+        // topology bytes. This is the scan it replaced, kept here as
+        // the specification.
+        for seed in [5, 6, 7, 101] {
+            let t = Topology::random(40, 1500.0, 700.0, 2_000_000, 512, MasterSeed::new(seed));
+            let mut rng = MasterSeed::new(seed).stream("topology", 0);
+            let positions: Vec<Position> = (0..40)
+                .map(|_| Position::new(rng.random_range(0.0..1500.0), rng.random_range(0.0..700.0)))
+                .collect();
+            assert_eq!(t.positions, positions, "placement unchanged");
+            for (i, &pos) in positions.iter().enumerate() {
+                let neighbors: Vec<usize> = positions
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, &p)| j != i && pos.distance_to(p).value() <= 200.0)
+                    .map(|(j, _)| j)
+                    .collect();
+                let expect = if neighbors.is_empty() {
+                    positions
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != i)
+                        .min_by(|a, b| {
+                            pos.distance_to(*a.1)
+                                .partial_cmp(&pos.distance_to(*b.1))
+                                .expect("finite")
+                        })
+                        .map(|(j, _)| j)
+                        .expect("n >= 2")
+                } else {
+                    neighbors[rng.random_range(0..neighbors.len())]
+                };
+                assert_eq!(t.flows[i].dst, NodeId::new(expect as u32), "node {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_is_deterministic_and_flows_stay_adjacent() {
+        let t = Topology::grid(10_000, 50.0, 2_000_000, 512);
+        assert_eq!(t.node_count(), 10_000);
+        assert_eq!(t, Topology::grid(10_000, 50.0, 2_000_000, 512));
+        for f in &t.flows {
+            assert_ne!(f.src, f.dst);
+            let d = t.positions[f.src.index()]
+                .distance_to(t.positions[f.dst.index()])
+                .value();
+            assert!((d - 50.0).abs() < 1e-9, "flow spans {d} m");
+        }
+    }
+
+    #[test]
+    fn campus_clusters_are_separated_and_self_contained() {
+        let t = Topology::campus(16, 40, 3_000.0, 2_000_000, 512, MasterSeed::new(9));
+        assert_eq!(t.node_count(), 640);
+        assert_eq!(
+            t,
+            Topology::campus(16, 40, 3_000.0, 2_000_000, 512, MasterSeed::new(9)),
+            "same seed, same campus"
+        );
+        for f in &t.flows {
+            assert_ne!(f.src, f.dst);
+            assert_eq!(
+                f.src.index() / 40,
+                f.dst.index() / 40,
+                "flows never cross clusters"
+            );
+        }
+        // Nodes of different clusters are far beyond the ~1.1 km
+        // paper-default interference cutoff.
+        let inter = t.positions[0].distance_to(t.positions[40]).value();
+        assert!(inter > 2_000.0, "clusters only {inter} m apart");
+        // Within a cluster everything fits in the 300 m court.
+        for k in 1..40 {
+            let d = t.positions[0].distance_to(t.positions[k]).value();
+            assert!(d < 300.0 * std::f64::consts::SQRT_2 + 1.0, "in-court {d}");
+        }
+    }
+
+    #[test]
+    fn stadium_rings_grow_outward() {
+        let t = Topology::stadium(5_000, 30.0, 2_000_000, 512);
+        assert_eq!(t.node_count(), 5_000);
+        assert_eq!(t, Topology::stadium(5_000, 30.0, 2_000_000, 512));
+        let center = Position::new(0.0, 0.0);
+        let mut max_r = 0.0f64;
+        for p in &t.positions {
+            let r = center.distance_to(*p).value();
+            assert!(r >= 30.0 - 1e-9);
+            max_r = max_r.max(r);
+        }
+        assert!(max_r < 500.0, "stadium should stay compact, radius {max_r}");
+        for f in &t.flows {
+            assert_ne!(f.src, f.dst);
+        }
     }
 }

@@ -1,0 +1,127 @@
+//! Sharded spatial runs: worker-count byte-identity and equivalence to
+//! the monolithic spatial simulation.
+//!
+//! Two separate claims, tested separately:
+//!
+//! 1. **Worker-count identity** — a sharded run's `RunSummary` JSON and
+//!    its full trace are byte-identical at 1, 2, 4, and 8 workers. The
+//!    decomposition never looks at the worker count and the merge is in
+//!    component order, so this must hold bit-for-bit.
+//! 2. **Sharded = monolithic** — the merged summary equals the summary
+//!    of one monolithic spatial `Simulation` over the whole topology.
+//!    Spatial sampling keys every draw by the global (tx, rx) pair, so
+//!    out-of-range components cannot perturb each other. (Trace bytes
+//!    are excluded from this claim: cross-component events with equal
+//!    timestamps interleave differently in one scheduler than in the
+//!    component-ordered merge.)
+
+use airguard_core::CorrectConfig;
+use airguard_mac::Selfish;
+use airguard_net::{NodePolicy, Protocol, ScenarioConfig, Simulation, StandardScenario};
+use airguard_sim::trace::TraceEvent;
+use airguard_sim::NodeId;
+
+/// A campus scenario small enough for a test, big enough to decompose:
+/// clusters sit 3 km apart, far beyond the ~1.1 km interference cutoff.
+fn campus(workers: usize) -> ScenarioConfig {
+    ScenarioConfig::new(StandardScenario::Campus)
+        .protocol(Protocol::Correct)
+        .misbehavior_percent(50.0)
+        .random_nodes(160, 5) // 4 clusters of 40
+        .sim_time_secs(1)
+        .seed(11)
+        .spatial(true)
+        .shard_workers(workers)
+}
+
+fn render(events: &[TraceEvent]) -> String {
+    events
+        .iter()
+        .map(|e| format!("{} {} {}\n", e.time, e.category, e.detail))
+        .collect()
+}
+
+#[test]
+fn summary_and_trace_are_byte_identical_across_worker_counts() {
+    let (baseline_report, baseline_trace) = campus(1).run_traced();
+    let baseline_json = baseline_report.summary.to_json();
+    let baseline_rendered = render(&baseline_trace);
+    assert!(
+        baseline_report.throughput.total_bytes() > 0,
+        "campus clusters must carry traffic"
+    );
+    assert!(!baseline_trace.is_empty(), "traced run must capture events");
+    for workers in [2, 4, 8] {
+        let (report, trace) = campus(workers).run_traced();
+        assert_eq!(
+            report.summary.to_json(),
+            baseline_json,
+            "summary diverged at {workers} workers"
+        );
+        assert_eq!(
+            render(&trace),
+            baseline_rendered,
+            "trace diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn sharded_report_matches_monolithic_spatial_run() {
+    let cfg = campus(4);
+    let sharded = cfg.run();
+    // The monolithic reference: one Simulation over the full topology
+    // with the same spatial config — no decomposition at all. The
+    // policy assignment below mirrors what the scenario builds for
+    // Protocol::Correct with a 50% backoff-scale misbehaver set.
+    let topology = cfg.build_topology();
+    let misbehaving = cfg.misbehaving_set(&topology);
+    let policies: Vec<NodePolicy> = (0..topology.node_count())
+        .map(|i| {
+            let id = NodeId::new(i as u32);
+            let strategy = if misbehaving.contains(&id) {
+                Selfish::BackoffScale { pm: 50.0 }
+            } else {
+                Selfish::None
+            };
+            NodePolicy::correct(id, CorrectConfig::paper_default(), strategy)
+        })
+        .collect();
+    let mono = Simulation::new(
+        cfg.simulation_config(),
+        topology,
+        policies,
+        misbehaving.clone(),
+    )
+    .run();
+    assert_eq!(
+        sharded.summary.to_json(),
+        mono.summary.to_json(),
+        "sharded merge must reproduce the monolithic spatial summary"
+    );
+    assert_eq!(sharded.events, mono.events);
+    assert_eq!(sharded.throughput, mono.throughput);
+    assert_eq!(sharded.tally, mono.tally);
+    assert_eq!(sharded.delays, mono.delays);
+    assert_eq!(sharded.counters, mono.counters);
+    assert_eq!(sharded.misbehaving, misbehaving);
+}
+
+#[test]
+fn non_spatial_runs_are_untouched_by_the_shard_knobs() {
+    // The worker knob must be inert off the spatial path: the classic
+    // monolithic runner handles the scenario and any worker count is
+    // byte-identical to the default.
+    let base = ScenarioConfig::new(StandardScenario::ZeroFlow)
+        .n_senders(2)
+        .sim_time_secs(1)
+        .seed(3);
+    let plain = base.run();
+    let with_workers = base.clone().shard_workers(8).run();
+    assert_eq!(plain.summary.to_json(), with_workers.summary.to_json());
+    // And the knob never enters the identity.
+    assert_eq!(
+        base.config_digest(),
+        base.clone().shard_workers(8).config_digest()
+    );
+}

@@ -28,15 +28,22 @@ pub enum Phase {
     MacStep = 2,
     /// Receiver-side monitor classification and policy observation.
     MonitorStep = 3,
+    /// Building the shard plan: tile index, union-find, component
+    /// sub-topology construction.
+    ShardBuild = 4,
+    /// Merging per-component reports back into one run report.
+    ShardMerge = 5,
 }
 
 impl Phase {
     /// All phases, in bit order.
-    pub const ALL: [Phase; 4] = [
+    pub const ALL: [Phase; 6] = [
         Phase::SchedulerPop,
         Phase::MediumPropagation,
         Phase::MacStep,
         Phase::MonitorStep,
+        Phase::ShardBuild,
+        Phase::ShardMerge,
     ];
 
     /// This phase's bit in the profiler enable mask.
@@ -53,6 +60,8 @@ impl Phase {
             Phase::MediumPropagation => "medium_propagation",
             Phase::MacStep => "mac_step",
             Phase::MonitorStep => "monitor_step",
+            Phase::ShardBuild => "shard_build",
+            Phase::ShardMerge => "shard_merge",
         }
     }
 }
@@ -73,9 +82,9 @@ struct ProfilerInner {
     /// Per-phase enable bits; zero means fully disabled.
     mask: AtomicU32,
     /// Accumulated wall nanoseconds per phase.
-    nanos: [AtomicU64; 4],
+    nanos: [AtomicU64; 6],
     /// Completed scopes per phase.
-    calls: [AtomicU64; 4],
+    calls: [AtomicU64; 6],
 }
 
 /// Shared, thread-safe accumulator of per-phase wall time.
@@ -111,8 +120,12 @@ impl PhaseProfiler {
                     AtomicU64::new(0),
                     AtomicU64::new(0),
                     AtomicU64::new(0),
+                    AtomicU64::new(0),
+                    AtomicU64::new(0),
                 ],
                 calls: [
+                    AtomicU64::new(0),
+                    AtomicU64::new(0),
                     AtomicU64::new(0),
                     AtomicU64::new(0),
                     AtomicU64::new(0),

@@ -192,6 +192,42 @@ pub struct RegistrySnapshot {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
+impl RegistrySnapshot {
+    /// Folds `other` into `self`: counters sum by name, histograms sum
+    /// bucket-wise. Because both maps are name-ordered and addition is
+    /// commutative, merging per-shard snapshots in any order yields the
+    /// same result as recording every sample into one registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two histograms share a name but disagree on bounds —
+    /// that is a wiring bug, not a data condition.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, hist) in &other.histograms {
+            match self.histograms.entry(name.clone()) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(hist.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    let mine = slot.get_mut();
+                    assert_eq!(
+                        mine.bounds, hist.bounds,
+                        "histogram {name:?} merged with mismatched bounds"
+                    );
+                    for (a, b) in mine.counts.iter_mut().zip(&hist.counts) {
+                        *a += b;
+                    }
+                    mine.total += hist.total;
+                    mine.sum += hist.sum;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::Registry;

@@ -31,9 +31,11 @@ pub mod gaussian;
 pub mod medium;
 pub mod pathloss;
 pub mod reception;
+pub mod tile;
 pub mod units;
 
 pub use config::PhyConfig;
 pub use medium::{Fading, ListenerOutcome, Medium, TransmissionId, TxOutcome};
 pub use reception::{BusyEdge, DecodeOutcome, RxTracker};
+pub use tile::{interference_cutoff, TileIndex};
 pub use units::{Db, Dbm, Meters, Position};

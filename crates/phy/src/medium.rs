@@ -17,9 +17,13 @@
 
 use airguard_fault::{BurstLoss, GilbertElliott};
 use airguard_sim::{MasterSeed, NodeId, RngStream, SimDuration};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use crate::config::PhyConfig;
+use crate::gaussian;
 use crate::pathloss::PathLoss;
+use crate::tile::{interference_cutoff, pair_key, TileIndex, CLAMP_SIGMAS};
 use crate::units::{Db, Dbm, Position};
 
 /// Temporal behaviour of the shadowing deviate.
@@ -104,6 +108,42 @@ struct LinkState {
     coherent_offset: Option<Db>,
 }
 
+/// Sentinel transmission count used to key a link's one *coherent*
+/// deviate: real per-transmission counts grow from zero and can never
+/// reach it.
+const COHERENT_DRAW: u64 = u64::MAX;
+
+/// One clamped shadowing deviate (as a dB offset added to received
+/// power) derived entirely from `key`. Clamping to ±[`CLAMP_SIGMAS`]σ
+/// is what bounds best-case power and makes the interference cutoff
+/// finite.
+fn clamped_offset(key: u64, sigma: f64) -> Db {
+    let mut rng = StdRng::seed_from_u64(key);
+    let z = gaussian::standard_normal(&mut rng).clamp(-CLAMP_SIGMAS, CLAMP_SIGMAS);
+    Db::new(sigma * z)
+}
+
+/// Order-independent sampling state of the spatial medium mode.
+///
+/// Instead of one shared RNG stream consumed in iteration order (whose
+/// position depends on *every* pair ever sampled), each (transmission,
+/// listener) pair derives its deviate from a key of
+/// `(base, tx global id, per-transmitter tx count, listener global id)`
+/// — so pruning distant listeners, or running one spatial component in
+/// isolation, cannot shift any other pair's draw.
+#[derive(Debug)]
+struct SpatialState {
+    /// Candidate listeners per node within the interference cutoff.
+    index: TileIndex,
+    /// Per-candidate-edge link invariants, parallel to the index's CSR
+    /// candidate array.
+    edges: Vec<LinkState>,
+    /// Base mixing key (the `"phy"` stream key under the master seed).
+    base_key: u64,
+    /// Per-transmitter transmission counter, part of every pair key.
+    tx_counts: Vec<u64>,
+}
+
 /// The shared medium: node positions + propagation model + sampling RNG.
 #[derive(Debug)]
 pub struct Medium {
@@ -112,11 +152,19 @@ pub struct Medium {
     rng: RngStream,
     next_tx: u64,
     fading: Fading,
-    /// Dense n×n link table, indexed `transmitter.index() * n + listener`.
+    /// Dense n×n link table, indexed `transmitter.index() * n + listener`
+    /// (empty in spatial mode).
     links: Vec<LinkState>,
     /// Injected Gilbert–Elliott burst-loss channels, one per listener
     /// (empty when no burst-loss fault is configured).
     burst: Vec<GilbertElliott>,
+    /// Global node id per local slot. Identity for a full-network
+    /// medium; a sub-network medium (one spatial component) carries the
+    /// component members' global ids so sampling keys and fault streams
+    /// match the unsharded run.
+    node_ids: Vec<u32>,
+    /// Spatial sampling state; `None` selects the legacy dense path.
+    spatial: Option<SpatialState>,
 }
 
 impl Medium {
@@ -146,7 +194,89 @@ impl Medium {
             fading: Fading::PerTransmission,
             links,
             burst: Vec::new(),
+            node_ids: (0..n as u32).collect(),
+            spatial: None,
         }
+    }
+
+    /// Creates a medium in *spatial* mode: candidate listeners come
+    /// from a tile index over the interference cutoff
+    /// ([`crate::tile::interference_cutoff`]), and shadowing deviates
+    /// are drawn per (transmission, listener) pair from a mixed key
+    /// instead of a shared sequential stream. Memory and sampling cost
+    /// scale with the number of in-range pairs, not n².
+    ///
+    /// `node_ids` maps each local slot to its global node id
+    /// (`(0..n).collect()` for a full network); keys and fault streams
+    /// use global ids, so a component simulated in isolation samples
+    /// exactly what the full network would. `tiled` selects the grid
+    /// accelerated index; `false` builds the same candidate lists by
+    /// brute force (equivalence-tested — outcomes are identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_ids` and `positions` differ in length.
+    #[must_use]
+    pub fn new_spatial(
+        cfg: PhyConfig,
+        positions: Vec<Position>,
+        node_ids: Vec<u32>,
+        seed: MasterSeed,
+        tiled: bool,
+    ) -> Self {
+        assert_eq!(
+            node_ids.len(),
+            positions.len(),
+            "one global id per position"
+        );
+        let cutoff = interference_cutoff(&cfg);
+        let index = if tiled {
+            TileIndex::build(&positions, cutoff)
+        } else {
+            TileIndex::build_dense(&positions, cutoff)
+        };
+        let mut edges = Vec::with_capacity(index.edge_count());
+        for (i, &tx_pos) in positions.iter().enumerate() {
+            for &j in index.candidates(i) {
+                let d = tx_pos.distance_to(positions[j as usize]);
+                edges.push(LinkState {
+                    delay: cfg.propagation_delay(d),
+                    mean_loss: cfg.model.mean_loss(d),
+                    coherent_offset: None,
+                });
+            }
+        }
+        let rng = seed.stream("phy", 0);
+        let base_key = rng.key();
+        let n = positions.len();
+        Medium {
+            cfg,
+            positions,
+            rng,
+            next_tx: 0,
+            fading: Fading::PerTransmission,
+            links: Vec::new(),
+            burst: Vec::new(),
+            node_ids,
+            spatial: Some(SpatialState {
+                index,
+                edges,
+                base_key,
+                tx_counts: vec![0; n],
+            }),
+        }
+    }
+
+    /// True when this medium samples in spatial (tile/pair-key) mode.
+    #[must_use]
+    pub fn is_spatial(&self) -> bool {
+        self.spatial.is_some()
+    }
+
+    /// The spatial candidate index, when in spatial mode.
+    #[must_use]
+    pub fn spatial_index(&self) -> Option<&TileIndex> {
+        self.spatial.as_ref().map(|s| &s.index)
     }
 
     /// Selects the temporal fading behaviour (default:
@@ -162,8 +292,14 @@ impl Medium {
     /// never perturbs the shadowing RNG: the clean part of a faulted
     /// trace stays byte-identical to its unfaulted twin.
     pub fn set_burst_loss(&mut self, cfg: BurstLoss, seed: MasterSeed) {
-        self.burst = (0..self.positions.len() as u64)
-            .map(|listener| GilbertElliott::new(cfg, seed.stream("fault.loss", listener)))
+        // Channels are seeded by *global* listener id, so a spatial
+        // component's sub-medium drops the same frames the full network
+        // would (the identity mapping makes this a no-op for legacy
+        // mediums).
+        self.burst = self
+            .node_ids
+            .iter()
+            .map(|&gid| GilbertElliott::new(cfg, seed.stream("fault.loss", u64::from(gid))))
             .collect();
     }
 
@@ -208,6 +344,11 @@ impl Medium {
         out.clear();
         let id = TransmissionId(self.next_tx);
         self.next_tx += 1;
+
+        if self.spatial.is_some() {
+            self.sample_tx_spatial(transmitter, out);
+            return id;
+        }
 
         let n = self.positions.len();
         let row = transmitter.index() * n;
@@ -265,6 +406,76 @@ impl Medium {
             });
         }
         id
+    }
+
+    /// The spatial sampling path: candidates from the tile index, one
+    /// key-derived clamped deviate per pair. Iteration is ascending by
+    /// node id (the CSR rows are sorted), so listener outcomes come
+    /// back in exactly the dense path's order.
+    fn sample_tx_spatial(&mut self, transmitter: NodeId, out: &mut Vec<ListenerOutcome>) {
+        let Medium {
+            cfg,
+            burst,
+            node_ids,
+            spatial,
+            fading,
+            ..
+        } = self;
+        let Some(spatial) = spatial.as_mut() else {
+            return;
+        };
+        let t = transmitter.index();
+        let tx_gid = node_ids[t];
+        let count = spatial.tx_counts[t];
+        spatial.tx_counts[t] += 1;
+        let sigma = cfg.model.sigma_db;
+        let (row_start, cands) = spatial.index.row(t);
+        for (k, &cand) in cands.iter().enumerate() {
+            let link = &mut spatial.edges[row_start + k];
+            let rx_gid = node_ids[cand as usize];
+            let offset = match fading {
+                Fading::PerTransmission => {
+                    clamped_offset(pair_key(spatial.base_key, tx_gid, count, rx_gid), sigma)
+                }
+                Fading::Coherent => match link.coherent_offset {
+                    Some(offset) => offset,
+                    None => {
+                        // Count-free key: one frozen deviate per link,
+                        // cached so repeat transmissions skip the draw.
+                        let offset = clamped_offset(
+                            pair_key(spatial.base_key, tx_gid, COHERENT_DRAW, rx_gid),
+                            sigma,
+                        );
+                        link.coherent_offset = Some(offset);
+                        offset
+                    }
+                },
+            };
+            // The model adds the deviate to received power, i.e.
+            // subtracts it from the loss.
+            let power = cfg.tx_power - (link.mean_loss - offset);
+            if power < cfg.cs_threshold {
+                continue;
+            }
+            let mut receivable = power >= cfg.rx_threshold;
+            let mut fault_lost = false;
+            if receivable {
+                if let Some(channel) = burst.get_mut(cand as usize) {
+                    if channel.drops() {
+                        receivable = false;
+                        fault_lost = true;
+                    }
+                }
+            }
+            out.push(ListenerOutcome {
+                listener: NodeId::new(cand),
+                delay: link.delay,
+                power,
+                sensed: true,
+                receivable,
+                fault_lost,
+            });
+        }
     }
 
     /// Samples the fate of a transmission starting now at `transmitter`.
@@ -510,6 +721,161 @@ mod tests {
                 faulted.start_tx(NodeId::new(0))
             );
         }
+    }
+
+    fn spatial_medium(positions: Vec<Position>, seed: u64, tiled: bool) -> Medium {
+        let ids = (0..positions.len() as u32).collect();
+        Medium::new_spatial(
+            PhyConfig::paper_default(),
+            positions,
+            ids,
+            MasterSeed::new(seed),
+            tiled,
+        )
+    }
+
+    fn circle(n: usize, radius: f64) -> Vec<Position> {
+        (0..n)
+            .map(|i| {
+                Position::new(0.0, 0.0)
+                    .offset_polar(radius, std::f64::consts::TAU * i as f64 / n as f64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spatial_tiled_and_dense_index_sample_identically() {
+        let mut tiled = spatial_medium(circle(24, 300.0), 21, true);
+        let mut dense = spatial_medium(circle(24, 300.0), 21, false);
+        for _round in 0..50 {
+            for i in 0..24 {
+                assert_eq!(
+                    tiled.start_tx(NodeId::new(i)),
+                    dense.start_tx(NodeId::new(i))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_sampling_is_immune_to_distant_nodes() {
+        // The sharding contract: a pair's outcome stream must not change
+        // when causally unreachable nodes are simulated elsewhere. Two
+        // nodes alone vs. the same two plus a far-away cluster.
+        let near = vec![Position::new(0.0, 0.0), Position::new(250.0, 0.0)];
+        let mut alone = spatial_medium(near.clone(), 33, true);
+        let mut crowded = {
+            let mut all = near;
+            for k in 0..6 {
+                all.push(Position::new(50_000.0 + 100.0 * f64::from(k), 0.0));
+            }
+            spatial_medium(all, 33, true)
+        };
+        for _ in 0..200 {
+            let a = alone.start_tx(NodeId::new(0));
+            let b = crowded.start_tx(NodeId::new(0));
+            assert_eq!(a.listeners, b.listeners);
+        }
+    }
+
+    #[test]
+    fn spatial_submedium_with_global_ids_matches_full_network() {
+        // A component's sub-medium (local slots, global ids) must sample
+        // exactly what the full network samples for those nodes. Global
+        // nodes 5 and 6 sit together; everyone else is out of range.
+        let mut full_positions: Vec<Position> = (0..5)
+            .map(|k| Position::new(-40_000.0 - 2_000.0 * f64::from(k), 0.0))
+            .collect();
+        full_positions.push(Position::new(0.0, 0.0)); // global 5
+        full_positions.push(Position::new(250.0, 0.0)); // global 6
+        let mut full = spatial_medium(full_positions.clone(), 44, true);
+        let mut sub = Medium::new_spatial(
+            PhyConfig::paper_default(),
+            vec![full_positions[5], full_positions[6]],
+            vec![5, 6],
+            MasterSeed::new(44),
+            true,
+        );
+        for _ in 0..200 {
+            let in_full = full.start_tx(NodeId::new(5));
+            let in_sub = sub.start_tx(NodeId::new(0));
+            assert_eq!(in_full.listeners.len(), in_sub.listeners.len());
+            for (f, s) in in_full.listeners.iter().zip(&in_sub.listeners) {
+                assert_eq!(f.listener, NodeId::new(6));
+                assert_eq!(s.listener, NodeId::new(1));
+                assert_eq!(
+                    (f.power, f.sensed, f.receivable),
+                    (s.power, s.sensed, s.receivable)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_sense_rate_matches_calibration() {
+        // The pair-keyed clamped sampler must reproduce the same 50 %
+        // sense probability at 550 m as the sequential-stream sampler.
+        let mut m = spatial_medium(
+            vec![Position::new(0.0, 0.0), Position::new(550.0, 0.0)],
+            55,
+            true,
+        );
+        let n = 20_000;
+        let sensed = (0..n)
+            .filter(|_| !m.start_tx(NodeId::new(0)).listeners.is_empty())
+            .count() as f64
+            / f64::from(n);
+        assert!(
+            (sensed - 0.5).abs() < 0.02,
+            "spatial sense rate at 550 m was {sensed}"
+        );
+    }
+
+    #[test]
+    fn spatial_coherent_fading_freezes_each_link() {
+        let mut m = spatial_medium(
+            vec![Position::new(0.0, 0.0), Position::new(550.0, 0.0)],
+            66,
+            true,
+        );
+        m.set_fading(Fading::Coherent);
+        let first = !m.start_tx(NodeId::new(0)).listeners.is_empty();
+        for _ in 0..200 {
+            let now = !m.start_tx(NodeId::new(0)).listeners.is_empty();
+            assert_eq!(now, first, "coherent spatial link changed its fate");
+        }
+    }
+
+    #[test]
+    fn spatial_burst_loss_streams_follow_global_ids() {
+        // Sub-medium burst channels must be seeded by global listener
+        // id, so the drop pattern at global node 6 is shard-invariant.
+        let loss = airguard_fault::BurstLoss {
+            p_enter: 0.3,
+            p_exit: 0.3,
+            loss_good: 0.2,
+            loss_bad: 0.9,
+        };
+        let positions = vec![Position::new(0.0, 0.0), Position::new(100.0, 0.0)];
+        let drops = |ids: Vec<u32>| {
+            let mut m = Medium::new_spatial(
+                PhyConfig::paper_default(),
+                positions.clone(),
+                ids,
+                MasterSeed::new(77),
+                true,
+            );
+            m.set_burst_loss(loss, MasterSeed::new(77));
+            (0..300)
+                .map(|_| m.start_tx(NodeId::new(0)).listeners[0].fault_lost)
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(drops(vec![5, 6]), drops(vec![5, 6]), "reproducible");
+        assert_ne!(
+            drops(vec![5, 6]),
+            drops(vec![5, 9]),
+            "channel follows the listener's global id"
+        );
     }
 
     #[test]

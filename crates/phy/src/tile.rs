@@ -1,0 +1,395 @@
+//! Tile-partitioned spatial indexing for large topologies.
+//!
+//! The dense [`crate::Medium`] link table is O(n²) in both memory and
+//! per-transmission sampling cost — fine for the paper's ≤ 40-node
+//! figures, hopeless at 10k+ nodes. This module provides the spatial
+//! substrate that replaces it for large topologies:
+//!
+//! * [`interference_cutoff`] — the finite radius beyond which a
+//!   transmission is provably silent under *clamped* shadowing (the
+//!   spatial sampling mode clamps the Gaussian deviate to ±6σ, so the
+//!   best-case received power at distance d is bounded and a hard
+//!   cutoff exists);
+//! * [`TileIndex`] — a uniform grid of square tiles with edge length
+//!   equal to the cutoff radius, plus per-node CSR candidate lists
+//!   (every other node within the cutoff, ascending by node id — the
+//!   same iteration order as the dense path, so listener outcomes come
+//!   back in the identical order).
+//!
+//! Determinism: the index is a pure function of the positions and the
+//! cutoff. Candidate lists are sorted, never hash-ordered, and the
+//! brute-force and tile-accelerated builders produce identical lists —
+//! the property test in `crates/phy/tests/tile_equivalence.rs` holds
+//! the two paths together.
+
+use crate::config::PhyConfig;
+use crate::pathloss::PathLoss;
+use crate::units::{Db, Meters, Position};
+
+/// The spatial sampling mode clamps each shadowing deviate to this many
+/// standard deviations, which is what makes a finite interference
+/// cutoff exist at all. ±6σ truncates less than 2e-9 of the
+/// distribution's mass — far below anything the calibration tests can
+/// resolve.
+pub const CLAMP_SIGMAS: f64 = 6.0;
+
+/// Safety margin added on top of the ±6σ bound when computing the
+/// cutoff, in dB. This absorbs the ≤ 1 dB discontinuity of the
+/// two-ray-ground mean model at its crossover distance, so the cutoff
+/// search can treat "silent at d" as monotone in d.
+const CUTOFF_MARGIN_DB: f64 = 1.0;
+
+/// Hard ceiling for the cutoff search, in meters. No supported
+/// configuration gets anywhere near this; it only bounds the search
+/// when a pathological config never goes silent.
+const CUTOFF_CEILING_M: f64 = 1.0e7;
+
+/// The distance beyond which a transmission can never be sensed under
+/// clamped (±[`CLAMP_SIGMAS`]σ) shadowing: the smallest `d` such that
+/// `tx_power − mean_loss(d) + 6σ + margin < cs_threshold`.
+///
+/// For the paper's default radio (σ = 1 dB, carrier sense 50 % at
+/// 550 m) this lands near 1.1 km; for a deterministic radio (σ = 0) it
+/// is the 550 m sense range plus the margin.
+#[must_use]
+pub fn interference_cutoff(cfg: &PhyConfig) -> Meters {
+    let headroom = Db::new(CLAMP_SIGMAS * cfg.model.sigma_db + CUTOFF_MARGIN_DB);
+    let silent =
+        |d: f64| cfg.tx_power - cfg.model.mean_loss(Meters::new(d)) + headroom < cfg.cs_threshold;
+    // Exponential search for a silent distance, then bisect. The margin
+    // makes `silent` monotone despite the two-ray crossover jump.
+    let mut hi = 1.0;
+    while !silent(hi) {
+        hi *= 2.0;
+        if hi >= CUTOFF_CEILING_M {
+            return Meters::new(CUTOFF_CEILING_M);
+        }
+    }
+    let mut lo = hi / 2.0;
+    while hi - lo > 0.25 {
+        let mid = 0.5 * (lo + hi);
+        if silent(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Meters::new(hi)
+}
+
+/// A uniform tile grid over the node positions with per-node candidate
+/// lists in CSR layout.
+///
+/// Tile edge length equals the cutoff radius, so every node's
+/// candidates live in its own tile or one of the eight surrounding
+/// tiles; the 3×3 neighborhood scan is then filtered by exact distance.
+#[derive(Debug, Clone)]
+pub struct TileIndex {
+    cutoff: Meters,
+    cols: usize,
+    rows: usize,
+    /// CSR row starts: node `i`'s candidates are
+    /// `candidates[starts[i]..starts[i + 1]]`.
+    starts: Vec<usize>,
+    /// Candidate node indices, ascending within each row.
+    candidates: Vec<u32>,
+}
+
+impl TileIndex {
+    /// Builds the index over `positions` with the given cutoff radius,
+    /// using the tile grid to avoid the O(n²) pair scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cutoff` is not positive or more than `u32::MAX`
+    /// positions are given.
+    #[must_use]
+    pub fn build(positions: &[Position], cutoff: Meters) -> Self {
+        assert!(cutoff.value() > 0.0, "tile cutoff must be positive");
+        let n = positions.len();
+        assert!(u32::try_from(n).is_ok(), "more than u32::MAX nodes");
+        if n == 0 {
+            return TileIndex {
+                cutoff,
+                cols: 0,
+                rows: 0,
+                starts: vec![0],
+                candidates: Vec::new(),
+            };
+        }
+
+        // Grid geometry from the bounding box of the placement.
+        let (mut min_x, mut min_y, mut max_x, mut max_y) = (
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+        );
+        for p in positions {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        let tile = cutoff.value();
+        let cols = (((max_x - min_x) / tile).floor() as usize).saturating_add(1);
+        let rows = (((max_y - min_y) / tile).floor() as usize).saturating_add(1);
+        let cell_of = |p: &Position| -> (usize, usize) {
+            let cx = (((p.x - min_x) / tile).floor() as usize).min(cols - 1);
+            let cy = (((p.y - min_y) / tile).floor() as usize).min(rows - 1);
+            (cx, cy)
+        };
+
+        // Bucket nodes by tile (counting sort keeps buckets id-ordered).
+        let mut tile_counts = vec![0usize; cols * rows];
+        for p in positions {
+            let (cx, cy) = cell_of(p);
+            tile_counts[cy * cols + cx] += 1;
+        }
+        let mut tile_starts = Vec::with_capacity(cols * rows + 1);
+        let mut acc = 0usize;
+        tile_starts.push(0);
+        for &c in &tile_counts {
+            acc += c;
+            tile_starts.push(acc);
+        }
+        let mut tile_fill = tile_starts.clone();
+        let mut tile_members = vec![0u32; n];
+        for (i, p) in positions.iter().enumerate() {
+            let (cx, cy) = cell_of(p);
+            let slot = tile_fill[cy * cols + cx];
+            tile_members[slot] = i as u32;
+            tile_fill[cy * cols + cx] += 1;
+        }
+
+        // CSR candidate lists: 3×3 neighborhood, exact distance filter,
+        // sorted ascending so iteration matches the dense path.
+        let mut starts = Vec::with_capacity(n + 1);
+        let mut candidates = Vec::new();
+        let mut scratch: Vec<u32> = Vec::new();
+        starts.push(0);
+        for (i, p) in positions.iter().enumerate() {
+            scratch.clear();
+            let (cx, cy) = cell_of(p);
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let nx = cx as i64 + dx;
+                    let ny = cy as i64 + dy;
+                    if nx < 0 || ny < 0 || nx >= cols as i64 || ny >= rows as i64 {
+                        continue;
+                    }
+                    let t = (ny as usize) * cols + nx as usize;
+                    for &j in &tile_members[tile_starts[t]..tile_starts[t + 1]] {
+                        if j as usize == i {
+                            continue;
+                        }
+                        if p.distance_to(positions[j as usize]) <= cutoff {
+                            scratch.push(j);
+                        }
+                    }
+                }
+            }
+            scratch.sort_unstable();
+            candidates.extend_from_slice(&scratch);
+            starts.push(candidates.len());
+        }
+        TileIndex {
+            cutoff,
+            cols,
+            rows,
+            starts,
+            candidates,
+        }
+    }
+
+    /// Builds the same index by brute-force O(n²) pair scan — the
+    /// reference implementation the tile path is equivalence-tested
+    /// against, and the natural choice for small n.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cutoff` is not positive or more than `u32::MAX`
+    /// positions are given.
+    #[must_use]
+    pub fn build_dense(positions: &[Position], cutoff: Meters) -> Self {
+        assert!(cutoff.value() > 0.0, "tile cutoff must be positive");
+        let n = positions.len();
+        assert!(u32::try_from(n).is_ok(), "more than u32::MAX nodes");
+        let mut starts = Vec::with_capacity(n + 1);
+        let mut candidates = Vec::new();
+        starts.push(0);
+        for (i, p) in positions.iter().enumerate() {
+            for (j, q) in positions.iter().enumerate() {
+                if i != j && p.distance_to(*q) <= cutoff {
+                    candidates.push(j as u32);
+                }
+            }
+            starts.push(candidates.len());
+        }
+        TileIndex {
+            cutoff,
+            cols: 1,
+            rows: 1,
+            starts,
+            candidates,
+        }
+    }
+
+    /// The cutoff radius the index was built with.
+    #[must_use]
+    pub fn cutoff(&self) -> Meters {
+        self.cutoff
+    }
+
+    /// Number of nodes in the index.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Grid shape `(cols, rows)` (1×1 for a dense-built index).
+    #[must_use]
+    pub fn grid_shape(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    /// Node `i`'s candidate listeners, ascending by node index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn candidates(&self, i: usize) -> &[u32] {
+        &self.candidates[self.starts[i]..self.starts[i + 1]]
+    }
+
+    /// Node `i`'s CSR row: the offset of its first candidate edge (for
+    /// indexing parallel per-edge arrays) plus the candidate slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn row(&self, i: usize) -> (usize, &[u32]) {
+        let start = self.starts[i];
+        (start, &self.candidates[start..self.starts[i + 1]])
+    }
+
+    /// Total number of directed candidate edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.candidates.len()
+    }
+}
+
+/// splitmix64, the standard 64-bit finalizer — used to mix per-pair
+/// sampling keys so each (transmission, listener) pair gets an
+/// independent, order-free deviate.
+#[must_use]
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Derives the sampling key for one (transmission, listener) pair.
+///
+/// The key depends only on the medium's base key, the transmitter's
+/// *global* id, the transmitter's own transmission count, and the
+/// listener's global id — never on how many other pairs were sampled —
+/// so pruning distant listeners (or simulating a spatial component in
+/// isolation) cannot shift any other pair's deviate.
+#[must_use]
+pub(crate) fn pair_key(base: u64, tx: u32, tx_count: u64, rx: u32) -> u64 {
+    let pair = (u64::from(tx) << 32) | u64::from(rx);
+    splitmix64(base ^ splitmix64(pair) ^ splitmix64(tx_count).rotate_left(17))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_positions(side: usize, spacing: f64) -> Vec<Position> {
+        let mut out = Vec::new();
+        for r in 0..side {
+            for c in 0..side {
+                out.push(Position::new(c as f64 * spacing, r as f64 * spacing));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn cutoff_covers_the_sense_range_with_margin() {
+        let cut = interference_cutoff(&PhyConfig::paper_default());
+        assert!(
+            cut.value() > 550.0 && cut.value() < 2_000.0,
+            "paper-default cutoff was {cut}"
+        );
+        let det = interference_cutoff(&PhyConfig::deterministic());
+        assert!(
+            det.value() > 550.0 && det.value() < 700.0,
+            "deterministic cutoff was {det}"
+        );
+        // More shadowing variance ⇒ larger cutoff.
+        assert!(cut > det);
+    }
+
+    #[test]
+    fn tile_and_dense_builders_agree() {
+        let positions = grid_positions(13, 310.0);
+        let cutoff = Meters::new(600.0);
+        let tiled = TileIndex::build(&positions, cutoff);
+        let dense = TileIndex::build_dense(&positions, cutoff);
+        assert_eq!(tiled.node_count(), dense.node_count());
+        for i in 0..positions.len() {
+            assert_eq!(tiled.candidates(i), dense.candidates(i), "node {i}");
+        }
+    }
+
+    #[test]
+    fn candidates_are_sorted_and_self_free() {
+        let positions = grid_positions(9, 200.0);
+        let index = TileIndex::build(&positions, Meters::new(650.0));
+        for i in 0..positions.len() {
+            let cands = index.candidates(i);
+            assert!(cands.windows(2).all(|w| w[0] < w[1]), "unsorted at {i}");
+            assert!(!cands.contains(&(i as u32)), "self-candidate at {i}");
+        }
+    }
+
+    #[test]
+    fn far_apart_clusters_have_no_cross_edges() {
+        let mut positions = grid_positions(3, 100.0);
+        for p in grid_positions(3, 100.0) {
+            positions.push(Position::new(p.x + 10_000.0, p.y));
+        }
+        let index = TileIndex::build(&positions, Meters::new(700.0));
+        for i in 0..9 {
+            assert!(index.candidates(i).iter().all(|&j| j < 9));
+        }
+        for i in 9..18 {
+            assert!(index.candidates(i).iter().all(|&j| j >= 9));
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_indexes_are_fine() {
+        let empty = TileIndex::build(&[], Meters::new(100.0));
+        assert_eq!(empty.node_count(), 0);
+        assert_eq!(empty.edge_count(), 0);
+        let one = TileIndex::build(&[Position::new(3.0, 4.0)], Meters::new(100.0));
+        assert_eq!(one.node_count(), 1);
+        assert!(one.candidates(0).is_empty());
+    }
+
+    #[test]
+    fn pair_keys_are_order_free_and_distinct() {
+        let k = pair_key(99, 1, 0, 2);
+        assert_eq!(k, pair_key(99, 1, 0, 2), "stable");
+        assert_ne!(k, pair_key(99, 1, 1, 2), "next transmission differs");
+        assert_ne!(k, pair_key(99, 1, 0, 3), "other listener differs");
+        assert_ne!(k, pair_key(99, 2, 0, 1), "direction matters");
+    }
+}
