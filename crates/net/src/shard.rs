@@ -94,18 +94,22 @@ struct ComponentSpec {
     cfg: SimulationConfig,
 }
 
-/// Restricts `plan` to one component: churn events are kept for member
-/// nodes only and renumbered to local indices, drift target lists are
-/// translated (a drift that targeted only other components is dropped —
-/// an *empty* list means "every node", so a filtered-to-empty list must
-/// not be kept). Burst loss and corruption are component-global knobs
-/// and pass through unchanged.
-fn restrict_fault(plan: &FaultPlan, local_of: &[Option<usize>]) -> Option<FaultPlan> {
+/// Restricts `plan` to one component, identified by its ascending
+/// global member ids: churn events are kept for member nodes only and
+/// renumbered to local indices (a member's local index is its rank in
+/// `members`), drift target lists are translated the same way (a drift
+/// that targeted only other components is dropped — an *empty* list
+/// means "every node", so a filtered-to-empty list must not be kept).
+/// Burst loss and corruption are component-global knobs and pass
+/// through unchanged.
+fn restrict_fault(plan: &FaultPlan, members: &[u32]) -> Option<FaultPlan> {
+    debug_assert!(members.windows(2).all(|w| w[0] < w[1]), "members ascend");
+    let local_of = |global: u32| members.binary_search(&global).ok();
     let churn = plan
         .churn
         .iter()
         .filter_map(|crash| {
-            local_of[crash.node as usize].map(|local| {
+            local_of(crash.node).map(|local| {
                 let mut c = *crash;
                 c.node = local as u32;
                 c
@@ -119,7 +123,7 @@ fn restrict_fault(plan: &FaultPlan, local_of: &[Option<usize>]) -> Option<FaultP
         let nodes: Vec<u32> = drift
             .nodes
             .iter()
-            .filter_map(|&n| local_of.get(n as usize).copied().flatten())
+            .filter_map(|&n| local_of(n))
             .map(|local| local as u32)
             .collect();
         if nodes.is_empty() {
@@ -179,11 +183,8 @@ fn build_plan(
     }
     let n_comp = comp_index.len();
     let mut members: Vec<Vec<u32>> = vec![Vec::new(); n_comp];
-    // `local_of[global]` = the node's index inside its own component.
-    let mut local_of: Vec<Option<usize>> = vec![None; n];
     let mut positions: Vec<Vec<airguard_phy::Position>> = vec![Vec::new(); n_comp];
     for (i, &c) in comp_of.iter().enumerate() {
-        local_of[i] = Some(members[c].len());
         members[c].push(i as u32);
         positions[c].push(topology.positions[i]);
     }
@@ -210,10 +211,13 @@ fn build_plan(
     let mut specs = Vec::with_capacity(n_comp);
     let mut policy_parts = comp_policies.into_iter();
     for c in 0..n_comp {
+        // The member list must be this component's — the restriction
+        // renumbers global fault targets to *this* component's local
+        // indices and drops the rest.
         let fault = cfg
             .fault
             .as_ref()
-            .and_then(|plan| restrict_fault(plan, &local_of));
+            .and_then(|plan| restrict_fault(plan, &members[c]));
         let sub_cfg = SimulationConfig {
             fault,
             ..cfg.clone()
@@ -476,10 +480,8 @@ mod tests {
             }),
             ..FaultPlan::default()
         };
-        let mut local_of = vec![None; 10];
-        local_of[0] = Some(0);
-        local_of[1] = Some(1);
-        let restricted = restrict_fault(&plan, &local_of);
+        let members = [0u32, 1];
+        let restricted = restrict_fault(&plan, &members);
         assert!(restricted.is_none(), "emptied drift must drop the plan");
         // A drift that names a member is translated to local indices.
         let plan = FaultPlan {
@@ -490,11 +492,52 @@ mod tests {
             ..FaultPlan::default()
         };
         let restricted =
-            restrict_fault(&plan, &local_of).expect("drift names a member, plan survives");
+            restrict_fault(&plan, &members).expect("drift names a member, plan survives");
         assert_eq!(
             restricted.clock_drift.expect("drift kept").nodes,
             vec![1],
             "global id 1 is local index 1 here"
+        );
+    }
+
+    #[test]
+    fn restriction_uses_each_components_own_member_list() {
+        // Regression: build_plan once passed one global local-index map
+        // to every component, so a churn event for global node g leaked
+        // into *every* component at whatever node held g's local rank
+        // (or panicked out of bounds). Restricting against disjoint
+        // member lists must keep each event in exactly one component.
+        let plan = FaultPlan {
+            churn: vec![
+                airguard_fault::CrashEvent {
+                    node: 7,
+                    at: airguard_sim::SimDuration::from_millis(5),
+                    down_for: airguard_sim::SimDuration::from_millis(5),
+                    preserve_monitor: false,
+                },
+                airguard_fault::CrashEvent {
+                    node: 2,
+                    at: airguard_sim::SimDuration::from_millis(9),
+                    down_for: airguard_sim::SimDuration::from_millis(3),
+                    preserve_monitor: true,
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        // Component A holds globals {0, 2, 4}; component B holds
+        // {5, 7, 9}. Node 7 has local rank 1 in B and must not surface
+        // in A even though A also has a node of rank 1.
+        let a = restrict_fault(&plan, &[0, 2, 4]).expect("A keeps node 2's crash");
+        assert_eq!(a.churn.len(), 1);
+        assert_eq!(a.churn[0].node, 1, "global 2 is rank 1 of {{0, 2, 4}}");
+        assert!(a.churn[0].preserve_monitor);
+        let b = restrict_fault(&plan, &[5, 7, 9]).expect("B keeps node 7's crash");
+        assert_eq!(b.churn.len(), 1);
+        assert_eq!(b.churn[0].node, 1, "global 7 is rank 1 of {{5, 7, 9}}");
+        assert!(!b.churn[0].preserve_monitor);
+        assert!(
+            restrict_fault(&plan, &[10, 11]).is_none(),
+            "a component with no fault targets gets no plan at all"
         );
     }
 }

@@ -176,9 +176,10 @@ impl Topology {
 
     /// A deterministic square lattice of `n` nodes with `spacing`
     /// meters between neighbors; each node runs a backlogged CBR flow
-    /// to its row neighbor (the last node of a row sends left instead
-    /// of right). Placement is RNG-free and O(n), usable up to 100k
-    /// nodes.
+    /// to a lattice neighbor one `spacing` away — its right row
+    /// neighbor when one exists, else left, and when a partial last row
+    /// holds a single node (no row neighbor at all) the node directly
+    /// above. Placement is RNG-free and O(n), usable up to 100k nodes.
     ///
     /// # Panics
     ///
@@ -197,11 +198,16 @@ impl Topology {
         for i in 0..n {
             let col = i % side;
             // Right neighbor when it exists (same row, in range of the
-            // lattice); otherwise left.
+            // lattice); otherwise left. A single-node last row has no
+            // row neighbor either way — `i - 1` would be the previous
+            // row's far-right node, `spacing * hypot(side - 1, 1)`
+            // meters away — so it sends to the node directly above.
             let dst = if col + 1 < side && i + 1 < n {
                 i + 1
-            } else {
+            } else if col > 0 {
                 i - 1
+            } else {
+                i - side
             };
             flows.push(Flow {
                 src: NodeId::new(i as u32),
@@ -452,16 +458,24 @@ mod tests {
 
     #[test]
     fn grid_is_deterministic_and_flows_stay_adjacent() {
-        let t = Topology::grid(10_000, 50.0, 2_000_000, 512);
-        assert_eq!(t.node_count(), 10_000);
-        assert_eq!(t, Topology::grid(10_000, 50.0, 2_000_000, 512));
-        for f in &t.flows {
-            assert_ne!(f.src, f.dst);
-            let d = t.positions[f.src.index()]
-                .distance_to(t.positions[f.dst.index()])
-                .value();
-            assert!((d - 50.0).abs() < 1e-9, "flow spans {d} m");
+        // 10_000 is a perfect square; 13 leaves a last row holding a
+        // single node (side 4, node 12 alone on row 3), which must flow
+        // to the node directly above it — not to the previous row's
+        // far-right node a diagonal away.
+        for n in [10_000, 13] {
+            let t = Topology::grid(n, 50.0, 2_000_000, 512);
+            assert_eq!(t.node_count(), n);
+            assert_eq!(t, Topology::grid(n, 50.0, 2_000_000, 512));
+            for f in &t.flows {
+                assert_ne!(f.src, f.dst);
+                let d = t.positions[f.src.index()]
+                    .distance_to(t.positions[f.dst.index()])
+                    .value();
+                assert!((d - 50.0).abs() < 1e-9, "flow spans {d} m in n={n}");
+            }
         }
+        let t = Topology::grid(13, 50.0, 2_000_000, 512);
+        assert_eq!(t.flows[12].dst.index(), 8, "lone last-row node sends up");
     }
 
     #[test]

@@ -16,10 +16,11 @@
 //!    component-ordered merge.)
 
 use airguard_core::CorrectConfig;
+use airguard_fault::{ClockDrift, CrashEvent, FaultPlan};
 use airguard_mac::Selfish;
 use airguard_net::{NodePolicy, Protocol, ScenarioConfig, Simulation, StandardScenario};
 use airguard_sim::trace::TraceEvent;
-use airguard_sim::NodeId;
+use airguard_sim::{NodeId, SimDuration};
 
 /// A campus scenario small enough for a test, big enough to decompose:
 /// clusters sit 3 km apart, far beyond the ~1.1 km interference cutoff.
@@ -105,6 +106,88 @@ fn sharded_report_matches_monolithic_spatial_run() {
     assert_eq!(sharded.delays, mono.delays);
     assert_eq!(sharded.counters, mono.counters);
     assert_eq!(sharded.misbehaving, misbehaving);
+}
+
+/// Churn in clusters 0 and 2, drift in clusters 1 and 3 — every
+/// component both keeps a fault aimed at it and must drop the others'.
+fn campus_fault_plan() -> FaultPlan {
+    FaultPlan {
+        churn: vec![
+            CrashEvent {
+                node: 10,
+                at: SimDuration::from_millis(200),
+                down_for: SimDuration::from_millis(300),
+                preserve_monitor: false,
+            },
+            CrashEvent {
+                node: 95,
+                at: SimDuration::from_millis(400),
+                down_for: SimDuration::from_millis(250),
+                preserve_monitor: true,
+            },
+        ],
+        clock_drift: Some(ClockDrift {
+            per_mille: 20,
+            nodes: vec![50, 130],
+        }),
+        ..FaultPlan::default()
+    }
+}
+
+#[test]
+fn faulted_sharded_run_matches_monolithic_and_worker_counts() {
+    // Regression: fault plans were once restricted against a global
+    // local-index map, so every component re-applied every churn event
+    // to whichever of its nodes happened to share a local rank — or
+    // panicked when the rank exceeded the component size. A faulted
+    // sharded run must stay byte-identical across worker counts *and*
+    // equal to the monolithic spatial run of the same plan.
+    let faulted = |workers| {
+        campus(workers)
+            .fault(campus_fault_plan())
+            .expect("plan targets valid nodes")
+    };
+    let sharded = faulted(1).run();
+    assert!(
+        sharded.throughput.total_bytes() > 0,
+        "faulted campus still carries traffic"
+    );
+    for workers in [2, 4] {
+        assert_eq!(
+            faulted(workers).run().summary.to_json(),
+            sharded.summary.to_json(),
+            "faulted summary diverged at {workers} workers"
+        );
+    }
+    let cfg = faulted(4);
+    let topology = cfg.build_topology();
+    let misbehaving = cfg.misbehaving_set(&topology);
+    let policies: Vec<NodePolicy> = (0..topology.node_count())
+        .map(|i| {
+            let id = NodeId::new(i as u32);
+            let strategy = if misbehaving.contains(&id) {
+                Selfish::BackoffScale { pm: 50.0 }
+            } else {
+                Selfish::None
+            };
+            NodePolicy::correct(id, CorrectConfig::paper_default(), strategy)
+        })
+        .collect();
+    let mono = Simulation::new(
+        cfg.simulation_config(),
+        topology,
+        policies,
+        misbehaving.clone(),
+    )
+    .run();
+    assert_eq!(
+        sharded.summary.to_json(),
+        mono.summary.to_json(),
+        "faulted sharded merge must reproduce the monolithic spatial summary"
+    );
+    assert_eq!(sharded.events, mono.events);
+    assert_eq!(sharded.throughput, mono.throughput);
+    assert_eq!(sharded.counters, mono.counters);
 }
 
 #[test]
