@@ -1,0 +1,9 @@
+//! Thin wrapper: `detector_duel` through the unified driver.
+//!
+//! Regenerate with:
+//! `cargo run --release -p airguard-bench --bin detector_duel`
+//! (same flags as `airguard-bench`, figure fixed to `detector_duel`).
+
+fn main() {
+    std::process::exit(airguard_bench::cli::bin_main("detector_duel"));
+}

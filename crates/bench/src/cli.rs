@@ -8,15 +8,16 @@
 //! airguard-bench                       # every figure, paper settings
 //! ```
 //!
-//! The 17 per-figure binaries call [`bin_main`] with their figure name
-//! forced and accept the same flags. Seed count and horizon fall back
-//! to the `AIRGUARD_SEEDS` / `AIRGUARD_SECS` environment variables;
-//! malformed values are *rejected with an error*, never silently
-//! defaulted.
+//! The 18 per-figure binaries call [`bin_main`] with their figure name
+//! forced and accept the same flags. Seed count, horizon, and detector
+//! selection fall back to the `AIRGUARD_SEEDS` / `AIRGUARD_SECS` /
+//! `AIRGUARD_DETECTOR` environment variables; malformed values are
+//! *rejected with an error*, never silently defaulted.
 
 use std::io::Write as _;
 use std::time::Instant;
 
+use airguard_core::DetectorConfig;
 use airguard_exp::{run_experiment, write_report_jsonl, Experiment, ResultCache, RunOptions};
 use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
 use airguard_obs::{records_to_chrome_trace, PhaseProfiler};
@@ -58,6 +59,9 @@ options:
   --seeds N        seed-set size (default 30, or AIRGUARD_SEEDS)
   --secs N         simulated seconds per run (default 50, or AIRGUARD_SECS)
   --workers N      worker threads (default: one per core)
+  --detector KIND  restrict the detector_duel figure to one deviation
+                   detector: window, cusum, or cw (default: all three,
+                   or AIRGUARD_DETECTOR); other figures are unaffected
   --shard-workers N  intra-run shard workers for spatial scenarios and
                    the `scale` harness (default 1, or
                    AIRGUARD_SHARD_WORKERS); never changes results
@@ -98,6 +102,9 @@ pub struct Cli {
     /// Intra-run shard workers for spatial scenarios and the `scale`
     /// harness. Determinism contract: can never change a result byte.
     pub shard_workers: usize,
+    /// Validated detector kind restricting the `detector_duel` grid
+    /// (`window`/`cusum`/`cw`); `None` runs all three.
+    pub detector: Option<String>,
     /// Write the telemetry report even when the figure doesn't default
     /// to it.
     pub jsonl: bool,
@@ -155,6 +162,28 @@ pub(crate) fn env_positive(name: &str) -> Result<Option<u64>, String> {
     }
 }
 
+/// Validates a detector kind, naming the source (`--detector`,
+/// `AIRGUARD_DETECTOR`) in the rejection.
+fn parse_detector(source: &str, value: &str) -> Result<String, String> {
+    let kind = value.trim();
+    DetectorConfig::from_kind(kind)
+        .map(|d| d.kind().to_owned())
+        .map_err(|e| format!("{source}: {e}"))
+}
+
+/// Reads `AIRGUARD_DETECTOR`; unset is `None`, malformed is an error
+/// (never a silent default), mirroring [`env_positive`].
+fn env_detector() -> Result<Option<String>, String> {
+    let name = "AIRGUARD_DETECTOR";
+    match std::env::var(name) {
+        Ok(v) => parse_detector(name, &v).map(Some),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err(format!("{name}: value is not valid unicode"))
+        }
+    }
+}
+
 /// Parses `args` (no argv[0]). `forced_figure` is set by the thin
 /// per-figure binaries; they reject `--figure`/`--list`.
 ///
@@ -176,6 +205,7 @@ pub fn parse(args: &[String], forced_figure: Option<&str>) -> Result<Cli, String
         secs: env_positive("AIRGUARD_SECS")?.unwrap_or(PAPER_SECS),
         workers: 0,
         shard_workers: env_shard,
+        detector: env_detector()?,
         jsonl: false,
         no_cache: false,
         cache_dir: None,
@@ -222,6 +252,12 @@ pub fn parse(args: &[String], forced_figure: Option<&str>) -> Result<Cli, String
                 let v = value("--shard-workers", &mut it)?;
                 cli.shard_workers = usize::try_from(parse_positive("--shard-workers", &v)?)
                     .map_err(|_| format!("--shard-workers: value {v:?} out of range"))?;
+            }
+            "--detector" => {
+                cli.detector = Some(parse_detector(
+                    "--detector",
+                    &value("--detector", &mut it)?,
+                )?);
             }
             "--jsonl" => cli.jsonl = true,
             "--no-cache" => cli.no_cache = true,
@@ -369,13 +405,23 @@ pub fn run(cli: &Cli) -> i32 {
             return exit;
         }
     }
-    let exps = match select(&figures) {
+    let mut exps = match select(&figures) {
         Ok(exps) => exps,
         Err(msg) => {
             err(&format!("airguard-bench: {msg}"));
             return 2;
         }
     };
+    // The (already validated) detector restriction swaps the full duel
+    // grid for its one-detector slice; every other figure keeps its
+    // registered points and cache digests.
+    if let Some(kind) = &cli.detector {
+        for exp in &mut exps {
+            if exp.name == "detector_duel" {
+                *exp = figures::detector_duel::experiment_for(Some(kind));
+            }
+        }
+    }
 
     let mut opts = RunOptions::new(cli.seeds, cli.secs);
     opts.workers = cli.workers;
@@ -626,7 +672,43 @@ mod tests {
     fn unknown_figures_are_reported() {
         let msg = select(&["no_such".to_owned()]).unwrap_err();
         assert!(msg.contains("unknown figure"));
-        assert_eq!(select(&[]).expect("all").len(), 17);
+        assert_eq!(select(&[]).expect("all").len(), 18);
+    }
+
+    #[test]
+    fn detector_flag_validates_and_normalizes() {
+        for kind in ["window", "cusum", "cw"] {
+            let cli = parse(&args(&["--detector", kind]), None).expect("parses");
+            assert_eq!(cli.detector.as_deref(), Some(kind));
+        }
+        // Surrounding whitespace is tolerated, junk is not.
+        let cli = parse(&args(&["--detector", " cusum "]), None).expect("parses");
+        assert_eq!(cli.detector.as_deref(), Some("cusum"));
+        let msg = parse(&args(&["--detector", "ewma"]), None).unwrap_err();
+        assert!(msg.contains("--detector"), "{msg}");
+        assert!(msg.contains("window, cusum, or cw"), "{msg}");
+        assert!(parse(&args(&["--detector"]), None)
+            .unwrap_err()
+            .contains("missing value"));
+    }
+
+    #[test]
+    fn detector_env_is_validated_not_silently_defaulted() {
+        // The env reader shares `parse_detector`, so the malformed path
+        // is pinned without mutating process-global state (other tests
+        // call `parse` concurrently and would race on the variable).
+        let msg = parse_detector("AIRGUARD_DETECTOR", "ewma").unwrap_err();
+        assert!(msg.contains("AIRGUARD_DETECTOR"), "{msg}");
+        assert!(msg.contains("window, cusum, or cw"), "{msg}");
+        // Unset (the default in the test environment) means "all".
+        assert_eq!(parse(&[], None).expect("parses").detector, None);
+        // A set-and-valid round trip, restored before returning; keeps
+        // the value valid throughout so racing `parse` calls still
+        // succeed.
+        std::env::set_var("AIRGUARD_DETECTOR", "cw");
+        let seen = env_detector();
+        std::env::remove_var("AIRGUARD_DETECTOR");
+        assert_eq!(seen.expect("valid"), Some("cw".to_owned()));
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub fn experiment() -> Experiment {
 /// are fixed (`DETECTION_LATENCY_BOUNDS_US`) so pooling is a per-bucket
 /// count sum; cells missing the histogram (no misbehavior onset
 /// observed) contribute nothing.
-fn pooled(point: &PointResult, name: &str) -> (Vec<u64>, Vec<u64>, u64) {
+pub(crate) fn pooled(point: &PointResult, name: &str) -> (Vec<u64>, Vec<u64>, u64) {
     let mut bounds: Vec<u64> = Vec::new();
     let mut counts: Vec<u64> = Vec::new();
     let mut total = 0;
@@ -95,7 +95,7 @@ fn pooled(point: &PointResult, name: &str) -> (Vec<u64>, Vec<u64>, u64) {
 /// cumulative count first reaches `ceil(q · total)`. Samples in the
 /// overflow bucket saturate to the last bound; an empty histogram
 /// reads 0.
-fn percentile_ms(bounds: &[u64], counts: &[u64], total: u64, q: f64) -> f64 {
+pub(crate) fn percentile_ms(bounds: &[u64], counts: &[u64], total: u64, q: f64) -> f64 {
     if total == 0 || bounds.is_empty() {
         return 0.0;
     }

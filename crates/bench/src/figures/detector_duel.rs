@@ -1,0 +1,189 @@
+//! Detector duel: the three deviation detectors head-to-head —
+//! detection delay vs. false-positive rate, swept over misbehavior
+//! coefficient × fault intensity.
+//!
+//! ROADMAP item 4 asks how the paper's window diagnosis compares with
+//! sequential (CUSUM) testing and contention-window estimation. Every
+//! cell runs the same observed ZERO-FLOW scenario as the
+//! `detection_latency` grid, but with the monitor's
+//! [`DeviationDetector`](airguard_core::DeviationDetector) swapped via
+//! [`ScenarioConfig::detector`]: diagnosis latency lands in the
+//! per-detector histogram named by
+//! [`airguard_obs::detector_latency_hists`], while the false-positive
+//! rate is the existing misdiagnosis percentage (honest senders flagged)
+//! from the same run. Percentiles read pooled fixed-geometry buckets,
+//! so the table and CSV are byte-identical for any worker count, cache
+//! state, or shard-worker setting.
+//!
+//! `airguard-bench --detector KIND` (or `AIRGUARD_DETECTOR`) restricts
+//! the grid to one detector; rendering then emits only the rows whose
+//! points exist, keeping the full-grid output byte-for-byte unchanged.
+
+use airguard_core::DetectorConfig;
+use airguard_exp::{f2, metric, Axes, Experiment, ExperimentResult, Figure, Rendered, Table};
+use airguard_net::{Protocol, ScenarioConfig, StandardScenario};
+use airguard_obs::{detector_latency_hists, DETECTION_OBSERVE_MASK};
+
+use super::chaos;
+use super::detection_latency::{percentile_ms, pooled};
+
+/// The contenders, in presentation order. Default knobs throughout —
+/// the duel compares detection *schemes*, not tuning budgets.
+const DETECTOR_KINDS: [&str; 3] = ["window", "cusum", "cw"];
+/// Fault intensity as a percentage of the full-chaos operating point.
+const INTENSITIES: [u16; 3] = [0, 50, 100];
+/// Misbehavior coefficients; all non-zero so every cell has onsets to
+/// time, while the honest senders in the same cell supply the
+/// false-positive denominator.
+const PMS: [f64; 3] = [30.0, 60.0, 90.0];
+
+fn axes(detector: &str, intensity: u16, pm: f64) -> Axes {
+    Axes::new()
+        .with("detector", detector)
+        .with("fault", intensity)
+        .with("pm", format!("{pm:.0}"))
+}
+
+/// The full three-detector duel.
+#[must_use]
+pub fn experiment() -> Experiment {
+    experiment_for(None)
+}
+
+/// The duel restricted to `only` (a detector kind), or the full grid
+/// when `None`. The CLI's `--detector` flag routes through here.
+///
+/// # Panics
+///
+/// Panics at registration time if `only` names an unknown detector (the
+/// CLI validates first) or a chaos plan fails validation — sweep
+/// definition bugs, not runtime paths.
+#[must_use]
+pub fn experiment_for(only: Option<&str>) -> Experiment {
+    let mut e = Experiment::new(
+        "detector_duel",
+        "Detector duel: window vs cusum vs cw - detection delay and false positives",
+    );
+    e.render = render;
+    e.jsonl_default = true;
+    for kind in DETECTOR_KINDS {
+        if only.is_some_and(|o| o != kind) {
+            continue;
+        }
+        let detector = DetectorConfig::from_kind(kind)
+            .expect("DETECTOR_KINDS entries are the canonical kind names"); // lint:allow(panic-expect) — registration-time config bug, not a runtime path
+        for intensity in INTENSITIES {
+            for pm in PMS {
+                let cfg = ScenarioConfig::new(StandardScenario::ZeroFlow)
+                    .protocol(Protocol::Correct)
+                    .misbehavior_percent(pm)
+                    .detector(detector)
+                    .fault(chaos::plan(intensity))
+                    .expect("chaos plans target node 1 of the standard topology with in-range probabilities") // lint:allow(panic-expect) — registration-time config bug, not a runtime path
+                    .observe(DETECTION_OBSERVE_MASK);
+                e.push(&axes(kind, intensity, pm), cfg);
+            }
+        }
+    }
+    e
+}
+
+fn render(r: &ExperimentResult) -> Rendered {
+    let mut t = Table::new(
+        "Detector duel: diagnosis delay (virtual ms) and false-positive %",
+        &[
+            "detector", "fault%", "PM%", "diag p50", "diag p99", "correct%", "fp%", "samples",
+        ],
+    );
+    for kind in DETECTOR_KINDS {
+        let (_, diagnosis_hist) = detector_latency_hists(kind);
+        for intensity in INTENSITIES {
+            for pm in PMS {
+                let a = axes(kind, intensity, pm);
+                // A `--detector`-restricted run collected only one
+                // detector's points; skip the others instead of
+                // panicking in the lookup.
+                let Some(point) = r.points.iter().find(|p| p.key == a.key()) else {
+                    continue;
+                };
+                let (db, dc, dt) = pooled(point, &diagnosis_hist);
+                t.row(&[
+                    kind.to_owned(),
+                    format!("{intensity}"),
+                    format!("{pm:.0}"),
+                    f2(percentile_ms(&db, &dc, dt, 0.50)),
+                    f2(percentile_ms(&db, &dc, dt, 0.99)),
+                    f2(r.mean(&a, metric::CORRECT_PCT)),
+                    f2(r.mean(&a, metric::MISDIAG_PCT)),
+                    format!("{dt}"),
+                ]);
+            }
+        }
+    }
+    Rendered {
+        figures: vec![Figure {
+            name: "detector_duel".into(),
+            table: t,
+        }],
+        notes: vec![
+            "Each row is one detector x fault x PM cell of the same observed \
+             ZERO-FLOW scenario: `diag p50`/`diag p99` are onset -> first \
+             DiagnosisFlagged latencies (histogram bucket upper bounds pooled \
+             over seeds, so byte-identical across reruns and worker counts), \
+             `fp%` is the share of packets from honest senders that the \
+             detector flagged, and `samples` counts diagnosed cheater onsets."
+                .to_owned(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_detector_times_fault_times_pm() {
+        let e = experiment();
+        assert_eq!(
+            e.points.len(),
+            DETECTOR_KINDS.len() * INTENSITIES.len() * PMS.len()
+        );
+        assert!(e.jsonl_default);
+        for p in &e.points {
+            assert!(
+                p.cfg.identity().contains("observe_mask"),
+                "every cell must run observed: {}",
+                p.key
+            );
+        }
+        // The detector must fork the cache digest: the same fault/pm
+        // cell under different detectors are different points AND
+        // different configs.
+        let base = |key: &str| {
+            e.points
+                .iter()
+                .find(|p| p.key.contains(key))
+                .expect("grid point exists")
+        };
+        let w = base("detector=window,fault=0,pm=30");
+        let c = base("detector=cusum,fault=0,pm=30");
+        assert_ne!(w.cfg.config_digest(), c.cfg.config_digest());
+    }
+
+    #[test]
+    fn restricting_to_one_detector_keeps_only_its_points() {
+        let e = experiment_for(Some("cusum"));
+        assert_eq!(e.points.len(), INTENSITIES.len() * PMS.len());
+        for p in &e.points {
+            assert!(p.key.starts_with("detector=cusum,"), "{}", p.key);
+        }
+    }
+
+    #[test]
+    fn detector_kinds_match_the_canonical_names() {
+        for kind in DETECTOR_KINDS {
+            let cfg = DetectorConfig::from_kind(kind).expect("canonical");
+            assert_eq!(cfg.kind(), kind);
+        }
+    }
+}

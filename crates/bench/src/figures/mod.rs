@@ -18,6 +18,7 @@ pub mod ablation_threshold;
 pub mod chaos;
 pub mod delay_report;
 pub mod detection_latency;
+pub mod detector_duel;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
@@ -47,6 +48,7 @@ pub fn all() -> Vec<Experiment> {
         ablation_threshold::experiment(),
         chaos::experiment(),
         detection_latency::experiment(),
+        detector_duel::experiment(),
     ]
 }
 

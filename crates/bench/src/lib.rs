@@ -8,7 +8,7 @@
 //!   registration per published figure/table/ablation;
 //! * [`cli`] — the unified `airguard-bench` command line
 //!   (`--figure fig4 --seeds 30 --secs 50 --jsonl --no-cache --list`);
-//!   the 17 `src/bin/*.rs` binaries are thin wrappers that force one
+//!   the 18 `src/bin/*.rs` binaries are thin wrappers that force one
 //!   figure and accept the same flags.
 //!
 //! The paper runs 30 seeds × 50 s; both are overridable with
@@ -76,8 +76,8 @@ mod tests {
         let names: Vec<&str> = figures::all().iter().map(|e| e.name).collect();
         assert_eq!(
             names.len(),
-            17,
-            "15 published figures/ablations + chaos + detection_latency"
+            18,
+            "15 published figures/ablations + chaos + detection_latency + detector_duel"
         );
         let mut dedup = names.clone();
         dedup.sort_unstable();

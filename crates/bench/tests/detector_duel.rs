@@ -1,0 +1,81 @@
+//! The detector-duel acceptance claims: every detector appears in the
+//! rendered output with its latency percentiles and false-positive
+//! column, and the whole figure — CSV bytes and telemetry report — is
+//! byte-identical at any worker count.
+
+use airguard_bench::figures::detector_duel;
+use airguard_exp::{run_experiment, ExperimentOutcome, RunOptions};
+
+/// A downscaled duel run: full detector x fault x PM grid, 2 seeds,
+/// 2 simulated seconds, no cache so every byte comes from simulation.
+fn run_with_workers(workers: usize) -> ExperimentOutcome {
+    let exp = detector_duel::experiment();
+    let mut opts = RunOptions::new(2, 2);
+    opts.workers = workers;
+    opts.cache = None;
+    run_experiment(&exp, &opts)
+}
+
+#[test]
+fn duel_output_is_byte_identical_at_any_worker_count() {
+    let baseline = run_with_workers(1);
+    assert!(
+        baseline.failures.is_empty(),
+        "cells failed: {:?}",
+        baseline.failures
+    );
+    let baseline_csv = baseline.rendered.figures[0].table.to_csv_string();
+    for workers in [2, 4, 8] {
+        let outcome = run_with_workers(workers);
+        assert_eq!(
+            outcome.rendered.figures[0].table.to_csv_string(),
+            baseline_csv,
+            "CSV diverged at {workers} workers"
+        );
+        assert_eq!(
+            outcome.report_lines, baseline.report_lines,
+            "telemetry report diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn duel_table_carries_every_detector_with_latency_and_fp_columns() {
+    let outcome = run_with_workers(0);
+    assert!(
+        outcome.failures.is_empty(),
+        "cells failed: {:?}",
+        outcome.failures
+    );
+    let table = &outcome.rendered.figures[0].table;
+    let csv = table.to_csv_string();
+    let header = csv.lines().next().expect("header row");
+    for col in ["detector", "diag p50", "diag p99", "correct%", "fp%"] {
+        assert!(header.contains(col), "missing column {col}: {header}");
+    }
+    for kind in ["window", "cusum", "cw"] {
+        assert_eq!(
+            csv.lines()
+                .filter(|l| l.starts_with(&format!("{kind},")))
+                .count(),
+            9,
+            "detector {kind} must fill its 3x3 fault x PM block"
+        );
+    }
+    // Detection works at this scale: every detector diagnoses the PM=90
+    // cheater on a clean channel (fault=0), giving nonzero latency
+    // samples to the percentile columns.
+    for kind in ["window", "cusum", "cw"] {
+        let row = csv
+            .lines()
+            .find(|l| l.starts_with(&format!("{kind},0,90,")))
+            .expect("clean-channel PM=90 row");
+        let samples: u64 = row
+            .rsplit(',')
+            .next()
+            .expect("samples column")
+            .parse()
+            .expect("numeric samples");
+        assert!(samples > 0, "{kind} never diagnosed the PM=90 cheater");
+    }
+}

@@ -16,9 +16,12 @@
 //! 2. **Correction** ([`correction`]): each deviation draws a penalty
 //!    proportional to its magnitude `D = max(α·B_exp − B_act, 0)`, added
 //!    to the next assigned backoff, so cheaters gain nothing.
-//! 3. **Diagnosis** ([`diagnosis`]): the signed differences
-//!    `B_exp − B_act` of the last `W` packets are summed; a sender whose
-//!    sum exceeds `THRESH` is flagged as misbehaving.
+//! 3. **Diagnosis** ([`diagnosis`], [`detector`]): the signed
+//!    differences `B_exp − B_act` of the last `W` packets are summed; a
+//!    sender whose sum exceeds `THRESH` is flagged as misbehaving. The
+//!    window scheme is one [`detector::DeviationDetector`]
+//!    implementation; CUSUM sequential testing and contention-window
+//!    estimation are pluggable alternatives (ROADMAP item 4).
 //!
 //! [`CorrectPolicy`] packages all three behind the
 //! [`airguard_mac::BackoffPolicy`] trait so the unmodified DCF engine
@@ -30,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod correction;
+pub mod detector;
 pub mod diagnosis;
 pub mod monitor;
 pub mod observer;
@@ -38,6 +42,10 @@ pub mod receiver_check;
 pub mod retry_fn;
 
 pub use correction::CorrectionConfig;
+pub use detector::{
+    CwEstimationConfig, CwEstimationDetector, DetectorConfig, DetectorVerdict, DeviationDetector,
+    SequentialConfig, SequentialDetector, WindowDetector,
+};
 pub use diagnosis::{DiagnosisConfig, DiagnosisWindow};
 pub use monitor::{Monitor, MonitorConfig, MonitorReport, SenderStats};
 pub use observer::{PairStats, ThirdPartyObserver};

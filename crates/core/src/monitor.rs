@@ -13,10 +13,10 @@
 //!   ACK to the sender. `B_act` for the next exchange is the counter
 //!   delta since then (§4.1's "idle slots between the sending of an ACK
 //!   and the reception of the next RTS").
-//! * `pending_obs` — the `(B_exp − B_act, D)` pair measured at the most
-//!   recent RTS, pushed into the diagnosis window when the exchange's
-//!   DATA actually arrives (the window is defined over received
-//!   *packets*).
+//! * `pending_obs` — the backoff measurement taken at the most recent
+//!   RTS, handed to the sender's [`DeviationDetector`] when the
+//!   exchange's DATA actually arrives (detection is defined over
+//!   received *packets*).
 //! * `probe_expect` — armed by the §4.1 attempt-verification probe: after
 //!   intentionally dropping an RTS carrying attempt `a`, the next RTS
 //!   must carry `a + 1`; anything else is proof of attempt-number
@@ -31,7 +31,8 @@ use rand::RngExt;
 use serde::{Deserialize, Serialize};
 
 use crate::correction::CorrectionConfig;
-use crate::diagnosis::{DiagnosisConfig, DiagnosisWindow};
+use crate::detector::{DetectorConfig, DeviationDetector};
+use crate::diagnosis::DiagnosisConfig;
 use crate::receiver_check::g_value;
 
 /// How the monitor draws the base (pre-penalty) part of each assignment.
@@ -113,9 +114,9 @@ struct SenderRecord {
     next_assign: u32,
     has_assignment: bool,
     snapshot: Option<u64>,
-    pending_obs: Option<(f64, f64)>, // (diff, deviation)
+    pending_obs: Option<BackoffObservation>,
     last_seq: Option<u64>,
-    window: DiagnosisWindow,
+    detector: Box<dyn DeviationDetector>,
     /// A pending attempt-verification probe: (sequence number of the
     /// dropped RTS, attempt number it carried).
     probe_expect: Option<(u64, u8)>,
@@ -123,7 +124,7 @@ struct SenderRecord {
 }
 
 impl SenderRecord {
-    fn new(node: NodeId, diagnosis: DiagnosisConfig) -> Self {
+    fn new(node: NodeId, diagnosis: DiagnosisConfig, detector: DetectorConfig) -> Self {
         SenderRecord {
             in_force: None,
             pending_in_force: None,
@@ -132,7 +133,7 @@ impl SenderRecord {
             snapshot: None,
             pending_obs: None,
             last_seq: None,
-            window: DiagnosisWindow::new(diagnosis),
+            detector: detector.build(diagnosis),
             probe_expect: None,
             stats: SenderStats::new(node),
         }
@@ -201,21 +202,37 @@ impl MonitorReport {
 pub struct Monitor {
     me: NodeId,
     cfg: MonitorConfig,
+    detector: DetectorConfig,
     records: BTreeMap<NodeId, SenderRecord>,
     /// EMA of per-packet |diff| noise from currently-unflagged senders.
     noise_ema: f64,
 }
 
 impl Monitor {
-    /// Creates a monitor for receiver node `me`.
+    /// Creates a monitor for receiver node `me` running the default
+    /// (window) detector.
     #[must_use]
     pub fn new(me: NodeId, cfg: MonitorConfig) -> Self {
+        Monitor::with_detector(me, cfg, DetectorConfig::default())
+    }
+
+    /// Creates a monitor whose per-sender verdict state runs the given
+    /// detector.
+    #[must_use]
+    pub fn with_detector(me: NodeId, cfg: MonitorConfig, detector: DetectorConfig) -> Self {
         Monitor {
             me,
             cfg,
+            detector,
             records: BTreeMap::new(),
             noise_ema: 0.0,
         }
+    }
+
+    /// The detector configuration every sender record is built from.
+    #[must_use]
+    pub fn detector(&self) -> DetectorConfig {
+        self.detector
     }
 
     /// The effective diagnosis threshold currently in force.
@@ -239,9 +256,10 @@ impl Monitor {
 
     fn record(&mut self, src: NodeId) -> &mut SenderRecord {
         let diagnosis = self.cfg.diagnosis;
+        let detector = self.detector;
         self.records
             .entry(src)
-            .or_insert_with(|| SenderRecord::new(src, diagnosis))
+            .or_insert_with(|| SenderRecord::new(src, diagnosis, detector))
     }
 
     /// §4.1 probe decision: should the MAC respond to this RTS?
@@ -324,19 +342,19 @@ impl Monitor {
             let b_exp =
                 crate::retry_fn::expected_total_backoff(base, src, attempt.max(1), timing) as f64;
             let b_act = idle_reading.saturating_sub(snap) as f64;
-            let diff = b_exp - b_act;
             let deviation = correction.deviation(b_exp, b_act);
             if deviation > 0.0 {
                 rec.stats.deviations += 1;
             }
-            rec.pending_obs = Some((diff, deviation));
             penalty = correction.penalty(deviation);
-            observation = Some(BackoffObservation {
+            let obs = BackoffObservation {
                 assigned_slots: b_exp,
                 observed_slots: b_act,
                 deviation_slots: deviation,
                 penalty_slots: penalty,
-            });
+            };
+            rec.pending_obs = Some(obs);
+            observation = Some(obs);
         }
 
         let base = match source {
@@ -371,40 +389,39 @@ impl Monitor {
         rec.pending_in_force = Some(rec.next_assign);
     }
 
-    /// Records a delivered packet from `src` and classifies it.
+    /// Records a delivered packet from `src` and classifies it through
+    /// the sender's detector.
     pub fn on_data(&mut self, src: NodeId) -> PacketVerdict {
         let thresh = self.effective_thresh();
         let adaptive = self.cfg.adaptive;
         let deviation;
-        let window_sum;
-        let flagged;
-        let mut pushed_diff = None;
+        let verdict;
+        let mut measured_diff = None;
         {
             let rec = self.record(src);
             rec.stats.packets += 1;
-            deviation = match rec.pending_obs.take() {
-                Some((diff, d)) => {
-                    rec.window.push(diff);
-                    pushed_diff = Some(diff);
-                    d
+            let obs = rec.pending_obs.take();
+            deviation = match &obs {
+                Some(o) => {
+                    measured_diff = Some(o.assigned_slots - o.observed_slots);
+                    o.deviation_slots
                 }
                 None => 0.0,
             };
-            window_sum = rec.window.sum();
-            flagged = window_sum > thresh;
-            if flagged {
+            verdict = rec.detector.observe(obs.as_ref(), thresh);
+            if verdict.flagged {
                 rec.stats.flagged_packets += 1;
             }
         }
-        if let (Some(a), Some(diff), false) = (adaptive, pushed_diff, flagged) {
+        if let (Some(a), Some(diff), false) = (adaptive, measured_diff, verdict.flagged) {
             // Only unflagged senders feed the noise estimate, so a cheater
             // cannot inflate the threshold that protects it.
             self.noise_ema = (1.0 - a.ema_alpha) * self.noise_ema + a.ema_alpha * diff.abs();
         }
         PacketVerdict {
             deviation_slots: deviation,
-            window_sum,
-            flagged,
+            window_sum: verdict.statistic,
+            flagged: verdict.flagged,
         }
     }
 
@@ -635,6 +652,62 @@ mod tests {
         let report = m.report();
         let ids: Vec<u32> = report.senders.iter().map(|s| s.node.value()).collect();
         assert_eq!(ids, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn cusum_monitor_flags_a_full_cheater_and_resets() {
+        let t = timing();
+        let det = crate::detector::DetectorConfig::from_kind("cusum").expect("known");
+        let mut m = Monitor::with_detector(NodeId::new(0), MonitorConfig::paper_default(), det);
+        assert_eq!(m.detector().kind(), "cusum");
+        let mut r = rng();
+        let idle = 500u64;
+        m.on_rts(S, 0, 1, idle, &t, &mut r);
+        m.on_data(S);
+        m.on_ack_sent(S, idle);
+        let mut flagged_at = None;
+        for seq in 1..30u64 {
+            m.on_rts(S, seq, 1, idle, &t, &mut r); // zero idle slots elapsed
+            let v = m.on_data(S);
+            m.on_ack_sent(S, idle);
+            if v.flagged {
+                flagged_at = Some((seq, v));
+                break;
+            }
+        }
+        let (_, v) = flagged_at.expect("cusum must flag a full cheater");
+        assert!(
+            v.window_sum > 30.0,
+            "the verdict statistic is the crossing CUSUM score, got {}",
+            v.window_sum
+        );
+    }
+
+    #[test]
+    fn cw_monitor_flags_a_half_waiting_cheater() {
+        let t = timing();
+        let det = crate::detector::DetectorConfig::from_kind("cw").expect("known");
+        let mut m = Monitor::with_detector(NodeId::new(0), MonitorConfig::paper_default(), det);
+        let mut r = rng();
+        let mut idle = 0u64;
+        m.on_rts(S, 0, 1, idle, &t, &mut r);
+        m.on_data(S);
+        m.on_ack_sent(S, idle);
+        let mut flagged = false;
+        for seq in 1..60u64 {
+            // Waits only half of what it was told.
+            idle += u64::from(m.assignment(S, &t).count()) / 2;
+            m.on_rts(S, seq, 1, idle, &t, &mut r);
+            let v = m.on_data(S);
+            m.on_ack_sent(S, idle);
+            flagged |= v.flagged;
+        }
+        assert!(flagged, "CW estimation must flag a PM=50 cheater");
+    }
+
+    #[test]
+    fn default_monitor_runs_the_window_detector() {
+        assert_eq!(monitor().detector().kind(), "window");
     }
 
     #[test]

@@ -19,6 +19,7 @@ use airguard_mac::{BackoffObservation, BackoffPolicy, MacTiming, PacketVerdict, 
 use airguard_sim::{NodeId, RngStream};
 use serde::{Deserialize, Serialize};
 
+use crate::detector::DetectorConfig;
 use crate::monitor::{Monitor, MonitorConfig, MonitorReport};
 use crate::observer::{PairStats, ThirdPartyObserver};
 use crate::receiver_check::ReceiverCheck;
@@ -81,6 +82,9 @@ impl Default for CorrectConfig {
 pub struct CorrectPolicy {
     id: NodeId,
     cfg: CorrectConfig,
+    /// Detector the monitor is (re)built with — kept so a cold crash
+    /// reset restores the same detection scheme.
+    detector: DetectorConfig,
     monitor: Monitor,
     /// Assignment latched from the most recent ACK per receiver; consumed
     /// by the next packet's fresh backoff.
@@ -93,13 +97,21 @@ pub struct CorrectPolicy {
 }
 
 impl CorrectPolicy {
-    /// Creates the policy for node `id`.
+    /// Creates the policy for node `id` with the default (window)
+    /// detector.
     #[must_use]
     pub fn new(id: NodeId, cfg: CorrectConfig) -> Self {
+        CorrectPolicy::with_detector(id, cfg, DetectorConfig::default())
+    }
+
+    /// Creates the policy with an explicit detector for its monitor.
+    #[must_use]
+    pub fn with_detector(id: NodeId, cfg: CorrectConfig, detector: DetectorConfig) -> Self {
         CorrectPolicy {
             id,
             cfg,
-            monitor: Monitor::new(id, cfg.monitor),
+            detector,
+            monitor: Monitor::with_detector(id, cfg.monitor, detector),
             next_base: BTreeMap::new(),
             current_base: BTreeMap::new(),
             receiver_check: ReceiverCheck::new(),
@@ -107,6 +119,12 @@ impl CorrectPolicy {
                 .observe_third_party
                 .then(|| ThirdPartyObserver::new(cfg.monitor.correction, cfg.monitor.diagnosis)),
         }
+    }
+
+    /// The detector this policy's monitor runs.
+    #[must_use]
+    pub fn detector(&self) -> DetectorConfig {
+        self.detector
     }
 
     /// End-of-run monitor statistics (receiver role).
@@ -140,7 +158,7 @@ impl CorrectPolicy {
         self.next_base.clear();
         self.current_base.clear();
         if !preserve_monitor {
-            self.monitor = Monitor::new(self.id, self.cfg.monitor);
+            self.monitor = Monitor::with_detector(self.id, self.cfg.monitor, self.detector);
             self.receiver_check = ReceiverCheck::new();
             self.observer = self.cfg.observe_third_party.then(|| {
                 ThirdPartyObserver::new(self.cfg.monitor.correction, self.cfg.monitor.diagnosis)
@@ -350,6 +368,20 @@ mod tests {
             p.monitor_report(),
             CorrectPolicy::new(NodeId::new(1), CorrectConfig::paper_default()).monitor_report(),
             "cold reset rebuilds the monitor from scratch"
+        );
+    }
+
+    #[test]
+    fn cold_crash_reset_rebuilds_the_same_detector() {
+        let det = DetectorConfig::from_kind("cusum").expect("known");
+        let mut p =
+            CorrectPolicy::with_detector(NodeId::new(1), CorrectConfig::paper_default(), det);
+        assert_eq!(p.detector().kind(), "cusum");
+        p.crash_reset(false);
+        assert_eq!(
+            p.detector().kind(),
+            "cusum",
+            "a cold reboot must not silently fall back to the window detector"
         );
     }
 

@@ -76,6 +76,70 @@ fn noisy_channels_raise_the_threshold() {
     );
 }
 
+/// An adaptive monitor with explicit knobs, for exact-product pins.
+fn monitor_with(factor: f64, ema_alpha: f64) -> Monitor {
+    Monitor::new(
+        NodeId::new(0),
+        MonitorConfig {
+            adaptive: Some(AdaptiveConfig { factor, ema_alpha }),
+            ..MonitorConfig::paper_default()
+        },
+    )
+}
+
+#[test]
+fn effective_thresh_is_exactly_factor_times_window_times_noise_ema() {
+    let t = MacTiming::dsss_2mbps();
+    // ema_alpha = 1 makes noise_ema exactly the last unflagged |diff|,
+    // so the adaptive branch is pinned to the literal product
+    // a.factor * W * noise_ema with no smoothing residue.
+    let mut m = monitor_with(3.0, 1.0);
+    let mut r = rng();
+    let mut idle = 0u64;
+    m.on_rts(S, 0, 1, idle, &t, &mut r);
+    m.on_data(S);
+    m.on_ack_sent(S, idle);
+    // Waiting 7 slots longer than assigned: diff = -7, unflagged, so
+    // noise_ema = 7 and the threshold is 3 (factor) x 5 (W) x 7 = 105.
+    noisy_exchange(&mut m, &mut r, &mut idle, 1, 7);
+    assert_eq!(m.effective_thresh(), 3.0 * 5.0 * 7.0);
+    // A later quieter packet drags the EMA (and the product) back down.
+    noisy_exchange(&mut m, &mut r, &mut idle, 2, 2);
+    assert_eq!(m.effective_thresh(), 3.0 * 5.0 * 2.0);
+}
+
+#[test]
+fn noise_products_below_the_static_thresh_keep_it() {
+    let t = MacTiming::dsss_2mbps();
+    let mut m = monitor_with(2.0, 1.0);
+    let mut r = rng();
+    let mut idle = 0u64;
+    m.on_rts(S, 0, 1, idle, &t, &mut r);
+    m.on_data(S);
+    m.on_ack_sent(S, idle);
+    // factor 2 x W 5 x noise 1 = 10 < THRESH 20: the max() picks the
+    // static setting.
+    noisy_exchange(&mut m, &mut r, &mut idle, 1, 1);
+    assert_eq!(m.effective_thresh(), 20.0);
+}
+
+#[test]
+fn ema_blend_enters_the_product_exactly() {
+    let t = MacTiming::dsss_2mbps();
+    // Power-of-two smoothing keeps every EMA step exact in f64:
+    // ema = 0.5*0 + 0.5*8 = 4, then 0.5*4 + 0.5*4 = 4.
+    let mut m = monitor_with(2.0, 0.5);
+    let mut r = rng();
+    let mut idle = 0u64;
+    m.on_rts(S, 0, 1, idle, &t, &mut r);
+    m.on_data(S);
+    m.on_ack_sent(S, idle);
+    noisy_exchange(&mut m, &mut r, &mut idle, 1, 8);
+    assert_eq!(m.effective_thresh(), 2.0 * 5.0 * 4.0);
+    noisy_exchange(&mut m, &mut r, &mut idle, 2, 4);
+    assert_eq!(m.effective_thresh(), 2.0 * 5.0 * 4.0);
+}
+
 #[test]
 fn flagged_senders_do_not_poison_the_noise_estimate() {
     let t = MacTiming::dsss_2mbps();

@@ -1,0 +1,30 @@
+//! Fixture: every detector knob is consumed by its identity string.
+
+pub struct SequentialConfig {
+    pub drift: f64,
+    pub threshold: f64,
+    pub warmup_packets: u32,
+}
+
+impl SequentialConfig {
+    pub fn identity(&self) -> String {
+        format!(
+            "cusum:drift={};threshold={};warmup={}",
+            self.drift, self.threshold, self.warmup_packets
+        )
+    }
+}
+
+pub struct CwEstimationConfig {
+    pub min_samples: u64,
+    pub fraction: f64,
+}
+
+impl CwEstimationConfig {
+    pub fn identity(&self) -> String {
+        format!(
+            "cw:min_samples={};fraction={}",
+            self.min_samples, self.fraction
+        )
+    }
+}

@@ -1,0 +1,29 @@
+//! Fixture: a detector gains a tuning knob that never reaches its
+//! identity string, so two differently-tuned sweeps alias one cache
+//! cell.
+
+pub struct SequentialConfig {
+    pub drift: f64,
+    pub threshold: f64,
+    pub warmup_packets: u32,
+}
+
+impl SequentialConfig {
+    pub fn identity(&self) -> String {
+        format!("cusum:drift={};threshold={}", self.drift, self.threshold)
+    }
+}
+
+pub struct CwEstimationConfig {
+    pub min_samples: u64,
+    pub fraction: f64,
+}
+
+impl CwEstimationConfig {
+    pub fn identity(&self) -> String {
+        format!(
+            "cw:min_samples={};fraction={}",
+            self.min_samples, self.fraction
+        )
+    }
+}

@@ -41,6 +41,7 @@ fn each_seeded_fixture_trips_its_rule() {
         ("hot-path-clone", Rule::HotPathClone),
         ("fault-path-unwrap", Rule::FaultPathUnwrap),
         ("digest-completeness", Rule::DigestCompleteness),
+        ("digest-completeness-detector", Rule::DigestCompleteness),
         ("obs-coverage", Rule::ObsCoverage),
         ("ordering-hash-iter", Rule::OrderingHashIter),
         ("ordering-relaxed", Rule::OrderingRelaxed),
@@ -66,6 +67,7 @@ fn clean_and_allowed_fixtures_pass() {
         "clean",
         "allowed-ok",
         "digest-completeness-clean",
+        "digest-completeness-detector-clean",
         "obs-coverage-clean",
         "ordering-hash-iter-clean",
         "ordering-relaxed-clean",
@@ -109,6 +111,7 @@ fn binary_exits_nonzero_on_each_seeded_fixture() {
         "fault-path-unwrap",
         "lint-allow-reason",
         "digest-completeness",
+        "digest-completeness-detector",
         "obs-coverage",
         "ordering-hash-iter",
         "ordering-relaxed",
@@ -136,6 +139,7 @@ fn binary_exits_zero_on_clean_trees() {
         "clean",
         "allowed-ok",
         "digest-completeness-clean",
+        "digest-completeness-detector-clean",
         "obs-coverage-clean",
         "ordering-hash-iter-clean",
         "ordering-relaxed-clean",

@@ -6,7 +6,7 @@
 //! [`MonitorReport`] out of a `Correct` node without downcasting.
 
 use airguard_core::monitor::MonitorReport;
-use airguard_core::{CorrectConfig, CorrectPolicy, PairStats};
+use airguard_core::{CorrectConfig, CorrectPolicy, DetectorConfig, PairStats};
 use airguard_mac::{
     BackoffObservation, BackoffPolicy, Dcf80211, MacTiming, Misbehavior, PacketVerdict, Selfish,
     Slots,
@@ -36,10 +36,36 @@ impl NodePolicy {
         NodePolicy::Dot11(Misbehavior::new(Dcf80211::new(), strategy))
     }
 
-    /// Builds a modified-protocol node with the given strategy.
+    /// Builds a modified-protocol node with the given strategy and the
+    /// default (window) detector.
     #[must_use]
     pub fn correct(id: NodeId, cfg: CorrectConfig, strategy: Selfish) -> Self {
-        NodePolicy::Correct(Misbehavior::new(CorrectPolicy::new(id, cfg), strategy))
+        NodePolicy::correct_with_detector(id, cfg, DetectorConfig::default(), strategy)
+    }
+
+    /// Builds a modified-protocol node whose monitor runs the given
+    /// detector.
+    #[must_use]
+    pub fn correct_with_detector(
+        id: NodeId,
+        cfg: CorrectConfig,
+        detector: DetectorConfig,
+        strategy: Selfish,
+    ) -> Self {
+        NodePolicy::Correct(Misbehavior::new(
+            CorrectPolicy::with_detector(id, cfg, detector),
+            strategy,
+        ))
+    }
+
+    /// The short name of the detector this node's monitor runs
+    /// (`window`/`cusum`/`cw`), when it runs the modified protocol.
+    #[must_use]
+    pub fn detector_kind(&self) -> Option<&'static str> {
+        match self {
+            NodePolicy::Dot11(_) => None,
+            NodePolicy::Correct(p) => Some(p.inner().detector().kind()),
+        }
     }
 
     /// The monitor report, when this node runs the modified protocol.

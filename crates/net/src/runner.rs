@@ -632,7 +632,17 @@ impl Simulation {
         // shape they had before causal tracing existed.
         let sink = self.trace.sink();
         if sink.wants(Category::MacTx) && sink.wants(Category::Monitor) {
-            SpanSet::from_records(&sink.records()).record_detection_latencies(&self.registry);
+            // Histograms are named after the deviation detector the
+            // monitors ran, so detector sweeps keep their reaction-time
+            // distributions apart (the window detector keeps the
+            // original unqualified names).
+            let detector = self
+                .nodes
+                .iter()
+                .find_map(|n| n.mac.policy().detector_kind())
+                .unwrap_or("window");
+            SpanSet::from_records(&sink.records())
+                .record_detection_latencies_for(&self.registry, detector);
         }
         let summary = RunSummary::new(
             "sim",

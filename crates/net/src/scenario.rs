@@ -1,6 +1,6 @@
 //! Canned scenarios reproducing the paper's evaluation settings.
 
-use airguard_core::CorrectConfig;
+use airguard_core::{CorrectConfig, DetectorConfig};
 use airguard_fault::FaultPlan;
 use airguard_mac::{AccessMode, MacConfig, Selfish};
 use airguard_obs::{EventSink, PhaseProfiler};
@@ -77,6 +77,13 @@ pub struct ScenarioConfig {
     payload: u32,
     rate_bps: u64,
     correct_cfg: CorrectConfig,
+    /// Which [`DeviationDetector`](airguard_core::DeviationDetector)
+    /// the modified protocol's monitors run. Lives beside (not inside)
+    /// `correct_cfg` because that struct is Debug-formatted into the
+    /// identity — a new field there would shift every historical
+    /// digest. The default (window) detector is normalised out of the
+    /// identity instead (see [`Self::identity`]).
+    detector: DetectorConfig,
     mac: MacConfig,
     phy: PhyConfig,
     random_nodes: usize,
@@ -115,6 +122,7 @@ impl ScenarioConfig {
             payload: 512,
             rate_bps: 2_000_000,
             correct_cfg: CorrectConfig::paper_default(),
+            detector: DetectorConfig::default(),
             mac: MacConfig::default(),
             phy: PhyConfig::paper_default(),
             random_nodes: 40,
@@ -189,6 +197,23 @@ impl ScenarioConfig {
     pub fn correct_config(mut self, cfg: CorrectConfig) -> Self {
         self.correct_cfg = cfg;
         self
+    }
+
+    /// Selects the detector the modified protocol's monitors run
+    /// (window diagnosis, CUSUM, or CW estimation). Non-default
+    /// detectors enter the identity, so each detector sweeps its own
+    /// cache cells.
+    #[must_use]
+    pub fn detector(mut self, detector: DetectorConfig) -> Self {
+        self.detector = detector;
+        self
+    }
+
+    /// The short name of the configured detector (`window`, `cusum`,
+    /// `cw`) — the key per-detector histogram names derive from.
+    #[must_use]
+    pub fn detector_kind(&self) -> &'static str {
+        self.detector.kind()
     }
 
     /// Replaces the radio configuration.
@@ -522,7 +547,12 @@ impl ScenarioConfig {
                 };
                 match self.protocol {
                     Protocol::Dot11 => NodePolicy::dot11(strategy),
-                    Protocol::Correct => NodePolicy::correct(id, self.correct_cfg, strategy),
+                    Protocol::Correct => NodePolicy::correct_with_detector(
+                        id,
+                        self.correct_cfg,
+                        self.detector,
+                        strategy,
+                    ),
                 }
             })
             .collect()
@@ -566,6 +596,13 @@ impl ScenarioConfig {
         if self.observe_mask != 0 {
             use std::fmt::Write as _;
             let _ = write!(id, "|observe_mask={}", self.observe_mask);
+        }
+        // Same appended-only-when-set rule: the default window detector
+        // is what every pre-trait run used, so only the alternative
+        // detectors mark the identity.
+        if let Some(fragment) = self.detector.identity_fragment() {
+            use std::fmt::Write as _;
+            let _ = write!(id, "|detector={fragment}");
         }
         id
     }
@@ -818,6 +855,57 @@ mod tests {
         // the config itself and folds the latency histograms.
         let report = observed.run();
         assert!(report.summary.histograms.contains_key(PENALTY_LATENCY_HIST));
+    }
+
+    #[test]
+    fn detector_enters_the_identity_only_when_not_the_default() {
+        let base = ScenarioConfig::new(StandardScenario::ZeroFlow).sim_time_secs(2);
+        assert!(
+            !base.identity().contains("detector="),
+            "the default window detector must keep the pre-trait identity bytes"
+        );
+        assert_eq!(base.detector_kind(), "window");
+        let explicit_window = base.clone().detector(DetectorConfig::Window);
+        assert_eq!(
+            base.config_digest(),
+            explicit_window.config_digest(),
+            "explicitly selecting the default must not fork the cache"
+        );
+        let cusum = base
+            .clone()
+            .detector(DetectorConfig::from_kind("cusum").expect("known"));
+        let cw = base
+            .clone()
+            .detector(DetectorConfig::from_kind("cw").expect("known"));
+        assert!(cusum.identity().contains("|detector=cusum:"));
+        assert!(cw.identity().contains("|detector=cw:"));
+        assert_ne!(base.config_digest(), cusum.config_digest());
+        assert_ne!(base.config_digest(), cw.config_digest());
+        assert_ne!(cusum.config_digest(), cw.config_digest());
+    }
+
+    #[test]
+    fn detector_choice_changes_the_run_not_just_the_digest() {
+        // A PM=90 cheater is flagged by every detector, but the flag
+        // *timing* differs, so the diagnosis tallies must diverge while
+        // seeds and every other knob stay equal.
+        let base = ScenarioConfig::new(StandardScenario::ZeroFlow)
+            .protocol(Protocol::Correct)
+            .misbehavior_percent(90.0)
+            .sim_time_secs(2)
+            .seed(7);
+        let window = base.clone().run();
+        let cusum = base
+            .clone()
+            .detector(DetectorConfig::from_kind("cusum").expect("known"))
+            .run();
+        assert_ne!(
+            window.tally, cusum.tally,
+            "cusum must classify at least some packets differently"
+        );
+        // Both still catch the cheater.
+        assert!(window.tally.correct_diagnosis_percent() > 0.0);
+        assert!(cusum.tally.correct_diagnosis_percent() > 0.0);
     }
 
     #[test]

@@ -191,6 +191,35 @@ fn faulted_sharded_run_matches_monolithic_and_worker_counts() {
 }
 
 #[test]
+fn sharded_runs_honor_the_detector_choice_at_any_worker_count() {
+    // Swapping the deviation detector moves boxed per-sender state
+    // across the shard worker threads; the decomposition and merge must
+    // stay byte-identical, and the choice must actually take effect.
+    let cusum = |workers: usize| {
+        campus(workers)
+            .detector(airguard_core::DetectorConfig::from_kind("cusum").expect("known detector"))
+    };
+    let baseline = cusum(1).run();
+    let baseline_json = baseline.summary.to_json();
+    for workers in [2, 4, 8] {
+        assert_eq!(
+            cusum(workers).run().summary.to_json(),
+            baseline_json,
+            "cusum sharded summary diverged at {workers} workers"
+        );
+    }
+    // The detector is not cosmetic: the cusum campus run forks both the
+    // cache digest and the simulated outcome from the window default.
+    let window = campus(1).run();
+    assert_ne!(cusum(1).config_digest(), campus(1).config_digest());
+    assert_ne!(
+        baseline_json,
+        window.summary.to_json(),
+        "cusum must classify the campus cheaters differently"
+    );
+}
+
+#[test]
 fn non_spatial_runs_are_untouched_by_the_shard_knobs() {
     // The worker knob must be inert off the spatial path: the classic
     // monolithic runner handles the scenario and any worker count is

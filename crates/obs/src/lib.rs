@@ -62,6 +62,6 @@ pub use registry::{Counter, Histogram, HistogramSnapshot, Registry, RegistrySnap
 pub use report::{aggregate_summaries, fnv1a_hex, record_to_json, records_to_jsonl, RunSummary};
 pub use sink::EventSink;
 pub use span::{
-    ExchangeSpan, SpanSet, StationSpan, DETECTION_LATENCY_BOUNDS_US, DETECTION_OBSERVE_MASK,
-    DIAGNOSIS_LATENCY_HIST, PENALTY_LATENCY_HIST,
+    detector_latency_hists, ExchangeSpan, SpanSet, StationSpan, DETECTION_LATENCY_BOUNDS_US,
+    DETECTION_OBSERVE_MASK, DIAGNOSIS_LATENCY_HIST, PENALTY_LATENCY_HIST,
 };

@@ -220,8 +220,17 @@ impl SpanSet {
     /// while detection *rates* stay with the existing diagnosis
     /// metrics.
     pub fn record_detection_latencies(&self, registry: &Registry) {
-        let penalty = registry.histogram(PENALTY_LATENCY_HIST, &DETECTION_LATENCY_BOUNDS_US);
-        let diagnosis = registry.histogram(DIAGNOSIS_LATENCY_HIST, &DETECTION_LATENCY_BOUNDS_US);
+        self.record_detection_latencies_for(registry, "window");
+    }
+
+    /// Like [`Self::record_detection_latencies`], but names the
+    /// histograms after the deviation detector that produced the
+    /// diagnoses (see [`detector_latency_hists`]), so a sweep that runs
+    /// several detectors keeps their reaction-time distributions apart.
+    pub fn record_detection_latencies_for(&self, registry: &Registry, detector: &str) {
+        let (penalty_name, diagnosis_name) = detector_latency_hists(detector);
+        let penalty = registry.histogram(&penalty_name, &DETECTION_LATENCY_BOUNDS_US);
+        let diagnosis = registry.histogram(&diagnosis_name, &DETECTION_LATENCY_BOUNDS_US);
         for station in self.stations.values() {
             if let Some(latency) = station.penalty_latency_us() {
                 penalty.record(latency);
@@ -230,6 +239,26 @@ impl SpanSet {
                 diagnosis.record(latency);
             }
         }
+    }
+}
+
+/// The `(penalty, diagnosis)` histogram names for a detector kind.
+///
+/// The paper's window detector keeps the original unqualified names so
+/// every report produced before detectors became pluggable still lines
+/// up; the alternatives get an `obs.detect.<kind>.` prefix.
+#[must_use]
+pub fn detector_latency_hists(detector: &str) -> (String, String) {
+    if detector == "window" {
+        (
+            PENALTY_LATENCY_HIST.to_owned(),
+            DIAGNOSIS_LATENCY_HIST.to_owned(),
+        )
+    } else {
+        (
+            format!("obs.detect.{detector}.penalty_latency_us"),
+            format!("obs.detect.{detector}.diagnosis_latency_us"),
+        )
     }
 }
 
@@ -382,6 +411,53 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.histograms[PENALTY_LATENCY_HIST].total, 0);
         assert_eq!(snap.histograms[DIAGNOSIS_LATENCY_HIST].total, 0);
+    }
+
+    #[test]
+    fn detector_latency_hist_names_keep_the_window_legacy_names() {
+        assert_eq!(
+            detector_latency_hists("window"),
+            (
+                PENALTY_LATENCY_HIST.to_owned(),
+                DIAGNOSIS_LATENCY_HIST.to_owned()
+            )
+        );
+        assert_eq!(
+            detector_latency_hists("cusum"),
+            (
+                "obs.detect.cusum.penalty_latency_us".to_owned(),
+                "obs.detect.cusum.diagnosis_latency_us".to_owned()
+            )
+        );
+        assert_eq!(
+            detector_latency_hists("cw").0,
+            "obs.detect.cw.penalty_latency_us"
+        );
+    }
+
+    #[test]
+    fn recording_for_a_detector_uses_the_qualified_names() {
+        let mut records = clean_exchange(7, 0);
+        records.push(rec(
+            3_000,
+            2,
+            ObsEvent::PenaltyAdded {
+                src: 1,
+                penalty_slots: 4.0,
+                assigned_slots: 10.0,
+                observed_slots: 6.0,
+                xid: exchange_id(1, 7),
+            },
+        ));
+        let set = SpanSet::from_records(&records);
+        let registry = Registry::new();
+        set.record_detection_latencies_for(&registry, "cusum");
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.histograms["obs.detect.cusum.penalty_latency_us"].total,
+            1
+        );
+        assert!(!snap.histograms.contains_key(PENALTY_LATENCY_HIST));
     }
 
     #[test]
