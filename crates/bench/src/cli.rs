@@ -55,6 +55,8 @@ options:
                    (events/sec trajectory -> BENCH_hotpath.json)
                    NAME `scale` runs the spatial-sharding harness
                    (campus scaling + worker identity -> BENCH_shard.json)
+                   NAME `live_replay` runs the streaming-service harness
+                   (replay throughput + p99 latency -> BENCH_live.json)
   --list           list registered figures and exit
   --seeds N        seed-set size (default 30, or AIRGUARD_SEEDS)
   --secs N         simulated seconds per run (default 50, or AIRGUARD_SECS)
@@ -348,6 +350,11 @@ pub fn run(cli: &Cli) -> i32 {
             "scale",
             crate::scale::REPORT_PATH
         ));
+        out(&format!(
+            "{:<20} perf harness  streaming-service replay -> {}",
+            "live_replay",
+            crate::live_replay::REPORT_PATH
+        ));
         return 0;
     }
     // The perf harness is not a sweep: run it directly, keep any other
@@ -391,6 +398,23 @@ pub fn run(cli: &Cli) -> i32 {
     if let Some(at) = figures.iter().position(|f| f == "scale") {
         figures.remove(at);
         match crate::scale::run(cli.secs, cli.shard_workers) {
+            Ok(lines) => {
+                for line in &lines {
+                    out(line);
+                }
+            }
+            Err(msg) => {
+                err(&format!("airguard-bench: {msg}"));
+                exit = 1;
+            }
+        }
+        if figures.is_empty() {
+            return exit;
+        }
+    }
+    if let Some(at) = figures.iter().position(|f| f == "live_replay") {
+        figures.remove(at);
+        match crate::live_replay::run(cli.shard_workers) {
             Ok(lines) => {
                 for line in &lines {
                     out(line);

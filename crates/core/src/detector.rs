@@ -74,6 +74,58 @@ pub trait DeviationDetector: std::fmt::Debug + Send {
     /// The current decision statistic, without consuming a packet
     /// (snapshot hook for reports and debugging).
     fn statistic(&self) -> f64;
+
+    /// The detector's complete internal state as explicit data.
+    ///
+    /// Every field that influences future verdicts must be captured:
+    /// [`DetectorConfig::build_from_state`] on the export must yield a
+    /// detector indistinguishable from the original. This is the
+    /// contract both crash-preservation (`preserve_monitor`) and the
+    /// live service's checkpoints rest on.
+    fn export_state(&self) -> DetectorState;
+}
+
+/// The serializable internal state of one per-sender detector.
+///
+/// One variant per implementation, carrying exactly the fields a
+/// restart must not lose: the window's sliding diffs, the CUSUM score,
+/// the CW-estimation ratio accumulators. Parameters are *not* included
+/// — they come from the [`DetectorConfig`] the restored detector is
+/// rebuilt under, so a state can never smuggle in foreign thresholds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DetectorState {
+    /// [`WindowDetector`]: the held `B_exp − B_act` diffs, oldest first.
+    Window {
+        /// Sliding-window contents (≤ `W` entries).
+        diffs: Vec<f64>,
+    },
+    /// [`SequentialDetector`]: the one-sided cumulative score.
+    Cusum {
+        /// The current CUSUM score `S`.
+        score: f64,
+    },
+    /// [`CwEstimationDetector`]: the ratio-estimator accumulators.
+    Cw {
+        /// Accumulated expected idle slots `Σ B_exp`.
+        assigned_sum: f64,
+        /// Accumulated observed idle slots `Σ B_act`.
+        observed_sum: f64,
+        /// Observations folded into the sums.
+        samples: u64,
+    },
+}
+
+impl DetectorState {
+    /// The detector kind this state belongs to (`window`/`cusum`/`cw`),
+    /// matching [`DetectorConfig::kind`].
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DetectorState::Window { .. } => "window",
+            DetectorState::Cusum { .. } => "cusum",
+            DetectorState::Cw { .. } => "cw",
+        }
+    }
 }
 
 /// Parameters of the [`SequentialDetector`] (CUSUM).
@@ -227,6 +279,57 @@ impl DetectorConfig {
             DetectorConfig::CwEstimation(c) => Box::new(CwEstimationDetector::new(*c)),
         }
     }
+
+    /// Rebuilds a detector from previously exported state, under this
+    /// config's parameters.
+    ///
+    /// The restored instance is behaviorally indistinguishable from
+    /// the one that exported the state (the golden-digest suite pins
+    /// this: `preserve_monitor` crash resets round-trip every detector
+    /// through its state).
+    ///
+    /// # Errors
+    ///
+    /// Rejects a state whose kind does not match this config — a
+    /// checkpoint taken under one detector cannot silently seed
+    /// another.
+    pub fn build_from_state(
+        &self,
+        diagnosis: DiagnosisConfig,
+        state: &DetectorState,
+    ) -> Result<Box<dyn DeviationDetector>, String> {
+        match (self, state) {
+            (DetectorConfig::Window, DetectorState::Window { diffs }) => {
+                Ok(Box::new(WindowDetector {
+                    window: DiagnosisWindow::restore(diagnosis, diffs),
+                }))
+            }
+            (DetectorConfig::Sequential(c), DetectorState::Cusum { score }) => {
+                let mut det = SequentialDetector::new(*c);
+                det.score = score.max(0.0);
+                Ok(Box::new(det))
+            }
+            (
+                DetectorConfig::CwEstimation(c),
+                DetectorState::Cw {
+                    assigned_sum,
+                    observed_sum,
+                    samples,
+                },
+            ) => {
+                let mut det = CwEstimationDetector::new(*c);
+                det.assigned_sum = *assigned_sum;
+                det.observed_sum = *observed_sum;
+                det.samples = *samples;
+                Ok(Box::new(det))
+            }
+            (cfg, state) => Err(format!(
+                "detector state kind `{}` does not match configured detector `{}`",
+                state.kind(),
+                cfg.kind()
+            )),
+        }
+    }
 }
 
 /// The paper's §4 window diagnosis behind the trait: push each
@@ -265,6 +368,12 @@ impl DeviationDetector for WindowDetector {
 
     fn statistic(&self) -> f64 {
         self.window.sum()
+    }
+
+    fn export_state(&self) -> DetectorState {
+        DetectorState::Window {
+            diffs: self.window.diffs(),
+        }
     }
 }
 
@@ -312,6 +421,10 @@ impl DeviationDetector for SequentialDetector {
 
     fn statistic(&self) -> f64 {
         self.score
+    }
+
+    fn export_state(&self) -> DetectorState {
+        DetectorState::Cusum { score: self.score }
     }
 }
 
@@ -381,6 +494,14 @@ impl DeviationDetector for CwEstimationDetector {
 
     fn statistic(&self) -> f64 {
         self.cw_estimate()
+    }
+
+    fn export_state(&self) -> DetectorState {
+        DetectorState::Cw {
+            assigned_sum: self.assigned_sum,
+            observed_sum: self.observed_sum,
+            samples: self.samples,
+        }
     }
 }
 
@@ -519,6 +640,49 @@ mod tests {
             cw.identity_fragment().expect("non-default"),
             "cw:min_samples=20;fraction=0.8;cw_min=31"
         );
+    }
+
+    #[test]
+    fn exported_state_round_trips_every_detector() {
+        let diag = DiagnosisConfig::paper_default();
+        for kind in ["window", "cusum", "cw"] {
+            let cfg = DetectorConfig::from_kind(kind).expect("known kind");
+            let mut det = cfg.build(diag);
+            for _ in 0..7 {
+                det.observe(Some(&obs(30.0, 5.0, 7.0)), diag.thresh);
+            }
+            let state = det.export_state();
+            assert_eq!(state.kind(), kind);
+            let mut restored = cfg.build_from_state(diag, &state).expect("matching kind");
+            assert_eq!(restored.statistic(), det.statistic());
+            // Future verdicts agree too: the restored detector is
+            // behaviorally the same machine, not just the same number.
+            for measured in [Some(obs(30.0, 5.0, 7.0)), None, Some(obs(20.0, 20.0, 0.0))] {
+                let a = det.observe(measured.as_ref(), diag.thresh);
+                let b = restored.observe(measured.as_ref(), diag.thresh);
+                assert_eq!(a, b, "{kind} diverged after restore");
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_state_kinds_are_rejected() {
+        let diag = DiagnosisConfig::paper_default();
+        let cusum_state = DetectorState::Cusum { score: 3.0 };
+        let err = DetectorConfig::Window
+            .build_from_state(diag, &cusum_state)
+            .expect_err("kind mismatch must fail");
+        assert!(err.contains("cusum") && err.contains("window"), "{err}");
+    }
+
+    #[test]
+    fn restored_cusum_score_is_clamped_non_negative() {
+        let cfg = DetectorConfig::from_kind("cusum").expect("known");
+        let diag = DiagnosisConfig::paper_default();
+        let det = cfg
+            .build_from_state(diag, &DetectorState::Cusum { score: -4.0 })
+            .expect("matching kind");
+        assert_eq!(det.statistic(), 0.0, "a corrupt negative score is clamped");
     }
 
     #[test]

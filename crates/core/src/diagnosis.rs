@@ -117,6 +117,29 @@ impl DiagnosisWindow {
     pub fn config(&self) -> DiagnosisConfig {
         self.cfg
     }
+
+    /// The held differences, oldest first — the window's complete
+    /// serializable state (checkpointing and crash-preservation
+    /// round-trip through this).
+    #[must_use]
+    pub fn diffs(&self) -> Vec<f64> {
+        self.diffs.iter().copied().collect()
+    }
+
+    /// Rebuilds a window from previously exported [`diffs`]. Extra
+    /// leading entries beyond `W` are evicted exactly as live pushes
+    /// would have evicted them, so a restore can never hold more
+    /// history than the running window did.
+    ///
+    /// [`diffs`]: DiagnosisWindow::diffs
+    #[must_use]
+    pub fn restore(cfg: DiagnosisConfig, diffs: &[f64]) -> Self {
+        let mut w = DiagnosisWindow::new(cfg);
+        for &d in diffs {
+            w.push(d);
+        }
+        w
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +192,21 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn zero_window_rejected() {
         let _ = DiagnosisConfig::new(0, 20.0);
+    }
+
+    #[test]
+    fn restore_round_trips_and_bounds_history() {
+        let cfg = DiagnosisConfig::new(3, 10.0);
+        let mut w = DiagnosisWindow::new(cfg);
+        for d in [1.0, 2.0, 3.0, 4.0] {
+            w.push(d);
+        }
+        let restored = DiagnosisWindow::restore(cfg, &w.diffs());
+        assert_eq!(restored.diffs(), w.diffs());
+        assert_eq!(restored.sum(), w.sum());
+        // Oversized exports evict exactly like live pushes would.
+        let over = DiagnosisWindow::restore(cfg, &[9.0, 1.0, 2.0, 3.0]);
+        assert_eq!(over.diffs(), vec![1.0, 2.0, 3.0]);
     }
 
     proptest! {

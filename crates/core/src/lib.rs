@@ -40,13 +40,15 @@ pub mod observer;
 pub mod policy;
 pub mod receiver_check;
 pub mod retry_fn;
+pub mod source;
 
 pub use correction::CorrectionConfig;
 pub use detector::{
-    CwEstimationConfig, CwEstimationDetector, DetectorConfig, DetectorVerdict, DeviationDetector,
-    SequentialConfig, SequentialDetector, WindowDetector,
+    CwEstimationConfig, CwEstimationDetector, DetectorConfig, DetectorState, DetectorVerdict,
+    DeviationDetector, SequentialConfig, SequentialDetector, WindowDetector,
 };
 pub use diagnosis::{DiagnosisConfig, DiagnosisWindow};
 pub use monitor::{Monitor, MonitorConfig, MonitorReport, SenderStats};
 pub use observer::{PairStats, ThirdPartyObserver};
 pub use policy::{AssignmentSource, CorrectConfig, CorrectPolicy};
+pub use source::{ObservationSource, SourceError, StationObservation};

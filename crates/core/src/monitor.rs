@@ -31,7 +31,7 @@ use rand::RngExt;
 use serde::{Deserialize, Serialize};
 
 use crate::correction::CorrectionConfig;
-use crate::detector::{DetectorConfig, DeviationDetector};
+use crate::detector::{DetectorConfig, DetectorState, DeviationDetector};
 use crate::diagnosis::DiagnosisConfig;
 use crate::receiver_check::g_value;
 
@@ -425,6 +425,44 @@ impl Monitor {
         }
     }
 
+    /// The serializable detector state of every observed sender,
+    /// sorted by node id — what a preserving crash reset and the live
+    /// service's checkpoints persist.
+    #[must_use]
+    pub fn export_detector_states(&self) -> Vec<(NodeId, DetectorState)> {
+        self.records
+            .iter()
+            .map(|(node, rec)| (*node, rec.detector.export_state()))
+            .collect()
+    }
+
+    /// Replaces every sender's detector with one rebuilt from its
+    /// exported [`DetectorState`].
+    ///
+    /// Behaviorally a no-op — the restored detectors are
+    /// indistinguishable from the originals — but it forces monitor
+    /// preservation *through* the explicit serializable state: a field
+    /// added to a detector without a matching [`DetectorState`] entry
+    /// now breaks tests (and golden digests) immediately, instead of
+    /// silently resetting mid-diagnosis on a real restart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a record's exported state does not match the
+    /// monitor's configured detector kind — impossible by
+    /// construction, since every record is built from that config.
+    pub fn round_trip_detectors(&mut self) {
+        let diagnosis = self.cfg.diagnosis;
+        let detector = self.detector;
+        for rec in self.records.values_mut() {
+            let state = rec.detector.export_state();
+            rec.detector = detector
+                .build_from_state(diagnosis, &state)
+                // lint:allow(panic-expect) — state was exported by a detector built from this same config, so the kinds always match
+                .expect("monitor detectors always match their own config");
+        }
+    }
+
     /// End-of-run statistics for every observed sender.
     #[must_use]
     pub fn report(&self) -> MonitorReport {
@@ -703,6 +741,58 @@ mod tests {
             flagged |= v.flagged;
         }
         assert!(flagged, "CW estimation must flag a PM=50 cheater");
+    }
+
+    #[test]
+    fn detector_round_trip_preserves_mid_diagnosis_state() {
+        // Round-trip one monitor through its serializable detector
+        // state mid-diagnosis; a control monitor runs uninterrupted.
+        // Every subsequent verdict (including CUSUM scores and CW
+        // accumulators, not just the window sums) must agree.
+        let t = timing();
+        for kind in ["window", "cusum", "cw"] {
+            let det = crate::detector::DetectorConfig::from_kind(kind).expect("known");
+            let mut preserved =
+                Monitor::with_detector(NodeId::new(0), MonitorConfig::paper_default(), det);
+            let mut control =
+                Monitor::with_detector(NodeId::new(0), MonitorConfig::paper_default(), det);
+            let mut r1 = rng();
+            let mut r2 = rng();
+            let idle = 500u64; // full cheater: the idle counter never moves
+            let drive = |m: &mut Monitor, r: &mut RngStream, seq: u64| {
+                m.on_rts(S, seq, 1, idle, &t, r);
+                let v = m.on_data(S);
+                m.on_ack_sent(S, idle);
+                v
+            };
+            for seq in 0..10 {
+                drive(&mut preserved, &mut r1, seq);
+                drive(&mut control, &mut r2, seq);
+            }
+            assert_eq!(
+                preserved.export_detector_states(),
+                control.export_detector_states()
+            );
+            preserved.round_trip_detectors();
+            for seq in 10..40 {
+                let a = drive(&mut preserved, &mut r1, seq);
+                let b = drive(&mut control, &mut r2, seq);
+                assert_eq!(
+                    a, b,
+                    "{kind} diverged after a mid-diagnosis round-trip (seq {seq})"
+                );
+            }
+            assert_eq!(preserved.report(), control.report());
+            assert!(
+                preserved
+                    .report()
+                    .sender(S)
+                    .expect("observed")
+                    .flagged_packets
+                    > 0,
+                "{kind} must have been mid-diagnosis for the round-trip to matter"
+            );
+        }
     }
 
     #[test]

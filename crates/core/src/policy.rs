@@ -157,7 +157,17 @@ impl CorrectPolicy {
     pub fn crash_reset(&mut self, preserve_monitor: bool) {
         self.next_base.clear();
         self.current_base.clear();
-        if !preserve_monitor {
+        if preserve_monitor {
+            // Preservation models tables kept in stable storage, so it
+            // must survive *through* that storage: every detector is
+            // round-tripped through its serializable `DetectorState`
+            // (window diffs, CUSUM score, CW accumulators alike). A
+            // detector field missing from the state would surface here
+            // as a behavior change — pinned by the golden-digest suite
+            // — instead of silently resetting mid-diagnosis on a real
+            // restart.
+            self.monitor.round_trip_detectors();
+        } else {
             self.monitor = Monitor::with_detector(self.id, self.cfg.monitor, self.detector);
             self.receiver_check = ReceiverCheck::new();
             self.observer = self.cfg.observe_third_party.then(|| {
@@ -383,6 +393,54 @@ mod tests {
             "cusum",
             "a cold reboot must not silently fall back to the window detector"
         );
+    }
+
+    #[test]
+    fn preserving_crash_reset_keeps_non_window_detector_state() {
+        // A crashed-and-restarted receiver with preserved tables must
+        // continue each sender's diagnosis exactly where it left off —
+        // for CUSUM scores and CW accumulators, not just the window
+        // table. The control policy never crashes; both see the same
+        // full-cheater feed with identical rng streams.
+        let t = timing();
+        for kind in ["cusum", "cw", "window"] {
+            let det = DetectorConfig::from_kind(kind).expect("known");
+            let mut crashed =
+                CorrectPolicy::with_detector(NodeId::new(1), CorrectConfig::paper_default(), det);
+            let mut control =
+                CorrectPolicy::with_detector(NodeId::new(1), CorrectConfig::paper_default(), det);
+            let mut r1 = rng();
+            let mut r2 = rng();
+            let idle = 500u64; // the cheater's idle counter never moves
+            let drive = |p: &mut CorrectPolicy, r: &mut RngStream, seq: u64| {
+                p.observe_rts(R, seq, 1, idle, &t, r);
+                p.observe_data(R);
+                p.observe_ack_sent(R, idle);
+            };
+            for seq in 0..8 {
+                drive(&mut crashed, &mut r1, seq);
+                drive(&mut control, &mut r2, seq);
+            }
+            crashed.crash_reset(true);
+            for seq in 8..40 {
+                drive(&mut crashed, &mut r1, seq);
+                drive(&mut control, &mut r2, seq);
+            }
+            assert_eq!(
+                crashed.monitor_report(),
+                control.monitor_report(),
+                "{kind} detector state must survive a preserving crash reset"
+            );
+            assert!(
+                crashed
+                    .monitor_report()
+                    .sender(R)
+                    .expect("observed")
+                    .flagged_packets
+                    > 0,
+                "{kind} must reach a diagnosis for the preservation to matter"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! The streaming observation feed: [`ObservationSource`].
+//!
+//! ROADMAP item 2 lifts the monitor/diagnosis machinery out of the
+//! batch simulator into a long-running service. The seam is this
+//! trait: anything that can produce a stream of per-station backoff
+//! observations — a replayed `airguard-obs` JSONL file, a socket
+//! listener, or the simulator itself — can feed the detection core.
+//! The trait lives in `core` so the detection side depends only on
+//! the observation shape, never on transport or I/O concerns; the
+//! `airguard-live` crate supplies the hardened implementations
+//! (frame codec, quarantine, re-open supervision).
+
+/// One backoff observation attributed to a monitored station: the
+/// essence of an `airguard-obs` `monitor/backoff_assigned` record.
+///
+/// `assigned_slots`/`observed_slots` are the reconstructed `B_exp`
+/// and measured `B_act` of one exchange; the deviation and verdict
+/// are *not* carried — they are recomputed by the consuming detector
+/// so a stream can never smuggle in foreign verdicts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StationObservation {
+    /// Virtual timestamp of the observation, microseconds.
+    pub t_us: u64,
+    /// The monitored (sending) station the observation describes.
+    pub station: u32,
+    /// Expected total backoff `B_exp`, in slots.
+    pub assigned_slots: f64,
+    /// Observed idle-slot count `B_act`, in slots.
+    pub observed_slots: f64,
+}
+
+/// Why a source failed to produce its next observation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceError {
+    /// One record was undecodable or out of range. The stream remains
+    /// usable: the consumer quarantines the record (counting it
+    /// against the source's error budget) and pulls the next one.
+    Malformed(String),
+    /// The underlying transport failed; the stream is broken and a
+    /// re-open (with backoff) is the only recovery.
+    Transport(String),
+}
+
+impl std::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SourceError::Malformed(reason) => write!(f, "malformed record: {reason}"),
+            SourceError::Transport(reason) => write!(f, "transport failure: {reason}"),
+        }
+    }
+}
+
+/// A pull-based stream of station observations.
+///
+/// The contract mirrors a fallible iterator: `Ok(Some(_))` yields the
+/// next observation, `Ok(None)` is a clean end of stream (a drained
+/// replay file or a closed socket after a graceful shutdown), and
+/// `Err` distinguishes per-record damage (skip and continue) from
+/// transport failure (re-open or give up).
+pub trait ObservationSource {
+    /// Pulls the next observation.
+    ///
+    /// # Errors
+    ///
+    /// [`SourceError::Malformed`] when one record is undecodable (the
+    /// source has already advanced past it); [`SourceError::Transport`]
+    /// when the stream itself is broken.
+    fn next_observation(&mut self) -> Result<Option<StationObservation>, SourceError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A canned source, proving the trait is object-safe and the
+    /// error taxonomy drives the skip-vs-reopen decision.
+    struct Canned(Vec<Result<StationObservation, SourceError>>);
+
+    impl ObservationSource for Canned {
+        fn next_observation(&mut self) -> Result<Option<StationObservation>, SourceError> {
+            match self.0.pop() {
+                None => Ok(None),
+                Some(Ok(o)) => Ok(Some(o)),
+                Some(Err(e)) => Err(e),
+            }
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_streams_to_exhaustion() {
+        let obs = StationObservation {
+            t_us: 10,
+            station: 3,
+            assigned_slots: 20.0,
+            observed_slots: 5.0,
+        };
+        let mut src: Box<dyn ObservationSource> = Box::new(Canned(vec![
+            Ok(obs),
+            Err(SourceError::Malformed("bad json".to_owned())),
+        ]));
+        assert!(matches!(
+            src.next_observation(),
+            Err(SourceError::Malformed(_))
+        ));
+        assert_eq!(src.next_observation(), Ok(Some(obs)));
+        assert_eq!(src.next_observation(), Ok(None));
+    }
+
+    #[test]
+    fn errors_render_their_reason() {
+        let m = SourceError::Malformed("truncated frame".to_owned());
+        assert!(m.to_string().contains("truncated frame"));
+        let t = SourceError::Transport("connection reset".to_owned());
+        assert!(t.to_string().contains("connection reset"));
+    }
+}

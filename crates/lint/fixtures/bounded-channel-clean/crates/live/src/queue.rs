@@ -1,0 +1,21 @@
+//! Fixture: bounded queues with explicit capacity, plus one justified
+//! exception through the allow escape hatch.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+
+pub fn start() -> mpsc::Receiver<u64> {
+    let (tx, rx) = mpsc::sync_channel(64);
+    tx.send(1).ok();
+    rx
+}
+
+pub fn staging() -> VecDeque<u64> {
+    let mut q = VecDeque::with_capacity(8);
+    q.push_back(1);
+    q
+}
+
+pub fn scratch() -> VecDeque<u64> {
+    VecDeque::new() // lint:allow(bounded-channel) — drained before return, bounded by one batch
+}

@@ -1,0 +1,14 @@
+//! Fixture: capacity-less queues in a streaming crate.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+
+pub fn start() -> mpsc::Receiver<u64> {
+    let (tx, rx) = mpsc::channel();
+    tx.send(1).ok();
+    rx
+}
+
+pub fn staging() -> VecDeque<u64> {
+    VecDeque::new()
+}

@@ -83,6 +83,9 @@ pub struct LintConfig {
     /// Exact file paths (injector call sites outside those crates) the
     /// fault-path hygiene rule also covers.
     pub fault_path_files: Vec<String>,
+    /// Crate directory names (under `crates/`) whose producer→consumer
+    /// queues the bounded-channel rule covers.
+    pub bounded_channel_crates: Vec<String>,
     /// Crate directory names the ordering-hygiene rules cover
     /// (`ordering-relaxed` per file, `ordering-hash-iter` cross-file).
     pub ordering_crates: Vec<String>,
@@ -133,6 +136,9 @@ impl Default for LintConfig {
             // The cross-file scopes default to empty: their targets are
             // workspace-specific, so the real lists live in the
             // workspace's `lint.toml` (and fixtures carry their own).
+            // Likewise bounded-channel: which crates are streaming
+            // services is a workspace fact.
+            bounded_channel_crates: Vec::new(),
             ordering_crates: Vec::new(),
             ordering_exempt: Vec::new(),
             digest_structs: Vec::new(),
@@ -166,6 +172,7 @@ const KNOWN_KEYS: &[(&str, &str)] = &[
     ("hot-path", "crates"),
     ("fault-path", "crates"),
     ("fault-path", "files"),
+    ("bounded-channel", "crates"),
     ("ordering", "crates"),
     ("ordering", "relaxed-exempt"),
     ("digest-completeness", "structs"),
@@ -256,6 +263,7 @@ impl LintConfig {
                 ("hot-path", "crates") => cfg.hot_path_crates = values,
                 ("fault-path", "crates") => cfg.fault_path_crates = values,
                 ("fault-path", "files") => cfg.fault_path_files = values,
+                ("bounded-channel", "crates") => cfg.bounded_channel_crates = values,
                 ("ordering", "crates") => cfg.ordering_crates = values,
                 ("ordering", "relaxed-exempt") => cfg.ordering_exempt = values,
                 ("digest-completeness", "structs") => {
@@ -296,6 +304,11 @@ impl LintConfig {
             ),
             ("hot-path", "hot-path.crates", &self.hot_path_crates),
             ("fault-path", "fault-path.crates", &self.fault_path_crates),
+            (
+                "bounded-channel",
+                "bounded-channel.crates",
+                &self.bounded_channel_crates,
+            ),
             ("ordering", "ordering.crates", &self.ordering_crates),
         ];
         for (section, key, crates) in crate_lists {
@@ -470,6 +483,7 @@ mod tests {
         );
         // Cross-file scopes are workspace-specific, so defaults are
         // empty and the workspace lint.toml provides the real lists.
+        assert!(cfg.bounded_channel_crates.is_empty());
         assert!(cfg.ordering_crates.is_empty());
         assert!(cfg.digest_structs.is_empty());
         assert!(cfg.obs_events.is_empty());
@@ -496,6 +510,14 @@ mod tests {
         assert_eq!(cfg.determinism_crates, ["sim", "mac"]);
         // Untouched section keeps its default.
         assert_eq!(cfg.unit_exempt.len(), 2);
+    }
+
+    #[test]
+    fn bounded_channel_section_parses_its_crate_list() {
+        let cfg = LintConfig::parse("[bounded-channel]\ncrates = [\"live\", \"net\"]\n")
+            .expect("valid config");
+        assert_eq!(cfg.bounded_channel_crates, ["live", "net"]);
+        assert!(LintConfig::parse("[bounded-channel]\nfiles = [\"x\"]").is_err());
     }
 
     #[test]

@@ -35,6 +35,12 @@ pub enum Rule {
     /// `.unwrap()` / `.expect(..)` on a fault-injection path (the
     /// `fault` crate and the injector call sites wired into phy/mac/net).
     FaultPathUnwrap,
+    /// An unbounded channel or grow-forever queue constructed in a
+    /// streaming crate (scoped by `[bounded-channel]` in `lint.toml`):
+    /// every queue between a producer and a consumer must carry an
+    /// explicit capacity so overload surfaces as backpressure, not as
+    /// unbounded memory growth.
+    BoundedChannel,
     /// A config struct field not consumed by its digest/identity
     /// functions (cross-file; scoped by `[digest-completeness]` in
     /// `lint.toml`).
@@ -58,7 +64,7 @@ pub enum Rule {
 impl Rule {
     /// Every rule, in declaration order (which is also the sort order
     /// diagnostics use).
-    pub const ALL: [Rule; 17] = [
+    pub const ALL: [Rule; 18] = [
         Rule::DeterminismTime,
         Rule::DeterminismRng,
         Rule::DeterminismMap,
@@ -70,6 +76,7 @@ impl Rule {
         Rule::PrintMacro,
         Rule::HotPathClone,
         Rule::FaultPathUnwrap,
+        Rule::BoundedChannel,
         Rule::DigestCompleteness,
         Rule::ObsCoverage,
         Rule::OrderingHashIter,
@@ -93,6 +100,7 @@ impl Rule {
             Rule::PrintMacro => "print-macro",
             Rule::HotPathClone => "hot-path-clone",
             Rule::FaultPathUnwrap => "fault-path-unwrap",
+            Rule::BoundedChannel => "bounded-channel",
             Rule::DigestCompleteness => "digest-completeness",
             Rule::ObsCoverage => "obs-coverage",
             Rule::OrderingHashIter => "ordering-hash-iter",
@@ -117,6 +125,7 @@ impl Rule {
             Rule::PrintMacro => "raw stdio print in crate library code",
             Rule::HotPathClone => "deep frame copy on the simulation hot path",
             Rule::FaultPathUnwrap => "panicking call on a fault-injection path",
+            Rule::BoundedChannel => "unbounded channel or grow-forever queue in a streaming crate",
             Rule::DigestCompleteness => "config field not consumed by its digest functions",
             Rule::ObsCoverage => "telemetry event variant unmapped or never emitted",
             Rule::OrderingHashIter => "iteration over a hash-ordered field in a determinism crate",

@@ -24,7 +24,11 @@
 //!   in library code of the fault-injection crates named in `lint.toml`
 //!   (`fault` by default) plus the listed injector call-site files — a
 //!   panicking injector aborts the cell it was degrading and shows up as
-//!   a harness failure instead of an injected one.
+//!   a harness failure instead of an injected one;
+//! * the **bounded-channel** rule bans capacity-less queue construction
+//!   (`unbounded()`, `mpsc::channel()`, `VecDeque::new()`) in the
+//!   streaming crates named in `lint.toml` — a grow-forever queue turns
+//!   overload into silent memory growth instead of backpressure.
 //!
 //! `#[cfg(test)]` items are exempt everywhere, and any finding can be
 //! suppressed line-by-line with `// lint:allow(<rule>) — <reason>`.
@@ -99,6 +103,8 @@ pub fn rules_for(path: &str, cfg: &LintConfig) -> RuleSet {
         || cfg.fault_path_files.iter().any(|f| f == path);
     let in_ordering_crate =
         crate_of(path).is_some_and(|c| cfg.ordering_crates.iter().any(|d| d == c));
+    let in_bounded_crate =
+        crate_of(path).is_some_and(|c| cfg.bounded_channel_crates.iter().any(|d| d == c));
     RuleSet {
         determinism: class != FileClass::TestLike && in_sim_crate,
         units: class != FileClass::TestLike && !cfg.unit_exempt.iter().any(|e| e == path),
@@ -109,6 +115,7 @@ pub fn rules_for(path: &str, cfg: &LintConfig) -> RuleSet {
         ordering: class != FileClass::TestLike
             && in_ordering_crate
             && !cfg.ordering_exempt.iter().any(|e| e == path),
+        bounded_channel: class != FileClass::TestLike && in_bounded_crate,
     }
 }
 
@@ -235,6 +242,17 @@ mod tests {
         // The unit modules are exempt from unit arithmetic rules.
         let time = rules_for("crates/sim/src/time.rs", &cfg);
         assert!(!time.units && time.determinism);
+
+        // The bounded-channel scope is workspace-specific: nothing by
+        // default, library AND binary code once a crate is listed.
+        assert!(!rules_for("crates/net/src/runner.rs", &cfg).bounded_channel);
+        let bounded = LintConfig {
+            bounded_channel_crates: vec!["net".into()],
+            ..Default::default()
+        };
+        assert!(rules_for("crates/net/src/runner.rs", &bounded).bounded_channel);
+        assert!(rules_for("crates/net/src/main.rs", &bounded).bounded_channel);
+        assert!(!rules_for("crates/net/tests/stress.rs", &bounded).bounded_channel);
 
         // The fault crate and the injector call-site files carry the
         // fault-path rule; other library code does not.

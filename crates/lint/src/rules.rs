@@ -31,6 +31,11 @@ pub struct RuleSet {
     /// Ordering-hygiene rule (`Ordering::Relaxed` outside the designated
     /// counter modules of the ordering-scoped crates).
     pub ordering: bool,
+    /// Bounded-queue rule (unbounded channel constructors and
+    /// capacity-less `VecDeque` queues in the streaming crates): every
+    /// producer→consumer queue must carry an explicit capacity so
+    /// overload surfaces as backpressure.
+    pub bounded_channel: bool,
 }
 
 /// Index spans (token ranges) belonging to `#[cfg(test)]` items; rules do
@@ -147,6 +152,9 @@ pub fn check(path: &str, tokens: &[Token], rules: RuleSet) -> Vec<Diagnostic> {
         }
         if rules.ordering {
             ordering_at(tokens, i, t, &mut push);
+        }
+        if rules.bounded_channel {
+            bounded_channel_at(tokens, i, t, &mut push);
         }
     }
     diags
@@ -481,6 +489,57 @@ fn ordering_at(tokens: &[Token], i: usize, t: &Token, push: &mut impl FnMut(&Tok
     );
 }
 
+/// Flags queue constructions with no capacity bound in the streaming
+/// crates: `unbounded()` / `unbounded_channel()` constructors,
+/// `mpsc::channel()` (std's unbounded flavour — `sync_channel` is the
+/// bounded one), and `VecDeque::new()` (a queue type whose capacity
+/// bound lives in the surrounding code, if anywhere; `with_capacity`
+/// states it). A queue that can grow without limit turns overload into
+/// silent memory growth instead of observable backpressure.
+fn bounded_channel_at(
+    tokens: &[Token],
+    i: usize,
+    t: &Token,
+    push: &mut impl FnMut(&Token, Rule, String),
+) {
+    let Some(ident) = t.ident() else { return };
+    let called = tokens.get(i + 1).is_some_and(|n| n.is_punct("("));
+    if !called {
+        return;
+    }
+    let qualifier = |idx: usize, name: &str| {
+        idx >= 2 && tokens[idx - 1].is_punct("::") && tokens[idx - 2].ident() == Some(name)
+    };
+    match ident {
+        "unbounded" | "unbounded_channel" => push(
+            t,
+            Rule::BoundedChannel,
+            format!(
+                "`{ident}()` builds a queue with no capacity bound; use a bounded \
+                 channel with an explicit overflow policy, or justify with \
+                 `// lint:allow(bounded-channel) — <why growth is bounded>`"
+            ),
+        ),
+        "channel" if qualifier(i, "mpsc") => push(
+            t,
+            Rule::BoundedChannel,
+            "`mpsc::channel()` is unbounded; use `mpsc::sync_channel(cap)` (or the \
+             crate's bounded queue) so overload surfaces as backpressure, or justify \
+             with `// lint:allow(bounded-channel) — <why growth is bounded>`"
+                .to_owned(),
+        ),
+        "new" if qualifier(i, "VecDeque") => push(
+            t,
+            Rule::BoundedChannel,
+            "`VecDeque::new()` builds a grow-forever queue; state the bound with \
+             `VecDeque::with_capacity(cap)` and enforce it at the push site, or \
+             justify with `// lint:allow(bounded-channel) — <why growth is bounded>`"
+                .to_owned(),
+        ),
+        _ => {}
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::{cfg_test_spans, check, RuleSet};
@@ -498,6 +557,7 @@ mod tests {
         hot_path: true,
         fault_path: false,
         ordering: true,
+        bounded_channel: true,
     };
 
     const FAULT_ONLY: RuleSet = RuleSet {
@@ -508,6 +568,7 @@ mod tests {
         hot_path: false,
         fault_path: true,
         ordering: false,
+        bounded_channel: false,
     };
 
     fn rules_hit(src: &str) -> Vec<Rule> {
@@ -694,6 +755,34 @@ mod tests {
         // Other orderings and bare `Relaxed` mentions pass.
         assert!(rules_hit("mask.load(Ordering::SeqCst);").is_empty());
         assert!(rules_hit("let relaxed = Relaxed;").is_empty());
+    }
+
+    #[test]
+    fn bounded_channel_flags_capacityless_queues_only() {
+        assert_eq!(
+            rules_hit("let (tx, rx) = mpsc::channel();"),
+            vec![Rule::BoundedChannel]
+        );
+        assert_eq!(
+            rules_hit("let (tx, rx) = crossbeam::channel::unbounded();"),
+            vec![Rule::BoundedChannel]
+        );
+        assert_eq!(
+            rules_hit("let (tx, rx) = tokio::sync::mpsc::unbounded_channel();"),
+            vec![Rule::BoundedChannel]
+        );
+        assert_eq!(
+            rules_hit("let q: VecDeque<u64> = VecDeque::new();"),
+            vec![Rule::BoundedChannel]
+        );
+        // Capacity-carrying constructors pass.
+        assert!(rules_hit("let (tx, rx) = mpsc::sync_channel(64);").is_empty());
+        assert!(rules_hit("let q = VecDeque::with_capacity(64);").is_empty());
+        // Someone else's `channel()` or `new()` is not a queue claim.
+        assert!(rules_hit("let c = radio.channel();").is_empty());
+        assert!(rules_hit("let v = Vec::new();").is_empty());
+        // Mentions without a call are fine.
+        assert!(rules_hit("// unbounded queues are banned here").is_empty());
     }
 
     #[test]

@@ -40,6 +40,7 @@ fn each_seeded_fixture_trips_its_rule() {
         ("print-macro", Rule::PrintMacro),
         ("hot-path-clone", Rule::HotPathClone),
         ("fault-path-unwrap", Rule::FaultPathUnwrap),
+        ("bounded-channel", Rule::BoundedChannel),
         ("digest-completeness", Rule::DigestCompleteness),
         ("digest-completeness-detector", Rule::DigestCompleteness),
         ("obs-coverage", Rule::ObsCoverage),
@@ -66,6 +67,7 @@ fn clean_and_allowed_fixtures_pass() {
     for name in [
         "clean",
         "allowed-ok",
+        "bounded-channel-clean",
         "digest-completeness-clean",
         "digest-completeness-detector-clean",
         "obs-coverage-clean",
@@ -109,6 +111,7 @@ fn binary_exits_nonzero_on_each_seeded_fixture() {
         "print-macro",
         "hot-path-clone",
         "fault-path-unwrap",
+        "bounded-channel",
         "lint-allow-reason",
         "digest-completeness",
         "digest-completeness-detector",
@@ -138,6 +141,7 @@ fn binary_exits_zero_on_clean_trees() {
     for name in [
         "clean",
         "allowed-ok",
+        "bounded-channel-clean",
         "digest-completeness-clean",
         "digest-completeness-detector-clean",
         "obs-coverage-clean",

@@ -1,0 +1,374 @@
+//! A minimal JSON reader for feed records and checkpoints.
+//!
+//! The offline build vendors a no-op `serde`, and the only JSON code in
+//! the workspace is the *writer* in `airguard_obs::JsonObject` — so the
+//! live service brings its own parser. It reads exactly the JSON the
+//! workspace emits (single-line objects with string/number/bool/null
+//! fields, nested objects and arrays) plus standard escapes, and turns
+//! every malformed input into a typed error instead of a panic: a
+//! garbage byte on the feed must become a quarantined record, never a
+//! crashed shard.
+
+use std::collections::BTreeMap;
+
+/// Maximum nesting depth accepted before a value is rejected: feed
+/// records are flat, checkpoints nest twice, so anything deep is either
+/// corruption or an attack on the parser's stack.
+const MAX_DEPTH: u32 = 32;
+
+/// One parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number; `u64` extraction checks integer-ness.
+    Num(f64),
+    /// A string with escapes resolved.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object. Key order is not preserved; feed schemas never repeat
+    /// keys, and a repeated key keeps the last value like serde does.
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Parses one complete JSON value; trailing non-whitespace is an
+    /// error (a feed line must be exactly one record).
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes after value at offset {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite float.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) if n.is_finite() => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact non-negative integer. Rejects fractions,
+    /// negatives, and magnitudes beyond 2^53 (where `f64` stops
+    /// representing every integer, so "exact" can no longer be
+    /// promised).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        const EXACT_MAX: f64 = 9_007_199_254_740_992.0; // 2^53
+        match self {
+            // `n == n.trunc()` is an exact integral test, not a
+            // tolerance question: truncation either returns the same
+            // representation (no fraction) or a different one.
+            #[allow(clippy::float_cmp)]
+            JsonValue::Num(n)
+                if n.is_finite() && *n >= 0.0 && *n <= EXACT_MAX && *n == n.trunc() =>
+            {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b) = bytes.get(*pos) {
+        if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: u32) -> Result<JsonValue, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH}"));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+        Some(b) if *b == b'-' || b.is_ascii_digit() => parse_number(bytes, pos),
+        Some(b) => Err(format!(
+            "unexpected byte 0x{b:02x} at offset {pos}",
+            pos = *pos
+        )),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("malformed literal at offset {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while bytes
+        .get(*pos)
+        .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| format!("non-UTF-8 number at offset {start}"))?;
+    match text.parse::<f64>() {
+        Ok(n) if n.is_finite() => Ok(JsonValue::Num(n)),
+        _ => Err(format!("malformed number `{text}` at offset {start}")),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    *pos += 1; // opening quote
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| "truncated \\u escape".to_owned())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                        // Surrogates are rejected rather than paired: the
+                        // workspace's writer never emits them.
+                        let ch = char::from_u32(code)
+                            .ok_or_else(|| format!("\\u{hex} is not a scalar value"))?;
+                        out.push(ch);
+                        *pos += 4;
+                    }
+                    _ => return Err("bad escape in string".into()),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x20 => return Err("raw control byte in string".into()),
+            Some(_) => {
+                // Copy one UTF-8 scalar; invalid UTF-8 is an error.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| "non-UTF-8 bytes in string".to_owned())?;
+                let ch = rest
+                    .chars()
+                    .next()
+                    .ok_or_else(|| "empty string tail".to_owned())?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: u32) -> Result<JsonValue, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at offset {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: u32) -> Result<JsonValue, String> {
+    *pos += 1; // '{'
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at offset {pos}", pos = *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected `:` at offset {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos, depth + 1)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Obj(map));
+            }
+            _ => return Err(format!("expected `,` or `}}` at offset {pos}", pos = *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::JsonValue;
+
+    #[test]
+    fn parses_a_feed_record() {
+        let line = r#"{"t_us":1250,"node":0,"cat":"monitor","event":"backoff_assigned","src":3,"assigned_slots":14.5,"observed_slots":2,"xid":77}"#;
+        let v = JsonValue::parse(line).expect("valid record");
+        assert_eq!(v.get("t_us").and_then(JsonValue::as_u64), Some(1250));
+        assert_eq!(v.get("src").and_then(JsonValue::as_u64), Some(3));
+        assert_eq!(
+            v.get("assigned_slots").and_then(JsonValue::as_f64),
+            Some(14.5)
+        );
+        assert_eq!(v.get("cat").and_then(JsonValue::as_str), Some("monitor"));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn round_trips_obs_writer_output() {
+        let mut obj = airguard_obs::JsonObject::new();
+        obj.str("label", "a \"quoted\" λ label")
+            .u64("seed", u64::from(u32::MAX))
+            .f64("score", 0.30000000000000004)
+            .bool("on", true)
+            .raw("xs", "[1,2,3]");
+        let text = obj.finish();
+        let v = JsonValue::parse(&text).expect("writer output parses");
+        assert_eq!(
+            v.get("label").and_then(JsonValue::as_str),
+            Some("a \"quoted\" λ label")
+        );
+        assert_eq!(
+            v.get("score").and_then(JsonValue::as_f64),
+            Some(0.30000000000000004)
+        );
+        assert_eq!(
+            v.get("xs").and_then(JsonValue::as_arr).map(<[_]>::len),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn u64_extraction_rejects_fractions_negatives_and_giants() {
+        assert_eq!(JsonValue::Num(1.5).as_u64(), None);
+        assert_eq!(JsonValue::Num(-1.0).as_u64(), None);
+        assert_eq!(JsonValue::Num(1e300).as_u64(), None);
+        assert_eq!(JsonValue::Num(0.0).as_u64(), Some(0));
+    }
+
+    #[test]
+    fn malformed_inputs_are_errors_not_panics() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{\"a\" 1}",
+            "[1,2",
+            "\"unterminated",
+            "tru",
+            "1e999",
+            "nan",
+            "{\"a\":1} trailing",
+            "{\"a\":\"\\q\"}",
+            "{\"a\":\"\\u12\"}",
+            "\u{1}",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_rejects_pathological_nesting() {
+        let deep = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(JsonValue::parse(&deep).is_err());
+        let ok = format!("{}1{}", "[".repeat(8), "]".repeat(8));
+        assert!(JsonValue::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn escapes_resolve() {
+        let v = JsonValue::parse(r#""a\\b\n\t\u0041""#).expect("escapes");
+        assert_eq!(v.as_str(), Some("a\\b\n\tA"));
+    }
+}

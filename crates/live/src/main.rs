@@ -1,0 +1,8 @@
+//! `airguard-live` — crash-tolerant streaming detection service.
+//!
+//! All logic lives in the library (`airguard_live::cli`); this shim
+//! only forwards the exit code.
+
+fn main() {
+    std::process::exit(airguard_live::cli::cli_main());
+}

@@ -1,0 +1,197 @@
+//! Satellite 3b: malformed-feed soak.
+//!
+//! A hostile or disk-damaged feed must cost the service exactly the
+//! corrupted records and nothing else: no panic, no early exit, every
+//! injected corruption quarantined and counted, and stations whose
+//! records were untouched produce byte-identical verdicts.
+//!
+//! Corruption intensity is parameterised with the fault crate's
+//! [`Corruption`] vocabulary — the same knobs the simulation uses for
+//! observation-channel noise — so the soak's ≥1% floor is stated in the
+//! workspace's own fault language rather than ad-hoc constants.
+
+use airguard_fault::Corruption;
+use airguard_live::engine::{run, LiveConfig, LiveOutcome};
+use airguard_live::replay::JsonlSource;
+use airguard_obs::{Category, EventSink};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeSet;
+
+const STATIONS: u32 = 8;
+const RECORDS: u64 = 1_500;
+
+fn record(t_us: u64, src: u32, assigned: f64, observed: f64) -> String {
+    format!(
+        "{{\"t_us\":{t_us},\"node\":0,\"cat\":\"monitor\",\"event\":\"backoff_assigned\",\"src\":{src},\"assigned_slots\":{assigned},\"observed_slots\":{observed},\"xid\":1}}\n"
+    )
+}
+
+/// The clean feed: station 0 cheats, everyone else is compliant.
+fn clean_lines(seed: u64) -> Vec<(u32, String)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..RECORDS)
+        .map(|i| {
+            let src = rng.random_range(0..STATIONS);
+            let assigned = f64::from(rng.random_range(8u32..32));
+            let observed = if src == 0 {
+                (assigned * 0.2).max(1.0)
+            } else {
+                assigned
+            };
+            (src, record((i + 1) * 100, src, assigned, observed))
+        })
+        .collect()
+}
+
+/// Damages lines in place, driven by the fault-crate corruption plan:
+/// `backoff_prob` flips a record's slot count out of range (a flipped
+/// high byte), `attempt_prob` shreds the line structurally (truncation
+/// or raw non-UTF-8 bytes). Returns the injected count and the set of
+/// stations whose records were touched.
+fn corrupt(lines: &mut [(u32, Vec<u8>)], plan: &Corruption, seed: u64) -> (u64, BTreeSet<u32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut injected = 0u64;
+    let mut touched = BTreeSet::new();
+    for (src, line) in lines.iter_mut() {
+        // Only the lower half of the station ids is eligible for
+        // damage, so the upper half is a guaranteed-clean control
+        // group for the verdict comparison below.
+        if *src >= STATIONS / 2 {
+            continue;
+        }
+        let roll: f64 = rng.random_range(0.0..1.0);
+        if roll < plan.backoff_prob {
+            // Out-of-range slot count: parses as JSON, rejected by the
+            // schema validator.
+            let bad = 1_000_001.0 + f64::from(plan.backoff_max_delta);
+            *line = record(1, *src, bad, bad).into_bytes();
+        } else if roll < plan.backoff_prob + plan.attempt_prob {
+            match u32::from(plan.attempt_max_delta) % 3 {
+                0 => line.truncate(line.len() / 2), // torn mid-record
+                1 => {
+                    line.clear();
+                    line.extend_from_slice(&[0xFF, 0xFE, b'{', 0x80, b'\n']);
+                }
+                _ => {
+                    line.clear();
+                    line.extend_from_slice(b"{\"t_us\":not json at all\n");
+                }
+            }
+        } else {
+            continue;
+        }
+        injected += 1;
+        touched.insert(*src);
+    }
+    (injected, touched)
+}
+
+fn run_bytes(feed: &[u8], sink: EventSink) -> LiveOutcome {
+    let mut config = LiveConfig::new(3);
+    config.sink = sink;
+    let mut source = JsonlSource::new(feed);
+    run(&config, &mut source).expect("soaked run must not fail")
+}
+
+#[test]
+fn soak_quarantines_every_injected_corruption_and_spares_clean_stations() {
+    let clean = clean_lines(2026);
+    let baseline = run_bytes(
+        clean
+            .iter()
+            .flat_map(|(_, l)| l.as_bytes().to_vec())
+            .collect::<Vec<u8>>()
+            .as_slice(),
+        EventSink::new(),
+    );
+
+    // ~5% of the eligible (lower-half) records corrupted — ~2.5% of
+    // the whole feed, comfortably past the 1% soak floor.
+    let plan = Corruption {
+        backoff_prob: 0.03,
+        backoff_max_delta: 2_000,
+        attempt_prob: 0.02,
+        attempt_max_delta: 3,
+    };
+    let mut lines: Vec<(u32, Vec<u8>)> = clean
+        .iter()
+        .map(|(src, l)| (*src, l.clone().into_bytes()))
+        .collect();
+    let (injected, touched) = corrupt(&mut lines, &plan, 7);
+    assert!(
+        injected * 100 >= RECORDS,
+        "soak needs >=1% corruption, got {injected}/{RECORDS}"
+    );
+    assert!(
+        touched.len() < STATIONS as usize,
+        "need at least one untouched station to compare"
+    );
+
+    let mut feed = Vec::new();
+    for (_, line) in &lines {
+        feed.extend_from_slice(line);
+        if feed.last() != Some(&b'\n') {
+            feed.push(b'\n');
+        }
+    }
+
+    let sink = EventSink::enabled();
+    let soaked = run_bytes(&feed, sink.clone());
+
+    // Every injected corruption was quarantined — counter and events
+    // agree — and the run still consumed the entire feed.
+    assert_eq!(soaked.summary.counters["live.quarantined"], injected);
+    let quarantine_events = sink
+        .records()
+        .into_iter()
+        .filter(|r| r.event.category() == Category::Live && r.event.kind() == "quarantined")
+        .count() as u64;
+    assert_eq!(quarantine_events, injected);
+    assert_eq!(
+        soaked.summary.counters["live.observations"] + injected,
+        RECORDS,
+        "each corruption costs exactly one record"
+    );
+
+    // Stations whose records were never corrupted are untouched: their
+    // verdicts are byte-identical to the clean run's.
+    let mut compared = 0usize;
+    for verdict in &soaked.verdicts {
+        if touched.contains(&verdict.station) {
+            continue;
+        }
+        let clean_verdict = baseline
+            .verdicts
+            .iter()
+            .find(|v| v.station == verdict.station)
+            .expect("station present in clean run");
+        assert_eq!(verdict.to_json(), clean_verdict.to_json());
+        compared += 1;
+    }
+    assert!(compared > 0, "at least one clean station compared");
+
+    // The misbehaving station is still caught if its records survived.
+    if !touched.contains(&0) {
+        let cheat = soaked
+            .verdicts
+            .iter()
+            .find(|v| v.station == 0)
+            .expect("station 0");
+        assert!(cheat.misbehaving());
+    }
+}
+
+#[test]
+fn soak_survives_a_fully_shredded_feed_up_to_the_budget() {
+    // Every line structurally damaged: the run fails loudly on the
+    // budget (not a panic, not silence) when the feed is hopeless.
+    let mut config = LiveConfig::new(2);
+    config.quarantine_budget = 16;
+    let feed: Vec<u8> = (0..64)
+        .flat_map(|i| format!("{{\"t_us\": broken {i}\n").into_bytes())
+        .collect();
+    let mut source = JsonlSource::new(feed.as_slice());
+    let err = run(&config, &mut source).expect_err("budget must trip");
+    assert!(err.contains("quarantine budget exhausted"), "{err}");
+}

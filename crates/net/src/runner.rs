@@ -498,7 +498,7 @@ impl Simulation {
             registry,
             deviation_hist,
             diagnosis_flags,
-            pending: VecDeque::new(),
+            pending: VecDeque::new(), // lint:allow(bounded-channel) — drained every tick; holds at most one MacInput per node
             fx_scratch: Vec::new(),
             listeners_scratch: Vec::new(),
             faults,

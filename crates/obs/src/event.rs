@@ -80,11 +80,14 @@ pub enum Category {
     Note = 11,
     /// Injected faults (burst loss, churn, corruption, clock drift).
     Fault = 12,
+    /// The live streaming service's robustness decisions (shedding,
+    /// quarantine, checkpoints, source supervision).
+    Live = 13,
 }
 
 impl Category {
     /// All categories, in bit order.
-    pub const ALL: [Category; 13] = [
+    pub const ALL: [Category; 14] = [
         Category::MacTx,
         Category::MacRx,
         Category::MacBackoff,
@@ -98,6 +101,7 @@ impl Category {
         Category::Sim,
         Category::Note,
         Category::Fault,
+        Category::Live,
     ];
 
     /// This category's bit in the sink enable mask.
@@ -132,6 +136,7 @@ impl Category {
             Category::Sim => "sim",
             Category::Note => "note",
             Category::Fault => "fault",
+            Category::Live => "live",
         }
     }
 }
@@ -233,6 +238,30 @@ pub enum ObsEvent {
     FaultNodeDown { cold: bool },
     /// Fault injector: the node restarted after a crash.
     FaultNodeUp { downtime_us: u64 },
+    /// Live service: an overflowing shard queue dropped its oldest
+    /// queued observation (drop-oldest overflow policy). Never silent:
+    /// one event per shed decision.
+    LiveShedDropped { shard: u32, station: u32 },
+    /// Live service: an overflowing shard queue degraded to sampling,
+    /// keeping one observation in `sample_every` until pressure eases.
+    LiveDegraded { shard: u32, sample_every: u32 },
+    /// Live service: an undecodable or out-of-range feed record was
+    /// quarantined (`record` is its index in the source stream).
+    LiveQuarantined { source: u32, record: u64 },
+    /// Live service: a failed source was re-opened after exponential
+    /// backoff.
+    LiveSourceReopened {
+        source: u32,
+        attempt: u32,
+        backoff_ms: u64,
+    },
+    /// Live service: a crash-safe checkpoint covering `consumed` input
+    /// records and `stations` monitored stations was committed.
+    LiveCheckpointWritten { consumed: u64, stations: u64 },
+    /// Live service: the watchdog quarantined a shard that stopped
+    /// making progress while holding pending input; the remaining
+    /// shards keep serving.
+    LiveShardQuarantined { shard: u32, stalled_ms: u64 },
 }
 
 impl ObsEvent {
@@ -264,6 +293,12 @@ impl ObsEvent {
             | ObsEvent::FaultCorruptedAttempt { .. }
             | ObsEvent::FaultNodeDown { .. }
             | ObsEvent::FaultNodeUp { .. } => Category::Fault,
+            ObsEvent::LiveShedDropped { .. }
+            | ObsEvent::LiveDegraded { .. }
+            | ObsEvent::LiveQuarantined { .. }
+            | ObsEvent::LiveSourceReopened { .. }
+            | ObsEvent::LiveCheckpointWritten { .. }
+            | ObsEvent::LiveShardQuarantined { .. } => Category::Live,
         }
     }
 
@@ -296,6 +331,12 @@ impl ObsEvent {
             ObsEvent::FaultCorruptedAttempt { .. } => "fault_corrupted_attempt",
             ObsEvent::FaultNodeDown { .. } => "fault_node_down",
             ObsEvent::FaultNodeUp { .. } => "fault_node_up",
+            ObsEvent::LiveShedDropped { .. } => "shed_dropped",
+            ObsEvent::LiveDegraded { .. } => "degraded_sampling",
+            ObsEvent::LiveQuarantined { .. } => "quarantined",
+            ObsEvent::LiveSourceReopened { .. } => "source_reopened",
+            ObsEvent::LiveCheckpointWritten { .. } => "checkpoint_written",
+            ObsEvent::LiveShardQuarantined { .. } => "shard_quarantined",
         }
     }
 
@@ -423,6 +464,34 @@ impl fmt::Display for ObsEvent {
             }
             ObsEvent::FaultNodeUp { downtime_us } => {
                 write!(f, "fault: node restarted after {downtime_us}us down")
+            }
+            ObsEvent::LiveShedDropped { shard, station } => {
+                write!(f, "live: shard {shard} shed oldest observation of n{station}")
+            }
+            ObsEvent::LiveDegraded {
+                shard,
+                sample_every,
+            } => write!(
+                f,
+                "live: shard {shard} degraded to sampling 1-in-{sample_every}"
+            ),
+            ObsEvent::LiveQuarantined { source, record } => {
+                write!(f, "live: source {source} record #{record} quarantined")
+            }
+            ObsEvent::LiveSourceReopened {
+                source,
+                attempt,
+                backoff_ms,
+            } => write!(
+                f,
+                "live: source {source} reopened (attempt {attempt}, after {backoff_ms}ms)"
+            ),
+            ObsEvent::LiveCheckpointWritten { consumed, stations } => write!(
+                f,
+                "live: checkpoint committed at record {consumed} ({stations} stations)"
+            ),
+            ObsEvent::LiveShardQuarantined { shard, stalled_ms } => {
+                write!(f, "live: shard {shard} quarantined after {stalled_ms}ms stall")
             }
         }
     }

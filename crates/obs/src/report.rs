@@ -313,6 +313,36 @@ pub fn record_to_json(record: &Record) -> String {
         ObsEvent::FaultNodeUp { downtime_us } => {
             obj.u64("downtime_us", *downtime_us);
         }
+        ObsEvent::LiveShedDropped { shard, station } => {
+            obj.u64("shard", u64::from(*shard))
+                .u64("station", u64::from(*station));
+        }
+        ObsEvent::LiveDegraded {
+            shard,
+            sample_every,
+        } => {
+            obj.u64("shard", u64::from(*shard))
+                .u64("sample_every", u64::from(*sample_every));
+        }
+        ObsEvent::LiveQuarantined { source, record } => {
+            obj.u64("source", u64::from(*source)).u64("record", *record);
+        }
+        ObsEvent::LiveSourceReopened {
+            source,
+            attempt,
+            backoff_ms,
+        } => {
+            obj.u64("source", u64::from(*source))
+                .u64("attempt", u64::from(*attempt))
+                .u64("backoff_ms", *backoff_ms);
+        }
+        ObsEvent::LiveCheckpointWritten { consumed, stations } => {
+            obj.u64("consumed", *consumed).u64("stations", *stations);
+        }
+        ObsEvent::LiveShardQuarantined { shard, stalled_ms } => {
+            obj.u64("shard", u64::from(*shard))
+                .u64("stalled_ms", *stalled_ms);
+        }
     }
     obj.finish()
 }
